@@ -1,0 +1,55 @@
+//! E10 — conventional PCI–SCI memory management (bigphys + ATU window +
+//! bounce copies) vs. the VIA-style per-page registration, as a table and
+//! as wall-clock per-buffer delivery cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use workload::oldstyle::{run_mm_comparison, run_new_style, run_old_style};
+use workload::tables::{markdown_table, verdict};
+
+fn print_table() {
+    let rows: Vec<Vec<String>> = run_mm_comparison(16, 24 * 1024)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.scheme.to_string(),
+                r.reserved_frames.to_string(),
+                r.payload_frames.to_string(),
+                r.copied_bytes.to_string(),
+                r.pinned_frames.to_string(),
+                verdict(r.intact),
+            ]
+        })
+        .collect();
+    println!("\n=== E10: old vs new memory management (16 × 24 KiB buffers) ===");
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "scheme",
+                "reserved frames",
+                "payload frames",
+                "copied bytes",
+                "pinned frames",
+                "delivery",
+            ],
+            &rows,
+        )
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut g = c.benchmark_group("e10_mm_comparison");
+    g.sample_size(10);
+    g.bench_function("old_style_8x24k", |b| {
+        b.iter(|| run_old_style(8, 24 * 1024));
+    });
+    g.bench_function("new_style_8x24k", |b| {
+        b.iter(|| run_new_style(8, 24 * 1024));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

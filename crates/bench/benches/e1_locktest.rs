@@ -1,0 +1,102 @@
+//! E1 — the locktest experiment (paper §3.1, Table E1).
+//!
+//! Prints the verdict table the paper's experiment produces, then measures
+//! the wall-clock cost of one full locktest round per strategy (dominated
+//! by the antagonist's swap traffic — identical work for every strategy,
+//! so differences reflect the pinning mechanism).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vialock::StrategyKind;
+use workload::locktest::{run_locktest, run_locktest_matrix, run_pressure_sweep, run_semantics_ablation};
+use workload::tables::{markdown_table, verdict};
+
+fn print_table() {
+    let rows: Vec<Vec<String>> = run_locktest_matrix(64)
+        .into_iter()
+        .map(|o| {
+            vec![
+                o.strategy.to_string(),
+                format!("{}/{}", o.pages_moved, o.pages_total),
+                if o.dma_visible { "yes" } else { "NO" }.into(),
+                o.orphaned_frames.to_string(),
+                o.swap_outs.to_string(),
+                verdict(o.reliable),
+            ]
+        })
+        .collect();
+    println!("\n=== E1: locktest (64 registered pages) ===");
+    println!(
+        "{}",
+        markdown_table(
+            &["strategy", "pages moved", "DMA visible", "orphans", "swap-outs", "verdict"],
+            &rows,
+        )
+    );
+}
+
+fn print_ablation() {
+    let rows: Vec<Vec<String>> = run_semantics_ablation(64)
+        .into_iter()
+        .map(|(label, o)| {
+            vec![
+                label.to_string(),
+                o.strategy.to_string(),
+                format!("{}/{}", o.pages_moved, o.pages_total),
+                o.swap_cache_hits.to_string(),
+                verdict(o.reliable),
+            ]
+        })
+        .collect();
+    println!("\n=== E1 ablation: kernel eviction semantics ===");
+    println!(
+        "{}",
+        markdown_table(
+            &["kernel", "strategy", "pages moved", "cache refaults", "verdict"],
+            &rows,
+        )
+    );
+}
+
+fn print_pressure_sweep() {
+    println!("\n=== E1b: registered pages lost vs antagonist size (refcount-only) ===");
+    let fractions = [0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0];
+    let refcount = run_pressure_sweep(vialock::StrategyKind::RefcountOnly, 64, &fractions);
+    let kiobuf = run_pressure_sweep(vialock::StrategyKind::KiobufReliable, 64, &fractions);
+    let rows: Vec<Vec<String>> = refcount
+        .iter()
+        .zip(kiobuf.iter())
+        .map(|((f, r), (_, k))| {
+            vec![
+                format!("{:.2}", f),
+                format!("{}/{}", r.pages_moved, r.pages_total),
+                format!("{}/{}", k.pages_moved, k.pages_total),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &["antagonist (xRAM)", "refcount pages lost", "kiobuf pages lost"],
+            &rows,
+        )
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    print_ablation();
+    print_pressure_sweep();
+    let mut g = c.benchmark_group("e1_locktest");
+    g.sample_size(10);
+    for s in StrategyKind::ALL {
+        g.bench_function(s.label(), |b| {
+            b.iter(|| black_box(run_locktest(s, 32)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

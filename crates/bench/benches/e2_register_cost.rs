@@ -1,0 +1,101 @@
+//! E2 — registration cost vs. region size per strategy (Fig. E2).
+//!
+//! Cold = pages not resident (fault-in included, the zero-copy worst case);
+//! warm = pages already present (the registration-cache-miss-on-hot-buffer
+//! case). The interesting *shape*: cost scales linearly with pages for all
+//! strategies; mlock carries the largest fixed part (VMA surgery), kiobuf
+//! the largest per-page part (fault + lock), refcount is cheapest — and
+//! wrong.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use bench::{prepared_buffer, registry, roomy_kernel, SWEEP_PAGES};
+use simmem::{prot, Capabilities, PAGE_SIZE};
+use vialock::StrategyKind;
+use workload::regmetrics::measure_matrix;
+use workload::tables::markdown_table;
+
+fn print_event_table() {
+    let rows: Vec<Vec<String>> = measure_matrix(64)
+        .into_iter()
+        .map(|m| {
+            vec![
+                m.strategy.to_string(),
+                m.faults.to_string(),
+                m.cow_copies.to_string(),
+                m.vmas_after.to_string(),
+                m.pages_locked.to_string(),
+                m.pages_referenced.to_string(),
+                (m.vm_locked_bytes / 4096).to_string(),
+            ]
+        })
+        .collect();
+    println!("\n=== E2 companion: kernel events per 64-page registration ===");
+    println!(
+        "{}",
+        markdown_table(
+            &["strategy", "faults", "COW", "VMAs", "PG_locked", "refs", "VM_LOCKED pages"],
+            &rows,
+        )
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_event_table();
+    // Warm: buffer pre-touched, register/deregister in the loop.
+    let mut g = c.benchmark_group("e2_register_warm");
+    for s in StrategyKind::ALL {
+        for npages in SWEEP_PAGES {
+            g.throughput(Throughput::Elements(npages as u64));
+            g.bench_with_input(
+                BenchmarkId::new(s.label(), npages),
+                &npages,
+                |b, &npages| {
+                    let (mut k, pid, buf) = prepared_buffer(npages);
+                    let mut reg = registry(s);
+                    b.iter(|| {
+                        let h = reg
+                            .register(&mut k, pid, buf, npages * PAGE_SIZE)
+                            .expect("register");
+                        reg.deregister(&mut k, black_box(h)).expect("deregister");
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+
+    // Cold: fresh (never touched) mapping every iteration — includes the
+    // demand-zero faults.
+    let mut g = c.benchmark_group("e2_register_cold");
+    g.sample_size(20);
+    for s in StrategyKind::ALL {
+        for npages in [16usize, 256] {
+            g.throughput(Throughput::Elements(npages as u64));
+            g.bench_with_input(
+                BenchmarkId::new(s.label(), npages),
+                &npages,
+                |b, &npages| {
+                    let mut k = roomy_kernel();
+                    let pid = k.spawn_process(Capabilities::default());
+                    let mut reg = registry(s);
+                    b.iter(|| {
+                        let buf = k
+                            .mmap_anon(pid, npages * PAGE_SIZE, prot::READ | prot::WRITE)
+                            .expect("mmap");
+                        let h = reg
+                            .register(&mut k, pid, buf, npages * PAGE_SIZE)
+                            .expect("register");
+                        reg.deregister(&mut k, h).expect("deregister");
+                        k.munmap(pid, buf, npages * PAGE_SIZE).expect("munmap");
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

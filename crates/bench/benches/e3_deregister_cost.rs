@@ -1,0 +1,56 @@
+//! E3 — deregistration cost vs. region size per strategy (Fig. E3).
+//!
+//! Isolated from registration by pre-registering a batch of handles and
+//! timing only the deregistration drain (manual timing loop; Criterion's
+//! `iter_custom` keeps the setup out of the measurement).
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bench::{prepared_buffer, registry, SWEEP_PAGES};
+use simmem::PAGE_SIZE;
+use vialock::StrategyKind;
+
+const BATCH: u64 = 64;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_deregister");
+    for s in StrategyKind::ALL {
+        for npages in SWEEP_PAGES {
+            g.throughput(Throughput::Elements(npages as u64));
+            g.bench_with_input(
+                BenchmarkId::new(s.label(), npages),
+                &npages,
+                |b, &npages| {
+                    let (mut k, pid, buf) = prepared_buffer(npages);
+                    let mut reg = registry(s);
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        let mut done = 0u64;
+                        while done < iters {
+                            let n = BATCH.min(iters - done);
+                            let handles: Vec<_> = (0..n)
+                                .map(|_| {
+                                    reg.register(&mut k, pid, buf, npages * PAGE_SIZE)
+                                        .expect("register")
+                                })
+                                .collect();
+                            let t0 = Instant::now();
+                            for h in handles {
+                                reg.deregister(&mut k, h).expect("deregister");
+                            }
+                            total += t0.elapsed();
+                            done += n;
+                        }
+                        total
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! E4 — multiple-registration semantics (Table E4) and the cost of nested
+//! registrations.
+//!
+//! Prints the correctness table (naive mlock fails; registry bookkeeping
+//! and kiobuf pin counts survive), then measures the cost of a second
+//! (nested) registration of an already-pinned region — the case the VIA
+//! spec demands and the cache exploits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bench::{prepared_buffer, registry};
+use simmem::PAGE_SIZE;
+use vialock::StrategyKind;
+use workload::multireg::run_multireg_matrix;
+use workload::tables::{markdown_table, verdict};
+
+fn print_table() {
+    let rows: Vec<Vec<String>> = run_multireg_matrix(32)
+        .into_iter()
+        .map(|o| {
+            vec![
+                o.scheme.to_string(),
+                format!("{}/{}", o.pages_survived, o.pages_total),
+                verdict(o.consistent),
+            ]
+        })
+        .collect();
+    println!("\n=== E4: register twice, deregister once, apply pressure ===");
+    println!(
+        "{}",
+        markdown_table(&["scheme", "pages surviving", "verdict"], &rows)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut g = c.benchmark_group("e4_nested_registration");
+    for s in [StrategyKind::VmaMlock, StrategyKind::KiobufReliable] {
+        g.bench_function(s.label(), |b| {
+            let npages = 16;
+            let (mut k, pid, buf) = prepared_buffer(npages);
+            let mut reg = registry(s);
+            // Outer registration held for the whole measurement.
+            let outer = reg.register(&mut k, pid, buf, npages * PAGE_SIZE).unwrap();
+            b.iter(|| {
+                let h = reg
+                    .register(&mut k, pid, buf, npages * PAGE_SIZE)
+                    .expect("nested register");
+                reg.deregister(&mut k, black_box(h)).expect("deregister");
+            });
+            reg.deregister(&mut k, outer).unwrap();
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! E5 — the registration cache (Fig. E5).
+//!
+//! Prints the hit-ratio series over working-set sizes (functional zero-copy
+//! traffic), then benchmarks a cache hit vs. a cache miss on the registry
+//! level — the two costs whose ratio is the cache's whole reason to exist.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::{prepared_buffer, registry};
+use simmem::PAGE_SIZE;
+use vialock::{RegistrationCache, StrategyKind};
+use workload::cachebench::run_cache_series;
+use workload::tables::markdown_table;
+
+fn print_series() {
+    let buf = 256 * 1024;
+    let rows: Vec<Vec<String>> = run_cache_series(&[1, 2, 3, 4, 8], buf, 16, 160)
+        .into_iter()
+        .map(|p| {
+            vec![
+                p.working_set_buffers.to_string(),
+                format!("{:.0}%", p.hit_ratio * 100.0),
+                p.registrations.to_string(),
+                format!("{:.2}", p.regs_per_send),
+            ]
+        })
+        .collect();
+    println!("\n=== E5: registration cache (256 KiB buffers, 160-page budget) ===");
+    println!(
+        "{}",
+        markdown_table(
+            &["working set", "hit ratio", "registrations", "regs/send"],
+            &rows
+        )
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let npages = 64;
+
+    let mut g = c.benchmark_group("e5_reg_cache");
+    g.bench_function("hit", |b| {
+        let (mut k, pid, buf) = prepared_buffer(npages);
+        let mut reg = registry(StrategyKind::KiobufReliable);
+        let mut cache = RegistrationCache::new(1024);
+        // Prime the cache.
+        let h = cache.acquire(&mut k, &mut reg, pid, buf, npages * PAGE_SIZE).unwrap();
+        cache.release(&mut k, &mut reg, h).unwrap();
+        b.iter(|| {
+            let h = cache
+                .acquire(&mut k, &mut reg, pid, buf, npages * PAGE_SIZE)
+                .expect("hit");
+            cache.release(&mut k, &mut reg, h).expect("release");
+        });
+    });
+
+    g.bench_function("miss", |b| {
+        let (mut k, pid, buf) = prepared_buffer(npages);
+        let mut reg = registry(StrategyKind::KiobufReliable);
+        // Zero-budget cache: every acquire registers, every release evicts.
+        let mut cache = RegistrationCache::new(0);
+        b.iter(|| {
+            let h = cache
+                .acquire(&mut k, &mut reg, pid, buf, npages * PAGE_SIZE)
+                .expect("miss");
+            cache.release(&mut k, &mut reg, h).expect("release");
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E6 — bandwidth vs. message size across the three protocols (Fig. E6).
+//!
+//! Prints the event-charged simulated-time series (the figure's data),
+//! then benchmarks the wall-clock cost of the *functional* ping-pong per
+//! protocol — the simulation itself must stay fast enough to sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use netsim::proto::ProtocolCosts;
+use vialock::StrategyKind;
+use workload::model::reg_cost_for;
+use workload::netpipe::{measure_point, protocol_sweep, sweep_comm};
+use workload::tables::{markdown_table, mbs, us};
+
+fn print_series() {
+    let sizes = [
+        64usize,
+        1024,
+        8 * 1024,
+        32 * 1024,
+        128 * 1024,
+        512 * 1024,
+        2 * 1024 * 1024,
+    ];
+    println!("\n=== E6: functional protocol sweep (event-charged, kiobuf) ===");
+    let pts = protocol_sweep(StrategyKind::KiobufReliable, &sizes, 2);
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.bytes.to_string(),
+                p.protocol.unwrap_or("?").into(),
+                us(p.one_way_ns),
+                mbs(p.bandwidth_mb_s),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(&["bytes", "protocol", "one-way (µs)", "MB/s"], &rows)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut g = c.benchmark_group("e6_functional_pingpong");
+    g.sample_size(20);
+    for (label, bytes) in [
+        ("shared-memory", 1024usize),
+        ("one-copy", 64 * 1024),
+        ("zero-copy", 512 * 1024),
+    ] {
+        g.throughput(Throughput::Bytes(bytes as u64));
+        g.bench_with_input(BenchmarkId::new(label, bytes), &bytes, |b, &bytes| {
+            let mut comm = sweep_comm(StrategyKind::KiobufReliable);
+            let costs = ProtocolCosts::classic(reg_cost_for(StrategyKind::KiobufReliable));
+            b.iter(|| measure_point(&mut comm, &costs, bytes, 1));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

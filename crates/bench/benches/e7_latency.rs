@@ -1,0 +1,59 @@
+//! E7 — small-message latency across network profiles (the latency table
+//! of "Comparing MPI Performance of SCI and VIA") plus NetPIPE bandwidth
+//! curves for three networks, and a wall-clock bench of the functional
+//! 4-byte ping-pong.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use netsim::cost::NetworkProfile;
+use netsim::proto::ProtocolCosts;
+use netsim::sweep::pow2_sizes;
+use vialock::StrategyKind;
+use workload::model::reg_cost_for;
+use workload::netpipe::{measure_point, profile_sweep, sweep_comm};
+use workload::tables::{markdown_table, mbs, us};
+
+fn print_tables() {
+    println!("\n=== E7: one-way small-message latency (4 B) ===");
+    let rows: Vec<Vec<String>> = NetworkProfile::all()
+        .iter()
+        .map(|p| vec![p.name.to_string(), us(p.transfer_ns(4))])
+        .collect();
+    println!("{}", markdown_table(&["network", "latency (µs)"], &rows));
+
+    println!("\n=== E7: MPI-level bandwidth (MB/s) vs size ===");
+    let sizes = pow2_sizes(64, 4 * 1024 * 1024);
+    let sci = profile_sweep(&NetworkProfile::sci_pio(), &sizes);
+    let via = profile_sweep(&NetworkProfile::via_clan_mpi(), &sizes);
+    let eth = profile_sweep(&NetworkProfile::fast_ethernet(), &sizes);
+    let rows: Vec<Vec<String>> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            vec![
+                n.to_string(),
+                mbs(sci[i].bandwidth_mb_s),
+                mbs(via[i].bandwidth_mb_s),
+                mbs(eth[i].bandwidth_mb_s),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(&["bytes", "SCI", "VIA/cLAN", "FastEthernet"], &rows)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    let mut g = c.benchmark_group("e7_latency");
+    g.bench_function("functional_4B_pingpong", |b| {
+        let mut comm = sweep_comm(StrategyKind::KiobufReliable);
+        let costs = ProtocolCosts::classic(reg_cost_for(StrategyKind::KiobufReliable));
+        b.iter(|| measure_point(&mut comm, &costs, 4, 1));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

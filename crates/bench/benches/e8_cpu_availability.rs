@@ -1,0 +1,61 @@
+//! E8 — CPU time available during transfer: DMA vs. shared-memory PIO
+//! (figure 2 of the companion PCI–SCI bridge paper). Prints the series and
+//! the switching points, then benchmarks the model evaluation (trivially
+//! cheap — included so `cargo bench` exercises every experiment).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use netsim::cost::NetworkProfile;
+use netsim::cpu::{dma_switch_point, shm_flat, user_level_dma, CpuAvailability};
+use workload::tables::markdown_table;
+
+fn print_series() {
+    let dma = user_level_dma();
+    let shm = shm_flat();
+    println!("\n=== E8: CPU time available during transfer (fractions of t_DMA) ===");
+    let rows: Vec<Vec<String>> = (4..=20)
+        .step_by(2)
+        .map(|p| {
+            let n = 1usize << p;
+            let a = CpuAvailability::at(&dma, &shm, n);
+            vec![
+                n.to_string(),
+                format!("{:.2}", a.avail_dma_ns / a.t_dma_ns as f64),
+                format!("{:.2}", a.avail_shm_ns / a.t_dma_ns as f64),
+                if a.dma_wins() { "DMA" } else { "SHM" }.into(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(&["bytes", "avail (DMA)", "avail (SHM)", "winner"], &rows)
+    );
+    println!(
+        "switch point, user-level DMA:   {} B (paper: \"surprisingly low 128 Bytes\")",
+        dma_switch_point(&dma, &shm).unwrap()
+    );
+    println!(
+        "switch point, kernel-call DMA:  {} B (the motivation for protected user-level DMA)",
+        dma_switch_point(&NetworkProfile::dolphin_dma(), &shm).unwrap()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    c.bench_function("e8_model_eval", |b| {
+        let dma = user_level_dma();
+        let shm = shm_flat();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in 2..24 {
+                let a = CpuAvailability::at(&dma, &shm, 1usize << p);
+                acc += black_box(a.dma_wins()) as u64;
+            }
+            acc
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E9 — the mini NAS-IS kernel: prints the per-network table and measures
+//! the functional bucket-sort's wall-clock cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use workload::minis::run_mini_is;
+use workload::tables::markdown_table;
+
+fn print_table() {
+    let rep = run_mini_is(4, 20_000, 1);
+    assert!(rep.sorted_ok);
+    let rows: Vec<Vec<String>> = rep
+        .per_network
+        .iter()
+        .map(|r| {
+            vec![
+                r.network.to_string(),
+                format!("{:.2}", r.comm_ns as f64 / 1e6),
+                format!("{:.2}", r.total_ns as f64 / 1e6),
+                format!("{:.2}", r.mkeys_per_s),
+            ]
+        })
+        .collect();
+    println!("\n=== E9: mini NAS-IS (4 ranks x 20k keys) ===");
+    println!(
+        "{}",
+        markdown_table(&["network", "comm (ms)", "total (ms)", "Mkeys/s"], &rows)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut g = c.benchmark_group("e9_mini_is");
+    g.sample_size(10);
+    g.bench_function("functional_4x2000", |b| {
+        b.iter(|| run_mini_is(4, 2000, 7));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Shared setup helpers for the E1–E8 benches.
+
+use simmem::{prot, Capabilities, Kernel, KernelConfig, Pid, VirtAddr, PAGE_SIZE};
+use vialock::{MemoryRegistry, StrategyKind};
+
+/// A comfortably large machine so registration benches never hit reclaim.
+pub fn roomy_kernel() -> Kernel {
+    Kernel::new(KernelConfig {
+        nframes: 32 * 1024,
+        reserved_frames: 64,
+        swap_slots: 64 * 1024,
+        default_rlimit_memlock: None,
+            swap_cache: false,
+    })
+}
+
+/// Kernel + process + touched buffer of `npages`, ready to register.
+pub fn prepared_buffer(npages: usize) -> (Kernel, Pid, VirtAddr) {
+    let mut k = roomy_kernel();
+    let pid = k.spawn_process(Capabilities::default());
+    let len = npages * PAGE_SIZE;
+    let buf = k.mmap_anon(pid, len, prot::READ | prot::WRITE).expect("mmap");
+    k.touch_pages(pid, buf, len, true).expect("touch");
+    (k, pid, buf)
+}
+
+/// A registry for one strategy.
+pub fn registry(strategy: StrategyKind) -> MemoryRegistry {
+    MemoryRegistry::new(strategy)
+}
+
+/// Page counts used by the register/deregister sweeps (the figure's x-axis).
+pub const SWEEP_PAGES: [usize; 5] = [1, 4, 16, 64, 256];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepared_buffer_is_resident() {
+        let (k, pid, buf) = prepared_buffer(8);
+        for f in k.frames_of_range(pid, buf, 8 * PAGE_SIZE).unwrap() {
+            assert!(f.is_some());
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! The registration cache.
+//!
+//! The paper (section 1): *"the bad effects \[of dynamic registration\] can
+//! be remedied by 'caching' registered regions, i.e. by keeping them
+//! registered as long as possible."* Zero-copy protocols register the user
+//! buffer of every long send; with a cache, a buffer that was registered
+//! before — the common case for applications with buffer reuse — costs a
+//! table lookup instead of a kernel trap plus per-page pinning.
+//!
+//! The cache is an LRU keyed by `(pid, page_base, npages)` holding live
+//! [`MemHandle`]s with use counts; eviction deregisters only regions not
+//! currently in use, and only when the configured page budget is exceeded.
+
+use std::collections::HashMap;
+
+use simmem::{Kernel, Pid, VirtAddr};
+
+use crate::error::{RegError, RegResult};
+use crate::region::MemHandle;
+use crate::registry::MemoryRegistry;
+
+/// Cache performance counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in [0, 1]; 0 when no lookups happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Key identifying a cacheable registration: same process, same page span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    pid: Pid,
+    page_base: VirtAddr,
+    npages: usize,
+}
+
+struct CacheEntry {
+    handle: MemHandle,
+    /// Outstanding acquisitions; only zero-use entries may be evicted.
+    users: u32,
+    /// LRU stamp: larger = more recently used.
+    stamp: u64,
+    npages: usize,
+}
+
+/// LRU cache of live registrations in front of a [`MemoryRegistry`].
+pub struct RegistrationCache {
+    entries: HashMap<CacheKey, CacheEntry>,
+    /// Page budget: cached-but-unused regions are evicted beyond this.
+    capacity_pages: usize,
+    clock: u64,
+    pub stats: CacheStats,
+}
+
+impl RegistrationCache {
+    /// Cache with a page budget (the paper's "as long as possible" bounded
+    /// by the pinnable-memory limit).
+    pub fn new(capacity_pages: usize) -> Self {
+        RegistrationCache {
+            entries: HashMap::new(),
+            capacity_pages,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Acquire a registration for `[addr, addr+len)`: reuse a cached one or
+    /// register anew. Pair every acquire with [`RegistrationCache::release`].
+    pub fn acquire(
+        &mut self,
+        kernel: &mut Kernel,
+        registry: &mut MemoryRegistry,
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+    ) -> RegResult<MemHandle> {
+        let key = CacheKey {
+            pid,
+            page_base: simmem::page_base(addr),
+            npages: crate::strategy::npages(addr, len),
+        };
+        self.clock += 1;
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.users += 1;
+            e.stamp = self.clock;
+            self.stats.hits += 1;
+            return Ok(e.handle);
+        }
+        self.stats.misses += 1;
+        // Register the full page span so any same-span request hits.
+        let span_len = key.npages * simmem::PAGE_SIZE;
+        let handle = registry.register(kernel, pid, key.page_base, span_len)?;
+        self.entries.insert(
+            key,
+            CacheEntry {
+                handle,
+                users: 1,
+                stamp: self.clock,
+                npages: key.npages,
+            },
+        );
+        Ok(handle)
+    }
+
+    /// Release a prior acquisition. The registration stays cached; unused
+    /// entries beyond the page budget are evicted LRU-first.
+    pub fn release(
+        &mut self,
+        kernel: &mut Kernel,
+        registry: &mut MemoryRegistry,
+        handle: MemHandle,
+    ) -> RegResult<()> {
+        let key = self
+            .entries
+            .iter()
+            .find(|(_, e)| e.handle == handle)
+            .map(|(k, _)| *k)
+            .ok_or(RegError::NoSuchHandle)?;
+        {
+            let e = self.entries.get_mut(&key).expect("found above");
+            if e.users == 0 {
+                return Err(RegError::PinUnderflow);
+            }
+            e.users -= 1;
+        }
+        self.shrink(kernel, registry)?;
+        Ok(())
+    }
+
+    /// Evict unused LRU entries until within the page budget.
+    fn shrink(&mut self, kernel: &mut Kernel, registry: &mut MemoryRegistry) -> RegResult<()> {
+        while self.cached_pages() > self.capacity_pages {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(_, e)| e.users == 0)
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    let e = self.entries.remove(&k).expect("victim present");
+                    registry.deregister(kernel, e.handle)?;
+                    self.stats.evictions += 1;
+                }
+                None => break, // everything in use: over budget but stuck
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop every unused cached registration (shutdown / low-memory
+    /// callback).
+    pub fn flush(&mut self, kernel: &mut Kernel, registry: &mut MemoryRegistry) -> RegResult<()> {
+        let victims: Vec<CacheKey> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.users == 0)
+            .map(|(k, _)| *k)
+            .collect();
+        for k in victims {
+            let e = self.entries.remove(&k).expect("victim present");
+            registry.deregister(kernel, e.handle)?;
+            self.stats.evictions += 1;
+        }
+        Ok(())
+    }
+
+    /// Total pages held by cached registrations (used + unused).
+    pub fn cached_pages(&self) -> usize {
+        self.entries.values().map(|e| e.npages).sum()
+    }
+
+    /// Number of cached registrations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StrategyKind;
+    use simmem::{prot, Capabilities, KernelConfig, PAGE_SIZE};
+
+    fn setup() -> (Kernel, Pid, VirtAddr, MemoryRegistry) {
+        let mut k = Kernel::new(KernelConfig::small());
+        let pid = k.spawn_process(Capabilities::default());
+        let a = k
+            .mmap_anon(pid, 32 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        (k, pid, a, MemoryRegistry::new(StrategyKind::KiobufReliable))
+    }
+
+    #[test]
+    fn second_acquire_hits() {
+        let (mut k, pid, a, mut reg) = setup();
+        let mut cache = RegistrationCache::new(64);
+        let h1 = cache.acquire(&mut k, &mut reg, pid, a, 4 * PAGE_SIZE).unwrap();
+        cache.release(&mut k, &mut reg, h1).unwrap();
+        let h2 = cache.acquire(&mut k, &mut reg, pid, a, 4 * PAGE_SIZE).unwrap();
+        assert_eq!(h1, h2, "cache returns the live registration");
+        assert_eq!(cache.stats.hits, 1);
+        assert_eq!(cache.stats.misses, 1);
+        assert_eq!(reg.stats.registrations, 1, "only one kernel registration");
+        cache.release(&mut k, &mut reg, h2).unwrap();
+    }
+
+    #[test]
+    fn lru_eviction_on_budget() {
+        let (mut k, pid, a, mut reg) = setup();
+        let mut cache = RegistrationCache::new(8); // budget: 8 pages
+        let mut handles = Vec::new();
+        for i in 0..3 {
+            let addr = a + (i * 4 * PAGE_SIZE) as u64;
+            let h = cache.acquire(&mut k, &mut reg, pid, addr, 4 * PAGE_SIZE).unwrap();
+            cache.release(&mut k, &mut reg, h).unwrap();
+            handles.push(h);
+        }
+        // 12 pages acquired against an 8-page budget → oldest evicted.
+        assert!(cache.cached_pages() <= 8);
+        assert_eq!(cache.stats.evictions, 1);
+        // Oldest is gone: re-acquiring it misses.
+        let h = cache.acquire(&mut k, &mut reg, pid, a, 4 * PAGE_SIZE).unwrap();
+        assert_ne!(h, handles[0]);
+        assert_eq!(cache.stats.misses, 4);
+        cache.release(&mut k, &mut reg, h).unwrap();
+    }
+
+    #[test]
+    fn in_use_entries_are_never_evicted() {
+        let (mut k, pid, a, mut reg) = setup();
+        let mut cache = RegistrationCache::new(4);
+        let h1 = cache.acquire(&mut k, &mut reg, pid, a, 4 * PAGE_SIZE).unwrap();
+        // Second region busts the budget while the first is still in use.
+        let h2 = cache
+            .acquire(&mut k, &mut reg, pid, a + 16 * PAGE_SIZE as u64, 4 * PAGE_SIZE)
+            .unwrap();
+        cache.release(&mut k, &mut reg, h2).unwrap();
+        // h1 (in use) must survive; h2 (idle) is the only evictable one.
+        assert!(reg.frames(h1).is_ok());
+        cache.release(&mut k, &mut reg, h1).unwrap();
+    }
+
+    #[test]
+    fn flush_clears_idle_entries() {
+        let (mut k, pid, a, mut reg) = setup();
+        let mut cache = RegistrationCache::new(64);
+        let h = cache.acquire(&mut k, &mut reg, pid, a, 2 * PAGE_SIZE).unwrap();
+        cache.release(&mut k, &mut reg, h).unwrap();
+        cache.flush(&mut k, &mut reg).unwrap();
+        assert!(cache.is_empty());
+        assert_eq!(reg.live_regions(), 0);
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let s = CacheStats { hits: 3, misses: 1, evictions: 0 };
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-9);
+        assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn unknown_handle_release_fails() {
+        let (mut k, _, _, mut reg) = setup();
+        let mut cache = RegistrationCache::new(4);
+        assert_eq!(
+            cache.release(&mut k, &mut reg, MemHandle(999)),
+            Err(RegError::NoSuchHandle)
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! The pin table: per-frame pin counts giving `PG_locked` the **nesting**
+//! semantics raw kiobufs lack.
+//!
+//! `lock_kiobuf` on a page that another registration already locked would
+//! sleep forever (nobody else will unlock it). The paper's mechanism
+//! therefore keeps a small kernel-agent-side table mapping each pinned frame
+//! to a count: the first pin takes the page's I/O lock, later pins of the
+//! same frame only bump the count, and the lock is dropped when the final
+//! unpin brings the count to zero. Multiple (and overlapping) registrations
+//! of the same memory thereby behave exactly as the VIA specification
+//! requires.
+
+use std::collections::HashMap;
+
+use simmem::{page::PageFlags, FrameId, Kernel};
+
+use crate::error::{RegError, RegResult};
+
+/// Per-frame pin counts shared by all kiobuf-based registrations.
+#[derive(Debug, Default)]
+pub struct PinTable {
+    counts: HashMap<FrameId, u32>,
+}
+
+impl PinTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pin one frame. The first pin acquires `PG_locked`; if a *foreign*
+    /// holder (in-flight disk I/O) owns the bit, [`RegError::WouldBlock`] is
+    /// returned and the caller retries once the I/O completes — modelling
+    /// the page-wait-queue sleep of the real mechanism.
+    pub fn pin(&mut self, kernel: &mut Kernel, frame: FrameId) -> RegResult<()> {
+        let entry = self.counts.entry(frame).or_insert(0);
+        if *entry == 0 {
+            if kernel
+                .page_descriptor(frame)
+                .flags
+                .contains(PageFlags::LOCKED)
+            {
+                // Someone else (kernel I/O) holds the lock: we must wait.
+                self.counts.remove(&frame);
+                return Err(RegError::WouldBlock);
+            }
+            kernel.raw_set_page_flag(frame, PageFlags::LOCKED);
+        }
+        *entry += 1;
+        Ok(())
+    }
+
+    /// Unpin one frame; the last unpin releases `PG_locked`.
+    pub fn unpin(&mut self, kernel: &mut Kernel, frame: FrameId) -> RegResult<()> {
+        match self.counts.get_mut(&frame) {
+            None => Err(RegError::PinUnderflow),
+            Some(c) if *c == 0 => Err(RegError::PinUnderflow),
+            Some(c) => {
+                *c -= 1;
+                if *c == 0 {
+                    self.counts.remove(&frame);
+                    kernel.raw_clear_page_flag(frame, PageFlags::LOCKED);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Pin a whole frame list transactionally: on failure everything pinned
+    /// so far is rolled back.
+    pub fn pin_all(&mut self, kernel: &mut Kernel, frames: &[FrameId]) -> RegResult<()> {
+        for (i, &f) in frames.iter().enumerate() {
+            if let Err(e) = self.pin(kernel, f) {
+                for &g in &frames[..i] {
+                    self.unpin(kernel, g).expect("rollback of fresh pin");
+                }
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Unpin a whole frame list.
+    pub fn unpin_all(&mut self, kernel: &mut Kernel, frames: &[FrameId]) -> RegResult<()> {
+        for &f in frames {
+            self.unpin(kernel, f)?;
+        }
+        Ok(())
+    }
+
+    /// Current pin count of a frame (0 if not pinned).
+    pub fn count(&self, frame: FrameId) -> u32 {
+        self.counts.get(&frame).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct pinned frames.
+    pub fn pinned_frames(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Invariant check for property tests: every tracked frame has a
+    /// positive count and carries `PG_locked`.
+    pub fn check_invariants(&self, kernel: &Kernel) -> Result<(), String> {
+        for (&f, &c) in &self.counts {
+            if c == 0 {
+                return Err(format!("frame {} tracked with zero count", f.0));
+            }
+            if !kernel
+                .page_descriptor(f)
+                .flags
+                .contains(PageFlags::LOCKED)
+            {
+                return Err(format!("pinned frame {} lost PG_locked", f.0));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmem::{prot, Capabilities, KernelConfig, PAGE_SIZE};
+
+    fn setup() -> (Kernel, Vec<FrameId>) {
+        let mut k = Kernel::new(KernelConfig::small());
+        let pid = k.spawn_process(Capabilities::default());
+        let a = k.mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        k.touch_pages(pid, a, 4 * PAGE_SIZE, true).unwrap();
+        let frames: Vec<FrameId> = k
+            .frames_of_range(pid, a, 4 * PAGE_SIZE)
+            .unwrap()
+            .into_iter()
+            .flatten()
+            .collect();
+        (k, frames)
+    }
+
+    #[test]
+    fn first_pin_locks_last_unpin_unlocks() {
+        let (mut k, frames) = setup();
+        let mut pt = PinTable::new();
+        let f = frames[0];
+        pt.pin(&mut k, f).unwrap();
+        assert!(k.page_descriptor(f).flags.contains(PageFlags::LOCKED));
+        pt.pin(&mut k, f).unwrap();
+        assert_eq!(pt.count(f), 2);
+        pt.unpin(&mut k, f).unwrap();
+        assert!(
+            k.page_descriptor(f).flags.contains(PageFlags::LOCKED),
+            "still pinned once: lock held"
+        );
+        pt.unpin(&mut k, f).unwrap();
+        assert!(!k.page_descriptor(f).flags.contains(PageFlags::LOCKED));
+        assert_eq!(pt.count(f), 0);
+        pt.check_invariants(&k).unwrap();
+    }
+
+    #[test]
+    fn foreign_io_lock_blocks() {
+        let (mut k, frames) = setup();
+        let mut pt = PinTable::new();
+        let f = frames[1];
+        k.begin_page_io(f);
+        assert_eq!(pt.pin(&mut k, f), Err(RegError::WouldBlock));
+        assert!(k.end_page_io(f), "I/O lock intact despite pin attempt");
+        // Retry after I/O completes succeeds.
+        pt.pin(&mut k, f).unwrap();
+        pt.unpin(&mut k, f).unwrap();
+    }
+
+    #[test]
+    fn pin_all_rolls_back_on_failure() {
+        let (mut k, frames) = setup();
+        let mut pt = PinTable::new();
+        k.begin_page_io(frames[2]);
+        assert_eq!(pt.pin_all(&mut k, &frames), Err(RegError::WouldBlock));
+        for &f in &[frames[0], frames[1], frames[3]] {
+            assert!(
+                !k.page_descriptor(f).flags.contains(PageFlags::LOCKED),
+                "rollback cleared partial pins"
+            );
+            assert_eq!(pt.count(f), 0);
+        }
+        k.end_page_io(frames[2]);
+        pt.pin_all(&mut k, &frames).unwrap();
+        assert_eq!(pt.pinned_frames(), 4);
+        pt.unpin_all(&mut k, &frames).unwrap();
+        assert_eq!(pt.pinned_frames(), 0);
+    }
+
+    #[test]
+    fn unpin_underflow_detected() {
+        let (mut k, frames) = setup();
+        let mut pt = PinTable::new();
+        assert_eq!(pt.unpin(&mut k, frames[0]), Err(RegError::PinUnderflow));
+    }
+}

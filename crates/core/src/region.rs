@@ -1,0 +1,190 @@
+//! The region table: handle → registered-region bookkeeping.
+//!
+//! This is the kernel-agent-side record behind each memory handle the VIPL
+//! returns from `VipRegisterMem`. A NIC's Translation and Protection Table
+//! is filled from the `frames` recorded here.
+
+use std::collections::BTreeMap;
+
+use simmem::{FrameId, Pid, VirtAddr, PAGE_SIZE};
+
+use crate::error::{RegError, RegResult};
+use crate::strategy::{PinToken, StrategyKind};
+
+/// Opaque memory handle returned by registration (the VIA
+/// `VIP_MEM_HANDLE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MemHandle(pub u64);
+
+/// One registered memory region.
+#[derive(Debug)]
+pub struct Region {
+    pub handle: MemHandle,
+    pub pid: Pid,
+    /// Original (possibly unaligned) user address.
+    pub user_addr: VirtAddr,
+    /// Original request length in bytes.
+    pub len: usize,
+    /// Page-aligned base of the pinned range.
+    pub page_base: VirtAddr,
+    /// Physical frames backing the range, one per page, captured at
+    /// registration time — what goes into the TPT.
+    pub frames: Vec<FrameId>,
+    pub strategy: StrategyKind,
+    /// Strategy-private undo state; taken on deregistration.
+    pub(crate) token: Option<PinToken>,
+}
+
+impl Region {
+    /// Translate a byte offset *relative to `user_addr`* into
+    /// (frame, offset-within-frame). This is the TPT lookup a NIC performs
+    /// for every DMA access.
+    pub fn translate(&self, offset: usize) -> RegResult<(FrameId, usize)> {
+        if offset >= self.len {
+            return Err(RegError::InvalidArgument("offset beyond region"));
+        }
+        let abs = self.user_addr + offset as u64;
+        let page_index = ((abs - self.page_base) / PAGE_SIZE as u64) as usize;
+        let in_page = (abs & (PAGE_SIZE as u64 - 1)) as usize;
+        Ok((self.frames[page_index], in_page))
+    }
+
+    /// Number of pinned pages.
+    pub fn npages(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+/// Table of live regions.
+#[derive(Debug, Default)]
+pub struct RegionTable {
+    regions: BTreeMap<MemHandle, Region>,
+    next: u64,
+}
+
+impl RegionTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn insert(
+        &mut self,
+        pid: Pid,
+        user_addr: VirtAddr,
+        len: usize,
+        frames: Vec<FrameId>,
+        strategy: StrategyKind,
+        token: PinToken,
+    ) -> MemHandle {
+        self.next += 1;
+        let handle = MemHandle(self.next);
+        self.regions.insert(
+            handle,
+            Region {
+                handle,
+                pid,
+                user_addr,
+                len,
+                page_base: simmem::page_base(user_addr),
+                frames,
+                strategy,
+                token: Some(token),
+            },
+        );
+        handle
+    }
+
+    pub fn get(&self, handle: MemHandle) -> RegResult<&Region> {
+        self.regions.get(&handle).ok_or(RegError::NoSuchHandle)
+    }
+
+    pub fn remove(&mut self, handle: MemHandle) -> RegResult<Region> {
+        self.regions.remove(&handle).ok_or(RegError::NoSuchHandle)
+    }
+
+    /// Number of live registrations.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Total pinned pages across all live regions (pages pinned twice count
+    /// twice — this is the TPT-occupancy view).
+    pub fn total_pages(&self) -> usize {
+        self.regions.values().map(|r| r.frames.len()).sum()
+    }
+
+    /// Iterate live regions.
+    pub fn iter(&self) -> impl Iterator<Item = &Region> {
+        self.regions.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_region() -> Region {
+        Region {
+            handle: MemHandle(1),
+            pid: Pid(1),
+            user_addr: 0x1000 + 100,
+            len: 2 * PAGE_SIZE,
+            page_base: 0x1000,
+            frames: vec![FrameId(10), FrameId(11), FrameId(12)],
+            strategy: StrategyKind::KiobufReliable,
+            token: None,
+        }
+    }
+
+    #[test]
+    fn translate_within_pages() {
+        let r = mk_region();
+        // offset 0 → abs 0x1000+100 → page 0, in-page 100.
+        assert_eq!(r.translate(0).unwrap(), (FrameId(10), 100));
+        // Crossing into the second page.
+        let off = PAGE_SIZE - 100;
+        assert_eq!(r.translate(off).unwrap(), (FrameId(11), 0));
+        assert_eq!(r.translate(off + 5).unwrap(), (FrameId(11), 5));
+        // Last byte.
+        let (f, o) = r.translate(2 * PAGE_SIZE - 1).unwrap();
+        assert_eq!(f, FrameId(12));
+        assert_eq!(o, 99);
+    }
+
+    #[test]
+    fn translate_out_of_range() {
+        let r = mk_region();
+        assert!(r.translate(2 * PAGE_SIZE).is_err());
+    }
+
+    #[test]
+    fn table_crud() {
+        let mut t = RegionTable::new();
+        let h1 = t.insert(
+            Pid(1),
+            0x1000,
+            PAGE_SIZE,
+            vec![FrameId(1)],
+            StrategyKind::RefcountOnly,
+            PinToken::Refcount { frames: vec![FrameId(1)] },
+        );
+        let h2 = t.insert(
+            Pid(1),
+            0x1000,
+            PAGE_SIZE,
+            vec![FrameId(1)],
+            StrategyKind::RefcountOnly,
+            PinToken::Refcount { frames: vec![FrameId(1)] },
+        );
+        assert_ne!(h1, h2, "multiple registration yields distinct handles");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total_pages(), 2);
+        t.remove(h1).unwrap();
+        assert!(t.remove(h1).is_err(), "double deregistration rejected");
+        assert_eq!(t.len(), 1);
+    }
+}

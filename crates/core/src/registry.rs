@@ -1,0 +1,395 @@
+//! The memory registry: the registration front-end of the VIA kernel agent.
+//!
+//! `register` / `deregister` are what `VipRegisterMem` / `VipDeregisterMem`
+//! land on after the trap into the kernel agent. The registry drives the
+//! configured [`StrategyKind`], owns the shared [`PinTable`], and — for the
+//! mlock strategy — keeps the **driver-side interval bookkeeping** the paper
+//! says is unavoidable because `munlock` does not nest: per-page lock
+//! counts, with `munlock` issued only over contiguous runs whose count
+//! dropped to zero.
+
+use std::collections::HashMap;
+
+use simmem::{FrameId, Kernel, Pid, VirtAddr, PAGE_SHIFT, PAGE_SIZE};
+
+use crate::error::{RegError, RegResult};
+use crate::pin::PinTable;
+use crate::region::{MemHandle, Region, RegionTable};
+use crate::strategy::{pin_region, unpin_region, PinToken, StrategyKind};
+
+/// Registration statistics, reported by the experiment harness.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RegistryStats {
+    pub registrations: u64,
+    pub deregistrations: u64,
+    pub pages_pinned: u64,
+    pub pages_unpinned: u64,
+    /// Registrations that failed with `WouldBlock` (foreign I/O lock).
+    pub blocked: u64,
+}
+
+/// The kernel agent's registration front-end.
+pub struct MemoryRegistry {
+    strategy: StrategyKind,
+    regions: RegionTable,
+    pin_table: PinTable,
+    /// Per-(pid, vpn) lock counts for the mlock strategy's interval
+    /// bookkeeping.
+    mlock_counts: HashMap<(Pid, u64), u32>,
+    /// Optional cap on total pinned pages (models TPT capacity).
+    max_pages: Option<usize>,
+    pub stats: RegistryStats,
+}
+
+impl MemoryRegistry {
+    /// A registry using `strategy` with unlimited capacity.
+    pub fn new(strategy: StrategyKind) -> Self {
+        MemoryRegistry {
+            strategy,
+            regions: RegionTable::new(),
+            pin_table: PinTable::new(),
+            mlock_counts: HashMap::new(),
+            max_pages: None,
+            stats: RegistryStats::default(),
+        }
+    }
+
+    /// Cap total pinned pages — the simulated TPT size.
+    pub fn with_page_limit(mut self, max_pages: usize) -> Self {
+        self.max_pages = Some(max_pages);
+        self
+    }
+
+    pub fn strategy(&self) -> StrategyKind {
+        self.strategy
+    }
+
+    /// Register `[addr, addr + len)` of process `pid`. Returns a handle; the
+    /// same range may be registered any number of times.
+    pub fn register(
+        &mut self,
+        kernel: &mut Kernel,
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+    ) -> RegResult<MemHandle> {
+        let npages = crate::strategy::npages(addr, len);
+        if let Some(max) = self.max_pages {
+            if self.regions.total_pages() + npages > max {
+                return Err(RegError::LimitExceeded);
+            }
+        }
+        let (frames, token) =
+            match pin_region(kernel, &mut self.pin_table, self.strategy, pid, addr, len) {
+                Ok(ok) => ok,
+                Err(RegError::WouldBlock) => {
+                    self.stats.blocked += 1;
+                    return Err(RegError::WouldBlock);
+                }
+                Err(e) => return Err(e),
+            };
+        if self.strategy == StrategyKind::VmaMlock {
+            let (first, last) = page_span(addr, len);
+            for vpn in first..=last {
+                *self.mlock_counts.entry((pid, vpn)).or_insert(0) += 1;
+            }
+        }
+        self.stats.registrations += 1;
+        self.stats.pages_pinned += frames.len() as u64;
+        Ok(self
+            .regions
+            .insert(pid, addr, len, frames, self.strategy, token))
+    }
+
+    /// Deregister a handle; the pages are unpinned when the last
+    /// registration covering them goes away.
+    pub fn deregister(&mut self, kernel: &mut Kernel, handle: MemHandle) -> RegResult<()> {
+        let mut region = self.regions.remove(handle)?;
+        let token = region.token.take().expect("token taken only here");
+        let npages = region.frames.len();
+
+        match (&token, self.strategy) {
+            (PinToken::Mlock { pid, start, len }, StrategyKind::VmaMlock) => {
+                // Interval bookkeeping: decrement per-page counts; munlock
+                // only contiguous runs that dropped to zero.
+                let (pid, start, len) = (*pid, *start, *len);
+                let (first, last) = page_span(start, len);
+                let mut zero_runs: Vec<(u64, u64)> = Vec::new();
+                let mut run_start: Option<u64> = None;
+                for vpn in first..=last {
+                    let c = self
+                        .mlock_counts
+                        .get_mut(&(pid, vpn))
+                        .ok_or(RegError::PinUnderflow)?;
+                    *c -= 1;
+                    let zero = *c == 0;
+                    if zero {
+                        self.mlock_counts.remove(&(pid, vpn));
+                        run_start.get_or_insert(vpn);
+                    } else if let Some(s) = run_start.take() {
+                        zero_runs.push((s, vpn - 1));
+                    }
+                }
+                if let Some(s) = run_start {
+                    zero_runs.push((s, last));
+                }
+                // Token consumed without touching VMAs; we unlock runs
+                // ourselves below.
+                unpin_region(kernel, &mut self.pin_table, token, false)?;
+                for (s, e) in zero_runs {
+                    let had_cap = kernel.capabilities(pid)?.ipc_lock;
+                    if !had_cap {
+                        kernel.cap_raise_ipc_lock(pid)?;
+                    }
+                    let res = kernel.do_mlock(
+                        pid,
+                        s << PAGE_SHIFT,
+                        ((e - s + 1) as usize) * PAGE_SIZE,
+                        false,
+                    );
+                    if !had_cap {
+                        kernel.cap_lower_ipc_lock(pid)?;
+                    }
+                    res?;
+                }
+            }
+            _ => {
+                unpin_region(kernel, &mut self.pin_table, token, true)?;
+            }
+        }
+        self.stats.deregistrations += 1;
+        self.stats.pages_unpinned += npages as u64;
+        Ok(())
+    }
+
+    /// The frames recorded at registration time (what a TPT holds).
+    pub fn frames(&self, handle: MemHandle) -> RegResult<&[FrameId]> {
+        Ok(&self.regions.get(handle)?.frames)
+    }
+
+    /// Full region record.
+    pub fn region(&self, handle: MemHandle) -> RegResult<&Region> {
+        self.regions.get(handle)
+    }
+
+    /// TPT-style translation: byte offset within the registration →
+    /// (frame, in-page offset).
+    pub fn translate(&self, handle: MemHandle, offset: usize) -> RegResult<(FrameId, usize)> {
+        self.regions.get(handle)?.translate(offset)
+    }
+
+    /// Locktest step 6: are the frames recorded at registration time still
+    /// the ones the page tables map? `false` means the NIC would DMA into
+    /// stale frames.
+    pub fn verify_consistency(&self, kernel: &Kernel, handle: MemHandle) -> RegResult<bool> {
+        let r = self.regions.get(handle)?;
+        let current = kernel.frames_of_range(
+            r.pid,
+            r.page_base,
+            r.frames.len() * PAGE_SIZE,
+        )?;
+        Ok(r.frames
+            .iter()
+            .zip(current.iter())
+            .all(|(reg, cur)| Some(*reg) == *cur))
+    }
+
+    /// Find a live registration whose page span covers `[addr, addr+len)`
+    /// for `pid` — what a kernel agent uses to answer "is this buffer
+    /// already registered?" for dynamic zero-copy protocols.
+    pub fn find_covering(
+        &self,
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+    ) -> Option<MemHandle> {
+        let start = simmem::page_base(addr);
+        let end = simmem::page_align_up(addr + len as u64);
+        self.regions
+            .iter()
+            .find(|r| {
+                r.pid == pid
+                    && r.page_base <= start
+                    && r.page_base + (r.frames.len() * PAGE_SIZE) as u64 >= end
+            })
+            .map(|r| r.handle)
+    }
+
+    /// Number of live registrations.
+    pub fn live_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Distinct frames currently pinned through the pin table (kiobuf
+    /// strategy only).
+    pub fn pinned_frames(&self) -> usize {
+        self.pin_table.pinned_frames()
+    }
+
+    /// Cross-check pin-table invariants (property tests).
+    pub fn check_invariants(&self, kernel: &Kernel) -> Result<(), String> {
+        self.pin_table.check_invariants(kernel)?;
+        if self.strategy == StrategyKind::KiobufReliable {
+            // Sum of per-frame pins must equal the number of (handle, page)
+            // pairs that pin each frame.
+            let mut expect: HashMap<FrameId, u32> = HashMap::new();
+            for r in self.regions.iter() {
+                for &f in &r.frames {
+                    *expect.entry(f).or_insert(0) += 1;
+                }
+            }
+            for (&f, &c) in &expect {
+                if self.pin_table.count(f) != c {
+                    return Err(format!(
+                        "frame {} pin count {} != expected {}",
+                        f.0,
+                        self.pin_table.count(f),
+                        c
+                    ));
+                }
+            }
+            if expect.len() != self.pin_table.pinned_frames() {
+                return Err("pin table tracks frames not owned by any region".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// First and last VPN of the page span of `[addr, addr+len)`.
+fn page_span(addr: VirtAddr, len: usize) -> (u64, u64) {
+    let first = simmem::page_base(addr) >> PAGE_SHIFT;
+    let last = (simmem::page_align_up(addr + len as u64) >> PAGE_SHIFT) - 1;
+    (first, last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmem::{prot, Capabilities, KernelConfig};
+
+    fn setup() -> (Kernel, Pid, VirtAddr) {
+        let mut k = Kernel::new(KernelConfig::small());
+        let pid = k.spawn_process(Capabilities::default());
+        let a = k.mmap_anon(pid, 16 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        (k, pid, a)
+    }
+
+    #[test]
+    fn register_deregister_roundtrip_all_strategies() {
+        for strategy in StrategyKind::ALL {
+            let (mut k, pid, a) = setup();
+            let mut reg = MemoryRegistry::new(strategy);
+            let h = reg.register(&mut k, pid, a, 4 * PAGE_SIZE).unwrap();
+            assert_eq!(reg.frames(h).unwrap().len(), 4);
+            assert!(reg.verify_consistency(&k, h).unwrap());
+            reg.deregister(&mut k, h).unwrap();
+            assert_eq!(reg.live_regions(), 0);
+            assert!(reg.frames(h).is_err());
+        }
+    }
+
+    #[test]
+    fn page_limit_enforced() {
+        let (mut k, pid, a) = setup();
+        let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable).with_page_limit(6);
+        let h = reg.register(&mut k, pid, a, 4 * PAGE_SIZE).unwrap();
+        assert_eq!(
+            reg.register(&mut k, pid, a, 4 * PAGE_SIZE),
+            Err(RegError::LimitExceeded)
+        );
+        reg.deregister(&mut k, h).unwrap();
+        assert!(reg.register(&mut k, pid, a, 4 * PAGE_SIZE).is_ok());
+    }
+
+    #[test]
+    fn mlock_interval_bookkeeping_nests() {
+        // The exact hazard of section 3.2: two registrations, one
+        // deregistration — pages must STAY locked.
+        let (mut k, pid, a) = setup();
+        let mut reg = MemoryRegistry::new(StrategyKind::VmaMlock);
+        let h1 = reg.register(&mut k, pid, a, 4 * PAGE_SIZE).unwrap();
+        let h2 = reg.register(&mut k, pid, a, 4 * PAGE_SIZE).unwrap();
+        reg.deregister(&mut k, h1).unwrap();
+        assert_eq!(
+            k.locked_bytes(pid).unwrap(),
+            4 * PAGE_SIZE as u64,
+            "driver bookkeeping keeps the range locked"
+        );
+        reg.deregister(&mut k, h2).unwrap();
+        assert_eq!(k.locked_bytes(pid).unwrap(), 0);
+    }
+
+    #[test]
+    fn mlock_partial_overlap_unlocks_only_free_pages() {
+        let (mut k, pid, a) = setup();
+        let mut reg = MemoryRegistry::new(StrategyKind::VmaMlock);
+        // [0..8) and [4..12) pages overlap in [4..8).
+        let h1 = reg.register(&mut k, pid, a, 8 * PAGE_SIZE).unwrap();
+        let _h2 = reg
+            .register(&mut k, pid, a + 4 * PAGE_SIZE as u64, 8 * PAGE_SIZE)
+            .unwrap();
+        reg.deregister(&mut k, h1).unwrap();
+        // Pages 0..4 unlocked; 4..12 still locked.
+        assert_eq!(k.locked_bytes(pid).unwrap(), 8 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn kiobuf_invariants_hold_across_overlaps() {
+        let (mut k, pid, a) = setup();
+        let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable);
+        let h1 = reg.register(&mut k, pid, a, 8 * PAGE_SIZE).unwrap();
+        let h2 = reg
+            .register(&mut k, pid, a + 4 * PAGE_SIZE as u64, 8 * PAGE_SIZE)
+            .unwrap();
+        reg.check_invariants(&k).unwrap();
+        reg.deregister(&mut k, h1).unwrap();
+        reg.check_invariants(&k).unwrap();
+        reg.deregister(&mut k, h2).unwrap();
+        reg.check_invariants(&k).unwrap();
+        assert_eq!(reg.pinned_frames(), 0);
+    }
+
+    #[test]
+    fn translation_matches_kernel_walk() {
+        let (mut k, pid, a) = setup();
+        let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable);
+        let addr = a + 123; // unaligned on purpose
+        let h = reg.register(&mut k, pid, addr, 3 * PAGE_SIZE).unwrap();
+        for off in [0usize, 100, PAGE_SIZE, 2 * PAGE_SIZE + 500] {
+            let (frame, in_page) = reg.translate(h, off).unwrap();
+            let abs = addr + off as u64;
+            assert_eq!(k.frame_of(pid, abs).unwrap(), Some(frame));
+            assert_eq!(in_page, (abs & (PAGE_SIZE as u64 - 1)) as usize);
+        }
+        reg.deregister(&mut k, h).unwrap();
+    }
+
+    #[test]
+    fn find_covering_matches_spans() {
+        let (mut k, pid, a) = setup();
+        let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable);
+        let h = reg.register(&mut k, pid, a + 100, 4 * PAGE_SIZE).unwrap();
+        // Fully inside the span: found.
+        assert_eq!(reg.find_covering(pid, a + 200, PAGE_SIZE), Some(h));
+        assert_eq!(reg.find_covering(pid, a, 4 * PAGE_SIZE), Some(h));
+        // Past the end: not covered.
+        assert_eq!(reg.find_covering(pid, a + 5 * PAGE_SIZE as u64, 16), None);
+        // Different process: never.
+        assert_eq!(reg.find_covering(Pid(999), a, 16), None);
+        reg.deregister(&mut k, h).unwrap();
+        assert_eq!(reg.find_covering(pid, a, 16), None);
+    }
+
+    #[test]
+    fn stats_track_activity() {
+        let (mut k, pid, a) = setup();
+        let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable);
+        let h = reg.register(&mut k, pid, a, 2 * PAGE_SIZE).unwrap();
+        reg.deregister(&mut k, h).unwrap();
+        assert_eq!(reg.stats.registrations, 1);
+        assert_eq!(reg.stats.deregistrations, 1);
+        assert_eq!(reg.stats.pages_pinned, 2);
+        assert_eq!(reg.stats.pages_unpinned, 2);
+    }
+}

@@ -1,0 +1,385 @@
+//! The pinning strategies the paper compares.
+//!
+//! Each strategy answers the paper's section-2 question — *how are the
+//! pages of a registered region kept in physical memory?* — in the way one
+//! of the surveyed VIA implementations does, plus the paper's own proposal.
+
+use simmem::{page::PageFlags, FrameId, Kernel, Pid, VirtAddr, PAGE_SIZE};
+
+use crate::error::RegResult;
+use crate::pin::PinTable;
+
+/// Which pinning strategy a registry uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Berkeley-VIA / M-VIA: increment `page->count` per page and hope. The
+    /// paper's locktest shows the pages are still swapped out and orphaned.
+    RefcountOnly,
+    /// Giganet cLAN style: refcount **plus** blindly setting `PG_locked`
+    /// (and clearing it on deregistration regardless of who holds it). Keeps
+    /// pages resident, but races with the kernel's own use of the bit —
+    /// "a very risky and unclean solution".
+    RawFlags,
+    /// VMA-based `do_mlock` with the capability dance; reliable but
+    /// non-nesting, so the kernel agent must bookkeep intervals itself.
+    VmaMlock,
+    /// **The paper's proposal**: kiobuf mapping + pin-table-managed page
+    /// locks. Reliable, nestable, page-table-free.
+    KiobufReliable,
+}
+
+impl StrategyKind {
+    /// All strategies, in the order the paper discusses them.
+    pub const ALL: [StrategyKind; 4] = [
+        StrategyKind::RefcountOnly,
+        StrategyKind::RawFlags,
+        StrategyKind::VmaMlock,
+        StrategyKind::KiobufReliable,
+    ];
+
+    /// Short label for experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            StrategyKind::RefcountOnly => "refcount-only",
+            StrategyKind::RawFlags => "raw-flags",
+            StrategyKind::VmaMlock => "vma-mlock",
+            StrategyKind::KiobufReliable => "kiobuf",
+        }
+    }
+}
+
+/// Strategy-private state carried by a pinned region, consumed on
+/// deregistration.
+#[derive(Debug)]
+pub enum PinToken {
+    /// Refcount-only: remember the frames whose counts we bumped.
+    Refcount { frames: Vec<FrameId> },
+    /// Raw flags: frames whose counts we bumped and whose `PG_locked` we
+    /// set.
+    RawFlags { frames: Vec<FrameId> },
+    /// mlock: the locked interval; unlocking happens when the *driver-side*
+    /// interval count drops to zero (see `registry`).
+    Mlock { pid: Pid, start: VirtAddr, len: usize },
+    /// kiobuf: page references plus pin-table locks (released through the
+    /// shared [`PinTable`]).
+    Kiobuf { frames: Vec<FrameId> },
+}
+
+/// Fault a user range in (with write intent on writable VMAs, breaking COW
+/// so DMA writes land on private pages) and return the backing frames —
+/// the "walk the page tables" step every strategy except kiobuf performs
+/// explicitly.
+pub(crate) fn fault_and_walk(
+    kernel: &mut Kernel,
+    pid: Pid,
+    addr: VirtAddr,
+    len: usize,
+) -> RegResult<Vec<FrameId>> {
+    let start = simmem::page_base(addr);
+    let end = simmem::page_align_up(addr + len as u64);
+    let mut a = start;
+    while a < end {
+        // Per-page write intent matching the VMA, exactly as
+        // `map_user_kiobuf` does: a DMA target must never share the zero
+        // page or a COW frame.
+        let writable = kernel.vma_writable(pid, a)?;
+        kernel.touch_pages(pid, a, 1, writable)?;
+        a += PAGE_SIZE as u64;
+    }
+    let frames = kernel
+        .frames_of_range(pid, start, (end - start) as usize)?
+        .into_iter()
+        .map(|f| f.expect("just touched"))
+        .collect();
+    Ok(frames)
+}
+
+/// Register a range with the given strategy; returns the pinned frames and
+/// the token needed to undo the pin.
+pub fn pin_region(
+    kernel: &mut Kernel,
+    pin_table: &mut PinTable,
+    strategy: StrategyKind,
+    pid: Pid,
+    addr: VirtAddr,
+    len: usize,
+) -> RegResult<(Vec<FrameId>, PinToken)> {
+    if len == 0 {
+        return Err(crate::RegError::InvalidArgument("zero-length region"));
+    }
+    let start = simmem::page_base(addr);
+    let end = simmem::page_align_up(addr + len as u64);
+    match strategy {
+        StrategyKind::RefcountOnly => {
+            // Per page: fault in, bump the reference count. This is exactly
+            // the Berkeley-VIA / M-VIA loop — and exactly as unreliable.
+            let mut frames = Vec::new();
+            let mut a = start;
+            while a < end {
+                match kernel.get_user_page(pid, a) {
+                    Ok(f) => frames.push(f),
+                    Err(e) => {
+                        for &g in &frames {
+                            kernel.put_user_page(g);
+                        }
+                        return Err(e.into());
+                    }
+                }
+                a += PAGE_SIZE as u64;
+            }
+            Ok((frames.clone(), PinToken::Refcount { frames }))
+        }
+        StrategyKind::RawFlags => {
+            // Per page: fault, grab a reference, blindly set `PG_locked` —
+            // no check whether the kernel already holds the bit, which is
+            // precisely the unclean part the paper criticises.
+            let mut frames = Vec::new();
+            let mut a = start;
+            while a < end {
+                match kernel.get_user_page(pid, a) {
+                    Ok(f) => {
+                        kernel.raw_set_page_flag(f, PageFlags::LOCKED);
+                        frames.push(f);
+                    }
+                    Err(e) => {
+                        for &g in &frames {
+                            kernel.raw_clear_page_flag(g, PageFlags::LOCKED);
+                            kernel.put_user_page(g);
+                        }
+                        return Err(e.into());
+                    }
+                }
+                a += PAGE_SIZE as u64;
+            }
+            Ok((frames.clone(), PinToken::RawFlags { frames }))
+        }
+        StrategyKind::VmaMlock => {
+            // The capability dance: grant CAP_IPC_LOCK, do_mlock, reclaim.
+            let had_cap = kernel.capabilities(pid)?.ipc_lock;
+            if !had_cap {
+                kernel.cap_raise_ipc_lock(pid)?;
+            }
+            let res = kernel.do_mlock(pid, addr, len, true);
+            if !had_cap {
+                kernel.cap_lower_ipc_lock(pid)?;
+            }
+            res?;
+            // Still must read the physical addresses for the TPT — which
+            // means walking page tables after all. `make_pages_present`
+            // faults read-only (possibly onto the shared zero page), so the
+            // walk must first break COW with write intent where the VMA
+            // allows it.
+            let frames = fault_and_walk(kernel, pid, addr, len)?;
+            Ok((frames, PinToken::Mlock { pid, start: addr, len }))
+        }
+        StrategyKind::KiobufReliable => {
+            // The proposal: fault each page in and take its page lock
+            // **before** the next fault can trigger reclaim — the
+            // map_user_kiobuf + lock_kiobuf pair collapsed page-wise. (On
+            // 2.4 the gap between the two calls is benign because the swap
+            // cache re-unifies an evicted-but-referenced page; our
+            // substrate has the paper's 2.2 eviction semantics, where the
+            // gap would orphan pages, so the lock is taken eagerly.)
+            let mut frames = Vec::new();
+            let mut a = start;
+            let rollback = |kernel: &mut Kernel, pin_table: &mut PinTable, frames: &[FrameId]| {
+                for &g in frames {
+                    pin_table.unpin(kernel, g).expect("fresh pin");
+                    kernel.put_user_page(g);
+                }
+            };
+            while a < end {
+                let f = match kernel.get_user_page(pid, a) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        rollback(kernel, pin_table, &frames);
+                        return Err(e.into());
+                    }
+                };
+                if let Err(e) = pin_table.pin(kernel, f) {
+                    kernel.put_user_page(f);
+                    rollback(kernel, pin_table, &frames);
+                    return Err(e);
+                }
+                frames.push(f);
+                a += PAGE_SIZE as u64;
+            }
+            Ok((frames.clone(), PinToken::Kiobuf { frames }))
+        }
+    }
+}
+
+/// Undo a [`pin_region`]. For `Mlock`, `unlock_interval` tells whether the
+/// driver-side interval bookkeeping says this was the last registration of
+/// the range (remember: `munlock` does not nest).
+pub fn unpin_region(
+    kernel: &mut Kernel,
+    pin_table: &mut PinTable,
+    token: PinToken,
+    unlock_interval: bool,
+) -> RegResult<()> {
+    match token {
+        PinToken::Refcount { frames } => {
+            for f in frames {
+                kernel.raw_put_page(f)?;
+            }
+            Ok(())
+        }
+        PinToken::RawFlags { frames } => {
+            for f in frames {
+                // Cleared regardless of other holders — the hazard the
+                // failure-injection tests expose.
+                kernel.raw_clear_page_flag(f, PageFlags::LOCKED);
+                kernel.raw_put_page(f)?;
+            }
+            Ok(())
+        }
+        PinToken::Mlock { pid, start, len } => {
+            if unlock_interval {
+                let had_cap = kernel.capabilities(pid)?.ipc_lock;
+                if !had_cap {
+                    kernel.cap_raise_ipc_lock(pid)?;
+                }
+                let res = kernel.do_mlock(pid, start, len, false);
+                if !had_cap {
+                    kernel.cap_lower_ipc_lock(pid)?;
+                }
+                res?;
+            }
+            Ok(())
+        }
+        PinToken::Kiobuf { frames } => {
+            pin_table.unpin_all(kernel, &frames)?;
+            for f in frames {
+                kernel.put_user_page(f);
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Pages spanned by `[addr, addr + len)`.
+pub fn npages(addr: VirtAddr, len: usize) -> usize {
+    let start = simmem::page_base(addr);
+    let end = simmem::page_align_up(addr + len as u64);
+    ((end - start) as usize) / PAGE_SIZE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmem::{prot, Capabilities, KernelConfig};
+
+    fn setup() -> (Kernel, Pid, VirtAddr) {
+        let mut k = Kernel::new(KernelConfig::small());
+        let pid = k.spawn_process(Capabilities::default());
+        let a = k.mmap_anon(pid, 8 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        (k, pid, a)
+    }
+
+    #[test]
+    fn all_strategies_pin_and_unpin_cleanly() {
+        for strategy in StrategyKind::ALL {
+            let (mut k, pid, a) = setup();
+            let mut pt = PinTable::new();
+            let free0 = k.free_frames();
+            let (frames, token) =
+                pin_region(&mut k, &mut pt, strategy, pid, a, 4 * PAGE_SIZE).unwrap();
+            assert_eq!(frames.len(), 4, "{strategy:?}");
+            unpin_region(&mut k, &mut pt, token, true).unwrap();
+            // After unpin + munmap everything must be released (the pin
+            // faulted 4 pages in; munmap returns them).
+            k.munmap(pid, a, 8 * PAGE_SIZE).unwrap();
+            assert_eq!(k.free_frames(), free0, "{strategy:?} leaked frames");
+            assert_eq!(pt.pinned_frames(), 0);
+        }
+    }
+
+    #[test]
+    fn refcount_strategy_bumps_counts() {
+        let (mut k, pid, a) = setup();
+        let mut pt = PinTable::new();
+        let (frames, token) =
+            pin_region(&mut k, &mut pt, StrategyKind::RefcountOnly, pid, a, PAGE_SIZE).unwrap();
+        assert_eq!(k.page_descriptor(frames[0]).count, 2);
+        assert!(!k.page_descriptor(frames[0]).flags.contains(PageFlags::LOCKED));
+        unpin_region(&mut k, &mut pt, token, true).unwrap();
+        assert_eq!(k.page_descriptor(frames[0]).count, 1);
+    }
+
+    #[test]
+    fn mlock_strategy_locks_vma_without_leaking_cap() {
+        let (mut k, pid, a) = setup();
+        let mut pt = PinTable::new();
+        assert!(!k.capabilities(pid).unwrap().ipc_lock);
+        let (_, token) =
+            pin_region(&mut k, &mut pt, StrategyKind::VmaMlock, pid, a, 2 * PAGE_SIZE).unwrap();
+        assert!(!k.capabilities(pid).unwrap().ipc_lock, "cap reclaimed");
+        assert_eq!(k.locked_bytes(pid).unwrap(), 2 * PAGE_SIZE as u64);
+        unpin_region(&mut k, &mut pt, token, true).unwrap();
+        assert_eq!(k.locked_bytes(pid).unwrap(), 0);
+    }
+
+    #[test]
+    fn kiobuf_strategy_locks_pages_nested() {
+        let (mut k, pid, a) = setup();
+        let mut pt = PinTable::new();
+        let (f1, t1) =
+            pin_region(&mut k, &mut pt, StrategyKind::KiobufReliable, pid, a, 2 * PAGE_SIZE)
+                .unwrap();
+        let (f2, t2) =
+            pin_region(&mut k, &mut pt, StrategyKind::KiobufReliable, pid, a, 2 * PAGE_SIZE)
+                .unwrap();
+        assert_eq!(f1, f2, "same physical pages");
+        assert_eq!(pt.count(f1[0]), 2);
+        unpin_region(&mut k, &mut pt, t1, false).unwrap();
+        assert!(
+            k.page_descriptor(f1[0]).flags.contains(PageFlags::LOCKED),
+            "still locked after first deregistration"
+        );
+        unpin_region(&mut k, &mut pt, t2, false).unwrap();
+        assert!(!k.page_descriptor(f1[0]).flags.contains(PageFlags::LOCKED));
+    }
+
+    #[test]
+    fn raw_flags_clobbers_foreign_io_lock() {
+        // Failure injection: the Giganet-style strategy deregisters while
+        // the kernel holds the page's I/O lock — and silently clears it.
+        let (mut k, pid, a) = setup();
+        let mut pt = PinTable::new();
+        let (frames, token) =
+            pin_region(&mut k, &mut pt, StrategyKind::RawFlags, pid, a, PAGE_SIZE).unwrap();
+        // Kernel starts I/O on the page: bit already set by the strategy,
+        // kernel would block in reality; here it stacks on the same bit.
+        k.begin_page_io(frames[0]);
+        unpin_region(&mut k, &mut pt, token, true).unwrap();
+        assert!(
+            !k.end_page_io(frames[0]),
+            "deregistration cleared the I/O lock out from under the kernel"
+        );
+    }
+
+    #[test]
+    fn kiobuf_respects_foreign_io_lock() {
+        let (mut k, pid, a) = setup();
+        let mut pt = PinTable::new();
+        k.touch_pages(pid, a, PAGE_SIZE, true).unwrap();
+        let f = k.frame_of(pid, a).unwrap().unwrap();
+        k.begin_page_io(f);
+        let r = pin_region(&mut k, &mut pt, StrategyKind::KiobufReliable, pid, a, PAGE_SIZE);
+        assert_eq!(r.unwrap_err(), crate::RegError::WouldBlock);
+        assert!(k.end_page_io(f), "I/O lock untouched");
+        assert_eq!(k.kiobuf_count(), 0, "failed registration left no kiobuf");
+        // Retry succeeds.
+        let (_, token) =
+            pin_region(&mut k, &mut pt, StrategyKind::KiobufReliable, pid, a, PAGE_SIZE).unwrap();
+        unpin_region(&mut k, &mut pt, token, false).unwrap();
+    }
+
+    #[test]
+    fn npages_math() {
+        assert_eq!(npages(0, PAGE_SIZE), 1);
+        assert_eq!(npages(10, PAGE_SIZE), 2, "unaligned spans two pages");
+        assert_eq!(npages(0, 1), 1);
+    }
+}

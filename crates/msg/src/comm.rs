@@ -1,0 +1,1145 @@
+//! The communicator: ranks, directed pair channels and the three transfer
+//! protocols, implemented functionally on the `via` fabric.
+//!
+//! All user payloads live in simulated process memory; `send` takes a
+//! (rank, address, length) triple, not a host slice, so every byte really
+//! flows through registered frames — and through whatever pinning strategy
+//! the nodes were configured with.
+
+use std::collections::{HashMap, VecDeque};
+
+use simmem::{prot, KernelConfig, Pid, VirtAddr, PAGE_SIZE};
+use via::system::{NodeId, ViaSystem};
+use via::tpt::{MemId, ProtectionTag};
+use via::vi::ViId;
+use via::{ViaError, ViaResult};
+use vialock::StrategyKind;
+
+use crate::config::{MsgConfig, Protocol};
+use crate::regcache::NodeRegCache;
+use crate::seg::{
+    MsgInfo, Response, SegLayout, ACTIVE_FREE, ACTIVE_POSTED, ACTIVE_ZC_DONE, INFO_SIZE,
+    RESP_BUF_READY, RESP_DONE, RESP_NONE, RESP_SIZE,
+};
+use crate::stats::MsgStats;
+
+/// Rank index within the communicator.
+pub type RankId = usize;
+
+/// Wildcard receive tag (`MPI_ANY_TAG`).
+pub const ANY_TAG: u32 = u32::MAX;
+
+/// Wildcard source rank (`MPI_ANY_SOURCE`). Receiving from any source is
+/// the case the Multidevice paper singles out as problematic: the receiver
+/// must probe every channel round-robin until one signals readiness.
+pub const ANY_SOURCE: RankId = usize::MAX;
+
+/// Handle to an in-flight send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendHandle(usize);
+
+/// A persistent send request: parameters plus the held registration.
+#[derive(Debug)]
+pub struct PersistentSend {
+    pub from: RankId,
+    pub to: RankId,
+    pub tag: u32,
+    pub addr: VirtAddr,
+    pub len: usize,
+    held: Option<(NodeId, MemId)>,
+}
+
+/// Bound on receive/wait spinning; exceeded only on protocol bugs.
+const SPIN_LIMIT: usize = 100_000;
+
+struct RankInfo {
+    node: NodeId,
+    pid: Pid,
+    tag: ProtectionTag,
+}
+
+/// State of a directed sender→receiver channel.
+struct Pair {
+    vi_s: ViId,
+    vi_r: ViId,
+    /// Receiver-exported segment (info slots + SM data slots), on the
+    /// receiver's node.
+    r_seg_addr: VirtAddr,
+    r_seg_mem: MemId,
+    /// Sender-exported control segment (response records).
+    s_seg_addr: VirtAddr,
+    s_seg_mem: MemId,
+    layout: SegLayout,
+    /// Sender-side slot allocation.
+    slot_busy: Vec<bool>,
+    next_msg_id: u64,
+    /// One-copy receive ring: buffer addresses in posted (FIFO) order.
+    oc_ring: VecDeque<VirtAddr>,
+    oc_mem: MemId,
+}
+
+enum SendState {
+    /// SM / one-copy: data is out; waiting for the receiver's DONE flag.
+    AwaitDone { cached_mem: Option<MemId> },
+    /// Zero-copy: announced; waiting for the rendezvous answer.
+    ZcAwaitBuffer {
+        cached_mem: MemId,
+        addr: VirtAddr,
+        len: usize,
+    },
+    /// Zero-copy: RDMA issued; waiting for the receiver's DONE flag.
+    ZcAwaitDone { cached_mem: MemId },
+}
+
+struct PendingSend {
+    from: RankId,
+    to: RankId,
+    slot: usize,
+    state: SendState,
+}
+
+/// The communicator.
+pub struct Comm {
+    sys: ViaSystem,
+    cfg: MsgConfig,
+    ranks: Vec<RankInfo>,
+    pairs: HashMap<(RankId, RankId), Pair>,
+    pending: Vec<Option<PendingSend>>,
+    caches: Vec<NodeRegCache>,
+    /// Relay sends in flight for the indirect-communication machinery.
+    pub(crate) pending_forward_handles: Vec<SendHandle>,
+    pub stats: MsgStats,
+}
+
+impl Comm {
+    /// Build a communicator of `n_ranks` ranks spread round-robin over
+    /// `n_nodes` nodes, with all channels set up.
+    pub fn new(
+        n_ranks: usize,
+        n_nodes: usize,
+        kcfg: KernelConfig,
+        strategy: StrategyKind,
+        cfg: MsgConfig,
+    ) -> ViaResult<Self> {
+        cfg.validate().map_err(|_| ViaError::BadState("invalid MsgConfig"))?;
+        let mut sys = ViaSystem::new(n_nodes, kcfg, strategy);
+        let mut ranks = Vec::with_capacity(n_ranks);
+        for r in 0..n_ranks {
+            let node = r % n_nodes;
+            let pid = sys.spawn_process(node);
+            ranks.push(RankInfo {
+                node,
+                pid,
+                tag: ProtectionTag(1000 + r as u32),
+            });
+        }
+        let caches = (0..n_nodes).map(|_| NodeRegCache::new(cfg.cache_pages)).collect();
+        let mut comm = Comm {
+            sys,
+            cfg,
+            ranks,
+            pairs: HashMap::new(),
+            pending: Vec::new(),
+            caches,
+            pending_forward_handles: Vec::new(),
+            stats: MsgStats::default(),
+        };
+        for s in 0..n_ranks {
+            for r in 0..n_ranks {
+                if s != r {
+                    comm.setup_pair(s, r)?;
+                }
+            }
+        }
+        Ok(comm)
+    }
+
+    fn setup_pair(&mut self, s: RankId, r: RankId) -> ViaResult<()> {
+        let layout = SegLayout {
+            info_slots: self.cfg.info_slots,
+            slot_data_bytes: self.cfg.sm_max,
+        };
+        let (s_node, s_pid, s_tag) = {
+            let i = &self.ranks[s];
+            (i.node, i.pid, i.tag)
+        };
+        let (r_node, r_pid, r_tag) = {
+            let i = &self.ranks[r];
+            (i.node, i.pid, i.tag)
+        };
+
+        // VI pair for the one-copy/zero-copy descriptors.
+        let vi_s = self.sys.create_vi(s_node, s_pid, s_tag)?;
+        let vi_r = self.sys.create_vi(r_node, r_pid, r_tag)?;
+        self.sys.connect((s_node, vi_s), (r_node, vi_r))?;
+
+        // Receiver-exported segment.
+        let r_len = layout.r_seg_bytes();
+        let r_seg_addr = self.sys.mmap(r_node, r_pid, r_len, prot::READ | prot::WRITE)?;
+        self.sys.kernel_mut(r_node).touch_pages(r_pid, r_seg_addr, r_len, true)?;
+        let r_seg_mem = self.sys.register_mem(r_node, r_pid, r_seg_addr, r_len, r_tag)?;
+
+        // Sender-exported control segment.
+        let s_len = layout.s_seg_bytes();
+        let s_seg_addr = self.sys.mmap(s_node, s_pid, s_len, prot::READ | prot::WRITE)?;
+        self.sys.kernel_mut(s_node).touch_pages(s_pid, s_seg_addr, s_len, true)?;
+        let s_seg_mem = self.sys.register_mem(s_node, s_pid, s_seg_addr, s_len, s_tag)?;
+
+        // One-copy ring: `prepost` buffers of chunk size, registered once,
+        // pre-posted as receive descriptors in FIFO order.
+        let ring_len = self.cfg.prepost * self.cfg.chunk_bytes;
+        let ring_addr = self.sys.mmap(r_node, r_pid, ring_len, prot::READ | prot::WRITE)?;
+        self.sys.kernel_mut(r_node).touch_pages(r_pid, ring_addr, ring_len, true)?;
+        let oc_mem = self.sys.register_mem(r_node, r_pid, ring_addr, ring_len, r_tag)?;
+        let mut oc_ring = VecDeque::with_capacity(self.cfg.prepost);
+        for i in 0..self.cfg.prepost {
+            let addr = ring_addr + (i * self.cfg.chunk_bytes) as u64;
+            self.sys.post_recv(r_node, vi_r, oc_mem, addr, self.cfg.chunk_bytes)?;
+            oc_ring.push_back(addr);
+        }
+
+        self.pairs.insert(
+            (s, r),
+            Pair {
+                vi_s,
+                vi_r,
+                r_seg_addr,
+                r_seg_mem,
+                s_seg_addr,
+                s_seg_mem,
+                layout,
+                slot_busy: vec![false; self.cfg.info_slots],
+                next_msg_id: 1,
+                oc_ring,
+                oc_mem,
+            },
+        );
+        Ok(())
+    }
+
+    /// Number of ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// The node a rank lives on.
+    pub fn rank_node(&self, r: RankId) -> NodeId {
+        self.ranks[r].node
+    }
+
+    /// The simulated process of a rank.
+    pub fn rank_pid(&self, r: RankId) -> Pid {
+        self.ranks[r].pid
+    }
+
+    /// The protection tag of a rank.
+    pub fn rank_tag(&self, r: RankId) -> ProtectionTag {
+        self.ranks[r].tag
+    }
+
+    /// The sender-side VI of the directed channel `from → to` (one-sided
+    /// operations ride the same VI pair the protocols use).
+    pub(crate) fn pair_send_vi(&self, from: RankId, to: RankId) -> ViaResult<ViId> {
+        self.pairs
+            .get(&(from, to))
+            .map(|p| p.vi_s)
+            .ok_or(ViaError::BadId("pair"))
+    }
+
+    /// Cache-acquire a registration on behalf of window put/get.
+    pub(crate) fn cache_acquire_for(
+        &mut self,
+        node: NodeId,
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+        tag: ProtectionTag,
+    ) -> ViaResult<MemId> {
+        self.cached_acquire(node, pid, addr, len, tag)
+    }
+
+    /// Matching release.
+    pub(crate) fn cache_release_for(&mut self, node: NodeId, mem: MemId) -> ViaResult<()> {
+        self.cached_release(node, mem)
+    }
+
+    /// Access the underlying fabric (workloads run antagonists through it).
+    pub fn system_mut(&mut self) -> &mut ViaSystem {
+        &mut self.sys
+    }
+
+    /// Per-node registration-cache statistics.
+    pub fn cache_stats(&self, node: NodeId) -> vialock::CacheStats {
+        self.caches[node].stats
+    }
+
+    /// Allocate a user buffer in a rank's address space.
+    pub fn alloc_buffer(&mut self, rank: RankId, len: usize) -> ViaResult<VirtAddr> {
+        let (node, pid) = (self.ranks[rank].node, self.ranks[rank].pid);
+        self.sys.mmap(node, pid, len, prot::READ | prot::WRITE)
+    }
+
+    /// Fill a rank-local buffer (CPU stores through the fault path).
+    pub fn fill_buffer(&mut self, rank: RankId, addr: VirtAddr, data: &[u8]) -> ViaResult<()> {
+        let (node, pid) = (self.ranks[rank].node, self.ranks[rank].pid);
+        self.sys.write_user(node, pid, addr, data)
+    }
+
+    /// Unmap a rank-local buffer (sweep harnesses allocate fresh buffers
+    /// per point and must return the pages).
+    pub fn free_buffer(&mut self, rank: RankId, addr: VirtAddr, len: usize) -> ViaResult<()> {
+        let (node, pid) = (self.ranks[rank].node, self.ranks[rank].pid);
+        // Cached registrations may still pin parts of the range; drop the
+        // idle cache entries first so the frames actually come back.
+        self.flush_caches()?;
+        Ok(self.sys.kernel_mut(node).munmap(pid, addr, len)?)
+    }
+
+    /// Deregister every idle cached registration on every node.
+    pub fn flush_caches(&mut self) -> ViaResult<()> {
+        let Comm { caches, sys, .. } = self;
+        for (n, cache) in caches.iter_mut().enumerate() {
+            cache.flush(sys.node_mut(n))?;
+        }
+        Ok(())
+    }
+
+    /// Read a rank-local buffer back out.
+    pub fn read_buffer(
+        &mut self,
+        rank: RankId,
+        addr: VirtAddr,
+        out: &mut [u8],
+    ) -> ViaResult<()> {
+        let (node, pid) = (self.ranks[rank].node, self.ranks[rank].pid);
+        self.sys.read_user(node, pid, addr, out)
+    }
+
+    // ------------------------------------------------------------------
+    // Registration-cache plumbing
+    // ------------------------------------------------------------------
+
+    fn cached_acquire(
+        &mut self,
+        node: NodeId,
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+        tag: ProtectionTag,
+    ) -> ViaResult<MemId> {
+        let misses0 = self.caches[node].stats.misses;
+        let mem = self.caches[node].acquire(self.sys.node_mut(node), pid, addr, len, tag)?;
+        if self.caches[node].stats.misses > misses0 {
+            self.stats.registrations += 1;
+            let base = simmem::page_base(addr);
+            let pages = (simmem::page_align_up(addr + len as u64) - base) / PAGE_SIZE as u64;
+            self.stats.pages_registered += pages;
+        } else {
+            self.stats.cache_hits += 1;
+        }
+        Ok(mem)
+    }
+
+    fn cached_release(&mut self, node: NodeId, mem: MemId) -> ViaResult<()> {
+        self.caches[node].release(self.sys.node_mut(node), mem)
+    }
+
+    // ------------------------------------------------------------------
+    // PIO helpers (segment control traffic)
+    // ------------------------------------------------------------------
+
+    fn write_info(&mut self, s: RankId, r: RankId, slot: usize, info: &MsgInfo) -> ViaResult<()> {
+        let pair = &self.pairs[&(s, r)];
+        let (r_node, mem, off) = (
+            self.ranks[r].node,
+            pair.r_seg_mem,
+            pair.layout.info_off(slot),
+        );
+        self.sys.sci_write_bytes(&info.encode(), (r_node, mem, off))?;
+        self.stats.control_writes += 1;
+        self.stats.pio_bytes += INFO_SIZE as u64;
+        Ok(())
+    }
+
+    fn write_response(
+        &mut self,
+        s: RankId,
+        r: RankId,
+        slot: usize,
+        resp: &Response,
+    ) -> ViaResult<()> {
+        let pair = &self.pairs[&(s, r)];
+        let (s_node, mem, off) = (
+            self.ranks[s].node,
+            pair.s_seg_mem,
+            pair.layout.resp_off(slot),
+        );
+        self.sys.sci_write_bytes(&resp.encode(), (s_node, mem, off))?;
+        self.stats.control_writes += 1;
+        self.stats.pio_bytes += RESP_SIZE as u64;
+        Ok(())
+    }
+
+    /// Sender reads a response record from its own segment memory.
+    fn read_response(&mut self, s: RankId, r: RankId, slot: usize) -> ViaResult<Response> {
+        let pair = &self.pairs[&(s, r)];
+        let (node, pid) = (self.ranks[s].node, self.ranks[s].pid);
+        let addr = pair.s_seg_addr + pair.layout.resp_off(slot) as u64;
+        let mut b = [0u8; RESP_SIZE];
+        self.sys.read_user(node, pid, addr, &mut b)?;
+        Ok(Response::decode(&b))
+    }
+
+    /// Receiver reads an info record from its own segment memory.
+    fn read_info(&mut self, s: RankId, r: RankId, slot: usize) -> ViaResult<MsgInfo> {
+        let pair = &self.pairs[&(s, r)];
+        let (node, pid) = (self.ranks[r].node, self.ranks[r].pid);
+        let addr = pair.r_seg_addr + pair.layout.info_off(slot) as u64;
+        let mut b = [0u8; INFO_SIZE];
+        self.sys.read_user(node, pid, addr, &mut b)?;
+        Ok(MsgInfo::decode(&b))
+    }
+
+    /// Receiver clears an info slot in its own memory.
+    fn clear_info(&mut self, s: RankId, r: RankId, slot: usize) -> ViaResult<()> {
+        let pair = &self.pairs[&(s, r)];
+        let (node, pid) = (self.ranks[r].node, self.ranks[r].pid);
+        let addr = pair.r_seg_addr + pair.layout.info_off(slot) as u64;
+        self.sys.write_user(node, pid, addr, &[ACTIVE_FREE; 1])?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Send
+    // ------------------------------------------------------------------
+
+    /// Non-blocking send of `[addr, addr+len)` from `from`'s memory to
+    /// rank `to` under `tag`. Drive completion with [`Comm::wait`].
+    pub fn send(
+        &mut self,
+        from: RankId,
+        to: RankId,
+        tag: u32,
+        addr: VirtAddr,
+        len: usize,
+    ) -> ViaResult<SendHandle> {
+        if tag == ANY_TAG {
+            return Err(ViaError::BadState("ANY_TAG is receive-only"));
+        }
+        // Reap finished sends so their slots free up.
+        self.progress()?;
+        let slot = {
+            let pair = self.pairs.get_mut(&(from, to)).ok_or(ViaError::BadId("pair"))?;
+            let Some(slot) = pair.slot_busy.iter().position(|b| !b) else {
+                return Err(ViaError::BadState("no free message slot"));
+            };
+            pair.slot_busy[slot] = true;
+            slot
+        };
+        let msg_id = {
+            let pair = self.pairs.get_mut(&(from, to)).expect("pair exists");
+            let id = pair.next_msg_id;
+            pair.next_msg_id += 1;
+            id
+        };
+        let proto = self.cfg.protocol_for(len);
+        let (s_node, s_pid, s_tag) = {
+            let i = &self.ranks[from];
+            (i.node, i.pid, i.tag)
+        };
+
+        let state = match proto {
+            Protocol::SharedMemory => {
+                // Payload straight into the receiver's data slot, then the
+                // info struct (order matters: data before announcement).
+                let (r_node, r_mem, data_off) = {
+                    let pair = &self.pairs[&(from, to)];
+                    (
+                        self.ranks[to].node,
+                        pair.r_seg_mem,
+                        pair.layout.data_off(slot),
+                    )
+                };
+                self.sys.sci_write((s_node, s_pid, addr), len, (r_node, r_mem, data_off))?;
+                self.stats.pio_bytes += len as u64;
+                self.stats.sm_msgs += 1;
+                self.write_info(
+                    from,
+                    to,
+                    slot,
+                    &MsgInfo {
+                        active: ACTIVE_POSTED,
+                        proto: 0,
+                        tag,
+                        len: len as u32,
+                        msg_id,
+                    },
+                )?;
+                SendState::AwaitDone { cached_mem: None }
+            }
+            Protocol::OneCopy => {
+                let mem = self.cached_acquire(s_node, s_pid, addr, len, s_tag)?;
+                self.write_info(
+                    from,
+                    to,
+                    slot,
+                    &MsgInfo {
+                        active: ACTIVE_POSTED,
+                        proto: 1,
+                        tag,
+                        len: len as u32,
+                        msg_id,
+                    },
+                )?;
+                // Chunked VIA sends out of the registered user buffer.
+                let vi_s = self.pairs[&(from, to)].vi_s;
+                let mut off = 0usize;
+                while off < len {
+                    let chunk = (len - off).min(self.cfg.chunk_bytes);
+                    self.sys.post_send(s_node, vi_s, mem, addr + off as u64, chunk)?;
+                    self.stats.oc_chunks += 1;
+                    off += chunk;
+                }
+                self.sys.pump()?;
+                self.stats.dma_bytes += len as u64;
+                self.stats.oc_msgs += 1;
+                SendState::AwaitDone { cached_mem: Some(mem) }
+            }
+            Protocol::ZeroCopy => {
+                // Register early (CHEMPI step 2 on the sender side), then
+                // announce; the RDMA fires when the rendezvous answer
+                // arrives.
+                let mem = self.cached_acquire(s_node, s_pid, addr, len, s_tag)?;
+                self.write_info(
+                    from,
+                    to,
+                    slot,
+                    &MsgInfo {
+                        active: ACTIVE_POSTED,
+                        proto: 2,
+                        tag,
+                        len: len as u32,
+                        msg_id,
+                    },
+                )?;
+                self.stats.zc_msgs += 1;
+                SendState::ZcAwaitBuffer {
+                    cached_mem: mem,
+                    addr,
+                    len,
+                }
+            }
+        };
+
+        self.pending.push(Some(PendingSend {
+            from,
+            to,
+            slot,
+            state,
+        }));
+        Ok(SendHandle(self.pending.len() - 1))
+    }
+
+    /// Drive every pending send one step (the communicator's progress
+    /// engine — in a threaded MPI this runs on the communication thread).
+    pub fn progress(&mut self) -> ViaResult<()> {
+        for i in 0..self.pending.len() {
+            let Some(p) = self.pending[i].take() else { continue };
+            let next = self.progress_one(p)?;
+            self.pending[i] = next;
+        }
+        Ok(())
+    }
+
+    fn progress_one(&mut self, mut p: PendingSend) -> ViaResult<Option<PendingSend>> {
+        let resp = self.read_response(p.from, p.to, p.slot)?;
+        match p.state {
+            SendState::AwaitDone { cached_mem } => {
+                if resp.state == RESP_DONE {
+                    self.finish_send(&p, cached_mem)?;
+                    return Ok(None);
+                }
+                p.state = SendState::AwaitDone { cached_mem };
+                Ok(Some(p))
+            }
+            SendState::ZcAwaitBuffer { cached_mem, addr, len } => {
+                if resp.state == RESP_BUF_READY {
+                    let s_node = self.ranks[p.from].node;
+                    let vi_s = self.pairs[&(p.from, p.to)].vi_s;
+                    self.sys.post_rdma_write(
+                        s_node,
+                        vi_s,
+                        cached_mem,
+                        addr,
+                        len,
+                        MemId(resp.mem),
+                        resp.addr,
+                    )?;
+                    self.sys.pump()?;
+                    self.stats.dma_bytes += len as u64;
+                    // Tell the receiver the payload landed.
+                    let info = self.read_info_as_sender(p.from, p.to, p.slot)?;
+                    self.write_info(
+                        p.from,
+                        p.to,
+                        p.slot,
+                        &MsgInfo {
+                            active: ACTIVE_ZC_DONE,
+                            ..info
+                        },
+                    )?;
+                    p.state = SendState::ZcAwaitDone { cached_mem };
+                    return Ok(Some(p));
+                }
+                p.state = SendState::ZcAwaitBuffer { cached_mem, addr, len };
+                Ok(Some(p))
+            }
+            SendState::ZcAwaitDone { cached_mem } => {
+                if resp.state == RESP_DONE {
+                    self.finish_send(&p, Some(cached_mem))?;
+                    return Ok(None);
+                }
+                p.state = SendState::ZcAwaitDone { cached_mem };
+                Ok(Some(p))
+            }
+        }
+    }
+
+    /// The sender does not normally read the remote info slot — but it
+    /// wrote it, so it keeps a local copy; modelled by re-reading through
+    /// SCI (cheap enough for the two control words of the rendezvous).
+    fn read_info_as_sender(&mut self, s: RankId, r: RankId, slot: usize) -> ViaResult<MsgInfo> {
+        let pair = &self.pairs[&(s, r)];
+        let (r_node, mem, off) = (
+            self.ranks[r].node,
+            pair.r_seg_mem,
+            pair.layout.info_off(slot),
+        );
+        let mut b = [0u8; INFO_SIZE];
+        self.sys.sci_read_bytes((r_node, mem, off), &mut b)?;
+        Ok(MsgInfo::decode(&b))
+    }
+
+    fn finish_send(&mut self, p: &PendingSend, cached_mem: Option<MemId>) -> ViaResult<()> {
+        if let Some(mem) = cached_mem {
+            let node = self.ranks[p.from].node;
+            self.cached_release(node, mem)?;
+        }
+        // Clear the response record (sender-local memory) and free the slot.
+        let pair = &self.pairs[&(p.from, p.to)];
+        let (node, pid) = (self.ranks[p.from].node, self.ranks[p.from].pid);
+        let addr = pair.s_seg_addr + pair.layout.resp_off(p.slot) as u64;
+        self.sys.write_user(node, pid, addr, &[RESP_NONE; 1])?;
+        self.pairs.get_mut(&(p.from, p.to)).expect("pair exists").slot_busy[p.slot] = false;
+        Ok(())
+    }
+
+    /// Block until a send completes.
+    pub fn wait(&mut self, h: SendHandle) -> ViaResult<()> {
+        for _ in 0..SPIN_LIMIT {
+            if self.pending[h.0].is_none() {
+                return Ok(());
+            }
+            self.progress()?;
+        }
+        Err(ViaError::BadState("send did not complete (peer not receiving?)"))
+    }
+
+    /// True once the send has completed (non-blocking test).
+    pub fn test(&mut self, h: SendHandle) -> ViaResult<bool> {
+        self.progress()?;
+        Ok(self.pending[h.0].is_none())
+    }
+
+    // ------------------------------------------------------------------
+    // Persistent requests (MPI_Send_init / MPI_Start / MPI_Request_free)
+    // ------------------------------------------------------------------
+
+    /// Create a persistent send request: the buffer's registration is
+    /// acquired once and **held**, so every [`Comm::start`] is guaranteed a
+    /// cache hit regardless of cache pressure — "it is profitable to use
+    /// registered buffers again like in the MPI persistent communication"
+    /// (the CHEMPI companion paper).
+    pub fn send_init(
+        &mut self,
+        from: RankId,
+        to: RankId,
+        tag: u32,
+        addr: VirtAddr,
+        len: usize,
+    ) -> ViaResult<PersistentSend> {
+        let held = if self.cfg.protocol_for(len) == crate::config::Protocol::SharedMemory {
+            // SM sends never register; nothing to hold.
+            None
+        } else {
+            let (node, pid, rtag) = {
+                let i = &self.ranks[from];
+                (i.node, i.pid, i.tag)
+            };
+            Some((node, self.cached_acquire(node, pid, addr, len, rtag)?))
+        };
+        Ok(PersistentSend { from, to, tag, addr, len, held })
+    }
+
+    /// Start one transfer of a persistent request (non-blocking, like
+    /// `MPI_Start`).
+    pub fn start(&mut self, req: &PersistentSend) -> ViaResult<SendHandle> {
+        self.send(req.from, req.to, req.tag, req.addr, req.len)
+    }
+
+    /// Free a persistent request, dropping the held registration
+    /// (`MPI_Request_free`).
+    pub fn request_free(&mut self, req: PersistentSend) -> ViaResult<()> {
+        if let Some((node, mem)) = req.held {
+            self.cached_release(node, mem)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Receive
+    // ------------------------------------------------------------------
+
+    /// Blocking receive at rank `at` from rank `from` with `tag`
+    /// ([`ANY_TAG`] matches any). The payload lands in
+    /// `[buf_addr, buf_addr + buf_len)` of `at`'s memory; returns the
+    /// message length.
+    pub fn recv(
+        &mut self,
+        at: RankId,
+        from: RankId,
+        tag: u32,
+        buf_addr: VirtAddr,
+        buf_len: usize,
+    ) -> ViaResult<usize> {
+        for _ in 0..SPIN_LIMIT {
+            if let Some((slot, info)) = self.match_message(from, at, tag)? {
+                return self.complete_recv(from, at, slot, info, buf_addr, buf_len);
+            }
+            // Nothing yet: drive senders (covers the single-threaded
+            // rendezvous dance) and the fabric.
+            self.progress()?;
+        }
+        Err(ViaError::BadState("recv timed out (no matching message)"))
+    }
+
+    /// Non-blocking probe (`MPID_Iprobe`): is a message from `from`
+    /// (or [`ANY_SOURCE`]) with `tag` (or [`ANY_TAG`]) receivable right
+    /// now? Returns `(source, tag, len)` without consuming the message.
+    pub fn iprobe(
+        &mut self,
+        at: RankId,
+        from: RankId,
+        tag: u32,
+    ) -> ViaResult<Option<(RankId, u32, usize)>> {
+        self.progress()?;
+        let sources: Vec<RankId> = if from == ANY_SOURCE {
+            (0..self.ranks.len()).filter(|&s| s != at).collect()
+        } else {
+            vec![from]
+        };
+        // Round-robin over the channels, exactly like the Multidevice's
+        // Iprobe loop over subdevices.
+        let mut best: Option<(RankId, usize, MsgInfo)> = None;
+        for s in sources {
+            if let Some((slot, info)) = self.match_message(s, at, tag)? {
+                if best
+                    .as_ref()
+                    .is_none_or(|(_, _, b)| info.msg_id < b.msg_id)
+                {
+                    best = Some((s, slot, info));
+                }
+            }
+        }
+        Ok(best.map(|(s, _, info)| (s, info.tag, info.len as usize)))
+    }
+
+    /// Blocking receive from [`ANY_SOURCE`]: probes every channel until one
+    /// is ready, then completes the receive. Returns `(source, len)`.
+    pub fn recv_any(
+        &mut self,
+        at: RankId,
+        tag: u32,
+        buf_addr: VirtAddr,
+        buf_len: usize,
+    ) -> ViaResult<(RankId, usize)> {
+        for _ in 0..SPIN_LIMIT {
+            if let Some((src, _, _)) = self.iprobe(at, ANY_SOURCE, tag)? {
+                let (slot, info) = self
+                    .match_message(src, at, tag)?
+                    .expect("probe just matched");
+                let n = self.complete_recv(src, at, slot, info, buf_addr, buf_len)?;
+                return Ok((src, n));
+            }
+            self.progress()?;
+        }
+        Err(ViaError::BadState("recv_any timed out"))
+    }
+
+    /// Find the lowest-msg_id posted message matching `tag`.
+    fn match_message(
+        &mut self,
+        from: RankId,
+        at: RankId,
+        tag: u32,
+    ) -> ViaResult<Option<(usize, MsgInfo)>> {
+        let slots = self.cfg.info_slots;
+        let mut best: Option<(usize, MsgInfo)> = None;
+        for slot in 0..slots {
+            let info = self.read_info(from, at, slot)?;
+            if info.active != ACTIVE_POSTED {
+                continue;
+            }
+            if tag != ANY_TAG && info.tag != tag {
+                continue;
+            }
+            if best.as_ref().is_none_or(|(_, b)| info.msg_id < b.msg_id) {
+                best = Some((slot, info));
+            }
+        }
+        Ok(best)
+    }
+
+    fn complete_recv(
+        &mut self,
+        from: RankId,
+        at: RankId,
+        slot: usize,
+        info: MsgInfo,
+        buf_addr: VirtAddr,
+        buf_len: usize,
+    ) -> ViaResult<usize> {
+        let len = info.len as usize;
+        if len > buf_len {
+            return Err(ViaError::RecvTooSmall { need: len, have: buf_len });
+        }
+        let (r_node, r_pid, r_tag) = {
+            let i = &self.ranks[at];
+            (i.node, i.pid, i.tag)
+        };
+        match info.proto {
+            // -------------------------- shared memory -------------------
+            0 => {
+                // Copy out of the segment's data slot into the user buffer.
+                let (seg_addr, data_off) = {
+                    let pair = &self.pairs[&(from, at)];
+                    (pair.r_seg_addr, pair.layout.data_off(slot))
+                };
+                let mut tmp = vec![0u8; len];
+                self.sys.read_user(r_node, r_pid, seg_addr + data_off as u64, &mut tmp)?;
+                self.sys.write_user(r_node, r_pid, buf_addr, &tmp)?;
+                self.stats.copy_bytes += len as u64;
+                self.clear_info(from, at, slot)?;
+                self.write_response(from, at, slot, &Response {
+                    state: RESP_DONE,
+                    mem: 0,
+                    addr: 0,
+                })?;
+                Ok(len)
+            }
+            // ----------------------------- one-copy ---------------------
+            1 => {
+                let n_chunks = len.div_ceil(self.cfg.chunk_bytes);
+                self.sys.pump()?;
+                let vi_r = self.pairs[&(from, at)].vi_r;
+                let mut off = 0usize;
+                for _ in 0..n_chunks {
+                    let c = self
+                        .sys
+                        .poll_cq(r_node, vi_r)?
+                        .ok_or(ViaError::BadState("missing one-copy completion"))?;
+                    let ring_addr = {
+                        let pair = self.pairs.get_mut(&(from, at)).expect("pair exists");
+                        pair.oc_ring.pop_front().expect("posted ring non-empty")
+                    };
+                    // Copy chunk from the pre-registered ring buffer into
+                    // the user buffer.
+                    let mut tmp = vec![0u8; c.len];
+                    self.sys.read_user(r_node, r_pid, ring_addr, &mut tmp)?;
+                    self.sys.write_user(r_node, r_pid, buf_addr + off as u64, &tmp)?;
+                    self.stats.copy_bytes += c.len as u64;
+                    off += c.len;
+                    // Repost the buffer.
+                    let (oc_mem, chunk_bytes) = {
+                        let pair = self.pairs.get_mut(&(from, at)).expect("pair exists");
+                        pair.oc_ring.push_back(ring_addr);
+                        (pair.oc_mem, self.cfg.chunk_bytes)
+                    };
+                    self.sys.post_recv(r_node, vi_r, oc_mem, ring_addr, chunk_bytes)?;
+                }
+                if off != len {
+                    return Err(ViaError::BadState("one-copy reassembly length mismatch"));
+                }
+                self.clear_info(from, at, slot)?;
+                self.write_response(from, at, slot, &Response {
+                    state: RESP_DONE,
+                    mem: 0,
+                    addr: 0,
+                })?;
+                Ok(len)
+            }
+            // ---------------------------- zero-copy ---------------------
+            2 => {
+                // Rendezvous: register the user buffer, answer, and wait
+                // for the sender's RDMA to land.
+                let mem = self.cached_acquire(r_node, r_pid, buf_addr, len, r_tag)?;
+                self.write_response(from, at, slot, &Response {
+                    state: RESP_BUF_READY,
+                    mem: mem.0,
+                    addr: buf_addr,
+                })?;
+                let mut done = false;
+                for _ in 0..SPIN_LIMIT {
+                    self.progress()?;
+                    let i = self.read_info(from, at, slot)?;
+                    if i.active == ACTIVE_ZC_DONE {
+                        done = true;
+                        break;
+                    }
+                }
+                if !done {
+                    return Err(ViaError::BadState("zero-copy RDMA never arrived"));
+                }
+                self.cached_release(r_node, mem)?;
+                self.clear_info(from, at, slot)?;
+                self.write_response(from, at, slot, &Response {
+                    state: RESP_DONE,
+                    mem: 0,
+                    addr: 0,
+                })?;
+                Ok(len)
+            }
+            _ => Err(ViaError::BadState("unknown protocol discriminator")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Protocol;
+
+    fn comm() -> Comm {
+        Comm::new(
+            2,
+            2,
+            KernelConfig::medium(),
+            StrategyKind::KiobufReliable,
+            MsgConfig::tiny(),
+        )
+        .unwrap()
+    }
+
+    /// Round-trip one message of `len` bytes and check integrity.
+    fn roundtrip(c: &mut Comm, len: usize) {
+        let data: Vec<u8> = (0..len).map(|i| (i * 7 % 251) as u8).collect();
+        let sbuf = c.alloc_buffer(0, len.max(1)).unwrap();
+        let rbuf = c.alloc_buffer(1, len.max(1)).unwrap();
+        c.fill_buffer(0, sbuf, &data).unwrap();
+        let h = c.send(0, 1, 42, sbuf, len).unwrap();
+        let got = c.recv(1, 0, 42, rbuf, len).unwrap();
+        assert_eq!(got, len);
+        c.wait(h).unwrap();
+        let mut out = vec![0u8; len];
+        c.read_buffer(1, rbuf, &mut out).unwrap();
+        assert_eq!(out, data, "payload corrupted at len {len}");
+    }
+
+    #[test]
+    fn shared_memory_roundtrip() {
+        let mut c = comm();
+        assert_eq!(c.cfg.protocol_for(100), Protocol::SharedMemory);
+        roundtrip(&mut c, 100);
+        assert_eq!(c.stats.sm_msgs, 1);
+        assert_eq!(c.stats.oc_msgs + c.stats.zc_msgs, 0);
+    }
+
+    #[test]
+    fn one_copy_roundtrip() {
+        let mut c = comm();
+        let len = 3000; // > sm_max (512), <= one_copy_max (4096)
+        assert_eq!(c.cfg.protocol_for(len), Protocol::OneCopy);
+        roundtrip(&mut c, len);
+        assert_eq!(c.stats.oc_msgs, 1);
+        assert_eq!(c.stats.oc_chunks, 3, "3000 B in 1024-B chunks");
+        assert!(c.stats.registrations >= 1, "sender buffer registered");
+    }
+
+    #[test]
+    fn zero_copy_roundtrip() {
+        let mut c = comm();
+        let len = 20_000; // > one_copy_max
+        assert_eq!(c.cfg.protocol_for(len), Protocol::ZeroCopy);
+        roundtrip(&mut c, len);
+        assert_eq!(c.stats.zc_msgs, 1);
+        assert_eq!(c.stats.dma_bytes, 20_000);
+        assert_eq!(c.stats.copy_bytes, 0, "zero copies on the payload path");
+        assert!(c.stats.registrations >= 2, "both sides registered");
+    }
+
+    #[test]
+    fn all_sizes_integrity_sweep() {
+        let mut c = comm();
+        for len in [1usize, 17, 512, 513, 1024, 2048, 4096, 4097, 9000, 40_000] {
+            roundtrip(&mut c, len);
+        }
+    }
+
+    #[test]
+    fn cache_hits_on_buffer_reuse() {
+        let mut c = comm();
+        let len = 20_000;
+        let sbuf = c.alloc_buffer(0, len).unwrap();
+        let rbuf = c.alloc_buffer(1, len).unwrap();
+        let data = vec![5u8; len];
+        c.fill_buffer(0, sbuf, &data).unwrap();
+        for _ in 0..4 {
+            let h = c.send(0, 1, 7, sbuf, len).unwrap();
+            c.recv(1, 0, 7, rbuf, len).unwrap();
+            c.wait(h).unwrap();
+        }
+        // First message registers both buffers; the other three hit.
+        assert_eq!(c.stats.registrations, 2);
+        assert_eq!(c.stats.cache_hits, 6);
+    }
+
+    #[test]
+    fn tag_matching_and_ordering() {
+        let mut c = comm();
+        let s1 = c.alloc_buffer(0, 64).unwrap();
+        let s2 = c.alloc_buffer(0, 64).unwrap();
+        c.fill_buffer(0, s1, b"first-tag-9").unwrap();
+        c.fill_buffer(0, s2, b"second-tag-5").unwrap();
+        let h1 = c.send(0, 1, 9, s1, 11).unwrap();
+        let h2 = c.send(0, 1, 5, s2, 12).unwrap();
+        // Receive tag 5 first even though it was sent second.
+        let r = c.alloc_buffer(1, 64).unwrap();
+        let n = c.recv(1, 0, 5, r, 64).unwrap();
+        assert_eq!(n, 12);
+        let mut out = vec![0u8; 12];
+        c.read_buffer(1, r, &mut out).unwrap();
+        assert_eq!(&out, b"second-tag-5");
+        // ANY_TAG picks up the remaining (lowest msg_id) message.
+        let n = c.recv(1, 0, ANY_TAG, r, 64).unwrap();
+        assert_eq!(n, 11);
+        c.wait(h1).unwrap();
+        c.wait(h2).unwrap();
+    }
+
+    #[test]
+    fn bidirectional_traffic() {
+        let mut c = comm();
+        let a = c.alloc_buffer(0, 256).unwrap();
+        let b = c.alloc_buffer(1, 256).unwrap();
+        c.fill_buffer(0, a, b"ping").unwrap();
+        let h = c.send(0, 1, 1, a, 4).unwrap();
+        c.recv(1, 0, 1, b, 256).unwrap();
+        c.wait(h).unwrap();
+        // Pong back.
+        c.fill_buffer(1, b, b"pong").unwrap();
+        let h = c.send(1, 0, 2, b, 4).unwrap();
+        c.recv(0, 1, 2, a, 256).unwrap();
+        c.wait(h).unwrap();
+        let mut out = [0u8; 4];
+        c.read_buffer(0, a, &mut out).unwrap();
+        assert_eq!(&out, b"pong");
+    }
+
+    #[test]
+    fn iprobe_and_any_source() {
+        let mut c = comm();
+        // Nothing to probe yet.
+        assert!(c.iprobe(1, ANY_SOURCE, ANY_TAG).unwrap().is_none());
+        let s = c.alloc_buffer(0, 64).unwrap();
+        c.fill_buffer(0, s, b"from-zero").unwrap();
+        let h = c.send(0, 1, 77, s, 9).unwrap();
+        // Probe sees it without consuming.
+        let (src, tag, len) = c.iprobe(1, ANY_SOURCE, ANY_TAG).unwrap().unwrap();
+        assert_eq!((src, tag, len), (0, 77, 9));
+        assert!(c.iprobe(1, ANY_SOURCE, ANY_TAG).unwrap().is_some(), "probe is non-destructive");
+        // Tag filter.
+        assert!(c.iprobe(1, ANY_SOURCE, 99).unwrap().is_none());
+        // recv_any consumes it and reports the source.
+        let r = c.alloc_buffer(1, 64).unwrap();
+        let (src, n) = c.recv_any(1, ANY_TAG, r, 64).unwrap();
+        assert_eq!((src, n), (0, 9));
+        c.wait(h).unwrap();
+        let mut out = vec![0u8; 9];
+        c.read_buffer(1, r, &mut out).unwrap();
+        assert_eq!(&out, b"from-zero");
+        assert!(c.iprobe(1, ANY_SOURCE, ANY_TAG).unwrap().is_none());
+    }
+
+    #[test]
+    fn any_source_picks_either_sender() {
+        // Three ranks: 0 and 2 both send to 1; ANY_SOURCE must drain both.
+        let mut c = Comm::new(
+            3,
+            2,
+            KernelConfig::medium(),
+            StrategyKind::KiobufReliable,
+            MsgConfig::tiny(),
+        )
+        .unwrap();
+        let b0 = c.alloc_buffer(0, 16).unwrap();
+        let b2 = c.alloc_buffer(2, 16).unwrap();
+        c.fill_buffer(0, b0, b"zero").unwrap();
+        c.fill_buffer(2, b2, b"twos").unwrap();
+        let h0 = c.send(0, 1, 5, b0, 4).unwrap();
+        let h2 = c.send(2, 1, 5, b2, 4).unwrap();
+        let r = c.alloc_buffer(1, 16).unwrap();
+        let mut sources = Vec::new();
+        for _ in 0..2 {
+            let (src, n) = c.recv_any(1, 5, r, 16).unwrap();
+            assert_eq!(n, 4);
+            sources.push(src);
+        }
+        sources.sort();
+        assert_eq!(sources, vec![0, 2]);
+        c.wait(h0).unwrap();
+        c.wait(h2).unwrap();
+    }
+
+    #[test]
+    fn persistent_requests_pin_the_cache_entry() {
+        // A cache too small for two buffers would normally thrash; the
+        // persistent request holds its entry so every start() hits.
+        let mut cfg = MsgConfig::tiny();
+        cfg.cache_pages = 13; // exactly one 50 000-B buffer's pages
+        let mut c = Comm::new(2, 2, KernelConfig::large(), StrategyKind::KiobufReliable, cfg)
+            .unwrap();
+        let len = 50_000;
+        let sbuf = c.alloc_buffer(0, len).unwrap();
+        let rbuf = c.alloc_buffer(1, len).unwrap();
+        c.fill_buffer(0, sbuf, &vec![9u8; len]).unwrap();
+        let req = c.send_init(0, 1, 4, sbuf, len).unwrap();
+        let regs_after_init = c.stats.registrations;
+        for _ in 0..3 {
+            let h = c.start(&req).unwrap();
+            c.recv(1, 0, 4, rbuf, len).unwrap();
+            c.wait(h).unwrap();
+        }
+        // Sender side never re-registered: only receiver-side traffic adds
+        // registrations (its cache thrashes, the sender's held entry not).
+        let sender_hits = c.stats.cache_hits;
+        assert!(sender_hits >= 3, "every start hit the held entry");
+        assert!(
+            c.stats.registrations - regs_after_init <= 3,
+            "only the receiver side re-registers"
+        );
+        c.request_free(req).unwrap();
+    }
+
+    #[test]
+    fn recv_buffer_too_small() {
+        let mut c = comm();
+        let s = c.alloc_buffer(0, 128).unwrap();
+        c.fill_buffer(0, s, &[1u8; 128]).unwrap();
+        let _h = c.send(0, 1, 3, s, 128).unwrap();
+        let r = c.alloc_buffer(1, 16).unwrap();
+        assert!(matches!(
+            c.recv(1, 0, 3, r, 16),
+            Err(ViaError::RecvTooSmall { need: 128, have: 16 })
+        ));
+    }
+}

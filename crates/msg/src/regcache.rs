@@ -1,0 +1,207 @@
+//! TPT-level registration cache: the `vialock` cache idea applied at the
+//! NIC-handle level, which is where a zero-copy MPI needs it — a cache hit
+//! avoids both the kernel-agent trap *and* the TPT refill.
+
+use std::collections::HashMap;
+
+use simmem::{Pid, VirtAddr, PAGE_SIZE};
+use via::nic::Node;
+use via::tpt::{MemId, ProtectionTag};
+use via::ViaResult;
+use vialock::CacheStats;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    pid: Pid,
+    page_base: VirtAddr,
+    npages: usize,
+}
+
+struct Entry {
+    mem: MemId,
+    users: u32,
+    stamp: u64,
+    npages: usize,
+}
+
+/// LRU cache of live NIC registrations for one node.
+pub struct NodeRegCache {
+    entries: HashMap<Key, Entry>,
+    capacity_pages: usize,
+    clock: u64,
+    pub stats: CacheStats,
+}
+
+impl NodeRegCache {
+    pub fn new(capacity_pages: usize) -> Self {
+        NodeRegCache {
+            entries: HashMap::new(),
+            capacity_pages,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Acquire a registration covering `[addr, addr+len)` under `tag`.
+    pub fn acquire(
+        &mut self,
+        node: &mut Node,
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+        tag: ProtectionTag,
+    ) -> ViaResult<MemId> {
+        let page_base = simmem::page_base(addr);
+        let npages = ((simmem::page_align_up(addr + len as u64) - page_base) as usize) / PAGE_SIZE;
+        let key = Key { pid, page_base, npages };
+        self.clock += 1;
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.users += 1;
+            e.stamp = self.clock;
+            self.stats.hits += 1;
+            return Ok(e.mem);
+        }
+        self.stats.misses += 1;
+        let mem = node.register_mem(pid, page_base, npages * PAGE_SIZE, tag)?;
+        self.entries.insert(
+            key,
+            Entry { mem, users: 1, stamp: self.clock, npages },
+        );
+        Ok(mem)
+    }
+
+    /// Release a prior acquisition; evict idle LRU entries beyond budget.
+    pub fn release(&mut self, node: &mut Node, mem: MemId) -> ViaResult<()> {
+        let key = self
+            .entries
+            .iter()
+            .find(|(_, e)| e.mem == mem)
+            .map(|(k, _)| *k)
+            .ok_or(via::ViaError::BadId("cached memory"))?;
+        let e = self.entries.get_mut(&key).expect("found above");
+        debug_assert!(e.users > 0, "release without acquire");
+        e.users = e.users.saturating_sub(1);
+        self.shrink(node)
+    }
+
+    fn shrink(&mut self, node: &mut Node) -> ViaResult<()> {
+        while self.cached_pages() > self.capacity_pages {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(_, e)| e.users == 0)
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k);
+            let Some(k) = victim else { break };
+            let e = self.entries.remove(&k).expect("victim present");
+            node.deregister_mem(e.mem)?;
+            self.stats.evictions += 1;
+        }
+        Ok(())
+    }
+
+    /// Deregister every idle cached region.
+    pub fn flush(&mut self, node: &mut Node) -> ViaResult<()> {
+        let victims: Vec<Key> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.users == 0)
+            .map(|(k, _)| *k)
+            .collect();
+        for k in victims {
+            let e = self.entries.remove(&k).expect("victim present");
+            node.deregister_mem(e.mem)?;
+            self.stats.evictions += 1;
+        }
+        Ok(())
+    }
+
+    pub fn cached_pages(&self) -> usize {
+        self.entries.values().map(|e| e.npages).sum()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmem::{prot, KernelConfig};
+    use vialock::StrategyKind;
+
+    fn node() -> (Node, Pid, VirtAddr) {
+        let mut n = Node::new(
+            KernelConfig::small(),
+            StrategyKind::KiobufReliable,
+            1024,
+        );
+        let pid = n.kernel.spawn_process(simmem::Capabilities::default());
+        let a = n
+            .kernel
+            .mmap_anon(pid, 32 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        (n, pid, a)
+    }
+
+    #[test]
+    fn hit_on_reuse() {
+        let (mut n, pid, a) = node();
+        let mut c = NodeRegCache::new(128);
+        let tag = ProtectionTag(1);
+        let m1 = c.acquire(&mut n, pid, a, PAGE_SIZE, tag).unwrap();
+        c.release(&mut n, m1).unwrap();
+        let m2 = c.acquire(&mut n, pid, a, PAGE_SIZE, tag).unwrap();
+        assert_eq!(m1, m2);
+        assert_eq!(c.stats.hits, 1);
+        assert_eq!(n.registry.stats.registrations, 1);
+        c.release(&mut n, m2).unwrap();
+    }
+
+    #[test]
+    fn budget_evicts_idle_lru() {
+        let (mut n, pid, a) = node();
+        let mut c = NodeRegCache::new(4);
+        let tag = ProtectionTag(1);
+        for i in 0..3 {
+            let addr = a + (i * 2 * PAGE_SIZE) as u64;
+            let m = c.acquire(&mut n, pid, addr, 2 * PAGE_SIZE, tag).unwrap();
+            c.release(&mut n, m).unwrap();
+        }
+        assert!(c.cached_pages() <= 4);
+        assert!(c.stats.evictions >= 1);
+    }
+
+    #[test]
+    fn flush_deregisters() {
+        let (mut n, pid, a) = node();
+        let mut c = NodeRegCache::new(128);
+        let tag = ProtectionTag(1);
+        let m = c.acquire(&mut n, pid, a, 4 * PAGE_SIZE, tag).unwrap();
+        c.release(&mut n, m).unwrap();
+        assert_eq!(n.nic.tpt.region_count(), 1);
+        c.flush(&mut n).unwrap();
+        assert_eq!(n.nic.tpt.region_count(), 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn unaligned_requests_share_the_page_span() {
+        let (mut n, pid, a) = node();
+        let mut c = NodeRegCache::new(128);
+        let tag = ProtectionTag(1);
+        // Two different byte ranges with the same page span hit the same
+        // entry.
+        let m1 = c.acquire(&mut n, pid, a + 10, 100, tag).unwrap();
+        let m2 = c.acquire(&mut n, pid, a + 500, 200, tag).unwrap();
+        assert_eq!(m1, m2);
+        assert_eq!(c.stats.hits, 1);
+        c.release(&mut n, m1).unwrap();
+        c.release(&mut n, m2).unwrap();
+    }
+}

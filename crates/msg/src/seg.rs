@@ -1,0 +1,171 @@
+//! Shared-memory segment layout for one directed sender→receiver pair.
+//!
+//! The **receiver** exports a segment holding the message-info slot array
+//! and the SM data slots; the **sender** exports a small control segment
+//! holding per-slot response records (ready flags and the zero-copy
+//! rendezvous answer). Both sides only ever *read their own memory* and
+//! *PIO-write the peer's* — remote reads are expensive on SCI and the
+//! CHEMPI design avoids them.
+
+/// Byte size of one encoded message-info struct.
+pub const INFO_SIZE: usize = 32;
+
+/// Byte size of one encoded response record in the sender's segment.
+pub const RESP_SIZE: usize = 24;
+
+/// Info-slot state: free.
+pub const ACTIVE_FREE: u8 = 0;
+/// Info-slot state: message posted (payload present for SM, announced for
+/// one-copy/zero-copy).
+pub const ACTIVE_POSTED: u8 = 1;
+/// Info-slot state: zero-copy RDMA finished (set by the sender).
+pub const ACTIVE_ZC_DONE: u8 = 2;
+
+/// Response state: nothing.
+pub const RESP_NONE: u8 = 0;
+/// Response state: receiver's buffer registered, rendezvous answer valid.
+pub const RESP_BUF_READY: u8 = 1;
+/// Response state: message fully consumed; sender may reuse the slot.
+pub const RESP_DONE: u8 = 2;
+
+/// A decoded message-info struct (what the sender PIO-writes into the
+/// receiver's segment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgInfo {
+    pub active: u8,
+    /// Protocol discriminator (`Protocol as u8`).
+    pub proto: u8,
+    pub tag: u32,
+    pub len: u32,
+    /// Monotonic per-pair id — preserves MPI message ordering.
+    pub msg_id: u64,
+}
+
+impl MsgInfo {
+    pub fn encode(&self) -> [u8; INFO_SIZE] {
+        let mut b = [0u8; INFO_SIZE];
+        b[0] = self.active;
+        b[1] = self.proto;
+        b[4..8].copy_from_slice(&self.tag.to_le_bytes());
+        b[8..12].copy_from_slice(&self.len.to_le_bytes());
+        b[16..24].copy_from_slice(&self.msg_id.to_le_bytes());
+        b
+    }
+
+    pub fn decode(b: &[u8]) -> MsgInfo {
+        MsgInfo {
+            active: b[0],
+            proto: b[1],
+            tag: u32::from_le_bytes(b[4..8].try_into().expect("4 bytes")),
+            len: u32::from_le_bytes(b[8..12].try_into().expect("4 bytes")),
+            msg_id: u64::from_le_bytes(b[16..24].try_into().expect("8 bytes")),
+        }
+    }
+}
+
+/// A decoded response record (what the receiver PIO-writes into the
+/// sender's control segment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Response {
+    pub state: u8,
+    /// Rendezvous answer: the receiver's registered memory handle…
+    pub mem: u32,
+    /// …and the user-buffer address within it.
+    pub addr: u64,
+}
+
+impl Response {
+    pub fn encode(&self) -> [u8; RESP_SIZE] {
+        let mut b = [0u8; RESP_SIZE];
+        b[0] = self.state;
+        b[4..8].copy_from_slice(&self.mem.to_le_bytes());
+        b[8..16].copy_from_slice(&self.addr.to_le_bytes());
+        b
+    }
+
+    pub fn decode(b: &[u8]) -> Response {
+        Response {
+            state: b[0],
+            mem: u32::from_le_bytes(b[4..8].try_into().expect("4 bytes")),
+            addr: u64::from_le_bytes(b[8..16].try_into().expect("8 bytes")),
+        }
+    }
+}
+
+/// Geometry of the receiver-exported segment.
+#[derive(Debug, Clone, Copy)]
+pub struct SegLayout {
+    pub info_slots: usize,
+    pub slot_data_bytes: usize,
+}
+
+impl SegLayout {
+    /// Offset of info slot `i`.
+    pub fn info_off(&self, i: usize) -> usize {
+        debug_assert!(i < self.info_slots);
+        i * INFO_SIZE
+    }
+
+    /// Offset of the data area of slot `i`.
+    pub fn data_off(&self, i: usize) -> usize {
+        self.info_slots * INFO_SIZE + i * self.slot_data_bytes
+    }
+
+    /// Total bytes of the receiver-exported segment.
+    pub fn r_seg_bytes(&self) -> usize {
+        self.info_slots * (INFO_SIZE + self.slot_data_bytes)
+    }
+
+    /// Offset of response record `i` in the sender-exported segment.
+    pub fn resp_off(&self, i: usize) -> usize {
+        debug_assert!(i < self.info_slots);
+        i * RESP_SIZE
+    }
+
+    /// Total bytes of the sender-exported control segment.
+    pub fn s_seg_bytes(&self) -> usize {
+        self.info_slots * RESP_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn info_roundtrip() {
+        let m = MsgInfo {
+            active: ACTIVE_POSTED,
+            proto: 2,
+            tag: 0xDEAD_BEEF,
+            len: 123_456,
+            msg_id: 0x0123_4567_89AB_CDEF,
+        };
+        assert_eq!(MsgInfo::decode(&m.encode()), m);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let r = Response {
+            state: RESP_BUF_READY,
+            mem: 42,
+            addr: 0x4000_1234,
+        };
+        assert_eq!(Response::decode(&r.encode()), r);
+    }
+
+    #[test]
+    fn layout_is_disjoint() {
+        let l = SegLayout {
+            info_slots: 4,
+            slot_data_bytes: 512,
+        };
+        // Info slots first, then data slots, no overlap.
+        assert_eq!(l.info_off(0), 0);
+        assert_eq!(l.info_off(3), 3 * INFO_SIZE);
+        assert_eq!(l.data_off(0), 4 * INFO_SIZE);
+        assert_eq!(l.data_off(1) - l.data_off(0), 512);
+        assert_eq!(l.r_seg_bytes(), 4 * INFO_SIZE + 4 * 512);
+        assert_eq!(l.s_seg_bytes(), 4 * RESP_SIZE);
+    }
+}

@@ -1,0 +1,77 @@
+//! Event counters: what the message layer actually did, per protocol.
+//! The workload harness combines deltas of these with the `netsim` cost
+//! models to produce simulated transfer times.
+
+use serde::Serialize;
+
+/// Cumulative message-layer statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct MsgStats {
+    /// Messages sent via the shared-memory protocol.
+    pub sm_msgs: u64,
+    /// Payload bytes moved by PIO (SM protocol payload + all control
+    /// writes).
+    pub pio_bytes: u64,
+    /// Control-structure PIO writes (info structs, responses, ready flags).
+    pub control_writes: u64,
+
+    /// Messages sent via the one-copy protocol.
+    pub oc_msgs: u64,
+    /// One-copy chunks (descriptors) posted.
+    pub oc_chunks: u64,
+
+    /// Messages sent via the zero-copy protocol.
+    pub zc_msgs: u64,
+
+    /// Payload bytes moved by the DMA engine (one-copy sends + RDMA).
+    pub dma_bytes: u64,
+    /// Bytes memcpy'd by a CPU (receiver copy-out in SM and one-copy).
+    pub copy_bytes: u64,
+
+    /// Dynamic registrations performed (cache misses, both sides).
+    pub registrations: u64,
+    /// Pages pinned by those registrations.
+    pub pages_registered: u64,
+    /// Registration-cache hits.
+    pub cache_hits: u64,
+}
+
+impl MsgStats {
+    /// Windowed difference.
+    pub fn since(&self, earlier: &MsgStats) -> MsgStats {
+        MsgStats {
+            sm_msgs: self.sm_msgs - earlier.sm_msgs,
+            pio_bytes: self.pio_bytes - earlier.pio_bytes,
+            control_writes: self.control_writes - earlier.control_writes,
+            oc_msgs: self.oc_msgs - earlier.oc_msgs,
+            oc_chunks: self.oc_chunks - earlier.oc_chunks,
+            zc_msgs: self.zc_msgs - earlier.zc_msgs,
+            dma_bytes: self.dma_bytes - earlier.dma_bytes,
+            copy_bytes: self.copy_bytes - earlier.copy_bytes,
+            registrations: self.registrations - earlier.registrations,
+            pages_registered: self.pages_registered - earlier.pages_registered,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+        }
+    }
+
+    /// Total messages.
+    pub fn msgs(&self) -> u64 {
+        self.sm_msgs + self.oc_msgs + self.zc_msgs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windowed_difference() {
+        let a = MsgStats { sm_msgs: 2, dma_bytes: 100, ..Default::default() };
+        let b = MsgStats { sm_msgs: 5, dma_bytes: 400, zc_msgs: 1, ..Default::default() };
+        let d = b.since(&a);
+        assert_eq!(d.sm_msgs, 3);
+        assert_eq!(d.dma_bytes, 300);
+        assert_eq!(d.zc_msgs, 1);
+        assert_eq!(d.msgs(), 4);
+    }
+}

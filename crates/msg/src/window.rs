@@ -1,0 +1,251 @@
+//! MPI-2-style one-sided communication: windows, put and get.
+//!
+//! The CHEMPI companion paper plans exactly this ("the one-sided
+//! communication contained in MPI-2 can also be realized through this
+//! concept"): a rank *exposes* a window of its memory — which registers it
+//! once and publishes the `(MemId, addr)` pair — and peers then `put`/`get`
+//! against it with RDMA writes and reads, no receiver involvement, no
+//! copies.
+
+use simmem::VirtAddr;
+use via::tpt::MemId;
+use via::{ViaError, ViaResult};
+
+use crate::comm::{Comm, RankId};
+
+/// A window exposed by one rank: the published RDMA coordinates.
+#[derive(Debug, Clone, Copy)]
+pub struct Window {
+    pub owner: RankId,
+    pub base: VirtAddr,
+    pub len: usize,
+    /// The owner-side registration peers target.
+    pub mem: MemId,
+}
+
+impl Comm {
+    /// Expose `[base, base+len)` of `owner`'s memory as a one-sided window.
+    /// Registers with both RDMA-write and RDMA-read enabled and returns the
+    /// published coordinates (the out-of-band exchange MPI_Win_create's
+    /// collective performs).
+    pub fn expose_window(
+        &mut self,
+        owner: RankId,
+        base: VirtAddr,
+        len: usize,
+    ) -> ViaResult<Window> {
+        let node = self.rank_node(owner);
+        let pid = self.rank_pid(owner);
+        let tag = self.rank_tag(owner);
+        let mem = self
+            .system_mut()
+            .node_mut(node)
+            .register_mem_attrs(pid, base, len, tag, true, true)?;
+        Ok(Window { owner, base, len, mem })
+    }
+
+    /// Close a window: deregister the owner-side registration.
+    pub fn close_window(&mut self, w: Window) -> ViaResult<()> {
+        let node = self.rank_node(w.owner);
+        self.system_mut().node_mut(node).deregister_mem(w.mem)
+    }
+
+    /// One-sided put: move `len` bytes from `origin`'s `[src, src+len)`
+    /// into the window at `offset`. The origin's buffer is registered
+    /// through the cache; the transfer is a single RDMA write.
+    pub fn put(
+        &mut self,
+        origin: RankId,
+        src: VirtAddr,
+        len: usize,
+        w: &Window,
+        offset: usize,
+    ) -> ViaResult<()> {
+        if offset + len > w.len {
+            return Err(ViaError::OutOfBounds);
+        }
+        if origin == w.owner {
+            // Local put: plain memory copy.
+            let mut tmp = vec![0u8; len];
+            self.read_buffer(origin, src, &mut tmp)?;
+            self.fill_buffer(origin, w.base + offset as u64, &tmp)?;
+            return Ok(());
+        }
+        let (node, pid, tag) = (
+            self.rank_node(origin),
+            self.rank_pid(origin),
+            self.rank_tag(origin),
+        );
+        let mem = self.cache_acquire_for(node, pid, src, len, tag)?;
+        let vi = self.pair_send_vi(origin, w.owner)?;
+        self.system_mut()
+            .post_rdma_write(node, vi, mem, src, len, w.mem, w.base + offset as u64)?;
+        self.system_mut().pump()?;
+        self.stats.dma_bytes += len as u64;
+        // Drain the send completion so the CQ does not grow unbounded.
+        let _ = self.system_mut().poll_cq(node, vi)?;
+        self.cache_release_for(node, mem)?;
+        Ok(())
+    }
+
+    /// One-sided get: fetch `len` bytes from the window at `offset` into
+    /// `origin`'s `[dst, dst+len)` — a single RDMA read.
+    pub fn get(
+        &mut self,
+        origin: RankId,
+        dst: VirtAddr,
+        len: usize,
+        w: &Window,
+        offset: usize,
+    ) -> ViaResult<()> {
+        if offset + len > w.len {
+            return Err(ViaError::OutOfBounds);
+        }
+        if origin == w.owner {
+            let mut tmp = vec![0u8; len];
+            self.read_buffer(origin, w.base + offset as u64, &mut tmp)?;
+            self.fill_buffer(origin, dst, &tmp)?;
+            return Ok(());
+        }
+        let (node, pid, tag) = (
+            self.rank_node(origin),
+            self.rank_pid(origin),
+            self.rank_tag(origin),
+        );
+        let mem = self.cache_acquire_for(node, pid, dst, len, tag)?;
+        let vi = self.pair_send_vi(origin, w.owner)?;
+        self.system_mut()
+            .post_rdma_read(node, vi, mem, dst, len, w.mem, w.base + offset as u64)?;
+        self.system_mut().pump()?;
+        self.stats.dma_bytes += len as u64;
+        let _ = self.system_mut().poll_cq(node, vi)?;
+        self.cache_release_for(node, mem)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MsgConfig;
+    use simmem::KernelConfig;
+    use vialock::StrategyKind;
+
+    fn comm() -> Comm {
+        Comm::new(
+            3,
+            2,
+            KernelConfig::medium(),
+            StrategyKind::KiobufReliable,
+            MsgConfig::tiny(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn put_and_get_roundtrip() {
+        let mut c = comm();
+        let win_buf = c.alloc_buffer(1, 8192).unwrap();
+        let w = c.expose_window(1, win_buf, 8192).unwrap();
+
+        // Rank 0 puts into rank 1's window.
+        let src = c.alloc_buffer(0, 256).unwrap();
+        c.fill_buffer(0, src, &[0x7Au8; 256]).unwrap();
+        c.put(0, src, 256, &w, 1000).unwrap();
+        // Owner sees it through plain loads.
+        let mut out = vec![0u8; 256];
+        c.read_buffer(1, win_buf + 1000, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0x7A));
+
+        // Rank 2 gets it back out.
+        let dst = c.alloc_buffer(2, 256).unwrap();
+        c.get(2, dst, 256, &w, 1000).unwrap();
+        let mut out = vec![0u8; 256];
+        c.read_buffer(2, dst, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0x7A));
+
+        c.close_window(w).unwrap();
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mut c = comm();
+        let win_buf = c.alloc_buffer(1, 4096).unwrap();
+        let w = c.expose_window(1, win_buf, 4096).unwrap();
+        let src = c.alloc_buffer(0, 512).unwrap();
+        assert_eq!(
+            c.put(0, src, 512, &w, 4000),
+            Err(ViaError::OutOfBounds)
+        );
+        assert_eq!(
+            c.get(0, src, 512, &w, 4000),
+            Err(ViaError::OutOfBounds)
+        );
+        c.close_window(w).unwrap();
+    }
+
+    #[test]
+    fn local_window_ops_copy() {
+        let mut c = comm();
+        let win_buf = c.alloc_buffer(0, 4096).unwrap();
+        let w = c.expose_window(0, win_buf, 4096).unwrap();
+        let src = c.alloc_buffer(0, 64).unwrap();
+        c.fill_buffer(0, src, b"local-put-through-window-path-0000000000000000000000000000000000")
+            .unwrap();
+        c.put(0, src, 64, &w, 0).unwrap();
+        let dst = c.alloc_buffer(0, 64).unwrap();
+        c.get(0, dst, 64, &w, 0).unwrap();
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        c.read_buffer(0, src, &mut a).unwrap();
+        c.read_buffer(0, dst, &mut b).unwrap();
+        assert_eq!(a, b);
+        c.close_window(w).unwrap();
+    }
+
+    #[test]
+    fn window_survives_pressure_with_reliable_pinning() {
+        let mut c = Comm::new(
+            2,
+            2,
+            KernelConfig {
+                nframes: 1024,
+                reserved_frames: 8,
+                swap_slots: 16384,
+                default_rlimit_memlock: None,
+                swap_cache: false,
+            },
+            StrategyKind::KiobufReliable,
+            MsgConfig::tiny(),
+        )
+        .unwrap();
+        let win_buf = c.alloc_buffer(1, 16 * 4096).unwrap();
+        let w = c.expose_window(1, win_buf, 16 * 4096).unwrap();
+        // Pressure the window owner's node.
+        workload_pressure(c.system_mut().kernel_mut(1), 2048);
+        // Put still lands where the owner reads it.
+        let src = c.alloc_buffer(0, 4096).unwrap();
+        c.fill_buffer(0, src, &[0x42u8; 4096]).unwrap();
+        c.put(0, src, 4096, &w, 0).unwrap();
+        let mut out = vec![0u8; 4096];
+        c.read_buffer(1, win_buf, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0x42));
+        c.close_window(w).unwrap();
+    }
+
+    /// Local copy of the antagonist (the workload crate depends on msg, so
+    /// msg's tests cannot use it without a cycle).
+    fn workload_pressure(k: &mut simmem::Kernel, pages: usize) {
+        let pid = k.spawn_process(simmem::Capabilities::default());
+        let len = pages * simmem::PAGE_SIZE;
+        let a = k.mmap_anon(pid, len, simmem::prot::READ | simmem::prot::WRITE).unwrap();
+        for i in 0..pages {
+            if k
+                .write_user(pid, a + (i * simmem::PAGE_SIZE) as u64, &[1u8; 8])
+                .is_err()
+            {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! NetPIPE-style message-size sweeps and bandwidth math.
+
+use crate::cost::Nanos;
+
+/// The classic NetPIPE size ladder: powers of two from `min` to `max`
+/// inclusive, plus the ±(power/4) perturbation points NetPIPE probes around
+/// each power to catch protocol-switch discontinuities.
+pub fn netpipe_sizes(min: usize, max: usize) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut n = min.max(1);
+    while n <= max {
+        let delta = (n / 4).max(1);
+        if n > min {
+            sizes.push(n - delta);
+        }
+        sizes.push(n);
+        if n + delta <= max {
+            sizes.push(n + delta);
+        }
+        n = n.saturating_mul(2);
+    }
+    sizes.sort_unstable();
+    sizes.dedup();
+    sizes
+}
+
+/// Plain powers-of-two ladder (for tables).
+pub fn pow2_sizes(min: usize, max: usize) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut n = min.max(1);
+    while n <= max {
+        sizes.push(n);
+        n = n.saturating_mul(2);
+    }
+    sizes
+}
+
+/// Bandwidth in MB/s for `bytes` moved in `ns` (MB = 10^6 B, as the papers
+/// use).
+pub fn bandwidth_mb_s(bytes: usize, ns: Nanos) -> f64 {
+    if ns == 0 {
+        return f64::INFINITY;
+    }
+    (bytes as f64 / 1e6) / (ns as f64 / 1e9)
+}
+
+/// Bandwidth in Mbit/s (NetPIPE's native unit).
+pub fn bandwidth_mbit_s(bytes: usize, ns: Nanos) -> f64 {
+    bandwidth_mb_s(bytes, ns) * 8.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_sorted_unique() {
+        let s = netpipe_sizes(4, 4096);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!(s.contains(&4));
+        assert!(s.contains(&4096));
+        assert!(s.contains(&3072), "perturbation points present");
+    }
+
+    #[test]
+    fn pow2_ladder() {
+        assert_eq!(pow2_sizes(4, 64), vec![4, 8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn bandwidth_math() {
+        // 1 MB in 1 ms = 1000 MB/s.
+        assert!((bandwidth_mb_s(1_000_000, 1_000_000) - 1000.0).abs() < 1e-9);
+        assert!((bandwidth_mbit_s(1_000_000, 1_000_000) - 8000.0).abs() < 1e-9);
+        assert!(bandwidth_mb_s(1, 0).is_infinite());
+    }
+}

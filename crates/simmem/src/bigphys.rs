@@ -1,0 +1,221 @@
+//! The Bigphysarea patch: a boot-time reservation of **physically
+//! contiguous** memory, handed out by a first-fit contiguous allocator.
+//!
+//! The companion bridge paper explains why 2000-era PCI–SCI needed it:
+//! Dolphin's bridges could only export 512 KiB-aligned, 512 KiB-granular
+//! windows of *contiguous physical* memory, which "is momentarily not
+//! supported by common operating systems such as Linux … we use the
+//! so-called Bigphysarea-Patch", at the price of permanently reserving RAM
+//! and forcing communication buffers into the special region. The
+//! VIA-style per-page translation this repository reproduces exists to
+//! kill exactly this requirement; the E10 experiment quantifies the
+//! difference.
+
+use crate::error::MmResult;
+use crate::page::PageFlags;
+use crate::{FrameId, Kernel, MmError};
+
+/// A contiguous physical allocation from the bigphys area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BigphysBlock {
+    /// First frame of the block.
+    pub base: FrameId,
+    /// Length in frames.
+    pub nframes: u32,
+}
+
+/// First-fit allocator over the reserved contiguous region.
+#[derive(Debug)]
+pub struct BigphysArea {
+    /// First frame of the reservation.
+    base: u32,
+    /// Total frames reserved.
+    size: u32,
+    /// Allocated blocks, sorted by base.
+    blocks: Vec<(u32, u32)>, // (base, nframes)
+}
+
+impl BigphysArea {
+    pub(crate) fn new(base: u32, size: u32) -> Self {
+        BigphysArea { base, size, blocks: Vec::new() }
+    }
+
+    /// Total reserved frames (whether or not currently allocated).
+    pub fn reserved_frames(&self) -> u32 {
+        self.size
+    }
+
+    /// Frames currently handed out.
+    pub fn allocated_frames(&self) -> u32 {
+        self.blocks.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// First-fit allocation of `nframes` contiguous frames whose base is
+    /// aligned to `align` frames (the 512 KiB window alignment = 128
+    /// frames).
+    pub fn alloc(&mut self, nframes: u32, align: u32) -> Option<BigphysBlock> {
+        if nframes == 0 {
+            return None;
+        }
+        let align = align.max(1);
+        let mut candidate = self.base.next_multiple_of(align);
+        let mut i = 0usize;
+        loop {
+            // Does [candidate, candidate+nframes) collide with block i?
+            match self.blocks.get(i) {
+                Some(&(b, n)) if candidate + nframes > b && candidate < b + n => {
+                    // Skip past this block and realign.
+                    candidate = (b + n).next_multiple_of(align);
+                    i += 1;
+                }
+                Some(&(b, _)) if b < candidate => {
+                    // Block entirely before the candidate: move on.
+                    i += 1;
+                }
+                _ => {
+                    if candidate + nframes <= self.base + self.size {
+                        let pos = self
+                            .blocks
+                            .binary_search_by_key(&candidate, |&(b, _)| b)
+                            .unwrap_err();
+                        self.blocks.insert(pos, (candidate, nframes));
+                        return Some(BigphysBlock { base: FrameId(candidate), nframes });
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Free a previously allocated block.
+    pub fn free(&mut self, block: BigphysBlock) -> Result<(), MmError> {
+        match self.blocks.iter().position(|&(b, n)| b == block.base.0 && n == block.nframes) {
+            Some(i) => {
+                self.blocks.remove(i);
+                Ok(())
+            }
+            None => Err(MmError::InvalidArgument("bigphys free of unknown block")),
+        }
+    }
+}
+
+impl Kernel {
+    /// Reserve `nframes` contiguous frames for a bigphys area (callable
+    /// once, "at boot" — before any process allocates). The frames are
+    /// marked reserved and leave the normal allocator forever, exactly the
+    /// patch's cost.
+    pub fn reserve_bigphys(&mut self, nframes: u32) -> MmResult<()> {
+        if self.bigphys.is_some() {
+            return Err(MmError::InvalidArgument("bigphys already reserved"));
+        }
+        // Take the top of physical memory (it is all still free at boot).
+        let total = self.config.nframes;
+        let first = total
+            .checked_sub(nframes)
+            .ok_or(MmError::InvalidArgument("bigphys larger than RAM"))?;
+        for f in first..total {
+            let d = self.pagemap.get_mut(FrameId(f));
+            if !d.is_free() {
+                return Err(MmError::InvalidArgument(
+                    "bigphys reservation after allocations began",
+                ));
+            }
+            d.count = 1;
+            d.flags.set(PageFlags::RESERVED);
+        }
+        self.free_list.retain(|f| f.0 < first);
+        self.bigphys = Some(BigphysArea::new(first, nframes));
+        Ok(())
+    }
+
+    /// The bigphys allocator, if reserved.
+    pub fn bigphys_mut(&mut self) -> Option<&mut BigphysArea> {
+        self.bigphys.as_mut()
+    }
+
+    pub fn bigphys(&self) -> Option<&BigphysArea> {
+        self.bigphys.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{prot, Capabilities, KernelConfig, PAGE_SIZE};
+
+    #[test]
+    fn reservation_shrinks_the_free_list() {
+        let mut k = Kernel::new(KernelConfig::small());
+        let free0 = k.free_frames();
+        k.reserve_bigphys(64).unwrap();
+        assert_eq!(k.free_frames(), free0 - 64);
+        assert_eq!(k.bigphys().unwrap().reserved_frames(), 64);
+        // Double reservation refused.
+        assert!(k.reserve_bigphys(8).is_err());
+    }
+
+    #[test]
+    fn alloc_respects_alignment_and_bounds() {
+        let mut k = Kernel::new(KernelConfig::small());
+        k.reserve_bigphys(100).unwrap();
+        let area = k.bigphys_mut().unwrap();
+        let a = area.alloc(10, 8).unwrap();
+        assert_eq!(a.base.0 % 8, 0);
+        let b = area.alloc(10, 8).unwrap();
+        assert_eq!(b.base.0 % 8, 0);
+        assert!(b.base.0 >= a.base.0 + 10);
+        // Exhaustion.
+        assert!(area.alloc(200, 1).is_none());
+        // Free and reuse.
+        area.free(a).unwrap();
+        let c = area.alloc(10, 8).unwrap();
+        assert_eq!(c.base, a.base, "first fit reuses the hole");
+        assert!(area.free(BigphysBlock { base: FrameId(1), nframes: 3 }).is_err());
+    }
+
+    #[test]
+    fn alignment_wastes_memory() {
+        // The old-style cost: 512 KiB alignment (128 frames) can waste
+        // nearly a full window per allocation.
+        let mut k = Kernel::new(KernelConfig {
+            nframes: 1024,
+            reserved_frames: 8,
+            swap_slots: 16,
+            default_rlimit_memlock: None,
+            swap_cache: false,
+        });
+        k.reserve_bigphys(512).unwrap();
+        let area = k.bigphys_mut().unwrap();
+        let mut got = 0;
+        while area.alloc(130, 128).is_some() {
+            got += 1;
+        }
+        // 512 frames could hold 3 unaligned 130-frame blocks; alignment
+        // allows at most 2.
+        assert!(got <= 2, "alignment halves utilization: got {got}");
+    }
+
+    #[test]
+    fn normal_allocations_never_touch_the_reservation() {
+        let mut k = Kernel::new(KernelConfig::small());
+        k.reserve_bigphys(64).unwrap();
+        let first_reserved = k.config.nframes - 64;
+        let pid = k.spawn_process(Capabilities::default());
+        let a = k.mmap_anon(pid, 32 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        k.touch_pages(pid, a, 32 * PAGE_SIZE, true).unwrap();
+        for f in k.frames_of_range(pid, a, 32 * PAGE_SIZE).unwrap().into_iter().flatten() {
+            assert!(f.0 < first_reserved, "frame {} inside the reservation", f.0);
+        }
+    }
+
+    #[test]
+    fn dma_into_bigphys_block_works() {
+        let mut k = Kernel::new(KernelConfig::small());
+        k.reserve_bigphys(32).unwrap();
+        let blk = k.bigphys_mut().unwrap().alloc(4, 1).unwrap();
+        k.dma_write(blk.base, 0, b"window").unwrap();
+        let mut out = [0u8; 6];
+        k.dma_read(blk.base, 0, &mut out).unwrap();
+        assert_eq!(&out, b"window");
+    }
+}

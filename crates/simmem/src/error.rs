@@ -1,0 +1,70 @@
+//! Error type for the simulated memory-management subsystem.
+
+use std::fmt;
+
+use crate::{FrameId, Pid, VirtAddr};
+
+/// Errors returned by the simulated kernel, modelled on the errno values the
+/// corresponding Linux paths return.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MmError {
+    /// No physical frame could be freed and the swap device is full (`ENOMEM`
+    /// after `try_to_free_pages` failed).
+    OutOfMemory,
+    /// The swap device has no free slots left.
+    SwapFull,
+    /// Access to an address that is not covered by any VMA (`SIGSEGV`).
+    SegFault { pid: Pid, addr: VirtAddr },
+    /// Write access to a read-only mapping (`SIGSEGV`).
+    ProtFault { pid: Pid, addr: VirtAddr },
+    /// Unknown process id.
+    NoSuchProcess(Pid),
+    /// `mlock` without `CAP_IPC_LOCK` (`EPERM`).
+    PermissionDenied,
+    /// `mlock` would exceed `RLIMIT_MEMLOCK` (`ENOMEM` in Linux).
+    MlockLimit,
+    /// Invalid argument (unaligned or empty range, bad prot bits, …).
+    InvalidArgument(&'static str),
+    /// The requested virtual range overlaps an existing mapping.
+    RangeBusy,
+    /// A kiobuf operation referenced an unknown kiobuf id.
+    NoSuchKiobuf,
+    /// `lock_kiobuf` found a page whose `PG_locked` bit is already held (in
+    /// the real kernel the caller would sleep on the page-wait queue; the
+    /// deterministic simulator surfaces it so callers can model the wait).
+    PageBusy(FrameId),
+    /// Attempt to unlock a kiobuf that is not locked, or double-lock.
+    KiobufState(&'static str),
+    /// Reference-count bookkeeping went negative — an invariant violation
+    /// that would be a kernel BUG().
+    RefcountUnderflow(FrameId),
+}
+
+impl fmt::Display for MmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MmError::OutOfMemory => write!(f, "out of memory (no page could be freed)"),
+            MmError::SwapFull => write!(f, "swap device full"),
+            MmError::SegFault { pid, addr } => {
+                write!(f, "segmentation fault: pid {} addr {:#x}", pid.0, addr)
+            }
+            MmError::ProtFault { pid, addr } => {
+                write!(f, "protection fault: pid {} addr {:#x}", pid.0, addr)
+            }
+            MmError::NoSuchProcess(p) => write!(f, "no such process: {}", p.0),
+            MmError::PermissionDenied => write!(f, "permission denied (CAP_IPC_LOCK required)"),
+            MmError::MlockLimit => write!(f, "RLIMIT_MEMLOCK exceeded"),
+            MmError::InvalidArgument(s) => write!(f, "invalid argument: {s}"),
+            MmError::RangeBusy => write!(f, "address range already mapped"),
+            MmError::NoSuchKiobuf => write!(f, "no such kiobuf"),
+            MmError::PageBusy(fr) => write!(f, "page {} is locked for I/O", fr.0),
+            MmError::KiobufState(s) => write!(f, "kiobuf state error: {s}"),
+            MmError::RefcountUnderflow(fr) => write!(f, "page {} refcount underflow", fr.0),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+/// Convenient result alias used throughout the crate.
+pub type MmResult<T> = Result<T, MmError>;

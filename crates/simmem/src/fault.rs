@@ -1,0 +1,212 @@
+//! The page-fault path: demand-zero, zero-page mapping, copy-on-write and
+//! swap-in (`handle_mm_fault` / `do_no_page` / `do_wp_page` / `do_swap_page`).
+
+use crate::mm::AddressSpace;
+use crate::page::RMap;
+use crate::{error::MmResult, Kernel, MmError, Pid, Pte, VirtAddr};
+
+impl Kernel {
+    /// Ensure the page containing `addr` is present with the requested
+    /// access; returns the backing frame. This is the whole CPU fault path:
+    /// VMA lookup, protection check, then demand paging / COW / swap-in.
+    pub(crate) fn fault_in(&mut self, pid: Pid, addr: VirtAddr, write: bool) -> MmResult<crate::FrameId> {
+        let vpn = AddressSpace::vpn(addr);
+
+        // --- find_vma + access check -----------------------------------
+        let vma_flags = {
+            let proc = self.process(pid)?;
+            let vma = proc
+                .mm
+                .vmas
+                .find(addr)
+                .ok_or(MmError::SegFault { pid, addr })?;
+            vma.flags
+        };
+        if write && !vma_flags.write {
+            return Err(MmError::ProtFault { pid, addr });
+        }
+        if !write && !vma_flags.read {
+            return Err(MmError::ProtFault { pid, addr });
+        }
+
+        let pte = self.process(pid)?.mm.pte(vpn).copied();
+        match pte {
+            // ----------------------------------------------------------
+            // Fast path: present and sufficient permissions.
+            // ----------------------------------------------------------
+            Some(Pte::Present {
+                frame,
+                writable,
+                ..
+            }) if !write || writable => {
+                if let Some(Pte::Present {
+                    accessed, dirty, ..
+                }) = self.process_mut(pid)?.mm.pte_mut(vpn)
+                {
+                    *accessed = true;
+                    if write {
+                        *dirty = true;
+                    }
+                }
+                Ok(frame)
+            }
+
+            // ----------------------------------------------------------
+            // do_wp_page: write to a present but read-only PTE in a
+            // writable VMA — copy-on-write.
+            // ----------------------------------------------------------
+            Some(Pte::Present { frame, .. }) => {
+                debug_assert!(write);
+                let shared = self.pagemap.get(frame).count > 1 || frame == self.zero_frame;
+                if shared {
+                    let new = self.get_free_frame()?;
+                    self.phys.copy_frame(frame, new);
+                    self.put_frame(frame);
+                    self.pagemap.get_mut(new).rmap = Some(RMap { pid, vpn });
+                    self.process_mut(pid)?
+                        .mm
+                        .set_pte(vpn, Pte::present(new, true));
+                    self.stats.cow_copies += 1;
+                    self.stats.minor_faults += 1;
+                    Ok(new)
+                } else {
+                    // Sole owner: just make it writable.
+                    self.process_mut(pid)?
+                        .mm
+                        .set_pte(vpn, Pte::present(frame, true));
+                    self.stats.minor_faults += 1;
+                    Ok(frame)
+                }
+            }
+
+            // ----------------------------------------------------------
+            // do_swap_page: major fault. 2.2 semantics — allocate a fresh
+            // frame and read the slot back; the original frame (possibly
+            // still pinned by a buggy driver) is NOT reused.
+            // ----------------------------------------------------------
+            Some(Pte::Swapped { slot }) => {
+                // 2.4 semantics: a referenced page that was written out is
+                // still in the swap cache — re-map the SAME frame (this is
+                // what keeps a refcount-pinned page coherent on 2.4).
+                if self.config.swap_cache {
+                    if let Some(&frame) = self.swap_cache.get(&slot) {
+                        self.swap_cache.remove(&slot);
+                        self.pagemap.get_mut(frame).swap_slot = None;
+                        self.pagemap.get_page(frame);
+                        // The slot's copy is dead; free it.
+                        self.swap.free_slot(slot)?;
+                        self.pagemap.get_mut(frame).rmap = Some(RMap { pid, vpn });
+                        self.process_mut(pid)?
+                            .mm
+                            .set_pte(vpn, Pte::present(frame, vma_flags.write));
+                        self.stats.minor_faults += 1;
+                        self.stats.swap_cache_hits += 1;
+                        return Ok(frame);
+                    }
+                }
+                let new = self.get_free_frame()?;
+                // Borrow dance: read the slot into a stack page, then into
+                // the frame.
+                let mut page = [0u8; crate::PAGE_SIZE];
+                self.swap.swap_in(slot, &mut page)?;
+                self.phys.frame_mut(new).copy_from_slice(&page);
+                self.pagemap.get_mut(new).rmap = Some(RMap { pid, vpn });
+                self.process_mut(pid)?
+                    .mm
+                    .set_pte(vpn, Pte::present(new, vma_flags.write));
+                self.stats.major_faults += 1;
+                self.stats.swap_ins += 1;
+                Ok(new)
+            }
+
+            // ----------------------------------------------------------
+            // do_no_page (anonymous): demand-zero. Reads map the shared
+            // zero page read-only (COW later); writes get a private frame.
+            // ----------------------------------------------------------
+            None => {
+                self.stats.minor_faults += 1;
+                if write {
+                    let new = self.get_free_frame()?;
+                    self.phys.zero_frame(new);
+                    self.pagemap.get_mut(new).rmap = Some(RMap { pid, vpn });
+                    self.process_mut(pid)?
+                        .mm
+                        .set_pte(vpn, Pte::present(new, true));
+                    Ok(new)
+                } else {
+                    let zf = self.zero_frame;
+                    self.pagemap.get_page(zf);
+                    self.process_mut(pid)?
+                        .mm
+                        .set_pte(vpn, Pte::present(zf, false));
+                    Ok(zf)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{prot, Capabilities, Kernel, KernelConfig, PAGE_SIZE};
+
+    #[test]
+    fn cow_from_zero_page() {
+        let mut k = Kernel::new(KernelConfig::small());
+        let pid = k.spawn_process(Capabilities::default());
+        let a = k.mmap_anon(pid, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        // Read first: zero page mapped.
+        let mut b = [0u8; 1];
+        k.read_user(pid, a, &mut b).unwrap();
+        assert_eq!(k.frame_of(pid, a).unwrap(), Some(k.zero_frame()));
+        let zp_count = k.page_descriptor(k.zero_frame()).count;
+        // Now write: COW off the zero page.
+        k.write_user(pid, a, b"Z").unwrap();
+        let f = k.frame_of(pid, a).unwrap().unwrap();
+        assert_ne!(f, k.zero_frame());
+        assert_eq!(
+            k.page_descriptor(k.zero_frame()).count,
+            zp_count - 1,
+            "zero-page ref dropped"
+        );
+        assert_eq!(k.stats.cow_copies, 1);
+        // Data visible, rest of page zero.
+        let mut out = [0u8; 2];
+        k.read_user(pid, a, &mut out).unwrap();
+        assert_eq!(&out, b"Z\0");
+    }
+
+    #[test]
+    fn fault_counters() {
+        let mut k = Kernel::new(KernelConfig::small());
+        let pid = k.spawn_process(Capabilities::default());
+        let a = k.mmap_anon(pid, 2 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        k.touch_pages(pid, a, 2 * PAGE_SIZE, true).unwrap();
+        assert_eq!(k.stats.minor_faults, 2);
+        assert_eq!(k.stats.major_faults, 0);
+        // Touching again is the fast path: no new faults.
+        k.touch_pages(pid, a, 2 * PAGE_SIZE, true).unwrap();
+        assert_eq!(k.stats.minor_faults, 2);
+    }
+
+    #[test]
+    fn private_pages_are_isolated() {
+        let mut k = Kernel::new(KernelConfig::small());
+        let p1 = k.spawn_process(Capabilities::default());
+        let p2 = k.spawn_process(Capabilities::default());
+        let a1 = k.mmap_anon(p1, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let a2 = k.mmap_anon(p2, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        k.write_user(p1, a1, b"one").unwrap();
+        k.write_user(p2, a2, b"two").unwrap();
+        let mut out = [0u8; 3];
+        k.read_user(p1, a1, &mut out).unwrap();
+        assert_eq!(&out, b"one");
+        k.read_user(p2, a2, &mut out).unwrap();
+        assert_eq!(&out, b"two");
+        assert_ne!(
+            k.frame_of(p1, a1).unwrap(),
+            k.frame_of(p2, a2).unwrap(),
+            "distinct physical frames"
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Physical memory: a contiguous arena of page frames.
+//!
+//! Device models (the VIA NIC) address this arena by [`FrameId`] — the
+//! simulated equivalent of a bus-master DMA engine using physical addresses.
+
+use crate::{MmError, PAGE_SIZE};
+
+/// Index of a physical page frame (the simulated physical page number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FrameId(pub u32);
+
+impl FrameId {
+    /// Physical byte address of the start of this frame.
+    #[inline]
+    pub fn phys_addr(self) -> u64 {
+        (self.0 as u64) << crate::PAGE_SHIFT
+    }
+}
+
+/// The physical memory arena: `nframes` page frames of [`PAGE_SIZE`] bytes.
+pub struct PhysMem {
+    bytes: Vec<u8>,
+    nframes: u32,
+}
+
+impl PhysMem {
+    /// Allocate an arena of `nframes` zeroed frames.
+    pub fn new(nframes: u32) -> Self {
+        PhysMem {
+            bytes: vec![0u8; nframes as usize * PAGE_SIZE],
+            nframes,
+        }
+    }
+
+    /// Number of frames in the arena.
+    #[inline]
+    pub fn nframes(&self) -> u32 {
+        self.nframes
+    }
+
+    /// Immutable view of one frame's bytes.
+    #[inline]
+    pub fn frame(&self, id: FrameId) -> &[u8] {
+        let off = id.0 as usize * PAGE_SIZE;
+        &self.bytes[off..off + PAGE_SIZE]
+    }
+
+    /// Mutable view of one frame's bytes.
+    #[inline]
+    pub fn frame_mut(&mut self, id: FrameId) -> &mut [u8] {
+        let off = id.0 as usize * PAGE_SIZE;
+        &mut self.bytes[off..off + PAGE_SIZE]
+    }
+
+    /// Copy one whole frame onto another (used by COW and swap-in).
+    pub fn copy_frame(&mut self, src: FrameId, dst: FrameId) {
+        assert_ne!(src, dst, "copy_frame onto itself");
+        let (s, d) = (src.0 as usize * PAGE_SIZE, dst.0 as usize * PAGE_SIZE);
+        // Split borrows: copy_within handles overlapping ranges, but frames
+        // never overlap, so a plain copy is fine.
+        self.bytes.copy_within(s..s + PAGE_SIZE, d);
+    }
+
+    /// Zero-fill a frame (demand-zero allocation path).
+    pub fn zero_frame(&mut self, id: FrameId) {
+        self.frame_mut(id).fill(0);
+    }
+
+    /// Read `buf.len()` bytes starting at byte `offset` within frame `id`.
+    /// The read must not cross the frame boundary.
+    pub fn read(&self, id: FrameId, offset: usize, buf: &mut [u8]) -> Result<(), MmError> {
+        if offset + buf.len() > PAGE_SIZE {
+            return Err(MmError::InvalidArgument("frame read crosses page boundary"));
+        }
+        let f = self.frame(id);
+        buf.copy_from_slice(&f[offset..offset + buf.len()]);
+        Ok(())
+    }
+
+    /// Write `buf` at byte `offset` within frame `id`. Must not cross the
+    /// frame boundary.
+    pub fn write(&mut self, id: FrameId, offset: usize, buf: &[u8]) -> Result<(), MmError> {
+        if offset + buf.len() > PAGE_SIZE {
+            return Err(MmError::InvalidArgument("frame write crosses page boundary"));
+        }
+        let f = self.frame_mut(id);
+        f[offset..offset + buf.len()].copy_from_slice(buf);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_roundtrip() {
+        let mut pm = PhysMem::new(4);
+        assert_eq!(pm.nframes(), 4);
+        pm.write(FrameId(2), 100, b"abc").unwrap();
+        let mut out = [0u8; 3];
+        pm.read(FrameId(2), 100, &mut out).unwrap();
+        assert_eq!(&out, b"abc");
+        // other frames untouched
+        assert!(pm.frame(FrameId(1)).iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn copy_and_zero() {
+        let mut pm = PhysMem::new(2);
+        pm.frame_mut(FrameId(0)).fill(0xAB);
+        pm.copy_frame(FrameId(0), FrameId(1));
+        assert!(pm.frame(FrameId(1)).iter().all(|&b| b == 0xAB));
+        pm.zero_frame(FrameId(1));
+        assert!(pm.frame(FrameId(1)).iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn boundary_checks() {
+        let mut pm = PhysMem::new(1);
+        assert!(pm.write(FrameId(0), PAGE_SIZE - 1, b"xy").is_err());
+        let mut buf = [0u8; 2];
+        assert!(pm.read(FrameId(0), PAGE_SIZE - 1, &mut buf).is_err());
+        assert!(pm.write(FrameId(0), PAGE_SIZE - 1, b"x").is_ok());
+    }
+
+    #[test]
+    fn phys_addr() {
+        assert_eq!(FrameId(0).phys_addr(), 0);
+        assert_eq!(FrameId(3).phys_addr(), 3 * PAGE_SIZE as u64);
+    }
+}

@@ -1,0 +1,776 @@
+//! The simulated kernel: ties together physical memory, the page map, the
+//! swap device and the process table, and exposes the syscall-level API the
+//! rest of the workspace (the VIA kernel agent, the workloads) programs
+//! against.
+
+use std::collections::BTreeMap;
+
+use crate::error::MmResult;
+use crate::kiobuf::Kiobuf;
+use crate::mm::AddressSpace;
+use crate::page::{PageFlags, PageMap};
+use crate::vma::{VmArea, VmFlags};
+use crate::stats::MemInfo;
+use crate::{
+    FrameId, KiobufId, MmError, MmStats, PhysMem, Pte, SwapDevice, VirtAddr, PAGE_MASK, PAGE_SIZE,
+};
+
+/// Process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub u32);
+
+/// POSIX-capability subset relevant to the paper: `CAP_IPC_LOCK` gates
+/// `mlock`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Capabilities {
+    /// May the process lock memory? Root processes have this; ordinary user
+    /// processes do not — the paper's main objection to the mlock approach.
+    pub ipc_lock: bool,
+}
+
+impl Capabilities {
+    pub fn root() -> Self {
+        Capabilities { ipc_lock: true }
+    }
+}
+
+/// A simulated process: its address space and credentials.
+pub struct Process {
+    pub pid: Pid,
+    pub mm: AddressSpace,
+    pub caps: Capabilities,
+    /// `RLIMIT_MEMLOCK` in bytes (None = unlimited).
+    pub rlimit_memlock: Option<u64>,
+}
+
+/// Boot-time parameters of the simulated machine.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelConfig {
+    /// Total physical frames.
+    pub nframes: u32,
+    /// Frames reserved for the kernel itself at boot (marked `PG_reserved`).
+    pub reserved_frames: u32,
+    /// Swap device capacity in slots.
+    pub swap_slots: u32,
+    /// Default `RLIMIT_MEMLOCK` for new processes, in bytes.
+    pub default_rlimit_memlock: Option<u64>,
+    /// Swap-cache semantics. `false` = Linux 2.2 behaviour (the paper's
+    /// locktest target): an evicted page's frame is freed outright and
+    /// swap-in allocates a fresh frame, so a refcount-pinned page is
+    /// orphaned. `true` = Linux 2.4 behaviour: an evicted page whose
+    /// reference count stays positive remains in the swap cache, and a
+    /// refault re-maps the *same* frame — which is why the 2.4 raw-I/O
+    /// path could afford a gap between `map_user_kiobuf` and
+    /// `lock_kiobuf`. Default `false`.
+    pub swap_cache: bool,
+}
+
+impl KernelConfig {
+    /// A machine comfortable for unit tests: 256 frames (1 MiB), 512 swap
+    /// slots.
+    pub fn small() -> Self {
+        KernelConfig {
+            nframes: 256,
+            reserved_frames: 8,
+            swap_slots: 512,
+            default_rlimit_memlock: None,
+            swap_cache: false,
+        }
+    }
+
+    /// A machine sized like the paper's test box scaled down: 4096 frames
+    /// (16 MiB) with twice as much swap.
+    pub fn medium() -> Self {
+        KernelConfig {
+            nframes: 4096,
+            reserved_frames: 64,
+            swap_slots: 8192,
+            default_rlimit_memlock: None,
+            swap_cache: false,
+        }
+    }
+
+    /// A larger machine for the bandwidth experiments: 16384 frames (64 MiB).
+    pub fn large() -> Self {
+        KernelConfig {
+            nframes: 16384,
+            reserved_frames: 128,
+            swap_slots: 32768,
+            default_rlimit_memlock: None,
+            swap_cache: false,
+        }
+    }
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig::medium()
+    }
+}
+
+/// The simulated kernel.
+pub struct Kernel {
+    pub(crate) phys: PhysMem,
+    pub(crate) pagemap: PageMap,
+    pub(crate) free_list: Vec<FrameId>,
+    pub(crate) swap: SwapDevice,
+    pub(crate) procs: BTreeMap<Pid, Process>,
+    /// The shared, reserved zero page used for read faults on anonymous
+    /// memory (`empty_zero_page`).
+    pub(crate) zero_frame: FrameId,
+    pub(crate) kiobufs: BTreeMap<KiobufId, Kiobuf>,
+    pub(crate) next_kiobuf: u64,
+    pub(crate) next_pid: u32,
+    /// Round-robin rotor for the stealer's process selection.
+    pub(crate) swap_rotor: usize,
+    /// The swap cache (2.4 semantics): slot → frame still holding the data.
+    pub(crate) swap_cache: std::collections::HashMap<crate::SlotId, FrameId>,
+    /// Optional bigphys reservation (see [`crate::bigphys`]).
+    pub(crate) bigphys: Option<crate::bigphys::BigphysArea>,
+    pub stats: MmStats,
+    pub config: KernelConfig,
+}
+
+impl Kernel {
+    /// Boot a machine.
+    pub fn new(config: KernelConfig) -> Self {
+        assert!(
+            config.reserved_frames + 1 < config.nframes,
+            "machine too small"
+        );
+        let phys = PhysMem::new(config.nframes);
+        let mut pagemap = PageMap::new(config.nframes);
+        // Mark the kernel's own frames reserved, exactly like mem_init().
+        for i in 0..config.reserved_frames {
+            let d = pagemap.get_mut(FrameId(i));
+            d.count = 1;
+            d.flags.set(PageFlags::RESERVED);
+        }
+        // The shared zero page is a reserved page too.
+        let zero_frame = FrameId(config.reserved_frames);
+        {
+            let d = pagemap.get_mut(zero_frame);
+            d.count = 1;
+            d.flags.set(PageFlags::RESERVED);
+        }
+        let free_list = ((config.reserved_frames + 1)..config.nframes)
+            .rev()
+            .map(FrameId)
+            .collect();
+        Kernel {
+            phys,
+            pagemap,
+            free_list,
+            swap: SwapDevice::new(config.swap_slots),
+            procs: BTreeMap::new(),
+            zero_frame,
+            kiobufs: BTreeMap::new(),
+            next_kiobuf: 1,
+            next_pid: 1,
+            swap_rotor: 0,
+            swap_cache: std::collections::HashMap::new(),
+            bigphys: None,
+            stats: MmStats::default(),
+            config,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Process management
+    // ------------------------------------------------------------------
+
+    /// Create a process with the given capabilities.
+    pub fn spawn_process(&mut self, caps: Capabilities) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        self.procs.insert(
+            pid,
+            Process {
+                pid,
+                mm: AddressSpace::new(),
+                caps,
+                rlimit_memlock: self.config.default_rlimit_memlock,
+            },
+        );
+        pid
+    }
+
+    /// Tear a process down, releasing frames and swap slots.
+    pub fn exit_process(&mut self, pid: Pid) -> MmResult<()> {
+        let proc = self.procs.remove(&pid).ok_or(MmError::NoSuchProcess(pid))?;
+        let ptes: Vec<(u64, Pte)> = proc
+            .mm
+            .ptes_in(0, u64::MAX)
+            .map(|(v, p)| (v, *p))
+            .collect();
+        for (_, pte) in ptes {
+            match pte {
+                Pte::Present { frame, .. } => self.put_frame(frame),
+                Pte::Swapped { slot } => self.drop_swap_slot(slot)?,
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn process(&self, pid: Pid) -> MmResult<&Process> {
+        self.procs.get(&pid).ok_or(MmError::NoSuchProcess(pid))
+    }
+
+    pub(crate) fn process_mut(&mut self, pid: Pid) -> MmResult<&mut Process> {
+        self.procs.get_mut(&pid).ok_or(MmError::NoSuchProcess(pid))
+    }
+
+    /// All live pids (address order).
+    pub fn pids(&self) -> Vec<Pid> {
+        self.procs.keys().copied().collect()
+    }
+
+    /// Capabilities accessors (the kernel agent uses these for the
+    /// `cap_raise`/`cap_lower` trick the paper describes).
+    pub fn capabilities(&self, pid: Pid) -> MmResult<Capabilities> {
+        Ok(self.process(pid)?.caps)
+    }
+
+    pub fn set_capabilities(&mut self, pid: Pid, caps: Capabilities) -> MmResult<()> {
+        self.process_mut(pid)?.caps = caps;
+        Ok(())
+    }
+
+    /// Resident set size of a process, in pages.
+    pub fn rss(&self, pid: Pid) -> MmResult<usize> {
+        Ok(self.process(pid)?.mm.rss())
+    }
+
+    // ------------------------------------------------------------------
+    // Mapping
+    // ------------------------------------------------------------------
+
+    /// `mmap(MAP_ANONYMOUS)`: create a zero-initialised mapping of `len`
+    /// bytes and return its base address. Pages materialise on first touch.
+    pub fn mmap_anon(&mut self, pid: Pid, len: usize, prot: u8) -> MmResult<VirtAddr> {
+        if len == 0 {
+            return Err(MmError::InvalidArgument("mmap of zero length"));
+        }
+        let flags = VmFlags {
+            locked: false,
+            read: prot & crate::prot::READ != 0,
+            write: prot & crate::prot::WRITE != 0,
+            dontfork: false,
+        };
+        let proc = self.process_mut(pid)?;
+        let start = proc.mm.find_free_range(len as u64);
+        let end = start + crate::page_align_up(len as u64);
+        proc.mm.vmas.insert(VmArea { start, end, flags })?;
+        Ok(start)
+    }
+
+    /// `munmap`: drop mappings in `[addr, addr+len)`, freeing frames and
+    /// swap slots.
+    pub fn munmap(&mut self, pid: Pid, addr: VirtAddr, len: usize) -> MmResult<()> {
+        if addr & PAGE_MASK != 0 {
+            return Err(MmError::InvalidArgument("unaligned munmap"));
+        }
+        let end = crate::page_align_up(addr + len as u64);
+        let removed = {
+            let proc = self.process_mut(pid)?;
+            proc.mm.vmas.remove_range(addr, end)
+        };
+        for vma in removed {
+            let vpns: Vec<u64> = {
+                let proc = self.process(pid)?;
+                proc.mm
+                    .ptes_in(
+                        AddressSpace::vpn(vma.start),
+                        AddressSpace::vpn(vma.end),
+                    )
+                    .map(|(v, _)| v)
+                    .collect()
+            };
+            for vpn in vpns {
+                let pte = self.process_mut(pid)?.mm.clear_pte(vpn);
+                match pte {
+                    Some(Pte::Present { frame, .. }) => self.put_frame(frame),
+                    Some(Pte::Swapped { slot }) => self.drop_swap_slot(slot)?,
+                    None => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Frame allocation
+    // ------------------------------------------------------------------
+
+    /// `__get_free_page()`: pop a frame from the free list, reclaiming if
+    /// necessary. The returned frame has `count == 1` and clean flags.
+    pub(crate) fn get_free_frame(&mut self) -> MmResult<FrameId> {
+        loop {
+            if let Some(frame) = self.free_list.pop() {
+                let d = self.pagemap.get_mut(frame);
+                debug_assert!(d.is_free(), "frame on free list with count != 0");
+                d.count = 1;
+                d.flags = PageFlags::default();
+                d.rmap = None;
+                return Ok(frame);
+            }
+            // Free list empty: page-stealer time.
+            if !self.try_to_free_pages() {
+                return Err(MmError::OutOfMemory);
+            }
+        }
+    }
+
+    /// `__free_page()` plus free-list maintenance: drop one reference; if the
+    /// count reaches zero the frame returns to the free list (reserved frames
+    /// never do).
+    pub(crate) fn put_frame(&mut self, frame: FrameId) {
+        let now_free = self
+            .pagemap
+            .put_page(frame)
+            .expect("put_frame: refcount underflow");
+        let d = self.pagemap.get_mut(frame);
+        if now_free && !d.flags.contains(PageFlags::RESERVED) {
+            // Leaving the swap cache: the written-out copy in the slot stays
+            // authoritative (the PTE points there), only the frame-reuse
+            // shortcut disappears.
+            if let Some(slot) = d.swap_slot.take() {
+                self.swap_cache.remove(&slot);
+            }
+            d.rmap = None;
+            d.flags = PageFlags::default();
+            self.free_list.push(frame);
+        }
+    }
+
+    /// Number of frames currently on the free list.
+    pub fn free_frames(&self) -> usize {
+        self.free_list.len()
+    }
+
+    /// Number of orphaned frames: `count > 0` but no process maps them and
+    /// they are neither reserved nor kiobuf-pinned. Diagnostic for the
+    /// locktest experiment.
+    pub fn count_orphaned_frames(&self) -> usize {
+        // A frame is accounted orphaned when the stealer unmapped it while
+        // its refcount stayed positive; we track that via rmap clearing.
+        let mut mapped: std::collections::HashSet<FrameId> = std::collections::HashSet::new();
+        for proc in self.procs.values() {
+            for (_, pte) in proc.mm.ptes_in(0, u64::MAX) {
+                if let Some(f) = pte.frame() {
+                    mapped.insert(f);
+                }
+            }
+        }
+        let mut pinned: std::collections::HashSet<FrameId> = std::collections::HashSet::new();
+        for kb in self.kiobufs.values() {
+            pinned.extend(kb.frames.iter().copied());
+        }
+        self.pagemap
+            .iter()
+            .filter(|(f, d)| {
+                d.count > 0
+                    && !d.flags.contains(PageFlags::RESERVED)
+                    && !mapped.contains(f)
+                    && !pinned.contains(f)
+            })
+            .count()
+    }
+
+    // ------------------------------------------------------------------
+    // User memory access (runs the fault path, like the CPU would)
+    // ------------------------------------------------------------------
+
+    /// Write `data` into the process' address space at `addr`, faulting pages
+    /// in as needed and honouring protections.
+    pub fn write_user(&mut self, pid: Pid, addr: VirtAddr, data: &[u8]) -> MmResult<()> {
+        let mut off = 0usize;
+        while off < data.len() {
+            let a = addr + off as u64;
+            let in_page = (PAGE_SIZE - (a & PAGE_MASK) as usize).min(data.len() - off);
+            let frame = self.fault_in(pid, a, true)?;
+            let page_off = (a & PAGE_MASK) as usize;
+            self.phys.write(frame, page_off, &data[off..off + in_page])?;
+            let d = self.pagemap.get_mut(frame);
+            d.flags.set(PageFlags::ACCESSED);
+            d.flags.set(PageFlags::DIRTY);
+            off += in_page;
+        }
+        Ok(())
+    }
+
+    /// Read from the process' address space at `addr` into `out`.
+    pub fn read_user(&mut self, pid: Pid, addr: VirtAddr, out: &mut [u8]) -> MmResult<()> {
+        let mut off = 0usize;
+        while off < out.len() {
+            let a = addr + off as u64;
+            let in_page = (PAGE_SIZE - (a & PAGE_MASK) as usize).min(out.len() - off);
+            let frame = self.fault_in(pid, a, false)?;
+            let page_off = (a & PAGE_MASK) as usize;
+            self.phys.read(frame, page_off, &mut out[off..off + in_page])?;
+            self.pagemap
+                .get_mut(frame)
+                .flags
+                .set(PageFlags::ACCESSED);
+            off += in_page;
+        }
+        Ok(())
+    }
+
+    /// Touch every page of `[addr, addr+len)` (write access if `write`),
+    /// forcing them present. Step 1 of the paper's locktest ("fill with
+    /// data ... be sure each virtual page maps a distinct physical page").
+    pub fn touch_pages(&mut self, pid: Pid, addr: VirtAddr, len: usize, write: bool) -> MmResult<()> {
+        let mut a = crate::page_base(addr);
+        let end = addr + len as u64;
+        while a < end {
+            self.fault_in(pid, a, write)?;
+            a += PAGE_SIZE as u64;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Page-table inspection (kernel-internal; drivers that do this would
+    // not be accepted upstream — which is the paper's point)
+    // ------------------------------------------------------------------
+
+    /// `get_user_pages` for a single page: fault the page containing
+    /// `addr` in (write intent iff the VMA is writable, breaking COW) and
+    /// take a page reference. The caller owns one reference on the returned
+    /// frame and must drop it with [`Kernel::put_user_page`].
+    ///
+    /// NOTE the reference alone does *not* protect against eviction (the
+    /// paper's whole point); callers that need residency must also take the
+    /// page lock **before** causing any further allocation.
+    pub fn get_user_page(&mut self, pid: Pid, addr: VirtAddr) -> MmResult<FrameId> {
+        let writable = self.vma_writable(pid, addr)?;
+        let frame = self.fault_in(pid, addr, writable)?;
+        self.pagemap.get_page(frame);
+        Ok(frame)
+    }
+
+    /// Drop a reference taken by [`Kernel::get_user_page`].
+    pub fn put_user_page(&mut self, frame: FrameId) {
+        self.put_frame(frame);
+    }
+
+    /// Map specific physical frames into a process (the driver `mmap` of a
+    /// bigphys region / device memory): creates a VMA and present,
+    /// writable PTEs, taking a reference on each frame.
+    pub fn map_frames(&mut self, pid: Pid, frames: &[FrameId]) -> MmResult<VirtAddr> {
+        if frames.is_empty() {
+            return Err(MmError::InvalidArgument("map_frames of nothing"));
+        }
+        let len = frames.len() * PAGE_SIZE;
+        let start = {
+            let proc = self.process_mut(pid)?;
+            let start = proc.mm.find_free_range(len as u64);
+            proc.mm.vmas.insert(VmArea {
+                start,
+                end: start + len as u64,
+                flags: VmFlags::rw(),
+            })?;
+            start
+        };
+        for (i, &f) in frames.iter().enumerate() {
+            self.pagemap.get_page(f);
+            let vpn = AddressSpace::vpn(start) + i as u64;
+            self.process_mut(pid)?.mm.set_pte(vpn, Pte::present(f, true));
+        }
+        Ok(start)
+    }
+
+    /// Is the VMA covering `addr` writable? (`SegFault` if unmapped.)
+    pub fn vma_writable(&self, pid: Pid, addr: VirtAddr) -> MmResult<bool> {
+        let proc = self.process(pid)?;
+        proc.mm
+            .vmas
+            .find(addr)
+            .map(|v| v.flags.write)
+            .ok_or(MmError::SegFault { pid, addr })
+    }
+
+    /// Walk the page table: the frame currently backing `addr`, if present.
+    pub fn frame_of(&self, pid: Pid, addr: VirtAddr) -> MmResult<Option<FrameId>> {
+        let proc = self.process(pid)?;
+        Ok(proc
+            .mm
+            .pte(AddressSpace::vpn(addr))
+            .and_then(|p| p.frame()))
+    }
+
+    /// Physical frames for each page of `[addr, addr+len)`; `None` entries
+    /// are non-present pages.
+    pub fn frames_of_range(
+        &self,
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+    ) -> MmResult<Vec<Option<FrameId>>> {
+        let mut out = Vec::with_capacity(crate::pages_for(len));
+        let mut a = crate::page_base(addr);
+        let end = addr + len as u64;
+        while a < end {
+            out.push(self.frame_of(pid, a)?);
+            a += PAGE_SIZE as u64;
+        }
+        Ok(out)
+    }
+
+    /// Inspect a frame's page descriptor (diagnostics, tests).
+    pub fn page_descriptor(&self, frame: FrameId) -> &crate::PageDescriptor {
+        self.pagemap.get(frame)
+    }
+
+    /// The shared zero frame (tests want to assert against it).
+    pub fn zero_frame(&self) -> FrameId {
+        self.zero_frame
+    }
+
+    // ------------------------------------------------------------------
+    // Device ("DMA") access: physical addressing, no page tables involved
+    // ------------------------------------------------------------------
+
+    /// A bus-master device writes `data` at `offset` within a physical frame.
+    /// This is how the simulated NIC delivers data — through addresses it
+    /// captured at registration time, whether or not they are still mapped.
+    pub fn dma_write(&mut self, frame: FrameId, offset: usize, data: &[u8]) -> MmResult<()> {
+        self.phys.write(frame, offset, data)
+    }
+
+    /// A bus-master device reads from a physical frame.
+    pub fn dma_read(&self, frame: FrameId, offset: usize, out: &mut [u8]) -> MmResult<()> {
+        self.phys.read(frame, offset, out)
+    }
+
+    /// Raw page-descriptor mutation used by the "risky" Giganet-style
+    /// strategy that sets `PG_locked`/`PG_reserved` behind the VM's back.
+    pub fn raw_set_page_flag(&mut self, frame: FrameId, bit: u8) {
+        self.pagemap.get_mut(frame).flags.set(bit);
+    }
+
+    /// Raw flag clear (see [`Kernel::raw_set_page_flag`]).
+    pub fn raw_clear_page_flag(&mut self, frame: FrameId, bit: u8) {
+        self.pagemap.get_mut(frame).flags.clear(bit);
+    }
+
+    /// Raw refcount increment — `get_page` as Berkeley-VIA / M-VIA do it.
+    pub fn raw_get_page(&mut self, frame: FrameId) {
+        self.pagemap.get_page(frame);
+    }
+
+    /// Raw refcount decrement, returning whether the frame became free.
+    pub fn raw_put_page(&mut self, frame: FrameId) -> MmResult<()> {
+        self.put_frame(frame);
+        Ok(())
+    }
+
+    /// Simulate the kernel holding a page's I/O lock (in-flight disk I/O),
+    /// for failure-injection tests of the "blindly set PG_locked" strategy.
+    pub fn begin_page_io(&mut self, frame: FrameId) {
+        self.pagemap.get_mut(frame).flags.set(PageFlags::LOCKED);
+    }
+
+    /// Complete simulated I/O: expects the lock bit still held; returns
+    /// whether it was (the Giganet-style strategy may have clobbered it).
+    pub fn end_page_io(&mut self, frame: FrameId) -> bool {
+        let d = self.pagemap.get_mut(frame);
+        let was_locked = d.flags.contains(PageFlags::LOCKED);
+        d.flags.clear(PageFlags::LOCKED);
+        was_locked
+    }
+
+    /// Free a swap slot backing a torn-down PTE, purging any swap-cache
+    /// entry so a recycled slot can never alias a stale frame.
+    pub(crate) fn drop_swap_slot(&mut self, slot: crate::SlotId) -> MmResult<()> {
+        if let Some(frame) = self.swap_cache.remove(&slot) {
+            self.pagemap.get_mut(frame).swap_slot = None;
+        }
+        self.swap.free_slot(slot)
+    }
+
+    /// Number of frames currently held in the swap cache.
+    pub fn swap_cache_len(&self) -> usize {
+        self.swap_cache.len()
+    }
+
+    /// A /proc/meminfo-style snapshot for experiment reports.
+    pub fn meminfo(&self) -> MemInfo {
+        let mut resident = 0usize;
+        let mut swapped = 0usize;
+        for p in self.procs.values() {
+            resident += p.mm.rss();
+            swapped += p.mm.swapped();
+        }
+        MemInfo {
+            total_frames: self.config.nframes as usize,
+            free_frames: self.free_list.len(),
+            resident_pages: resident,
+            swapped_pages: swapped,
+            orphaned_frames: self.count_orphaned_frames(),
+            swap_cache_frames: self.swap_cache.len(),
+            bigphys_frames: self.bigphys.as_ref().map(|b| b.reserved_frames() as usize).unwrap_or(0),
+        }
+    }
+
+    /// Swap-device statistics.
+    pub fn swap_stats(&self) -> (usize, usize, u64, u64) {
+        (
+            self.swap.used_slots(),
+            self.swap.capacity(),
+            self.swap.writes,
+            self.swap.reads,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prot;
+
+    #[test]
+    fn boot_layout() {
+        let k = Kernel::new(KernelConfig::small());
+        assert_eq!(
+            k.free_frames(),
+            (256 - 8 - 1) as usize,
+            "reserved + zero frame off the free list"
+        );
+        assert!(k
+            .page_descriptor(FrameId(0))
+            .flags
+            .contains(PageFlags::RESERVED));
+        assert!(k
+            .page_descriptor(k.zero_frame())
+            .flags
+            .contains(PageFlags::RESERVED));
+    }
+
+    #[test]
+    fn mmap_write_read() {
+        let mut k = Kernel::new(KernelConfig::small());
+        let pid = k.spawn_process(Capabilities::default());
+        let a = k.mmap_anon(pid, 3 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let msg = b"the quick brown fox";
+        k.write_user(pid, a + 100, msg).unwrap();
+        let mut out = vec![0u8; msg.len()];
+        k.read_user(pid, a + 100, &mut out).unwrap();
+        assert_eq!(&out, msg);
+    }
+
+    #[test]
+    fn cross_page_write() {
+        let mut k = Kernel::new(KernelConfig::small());
+        let pid = k.spawn_process(Capabilities::default());
+        let a = k.mmap_anon(pid, 3 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let data: Vec<u8> = (0..PAGE_SIZE + 100).map(|i| (i % 251) as u8).collect();
+        k.write_user(pid, a + 4000, &data).unwrap();
+        let mut out = vec![0u8; data.len()];
+        k.read_user(pid, a + 4000, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn segfault_outside_mapping() {
+        let mut k = Kernel::new(KernelConfig::small());
+        let pid = k.spawn_process(Capabilities::default());
+        let r = k.write_user(pid, 0xdead_0000, b"x");
+        assert!(matches!(r, Err(MmError::SegFault { .. })));
+    }
+
+    #[test]
+    fn write_to_readonly_faults() {
+        let mut k = Kernel::new(KernelConfig::small());
+        let pid = k.spawn_process(Capabilities::default());
+        let a = k.mmap_anon(pid, PAGE_SIZE, prot::READ).unwrap();
+        let mut out = [0u8; 4];
+        k.read_user(pid, a, &mut out).unwrap();
+        assert!(matches!(
+            k.write_user(pid, a, b"x"),
+            Err(MmError::ProtFault { .. })
+        ));
+    }
+
+    #[test]
+    fn munmap_releases_frames() {
+        let mut k = Kernel::new(KernelConfig::small());
+        let pid = k.spawn_process(Capabilities::default());
+        let free0 = k.free_frames();
+        let a = k.mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        k.touch_pages(pid, a, 4 * PAGE_SIZE, true).unwrap();
+        assert_eq!(k.free_frames(), free0 - 4);
+        k.munmap(pid, a, 4 * PAGE_SIZE).unwrap();
+        assert_eq!(k.free_frames(), free0);
+    }
+
+    #[test]
+    fn exit_releases_everything() {
+        let mut k = Kernel::new(KernelConfig::small());
+        let pid = k.spawn_process(Capabilities::default());
+        let free0 = k.free_frames();
+        let a = k.mmap_anon(pid, 8 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        k.touch_pages(pid, a, 8 * PAGE_SIZE, true).unwrap();
+        k.exit_process(pid).unwrap();
+        assert_eq!(k.free_frames(), free0);
+        assert!(k.rss(pid).is_err());
+    }
+
+    #[test]
+    fn distinct_frames_after_write_touch() {
+        // Locktest step 1: writing every page yields pairwise-distinct frames.
+        let mut k = Kernel::new(KernelConfig::small());
+        let pid = k.spawn_process(Capabilities::default());
+        let a = k.mmap_anon(pid, 16 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        k.touch_pages(pid, a, 16 * PAGE_SIZE, true).unwrap();
+        let frames = k.frames_of_range(pid, a, 16 * PAGE_SIZE).unwrap();
+        let mut set = std::collections::HashSet::new();
+        for f in frames {
+            assert!(set.insert(f.expect("present")));
+        }
+    }
+
+    #[test]
+    fn meminfo_snapshot_accounts() {
+        let mut k = Kernel::new(KernelConfig::small());
+        let pid = k.spawn_process(Capabilities::default());
+        let a = k.mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        k.touch_pages(pid, a, 4 * PAGE_SIZE, true).unwrap();
+        let mi = k.meminfo();
+        assert_eq!(mi.total_frames, 256);
+        assert_eq!(mi.resident_pages, 4);
+        assert_eq!(mi.swapped_pages, 0);
+        assert_eq!(mi.orphaned_frames, 0);
+        assert_eq!(mi.free_frames + 4 + 9, 256, "free + resident + reserved(8+zero)");
+    }
+
+    #[test]
+    fn map_frames_exposes_physical_memory() {
+        let mut k = Kernel::new(KernelConfig::small());
+        k.reserve_bigphys(16).unwrap();
+        let blk = k.bigphys_mut().unwrap().alloc(2, 1).unwrap();
+        let pid = k.spawn_process(Capabilities::default());
+        let frames = [blk.base, FrameId(blk.base.0 + 1)];
+        let va = k.map_frames(pid, &frames).unwrap();
+        k.write_user(pid, va + 10, b"mapped").unwrap();
+        let mut out = [0u8; 6];
+        k.dma_read(blk.base, 10, &mut out).unwrap();
+        assert_eq!(&out, b"mapped");
+        // munmap releases the mapping references without freeing the
+        // reserved frames.
+        k.munmap(pid, va, 2 * PAGE_SIZE).unwrap();
+        assert!(k.page_descriptor(blk.base).count >= 1);
+    }
+
+    #[test]
+    fn read_touch_maps_zero_page() {
+        let mut k = Kernel::new(KernelConfig::small());
+        let pid = k.spawn_process(Capabilities::default());
+        let a = k.mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        k.touch_pages(pid, a, 4 * PAGE_SIZE, false).unwrap();
+        for f in k.frames_of_range(pid, a, 4 * PAGE_SIZE).unwrap() {
+            assert_eq!(f, Some(k.zero_frame()), "read faults map the zero page");
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! # simmem — a faithful user-space model of the Linux 2.2/2.4 VM
+//!
+//! The paper *"Proposing a Mechanism for Reliably Locking VIA Communication
+//! Memory in Linux"* (Seifert & Rehm, CLUSTER 2000) is entirely about how
+//! different page-pinning strategies interact with the Linux swapping
+//! machinery. This crate reproduces that machinery at the algorithmic level:
+//!
+//! * a physical **frame arena** with a `mem_map` of per-page descriptors
+//!   (`count`, `PG_locked`, `PG_reserved`, age bits) — see [`page`];
+//! * per-process **address spaces** with page tables and **virtual memory
+//!   areas** (VMAs) including `VM_LOCKED` — see [`mm`] and [`vma`];
+//! * **demand paging**, a shared **zero page** with copy-on-write, and
+//!   swap-in/out through a finite **swap device** — see [`fault`] and
+//!   [`swap`];
+//! * the 2.2-era page stealer: `try_to_free_pages` → `swap_out` walking
+//!   process VMAs and page tables with second-chance accessed bits, skipping
+//!   `VM_LOCKED` VMAs and `PG_locked`/`PG_reserved` pages, and — crucially —
+//!   swapping out pages *regardless of an elevated reference count* (the
+//!   behaviour the paper's `locktest` experiment exposes) — see [`reclaim`];
+//! * `mlock`/`munlock` with VMA splitting/merging and the `CAP_IPC_LOCK`
+//!   privilege check — see [`mlock`];
+//! * **kiobufs** (`map_user_kiobuf` / `lock_kiobuf` / `unlock_kiobuf` /
+//!   `unmap_kiobuf`), the raw-I/O pinning facility the paper builds its
+//!   reliable registration mechanism on — see [`kiobuf`].
+//!
+//! The entry point is [`Kernel`]: create one with a [`KernelConfig`], spawn
+//! processes, map anonymous memory, read/write it through the fault path, and
+//! let device models (the VIA NIC in the `via` crate) access **physical**
+//! frames directly via [`Kernel::dma_read`] / [`Kernel::dma_write`] — exactly
+//! like a bus-master NIC that holds physical addresses in its translation
+//! table.
+//!
+//! ```
+//! use simmem::{Kernel, KernelConfig, prot};
+//!
+//! let mut k = Kernel::new(KernelConfig::small());
+//! let pid = k.spawn_process(Default::default());
+//! let buf = k.mmap_anon(pid, 4 * simmem::PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+//! k.write_user(pid, buf, b"hello").unwrap();
+//! let mut back = [0u8; 5];
+//! k.read_user(pid, buf, &mut back).unwrap();
+//! assert_eq!(&back, b"hello");
+//! ```
+
+pub mod bigphys;
+pub mod error;
+pub mod fault;
+pub mod fork;
+pub mod frame;
+pub mod kernel;
+pub mod kiobuf;
+pub mod mlock;
+pub mod mm;
+pub mod page;
+pub mod reclaim;
+pub mod stats;
+pub mod swap;
+pub mod vma;
+
+pub use bigphys::{BigphysArea, BigphysBlock};
+pub use error::MmError;
+pub use frame::{FrameId, PhysMem};
+pub use kernel::{Capabilities, Kernel, KernelConfig, Pid};
+pub use kiobuf::{Kiobuf, KiobufId};
+pub use mm::{AddressSpace, Pte, VirtAddr, Vpn};
+pub use page::{PageDescriptor, PageFlags};
+pub use stats::{MemInfo, MmStats};
+pub use swap::{SlotId, SwapDevice};
+pub use vma::{VmArea, VmFlags, VmaSet};
+
+/// Page size of the simulated machine (x86: 4 KiB), as in the paper.
+pub const PAGE_SIZE: usize = 4096;
+/// log2 of [`PAGE_SIZE`]; virtual page number = addr >> PAGE_SHIFT.
+pub const PAGE_SHIFT: u32 = 12;
+/// Bitmask selecting the offset-within-page part of an address.
+pub const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// Round `len` up to a whole number of pages.
+#[inline]
+pub fn pages_for(len: usize) -> usize {
+    len.div_ceil(PAGE_SIZE)
+}
+
+/// Round an address down to its page base.
+#[inline]
+pub fn page_base(addr: u64) -> u64 {
+    addr & !PAGE_MASK
+}
+
+/// Round an address up to the next page boundary.
+#[inline]
+pub fn page_align_up(addr: u64) -> u64 {
+    (addr + PAGE_MASK) & !PAGE_MASK
+}
+
+/// Protection bits for mappings, mirroring `PROT_READ`/`PROT_WRITE`.
+pub mod prot {
+    /// Pages may be read.
+    pub const READ: u8 = 0b01;
+    /// Pages may be written.
+    pub const WRITE: u8 = 0b10;
+}
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+
+    #[test]
+    fn page_math() {
+        assert_eq!(pages_for(0), 0);
+        assert_eq!(pages_for(1), 1);
+        assert_eq!(pages_for(PAGE_SIZE), 1);
+        assert_eq!(pages_for(PAGE_SIZE + 1), 2);
+        assert_eq!(page_base(0x1234), 0x1000);
+        assert_eq!(page_align_up(0x1001), 0x2000);
+        assert_eq!(page_align_up(0x1000), 0x1000);
+    }
+}
+
+#[cfg(test)]
+mod swapcache_tests;

@@ -1,0 +1,217 @@
+//! Per-process address space: page table + VMA set (`struct mm_struct`).
+
+use std::collections::BTreeMap;
+
+use crate::{FrameId, SlotId, VmaSet, PAGE_SHIFT};
+
+/// A virtual address in a process address space.
+pub type VirtAddr = u64;
+
+/// A virtual page number (`addr >> PAGE_SHIFT`).
+pub type Vpn = u64;
+
+/// A page-table entry. Linux packs this into one machine word; the simulator
+/// spells the states out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pte {
+    /// Present and mapped to a physical frame.
+    Present {
+        frame: FrameId,
+        /// Hardware write-enable. Clear on a writable VMA means COW.
+        writable: bool,
+        /// Hardware accessed bit — food for the second-chance stealer.
+        accessed: bool,
+        /// Hardware dirty bit.
+        dirty: bool,
+    },
+    /// Not present: the contents live in the given swap slot
+    /// (`pte_to_swp_entry`).
+    Swapped { slot: SlotId },
+}
+
+impl Pte {
+    pub fn present(frame: FrameId, writable: bool) -> Self {
+        Pte::Present {
+            frame,
+            writable,
+            accessed: true,
+            dirty: writable,
+        }
+    }
+
+    /// The mapped frame, if present.
+    pub fn frame(&self) -> Option<FrameId> {
+        match self {
+            Pte::Present { frame, .. } => Some(*frame),
+            Pte::Swapped { .. } => None,
+        }
+    }
+}
+
+/// Address space of one process: VMAs plus a sparse page table.
+///
+/// A `BTreeMap` keyed by VPN stands in for the multi-level page-table tree;
+/// ordered iteration gives us the same walk order `swap_out_vma` uses.
+#[derive(Debug, Default)]
+pub struct AddressSpace {
+    pub vmas: VmaSet,
+    ptes: BTreeMap<Vpn, Pte>,
+    /// Bump pointer for `mmap` placement (the simulated `TASK_UNMAPPED_BASE`).
+    pub mmap_base: VirtAddr,
+}
+
+/// Where anonymous mappings begin; mirrors `TASK_UNMAPPED_BASE` on i386.
+pub const TASK_UNMAPPED_BASE: VirtAddr = 0x4000_0000;
+
+impl AddressSpace {
+    pub fn new() -> Self {
+        AddressSpace {
+            vmas: VmaSet::new(),
+            ptes: BTreeMap::new(),
+            mmap_base: TASK_UNMAPPED_BASE,
+        }
+    }
+
+    #[inline]
+    pub fn vpn(addr: VirtAddr) -> Vpn {
+        addr >> PAGE_SHIFT
+    }
+
+    #[inline]
+    pub fn pte(&self, vpn: Vpn) -> Option<&Pte> {
+        self.ptes.get(&vpn)
+    }
+
+    #[inline]
+    pub fn pte_mut(&mut self, vpn: Vpn) -> Option<&mut Pte> {
+        self.ptes.get_mut(&vpn)
+    }
+
+    #[inline]
+    pub fn set_pte(&mut self, vpn: Vpn, pte: Pte) {
+        self.ptes.insert(vpn, pte);
+    }
+
+    #[inline]
+    pub fn clear_pte(&mut self, vpn: Vpn) -> Option<Pte> {
+        self.ptes.remove(&vpn)
+    }
+
+    /// Iterate PTEs for VPNs in `[from, to)` in address order.
+    pub fn ptes_in(&self, from: Vpn, to: Vpn) -> impl Iterator<Item = (Vpn, &Pte)> {
+        self.ptes.range(from..to).map(|(k, v)| (*k, v))
+    }
+
+    /// Collect VPNs of present pages inside `[from, to)` — the stealer's
+    /// candidate list for one VMA.
+    pub fn present_vpns_in(&self, from: Vpn, to: Vpn) -> Vec<Vpn> {
+        self.ptes
+            .range(from..to)
+            .filter(|(_, p)| matches!(p, Pte::Present { .. }))
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
+    /// Number of resident (present) pages — the RSS.
+    pub fn rss(&self) -> usize {
+        self.ptes
+            .values()
+            .filter(|p| matches!(p, Pte::Present { .. }))
+            .count()
+    }
+
+    /// Number of swapped-out pages.
+    pub fn swapped(&self) -> usize {
+        self.ptes
+            .values()
+            .filter(|p| matches!(p, Pte::Swapped { .. }))
+            .count()
+    }
+
+    /// Pick an unused, page-aligned range of `len` bytes (bump allocation —
+    /// `get_unmapped_area`).
+    pub fn find_free_range(&mut self, len: u64) -> VirtAddr {
+        let len = crate::page_align_up(len);
+        // Scan forward from the bump pointer past any existing VMAs.
+        let mut start = self.mmap_base;
+        loop {
+            let end = start + len;
+            if !self.vmas.overlaps(start, end) {
+                self.mmap_base = end;
+                return start;
+            }
+            // Skip to the end of the blocking VMA.
+            let blocker_end = self
+                .vmas
+                .iter()
+                .filter(|v| v.start < end && v.end > start)
+                .map(|v| v.end)
+                .max()
+                .expect("overlap implies a blocker");
+            start = blocker_end;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{VmArea, VmFlags, PAGE_SIZE};
+
+    const P: u64 = PAGE_SIZE as u64;
+
+    #[test]
+    fn pte_roundtrip() {
+        let mut asp = AddressSpace::new();
+        assert!(asp.pte(5).is_none());
+        asp.set_pte(5, Pte::present(FrameId(7), true));
+        assert_eq!(asp.pte(5).unwrap().frame(), Some(FrameId(7)));
+        asp.set_pte(5, Pte::Swapped { slot: SlotId(3) });
+        assert_eq!(asp.pte(5).unwrap().frame(), None);
+        assert!(asp.clear_pte(5).is_some());
+        assert!(asp.pte(5).is_none());
+    }
+
+    #[test]
+    fn rss_accounting() {
+        let mut asp = AddressSpace::new();
+        asp.set_pte(1, Pte::present(FrameId(1), true));
+        asp.set_pte(2, Pte::present(FrameId(2), false));
+        asp.set_pte(3, Pte::Swapped { slot: SlotId(0) });
+        assert_eq!(asp.rss(), 2);
+        assert_eq!(asp.swapped(), 1);
+    }
+
+    #[test]
+    fn free_range_skips_existing() {
+        let mut asp = AddressSpace::new();
+        let a = asp.find_free_range(4 * P);
+        asp.vmas
+            .insert(VmArea {
+                start: a,
+                end: a + 4 * P,
+                flags: VmFlags::rw(),
+            })
+            .unwrap();
+        let b = asp.find_free_range(2 * P);
+        assert!(b >= a + 4 * P, "second range placed after the first");
+        asp.vmas
+            .insert(VmArea {
+                start: b,
+                end: b + 2 * P,
+                flags: VmFlags::rw(),
+            })
+            .unwrap();
+        asp.vmas.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn present_vpn_walk() {
+        let mut asp = AddressSpace::new();
+        for vpn in [10u64, 11, 13, 20] {
+            asp.set_pte(vpn, Pte::present(FrameId(vpn as u32), true));
+        }
+        asp.set_pte(12, Pte::Swapped { slot: SlotId(9) });
+        assert_eq!(asp.present_vpns_in(10, 14), vec![10, 11, 13]);
+    }
+}

@@ -1,0 +1,186 @@
+//! The `mem_map`: one [`PageDescriptor`] per physical frame, mirroring the
+//! kernel's `mem_map_t` (`struct page`).
+//!
+//! The fields the paper's analysis hinges on are the **reference count** and
+//! the `PG_locked` / `PG_reserved` **flag bits**: `shrink_mmap()` and
+//! `swap_out()` skip pages whose `PG_locked` or `PG_reserved` bit is set, but
+//! an elevated reference count alone does **not** keep a page mapped — the
+//! page is written to swap, unmapped and orphaned (section 3.1 of the paper).
+
+use crate::FrameId;
+
+/// Page flag bits, the subset of `PG_*` relevant to the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PageFlags(u8);
+
+impl PageFlags {
+    /// `PG_locked`: the page is locked for I/O; the page stealer must not
+    /// touch it.
+    pub const LOCKED: u8 = 1 << 0;
+    /// `PG_reserved`: the page is not available to the VM at all.
+    pub const RESERVED: u8 = 1 << 1;
+    /// Accessed ("young") bit used for second-chance aging. In real hardware
+    /// this lives in the PTE; keeping a copy here simplifies the clock pass.
+    pub const ACCESSED: u8 = 1 << 2;
+    /// Dirty: the page was written since it was last cleaned.
+    pub const DIRTY: u8 = 1 << 3;
+
+    #[inline]
+    pub fn contains(self, bit: u8) -> bool {
+        self.0 & bit != 0
+    }
+    #[inline]
+    pub fn set(&mut self, bit: u8) {
+        self.0 |= bit;
+    }
+    #[inline]
+    pub fn clear(&mut self, bit: u8) {
+        self.0 &= !bit;
+    }
+    #[inline]
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+}
+
+/// Reverse-mapping information: which (process, virtual page) currently maps
+/// this frame. Linux 2.2 had no rmap and found pages by walking page tables;
+/// we keep a single back-pointer (anonymous pages are mapped at most once in
+/// this model except for the shared zero page, which is never reclaimed) to
+/// keep the stealer honest and O(1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RMap {
+    pub pid: crate::Pid,
+    pub vpn: crate::Vpn,
+}
+
+/// Per-frame descriptor: the simulated `mem_map_t`.
+#[derive(Debug, Clone, Default)]
+pub struct PageDescriptor {
+    /// `page->count`: number of users. 0 = free.
+    pub count: u32,
+    /// `PG_*` flag bits.
+    pub flags: PageFlags,
+    /// Reverse map for the (single) anonymous mapping, if any.
+    pub rmap: Option<RMap>,
+    /// When the frame sits in the swap cache (2.4 semantics): the slot
+    /// holding its written-out copy.
+    pub swap_slot: Option<crate::SlotId>,
+}
+
+impl PageDescriptor {
+    /// True if the page is free (count == 0).
+    #[inline]
+    pub fn is_free(&self) -> bool {
+        self.count == 0
+    }
+
+    /// True if the page stealer must skip this page (locked or reserved).
+    #[inline]
+    pub fn steal_protected(&self) -> bool {
+        self.flags.contains(PageFlags::LOCKED) || self.flags.contains(PageFlags::RESERVED)
+    }
+}
+
+/// The page map: a dense array of descriptors parallel to the frame arena.
+pub struct PageMap {
+    pages: Vec<PageDescriptor>,
+}
+
+impl PageMap {
+    pub fn new(nframes: u32) -> Self {
+        PageMap {
+            pages: vec![PageDescriptor::default(); nframes as usize],
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, id: FrameId) -> &PageDescriptor {
+        &self.pages[id.0 as usize]
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self, id: FrameId) -> &mut PageDescriptor {
+        &mut self.pages[id.0 as usize]
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Iterate (frame, descriptor) pairs — used by the clock algorithm.
+    pub fn iter(&self) -> impl Iterator<Item = (FrameId, &PageDescriptor)> {
+        self.pages
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (FrameId(i as u32), d))
+    }
+
+    /// `get_page()`: take an additional reference.
+    #[inline]
+    pub fn get_page(&mut self, id: FrameId) {
+        self.pages[id.0 as usize].count += 1;
+    }
+
+    /// `__free_page()`: drop a reference; returns `true` if the count reached
+    /// zero (i.e. the frame is really free now).
+    #[inline]
+    pub fn put_page(&mut self, id: FrameId) -> Result<bool, crate::MmError> {
+        let d = &mut self.pages[id.0 as usize];
+        if d.count == 0 {
+            return Err(crate::MmError::RefcountUnderflow(id));
+        }
+        d.count -= 1;
+        Ok(d.count == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags() {
+        let mut f = PageFlags::default();
+        assert!(!f.contains(PageFlags::LOCKED));
+        f.set(PageFlags::LOCKED);
+        f.set(PageFlags::DIRTY);
+        assert!(f.contains(PageFlags::LOCKED));
+        assert!(f.contains(PageFlags::DIRTY));
+        f.clear(PageFlags::LOCKED);
+        assert!(!f.contains(PageFlags::LOCKED));
+        assert!(f.contains(PageFlags::DIRTY));
+    }
+
+    #[test]
+    fn refcounting() {
+        let mut pm = PageMap::new(2);
+        assert!(pm.get(FrameId(0)).is_free());
+        pm.get_page(FrameId(0));
+        pm.get_page(FrameId(0));
+        assert_eq!(pm.get(FrameId(0)).count, 2);
+        assert!(!pm.put_page(FrameId(0)).unwrap());
+        assert!(pm.put_page(FrameId(0)).unwrap());
+        assert!(matches!(
+            pm.put_page(FrameId(0)),
+            Err(crate::MmError::RefcountUnderflow(_))
+        ));
+    }
+
+    #[test]
+    fn steal_protection() {
+        let mut d = PageDescriptor::default();
+        assert!(!d.steal_protected());
+        d.flags.set(PageFlags::LOCKED);
+        assert!(d.steal_protected());
+        d.flags.clear(PageFlags::LOCKED);
+        d.flags.set(PageFlags::RESERVED);
+        assert!(d.steal_protected());
+    }
+}

@@ -1,0 +1,344 @@
+//! The page stealer: `try_to_free_pages` → `swap_out` →
+//! `swap_out_process`/`swap_out_vma`/`try_to_swap_out`, with the 2.2-era
+//! behaviour the paper's locktest experiment depends on:
+//!
+//! * `VM_LOCKED` VMAs are skipped entirely;
+//! * pages with `PG_locked` or `PG_reserved` are skipped;
+//! * a page with a merely **elevated reference count is still swapped out**:
+//!   its contents go to a swap slot, the PTE is redirected, and
+//!   `__free_page()` drops the mapping reference — if a driver holds extra
+//!   references, the frame is **orphaned**: never freed, never remapped, and
+//!   any NIC that captured its physical address now DMAs into a stale frame.
+
+use crate::mm::AddressSpace;
+use crate::{Kernel, Pid, Pte};
+
+/// How many candidate processes one `swap_out` call examines before giving
+/// up (2.2 used a priority-scaled counter; a full sweep keeps it simple and
+/// deterministic).
+const SWAP_PROCESS_ATTEMPTS: usize = 64;
+
+impl Kernel {
+    /// `try_to_free_pages`: attempt to put at least one frame back on the
+    /// free list. Returns `true` on success. (We have no page/buffer cache
+    /// to shrink — the simulated machine runs only anonymous memory — so the
+    /// `shrink_mmap` stage is a no-op and reclaim goes straight to
+    /// `swap_out`, which matches the pressure pattern of the paper's
+    /// `allocator` antagonist.)
+    pub(crate) fn try_to_free_pages(&mut self) -> bool {
+        self.stats.reclaim_passes += 1;
+        let mut attempts = SWAP_PROCESS_ATTEMPTS;
+        while attempts > 0 {
+            attempts -= 1;
+            match self.swap_out() {
+                SwapOutResult::FreedFrame => return true,
+                SwapOutResult::Progress => continue, // e.g. orphaned a page: PTE gone, no frame freed
+                SwapOutResult::Nothing => return false,
+            }
+        }
+        false
+    }
+
+    /// `swap_out`: pick the next process round-robin (the `swap_cnt`
+    /// weighting of 2.2 reduces to fair rotation here) and try to evict one
+    /// page from it. Every resident process eventually gets victimized —
+    /// which is how the paper's locktest process loses its pages while the
+    /// allocator antagonist runs.
+    fn swap_out(&mut self) -> SwapOutResult {
+        let mut pids: Vec<Pid> = self
+            .procs
+            .values()
+            .filter(|p| p.mm.rss() > 0)
+            .map(|p| p.pid)
+            .collect();
+        if pids.is_empty() {
+            return SwapOutResult::Nothing;
+        }
+        pids.sort();
+        let n = pids.len();
+        let start = self.swap_rotor;
+        self.swap_rotor = self.swap_rotor.wrapping_add(1) % n.max(1);
+        for i in 0..n {
+            let pid = pids[(start + i) % n];
+            match self.swap_out_process(pid) {
+                SwapOutResult::Nothing => continue,
+                r => return r,
+            }
+        }
+        SwapOutResult::Nothing
+    }
+
+    /// `swap_out_process`: walk the VMAs of one process looking for a
+    /// stealable page.
+    fn swap_out_process(&mut self, pid: Pid) -> SwapOutResult {
+        let vmas: Vec<(u64, u64, bool)> = {
+            let Ok(proc) = self.process(pid) else {
+                return SwapOutResult::Nothing;
+            };
+            proc.mm
+                .vmas
+                .iter()
+                .map(|v| (v.start, v.end, v.flags.locked))
+                .collect()
+        };
+        for (start, end, locked) in vmas {
+            if locked {
+                // swap_out_vma: skip VM_LOCKED areas wholesale.
+                let present = self
+                    .process(pid)
+                    .map(|p| {
+                        p.mm.present_vpns_in(
+                            AddressSpace::vpn(start),
+                            AddressSpace::vpn(end),
+                        )
+                        .len() as u64
+                    })
+                    .unwrap_or(0);
+                self.stats.skipped_vm_locked += present;
+                continue;
+            }
+            match self.swap_out_vma(pid, start, end) {
+                SwapOutResult::Nothing => continue,
+                r => return r,
+            }
+        }
+        SwapOutResult::Nothing
+    }
+
+    /// `swap_out_vma` + `try_to_swap_out`: scan present PTEs with a
+    /// second-chance accessed bit; evict the first cold, unprotected page.
+    fn swap_out_vma(&mut self, pid: Pid, start: u64, end: u64) -> SwapOutResult {
+        let vpns = {
+            let Ok(proc) = self.process(pid) else {
+                return SwapOutResult::Nothing;
+            };
+            proc.mm
+                .present_vpns_in(AddressSpace::vpn(start), AddressSpace::vpn(end))
+        };
+        let mut cleared_any = false;
+        for vpn in vpns {
+            // Second chance: referenced pages get their accessed bit cleared
+            // and survive this pass.
+            let (frame, accessed) = {
+                let Ok(proc) = self.process(pid) else {
+                    return SwapOutResult::Nothing;
+                };
+                match proc.mm.pte(vpn) {
+                    Some(Pte::Present {
+                        frame, accessed, ..
+                    }) => (*frame, *accessed),
+                    _ => continue,
+                }
+            };
+            if accessed {
+                if let Some(Pte::Present { accessed, .. }) =
+                    self.process_mut(pid).ok().and_then(|p| p.mm.pte_mut(vpn))
+                {
+                    *accessed = false;
+                    cleared_any = true;
+                }
+                continue;
+            }
+            // PG_locked / PG_reserved pages are untouchable.
+            if self.pagemap.get(frame).steal_protected() {
+                self.stats.skipped_pg_locked += 1;
+                continue;
+            }
+            return self.try_to_swap_out(pid, vpn, frame);
+        }
+        if cleared_any {
+            // Second chance given: a rescan will find cold pages.
+            SwapOutResult::Progress
+        } else {
+            SwapOutResult::Nothing
+        }
+    }
+
+    /// Evict one page: write to swap (unless it is the clean shared zero
+    /// page, which is simply unmapped), redirect the PTE, `__free_page`.
+    fn try_to_swap_out(&mut self, pid: Pid, vpn: u64, frame: crate::FrameId) -> SwapOutResult {
+        // The shared zero page is clean by construction: drop the PTE, the
+        // next read fault remaps it.
+        if frame == self.zero_frame {
+            if let Ok(p) = self.process_mut(pid) {
+                p.mm.clear_pte(vpn);
+            }
+            self.put_frame(frame);
+            // Dropping a zero-page ref never frees a frame (reserved), but
+            // it IS progress: rescanning will find other pages.
+            return SwapOutResult::Progress;
+        }
+
+        // Write the page out. If swap is full we cannot evict anything.
+        let mut page = [0u8; crate::PAGE_SIZE];
+        page.copy_from_slice(self.phys.frame(frame));
+        let slot = match self.swap.swap_out(&page) {
+            Ok(s) => s,
+            Err(_) => return SwapOutResult::Nothing,
+        };
+        if let Ok(p) = self.process_mut(pid) {
+            p.mm.set_pte(vpn, Pte::Swapped { slot });
+        }
+        self.stats.swap_outs += 1;
+
+        // __free_page: drop the mapping's reference. If a driver pinned the
+        // page by refcount only, the count stays positive. Under 2.2
+        // semantics the frame is orphaned — the failure the paper
+        // demonstrates. Under 2.4 semantics it enters the swap cache
+        // instead, and a refault re-unifies virtual page and frame.
+        let count_before = self.pagemap.get(frame).count;
+        if count_before > 1 && self.config.swap_cache {
+            self.pagemap.get_mut(frame).swap_slot = Some(slot);
+            self.swap_cache.insert(slot, frame);
+            self.stats.swap_cache_adds += 1;
+        }
+        self.pagemap.get_mut(frame).rmap = None;
+        self.put_frame(frame);
+        if count_before > 1 {
+            if !self.config.swap_cache {
+                self.stats.orphaned_pages += 1;
+            }
+            SwapOutResult::Progress
+        } else {
+            SwapOutResult::FreedFrame
+        }
+    }
+}
+
+enum SwapOutResult {
+    /// A frame actually landed on the free list.
+    FreedFrame,
+    /// A PTE was unmapped but no frame was freed (orphaned page or zero-page
+    /// unmap) — keep scanning.
+    Progress,
+    /// Nothing evictable found.
+    Nothing,
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{prot, Capabilities, Kernel, KernelConfig, PageFlags, PAGE_SIZE};
+
+    /// A machine with little RAM and ample swap so tests can force pressure.
+    fn tight() -> Kernel {
+        Kernel::new(KernelConfig {
+            nframes: 64,
+            reserved_frames: 4,
+            swap_slots: 1024,
+            default_rlimit_memlock: None,
+            swap_cache: false,
+        })
+    }
+
+    #[test]
+    fn pressure_triggers_swapping() {
+        let mut k = tight();
+        let victim = k.spawn_process(Capabilities::default());
+        let vbuf = k.mmap_anon(victim, 16 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        k.write_user(victim, vbuf, &vec![7u8; 16 * PAGE_SIZE]).unwrap();
+
+        // Allocator antagonist: takes (nearly) all remaining memory.
+        let hog = k.spawn_process(Capabilities::default());
+        let total = 80 * PAGE_SIZE;
+        let hbuf = k.mmap_anon(hog, total, prot::READ | prot::WRITE).unwrap();
+        k.write_user(hog, hbuf, &vec![1u8; total]).unwrap();
+
+        assert!(k.stats.swap_outs > 0, "pressure must cause page-outs");
+        // Victim's data must survive a swap round-trip.
+        let mut out = vec![0u8; 16 * PAGE_SIZE];
+        k.read_user(victim, vbuf, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 7));
+        assert!(k.stats.major_faults > 0, "read-back swaps pages in");
+    }
+
+    #[test]
+    fn vm_locked_pages_survive_in_place() {
+        let mut k = tight();
+        let victim = k.spawn_process(Capabilities::root());
+        let vbuf = k.mmap_anon(victim, 8 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        k.write_user(victim, vbuf, &vec![9u8; 8 * PAGE_SIZE]).unwrap();
+        let before = k.frames_of_range(victim, vbuf, 8 * PAGE_SIZE).unwrap();
+        k.sys_mlock(victim, vbuf, 8 * PAGE_SIZE).unwrap();
+
+        let hog = k.spawn_process(Capabilities::default());
+        let total = 60 * PAGE_SIZE;
+        let hbuf = k.mmap_anon(hog, total, prot::READ | prot::WRITE).unwrap();
+        k.write_user(hog, hbuf, &vec![1u8; total]).unwrap();
+
+        let after = k.frames_of_range(victim, vbuf, 8 * PAGE_SIZE).unwrap();
+        assert_eq!(before, after, "mlocked pages keep their frames");
+        assert!(k.stats.skipped_vm_locked > 0);
+    }
+
+    #[test]
+    fn pg_locked_pages_are_skipped() {
+        let mut k = tight();
+        let victim = k.spawn_process(Capabilities::default());
+        let vbuf = k.mmap_anon(victim, 4 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        k.write_user(victim, vbuf, &vec![3u8; 4 * PAGE_SIZE]).unwrap();
+        let frames = k.frames_of_range(victim, vbuf, 4 * PAGE_SIZE).unwrap();
+        for f in frames.iter().flatten() {
+            k.raw_set_page_flag(*f, PageFlags::LOCKED);
+        }
+
+        let hog = k.spawn_process(Capabilities::default());
+        let total = 60 * PAGE_SIZE;
+        let hbuf = k.mmap_anon(hog, total, prot::READ | prot::WRITE).unwrap();
+        k.write_user(hog, hbuf, &vec![1u8; total]).unwrap();
+
+        let after = k.frames_of_range(victim, vbuf, 4 * PAGE_SIZE).unwrap();
+        assert_eq!(frames, after, "PG_locked pages keep their frames");
+        for f in frames.iter().flatten() {
+            k.raw_clear_page_flag(*f, PageFlags::LOCKED);
+        }
+    }
+
+    #[test]
+    fn refcount_only_page_gets_orphaned() {
+        // The core of the paper's locktest: an elevated refcount does NOT
+        // prevent eviction; the frame is orphaned and the virtual page comes
+        // back elsewhere.
+        let mut k = tight();
+        let victim = k.spawn_process(Capabilities::default());
+        let vbuf = k.mmap_anon(victim, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        k.write_user(victim, vbuf, b"pinned?").unwrap();
+        let f0 = k.frame_of(victim, vbuf).unwrap().unwrap();
+        k.raw_get_page(f0); // Berkeley-VIA / M-VIA style "pin"
+
+        let hog = k.spawn_process(Capabilities::default());
+        let total = 70 * PAGE_SIZE;
+        let hbuf = k.mmap_anon(hog, total, prot::READ | prot::WRITE).unwrap();
+        k.write_user(hog, hbuf, &vec![1u8; total]).unwrap();
+
+        // The page must have been evicted despite the refcount.
+        assert!(k.frame_of(victim, vbuf).unwrap().is_none(), "PTE redirected to swap");
+        assert!(k.stats.orphaned_pages >= 1);
+
+        // Touch it back in: lands on a different frame.
+        let mut out = [0u8; 7];
+        k.read_user(victim, vbuf, &mut out).unwrap();
+        assert_eq!(&out, b"pinned?");
+        let f1 = k.frame_of(victim, vbuf).unwrap().unwrap();
+        assert_ne!(f0, f1, "swap-in allocates a fresh frame (2.2 semantics)");
+
+        // The orphan still holds the old data and the pin reference.
+        assert_eq!(k.page_descriptor(f0).count, 1);
+        assert_eq!(k.count_orphaned_frames(), 1);
+    }
+
+    #[test]
+    fn oom_when_swap_full() {
+        let mut k = Kernel::new(KernelConfig {
+            nframes: 32,
+            reserved_frames: 4,
+            swap_slots: 8,
+            default_rlimit_memlock: None,
+            swap_cache: false,
+        });
+        let pid = k.spawn_process(Capabilities::default());
+        let total = 200 * PAGE_SIZE;
+        let a = k.mmap_anon(pid, total, prot::READ | prot::WRITE).unwrap();
+        let r = k.write_user(pid, a, &vec![1u8; total]);
+        assert!(matches!(r, Err(crate::MmError::OutOfMemory)));
+    }
+}

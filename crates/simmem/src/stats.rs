@@ -1,0 +1,95 @@
+//! Counters exposed by the simulated kernel — the experiment harness reads
+//! these to report what the VM actually did under pressure.
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative memory-management statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MmStats {
+    /// Minor faults: demand-zero, COW breaks, zero-page maps.
+    pub minor_faults: u64,
+    /// Major faults: swap-ins.
+    pub major_faults: u64,
+    /// Pages written out by the stealer.
+    pub swap_outs: u64,
+    /// Pages read back in.
+    pub swap_ins: u64,
+    /// COW copies performed.
+    pub cow_copies: u64,
+    /// Calls into `try_to_free_pages` (i.e. allocations that found the free
+    /// list empty).
+    pub reclaim_passes: u64,
+    /// Pages the stealer unmapped whose reference count stayed above zero:
+    /// **orphaned frames** — the smoking gun of the paper's locktest.
+    pub orphaned_pages: u64,
+    /// Pages the stealer skipped because their VMA was `VM_LOCKED`.
+    pub skipped_vm_locked: u64,
+    /// Pages the stealer skipped because `PG_locked`/`PG_reserved` was set.
+    pub skipped_pg_locked: u64,
+    /// kiobuf pages pinned (map_user_kiobuf page grabs).
+    pub kiobuf_pins: u64,
+    /// kiobuf pages released.
+    pub kiobuf_unpins: u64,
+    /// Pages added to the swap cache (2.4 semantics only).
+    pub swap_cache_adds: u64,
+    /// Refaults satisfied from the swap cache — same frame re-mapped.
+    pub swap_cache_hits: u64,
+}
+
+impl MmStats {
+    /// Difference `self - earlier`, for windowed measurements.
+    pub fn since(&self, earlier: &MmStats) -> MmStats {
+        MmStats {
+            minor_faults: self.minor_faults - earlier.minor_faults,
+            major_faults: self.major_faults - earlier.major_faults,
+            swap_outs: self.swap_outs - earlier.swap_outs,
+            swap_ins: self.swap_ins - earlier.swap_ins,
+            cow_copies: self.cow_copies - earlier.cow_copies,
+            reclaim_passes: self.reclaim_passes - earlier.reclaim_passes,
+            orphaned_pages: self.orphaned_pages - earlier.orphaned_pages,
+            skipped_vm_locked: self.skipped_vm_locked - earlier.skipped_vm_locked,
+            skipped_pg_locked: self.skipped_pg_locked - earlier.skipped_pg_locked,
+            kiobuf_pins: self.kiobuf_pins - earlier.kiobuf_pins,
+            kiobuf_unpins: self.kiobuf_unpins - earlier.kiobuf_unpins,
+            swap_cache_adds: self.swap_cache_adds - earlier.swap_cache_adds,
+            swap_cache_hits: self.swap_cache_hits - earlier.swap_cache_hits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windowed_difference() {
+        let a = MmStats {
+            swap_outs: 10,
+            major_faults: 3,
+            ..Default::default()
+        };
+        let b = MmStats {
+            swap_outs: 25,
+            major_faults: 7,
+            ..Default::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.swap_outs, 15);
+        assert_eq!(d.major_faults, 4);
+        assert_eq!(d.minor_faults, 0);
+    }
+}
+
+/// A /proc/meminfo-style snapshot (see [`crate::Kernel::meminfo`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemInfo {
+    pub total_frames: usize,
+    pub free_frames: usize,
+    /// Present pages summed over all processes (shared pages count once
+    /// per mapping).
+    pub resident_pages: usize,
+    pub swapped_pages: usize,
+    pub orphaned_frames: usize,
+    pub swap_cache_frames: usize,
+    pub bigphys_frames: usize,
+}

@@ -1,0 +1,121 @@
+//! The swap device: a finite array of page-sized slots.
+//!
+//! 2.2-era semantics, which is what the paper's `locktest` experiment relies
+//! on: when a page is swapped out its contents move to a slot and the frame
+//! is `__free_page`d; swap-in allocates a **fresh** frame and copies the slot
+//! back. There is no swap-cache frame reuse, so a page pinned only by an
+//! elevated reference count comes back at a *different* physical address.
+
+use crate::{MmError, PAGE_SIZE};
+
+/// Index of a swap slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotId(pub u32);
+
+/// A fixed-capacity swap device.
+pub struct SwapDevice {
+    slots: Vec<Option<Box<[u8]>>>,
+    free: Vec<SlotId>,
+    /// Total writes (page-outs) ever performed, for statistics.
+    pub writes: u64,
+    /// Total reads (page-ins) ever performed.
+    pub reads: u64,
+}
+
+impl SwapDevice {
+    /// Create a device with `nslots` free slots.
+    pub fn new(nslots: u32) -> Self {
+        SwapDevice {
+            slots: (0..nslots).map(|_| None).collect(),
+            free: (0..nslots).rev().map(SlotId).collect(),
+            writes: 0,
+            reads: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
+    }
+
+    pub fn used_slots(&self) -> usize {
+        self.capacity() - self.free_slots()
+    }
+
+    /// Write a page out; returns the slot holding it (`get_swap_page` +
+    /// write).
+    pub fn swap_out(&mut self, data: &[u8]) -> Result<SlotId, MmError> {
+        debug_assert_eq!(data.len(), PAGE_SIZE);
+        let slot = self.free.pop().ok_or(MmError::SwapFull)?;
+        self.slots[slot.0 as usize] = Some(data.to_vec().into_boxed_slice());
+        self.writes += 1;
+        Ok(slot)
+    }
+
+    /// Read a page back in and free the slot (`swap_free` after read).
+    pub fn swap_in(&mut self, slot: SlotId, out: &mut [u8]) -> Result<(), MmError> {
+        debug_assert_eq!(out.len(), PAGE_SIZE);
+        let data = self.slots[slot.0 as usize]
+            .take()
+            .ok_or(MmError::InvalidArgument("swap-in from empty slot"))?;
+        out.copy_from_slice(&data);
+        self.free.push(slot);
+        self.reads += 1;
+        Ok(())
+    }
+
+    /// Drop a slot without reading it (process exit with swapped pages).
+    pub fn free_slot(&mut self, slot: SlotId) -> Result<(), MmError> {
+        if self.slots[slot.0 as usize].take().is_none() {
+            return Err(MmError::InvalidArgument("freeing empty swap slot"));
+        }
+        self.free.push(slot);
+        Ok(())
+    }
+
+    /// Peek at a slot's contents without freeing it (diagnostics only).
+    pub fn peek(&self, slot: SlotId) -> Option<&[u8]> {
+        self.slots[slot.0 as usize].as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut sd = SwapDevice::new(2);
+        let page = vec![0x5Au8; PAGE_SIZE];
+        let slot = sd.swap_out(&page).unwrap();
+        assert_eq!(sd.used_slots(), 1);
+        let mut back = vec![0u8; PAGE_SIZE];
+        sd.swap_in(slot, &mut back).unwrap();
+        assert_eq!(back, page);
+        assert_eq!(sd.used_slots(), 0);
+        assert_eq!(sd.writes, 1);
+        assert_eq!(sd.reads, 1);
+    }
+
+    #[test]
+    fn fills_up() {
+        let mut sd = SwapDevice::new(1);
+        let page = vec![0u8; PAGE_SIZE];
+        let s0 = sd.swap_out(&page).unwrap();
+        assert_eq!(sd.swap_out(&page), Err(MmError::SwapFull));
+        sd.free_slot(s0).unwrap();
+        assert!(sd.swap_out(&page).is_ok());
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut sd = SwapDevice::new(1);
+        let page = vec![0u8; PAGE_SIZE];
+        let s = sd.swap_out(&page).unwrap();
+        sd.free_slot(s).unwrap();
+        assert!(sd.free_slot(s).is_err());
+    }
+}

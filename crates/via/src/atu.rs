@@ -1,0 +1,228 @@
+//! The conventional PCI–SCI export path: one Address Translation Unit
+//! window over **contiguous physical** memory, translated linearly —
+//! Dolphin's pre-VIA memory management that the volume's papers argue
+//! against.
+//!
+//! Constraints faithfully modelled:
+//!
+//! * export granularity and alignment of 512 KiB (128 frames) — "exported
+//!   512 kB pages must be aligned to a 512 kB boundary";
+//! * the window must come from a **bigphys** reservation, because common
+//!   kernels cannot hand out large contiguous aligned regions;
+//! * translation is a plain linear offset — *no per-page protection tags*:
+//!   any remote node that can reach the window reaches all of it;
+//! * user data does not live here: communication payloads must be
+//!   bounce-copied between the window and the real user buffers (unless
+//!   the application uses a "special malloc", which the MPI papers reject
+//!   as a violation of architecture independence).
+
+use simmem::{BigphysBlock, Kernel, Pid, VirtAddr, PAGE_SIZE};
+
+use crate::error::{ViaError, ViaResult};
+use crate::nic::Node;
+
+/// Window alignment and granularity in frames: 512 KiB / 4 KiB.
+pub const WINDOW_ALIGN_FRAMES: u32 = 128;
+
+/// An exported ATU window.
+#[derive(Debug, Clone, Copy)]
+pub struct AtuWindow {
+    block: BigphysBlock,
+    /// Bytes actually requested (≤ the rounded-up block).
+    pub len: usize,
+}
+
+impl AtuWindow {
+    /// Frames actually reserved for the window (granularity-rounded).
+    pub fn reserved_frames(&self) -> u32 {
+        self.block.nframes
+    }
+
+    /// The window's base frame (what remote ATUs translate to).
+    pub fn base(&self) -> simmem::FrameId {
+        self.block.base
+    }
+}
+
+impl Node {
+    /// Export a window of `len` bytes the old way: round up to the 512 KiB
+    /// granularity, allocate aligned contiguous frames from bigphys.
+    pub fn export_window(&mut self, len: usize) -> ViaResult<AtuWindow> {
+        if len == 0 {
+            return Err(ViaError::BadState("empty window"));
+        }
+        let frames_needed = len.div_ceil(PAGE_SIZE) as u32;
+        let granular = frames_needed.next_multiple_of(WINDOW_ALIGN_FRAMES);
+        let area = self
+            .kernel
+            .bigphys_mut()
+            .ok_or(ViaError::BadState("no bigphys reservation on this node"))?;
+        let block = area
+            .alloc(granular, WINDOW_ALIGN_FRAMES)
+            .ok_or(ViaError::BadState("bigphys exhausted"))?;
+        Ok(AtuWindow { block, len })
+    }
+
+    /// Tear the window down.
+    pub fn release_window(&mut self, w: AtuWindow) -> ViaResult<()> {
+        self.kernel
+            .bigphys_mut()
+            .ok_or(ViaError::BadState("no bigphys reservation"))?
+            .free(w.block)
+            .map_err(ViaError::Mm)
+    }
+
+    /// Map the window into a process (the driver mmap of bigphys memory) so
+    /// CPU loads/stores reach it.
+    pub fn map_window(&mut self, pid: Pid, w: &AtuWindow) -> ViaResult<VirtAddr> {
+        let frames: Vec<_> = (0..w.block.nframes)
+            .map(|i| simmem::FrameId(w.block.base.0 + i))
+            .collect();
+        Ok(self.kernel.map_frames(pid, &frames)?)
+    }
+
+    /// A remote store into the window: linear translation, bounds check
+    /// only — no tags, no per-page attributes (the protection weakness of
+    /// the conventional design).
+    pub fn window_write(&mut self, w: &AtuWindow, offset: usize, data: &[u8]) -> ViaResult<()> {
+        if offset + data.len() > w.len {
+            return Err(ViaError::OutOfBounds);
+        }
+        window_io(&mut self.kernel, w, offset, IoOp::Write(data))
+    }
+
+    /// A remote load from the window.
+    pub fn window_read(&self, w: &AtuWindow, offset: usize, out: &mut [u8]) -> ViaResult<()> {
+        if offset + out.len() > w.len {
+            return Err(ViaError::OutOfBounds);
+        }
+        let mut done = 0usize;
+        while done < out.len() {
+            let abs = offset + done;
+            let frame = simmem::FrameId(w.block.base.0 + (abs / PAGE_SIZE) as u32);
+            let in_page = abs % PAGE_SIZE;
+            let chunk = (out.len() - done).min(PAGE_SIZE - in_page);
+            self.kernel.dma_read(frame, in_page, &mut out[done..done + chunk])?;
+            done += chunk;
+        }
+        Ok(())
+    }
+}
+
+enum IoOp<'a> {
+    Write(&'a [u8]),
+}
+
+fn window_io(kernel: &mut Kernel, w: &AtuWindow, offset: usize, op: IoOp<'_>) -> ViaResult<()> {
+    match op {
+        IoOp::Write(data) => {
+            let mut done = 0usize;
+            while done < data.len() {
+                let abs = offset + done;
+                let frame = simmem::FrameId(w.block.base.0 + (abs / PAGE_SIZE) as u32);
+                let in_page = abs % PAGE_SIZE;
+                let chunk = (data.len() - done).min(PAGE_SIZE - in_page);
+                kernel.dma_write(frame, in_page, &data[done..done + chunk])?;
+                done += chunk;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmem::{Capabilities, KernelConfig};
+    use vialock::StrategyKind;
+
+    fn node_with_bigphys() -> Node {
+        let mut n = Node::new(
+            KernelConfig {
+                nframes: 1024,
+                reserved_frames: 8,
+                swap_slots: 128,
+                default_rlimit_memlock: None,
+                swap_cache: false,
+            },
+            StrategyKind::KiobufReliable,
+            512,
+        );
+        n.kernel.reserve_bigphys(512).unwrap();
+        n
+    }
+
+    #[test]
+    fn export_rounds_to_window_granularity() {
+        let mut n = node_with_bigphys();
+        let w = n.export_window(10 * PAGE_SIZE).unwrap();
+        assert_eq!(w.reserved_frames(), 128, "10 pages cost a full 512 KiB window");
+        assert_eq!(w.base().0 % WINDOW_ALIGN_FRAMES, 0, "aligned");
+        // A second window fits (512 − 128 ≥ 128)…
+        let w2 = n.export_window(PAGE_SIZE).unwrap();
+        // …but a third large one does not.
+        assert!(n.export_window(300 * PAGE_SIZE).is_err());
+        n.release_window(w).unwrap();
+        n.release_window(w2).unwrap();
+    }
+
+    #[test]
+    fn no_bigphys_no_window() {
+        let mut n = Node::new(KernelConfig::small(), StrategyKind::KiobufReliable, 64);
+        assert!(n.export_window(PAGE_SIZE).is_err());
+    }
+
+    #[test]
+    fn remote_store_visible_through_process_mapping() {
+        let mut n = node_with_bigphys();
+        let pid = n.kernel.spawn_process(Capabilities::default());
+        let w = n.export_window(4 * PAGE_SIZE).unwrap();
+        let va = n.map_window(pid, &w).unwrap();
+        // Remote side stores into the window…
+        n.window_write(&w, 100, b"from afar").unwrap();
+        // …the local process reads it with plain loads.
+        let mut out = [0u8; 9];
+        n.kernel.read_user(pid, va + 100, &mut out).unwrap();
+        assert_eq!(&out, b"from afar");
+        // And the reverse direction.
+        n.kernel.write_user(pid, va + 2000, b"reply").unwrap();
+        let mut out = [0u8; 5];
+        n.window_read(&w, 2000, &mut out).unwrap();
+        assert_eq!(&out, b"reply");
+    }
+
+    #[test]
+    fn bounds_checked_but_nothing_else() {
+        let mut n = node_with_bigphys();
+        let w = n.export_window(PAGE_SIZE).unwrap();
+        assert_eq!(
+            n.window_write(&w, PAGE_SIZE - 2, b"xxx"),
+            Err(ViaError::OutOfBounds)
+        );
+        // No tags: ANY writer with the window reference succeeds — the
+        // whole window is one protection domain.
+        n.window_write(&w, 0, b"anyone").unwrap();
+    }
+
+    #[test]
+    fn window_pages_never_swap() {
+        // Bigphys frames are PG_reserved: the stealer cannot touch the
+        // window even under pressure (the one upside of the old design).
+        let mut n = node_with_bigphys();
+        let pid = n.kernel.spawn_process(Capabilities::default());
+        let w = n.export_window(2 * PAGE_SIZE).unwrap();
+        let va = n.map_window(pid, &w).unwrap();
+        n.kernel.write_user(pid, va, b"pinned by construction").unwrap();
+        let hog = n.kernel.spawn_process(Capabilities::default());
+        let hb = n
+            .kernel
+            .mmap_anon(hog, 800 * PAGE_SIZE, simmem::prot::READ | simmem::prot::WRITE)
+            .unwrap();
+        for i in 0..800 {
+            let _ = n.kernel.write_user(hog, hb + (i * PAGE_SIZE) as u64, &[1u8; 8]);
+        }
+        let mut out = [0u8; 22];
+        n.window_read(&w, 0, &mut out).unwrap();
+        assert_eq!(&out, b"pinned by construction");
+    }
+}

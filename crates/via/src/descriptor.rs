@@ -1,0 +1,178 @@
+//! VIA descriptors: the data structures a process builds in registered
+//! memory and posts to a work queue to request a transfer.
+
+use simmem::VirtAddr;
+
+use crate::tpt::MemId;
+
+/// Descriptor operation type (control-segment opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DescOp {
+    /// Two-sided send: consumes a receive descriptor at the peer.
+    Send,
+    /// Receive: pre-posted buffer for an incoming send.
+    Recv,
+    /// One-sided RDMA write into the peer's registered memory.
+    RdmaWrite,
+    /// One-sided RDMA read from the peer's registered memory (optional in
+    /// the VIA spec; expensive — two fabric traversals).
+    RdmaRead,
+}
+
+/// Completion status written back into the descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DescStatus {
+    /// Still on the work queue.
+    Pending,
+    /// Completed successfully.
+    Done,
+    /// Protection-tag or bounds check failed; no data transferred.
+    ProtectionError,
+    /// Arrived with no receive descriptor posted / buffer too small; the
+    /// connection is broken in reliable mode.
+    Dropped,
+}
+
+/// One scatter/gather element: a range of *registered* user memory.
+#[derive(Debug, Clone, Copy)]
+pub struct DataSeg {
+    pub mem: MemId,
+    pub addr: VirtAddr,
+    pub len: usize,
+}
+
+/// RDMA address segment: names the target range in the *remote* process'
+/// registered memory. The remote `MemId` travels out of band (the VIA spec
+/// leaves the exchange to the application protocol).
+#[derive(Debug, Clone, Copy)]
+pub struct RdmaSeg {
+    pub remote_mem: MemId,
+    pub remote_addr: VirtAddr,
+}
+
+/// A work-queue descriptor.
+#[derive(Debug, Clone)]
+pub struct Descriptor {
+    pub op: DescOp,
+    /// Gather (send/RDMA) or scatter (recv) list.
+    pub segs: Vec<DataSeg>,
+    /// Address segment for RDMA operations.
+    pub rdma: Option<RdmaSeg>,
+    /// Up to four bytes of immediate data carried in the descriptor itself.
+    pub imm: Option<u32>,
+    pub status: DescStatus,
+    /// Bytes actually transferred (filled at completion).
+    pub done_len: usize,
+}
+
+impl Descriptor {
+    /// A one-segment send descriptor.
+    pub fn send(mem: MemId, addr: VirtAddr, len: usize) -> Self {
+        Descriptor {
+            op: DescOp::Send,
+            segs: vec![DataSeg { mem, addr, len }],
+            rdma: None,
+            imm: None,
+            status: DescStatus::Pending,
+            done_len: 0,
+        }
+    }
+
+    /// A one-segment receive descriptor.
+    pub fn recv(mem: MemId, addr: VirtAddr, len: usize) -> Self {
+        Descriptor {
+            op: DescOp::Recv,
+            segs: vec![DataSeg { mem, addr, len }],
+            rdma: None,
+            imm: None,
+            status: DescStatus::Pending,
+            done_len: 0,
+        }
+    }
+
+    /// A one-segment RDMA-write descriptor.
+    pub fn rdma_write(
+        mem: MemId,
+        addr: VirtAddr,
+        len: usize,
+        remote_mem: MemId,
+        remote_addr: VirtAddr,
+    ) -> Self {
+        Descriptor {
+            op: DescOp::RdmaWrite,
+            segs: vec![DataSeg { mem, addr, len }],
+            rdma: Some(RdmaSeg {
+                remote_mem,
+                remote_addr,
+            }),
+            imm: None,
+            status: DescStatus::Pending,
+            done_len: 0,
+        }
+    }
+
+    /// A one-segment RDMA-read descriptor: fetch `len` bytes from the
+    /// peer's `(remote_mem, remote_addr)` into local registered memory.
+    pub fn rdma_read(
+        mem: MemId,
+        addr: VirtAddr,
+        len: usize,
+        remote_mem: MemId,
+        remote_addr: VirtAddr,
+    ) -> Self {
+        Descriptor {
+            op: DescOp::RdmaRead,
+            segs: vec![DataSeg { mem, addr, len }],
+            rdma: Some(RdmaSeg {
+                remote_mem,
+                remote_addr,
+            }),
+            imm: None,
+            status: DescStatus::Pending,
+            done_len: 0,
+        }
+    }
+
+    /// Attach immediate data.
+    pub fn with_imm(mut self, imm: u32) -> Self {
+        self.imm = Some(imm);
+        self
+    }
+
+    /// Total bytes named by the gather/scatter list.
+    pub fn total_len(&self) -> usize {
+        self.segs.iter().map(|s| s.len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let d = Descriptor::send(MemId(1), 0x1000, 64);
+        assert_eq!(d.op, DescOp::Send);
+        assert_eq!(d.total_len(), 64);
+        assert_eq!(d.status, DescStatus::Pending);
+
+        let d = Descriptor::recv(MemId(2), 0x2000, 128).with_imm(42);
+        assert_eq!(d.op, DescOp::Recv);
+        assert_eq!(d.imm, Some(42));
+
+        let d = Descriptor::rdma_write(MemId(1), 0x1000, 32, MemId(9), 0x9000);
+        assert_eq!(d.op, DescOp::RdmaWrite);
+        assert_eq!(d.rdma.unwrap().remote_mem, MemId(9));
+    }
+
+    #[test]
+    fn multi_segment_total() {
+        let mut d = Descriptor::send(MemId(1), 0x1000, 10);
+        d.segs.push(DataSeg {
+            mem: MemId(1),
+            addr: 0x3000,
+            len: 20,
+        });
+        assert_eq!(d.total_len(), 30);
+    }
+}

@@ -1,0 +1,93 @@
+//! Errors of the VIA stack.
+
+use std::fmt;
+
+use simmem::MmError;
+use vialock::RegError;
+
+/// Errors surfaced by NIC, fabric and VIPL operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViaError {
+    /// Registration layer failure.
+    Reg(RegError),
+    /// Simulated-VM failure.
+    Mm(MmError),
+    /// Memory protection tag mismatch between a VI and a memory region —
+    /// the NIC refuses the access and no data is transferred.
+    ProtectionMismatch,
+    /// The referenced VI is not connected.
+    NotConnected,
+    /// A message arrived on a VI with an empty receive queue. In reliable
+    /// delivery mode the VIA breaks the connection.
+    NoRecvDescriptor,
+    /// The receive descriptor's buffers are smaller than the message.
+    RecvTooSmall { need: usize, have: usize },
+    /// Access outside the registered region.
+    OutOfBounds,
+    /// RDMA attempted on a region without the matching enable attribute.
+    RdmaDisabled,
+    /// Unknown VI / memory / node id.
+    BadId(&'static str),
+    /// The VI is in the wrong state for the operation.
+    BadState(&'static str),
+    /// The connection was broken by a previous delivery error.
+    Disconnected,
+}
+
+impl fmt::Display for ViaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViaError::Reg(e) => write!(f, "registration error: {e}"),
+            ViaError::Mm(e) => write!(f, "memory error: {e}"),
+            ViaError::ProtectionMismatch => write!(f, "memory protection tag mismatch"),
+            ViaError::NotConnected => write!(f, "VI not connected"),
+            ViaError::NoRecvDescriptor => write!(f, "no receive descriptor posted"),
+            ViaError::RecvTooSmall { need, have } => {
+                write!(f, "receive buffer too small: need {need}, have {have}")
+            }
+            ViaError::OutOfBounds => write!(f, "access outside registered region"),
+            ViaError::RdmaDisabled => write!(f, "RDMA not enabled on region"),
+            ViaError::BadId(what) => write!(f, "unknown {what} id"),
+            ViaError::BadState(s) => write!(f, "bad VI state: {s}"),
+            ViaError::Disconnected => write!(f, "connection broken"),
+        }
+    }
+}
+
+impl std::error::Error for ViaError {}
+
+impl From<RegError> for ViaError {
+    fn from(e: RegError) -> Self {
+        ViaError::Reg(e)
+    }
+}
+
+impl From<MmError> for ViaError {
+    fn from(e: MmError) -> Self {
+        ViaError::Mm(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type ViaResult<T> = Result<T, ViaError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let e: ViaError = RegError::NoSuchHandle.into();
+        assert_eq!(e, ViaError::Reg(RegError::NoSuchHandle));
+        let e: ViaError = MmError::OutOfMemory.into();
+        assert_eq!(e, ViaError::Mm(MmError::OutOfMemory));
+    }
+
+    #[test]
+    fn display() {
+        assert!(ViaError::ProtectionMismatch.to_string().contains("tag"));
+        assert!(ViaError::RecvTooSmall { need: 10, have: 5 }
+            .to_string()
+            .contains("10"));
+    }
+}

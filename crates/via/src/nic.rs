@@ -1,0 +1,528 @@
+//! The NIC and its host node: descriptor processing, DMA through the TPT,
+//! and the kernel agent's registration trap.
+//!
+//! All data movement uses [`simmem::Kernel::dma_read`] /
+//! [`simmem::Kernel::dma_write`] with the **frame numbers stored in the
+//! TPT** — the NIC never consults page tables. A stale TPT (unreliable
+//! pinning + memory pressure) therefore reads/writes orphaned frames,
+//! invisible to the process, with no crash: precisely the failure mode the
+//! paper's locktest observes ("the first page still contained its original
+//! value").
+
+use std::collections::BTreeMap;
+
+use simmem::{Kernel, Pid, VirtAddr, PAGE_SIZE};
+use vialock::{MemoryRegistry, StrategyKind};
+
+use crate::descriptor::{DescOp, DescStatus, Descriptor};
+use crate::error::{ViaError, ViaResult};
+use crate::tpt::{Access, MemId, ProtectionTag, Tpt};
+use crate::vi::{Completion, ViId, ViState, VirtualInterface};
+
+/// Default TPT capacity in pages (Giganet's cLAN shipped with a 1 Mi-entry
+/// table; we default far smaller so capacity effects are testable).
+pub const DEFAULT_TPT_PAGES: usize = 4096;
+
+/// NIC counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NicStats {
+    pub sends: u64,
+    pub recvs: u64,
+    pub rdma_writes: u64,
+    pub rdma_reads: u64,
+    pub bytes_tx: u64,
+    pub bytes_rx: u64,
+    /// Messages dropped for lack of a receive descriptor.
+    pub dropped: u64,
+    /// Accesses refused by protection checks.
+    pub protection_errors: u64,
+}
+
+/// A packet in flight on the fabric.
+#[derive(Debug)]
+pub struct Packet {
+    pub src_node: usize,
+    pub dst_node: usize,
+    pub dst_vi: ViId,
+    pub kind: PacketKind,
+    pub payload: Vec<u8>,
+    pub imm: Option<u32>,
+}
+
+/// What kind of transfer a packet carries.
+#[derive(Debug)]
+pub enum PacketKind {
+    /// Two-sided send: matched against the peer's receive queue.
+    Send,
+    /// One-sided RDMA write: the target names its own registered memory.
+    RdmaWrite {
+        remote_mem: MemId,
+        remote_addr: VirtAddr,
+    },
+    /// RDMA-read request: the target gathers `len` bytes at
+    /// `(remote_mem, remote_addr)` and answers with a
+    /// [`PacketKind::RdmaReadResp`].
+    RdmaReadReq {
+        remote_mem: MemId,
+        remote_addr: VirtAddr,
+        len: usize,
+        /// VI at the requester to route the response back to.
+        reply_vi: ViId,
+    },
+    /// RDMA-read response: payload for the oldest pending read of the
+    /// destination VI.
+    RdmaReadResp,
+}
+
+/// The NIC: TPT, VIs and counters.
+pub struct Nic {
+    pub tpt: Tpt,
+    vis: BTreeMap<ViId, VirtualInterface>,
+    next_vi: u32,
+    pub stats: NicStats,
+}
+
+impl Nic {
+    pub fn new(tpt_pages: usize) -> Self {
+        Nic {
+            tpt: Tpt::new(tpt_pages),
+            vis: BTreeMap::new(),
+            next_vi: 0,
+            stats: NicStats::default(),
+        }
+    }
+
+    /// `VipCreateVi`: allocate a VI bound to `pid` with protection `tag`.
+    pub fn create_vi(&mut self, pid: Pid, tag: ProtectionTag) -> ViId {
+        let id = ViId(self.next_vi);
+        self.next_vi += 1;
+        self.vis.insert(id, VirtualInterface::new(id, pid, tag));
+        id
+    }
+
+    pub fn vi(&self, id: ViId) -> ViaResult<&VirtualInterface> {
+        self.vis.get(&id).ok_or(ViaError::BadId("vi"))
+    }
+
+    pub fn vi_mut(&mut self, id: ViId) -> ViaResult<&mut VirtualInterface> {
+        self.vis.get_mut(&id).ok_or(ViaError::BadId("vi"))
+    }
+
+    /// Number of VIs.
+    pub fn vi_count(&self) -> usize {
+        self.vis.len()
+    }
+
+    /// Iterate VI ids (for the fabric pump).
+    pub fn vi_ids(&self) -> Vec<ViId> {
+        self.vis.keys().copied().collect()
+    }
+}
+
+/// One cluster node: a simulated kernel, its NIC and the kernel agent's
+/// registration front-end.
+pub struct Node {
+    pub kernel: Kernel,
+    pub nic: Nic,
+    pub registry: MemoryRegistry,
+}
+
+impl Node {
+    pub fn new(config: simmem::KernelConfig, strategy: StrategyKind, tpt_pages: usize) -> Self {
+        Node {
+            kernel: Kernel::new(config),
+            nic: Nic::new(tpt_pages),
+            registry: MemoryRegistry::new(strategy),
+        }
+    }
+
+    /// `VipRegisterMem`: the trap into the kernel agent. Pins the region
+    /// with the configured strategy and fills the TPT with the physical
+    /// frames. RDMA-write is enabled by default (the common MPI setting).
+    pub fn register_mem(
+        &mut self,
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+        tag: ProtectionTag,
+    ) -> ViaResult<MemId> {
+        self.register_mem_attrs(pid, addr, len, tag, true, false)
+    }
+
+    /// `VipRegisterMem` with explicit RDMA attributes.
+    pub fn register_mem_attrs(
+        &mut self,
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+        tag: ProtectionTag,
+        rdma_write: bool,
+        rdma_read: bool,
+    ) -> ViaResult<MemId> {
+        let handle = self.registry.register(&mut self.kernel, pid, addr, len)?;
+        let frames = self.registry.frames(handle)?.to_vec();
+        match self.nic.tpt.insert_region(
+            handle, pid, addr, len, &frames, tag, rdma_write, rdma_read,
+        ) {
+            Ok(mem_id) => Ok(mem_id),
+            Err(e) => {
+                // TPT full: undo the pin.
+                self.registry.deregister(&mut self.kernel, handle)?;
+                Err(e)
+            }
+        }
+    }
+
+    /// `VipDeregisterMem`.
+    pub fn deregister_mem(&mut self, mem_id: MemId) -> ViaResult<()> {
+        let region = self.nic.tpt.remove_region(mem_id)?;
+        self.registry.deregister(&mut self.kernel, region.reg_handle)?;
+        Ok(())
+    }
+
+    /// Gather the bytes of a send/RDMA descriptor out of physical memory
+    /// through the TPT (the NIC-side DMA read).
+    fn gather(&self, vi_tag: ProtectionTag, desc: &Descriptor) -> ViaResult<Vec<u8>> {
+        let mut out = Vec::with_capacity(desc.total_len());
+        for seg in &desc.segs {
+            let mut remaining = seg.len;
+            let mut addr = seg.addr;
+            while remaining > 0 {
+                let (frame, off) = self.nic.tpt.translate(seg.mem, addr, vi_tag, Access::Local)?;
+                let chunk = remaining.min(PAGE_SIZE - off);
+                let base = out.len();
+                out.resize(base + chunk, 0);
+                self.kernel.dma_read(frame, off, &mut out[base..base + chunk])?;
+                addr += chunk as u64;
+                remaining -= chunk;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Scatter incoming bytes into the buffers of a receive descriptor (the
+    /// NIC-side DMA write).
+    fn scatter(
+        &mut self,
+        vi_tag: ProtectionTag,
+        desc: &Descriptor,
+        data: &[u8],
+    ) -> ViaResult<usize> {
+        let mut written = 0usize;
+        for seg in &desc.segs {
+            if written == data.len() {
+                break;
+            }
+            let mut addr = seg.addr;
+            let mut room = seg.len;
+            while room > 0 && written < data.len() {
+                let (frame, off) = self.nic.tpt.translate(seg.mem, addr, vi_tag, Access::Local)?;
+                let chunk = room.min(PAGE_SIZE - off).min(data.len() - written);
+                self.kernel
+                    .dma_write(frame, off, &data[written..written + chunk])?;
+                addr += chunk as u64;
+                room -= chunk;
+                written += chunk;
+            }
+        }
+        Ok(written)
+    }
+
+    /// RDMA-write delivery: scatter straight into the named remote region
+    /// (checking the target VI's tag and the region's RDMA-write enable).
+    fn rdma_scatter(
+        &mut self,
+        vi_tag: ProtectionTag,
+        remote_mem: MemId,
+        remote_addr: VirtAddr,
+        data: &[u8],
+    ) -> ViaResult<()> {
+        let mut written = 0usize;
+        let mut addr = remote_addr;
+        while written < data.len() {
+            let (frame, off) = self.nic.tpt.translate(remote_mem, addr, vi_tag, Access::RdmaWrite)?;
+            let chunk = (data.len() - written).min(PAGE_SIZE - off);
+            self.kernel
+                .dma_write(frame, off, &data[written..written + chunk])?;
+            addr += chunk as u64;
+            written += chunk;
+        }
+        Ok(())
+    }
+
+    /// Process all pending send-side descriptors of one VI, emitting
+    /// packets. Send descriptors complete as soon as the DMA gather is done
+    /// (data "on the wire").
+    pub fn pump_vi_sends(&mut self, vi_id: ViId, node_index: usize) -> ViaResult<Vec<Packet>> {
+        let mut packets = Vec::new();
+        while let Some(desc) = self.nic.vi_mut(vi_id)?.send_q.pop_front() {
+            if let Some(pkt) = self.execute_send_desc(vi_id, desc, node_index)? {
+                packets.push(pkt);
+            }
+        }
+        Ok(packets)
+    }
+
+    /// Native-mode pump: DMA-fetch every posted descriptor from the VI's
+    /// send ring (see [`crate::ring`]) and execute it — the real-hardware
+    /// critical path with its extra descriptor-fetch DMA.
+    pub fn pump_ring_sends(
+        &mut self,
+        vi_id: ViId,
+        ring: &mut crate::ring::DescriptorRing,
+        node_index: usize,
+    ) -> ViaResult<Vec<Packet>> {
+        let tag = self.nic.vi(vi_id)?.tag;
+        let mut packets = Vec::new();
+        while let Some(desc) = ring.fetch_next(&self.kernel, &self.nic.tpt, tag)? {
+            if let Some(pkt) = self.execute_send_desc(vi_id, desc, node_index)? {
+                packets.push(pkt);
+            }
+        }
+        Ok(packets)
+    }
+
+    /// Native-mode receive prefetch: DMA-fetch posted receive descriptors
+    /// from a ring into the VI's receive queue.
+    pub fn prefetch_ring_recvs(
+        &mut self,
+        vi_id: ViId,
+        ring: &mut crate::ring::DescriptorRing,
+    ) -> ViaResult<usize> {
+        let tag = self.nic.vi(vi_id)?.tag;
+        let mut n = 0usize;
+        while let Some(desc) = ring.fetch_next(&self.kernel, &self.nic.tpt, tag)? {
+            if desc.op != DescOp::Recv {
+                return Err(ViaError::BadState("non-recv descriptor on recv ring"));
+            }
+            self.nic.vi_mut(vi_id)?.recv_q.push_back(desc);
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Execute one send-side descriptor: gather through the TPT, emit the
+    /// packet, complete. RDMA reads park on the pending queue instead.
+    fn execute_send_desc(
+        &mut self,
+        vi_id: ViId,
+        mut desc: Descriptor,
+        node_index: usize,
+    ) -> ViaResult<Option<Packet>> {
+        let (tag, peer, state) = {
+            let vi = self.nic.vi(vi_id)?;
+            (vi.tag, vi.peer, vi.state)
+        };
+        if state != ViState::Connected {
+            return Err(ViaError::NotConnected);
+        }
+        let (dst_node, dst_vi) = peer.ok_or(ViaError::NotConnected)?;
+        if desc.op == DescOp::RdmaRead {
+            // No local gather yet: emit the request, park the descriptor
+            // until the response arrives.
+            let r = desc.rdma.expect("rdma-read descriptor has address segment");
+            let len = desc.total_len();
+            self.nic.stats.rdma_reads += 1;
+            let pkt = Packet {
+                src_node: node_index,
+                dst_node,
+                dst_vi,
+                kind: PacketKind::RdmaReadReq {
+                    remote_mem: r.remote_mem,
+                    remote_addr: r.remote_addr,
+                    len,
+                    reply_vi: vi_id,
+                },
+                payload: Vec::new(),
+                imm: desc.imm,
+            };
+            self.nic.vi_mut(vi_id)?.pending_reads.push_back(desc);
+            return Ok(Some(pkt));
+        }
+        match self.gather(tag, &desc) {
+            Ok(payload) => {
+                desc.status = DescStatus::Done;
+                desc.done_len = payload.len();
+                let kind = match desc.op {
+                    DescOp::Send => {
+                        self.nic.stats.sends += 1;
+                        PacketKind::Send
+                    }
+                    DescOp::RdmaWrite => {
+                        self.nic.stats.rdma_writes += 1;
+                        let r = desc.rdma.expect("rdma descriptor has address segment");
+                        PacketKind::RdmaWrite {
+                            remote_mem: r.remote_mem,
+                            remote_addr: r.remote_addr,
+                        }
+                    }
+                    DescOp::Recv => return Err(ViaError::BadState("recv on send queue")),
+                    DescOp::RdmaRead => unreachable!("handled above"),
+                };
+                self.nic.stats.bytes_tx += payload.len() as u64;
+                let pkt = Packet {
+                    src_node: node_index,
+                    dst_node,
+                    dst_vi,
+                    kind,
+                    payload,
+                    imm: desc.imm,
+                };
+                let vi = self.nic.vi_mut(vi_id)?;
+                vi.cq.push_back(Completion {
+                    vi: vi_id,
+                    op: desc.op,
+                    status: DescStatus::Done,
+                    len: desc.done_len,
+                    imm: desc.imm,
+                });
+                Ok(Some(pkt))
+            }
+            Err(e) => {
+                self.nic.stats.protection_errors += 1;
+                let vi = self.nic.vi_mut(vi_id)?;
+                vi.cq.push_back(Completion {
+                    vi: vi_id,
+                    op: desc.op,
+                    status: DescStatus::ProtectionError,
+                    len: 0,
+                    imm: desc.imm,
+                });
+                let _ = e;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Deliver one incoming packet to this node; may produce response
+    /// packets (RDMA-read answers) for the fabric to route.
+    pub fn deliver(&mut self, packet: Packet) -> ViaResult<Vec<Packet>> {
+        let vi_id = packet.dst_vi;
+        let tag = self.nic.vi(vi_id)?.tag;
+        match packet.kind {
+            PacketKind::Send => {
+                let Some(mut desc) = self.nic.vi_mut(vi_id)?.recv_q.pop_front() else {
+                    // Reliable mode: drop the message AND break the
+                    // connection.
+                    self.nic.stats.dropped += 1;
+                    self.nic.vi_mut(vi_id)?.state = ViState::Error;
+                    return Err(ViaError::NoRecvDescriptor);
+                };
+                if desc.total_len() < packet.payload.len() {
+                    self.nic.stats.dropped += 1;
+                    let vi = self.nic.vi_mut(vi_id)?;
+                    vi.state = ViState::Error;
+                    vi.cq.push_back(Completion {
+                        vi: vi_id,
+                        op: DescOp::Recv,
+                        status: DescStatus::Dropped,
+                        len: 0,
+                        imm: packet.imm,
+                    });
+                    return Err(ViaError::RecvTooSmall {
+                        need: packet.payload.len(),
+                        have: desc.total_len(),
+                    });
+                }
+                let written = self.scatter(tag, &desc, &packet.payload)?;
+                desc.status = DescStatus::Done;
+                desc.done_len = written;
+                self.nic.stats.recvs += 1;
+                self.nic.stats.bytes_rx += written as u64;
+                let vi = self.nic.vi_mut(vi_id)?;
+                vi.cq.push_back(Completion {
+                    vi: vi_id,
+                    op: DescOp::Recv,
+                    status: DescStatus::Done,
+                    len: written,
+                    imm: packet.imm,
+                });
+                Ok(Vec::new())
+            }
+            PacketKind::RdmaWrite {
+                remote_mem,
+                remote_addr,
+            } => {
+                let n = packet.payload.len();
+                match self.rdma_scatter(tag, remote_mem, remote_addr, &packet.payload) {
+                    Ok(()) => {
+                        self.nic.stats.bytes_rx += n as u64;
+                        Ok(Vec::new())
+                    }
+                    Err(e) => {
+                        self.nic.stats.protection_errors += 1;
+                        Err(e)
+                    }
+                }
+            }
+            PacketKind::RdmaReadReq {
+                remote_mem,
+                remote_addr,
+                len,
+                reply_vi,
+            } => {
+                // Target side: gather the requested range (tag + read-enable
+                // checked) and answer.
+                match self.rdma_gather(tag, remote_mem, remote_addr, len) {
+                    Ok(payload) => {
+                        self.nic.stats.bytes_tx += payload.len() as u64;
+                        Ok(vec![Packet {
+                            src_node: packet.dst_node,
+                            dst_node: packet.src_node,
+                            dst_vi: reply_vi,
+                            kind: PacketKind::RdmaReadResp,
+                            payload,
+                            imm: packet.imm,
+                        }])
+                    }
+                    Err(e) => {
+                        self.nic.stats.protection_errors += 1;
+                        Err(e)
+                    }
+                }
+            }
+            PacketKind::RdmaReadResp => {
+                // Requester side: scatter into the parked read descriptor.
+                let Some(mut desc) = self.nic.vi_mut(vi_id)?.pending_reads.pop_front() else {
+                    return Err(ViaError::BadState("read response without pending read"));
+                };
+                let written = self.scatter(tag, &desc, &packet.payload)?;
+                desc.status = DescStatus::Done;
+                desc.done_len = written;
+                self.nic.stats.bytes_rx += written as u64;
+                let vi = self.nic.vi_mut(vi_id)?;
+                vi.cq.push_back(Completion {
+                    vi: vi_id,
+                    op: DescOp::RdmaRead,
+                    status: DescStatus::Done,
+                    len: written,
+                    imm: packet.imm,
+                });
+                Ok(Vec::new())
+            }
+        }
+    }
+
+    /// Gather `len` bytes from a named region for an RDMA-read request
+    /// (checking the target VI's tag and the region's read-enable).
+    fn rdma_gather(
+        &self,
+        vi_tag: ProtectionTag,
+        remote_mem: MemId,
+        remote_addr: VirtAddr,
+        len: usize,
+    ) -> ViaResult<Vec<u8>> {
+        let mut out = Vec::with_capacity(len);
+        let mut addr = remote_addr;
+        while out.len() < len {
+            let (frame, off) =
+                self.nic.tpt.translate(remote_mem, addr, vi_tag, Access::RdmaRead)?;
+            let chunk = (len - out.len()).min(PAGE_SIZE - off);
+            let base = out.len();
+            out.resize(base + chunk, 0);
+            self.kernel.dma_read(frame, off, &mut out[base..base + chunk])?;
+            addr += chunk as u64;
+        }
+        Ok(out)
+    }
+}

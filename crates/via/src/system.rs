@@ -1,0 +1,731 @@
+//! The fabric: a set of [`Node`]s plus packet routing — the "cluster" a
+//! VIA application runs on.
+//!
+//! [`ViaSystem::pump`] drains every NIC's send queues, routes the resulting
+//! packets, and delivers them, looping until the fabric is quiescent. All
+//! methods are node-indexed so one test can hold the entire cluster.
+
+use simmem::{Capabilities, Kernel, KernelConfig, Pid, VirtAddr};
+use vialock::StrategyKind;
+
+use crate::descriptor::Descriptor;
+use crate::error::{ViaError, ViaResult};
+use crate::nic::{Node, Packet, DEFAULT_TPT_PAGES};
+use crate::tpt::{MemId, ProtectionTag};
+use crate::vi::{Completion, ViId, ViState};
+
+/// Index of a node in the system.
+pub type NodeId = usize;
+
+/// A cluster of nodes connected by a (so far ideal) fabric.
+pub struct ViaSystem {
+    nodes: Vec<Node>,
+    /// Packets in flight, delivered FIFO by [`ViaSystem::pump`].
+    in_flight: Vec<Packet>,
+    /// Connection manager: listening endpoints keyed by
+    /// (node, discriminator) — the VIA connection-establishment address.
+    listeners: std::collections::HashMap<(NodeId, u64), ViId>,
+}
+
+impl ViaSystem {
+    /// Build `n` identical nodes with the given kernel configuration and
+    /// pinning strategy.
+    pub fn new(n: usize, config: KernelConfig, strategy: StrategyKind) -> Self {
+        ViaSystem {
+            nodes: (0..n)
+                .map(|_| Node::new(config, strategy, DEFAULT_TPT_PAGES))
+                .collect(),
+            in_flight: Vec::new(),
+            listeners: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Borrow one node.
+    pub fn node(&self, n: NodeId) -> &Node {
+        &self.nodes[n]
+    }
+
+    /// Borrow one node mutably.
+    pub fn node_mut(&mut self, n: NodeId) -> &mut Node {
+        &mut self.nodes[n]
+    }
+
+    /// Direct access to a node's kernel (workload harnesses use this to run
+    /// antagonist processes).
+    pub fn kernel_mut(&mut self, n: NodeId) -> &mut Kernel {
+        &mut self.nodes[n].kernel
+    }
+
+    // ------------------------------------------------------------------
+    // Convenience wrappers (the VIPL facade calls these)
+    // ------------------------------------------------------------------
+
+    /// Spawn an unprivileged process on node `n`.
+    pub fn spawn_process(&mut self, n: NodeId) -> Pid {
+        self.nodes[n].kernel.spawn_process(Capabilities::default())
+    }
+
+    /// Anonymous mapping in a node-local process.
+    pub fn mmap(&mut self, n: NodeId, pid: Pid, len: usize, prot: u8) -> ViaResult<VirtAddr> {
+        Ok(self.nodes[n].kernel.mmap_anon(pid, len, prot)?)
+    }
+
+    /// CPU store into user memory (runs the fault path).
+    pub fn write_user(&mut self, n: NodeId, pid: Pid, addr: VirtAddr, data: &[u8]) -> ViaResult<()> {
+        Ok(self.nodes[n].kernel.write_user(pid, addr, data)?)
+    }
+
+    /// CPU load from user memory.
+    pub fn read_user(
+        &mut self,
+        n: NodeId,
+        pid: Pid,
+        addr: VirtAddr,
+        out: &mut [u8],
+    ) -> ViaResult<()> {
+        Ok(self.nodes[n].kernel.read_user(pid, addr, out)?)
+    }
+
+    /// Create a VI on node `n`.
+    pub fn create_vi(&mut self, n: NodeId, pid: Pid, tag: ProtectionTag) -> ViaResult<ViId> {
+        Ok(self.nodes[n].nic.create_vi(pid, tag))
+    }
+
+    /// Connect two VIs (the client/server handshake collapsed into one
+    /// fabric-level operation).
+    pub fn connect(&mut self, a: (NodeId, ViId), b: (NodeId, ViId)) -> ViaResult<()> {
+        {
+            let vi = self.nodes[a.0].nic.vi_mut(a.1)?;
+            if vi.state != ViState::Idle {
+                return Err(ViaError::BadState("connect on non-idle VI"));
+            }
+            vi.peer = Some((b.0, b.1));
+            vi.state = ViState::Connected;
+        }
+        {
+            let vi = self.nodes[b.0].nic.vi_mut(b.1)?;
+            if vi.state != ViState::Idle {
+                return Err(ViaError::BadState("connect on non-idle VI"));
+            }
+            vi.peer = Some((a.0, a.1));
+            vi.state = ViState::Connected;
+        }
+        Ok(())
+    }
+
+    /// `VipConnectWait` (server side): park an idle VI on a connection
+    /// discriminator. A later [`ViaSystem::connect_request`] to the same
+    /// (node, discriminator) completes the handshake.
+    pub fn connect_wait(&mut self, n: NodeId, vi: ViId, discriminator: u64) -> ViaResult<()> {
+        if self.listeners.contains_key(&(n, discriminator)) {
+            return Err(ViaError::BadState("discriminator already has a listener"));
+        }
+        let v = self.nodes[n].nic.vi_mut(vi)?;
+        if v.state != ViState::Idle {
+            return Err(ViaError::BadState("connect_wait on non-idle VI"));
+        }
+        v.state = ViState::Listening;
+        self.listeners.insert((n, discriminator), vi);
+        Ok(())
+    }
+
+    /// `VipConnectRequest` (client side): connect the idle VI `a` to the
+    /// listener parked at `(server_node, discriminator)`.
+    pub fn connect_request(
+        &mut self,
+        a: (NodeId, ViId),
+        server_node: NodeId,
+        discriminator: u64,
+    ) -> ViaResult<()> {
+        let server_vi = self
+            .listeners
+            .remove(&(server_node, discriminator))
+            .ok_or(ViaError::BadState("no listener at discriminator"))?;
+        {
+            let v = self.nodes[a.0].nic.vi_mut(a.1)?;
+            if v.state != ViState::Idle {
+                self.listeners.insert((server_node, discriminator), server_vi);
+                return Err(ViaError::BadState("connect_request on non-idle VI"));
+            }
+            v.peer = Some((server_node, server_vi));
+            v.state = ViState::Connected;
+        }
+        let v = self.nodes[server_node].nic.vi_mut(server_vi)?;
+        v.peer = Some(a);
+        v.state = ViState::Connected;
+        Ok(())
+    }
+
+    /// `VipDisconnect`: tear a connection down from either end. Both VIs
+    /// return to `Idle`; descriptors still queued complete as `Dropped`.
+    pub fn disconnect(&mut self, n: NodeId, vi: ViId) -> ViaResult<()> {
+        let peer = {
+            let v = self.nodes[n].nic.vi_mut(vi)?;
+            if v.state != ViState::Connected && v.state != ViState::Error {
+                return Err(ViaError::NotConnected);
+            }
+            v.peer.take()
+        };
+        self.flush_vi(n, vi)?;
+        if let Some((pn, pv)) = peer {
+            if let Ok(v) = self.nodes[pn].nic.vi_mut(pv) {
+                v.peer = None;
+            }
+            let _ = self.flush_vi(pn, pv);
+        }
+        Ok(())
+    }
+
+    /// Complete every queued descriptor of a VI as `Dropped` and idle it.
+    fn flush_vi(&mut self, n: NodeId, vi: ViId) -> ViaResult<()> {
+        let v = self.nodes[n].nic.vi_mut(vi)?;
+        let mut flushed: Vec<crate::descriptor::Descriptor> = v.send_q.drain(..).collect();
+        flushed.extend(v.recv_q.drain(..));
+        for d in flushed {
+            v.cq.push_back(crate::vi::Completion {
+                vi,
+                op: d.op,
+                status: crate::descriptor::DescStatus::Dropped,
+                len: 0,
+                imm: d.imm,
+            });
+        }
+        v.state = ViState::Idle;
+        Ok(())
+    }
+
+    /// Register memory on node `n` (kernel-agent trap).
+    pub fn register_mem(
+        &mut self,
+        n: NodeId,
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+        tag: ProtectionTag,
+    ) -> ViaResult<MemId> {
+        self.nodes[n].register_mem(pid, addr, len, tag)
+    }
+
+    /// Deregister memory on node `n`.
+    pub fn deregister_mem(&mut self, n: NodeId, mem: MemId) -> ViaResult<()> {
+        self.nodes[n].deregister_mem(mem)
+    }
+
+    /// Post a one-segment send descriptor and ring the doorbell.
+    pub fn post_send(
+        &mut self,
+        n: NodeId,
+        vi: ViId,
+        mem: MemId,
+        addr: VirtAddr,
+        len: usize,
+    ) -> ViaResult<()> {
+        self.post_send_desc(n, vi, Descriptor::send(mem, addr, len))
+    }
+
+    /// Post an arbitrary send-side descriptor.
+    pub fn post_send_desc(&mut self, n: NodeId, vi: ViId, desc: Descriptor) -> ViaResult<()> {
+        let v = self.nodes[n].nic.vi_mut(vi)?;
+        if v.state == ViState::Error {
+            return Err(ViaError::Disconnected);
+        }
+        v.send_q.push_back(desc);
+        Ok(())
+    }
+
+    /// Post a one-segment receive descriptor.
+    pub fn post_recv(
+        &mut self,
+        n: NodeId,
+        vi: ViId,
+        mem: MemId,
+        addr: VirtAddr,
+        len: usize,
+    ) -> ViaResult<()> {
+        self.post_recv_desc(n, vi, Descriptor::recv(mem, addr, len))
+    }
+
+    /// Post an arbitrary receive descriptor.
+    pub fn post_recv_desc(&mut self, n: NodeId, vi: ViId, desc: Descriptor) -> ViaResult<()> {
+        let v = self.nodes[n].nic.vi_mut(vi)?;
+        if v.state == ViState::Error {
+            return Err(ViaError::Disconnected);
+        }
+        v.recv_q.push_back(desc);
+        Ok(())
+    }
+
+    /// Post a one-segment RDMA write.
+    #[allow(clippy::too_many_arguments)]
+    pub fn post_rdma_write(
+        &mut self,
+        n: NodeId,
+        vi: ViId,
+        local_mem: MemId,
+        local_addr: VirtAddr,
+        len: usize,
+        remote_mem: MemId,
+        remote_addr: VirtAddr,
+    ) -> ViaResult<()> {
+        self.post_send_desc(
+            n,
+            vi,
+            Descriptor::rdma_write(local_mem, local_addr, len, remote_mem, remote_addr),
+        )
+    }
+
+    /// Post a one-segment RDMA read.
+    #[allow(clippy::too_many_arguments)]
+    pub fn post_rdma_read(
+        &mut self,
+        n: NodeId,
+        vi: ViId,
+        local_mem: MemId,
+        local_addr: VirtAddr,
+        len: usize,
+        remote_mem: MemId,
+        remote_addr: VirtAddr,
+    ) -> ViaResult<()> {
+        self.post_send_desc(
+            n,
+            vi,
+            Descriptor::rdma_read(local_mem, local_addr, len, remote_mem, remote_addr),
+        )
+    }
+
+    /// Poll one VI's completion queue.
+    pub fn poll_cq(&mut self, n: NodeId, vi: ViId) -> ViaResult<Option<Completion>> {
+        Ok(self.nodes[n].nic.vi_mut(vi)?.poll_cq())
+    }
+
+    // ------------------------------------------------------------------
+    // SCI shared-memory PIO
+    // ------------------------------------------------------------------
+
+    /// SCI-style programmed I/O: the CPU on `src` loads `len` bytes from its
+    /// own user buffer and stores them into memory **imported** from `dst` —
+    /// a registered (exported) region addressed by `(MemId, byte offset)`.
+    ///
+    /// No descriptors, no doorbells: protection on the importer side is the
+    /// host MMU (modelled by the mapping existing at all), and on the
+    /// exporter side the region's own tag, so translation uses the region
+    /// tag. The transfer still lands through the TPT's *physical* frames —
+    /// an exported page that the VM relocated under a bad pinning strategy
+    /// is missed exactly as with DMA.
+    pub fn sci_write(
+        &mut self,
+        src: (NodeId, Pid, VirtAddr),
+        len: usize,
+        dst: (NodeId, MemId, usize),
+    ) -> ViaResult<()> {
+        let (sn, spid, saddr) = src;
+        let (dn, dmem, doff) = dst;
+        let mut buf = vec![0u8; len];
+        self.nodes[sn].kernel.read_user(spid, saddr, &mut buf)?;
+        self.sci_write_bytes(&buf, (dn, dmem, doff))
+    }
+
+    /// [`ViaSystem::sci_write`] with an in-flight byte buffer as source
+    /// (used for control words built in registers rather than memory).
+    pub fn sci_write_bytes(
+        &mut self,
+        data: &[u8],
+        dst: (NodeId, MemId, usize),
+    ) -> ViaResult<()> {
+        let (dn, dmem, doff) = dst;
+        let node = &mut self.nodes[dn];
+        let region = node.nic.tpt.region(dmem)?.clone();
+        if doff + data.len() > region.len {
+            return Err(ViaError::OutOfBounds);
+        }
+        let tag = region.tag;
+        let mut written = 0usize;
+        while written < data.len() {
+            let addr = region.user_addr + (doff + written) as u64;
+            let (frame, off) = node.nic.tpt.translate(dmem, addr, tag, crate::tpt::Access::Local)?;
+            let chunk = (data.len() - written).min(simmem::PAGE_SIZE - off);
+            node.kernel.dma_write(frame, off, &data[written..written + chunk])?;
+            written += chunk;
+        }
+        Ok(())
+    }
+
+    /// SCI remote *read* (expensive on real hardware — the CHEMPI paper
+    /// avoids it; provided for completeness and tests).
+    pub fn sci_read_bytes(
+        &mut self,
+        src: (NodeId, MemId, usize),
+        out: &mut [u8],
+    ) -> ViaResult<()> {
+        let (sn, smem, soff) = src;
+        let node = &self.nodes[sn];
+        let region = node.nic.tpt.region(smem)?.clone();
+        if soff + out.len() > region.len {
+            return Err(ViaError::OutOfBounds);
+        }
+        let tag = region.tag;
+        let mut read = 0usize;
+        while read < out.len() {
+            let addr = region.user_addr + (soff + read) as u64;
+            let (frame, off) = node.nic.tpt.translate(smem, addr, tag, crate::tpt::Access::Local)?;
+            let chunk = (out.len() - read).min(simmem::PAGE_SIZE - off);
+            node.kernel.dma_read(frame, off, &mut out[read..read + chunk])?;
+            read += chunk;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // The fabric pump
+    // ------------------------------------------------------------------
+
+    /// Drain every send queue, route packets, deliver, repeat until
+    /// quiescent. Returns the number of packets delivered. Delivery errors
+    /// (no receive descriptor, protection) are recorded in the NIC stats and
+    /// the VI state; the first one is also returned so tests can assert on
+    /// it.
+    pub fn pump(&mut self) -> ViaResult<usize> {
+        let mut delivered = 0usize;
+        let mut first_error: Option<ViaError> = None;
+        loop {
+            // Collect packets from every node.
+            for n in 0..self.nodes.len() {
+                for vi in self.nodes[n].nic.vi_ids() {
+                    let has_sends = self.nodes[n].nic.vi(vi)?.sends_pending() > 0;
+                    if !has_sends {
+                        continue;
+                    }
+                    let mut pkts = self.nodes[n].pump_vi_sends(vi, n)?;
+                    self.in_flight.append(&mut pkts);
+                }
+            }
+            if self.in_flight.is_empty() {
+                break;
+            }
+            // Deliver FIFO; deliveries may spawn response packets
+            // (RDMA-read answers) that go back in flight.
+            for pkt in std::mem::take(&mut self.in_flight) {
+                let dst = pkt.dst_node;
+                match self.nodes[dst].deliver(pkt) {
+                    Ok(mut responses) => {
+                        delivered += 1;
+                        self.in_flight.append(&mut responses);
+                    }
+                    Err(e) => {
+                        if first_error.is_none() {
+                            first_error = Some(e);
+                        }
+                    }
+                }
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(delivered),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmem::{prot, PAGE_SIZE};
+
+    fn two_node_setup(
+        strategy: StrategyKind,
+    ) -> (ViaSystem, Pid, Pid, ViId, ViId, ProtectionTag) {
+        let mut sys = ViaSystem::new(2, KernelConfig::small(), strategy);
+        let pa = sys.spawn_process(0);
+        let pb = sys.spawn_process(1);
+        let tag = ProtectionTag(1);
+        let va = sys.create_vi(0, pa, tag).unwrap();
+        let vb = sys.create_vi(1, pb, tag).unwrap();
+        sys.connect((0, va), (1, vb)).unwrap();
+        (sys, pa, pb, va, vb, tag)
+    }
+
+    #[test]
+    fn send_receive_roundtrip() {
+        let (mut sys, pa, pb, va, vb, tag) = two_node_setup(StrategyKind::KiobufReliable);
+        let sbuf = sys.mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let rbuf = sys.mmap(1, pb, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        sys.write_user(0, pa, sbuf, b"payload!").unwrap();
+        let sh = sys.register_mem(0, pa, sbuf, PAGE_SIZE, tag).unwrap();
+        let rh = sys.register_mem(1, pb, rbuf, PAGE_SIZE, tag).unwrap();
+        sys.post_recv(1, vb, rh, rbuf, PAGE_SIZE).unwrap();
+        sys.post_send(0, va, sh, sbuf, 8).unwrap();
+        assert_eq!(sys.pump().unwrap(), 1);
+
+        let mut out = [0u8; 8];
+        sys.read_user(1, pb, rbuf, &mut out).unwrap();
+        assert_eq!(&out, b"payload!");
+
+        // Both sides completed.
+        let cs = sys.poll_cq(0, va).unwrap().unwrap();
+        assert_eq!(cs.status, crate::descriptor::DescStatus::Done);
+        let cr = sys.poll_cq(1, vb).unwrap().unwrap();
+        assert_eq!(cr.len, 8);
+    }
+
+    #[test]
+    fn send_without_recv_breaks_connection() {
+        let (mut sys, pa, _pb, va, vb, tag) = two_node_setup(StrategyKind::KiobufReliable);
+        let sbuf = sys.mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        sys.write_user(0, pa, sbuf, b"x").unwrap();
+        let sh = sys.register_mem(0, pa, sbuf, PAGE_SIZE, tag).unwrap();
+        sys.post_send(0, va, sh, sbuf, 1).unwrap();
+        assert_eq!(sys.pump(), Err(ViaError::NoRecvDescriptor));
+        assert_eq!(sys.node(1).nic.vi(vb).unwrap().state, ViState::Error);
+        assert_eq!(sys.node(1).nic.stats.dropped, 1);
+        // Further posts on the broken VI are refused.
+        assert_eq!(
+            sys.post_recv(1, vb, MemId(1), 0, 1),
+            Err(ViaError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn rdma_write_roundtrip() {
+        let (mut sys, pa, pb, va, _vb, tag) = two_node_setup(StrategyKind::KiobufReliable);
+        let sbuf = sys.mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let rbuf = sys.mmap(1, pb, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        sys.write_user(0, pa, sbuf, b"one-sided").unwrap();
+        let sh = sys.register_mem(0, pa, sbuf, PAGE_SIZE, tag).unwrap();
+        let rh = sys.register_mem(1, pb, rbuf, PAGE_SIZE, tag).unwrap();
+        // No receive descriptor needed: one-sided.
+        sys.post_rdma_write(0, va, sh, sbuf, 9, rh, rbuf).unwrap();
+        sys.pump().unwrap();
+        let mut out = [0u8; 9];
+        sys.read_user(1, pb, rbuf, &mut out).unwrap();
+        assert_eq!(&out, b"one-sided");
+    }
+
+    #[test]
+    fn protection_tag_mismatch_refused() {
+        let mut sys = ViaSystem::new(2, KernelConfig::small(), StrategyKind::KiobufReliable);
+        let pa = sys.spawn_process(0);
+        let pb = sys.spawn_process(1);
+        let va = sys.create_vi(0, pa, ProtectionTag(1)).unwrap();
+        let vb = sys.create_vi(1, pb, ProtectionTag(2)).unwrap();
+        sys.connect((0, va), (1, vb)).unwrap();
+        let sbuf = sys.mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        // Buffer registered with a DIFFERENT tag than the VI.
+        let sh = sys.register_mem(0, pa, sbuf, PAGE_SIZE, ProtectionTag(9)).unwrap();
+        sys.post_send(0, va, sh, sbuf, 4).unwrap();
+        sys.pump().unwrap();
+        let c = sys.poll_cq(0, va).unwrap().unwrap();
+        assert_eq!(c.status, crate::descriptor::DescStatus::ProtectionError);
+        assert_eq!(sys.node(0).nic.stats.protection_errors, 1);
+        assert_eq!(sys.node(1).nic.stats.recvs, 0, "no data transferred");
+    }
+
+    #[test]
+    fn recv_too_small_is_dropped() {
+        let (mut sys, pa, pb, va, vb, tag) = two_node_setup(StrategyKind::KiobufReliable);
+        let sbuf = sys.mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let rbuf = sys.mmap(1, pb, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        sys.write_user(0, pa, sbuf, &[9u8; 128]).unwrap();
+        let sh = sys.register_mem(0, pa, sbuf, PAGE_SIZE, tag).unwrap();
+        let rh = sys.register_mem(1, pb, rbuf, PAGE_SIZE, tag).unwrap();
+        sys.post_recv(1, vb, rh, rbuf, 16).unwrap(); // too small
+        sys.post_send(0, va, sh, sbuf, 128).unwrap();
+        assert!(matches!(
+            sys.pump(),
+            Err(ViaError::RecvTooSmall { need: 128, have: 16 })
+        ));
+        assert_eq!(sys.node(1).nic.vi(vb).unwrap().state, ViState::Error);
+    }
+
+    #[test]
+    fn multi_page_transfer() {
+        let (mut sys, pa, pb, va, vb, tag) = two_node_setup(StrategyKind::KiobufReliable);
+        let len = 5 * PAGE_SIZE + 123;
+        let total = 6 * PAGE_SIZE;
+        let sbuf = sys.mmap(0, pa, total, prot::READ | prot::WRITE).unwrap();
+        let rbuf = sys.mmap(1, pb, total, prot::READ | prot::WRITE).unwrap();
+        let data: Vec<u8> = (0..len).map(|i| (i % 255) as u8).collect();
+        sys.write_user(0, pa, sbuf, &data).unwrap();
+        let sh = sys.register_mem(0, pa, sbuf, total, tag).unwrap();
+        let rh = sys.register_mem(1, pb, rbuf, total, tag).unwrap();
+        sys.post_recv(1, vb, rh, rbuf, total).unwrap();
+        sys.post_send(0, va, sh, sbuf, len).unwrap();
+        sys.pump().unwrap();
+        let mut out = vec![0u8; len];
+        sys.read_user(1, pb, rbuf, &mut out).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(sys.node(0).nic.stats.bytes_tx as usize, len);
+        assert_eq!(sys.node(1).nic.stats.bytes_rx as usize, len);
+    }
+
+    #[test]
+    fn sci_pio_write_and_read() {
+        let (mut sys, pa, pb, _va, _vb, tag) = two_node_setup(StrategyKind::KiobufReliable);
+        // Receiver exports a segment; sender PIO-writes into it.
+        let sbuf = sys.mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let seg = sys.mmap(1, pb, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        sys.write_user(0, pa, sbuf, b"PIO store").unwrap();
+        let exported = sys.register_mem(1, pb, seg, PAGE_SIZE, tag).unwrap();
+        sys.sci_write((0, pa, sbuf), 9, (1, exported, 100)).unwrap();
+        // Visible to the receiving process through plain loads.
+        let mut out = [0u8; 9];
+        sys.read_user(1, pb, seg + 100, &mut out).unwrap();
+        assert_eq!(&out, b"PIO store");
+        // And to remote readers.
+        let mut back = [0u8; 9];
+        sys.sci_read_bytes((1, exported, 100), &mut back).unwrap();
+        assert_eq!(&back, b"PIO store");
+        // Bounds enforced.
+        assert_eq!(
+            sys.sci_write_bytes(&[0u8; 8], (1, exported, PAGE_SIZE - 4)),
+            Err(ViaError::OutOfBounds)
+        );
+    }
+
+    #[test]
+    fn rdma_read_roundtrip() {
+        let (mut sys, pa, pb, va, _vb, tag) = two_node_setup(StrategyKind::KiobufReliable);
+        let lbuf = sys.mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let rbuf = sys.mmap(1, pb, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        sys.write_user(1, pb, rbuf, b"remote bytes").unwrap();
+        let lh = sys.register_mem(0, pa, lbuf, PAGE_SIZE, tag).unwrap();
+        // The remote region must carry the RDMA-read enable attribute.
+        let rh = sys
+            .node_mut(1)
+            .register_mem_attrs(pb, rbuf, PAGE_SIZE, tag, true, true)
+            .unwrap();
+        sys.post_rdma_read(0, va, lh, lbuf, 12, rh, rbuf).unwrap();
+        sys.pump().unwrap();
+        // Completion at the requester with the fetched data in place.
+        let c = sys.poll_cq(0, va).unwrap().unwrap();
+        assert_eq!(c.op, crate::descriptor::DescOp::RdmaRead);
+        assert_eq!(c.len, 12);
+        let mut out = [0u8; 12];
+        sys.read_user(0, pa, lbuf, &mut out).unwrap();
+        assert_eq!(&out, b"remote bytes");
+        assert_eq!(sys.node(0).nic.stats.rdma_reads, 1);
+    }
+
+    #[test]
+    fn rdma_read_requires_read_enable() {
+        let (mut sys, pa, pb, va, _vb, tag) = two_node_setup(StrategyKind::KiobufReliable);
+        let lbuf = sys.mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let rbuf = sys.mmap(1, pb, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let lh = sys.register_mem(0, pa, lbuf, PAGE_SIZE, tag).unwrap();
+        // Default attributes: rdma_read disabled.
+        let rh = sys.register_mem(1, pb, rbuf, PAGE_SIZE, tag).unwrap();
+        sys.post_rdma_read(0, va, lh, lbuf, 8, rh, rbuf).unwrap();
+        assert_eq!(sys.pump(), Err(ViaError::RdmaDisabled));
+        assert_eq!(sys.node(1).nic.stats.protection_errors, 1);
+    }
+
+    #[test]
+    fn client_server_handshake() {
+        let mut sys = ViaSystem::new(2, KernelConfig::small(), StrategyKind::KiobufReliable);
+        let server = sys.spawn_process(0);
+        let client = sys.spawn_process(1);
+        let tag = ProtectionTag(1);
+        let sv = sys.create_vi(0, server, tag).unwrap();
+        let cv = sys.create_vi(1, client, tag).unwrap();
+        // No listener yet: request fails.
+        assert!(sys.connect_request((1, cv), 0, 0xBEEF).is_err());
+        // Server parks on the discriminator.
+        sys.connect_wait(0, sv, 0xBEEF).unwrap();
+        assert_eq!(sys.node(0).nic.vi(sv).unwrap().state, ViState::Listening);
+        // Duplicate listener refused.
+        let sv2 = sys.create_vi(0, server, tag).unwrap();
+        assert!(sys.connect_wait(0, sv2, 0xBEEF).is_err());
+        // Client connects.
+        sys.connect_request((1, cv), 0, 0xBEEF).unwrap();
+        assert_eq!(sys.node(0).nic.vi(sv).unwrap().state, ViState::Connected);
+        assert_eq!(sys.node(1).nic.vi(cv).unwrap().state, ViState::Connected);
+        // Discriminator consumed.
+        let cv2 = sys.create_vi(1, client, tag).unwrap();
+        assert!(sys.connect_request((1, cv2), 0, 0xBEEF).is_err());
+    }
+
+    #[test]
+    fn disconnect_flushes_descriptors() {
+        let (mut sys, pa, pb, va, vb, tag) = two_node_setup(StrategyKind::KiobufReliable);
+        let rbuf = sys.mmap(1, pb, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let rh = sys.register_mem(1, pb, rbuf, PAGE_SIZE, tag).unwrap();
+        sys.post_recv(1, vb, rh, rbuf, PAGE_SIZE).unwrap();
+        sys.disconnect(0, va).unwrap();
+        // Both ends idle, the pre-posted receive completed as Dropped.
+        assert_eq!(sys.node(0).nic.vi(va).unwrap().state, ViState::Idle);
+        assert_eq!(sys.node(1).nic.vi(vb).unwrap().state, ViState::Idle);
+        let c = sys.poll_cq(1, vb).unwrap().unwrap();
+        assert_eq!(c.status, crate::descriptor::DescStatus::Dropped);
+        // The pair can reconnect and work again.
+        sys.connect((0, va), (1, vb)).unwrap();
+        let sbuf = sys.mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        sys.write_user(0, pa, sbuf, b"again").unwrap();
+        let sh = sys.register_mem(0, pa, sbuf, PAGE_SIZE, tag).unwrap();
+        sys.post_recv(1, vb, rh, rbuf, PAGE_SIZE).unwrap();
+        sys.post_send(0, va, sh, sbuf, 5).unwrap();
+        sys.pump().unwrap();
+        let mut out = [0u8; 5];
+        sys.read_user(1, pb, rbuf, &mut out).unwrap();
+        assert_eq!(&out, b"again");
+    }
+
+    #[test]
+    fn multi_segment_gather_scatter() {
+        let (mut sys, pa, pb, va, vb, tag) = two_node_setup(StrategyKind::KiobufReliable);
+        let sbuf = sys.mmap(0, pa, 2 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let rbuf = sys.mmap(1, pb, 2 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        sys.write_user(0, pa, sbuf, b"AAAA").unwrap();
+        sys.write_user(0, pa, sbuf + 1000, b"BBBB").unwrap();
+        let sh = sys.register_mem(0, pa, sbuf, 2 * PAGE_SIZE, tag).unwrap();
+        let rh = sys.register_mem(1, pb, rbuf, 2 * PAGE_SIZE, tag).unwrap();
+        // Gather from two disjoint segments, scatter into two.
+        let mut send = Descriptor::send(sh, sbuf, 4);
+        send.segs.push(crate::descriptor::DataSeg { mem: sh, addr: sbuf + 1000, len: 4 });
+        let mut recv = Descriptor::recv(rh, rbuf + 100, 5);
+        recv.segs.push(crate::descriptor::DataSeg { mem: rh, addr: rbuf + 500, len: 5 });
+        sys.post_recv_desc(1, vb, recv).unwrap();
+        sys.post_send_desc(0, va, send.with_imm(0xCAFE)).unwrap();
+        sys.pump().unwrap();
+        let c = sys.poll_cq(1, vb).unwrap().unwrap();
+        assert_eq!(c.len, 8);
+        assert_eq!(c.imm, Some(0xCAFE), "immediate data delivered");
+        // First 5 bytes to the first segment, remaining 3 to the second.
+        let mut a = [0u8; 5];
+        sys.read_user(1, pb, rbuf + 100, &mut a).unwrap();
+        assert_eq!(&a, b"AAAAB");
+        let mut b2 = [0u8; 3];
+        sys.read_user(1, pb, rbuf + 500, &mut b2).unwrap();
+        assert_eq!(&b2, b"BBB");
+    }
+
+    #[test]
+    fn loopback_on_one_node() {
+        // Two processes on the same node, VIs connected node-locally.
+        let mut sys = ViaSystem::new(1, KernelConfig::small(), StrategyKind::KiobufReliable);
+        let p1 = sys.spawn_process(0);
+        let p2 = sys.spawn_process(0);
+        let tag = ProtectionTag(3);
+        let v1 = sys.create_vi(0, p1, tag).unwrap();
+        let v2 = sys.create_vi(0, p2, tag).unwrap();
+        sys.connect((0, v1), (0, v2)).unwrap();
+        let sbuf = sys.mmap(0, p1, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let rbuf = sys.mmap(0, p2, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        sys.write_user(0, p1, sbuf, b"local").unwrap();
+        let sh = sys.register_mem(0, p1, sbuf, PAGE_SIZE, tag).unwrap();
+        let rh = sys.register_mem(0, p2, rbuf, PAGE_SIZE, tag).unwrap();
+        sys.post_recv(0, v2, rh, rbuf, PAGE_SIZE).unwrap();
+        sys.post_send(0, v1, sh, sbuf, 5).unwrap();
+        sys.pump().unwrap();
+        let mut out = [0u8; 5];
+        sys.read_user(0, p2, rbuf, &mut out).unwrap();
+        assert_eq!(&out, b"local");
+    }
+}

@@ -1,0 +1,318 @@
+//! A multi-threaded two-node fabric: each node (kernel + NIC + kernel
+//! agent) runs on its own OS thread; packets travel over crossbeam
+//! channels. This is the concurrency-faithful counterpart of the
+//! deterministic single-threaded [`crate::system::ViaSystem`]: the same
+//! `Node` type, real thread interleavings, no shared state beyond the
+//! wire.
+//!
+//! Use [`connect_pair`] to wire VIs *before* splitting the nodes onto
+//! threads, then [`run_pair`] with one closure per node. Each closure
+//! drives its node through a [`NodeCtx`]: post descriptors on the node
+//! directly, then [`NodeCtx::pump`] to ship outgoing packets and deliver
+//! incoming ones, or [`NodeCtx::wait_completion`] to block until a CQ
+//! entry arrives.
+
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::error::{ViaError, ViaResult};
+use crate::nic::{Node, Packet};
+use crate::vi::{Completion, ViId};
+
+/// How long [`NodeCtx::wait_completion`] waits before declaring the peer
+/// dead.
+pub const WAIT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Wire two VIs of two (not yet split) nodes together. `a_index` and
+/// `b_index` are the node indices used in packet routing (0 and 1 for
+/// [`run_pair`]).
+pub fn connect_pair(
+    a: &mut Node,
+    a_vi: ViId,
+    a_index: usize,
+    b: &mut Node,
+    b_vi: ViId,
+    b_index: usize,
+) -> ViaResult<()> {
+    {
+        let v = a.nic.vi_mut(a_vi)?;
+        v.peer = Some((b_index, b_vi));
+        v.state = crate::vi::ViState::Connected;
+    }
+    {
+        let v = b.nic.vi_mut(b_vi)?;
+        v.peer = Some((a_index, a_vi));
+        v.state = crate::vi::ViState::Connected;
+    }
+    Ok(())
+}
+
+/// Per-thread driver for one node.
+pub struct NodeCtx {
+    pub node: Node,
+    index: usize,
+    tx: Sender<Packet>,
+    rx: Receiver<Packet>,
+}
+
+impl NodeCtx {
+    /// Ship every pending send and deliver every packet currently queued
+    /// inbound. Returns (packets sent, packets delivered).
+    pub fn pump(&mut self) -> ViaResult<(usize, usize)> {
+        let mut sent = 0usize;
+        for vi in self.node.nic.vi_ids() {
+            for pkt in self.node.pump_vi_sends(vi, self.index)? {
+                sent += 1;
+                // A closed peer is a torn-down cluster; surface it.
+                self.tx
+                    .send(pkt)
+                    .map_err(|_| ViaError::Disconnected)?;
+            }
+        }
+        let mut delivered = 0usize;
+        while let Ok(pkt) = self.rx.try_recv() {
+            delivered += 1;
+            for resp in self.node.deliver(pkt)? {
+                self.tx.send(resp).map_err(|_| ViaError::Disconnected)?;
+            }
+        }
+        Ok((sent, delivered))
+    }
+
+    /// Block until a completion appears on `vi`'s CQ (pumping while
+    /// waiting), or time out.
+    pub fn wait_completion(&mut self, vi: ViId) -> ViaResult<Completion> {
+        let deadline = Instant::now() + WAIT_TIMEOUT;
+        loop {
+            self.pump()?;
+            if let Some(c) = self.node.nic.vi_mut(vi)?.poll_cq() {
+                return Ok(c);
+            }
+            // Park briefly on the inbound channel so we neither spin hot
+            // nor miss a wakeup.
+            match self.rx.recv_timeout(Duration::from_millis(1)) {
+                Ok(pkt) => {
+                    for resp in self.node.deliver(pkt)? {
+                        self.tx.send(resp).map_err(|_| ViaError::Disconnected)?;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Peer thread finished; drain anything it left behind.
+                    while let Ok(pkt) = self.rx.try_recv() {
+                        for resp in self.node.deliver(pkt)? {
+                            let _ = self.tx.send(resp);
+                        }
+                    }
+                    if let Some(c) = self.node.nic.vi_mut(vi)?.poll_cq() {
+                        return Ok(c);
+                    }
+                    return Err(ViaError::Disconnected);
+                }
+            }
+            if Instant::now() > deadline {
+                return Err(ViaError::BadState("wait_completion timed out"));
+            }
+        }
+    }
+}
+
+/// Run two nodes on two threads. The closures receive their [`NodeCtx`];
+/// node 0 routes packets with `src_node = 0` to node 1 and vice versa.
+/// Returns both closure results plus the nodes (for post-mortem
+/// inspection).
+pub fn run_pair<R0, R1, F0, F1>(
+    node0: Node,
+    node1: Node,
+    f0: F0,
+    f1: F1,
+) -> ViaResult<((R0, Node), (R1, Node))>
+where
+    R0: Send,
+    R1: Send,
+    F0: FnOnce(&mut NodeCtx) -> ViaResult<R0> + Send,
+    F1: FnOnce(&mut NodeCtx) -> ViaResult<R1> + Send,
+{
+    let (tx01, rx01) = unbounded::<Packet>();
+    let (tx10, rx10) = unbounded::<Packet>();
+    let mut ctx0 = NodeCtx { node: node0, index: 0, tx: tx01, rx: rx10 };
+    let mut ctx1 = NodeCtx { node: node1, index: 1, tx: tx10, rx: rx01 };
+
+    std::thread::scope(|s| {
+        let h0 = s.spawn(move || -> ViaResult<(R0, Node)> {
+            let r = f0(&mut ctx0)?;
+            // Final drain so late arrivals are not lost.
+            let _ = ctx0.pump();
+            Ok((r, ctx0.node))
+        });
+        let h1 = s.spawn(move || -> ViaResult<(R1, Node)> {
+            let r = f1(&mut ctx1)?;
+            let _ = ctx1.pump();
+            Ok((r, ctx1.node))
+        });
+        let r0 = h0.join().map_err(|_| ViaError::BadState("node 0 thread panicked"))??;
+        let r1 = h1.join().map_err(|_| ViaError::BadState("node 1 thread panicked"))??;
+        Ok((r0, r1))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpt::ProtectionTag;
+    use simmem::{prot, Capabilities, KernelConfig, PAGE_SIZE};
+    use vialock::StrategyKind;
+
+    fn node() -> Node {
+        Node::new(KernelConfig::medium(), StrategyKind::KiobufReliable, 1024)
+    }
+
+    #[test]
+    fn threaded_ping_pong() {
+        let mut n0 = node();
+        let mut n1 = node();
+        let tag = ProtectionTag(1);
+        let p0 = n0.kernel.spawn_process(Capabilities::default());
+        let p1 = n1.kernel.spawn_process(Capabilities::default());
+        let v0 = n0.nic.create_vi(p0, tag);
+        let v1 = n1.nic.create_vi(p1, tag);
+        connect_pair(&mut n0, v0, 0, &mut n1, v1, 1).unwrap();
+
+        let len = 2 * PAGE_SIZE;
+        let b0 = n0.kernel.mmap_anon(p0, len, prot::READ | prot::WRITE).unwrap();
+        let b1 = n1.kernel.mmap_anon(p1, len, prot::READ | prot::WRITE).unwrap();
+        let m0 = n0.register_mem(p0, b0, len, tag).unwrap();
+        let m1 = n1.register_mem(p1, b1, len, tag).unwrap();
+
+        const ROUNDS: usize = 50;
+        let ((sent, _n0), (got, _n1)) = run_pair(
+            n0,
+            n1,
+            move |ctx| {
+                let mut sent = 0usize;
+                for i in 0..ROUNDS {
+                    let msg = vec![i as u8; 256];
+                    ctx.node.kernel.write_user(p0, b0, &msg)?;
+                    // Pre-post the pong receive BEFORE sending the ping
+                    // (reliable mode drops unmatched messages).
+                    ctx.node
+                        .nic
+                        .vi_mut(v0)?
+                        .recv_q
+                        .push_back(crate::descriptor::Descriptor::recv(m0, b0, len));
+                    ctx.node
+                        .nic
+                        .vi_mut(v0)?
+                        .send_q
+                        .push_back(crate::descriptor::Descriptor::send(m0, b0, 256));
+                    // Send completion, then pong arrival.
+                    let c = ctx.wait_completion(v0)?;
+                    assert_eq!(c.op, crate::descriptor::DescOp::Send);
+                    let c = ctx.wait_completion(v0)?;
+                    assert_eq!(c.op, crate::descriptor::DescOp::Recv);
+                    assert_eq!(c.len, 256);
+                    sent += 1;
+                }
+                Ok(sent)
+            },
+            move |ctx| {
+                let mut got = 0usize;
+                for i in 0..ROUNDS {
+                    ctx.node
+                        .nic
+                        .vi_mut(v1)?
+                        .recv_q
+                        .push_back(crate::descriptor::Descriptor::recv(m1, b1, len));
+                    // Wait for the ping.
+                    loop {
+                        let c = ctx.wait_completion(v1)?;
+                        if c.op == crate::descriptor::DescOp::Recv {
+                            assert_eq!(c.len, 256);
+                            let mut out = vec![0u8; 256];
+                            ctx.node.kernel.read_user(p1, b1, &mut out)?;
+                            assert!(out.iter().all(|&b| b == i as u8), "round {i}");
+                            got += 1;
+                            break;
+                        }
+                    }
+                    // Pong it back.
+                    ctx.node
+                        .nic
+                        .vi_mut(v1)?
+                        .send_q
+                        .push_back(crate::descriptor::Descriptor::send(m1, b1, 256));
+                    let c = ctx.wait_completion(v1)?;
+                    assert_eq!(c.op, crate::descriptor::DescOp::Send);
+                }
+                Ok(got)
+            },
+        )
+        .unwrap();
+        assert_eq!(sent, ROUNDS);
+        assert_eq!(got, ROUNDS);
+    }
+
+    #[test]
+    fn threaded_rdma_write_stream() {
+        let mut n0 = node();
+        let mut n1 = node();
+        let tag = ProtectionTag(2);
+        let p0 = n0.kernel.spawn_process(Capabilities::default());
+        let p1 = n1.kernel.spawn_process(Capabilities::default());
+        let v0 = n0.nic.create_vi(p0, tag);
+        let v1 = n1.nic.create_vi(p1, tag);
+        connect_pair(&mut n0, v0, 0, &mut n1, v1, 1).unwrap();
+
+        let len = 8 * PAGE_SIZE;
+        let b0 = n0.kernel.mmap_anon(p0, len, prot::READ | prot::WRITE).unwrap();
+        let b1 = n1.kernel.mmap_anon(p1, len, prot::READ | prot::WRITE).unwrap();
+        n0.kernel.write_user(p0, b0, &vec![0xEE; len]).unwrap();
+        let m0 = n0.register_mem(p0, b0, len, tag).unwrap();
+        let m1 = n1.register_mem(p1, b1, len, tag).unwrap();
+
+        let ((), _n0, _n1) = {
+            let ((a, n0), ((), n1)) = run_pair(
+                n0,
+                n1,
+                move |ctx| {
+                    // Stream 16 RDMA writes, one page each.
+                    for i in 0..16usize {
+                        let off = (i % 8) * PAGE_SIZE;
+                        ctx.node.nic.vi_mut(v0)?.send_q.push_back(
+                            crate::descriptor::Descriptor::rdma_write(
+                                m0,
+                                b0 + off as u64,
+                                PAGE_SIZE,
+                                m1,
+                                b1 + off as u64,
+                            ),
+                        );
+                        let c = ctx.wait_completion(v0)?;
+                        assert_eq!(c.op, crate::descriptor::DescOp::RdmaWrite);
+                    }
+                    Ok(())
+                },
+                move |ctx| {
+                    // One-sided: the target just pumps until the data shows
+                    // up everywhere.
+                    let deadline = Instant::now() + WAIT_TIMEOUT;
+                    loop {
+                        ctx.pump()?;
+                        let mut all = vec![0u8; len];
+                        ctx.node.kernel.read_user(p1, b1, &mut all)?;
+                        if all.iter().all(|&b| b == 0xEE) {
+                            return Ok(());
+                        }
+                        if Instant::now() > deadline {
+                            return Err(ViaError::BadState("rdma stream never completed"));
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                },
+            )
+            .unwrap();
+            (a, n0, n1)
+        };
+    }
+}

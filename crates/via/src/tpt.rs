@@ -1,0 +1,358 @@
+//! The Translation and Protection Table (TPT).
+//!
+//! At registration the kernel agent stores, for every page of the region,
+//! the **physical frame number** and the owning process' **protection tag**
+//! into the TPT on the NIC. From then on every DMA access translates
+//! through this table: the NIC never sees the host page tables. That is why
+//! an unreliably pinned page that the VM relocates leaves a *stale* TPT
+//! entry — the failure mode the paper demonstrates.
+
+use simmem::{FrameId, Pid, VirtAddr, PAGE_SIZE};
+
+use crate::error::{ViaError, ViaResult};
+
+/// VIA memory protection tag: processes receive a unique tag; VIs and
+/// memory regions carry it; the NIC only allows accesses where they match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProtectionTag(pub u32);
+
+/// Handle naming a registered region on a particular NIC (the index the
+/// VIPL hands back from `VipRegisterMem`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MemId(pub u32);
+
+/// The access class a translation is checked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Local descriptor access (gather/scatter, PIO): tag check only.
+    Local,
+    /// Remote RDMA write: tag check + the region's write-enable attribute.
+    RdmaWrite,
+    /// Remote RDMA read: tag check + the region's read-enable attribute.
+    RdmaRead,
+}
+
+/// One TPT page entry.
+#[derive(Debug, Clone, Copy)]
+pub struct TptEntry {
+    pub frame: FrameId,
+    pub tag: ProtectionTag,
+    pub pid: Pid,
+    /// RDMA-write enable attribute of the region.
+    pub rdma_write: bool,
+    /// RDMA-read enable attribute of the region.
+    pub rdma_read: bool,
+}
+
+/// Region-level record: the slice of TPT slots belonging to one
+/// registration.
+#[derive(Debug, Clone)]
+pub struct TptRegion {
+    pub mem_id: MemId,
+    /// The `vialock` handle backing this registration (deregistration path).
+    pub reg_handle: vialock::MemHandle,
+    pub pid: Pid,
+    /// Original user address of the registration.
+    pub user_addr: VirtAddr,
+    /// Length in bytes.
+    pub len: usize,
+    /// Page-aligned base.
+    pub page_base: VirtAddr,
+    /// First TPT slot.
+    pub first_slot: usize,
+    /// Number of slots (pages).
+    pub npages: usize,
+    pub tag: ProtectionTag,
+}
+
+/// The table itself: fixed-capacity slots plus the region directory.
+pub struct Tpt {
+    slots: Vec<Option<TptEntry>>,
+    free: Vec<usize>,
+    regions: std::collections::BTreeMap<MemId, TptRegion>,
+    next_mem: u32,
+}
+
+impl Tpt {
+    /// A TPT with `capacity` page slots.
+    pub fn new(capacity: usize) -> Self {
+        Tpt {
+            slots: vec![None; capacity],
+            free: (0..capacity).rev().collect(),
+            regions: Default::default(),
+            next_mem: 1,
+        }
+    }
+
+    /// Free page slots remaining.
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Fill slots for a freshly pinned region. Slots need not be physically
+    /// contiguous in a real TPT; for simplicity (and O(1) lookup) we demand
+    /// a contiguous run here and compact lazily via the free stack.
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert_region(
+        &mut self,
+        reg_handle: vialock::MemHandle,
+        pid: Pid,
+        user_addr: VirtAddr,
+        len: usize,
+        frames: &[FrameId],
+        tag: ProtectionTag,
+        rdma_write: bool,
+        rdma_read: bool,
+    ) -> ViaResult<MemId> {
+        let npages = frames.len();
+        if self.free.len() < npages {
+            return Err(ViaError::Reg(vialock::RegError::LimitExceeded));
+        }
+        // Find a contiguous run of free slots (first-fit scan).
+        let first_slot = self.find_contiguous(npages)?;
+        for (i, &frame) in frames.iter().enumerate() {
+            let slot = first_slot + i;
+            debug_assert!(self.slots[slot].is_none());
+            self.slots[slot] = Some(TptEntry {
+                frame,
+                tag,
+                pid,
+                rdma_write,
+                rdma_read,
+            });
+        }
+        self.free.retain(|&s| !(first_slot..first_slot + npages).contains(&s));
+        let mem_id = MemId(self.next_mem);
+        self.next_mem += 1;
+        self.regions.insert(
+            mem_id,
+            TptRegion {
+                mem_id,
+                reg_handle,
+                pid,
+                user_addr,
+                len,
+                page_base: simmem::page_base(user_addr),
+                first_slot,
+                npages,
+                tag,
+            },
+        );
+        Ok(mem_id)
+    }
+
+    fn find_contiguous(&self, npages: usize) -> ViaResult<usize> {
+        let mut run = 0usize;
+        for (i, s) in self.slots.iter().enumerate() {
+            if s.is_none() {
+                run += 1;
+                if run == npages {
+                    return Ok(i + 1 - npages);
+                }
+            } else {
+                run = 0;
+            }
+        }
+        Err(ViaError::Reg(vialock::RegError::LimitExceeded))
+    }
+
+    /// Remove a region's slots; returns the record for the kernel agent to
+    /// unpin through `vialock`.
+    pub fn remove_region(&mut self, mem_id: MemId) -> ViaResult<TptRegion> {
+        let region = self
+            .regions
+            .remove(&mem_id)
+            .ok_or(ViaError::BadId("memory"))?;
+        for slot in region.first_slot..region.first_slot + region.npages {
+            self.slots[slot] = None;
+            self.free.push(slot);
+        }
+        Ok(region)
+    }
+
+    /// Region record lookup.
+    pub fn region(&self, mem_id: MemId) -> ViaResult<&TptRegion> {
+        self.regions.get(&mem_id).ok_or(ViaError::BadId("memory"))
+    }
+
+    /// Number of live regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The NIC-side address translation: `(mem_id, user virtual addr)` →
+    /// `(physical frame, in-page offset)`, with bounds and protection-tag
+    /// checks. `want_tag` is the requesting VI's tag; RDMA accesses
+    /// additionally require the region's matching enable attribute.
+    pub fn translate(
+        &self,
+        mem_id: MemId,
+        addr: VirtAddr,
+        want_tag: ProtectionTag,
+        access: Access,
+    ) -> ViaResult<(FrameId, usize)> {
+        let region = self.region(mem_id)?;
+        if addr < region.user_addr || addr >= region.user_addr + region.len as u64 {
+            return Err(ViaError::OutOfBounds);
+        }
+        let page_index = ((addr - region.page_base) / PAGE_SIZE as u64) as usize;
+        let entry = self.slots[region.first_slot + page_index]
+            .as_ref()
+            .expect("region slots are filled");
+        if entry.tag != want_tag {
+            return Err(ViaError::ProtectionMismatch);
+        }
+        match access {
+            Access::Local => {}
+            Access::RdmaWrite if !entry.rdma_write => return Err(ViaError::RdmaDisabled),
+            Access::RdmaRead if !entry.rdma_read => return Err(ViaError::RdmaDisabled),
+            _ => {}
+        }
+        Ok((entry.frame, (addr & (PAGE_SIZE as u64 - 1)) as usize))
+    }
+
+    /// Overwrite the frame stored for one page of a region (test hook used
+    /// to model TPT staleness injection).
+    #[doc(hidden)]
+    pub fn poke_frame(&mut self, mem_id: MemId, page: usize, frame: FrameId) -> ViaResult<()> {
+        let region = self.region(mem_id)?.clone();
+        if page >= region.npages {
+            return Err(ViaError::OutOfBounds);
+        }
+        self.slots[region.first_slot + page]
+            .as_mut()
+            .expect("filled")
+            .frame = frame;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_tpt() -> (Tpt, MemId) {
+        let mut t = Tpt::new(16);
+        let id = t
+            .insert_region(
+                vialock::MemHandle(1),
+                Pid(1),
+                0x1000 + 50,
+                2 * PAGE_SIZE,
+                &[FrameId(100), FrameId(101), FrameId(102)],
+                ProtectionTag(7),
+                true,
+                false,
+            )
+            .unwrap();
+        (t, id)
+    }
+
+    #[test]
+    fn translate_checks_bounds_and_tags() {
+        let (t, id) = mk_tpt();
+        let (f, off) = t.translate(id, 0x1000 + 50, ProtectionTag(7), Access::Local).unwrap();
+        assert_eq!((f, off), (FrameId(100), 50));
+        // Cross into second page.
+        let (f, _) = t
+            .translate(id, 0x1000 + PAGE_SIZE as u64 + 1, ProtectionTag(7), Access::Local)
+            .unwrap();
+        assert_eq!(f, FrameId(101));
+        // Below and beyond the region.
+        assert_eq!(
+            t.translate(id, 0x1000, ProtectionTag(7), Access::Local),
+            Err(ViaError::OutOfBounds)
+        );
+        assert_eq!(
+            t.translate(
+                id,
+                0x1000 + 50 + 2 * PAGE_SIZE as u64,
+                ProtectionTag(7),
+                Access::Local
+            ),
+            Err(ViaError::OutOfBounds)
+        );
+        // Wrong tag.
+        assert_eq!(
+            t.translate(id, 0x1000 + 50, ProtectionTag(8), Access::Local),
+            Err(ViaError::ProtectionMismatch)
+        );
+    }
+
+    #[test]
+    fn rdma_attribute_enforced() {
+        let mut t = Tpt::new(8);
+        let id = t
+            .insert_region(
+                vialock::MemHandle(2),
+                Pid(1),
+                0x4000,
+                PAGE_SIZE,
+                &[FrameId(5)],
+                ProtectionTag(1),
+                false,
+                false,
+            )
+            .unwrap();
+        assert_eq!(
+            t.translate(id, 0x4000, ProtectionTag(1), Access::RdmaWrite),
+            Err(ViaError::RdmaDisabled)
+        );
+        assert_eq!(
+            t.translate(id, 0x4000, ProtectionTag(1), Access::RdmaRead),
+            Err(ViaError::RdmaDisabled)
+        );
+        assert!(t.translate(id, 0x4000, ProtectionTag(1), Access::Local).is_ok());
+    }
+
+    #[test]
+    fn capacity_and_reuse() {
+        let mut t = Tpt::new(4);
+        let frames = [FrameId(1), FrameId(2), FrameId(3)];
+        let id = t
+            .insert_region(
+                vialock::MemHandle(1),
+                Pid(1),
+                0x1000,
+                3 * PAGE_SIZE,
+                &frames,
+                ProtectionTag(1),
+                false,
+                false,
+            )
+            .unwrap();
+        // Only one slot left: a 2-page region must fail.
+        assert!(t
+            .insert_region(
+                vialock::MemHandle(2),
+                Pid(1),
+                0x9000,
+                2 * PAGE_SIZE,
+                &[FrameId(4), FrameId(5)],
+                ProtectionTag(1),
+                false,
+                false,
+            )
+            .is_err());
+        t.remove_region(id).unwrap();
+        assert_eq!(t.free_slots(), 4);
+        assert!(t
+            .insert_region(
+                vialock::MemHandle(3),
+                Pid(1),
+                0x9000,
+                4 * PAGE_SIZE,
+                &[FrameId(4), FrameId(5), FrameId(6), FrameId(7)],
+                ProtectionTag(1),
+                false,
+                false,
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn remove_unknown_region() {
+        let mut t = Tpt::new(4);
+        assert!(t.remove_region(MemId(9)).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! Virtual Interfaces: per-process, per-connection endpoints with send and
+//! receive work queues and doorbells.
+
+use std::collections::VecDeque;
+
+use simmem::Pid;
+
+use crate::descriptor::{DescStatus, Descriptor};
+use crate::tpt::ProtectionTag;
+
+/// VI identifier on one NIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ViId(pub u32);
+
+/// Connection state of a VI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViState {
+    Idle,
+    /// Registered with the connection manager, waiting for a peer
+    /// (`VipConnectWait`).
+    Listening,
+    Connected,
+    /// A delivery error in reliable mode broke the connection.
+    Error,
+}
+
+/// A completion-queue entry.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    pub vi: ViId,
+    pub op: crate::descriptor::DescOp,
+    pub status: DescStatus,
+    pub len: usize,
+    pub imm: Option<u32>,
+}
+
+/// One virtual interface.
+pub struct VirtualInterface {
+    pub id: ViId,
+    pub pid: Pid,
+    /// The protection tag associated with this VI; the NIC compares it
+    /// against the tag of every memory region a descriptor names.
+    pub tag: ProtectionTag,
+    pub state: ViState,
+    /// Peer: (node index, VI id) once connected.
+    pub peer: Option<(usize, ViId)>,
+    /// Send work queue. The doorbell is the queue length: posting IS
+    /// ringing.
+    pub send_q: VecDeque<Descriptor>,
+    /// Receive work queue.
+    pub recv_q: VecDeque<Descriptor>,
+    /// Completion queue shared by both work queues (one CQ per VI keeps the
+    /// model simple; the spec allows sharing across VIs).
+    pub cq: VecDeque<Completion>,
+    /// RDMA-read descriptors awaiting their response from the target.
+    pub pending_reads: VecDeque<Descriptor>,
+}
+
+impl VirtualInterface {
+    pub fn new(id: ViId, pid: Pid, tag: ProtectionTag) -> Self {
+        VirtualInterface {
+            id,
+            pid,
+            tag,
+            state: ViState::Idle,
+            peer: None,
+            send_q: VecDeque::new(),
+            recv_q: VecDeque::new(),
+            cq: VecDeque::new(),
+            pending_reads: VecDeque::new(),
+        }
+    }
+
+    /// Pop the next completion, if any (`VipCQDone` polling).
+    pub fn poll_cq(&mut self) -> Option<Completion> {
+        self.cq.pop_front()
+    }
+
+    /// Pending send descriptors (doorbell count).
+    pub fn sends_pending(&self) -> usize {
+        self.send_q.len()
+    }
+
+    /// Pre-posted receive descriptors.
+    pub fn recvs_posted(&self) -> usize {
+        self.recv_q.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::DescOp;
+    use crate::tpt::MemId;
+
+    #[test]
+    fn queues_and_cq() {
+        let mut vi = VirtualInterface::new(ViId(0), Pid(1), ProtectionTag(1));
+        assert_eq!(vi.state, ViState::Idle);
+        vi.send_q.push_back(Descriptor::send(MemId(1), 0x1000, 8));
+        vi.recv_q.push_back(Descriptor::recv(MemId(1), 0x2000, 8));
+        assert_eq!(vi.sends_pending(), 1);
+        assert_eq!(vi.recvs_posted(), 1);
+        assert!(vi.poll_cq().is_none());
+        vi.cq.push_back(Completion {
+            vi: ViId(0),
+            op: DescOp::Send,
+            status: DescStatus::Done,
+            len: 8,
+            imm: None,
+        });
+        let c = vi.poll_cq().unwrap();
+        assert_eq!(c.len, 8);
+        assert!(vi.poll_cq().is_none());
+    }
+}

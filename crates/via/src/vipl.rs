@@ -1,0 +1,152 @@
+//! A VIPL-flavoured facade: the entry-point names of Intel's Virtual
+//! Interface Provider Library mapped onto [`ViaSystem`].
+//!
+//! The examples use these so they read like the VIA programs in the paper's
+//! companion articles. Each function is a thin, documented wrapper; the
+//! semantics live in [`crate::system`].
+
+#![allow(non_snake_case)]
+
+use simmem::{Pid, VirtAddr};
+
+use crate::error::ViaResult;
+use crate::system::{NodeId, ViaSystem};
+use crate::tpt::{MemId, ProtectionTag};
+use crate::vi::{Completion, ViId};
+
+/// `VipCreateVi`: create a virtual interface for `pid` under `tag`.
+pub fn VipCreateVi(
+    sys: &mut ViaSystem,
+    node: NodeId,
+    pid: Pid,
+    tag: ProtectionTag,
+) -> ViaResult<ViId> {
+    sys.create_vi(node, pid, tag)
+}
+
+/// `VipConnectRequest` + `VipConnectAccept` collapsed into the fabric-level
+/// connect.
+pub fn VipConnect(sys: &mut ViaSystem, a: (NodeId, ViId), b: (NodeId, ViId)) -> ViaResult<()> {
+    sys.connect(a, b)
+}
+
+/// `VipConnectWait` (server side): park a VI on a connection discriminator
+/// and wait for a client.
+pub fn VipConnectWait(
+    sys: &mut ViaSystem,
+    node: NodeId,
+    vi: ViId,
+    discriminator: u64,
+) -> ViaResult<()> {
+    sys.connect_wait(node, vi, discriminator)
+}
+
+/// `VipConnectRequest` (client side): connect to a waiting listener.
+pub fn VipConnectRequest(
+    sys: &mut ViaSystem,
+    client: (NodeId, ViId),
+    server_node: NodeId,
+    discriminator: u64,
+) -> ViaResult<()> {
+    sys.connect_request(client, server_node, discriminator)
+}
+
+/// `VipDisconnect`: tear the connection down; queued descriptors complete
+/// as `Dropped`.
+pub fn VipDisconnect(sys: &mut ViaSystem, node: NodeId, vi: ViId) -> ViaResult<()> {
+    sys.disconnect(node, vi)
+}
+
+/// `VipRegisterMem`: pin a user region and fill the TPT; returns the memory
+/// handle.
+pub fn VipRegisterMem(
+    sys: &mut ViaSystem,
+    node: NodeId,
+    pid: Pid,
+    addr: VirtAddr,
+    len: usize,
+    tag: ProtectionTag,
+) -> ViaResult<MemId> {
+    sys.register_mem(node, pid, addr, len, tag)
+}
+
+/// `VipDeregisterMem`.
+pub fn VipDeregisterMem(sys: &mut ViaSystem, node: NodeId, mem: MemId) -> ViaResult<()> {
+    sys.deregister_mem(node, mem)
+}
+
+/// `VipPostSend`: one-segment send descriptor + doorbell.
+pub fn VipPostSend(
+    sys: &mut ViaSystem,
+    node: NodeId,
+    vi: ViId,
+    mem: MemId,
+    addr: VirtAddr,
+    len: usize,
+) -> ViaResult<()> {
+    sys.post_send(node, vi, mem, addr, len)
+}
+
+/// `VipPostRecv`: one-segment receive descriptor.
+pub fn VipPostRecv(
+    sys: &mut ViaSystem,
+    node: NodeId,
+    vi: ViId,
+    mem: MemId,
+    addr: VirtAddr,
+    len: usize,
+) -> ViaResult<()> {
+    sys.post_recv(node, vi, mem, addr, len)
+}
+
+/// RDMA write (`VipPostSend` with an address segment).
+#[allow(clippy::too_many_arguments)]
+pub fn VipPostRdmaWrite(
+    sys: &mut ViaSystem,
+    node: NodeId,
+    vi: ViId,
+    mem: MemId,
+    addr: VirtAddr,
+    len: usize,
+    remote_mem: MemId,
+    remote_addr: VirtAddr,
+) -> ViaResult<()> {
+    sys.post_rdma_write(node, vi, mem, addr, len, remote_mem, remote_addr)
+}
+
+/// `VipCQDone` in polling mode: next completion, if any.
+pub fn VipCQDone(sys: &mut ViaSystem, node: NodeId, vi: ViId) -> ViaResult<Option<Completion>> {
+    sys.poll_cq(node, vi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmem::{prot, KernelConfig, PAGE_SIZE};
+    use vialock::StrategyKind;
+
+    #[test]
+    fn facade_roundtrip() {
+        let mut sys = ViaSystem::new(2, KernelConfig::small(), StrategyKind::KiobufReliable);
+        let pa = sys.spawn_process(0);
+        let pb = sys.spawn_process(1);
+        let tag = ProtectionTag(11);
+        let va = VipCreateVi(&mut sys, 0, pa, tag).unwrap();
+        let vb = VipCreateVi(&mut sys, 1, pb, tag).unwrap();
+        VipConnect(&mut sys, (0, va), (1, vb)).unwrap();
+        let sbuf = sys.mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let rbuf = sys.mmap(1, pb, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        sys.write_user(0, pa, sbuf, b"VIPL").unwrap();
+        let sh = VipRegisterMem(&mut sys, 0, pa, sbuf, PAGE_SIZE, tag).unwrap();
+        let rh = VipRegisterMem(&mut sys, 1, pb, rbuf, PAGE_SIZE, tag).unwrap();
+        VipPostRecv(&mut sys, 1, vb, rh, rbuf, PAGE_SIZE).unwrap();
+        VipPostSend(&mut sys, 0, va, sh, sbuf, 4).unwrap();
+        sys.pump().unwrap();
+        assert_eq!(VipCQDone(&mut sys, 1, vb).unwrap().unwrap().len, 4);
+        let mut out = [0u8; 4];
+        sys.read_user(1, pb, rbuf, &mut out).unwrap();
+        assert_eq!(&out, b"VIPL");
+        VipDeregisterMem(&mut sys, 0, sh).unwrap();
+        VipDeregisterMem(&mut sys, 1, rh).unwrap();
+    }
+}

@@ -1,0 +1,93 @@
+//! Event-count → simulated-time composition.
+//!
+//! The functional `msg` layer counts what happened (PIO bytes, DMA bytes,
+//! chunks, copies, registrations); this module charges each event class
+//! with the calibrated `netsim` costs to produce a transfer time. That is
+//! how the bandwidth figures are regenerated without the original hardware.
+
+use netsim::cost::Nanos;
+use netsim::proto::{ProtocolCosts, RegistrationCost};
+
+use msg::MsgStats;
+
+/// Charge a window of message-layer activity against the cost model.
+pub fn time_from_stats(delta: &MsgStats, c: &ProtocolCosts) -> Nanos {
+    let mut t = 0f64;
+    // Every SM payload write and every control write pays one PIO latency;
+    // all PIO bytes pay the PIO per-byte cost.
+    t += (delta.sm_msgs + delta.control_writes) as f64 * c.pio.latency_ns as f64;
+    t += delta.pio_bytes as f64 * c.pio.per_byte_ns;
+    // Each DMA message pays one network latency (chunks pipeline); chunks
+    // pay descriptor processing; DMA bytes pay the DMA per-byte cost.
+    t += (delta.oc_msgs + delta.zc_msgs) as f64 * c.dma.latency_ns as f64;
+    t += delta.oc_chunks as f64 * c.descriptor_ns as f64;
+    t += delta.dma_bytes as f64 * c.dma.per_byte_ns;
+    // CPU copies.
+    t += delta.copy_bytes as f64 * c.memcpy_per_byte_ns;
+    // Dynamic registrations (cache misses) pay trap + per-page pinning.
+    t += delta.registrations as f64 * c.reg.trap_ns as f64;
+    t += delta.pages_registered as f64 * c.reg.per_page_ns as f64;
+    t.round() as Nanos
+}
+
+/// The registration cost model matching a `vialock` strategy.
+pub fn reg_cost_for(strategy: vialock::StrategyKind) -> RegistrationCost {
+    match strategy {
+        vialock::StrategyKind::RefcountOnly => RegistrationCost::refcount(),
+        vialock::StrategyKind::RawFlags => RegistrationCost::raw_flags(),
+        vialock::StrategyKind::VmaMlock => RegistrationCost::vma_mlock(),
+        vialock::StrategyKind::KiobufReliable => RegistrationCost::kiobuf(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs() -> ProtocolCosts {
+        ProtocolCosts::classic(RegistrationCost::kiobuf())
+    }
+
+    #[test]
+    fn empty_window_is_free() {
+        assert_eq!(time_from_stats(&MsgStats::default(), &costs()), 0);
+    }
+
+    #[test]
+    fn sm_message_costs_about_three_pio_latencies() {
+        // One SM message = payload write + info write + done flag.
+        let d = MsgStats {
+            sm_msgs: 1,
+            control_writes: 2,
+            pio_bytes: 64 + 56,
+            ..Default::default()
+        };
+        let t = time_from_stats(&d, &costs());
+        let three_lat = 3 * costs().pio.latency_ns;
+        assert!(t >= three_lat && t < three_lat + 10_000, "t = {t}");
+    }
+
+    #[test]
+    fn registrations_add_cost() {
+        let base = MsgStats { zc_msgs: 1, dma_bytes: 1 << 20, ..Default::default() };
+        let with_reg = MsgStats {
+            registrations: 2,
+            pages_registered: 512,
+            ..base
+        };
+        let c = costs();
+        assert!(time_from_stats(&with_reg, &c) > time_from_stats(&base, &c));
+    }
+
+    #[test]
+    fn strategies_map_to_their_cost_models() {
+        assert_eq!(
+            reg_cost_for(vialock::StrategyKind::KiobufReliable),
+            RegistrationCost::kiobuf()
+        );
+        assert_eq!(
+            reg_cost_for(vialock::StrategyKind::VmaMlock),
+            RegistrationCost::vma_mlock()
+        );
+    }
+}

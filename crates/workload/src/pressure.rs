@@ -1,0 +1,101 @@
+//! The `allocator` antagonist from the paper's locktest: "allocates as much
+//! memory as possible forcing a large amount of pages to be swapped out".
+
+use simmem::{prot, Capabilities, Kernel, MmError, Pid, PAGE_SIZE};
+
+/// Result of one pressure run.
+#[derive(Debug, Clone, Copy)]
+pub struct PressureReport {
+    pub pid: Pid,
+    /// Pages the allocator managed to dirty before stopping.
+    pub pages_dirtied: usize,
+    /// Whether it stopped because memory + swap were exhausted.
+    pub hit_oom: bool,
+}
+
+/// Spawn an allocator process and dirty up to `max_pages` pages (default:
+/// until OOM). Each page is written (demand paging forces a real frame),
+/// pushing other processes' pages out through the stealer.
+pub fn apply_pressure(kernel: &mut Kernel, max_pages: usize) -> PressureReport {
+    let pid = kernel.spawn_process(Capabilities::default());
+    let len = max_pages * PAGE_SIZE;
+    let addr = kernel
+        .mmap_anon(pid, len, prot::READ | prot::WRITE)
+        .expect("antagonist mmap");
+    let mut dirtied = 0usize;
+    let mut hit_oom = false;
+    for i in 0..max_pages {
+        let a = addr + (i * PAGE_SIZE) as u64;
+        match kernel.write_user(pid, a, &[0xA5u8; 64]) {
+            Ok(()) => dirtied += 1,
+            Err(MmError::OutOfMemory) => {
+                hit_oom = true;
+                break;
+            }
+            Err(e) => panic!("unexpected antagonist failure: {e}"),
+        }
+    }
+    PressureReport {
+        pid,
+        pages_dirtied: dirtied,
+        hit_oom,
+    }
+}
+
+/// Keep dirtying the allocator's pages (round-robin) to sustain pressure —
+/// used when one pass isn't enough to victimise a specific page.
+pub fn sustain_pressure(kernel: &mut Kernel, report: &PressureReport, rounds: usize) {
+    let Ok(Some(_)) = kernel.frame_of(report.pid, simmem::mm::TASK_UNMAPPED_BASE) else {
+        // Address-space layout is bump-allocated from TASK_UNMAPPED_BASE;
+        // if nothing is mapped there the antagonist never dirtied a page.
+        return;
+    };
+    let base = simmem::mm::TASK_UNMAPPED_BASE;
+    for r in 0..rounds {
+        for i in 0..report.pages_dirtied {
+            let a = base + (i * PAGE_SIZE) as u64;
+            if kernel.write_user(report.pid, a, &[r as u8; 8]).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmem::KernelConfig;
+
+    #[test]
+    fn pressure_forces_swap() {
+        let mut k = Kernel::new(KernelConfig {
+            nframes: 64,
+            reserved_frames: 4,
+            swap_slots: 512,
+            default_rlimit_memlock: None,
+            swap_cache: false,
+        });
+        // A victim with resident pages.
+        let v = k.spawn_process(Capabilities::default());
+        let a = k.mmap_anon(v, 16 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        k.write_user(v, a, &vec![1u8; 16 * PAGE_SIZE]).unwrap();
+
+        let rep = apply_pressure(&mut k, 100);
+        assert!(rep.pages_dirtied >= 50, "antagonist got most of memory");
+        assert!(k.stats.swap_outs > 0);
+    }
+
+    #[test]
+    fn oom_reported_when_swap_exhausted() {
+        let mut k = Kernel::new(KernelConfig {
+            nframes: 32,
+            reserved_frames: 4,
+            swap_slots: 8,
+            default_rlimit_memlock: None,
+            swap_cache: false,
+        });
+        let rep = apply_pressure(&mut k, 10_000);
+        assert!(rep.hit_oom);
+        assert!(rep.pages_dirtied < 10_000);
+    }
+}

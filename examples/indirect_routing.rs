@@ -1,0 +1,90 @@
+//! Indirect communication over a planned route: `mdconfig`-style Dijkstra
+//! decides that 0 → 2 should travel via node 1 (two SCI hops beat the slow
+//! direct Ethernet link), and the message layer executes the relay with
+//! system messages — realizing the concept the Multidevice paper describes.
+//!
+//! Run with: `cargo run --example indirect_routing`
+
+use msg::{Comm, MsgConfig, ANY_TAG};
+use netsim::routes::{device_by_size, plan_routes, Link, NetworkDescription};
+use simmem::KernelConfig;
+use vialock::StrategyKind;
+use workload::tables::markdown_table;
+
+fn main() {
+    // The OSCAR-like cluster description mdconfig would parse.
+    let desc = NetworkDescription {
+        n_nodes: 3,
+        links: vec![
+            Link { a: 0, b: 1, device: "sci", latency_ns: 3_000, per_byte_ns: 12.2 },
+            Link { a: 1, b: 2, device: "sci", latency_ns: 3_000, per_byte_ns: 12.2 },
+            Link { a: 0, b: 2, device: "ethernet", latency_ns: 125_000, per_byte_ns: 97.0 },
+        ],
+        forward_ns: Some(10_000),
+    };
+
+    println!("route planning (1 KiB messages):\n");
+    let rt = plan_routes(&desc, 1024);
+    let mut rows = Vec::new();
+    for s in 0..3 {
+        for d in 0..3 {
+            if let Some(r) = rt.route(s, d) {
+                let path: Vec<String> = std::iter::once(s.to_string())
+                    .chain(r.hops.iter().map(|h| h.to.to_string()))
+                    .collect();
+                rows.push(vec![
+                    format!("{s} → {d}"),
+                    path.join(" → "),
+                    r.first_device().to_string(),
+                    format!("{:.1}", r.cost_ns as f64 / 1000.0),
+                ]);
+            }
+        }
+    }
+    println!(
+        "{}",
+        markdown_table(&["pair", "path", "device", "cost (µs)"], &rows)
+    );
+
+    // Size-dependent device choice on a dual-rail pair.
+    let dual = NetworkDescription {
+        n_nodes: 2,
+        links: vec![
+            Link { a: 0, b: 1, device: "sci", latency_ns: 8_000, per_byte_ns: 12.2 },
+            Link { a: 0, b: 1, device: "clan", latency_ns: 65_000, per_byte_ns: 10.7 },
+        ],
+        forward_ns: None,
+    };
+    println!("\nConnectiontable for a dual-rail pair (device by message size):\n");
+    let rows: Vec<Vec<String>> =
+        device_by_size(&dual, 0, 1, &[64, 4096, 65536, 1 << 22, 1 << 24])
+            .into_iter()
+            .map(|(n, dev)| vec![n.to_string(), dev.to_string()])
+            .collect();
+    println!("{}", markdown_table(&["bytes", "device"], &rows));
+
+    // Execute the planned indirect route functionally.
+    let r = rt.route(0, 2).expect("route exists");
+    assert!(!r.is_direct());
+    let intermediate = r.hops[0].to;
+    println!("\nexecuting 0 → 2 via node {intermediate} on the functional stack…");
+
+    let mut c = Comm::new(3, 3, KernelConfig::medium(), StrategyKind::KiobufReliable, MsgConfig::tiny())
+        .expect("communicator");
+    let msg = b"forwarded through the intermediate, header-wrapped";
+    let sbuf = c.alloc_buffer(0, msg.len()).unwrap();
+    let rbuf = c.alloc_buffer(2, 128).unwrap();
+    c.fill_buffer(0, sbuf, msg).unwrap();
+    c.send_indirect(0, intermediate, 2, 7, sbuf, msg.len()).unwrap();
+    let relayed = c.forward_pump(intermediate).unwrap();
+    let env = c.recv_indirect(2, ANY_TAG, rbuf, 128).unwrap();
+    let mut out = vec![0u8; env.len];
+    c.read_buffer(2, rbuf, &mut out).unwrap();
+    println!(
+        "relayed {relayed} message(s); rank 2 received {:?} (orig src {}, tag {})",
+        String::from_utf8_lossy(&out),
+        env.orig_src,
+        env.tag
+    );
+    assert_eq!(&out, msg);
+}

@@ -1,0 +1,40 @@
+//! The registration cache (paper section 1): dynamic registration cost vs.
+//! buffer reuse — regenerates the E5 series.
+//!
+//! Run with: `cargo run --example registration_cache`
+
+use workload::cachebench::run_cache_series;
+use workload::tables::markdown_table;
+
+fn main() {
+    let buf = 256 * 1024; // 64 pages per buffer: firmly zero-copy
+    let sends = 24;
+    let cache_pages = 160; // holds ~2.5 buffers
+
+    println!("zero-copy sends over a pool of B buffers; LRU cache budget");
+    println!("{cache_pages} pages ({} buffers' worth); {sends} sends.\n", cache_pages / 64);
+
+    let rows: Vec<Vec<String>> = run_cache_series(&[1, 2, 3, 4, 8], buf, sends, cache_pages)
+        .into_iter()
+        .map(|p| {
+            vec![
+                p.working_set_buffers.to_string(),
+                format!("{:.0}%", p.hit_ratio * 100.0),
+                p.registrations.to_string(),
+                format!("{:.2}", p.regs_per_send),
+            ]
+        })
+        .collect();
+
+    println!(
+        "{}",
+        markdown_table(
+            &["working set (buffers)", "hit ratio", "registrations", "regs/send"],
+            &rows,
+        )
+    );
+
+    println!("Small working sets stay registered (\"keep them registered as long");
+    println!("as possible\"); once the working set exceeds the budget the cache");
+    println!("thrashes and every send pays the kernel trap + per-page pinning.");
+}

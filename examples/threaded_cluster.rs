@@ -1,0 +1,93 @@
+//! The multi-threaded fabric: two nodes on two OS threads exchanging
+//! send/receive traffic over crossbeam channels — real interleavings, same
+//! VIA semantics as the deterministic fabric.
+//!
+//! VIA discipline on display: the receiver pre-posts one descriptor per
+//! expected message (reliable mode *drops* unmatched sends and breaks the
+//! connection), each into its own slot, and the sender streams freely.
+//!
+//! Run with: `cargo run --example threaded_cluster`
+
+use simmem::{prot, Capabilities, KernelConfig};
+use via::descriptor::{DescOp, Descriptor};
+use via::nic::Node;
+use via::threaded::{connect_pair, run_pair};
+use via::tpt::ProtectionTag;
+use vialock::StrategyKind;
+
+const MSGS: usize = 200;
+const MSG_BYTES: usize = 1024;
+
+fn main() {
+    let mut n0 = Node::new(KernelConfig::large(), StrategyKind::KiobufReliable, 4096);
+    let mut n1 = Node::new(KernelConfig::large(), StrategyKind::KiobufReliable, 4096);
+    let tag = ProtectionTag(1);
+    let p0 = n0.kernel.spawn_process(Capabilities::default());
+    let p1 = n1.kernel.spawn_process(Capabilities::default());
+    let v0 = n0.nic.create_vi(p0, tag);
+    let v1 = n1.nic.create_vi(p1, tag);
+    connect_pair(&mut n0, v0, 0, &mut n1, v1, 1).expect("connect");
+
+    let b0 = n0.kernel.mmap_anon(p0, MSG_BYTES, prot::READ | prot::WRITE).unwrap();
+    let rlen = MSGS * MSG_BYTES;
+    let b1 = n1.kernel.mmap_anon(p1, rlen, prot::READ | prot::WRITE).unwrap();
+    let m0 = n0.register_mem(p0, b0, MSG_BYTES, tag).unwrap();
+    let m1 = n1.register_mem(p1, b1, rlen, tag).unwrap();
+
+    // Pre-post every receive, one slot per message.
+    for i in 0..MSGS {
+        n1.nic
+            .vi_mut(v1)
+            .unwrap()
+            .recv_q
+            .push_back(Descriptor::recv(m1, b1 + (i * MSG_BYTES) as u64, MSG_BYTES));
+    }
+
+    println!("streaming {MSGS} × {MSG_BYTES} B node 0 → node 1, one thread per node…");
+
+    let ((sent, n0), (received, mut n1)) = run_pair(
+        n0,
+        n1,
+        move |ctx| {
+            for i in 0..MSGS {
+                ctx.node.kernel.write_user(p0, b0, &vec![(i % 251) as u8; MSG_BYTES])?;
+                ctx.node
+                    .nic
+                    .vi_mut(v0)?
+                    .send_q
+                    .push_back(Descriptor::send(m0, b0, MSG_BYTES));
+                // Wait for the send completion before reusing the buffer —
+                // VIA completes a send once the data is on the wire.
+                let c = ctx.wait_completion(v0)?;
+                assert_eq!(c.op, DescOp::Send);
+            }
+            Ok(MSGS)
+        },
+        move |ctx| {
+            let mut received = 0usize;
+            while received < MSGS {
+                let c = ctx.wait_completion(v1)?;
+                assert_eq!(c.op, DescOp::Recv);
+                assert_eq!(c.len, MSG_BYTES);
+                received += 1;
+            }
+            Ok(received)
+        },
+    )
+    .expect("threaded run");
+
+    // Verify every slot after the dust settles.
+    for i in 0..MSGS {
+        let mut out = vec![0u8; MSG_BYTES];
+        n1.kernel
+            .read_user(p1, b1 + (i * MSG_BYTES) as u64, &mut out)
+            .unwrap();
+        assert!(out.iter().all(|&b| b == (i % 251) as u8), "message {i} corrupted");
+    }
+
+    println!("node 0 sent {sent}, node 1 received {received} — all {MSGS} payloads verified");
+    println!(
+        "nic stats: tx {} B ({} sends), rx {} B ({} recvs)",
+        n0.nic.stats.bytes_tx, n0.nic.stats.sends, n1.nic.stats.bytes_rx, n1.nic.stats.recvs
+    );
+}

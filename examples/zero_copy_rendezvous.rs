@@ -1,0 +1,75 @@
+//! The three CHEMPI protocols in action: one message per decade of size,
+//! showing the protocol switch (shared-memory → one-copy → zero-copy), the
+//! dynamic registrations of the rendezvous, and end-to-end data integrity.
+//!
+//! Run with: `cargo run --example zero_copy_rendezvous`
+
+use msg::{Comm, MsgConfig};
+use simmem::KernelConfig;
+use vialock::StrategyKind;
+use workload::model::{reg_cost_for, time_from_stats};
+use workload::tables::markdown_table;
+
+fn main() {
+    let strategy = StrategyKind::KiobufReliable;
+    let mut comm = Comm::new(2, 2, KernelConfig::large(), strategy, MsgConfig::classic())
+        .expect("communicator");
+    let costs = netsim::proto::ProtocolCosts::classic(reg_cost_for(strategy));
+
+    println!("protocol walkthrough: rank 0 → rank 1, kiobuf pinning\n");
+    let mut rows = Vec::new();
+    for &len in &[64usize, 4 * 1024, 64 * 1024, 512 * 1024, 2 * 1024 * 1024] {
+        let sbuf = comm.alloc_buffer(0, len).expect("sbuf");
+        let rbuf = comm.alloc_buffer(1, len).expect("rbuf");
+        let payload: Vec<u8> = (0..len).map(|i| (i % 249) as u8).collect();
+        comm.fill_buffer(0, sbuf, &payload).expect("fill");
+
+        let before = comm.stats;
+        let h = comm.send(0, 1, 9, sbuf, len).expect("send");
+        let got = comm.recv(1, 0, 9, rbuf, len).expect("recv");
+        comm.wait(h).expect("wait");
+        let d = comm.stats.since(&before);
+
+        let mut out = vec![0u8; len];
+        comm.read_buffer(1, rbuf, &mut out).expect("read");
+        assert_eq!(out, payload, "integrity at {len} B");
+        assert_eq!(got, len);
+
+        let proto = if d.sm_msgs > 0 {
+            "shared-memory"
+        } else if d.oc_msgs > 0 {
+            "one-copy"
+        } else {
+            "zero-copy"
+        };
+        let t = time_from_stats(&d, &costs);
+        rows.push(vec![
+            format!("{len}"),
+            proto.to_string(),
+            d.oc_chunks.to_string(),
+            d.registrations.to_string(),
+            d.cache_hits.to_string(),
+            format!("{}", d.copy_bytes),
+            format!("{:.1}", t as f64 / 1000.0),
+            format!("{:.1}", netsim::sweep::bandwidth_mb_s(len, t)),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "bytes",
+                "protocol",
+                "chunks",
+                "regs",
+                "cache hits",
+                "copied bytes",
+                "t (µs, model)",
+                "MB/s (model)",
+            ],
+            &rows,
+        )
+    );
+    println!("note the zero-copy rows: 0 copied bytes — payload lands by RDMA");
+    println!("directly in the receiver's registered user buffer.");
+}

@@ -1,0 +1,114 @@
+//! End-to-end failure demonstration on the full VIA fabric: a registered
+//! receive buffer is evicted under memory pressure; the next transfer DMAs
+//! into the orphaned frames and the receiving process never sees the data —
+//! unless the nodes pin with the paper's mechanism.
+
+use simmem::{prot, KernelConfig, PAGE_SIZE};
+use via::system::ViaSystem;
+use via::tpt::ProtectionTag;
+use vialock::StrategyKind;
+use workload::apply_pressure;
+
+/// Machine small enough that an antagonist can evict the buffers.
+fn tight() -> KernelConfig {
+    KernelConfig {
+        nframes: 512,
+        reserved_frames: 8,
+        swap_slots: 8192,
+        default_rlimit_memlock: None,
+            swap_cache: false,
+    }
+}
+
+/// Register buffers, pressure the receiver node, transfer, verify.
+/// Returns whether the payload arrived intact.
+fn transfer_after_pressure(strategy: StrategyKind) -> bool {
+    let mut sys = ViaSystem::new(2, tight(), strategy);
+    let pa = sys.spawn_process(0);
+    let pb = sys.spawn_process(1);
+    let tag = ProtectionTag(5);
+    let va = sys.create_vi(0, pa, tag).unwrap();
+    let vb = sys.create_vi(1, pb, tag).unwrap();
+    sys.connect((0, va), (1, vb)).unwrap();
+
+    let len = 8 * PAGE_SIZE;
+    let sbuf = sys.mmap(0, pa, len, prot::READ | prot::WRITE).unwrap();
+    let rbuf = sys.mmap(1, pb, len, prot::READ | prot::WRITE).unwrap();
+    let sh = sys.register_mem(0, pa, sbuf, len, tag).unwrap();
+    let rh = sys.register_mem(1, pb, rbuf, len, tag).unwrap();
+
+    // Memory pressure on the receiver node while the buffers sit idle.
+    apply_pressure(sys.kernel_mut(1), 1024);
+
+    // Now the transfer: fresh payload, send/receive, check what the
+    // receiving *process* reads through its page tables.
+    let payload: Vec<u8> = (0..len).map(|i| (i % 241) as u8).collect();
+    sys.write_user(0, pa, sbuf, &payload).unwrap();
+    sys.post_recv(1, vb, rh, rbuf, len).unwrap();
+    sys.post_send(0, va, sh, sbuf, len).unwrap();
+    sys.pump().unwrap();
+
+    let mut got = vec![0u8; len];
+    sys.read_user(1, pb, rbuf, &mut got).unwrap();
+    got == payload
+}
+
+#[test]
+fn refcount_pinning_loses_the_transfer() {
+    assert!(
+        !transfer_after_pressure(StrategyKind::RefcountOnly),
+        "refcount-only pinning must lose data under pressure"
+    );
+}
+
+#[test]
+fn kiobuf_pinning_survives_pressure() {
+    assert!(transfer_after_pressure(StrategyKind::KiobufReliable));
+}
+
+#[test]
+fn mlock_pinning_survives_pressure() {
+    assert!(transfer_after_pressure(StrategyKind::VmaMlock));
+}
+
+#[test]
+fn raw_flags_pinning_survives_pressure() {
+    assert!(transfer_after_pressure(StrategyKind::RawFlags));
+}
+
+#[test]
+fn sender_side_eviction_corrupts_too() {
+    // Mirror case: pressure on the SENDER node. The NIC gathers from the
+    // orphaned frames, which still hold the OLD payload — the receiver
+    // gets stale data.
+    let mut sys = ViaSystem::new(2, tight(), StrategyKind::RefcountOnly);
+    let pa = sys.spawn_process(0);
+    let pb = sys.spawn_process(1);
+    let tag = ProtectionTag(5);
+    let va = sys.create_vi(0, pa, tag).unwrap();
+    let vb = sys.create_vi(1, pb, tag).unwrap();
+    sys.connect((0, va), (1, vb)).unwrap();
+
+    let len = 4 * PAGE_SIZE;
+    let sbuf = sys.mmap(0, pa, len, prot::READ | prot::WRITE).unwrap();
+    let rbuf = sys.mmap(1, pb, len, prot::READ | prot::WRITE).unwrap();
+    sys.write_user(0, pa, sbuf, &vec![0xAAu8; len]).unwrap(); // old payload
+    let sh = sys.register_mem(0, pa, sbuf, len, tag).unwrap();
+    let rh = sys.register_mem(1, pb, rbuf, len, tag).unwrap();
+
+    apply_pressure(sys.kernel_mut(0), 1024);
+
+    // The process updates its buffer — but into NEW frames.
+    sys.write_user(0, pa, sbuf, &vec![0x55u8; len]).unwrap();
+    sys.post_recv(1, vb, rh, rbuf, len).unwrap();
+    sys.post_send(0, va, sh, sbuf, len).unwrap();
+    sys.pump().unwrap();
+
+    let mut got = vec![0u8; len];
+    sys.read_user(1, pb, rbuf, &mut got).unwrap();
+    assert_eq!(
+        got,
+        vec![0xAAu8; len],
+        "the NIC transmitted the stale frames (old payload)"
+    );
+}

@@ -1,0 +1,168 @@
+//! Failure injection across the stack: resource exhaustion (TPT, swap,
+//! RAM, registration limits), busy page locks, and the rollback behaviour
+//! each must trigger.
+
+use simmem::{prot, Capabilities, Kernel, KernelConfig, MmError, PAGE_SIZE};
+use via::nic::Node;
+use via::tpt::ProtectionTag;
+use via::ViaError;
+use vialock::{MemoryRegistry, RegError, StrategyKind};
+
+#[test]
+fn tpt_exhaustion_rolls_back_the_pin() {
+    // A NIC with a 8-page TPT: the failed registration must leave no pins
+    // behind.
+    let mut node = Node::new(KernelConfig::small(), StrategyKind::KiobufReliable, 8);
+    let pid = node.kernel.spawn_process(Capabilities::default());
+    let tag = ProtectionTag(1);
+    let a = node.kernel.mmap_anon(pid, 16 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let small = node.register_mem(pid, a, 4 * PAGE_SIZE, tag).unwrap();
+    // 12 more pages do not fit into the remaining 4 slots.
+    let r = node.register_mem(pid, a + 4 * PAGE_SIZE as u64, 12 * PAGE_SIZE, tag);
+    assert!(matches!(r, Err(ViaError::Reg(RegError::LimitExceeded))));
+    assert_eq!(node.registry.live_regions(), 1, "failed pin rolled back");
+    assert_eq!(node.registry.pinned_frames(), 4);
+    node.deregister_mem(small).unwrap();
+    assert_eq!(node.registry.pinned_frames(), 0);
+}
+
+#[test]
+fn registry_page_limit_is_a_hard_cap() {
+    let mut k = Kernel::new(KernelConfig::small());
+    let pid = k.spawn_process(Capabilities::default());
+    let a = k.mmap_anon(pid, 32 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable).with_page_limit(10);
+    let h1 = reg.register(&mut k, pid, a, 6 * PAGE_SIZE).unwrap();
+    assert_eq!(
+        reg.register(&mut k, pid, a + 6 * PAGE_SIZE as u64, 6 * PAGE_SIZE),
+        Err(RegError::LimitExceeded)
+    );
+    // Freeing capacity unblocks.
+    reg.deregister(&mut k, h1).unwrap();
+    let h2 = reg.register(&mut k, pid, a, 10 * PAGE_SIZE).unwrap();
+    reg.deregister(&mut k, h2).unwrap();
+}
+
+#[test]
+fn would_block_then_retry_succeeds() {
+    // The page-wait-queue dance: a registration that hits a page under
+    // kernel I/O reports WouldBlock; after the I/O completes the retry
+    // pins everything.
+    let mut k = Kernel::new(KernelConfig::small());
+    let pid = k.spawn_process(Capabilities::default());
+    let a = k.mmap_anon(pid, 8 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    k.touch_pages(pid, a, 8 * PAGE_SIZE, true).unwrap();
+    let busy = k.frame_of(pid, a + 3 * PAGE_SIZE as u64).unwrap().unwrap();
+    k.begin_page_io(busy);
+
+    let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable);
+    let mut attempts = 0;
+    let handle = loop {
+        attempts += 1;
+        match reg.register(&mut k, pid, a, 8 * PAGE_SIZE) {
+            Ok(h) => break h,
+            Err(RegError::WouldBlock) => {
+                // "Sleep" until the I/O finishes.
+                assert!(k.end_page_io(busy), "I/O lock was intact");
+            }
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    };
+    assert_eq!(attempts, 2);
+    assert_eq!(reg.stats.blocked, 1);
+    assert!(reg.verify_consistency(&k, handle).unwrap());
+    reg.deregister(&mut k, handle).unwrap();
+}
+
+#[test]
+fn oom_during_registration_fails_cleanly() {
+    // Tiny machine, tiny swap: faulting a large cold region in during
+    // registration runs out of memory; the registry must surface the error
+    // without leaking pins.
+    let mut k = Kernel::new(KernelConfig {
+        nframes: 32,
+        reserved_frames: 4,
+        swap_slots: 4,
+        default_rlimit_memlock: None,
+        swap_cache: false,
+    });
+    let pid = k.spawn_process(Capabilities::default());
+    let a = k.mmap_anon(pid, 64 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable);
+    let r = reg.register(&mut k, pid, a, 64 * PAGE_SIZE);
+    assert_eq!(r, Err(RegError::Mm(MmError::OutOfMemory)));
+    assert_eq!(reg.live_regions(), 0);
+    // Invariant intact even though pins from the partial loop... must be 0.
+    reg.check_invariants(&k).unwrap();
+}
+
+#[test]
+fn rlimit_memlock_blocks_the_mlock_strategy() {
+    let mut k = Kernel::new(KernelConfig {
+        nframes: 256,
+        reserved_frames: 8,
+        swap_slots: 512,
+        default_rlimit_memlock: Some(4 * PAGE_SIZE as u64),
+        swap_cache: false,
+    });
+    let pid = k.spawn_process(Capabilities::default());
+    let a = k.mmap_anon(pid, 8 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let mut reg = MemoryRegistry::new(StrategyKind::VmaMlock);
+    assert_eq!(
+        reg.register(&mut k, pid, a, 8 * PAGE_SIZE),
+        Err(RegError::Mm(MmError::MlockLimit)),
+        "RLIMIT_MEMLOCK applies even through the capability dance"
+    );
+    // The kiobuf mechanism is not subject to the mlock rlimit at all.
+    let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable);
+    let h = reg.register(&mut k, pid, a, 8 * PAGE_SIZE).unwrap();
+    reg.deregister(&mut k, h).unwrap();
+}
+
+#[test]
+fn swap_full_under_pressure_is_oom_not_corruption() {
+    // When swap fills, the machine OOMs; registered memory stays coherent.
+    let mut node = Node::new(
+        KernelConfig {
+            nframes: 128,
+            reserved_frames: 8,
+            swap_slots: 32,
+            default_rlimit_memlock: None,
+            swap_cache: false,
+        },
+        StrategyKind::KiobufReliable,
+        512,
+    );
+    let pid = node.kernel.spawn_process(Capabilities::default());
+    let tag = ProtectionTag(2);
+    let a = node.kernel.mmap_anon(pid, 8 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    node.kernel.write_user(pid, a, &vec![7u8; 8 * PAGE_SIZE]).unwrap();
+    let mem = node.register_mem(pid, a, 8 * PAGE_SIZE, tag).unwrap();
+
+    // Hog until OOM.
+    let hog = node.kernel.spawn_process(Capabilities::default());
+    let hb = node.kernel.mmap_anon(hog, 512 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let mut oomed = false;
+    for i in 0..512 {
+        match node.kernel.write_user(hog, hb + (i * PAGE_SIZE) as u64, &[1u8; 8]) {
+            Ok(()) => {}
+            Err(MmError::OutOfMemory) => {
+                oomed = true;
+                break;
+            }
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    assert!(oomed, "swap must fill");
+    // The registration is untouched and data is intact.
+    let region = node.nic.tpt.region(mem).unwrap().clone();
+    let (frame, _) = node
+        .nic
+        .tpt
+        .translate(mem, region.user_addr, tag, via::tpt::Access::Local)
+        .unwrap();
+    let mut out = [0u8; 4];
+    node.kernel.dma_read(frame, 0, &mut out).unwrap();
+    assert_eq!(out, [7u8; 4]);
+    node.deregister_mem(mem).unwrap();
+}

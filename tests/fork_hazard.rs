@@ -1,0 +1,114 @@
+//! The fork-after-registration hazard: pinning — even reliable pinning —
+//! protects a frame from the page stealer, but not from **copy-on-write**.
+//! If a process forks after registering memory, its next store COWs its
+//! view away from the pinned frame; the NIC keeps DMAing into the frame
+//! that now belongs to the child. (Linux later grew `MADV_DONTFORK`
+//! precisely for registered memory; the paper predates it, and its
+//! mechanism shares the limitation — worth demonstrating, not hiding.)
+
+use simmem::{prot, Capabilities, Kernel, KernelConfig, PAGE_SIZE};
+use vialock::{MemoryRegistry, StrategyKind};
+
+fn setup() -> (Kernel, simmem::Pid, u64, MemoryRegistry) {
+    let mut k = Kernel::new(KernelConfig::small());
+    let pid = k.spawn_process(Capabilities::default());
+    let a = k.mmap_anon(pid, 2 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    k.write_user(pid, a, b"registered").unwrap();
+    (k, pid, a, MemoryRegistry::new(StrategyKind::KiobufReliable))
+}
+
+#[test]
+fn registration_before_fork_keeps_the_frame_but_loses_the_parent() {
+    let (mut k, parent, a, mut reg) = setup();
+    let h = reg.register(&mut k, parent, a, 2 * PAGE_SIZE).unwrap();
+    let pinned = reg.frames(h).unwrap()[0];
+
+    let child = k.fork(parent).unwrap();
+    // Still consistent: both processes map the pinned frame read-only.
+    assert!(reg.verify_consistency(&k, h).unwrap());
+
+    // The parent updates its buffer → COW moves the PARENT off the pinned
+    // frame. The registration is now stale even though nothing was ever
+    // swapped.
+    k.write_user(parent, a, b"updated!!!").unwrap();
+    assert!(
+        !reg.verify_consistency(&k, h).unwrap(),
+        "COW broke the registration without any memory pressure"
+    );
+    // A NIC DMA through the TPT lands in the frame the CHILD still maps.
+    k.dma_write(pinned, 0, b"DMA").unwrap();
+    let mut out = [0u8; 3];
+    k.read_user(child, a, &mut out).unwrap();
+    assert_eq!(&out, b"DMA", "the child sees the parent's DMA traffic");
+    let mut out = [0u8; 3];
+    k.read_user(parent, a, &mut out).unwrap();
+    assert_eq!(&out, b"upd", "the parent does not");
+
+    reg.deregister(&mut k, h).unwrap();
+}
+
+#[test]
+fn re_registration_after_fork_write_is_the_fix() {
+    // The discipline real MPI implementations adopted: invalidate the
+    // registration cache on fork, re-register after the COW settles.
+    let (mut k, parent, a, mut reg) = setup();
+    let h = reg.register(&mut k, parent, a, 2 * PAGE_SIZE).unwrap();
+    let _child = k.fork(parent).unwrap();
+    k.write_user(parent, a, b"updated!!!").unwrap();
+    assert!(!reg.verify_consistency(&k, h).unwrap());
+
+    // Drop and re-register: the write intent of the pin loop breaks COW
+    // for the whole region and captures the parent's new frames.
+    reg.deregister(&mut k, h).unwrap();
+    let h2 = reg.register(&mut k, parent, a, 2 * PAGE_SIZE).unwrap();
+    assert!(reg.verify_consistency(&k, h2).unwrap());
+    let f = reg.frames(h2).unwrap()[0];
+    k.dma_write(f, 0, b"NIC").unwrap();
+    let mut out = [0u8; 3];
+    k.read_user(parent, a, &mut out).unwrap();
+    assert_eq!(&out, b"NIC");
+    reg.deregister(&mut k, h2).unwrap();
+}
+
+#[test]
+fn madvise_dontfork_prevents_the_hazard() {
+    // The remedy Linux eventually standardised: mark the registered
+    // region MADV_DONTFORK before forking. The child gets no mapping, the
+    // parent never COWs, the TPT stays valid across fork + writes.
+    let (mut k, parent, a, mut reg) = setup();
+    let h = reg.register(&mut k, parent, a, 2 * PAGE_SIZE).unwrap();
+    k.madvise_dontfork(parent, a, 2 * PAGE_SIZE, true).unwrap();
+    let child = k.fork(parent).unwrap();
+    // Parent writes freely without breaking the registration.
+    k.write_user(parent, a, b"post-fork write").unwrap();
+    assert!(reg.verify_consistency(&k, h).unwrap());
+    // The child cannot even touch the region.
+    assert!(k.read_user(child, a, &mut [0u8; 1]).is_err());
+    // DMA reaches the parent.
+    let f = reg.frames(h).unwrap()[0];
+    k.dma_write(f, 0, b"OK!").unwrap();
+    let mut out = [0u8; 3];
+    k.read_user(parent, a, &mut out).unwrap();
+    assert_eq!(&out, b"OK!");
+    reg.deregister(&mut k, h).unwrap();
+}
+
+#[test]
+fn registration_after_fork_breaks_cow_eagerly() {
+    // Registering AFTER the fork is safe: the pin loop write-faults,
+    // giving the parent private frames before the TPT is filled.
+    let (mut k, parent, a, mut reg) = setup();
+    let child = k.fork(parent).unwrap();
+    let h = reg.register(&mut k, parent, a, 2 * PAGE_SIZE).unwrap();
+    assert!(reg.verify_consistency(&k, h).unwrap());
+    // Parent writes freely; the registration stays valid.
+    k.write_user(parent, a, b"parent-own").unwrap();
+    assert!(reg.verify_consistency(&k, h).unwrap());
+    // And the child is unaffected by parent-side DMA.
+    let f = reg.frames(h).unwrap()[0];
+    k.dma_write(f, 0, b"XYZ").unwrap();
+    let mut out = [0u8; 3];
+    k.read_user(child, a, &mut out).unwrap();
+    assert_eq!(&out, b"reg", "child still sees the pre-fork bytes");
+    reg.deregister(&mut k, h).unwrap();
+}

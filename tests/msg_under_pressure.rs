@@ -1,0 +1,129 @@
+//! Message passing under memory pressure: with the paper's reliable
+//! pinning, every protocol keeps delivering intact data while an antagonist
+//! thrashes the machine; with refcount-only pinning the cached zero-copy
+//! path silently corrupts.
+
+use simmem::KernelConfig;
+use vialock::StrategyKind;
+
+use msg::{Comm, MsgConfig};
+use workload::apply_pressure;
+
+fn comm(strategy: StrategyKind) -> Comm {
+    // Enough RAM for the channel segments, small enough to pressure.
+    let kcfg = KernelConfig {
+        nframes: 2048,
+        reserved_frames: 16,
+        swap_slots: 32768,
+        default_rlimit_memlock: None,
+            swap_cache: false,
+    };
+    Comm::new(2, 2, kcfg, strategy, MsgConfig::tiny()).expect("communicator")
+}
+
+fn roundtrip_ok(c: &mut Comm, len: usize, tag: u32) -> bool {
+    let data: Vec<u8> = (0..len).map(|i| (i * 13 % 251) as u8).collect();
+    let sbuf = c.alloc_buffer(0, len).expect("sbuf");
+    let rbuf = c.alloc_buffer(1, len).expect("rbuf");
+    c.fill_buffer(0, sbuf, &data).expect("fill");
+    let h = c.send(0, 1, tag, sbuf, len).expect("send");
+    c.recv(1, 0, tag, rbuf, len).expect("recv");
+    c.wait(h).expect("wait");
+    let mut out = vec![0u8; len];
+    c.read_buffer(1, rbuf, &mut out).expect("read");
+    out == data
+}
+
+#[test]
+fn all_protocols_survive_pressure_with_kiobuf_pinning() {
+    let mut c = comm(StrategyKind::KiobufReliable);
+    // Antagonists on both nodes AFTER the channels are set up.
+    apply_pressure(c.system_mut().kernel_mut(0), 4096);
+    apply_pressure(c.system_mut().kernel_mut(1), 4096);
+    // SM, one-copy and zero-copy all deliver intact data: the channel
+    // segments and ring buffers were pinned reliably, and fresh user
+    // buffers are pinned at registration time.
+    assert!(roundtrip_ok(&mut c, 100, 1), "shared-memory under pressure");
+    assert!(roundtrip_ok(&mut c, 3000, 2), "one-copy under pressure");
+    assert!(roundtrip_ok(&mut c, 50_000, 3), "zero-copy under pressure");
+}
+
+#[test]
+fn cached_zero_copy_corrupts_with_refcount_pinning() {
+    let mut c = comm(StrategyKind::RefcountOnly);
+    let len = 50_000;
+
+    // First transfer: registers both user buffers; the registration cache
+    // keeps them registered ("as long as possible").
+    let data1 = vec![0x11u8; len];
+    let sbuf = c.alloc_buffer(0, len).expect("sbuf");
+    let rbuf = c.alloc_buffer(1, len).expect("rbuf");
+    c.fill_buffer(0, sbuf, &data1).expect("fill");
+    let h = c.send(0, 1, 1, sbuf, len).expect("send");
+    c.recv(1, 0, 1, rbuf, len).expect("recv");
+    c.wait(h).expect("wait");
+
+    // Pressure evicts the (refcount-pinned) cached buffers.
+    apply_pressure(c.system_mut().kernel_mut(0), 4096);
+    apply_pressure(c.system_mut().kernel_mut(1), 4096);
+
+    // Second transfer with new payload, reusing the cached registrations:
+    // the TPT frames are stale on both sides — and so are the channel's
+    // own control segments (everything was pinned refcount-only). Failure
+    // manifests either as corrupted payload or as a collapsed channel
+    // (control writes land in orphaned frames and the receiver never even
+    // sees the message). Both are the paper's predicted breakage.
+    let data2 = vec![0x22u8; len];
+    c.fill_buffer(0, sbuf, &data2).expect("fill");
+    let delivered_intact = (|| -> Result<bool, via::ViaError> {
+        let h = c.send(0, 1, 2, sbuf, len)?;
+        c.recv(1, 0, 2, rbuf, len)?;
+        c.wait(h)?;
+        let mut out = vec![0u8; len];
+        c.read_buffer(1, rbuf, &mut out)?;
+        Ok(out == data2)
+    })()
+    .unwrap_or(false);
+    assert!(
+        !delivered_intact,
+        "refcount pinning must break the cached path under pressure"
+    );
+}
+
+#[test]
+fn same_scenario_is_clean_with_the_proposed_mechanism() {
+    let mut c = comm(StrategyKind::KiobufReliable);
+    let len = 50_000;
+    let sbuf = c.alloc_buffer(0, len).expect("sbuf");
+    let rbuf = c.alloc_buffer(1, len).expect("rbuf");
+    c.fill_buffer(0, sbuf, &vec![0x11u8; len]).expect("fill");
+    let h = c.send(0, 1, 1, sbuf, len).expect("send");
+    c.recv(1, 0, 1, rbuf, len).expect("recv");
+    c.wait(h).expect("wait");
+
+    apply_pressure(c.system_mut().kernel_mut(0), 4096);
+    apply_pressure(c.system_mut().kernel_mut(1), 4096);
+
+    let data2 = vec![0x22u8; len];
+    c.fill_buffer(0, sbuf, &data2).expect("fill");
+    let h = c.send(0, 1, 2, sbuf, len).expect("send");
+    c.recv(1, 0, 2, rbuf, len).expect("recv");
+    c.wait(h).expect("wait");
+    let mut out = vec![0u8; len];
+    c.read_buffer(1, rbuf, &mut out).expect("read");
+    assert_eq!(out, data2, "kiobuf pinning keeps the cached path coherent");
+}
+
+#[test]
+fn traffic_mix_with_interleaved_pressure() {
+    let mut c = comm(StrategyKind::KiobufReliable);
+    for round in 0u32..3 {
+        apply_pressure(c.system_mut().kernel_mut((round % 2) as usize), 1024);
+        for len in [64usize, 2048, 30_000] {
+            assert!(
+                roundtrip_ok(&mut c, len, round * 10 + len as u32 % 7),
+                "round {round}, len {len}"
+            );
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Property-based tests on the core invariants:
+//!
+//! * VMA sets stay sorted/disjoint/aligned under random mlock surgery;
+//! * data survives arbitrary swap pressure (VM correctness);
+//! * registry pin counts always equal the sum of live registrations;
+//! * frames are conserved (free + mapped + pinned + orphaned accounts for
+//!   every frame);
+//! * the message layer delivers random payloads intact across protocols.
+
+#![allow(clippy::needless_range_loop)] // page/rank indices are semantic
+
+use proptest::prelude::*;
+
+use simmem::{prot, Capabilities, Kernel, KernelConfig, PAGE_SIZE};
+use vialock::{MemoryRegistry, StrategyKind};
+
+// ---------------------------------------------------------------------
+// VMA surgery
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum VmaOp {
+    Lock { page: u8, pages: u8 },
+    Unlock { page: u8, pages: u8 },
+}
+
+fn vma_op() -> impl Strategy<Value = VmaOp> {
+    prop_oneof![
+        (0u8..60, 1u8..8).prop_map(|(page, pages)| VmaOp::Lock { page, pages }),
+        (0u8..60, 1u8..8).prop_map(|(page, pages)| VmaOp::Unlock { page, pages }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn vma_invariants_under_random_mlock(ops in prop::collection::vec(vma_op(), 1..40)) {
+        let mut k = Kernel::new(KernelConfig::small());
+        let pid = k.spawn_process(Capabilities::root());
+        let base = k.mmap_anon(pid, 64 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        for op in ops {
+            let (page, pages, lock) = match op {
+                VmaOp::Lock { page, pages } => (page, pages, true),
+                VmaOp::Unlock { page, pages } => (page, pages, false),
+            };
+            let addr = base + (page as u64) * PAGE_SIZE as u64;
+            let len = (pages as usize).min(64 - page as usize) * PAGE_SIZE;
+            if len == 0 { continue; }
+            let r = if lock {
+                k.sys_mlock(pid, addr, len)
+            } else {
+                k.sys_munlock(pid, addr, len)
+            };
+            prop_assert!(r.is_ok(), "{:?}", r);
+            // The invariant the kernel would BUG() on:
+            let proc_vmas = k.vma_count(pid).unwrap();
+            prop_assert!(proc_vmas <= 129, "unbounded VMA growth");
+        }
+    }
+
+    #[test]
+    fn data_survives_random_pressure(
+        seeds in prop::collection::vec(0u8..255, 4..16),
+        hog_pages in 32usize..160,
+    ) {
+        let mut k = Kernel::new(KernelConfig {
+            nframes: 128,
+            reserved_frames: 8,
+            swap_slots: 4096,
+            default_rlimit_memlock: None,
+            swap_cache: false,
+        });
+        let pid = k.spawn_process(Capabilities::default());
+        let n = seeds.len();
+        let buf = k.mmap_anon(pid, n * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        for (i, &s) in seeds.iter().enumerate() {
+            k.write_user(pid, buf + (i * PAGE_SIZE) as u64, &[s; 64]).unwrap();
+        }
+        // Random pressure.
+        let hog = k.spawn_process(Capabilities::default());
+        let hbuf = k.mmap_anon(hog, hog_pages * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        for i in 0..hog_pages {
+            k.write_user(hog, hbuf + (i * PAGE_SIZE) as u64, &[1u8; 8]).unwrap();
+        }
+        // Every byte must come back — swapping is transparent to the CPU.
+        for (i, &s) in seeds.iter().enumerate() {
+            let mut out = [0u8; 64];
+            k.read_user(pid, buf + (i * PAGE_SIZE) as u64, &mut out).unwrap();
+            prop_assert!(out.iter().all(|&b| b == s), "page {i} corrupted");
+        }
+    }
+
+    #[test]
+    fn registry_pin_counts_match_registrations(
+        ops in prop::collection::vec((0usize..8, 1usize..6, any::<bool>()), 1..30)
+    ) {
+        let mut k = Kernel::new(KernelConfig::medium());
+        let pid = k.spawn_process(Capabilities::default());
+        let base = k.mmap_anon(pid, 64 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable);
+        let mut live = Vec::new();
+        for (page, pages, do_register) in ops {
+            if do_register || live.is_empty() {
+                let addr = base + (page * PAGE_SIZE) as u64;
+                let len = pages.min(64 - page) * PAGE_SIZE;
+                if len == 0 { continue; }
+                let h = reg.register(&mut k, pid, addr, len).unwrap();
+                live.push(h);
+            } else {
+                let h = live.swap_remove(0);
+                reg.deregister(&mut k, h).unwrap();
+            }
+            prop_assert!(reg.check_invariants(&k).is_ok());
+        }
+        for h in live {
+            reg.deregister(&mut k, h).unwrap();
+        }
+        prop_assert_eq!(reg.pinned_frames(), 0);
+        prop_assert!(reg.check_invariants(&k).is_ok());
+    }
+
+    #[test]
+    fn frames_are_conserved(
+        npages in 1usize..32,
+        hog_pages in 16usize..128,
+    ) {
+        let mut k = Kernel::new(KernelConfig {
+            nframes: 128,
+            reserved_frames: 8,
+            swap_slots: 4096,
+            default_rlimit_memlock: None,
+            swap_cache: false,
+        });
+        let pid = k.spawn_process(Capabilities::default());
+        let buf = k.mmap_anon(pid, npages * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        k.touch_pages(pid, buf, npages * PAGE_SIZE, true).unwrap();
+        let mut reg = MemoryRegistry::new(StrategyKind::RefcountOnly);
+        let h = reg.register(&mut k, pid, buf, npages * PAGE_SIZE).unwrap();
+
+        let hog = k.spawn_process(Capabilities::default());
+        let hbuf = k.mmap_anon(hog, hog_pages * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        for i in 0..hog_pages {
+            let _ = k.write_user(hog, hbuf + (i * PAGE_SIZE) as u64, &[1u8; 8]);
+        }
+
+        // Conservation: free + resident(+zero-page refs) + orphaned must
+        // never exceed the machine, and orphaned frames equal the stealer's
+        // counter.
+        prop_assert_eq!(k.count_orphaned_frames() as u64, k.stats.orphaned_pages);
+        reg.deregister(&mut k, h).unwrap();
+        // After dropping the pins, orphans become free again.
+        prop_assert_eq!(k.count_orphaned_frames(), 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fork_chains_preserve_isolation(
+        writes in prop::collection::vec((0u8..8, any::<u8>()), 1..12),
+    ) {
+        // A parent and two generations of children: every write lands only
+        // in the writer's view.
+        let mut k = Kernel::new(KernelConfig::medium());
+        let p0 = k.spawn_process(Capabilities::default());
+        let a = k.mmap_anon(p0, 8 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        k.write_user(p0, a, &[0u8; 8 * PAGE_SIZE]).unwrap();
+        let p1 = k.fork(p0).unwrap();
+        let p2 = k.fork(p1).unwrap();
+        let procs = [p0, p1, p2];
+        let mut shadow = [[0u8; 8]; 3];
+        for (i, (page, val)) in writes.into_iter().enumerate() {
+            let who = i % 3;
+            let addr = a + (page as u64) * PAGE_SIZE as u64;
+            k.write_user(procs[who], addr, &[val]).unwrap();
+            shadow[who][page as usize] = val;
+            // Every process must see exactly its shadow.
+            for (j, &p) in procs.iter().enumerate() {
+                for pg in 0..8usize {
+                    let mut out = [0u8; 1];
+                    k.read_user(p, a + (pg * PAGE_SIZE) as u64, &mut out).unwrap();
+                    prop_assert_eq!(out[0], shadow[j][pg], "proc {} page {}", j, pg);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_planner_never_beats_itself(
+        n_nodes in 2usize..6,
+        seed_links in prop::collection::vec((0usize..6, 0usize..6, 1u64..100_000, 0u32..100), 1..12),
+        msg in 1usize..100_000,
+    ) {
+        use netsim::routes::{plan_routes, Link, NetworkDescription};
+        let links: Vec<Link> = seed_links
+            .into_iter()
+            .filter(|&(a, b, _, _)| a < n_nodes && b < n_nodes && a != b)
+            .map(|(a, b, lat, bw)| Link {
+                a,
+                b,
+                device: "dev",
+                latency_ns: lat,
+                per_byte_ns: bw as f64 / 10.0,
+            })
+            .collect();
+        prop_assume!(!links.is_empty());
+        let desc = NetworkDescription { n_nodes, links: links.clone(), forward_ns: Some(5_000) };
+        let rt = plan_routes(&desc, msg);
+        for l in &links {
+            // A planned route between directly linked nodes can never cost
+            // more than that direct link.
+            let direct = l.latency_ns + (msg as f64 * l.per_byte_ns).round() as u64;
+            let r = rt.route(l.a, l.b).expect("linked nodes are reachable");
+            prop_assert!(r.cost_ns <= direct, "route {} > direct {}", r.cost_ns, direct);
+            // Costs are symmetric on an undirected description.
+            let back = rt.route(l.b, l.a).expect("reachable");
+            prop_assert_eq!(r.cost_ns, back.cost_ns);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Message-layer integrity
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_messages_arrive_intact(
+        lens in prop::collection::vec(1usize..60_000, 1..5),
+        seed in any::<u64>(),
+    ) {
+        let mut c = msg::Comm::new(
+            2,
+            2,
+            KernelConfig::large(),
+            StrategyKind::KiobufReliable,
+            msg::MsgConfig::tiny(),
+        ).unwrap();
+        for (i, &len) in lens.iter().enumerate() {
+            let data: Vec<u8> = (0..len)
+                .map(|j| ((j as u64).wrapping_mul(seed | 1).wrapping_add(i as u64) % 256) as u8)
+                .collect();
+            let sbuf = c.alloc_buffer(0, len).unwrap();
+            let rbuf = c.alloc_buffer(1, len).unwrap();
+            c.fill_buffer(0, sbuf, &data).unwrap();
+            let h = c.send(0, 1, i as u32, sbuf, len).unwrap();
+            let got = c.recv(1, 0, i as u32, rbuf, len).unwrap();
+            c.wait(h).unwrap();
+            prop_assert_eq!(got, len);
+            let mut out = vec![0u8; len];
+            c.read_buffer(1, rbuf, &mut out).unwrap();
+            prop_assert_eq!(out, data);
+        }
+    }
+}

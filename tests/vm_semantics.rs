@@ -1,0 +1,140 @@
+//! Deep VM-semantics integration: swap transparency across mixes of
+//! mlock/mprotect/fork, kiobuf pins surviving address-space surgery, and
+//! the exact refcount/flag lifecycles the paper's mechanism depends on.
+
+use simmem::{prot, Capabilities, Kernel, KernelConfig, PageFlags, PAGE_SIZE};
+use vialock::{MemoryRegistry, StrategyKind};
+
+fn tight() -> Kernel {
+    Kernel::new(KernelConfig {
+        nframes: 128,
+        reserved_frames: 8,
+        swap_slots: 4096,
+        default_rlimit_memlock: None,
+        swap_cache: false,
+    })
+}
+
+fn pressure(k: &mut Kernel, pages: usize) {
+    let hog = k.spawn_process(Capabilities::default());
+    let hb = k.mmap_anon(hog, pages * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    for i in 0..pages {
+        if k.write_user(hog, hb + (i * PAGE_SIZE) as u64, &[1u8; 8]).is_err() {
+            break;
+        }
+    }
+}
+
+#[test]
+fn registration_survives_neighbouring_munmap() {
+    // Unmapping an ADJACENT region must not disturb the pinned one.
+    let mut k = Kernel::new(KernelConfig::medium());
+    let pid = k.spawn_process(Capabilities::default());
+    let a = k.mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let b = k.mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable);
+    let h = reg.register(&mut k, pid, a, 4 * PAGE_SIZE).unwrap();
+    k.touch_pages(pid, b, 4 * PAGE_SIZE, true).unwrap();
+    k.munmap(pid, b, 4 * PAGE_SIZE).unwrap();
+    assert!(reg.verify_consistency(&k, h).unwrap());
+    reg.deregister(&mut k, h).unwrap();
+}
+
+#[test]
+fn munmap_of_registered_memory_keeps_frames_alive() {
+    // A process unmaps memory it registered (a buggy app): the pins keep
+    // the frames alive so the NIC cannot scribble on reused memory; the
+    // frames return only at deregistration.
+    let mut k = Kernel::new(KernelConfig::medium());
+    let pid = k.spawn_process(Capabilities::default());
+    let a = k.mmap_anon(pid, 2 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    k.write_user(pid, a, b"pinned").unwrap();
+    let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable);
+    let h = reg.register(&mut k, pid, a, 2 * PAGE_SIZE).unwrap();
+    let frames = reg.frames(h).unwrap().to_vec();
+    let free_before = k.free_frames();
+
+    k.munmap(pid, a, 2 * PAGE_SIZE).unwrap();
+    // Frames NOT freed: the registration holds references.
+    assert_eq!(k.free_frames(), free_before);
+    for &f in &frames {
+        assert!(k.page_descriptor(f).count >= 1);
+        assert!(k.page_descriptor(f).flags.contains(PageFlags::LOCKED));
+    }
+    // DMA into the registered frame is still safe (no other owner).
+    k.dma_write(frames[0], 0, b"NIC").unwrap();
+    reg.deregister(&mut k, h).unwrap();
+    assert_eq!(k.free_frames(), free_before + 2, "frames finally freed");
+}
+
+#[test]
+fn mprotect_readonly_does_not_break_an_existing_registration() {
+    let mut k = tight();
+    let pid = k.spawn_process(Capabilities::default());
+    let a = k.mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    k.write_user(pid, a, &[3u8; 4 * PAGE_SIZE]).unwrap();
+    let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable);
+    let h = reg.register(&mut k, pid, a, 4 * PAGE_SIZE).unwrap();
+    k.mprotect(pid, a, 4 * PAGE_SIZE, prot::READ).unwrap();
+    pressure(&mut k, 256);
+    assert!(reg.verify_consistency(&k, h).unwrap());
+    // The process still reads the DMA'd data.
+    let f = reg.frames(h).unwrap()[0];
+    k.dma_write(f, 0, b"RO!").unwrap();
+    let mut out = [0u8; 3];
+    k.read_user(pid, a, &mut out).unwrap();
+    assert_eq!(&out, b"RO!");
+    reg.deregister(&mut k, h).unwrap();
+}
+
+#[test]
+fn exit_with_live_registration_is_contained() {
+    // Process dies with a live registration (crashed MPI job): its mapped
+    // frames are released except the pinned ones, which the kernel agent
+    // reclaims at deregistration — no use-after-free for the NIC.
+    let mut k = Kernel::new(KernelConfig::medium());
+    let pid = k.spawn_process(Capabilities::default());
+    let a = k.mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    k.write_user(pid, a, &[9u8; 4 * PAGE_SIZE]).unwrap();
+    let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable);
+    let h = reg.register(&mut k, pid, a, 4 * PAGE_SIZE).unwrap();
+    let frames = reg.frames(h).unwrap().to_vec();
+
+    k.exit_process(pid).unwrap();
+    for &f in &frames {
+        assert_eq!(k.page_descriptor(f).count, 1, "pin reference remains");
+    }
+    // DMA to the pinned frames is still memory-safe.
+    k.dma_write(frames[0], 0, b"late").unwrap();
+    // The kernel agent's cleanup path releases everything.
+    reg.deregister(&mut k, h).unwrap();
+    for &f in &frames {
+        assert_eq!(k.page_descriptor(f).count, 0);
+    }
+    assert_eq!(k.count_orphaned_frames(), 0);
+}
+
+#[test]
+fn swap_pressure_with_mixed_pins_and_plain_memory() {
+    // Half the pages pinned, half plain: the stealer takes only the plain
+    // ones; data in both halves survives (through the pins resp. swap).
+    let mut k = tight();
+    let pid = k.spawn_process(Capabilities::default());
+    let a = k.mmap_anon(pid, 16 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    for i in 0..16 {
+        k.write_user(pid, a + (i * PAGE_SIZE) as u64, &[i as u8; 32]).unwrap();
+    }
+    let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable);
+    let h = reg.register(&mut k, pid, a, 8 * PAGE_SIZE).unwrap();
+
+    pressure(&mut k, 256);
+
+    // Pinned half: in place. Plain half: possibly swapped but intact.
+    assert!(reg.verify_consistency(&k, h).unwrap());
+    for i in 0..16 {
+        let mut out = [0u8; 32];
+        k.read_user(pid, a + (i * PAGE_SIZE) as u64, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == i as u8), "page {i}");
+    }
+    reg.deregister(&mut k, h).unwrap();
+}
