@@ -7,62 +7,25 @@
 //! before — the common case for applications with buffer reuse — costs a
 //! table lookup instead of a kernel trap plus per-page pinning.
 //!
-//! The cache is an LRU keyed by `(pid, page_base, npages)` holding live
-//! [`MemHandle`]s with use counts; eviction deregisters only regions not
-//! currently in use, and only when the configured page budget is exceeded.
-
-use std::collections::HashMap;
+//! The cache logic itself lives in the generic [`CoveringLru`]: covering
+//! hits (a sub-range of a cached span is a hit, not a re-registration),
+//! stamp-ordered O(log n) eviction of idle entries within a page budget,
+//! and O(1) release through a handle reverse map. This type binds it to a
+//! [`MemoryRegistry`], turning misses into `register` calls and evictions
+//! into `deregister` calls.
 
 use simmem::{Kernel, Pid, VirtAddr};
 
 use crate::error::{RegError, RegResult};
+use crate::lru::{CacheReleaseError, CoveringLru};
 use crate::region::MemHandle;
 use crate::registry::MemoryRegistry;
 
-/// Cache performance counters.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-pub struct CacheStats {
-    pub hits: u64,
-    pub misses: u64,
-    pub evictions: u64,
-}
-
-impl CacheStats {
-    /// Hit ratio in [0, 1]; 0 when no lookups happened.
-    pub fn hit_ratio(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
-        }
-    }
-}
-
-/// Key identifying a cacheable registration: same process, same page span.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct CacheKey {
-    pid: Pid,
-    page_base: VirtAddr,
-    npages: usize,
-}
-
-struct CacheEntry {
-    handle: MemHandle,
-    /// Outstanding acquisitions; only zero-use entries may be evicted.
-    users: u32,
-    /// LRU stamp: larger = more recently used.
-    stamp: u64,
-    npages: usize,
-}
+pub use crate::lru::CacheStats;
 
 /// LRU cache of live registrations in front of a [`MemoryRegistry`].
 pub struct RegistrationCache {
-    entries: HashMap<CacheKey, CacheEntry>,
-    /// Page budget: cached-but-unused regions are evicted beyond this.
-    capacity_pages: usize,
-    clock: u64,
-    pub stats: CacheStats,
+    lru: CoveringLru<MemHandle>,
 }
 
 impl RegistrationCache {
@@ -70,15 +33,13 @@ impl RegistrationCache {
     /// by the pinnable-memory limit).
     pub fn new(capacity_pages: usize) -> Self {
         RegistrationCache {
-            entries: HashMap::new(),
-            capacity_pages,
-            clock: 0,
-            stats: CacheStats::default(),
+            lru: CoveringLru::new(capacity_pages),
         }
     }
 
-    /// Acquire a registration for `[addr, addr+len)`: reuse a cached one or
-    /// register anew. Pair every acquire with [`RegistrationCache::release`].
+    /// Acquire a registration for `[addr, addr+len)`: reuse a cached one
+    /// (exact span or any covering span) or register anew. Pair every
+    /// acquire with [`RegistrationCache::release`].
     pub fn acquire(
         &mut self,
         kernel: &mut Kernel,
@@ -87,76 +48,33 @@ impl RegistrationCache {
         addr: VirtAddr,
         len: usize,
     ) -> RegResult<MemHandle> {
-        let key = CacheKey {
-            pid,
-            page_base: simmem::page_base(addr),
-            npages: crate::strategy::npages(addr, len),
-        };
-        self.clock += 1;
-        if let Some(e) = self.entries.get_mut(&key) {
-            e.users += 1;
-            e.stamp = self.clock;
-            self.stats.hits += 1;
-            return Ok(e.handle);
+        if let Some(handle) = self.lru.acquire(pid, addr, len) {
+            return Ok(handle);
         }
-        self.stats.misses += 1;
-        // Register the full page span so any same-span request hits.
-        let span_len = key.npages * simmem::PAGE_SIZE;
-        let handle = registry.register(kernel, pid, key.page_base, span_len)?;
-        self.entries.insert(
-            key,
-            CacheEntry {
-                handle,
-                users: 1,
-                stamp: self.clock,
-                npages: key.npages,
-            },
-        );
+        // Register the full page span so any sub-span request hits.
+        let page_base = simmem::page_base(addr);
+        let span_len = crate::strategy::npages(addr, len) * simmem::PAGE_SIZE;
+        let handle = registry.register(kernel, pid, page_base, span_len)?;
+        self.lru.admit(pid, addr, len, handle);
         Ok(handle)
     }
 
     /// Release a prior acquisition. The registration stays cached; unused
-    /// entries beyond the page budget are evicted LRU-first.
+    /// entries beyond the page budget are evicted LRU-first. Releasing a
+    /// handle more often than it was acquired is an error
+    /// ([`RegError::PinUnderflow`]), not a silent saturation.
     pub fn release(
         &mut self,
         kernel: &mut Kernel,
         registry: &mut MemoryRegistry,
         handle: MemHandle,
     ) -> RegResult<()> {
-        let key = self
-            .entries
-            .iter()
-            .find(|(_, e)| e.handle == handle)
-            .map(|(k, _)| *k)
-            .ok_or(RegError::NoSuchHandle)?;
-        {
-            let e = self.entries.get_mut(&key).expect("found above");
-            if e.users == 0 {
-                return Err(RegError::PinUnderflow);
-            }
-            e.users -= 1;
-        }
-        self.shrink(kernel, registry)?;
-        Ok(())
-    }
-
-    /// Evict unused LRU entries until within the page budget.
-    fn shrink(&mut self, kernel: &mut Kernel, registry: &mut MemoryRegistry) -> RegResult<()> {
-        while self.cached_pages() > self.capacity_pages {
-            let victim = self
-                .entries
-                .iter()
-                .filter(|(_, e)| e.users == 0)
-                .min_by_key(|(_, e)| e.stamp)
-                .map(|(k, _)| *k);
-            match victim {
-                Some(k) => {
-                    let e = self.entries.remove(&k).expect("victim present");
-                    registry.deregister(kernel, e.handle)?;
-                    self.stats.evictions += 1;
-                }
-                None => break, // everything in use: over budget but stuck
-            }
+        self.lru.release(handle).map_err(|e| match e {
+            CacheReleaseError::UnknownHandle => RegError::NoSuchHandle,
+            CacheReleaseError::Underflow => RegError::PinUnderflow,
+        })?;
+        for victim in self.lru.evict_over_budget() {
+            registry.deregister(kernel, victim)?;
         }
         Ok(())
     }
@@ -164,32 +82,29 @@ impl RegistrationCache {
     /// Drop every unused cached registration (shutdown / low-memory
     /// callback).
     pub fn flush(&mut self, kernel: &mut Kernel, registry: &mut MemoryRegistry) -> RegResult<()> {
-        let victims: Vec<CacheKey> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.users == 0)
-            .map(|(k, _)| *k)
-            .collect();
-        for k in victims {
-            let e = self.entries.remove(&k).expect("victim present");
-            registry.deregister(kernel, e.handle)?;
-            self.stats.evictions += 1;
+        for victim in self.lru.drain_idle() {
+            registry.deregister(kernel, victim)?;
         }
         Ok(())
     }
 
     /// Total pages held by cached registrations (used + unused).
     pub fn cached_pages(&self) -> usize {
-        self.entries.values().map(|e| e.npages).sum()
+        self.lru.cached_pages()
     }
 
     /// Number of cached registrations.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.lru.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.lru.is_empty()
+    }
+
+    /// Performance counters.
+    pub fn stats(&self) -> CacheStats {
+        self.lru.stats()
     }
 }
 
@@ -212,14 +127,42 @@ mod tests {
     fn second_acquire_hits() {
         let (mut k, pid, a, mut reg) = setup();
         let mut cache = RegistrationCache::new(64);
-        let h1 = cache.acquire(&mut k, &mut reg, pid, a, 4 * PAGE_SIZE).unwrap();
+        let h1 = cache
+            .acquire(&mut k, &mut reg, pid, a, 4 * PAGE_SIZE)
+            .unwrap();
         cache.release(&mut k, &mut reg, h1).unwrap();
-        let h2 = cache.acquire(&mut k, &mut reg, pid, a, 4 * PAGE_SIZE).unwrap();
+        let h2 = cache
+            .acquire(&mut k, &mut reg, pid, a, 4 * PAGE_SIZE)
+            .unwrap();
         assert_eq!(h1, h2, "cache returns the live registration");
-        assert_eq!(cache.stats.hits, 1);
-        assert_eq!(cache.stats.misses, 1);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
         assert_eq!(reg.stats.registrations, 1, "only one kernel registration");
         cache.release(&mut k, &mut reg, h2).unwrap();
+    }
+
+    #[test]
+    fn sub_span_acquire_is_a_covering_hit_with_zero_registrations() {
+        // The tentpole semantics: [base+PAGE, base+3*PAGE) after caching
+        // [base, base+8*PAGE) hits the cached span — no kernel trap, no
+        // re-pin.
+        let (mut k, pid, a, mut reg) = setup();
+        let mut cache = RegistrationCache::new(64);
+        let big = cache
+            .acquire(&mut k, &mut reg, pid, a, 8 * PAGE_SIZE)
+            .unwrap();
+        cache.release(&mut k, &mut reg, big).unwrap();
+        assert_eq!(reg.stats.registrations, 1);
+
+        let sub = cache
+            .acquire(&mut k, &mut reg, pid, a + PAGE_SIZE as u64, 2 * PAGE_SIZE)
+            .unwrap();
+        assert_eq!(sub, big, "served by the covering span's handle");
+        assert_eq!(reg.stats.registrations, 1, "zero new registrations");
+        assert_eq!(cache.stats().covering_hits, 1);
+        assert_eq!(cache.stats().hits, 0, "covering hits counted separately");
+        assert_eq!(cache.stats().misses, 1);
+        cache.release(&mut k, &mut reg, sub).unwrap();
     }
 
     #[test]
@@ -229,17 +172,21 @@ mod tests {
         let mut handles = Vec::new();
         for i in 0..3 {
             let addr = a + (i * 4 * PAGE_SIZE) as u64;
-            let h = cache.acquire(&mut k, &mut reg, pid, addr, 4 * PAGE_SIZE).unwrap();
+            let h = cache
+                .acquire(&mut k, &mut reg, pid, addr, 4 * PAGE_SIZE)
+                .unwrap();
             cache.release(&mut k, &mut reg, h).unwrap();
             handles.push(h);
         }
         // 12 pages acquired against an 8-page budget → oldest evicted.
         assert!(cache.cached_pages() <= 8);
-        assert_eq!(cache.stats.evictions, 1);
+        assert_eq!(cache.stats().evictions, 1);
         // Oldest is gone: re-acquiring it misses.
-        let h = cache.acquire(&mut k, &mut reg, pid, a, 4 * PAGE_SIZE).unwrap();
+        let h = cache
+            .acquire(&mut k, &mut reg, pid, a, 4 * PAGE_SIZE)
+            .unwrap();
         assert_ne!(h, handles[0]);
-        assert_eq!(cache.stats.misses, 4);
+        assert_eq!(cache.stats().misses, 4);
         cache.release(&mut k, &mut reg, h).unwrap();
     }
 
@@ -247,10 +194,18 @@ mod tests {
     fn in_use_entries_are_never_evicted() {
         let (mut k, pid, a, mut reg) = setup();
         let mut cache = RegistrationCache::new(4);
-        let h1 = cache.acquire(&mut k, &mut reg, pid, a, 4 * PAGE_SIZE).unwrap();
+        let h1 = cache
+            .acquire(&mut k, &mut reg, pid, a, 4 * PAGE_SIZE)
+            .unwrap();
         // Second region busts the budget while the first is still in use.
         let h2 = cache
-            .acquire(&mut k, &mut reg, pid, a + 16 * PAGE_SIZE as u64, 4 * PAGE_SIZE)
+            .acquire(
+                &mut k,
+                &mut reg,
+                pid,
+                a + 16 * PAGE_SIZE as u64,
+                4 * PAGE_SIZE,
+            )
             .unwrap();
         cache.release(&mut k, &mut reg, h2).unwrap();
         // h1 (in use) must survive; h2 (idle) is the only evictable one.
@@ -262,7 +217,9 @@ mod tests {
     fn flush_clears_idle_entries() {
         let (mut k, pid, a, mut reg) = setup();
         let mut cache = RegistrationCache::new(64);
-        let h = cache.acquire(&mut k, &mut reg, pid, a, 2 * PAGE_SIZE).unwrap();
+        let h = cache
+            .acquire(&mut k, &mut reg, pid, a, 2 * PAGE_SIZE)
+            .unwrap();
         cache.release(&mut k, &mut reg, h).unwrap();
         cache.flush(&mut k, &mut reg).unwrap();
         assert!(cache.is_empty());
@@ -271,7 +228,12 @@ mod tests {
 
     #[test]
     fn hit_ratio() {
-        let s = CacheStats { hits: 3, misses: 1, evictions: 0 };
+        let s = CacheStats {
+            hits: 2,
+            covering_hits: 1,
+            misses: 1,
+            evictions: 0,
+        };
         assert!((s.hit_ratio() - 0.75).abs() < 1e-9);
         assert_eq!(CacheStats::default().hit_ratio(), 0.0);
     }
@@ -283,6 +245,18 @@ mod tests {
         assert_eq!(
             cache.release(&mut k, &mut reg, MemHandle(999)),
             Err(RegError::NoSuchHandle)
+        );
+    }
+
+    #[test]
+    fn double_release_is_an_error_not_a_saturation() {
+        let (mut k, pid, a, mut reg) = setup();
+        let mut cache = RegistrationCache::new(64);
+        let h = cache.acquire(&mut k, &mut reg, pid, a, PAGE_SIZE).unwrap();
+        cache.release(&mut k, &mut reg, h).unwrap();
+        assert_eq!(
+            cache.release(&mut k, &mut reg, h),
+            Err(RegError::PinUnderflow)
         );
     }
 }

@@ -1,0 +1,249 @@
+//! Run-length interval counters: the mlock strategy's driver-side
+//! bookkeeping, stored as maximal runs instead of per-page map entries.
+//!
+//! `munlock` does not nest, so the kernel agent must count how many live
+//! registrations cover each page and unlock only runs whose count dropped
+//! to zero (paper §3.2). The seed kept one hash-map entry per (pid, page);
+//! registering a 1024-page region cost 1024 hash operations. Here the
+//! counts are kept as disjoint, coalesced runs `[start, end) → count` in a
+//! `BTreeMap`, so a region add/sub touches O(runs overlapped) entries — a
+//! handful for real registration patterns, independent of region size.
+
+use std::collections::BTreeMap;
+
+/// A point in a subtracted interval was already at count zero — a release
+/// without a matching add.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterUnderflow;
+
+/// Disjoint, coalesced runs of equal count over `u64` points (VPNs here).
+/// Zero counts are never stored.
+#[derive(Debug, Default, Clone)]
+pub struct IntervalCounter {
+    /// start → (end, count); invariants: runs disjoint and non-empty,
+    /// adjacent runs with equal count merged.
+    runs: BTreeMap<u64, (u64, u32)>,
+}
+
+impl IntervalCounter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no point has a positive count.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Count at a single point.
+    pub fn count_at(&self, p: u64) -> u32 {
+        self.runs
+            .range(..=p)
+            .next_back()
+            .filter(|(_, &(end, _))| p < end)
+            .map(|(_, &(_, c))| c)
+            .unwrap_or(0)
+    }
+
+    /// Iterate `(start, end, count)` runs in order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64, u32)> + '_ {
+        self.runs.iter().map(|(&s, &(e, c))| (s, e, c))
+    }
+
+    /// Split any run straddling `p` so `p` becomes a run boundary.
+    fn split_at(&mut self, p: u64) {
+        if let Some((&s, &(e, c))) = self
+            .runs
+            .range(..p)
+            .next_back()
+            .filter(|(_, &(end, _))| p < end)
+        {
+            self.runs.insert(s, (p, c));
+            self.runs.insert(p, (e, c));
+        }
+    }
+
+    /// Merge runs that touch at `p` with equal counts.
+    fn coalesce_at(&mut self, p: u64) {
+        let left = self.runs.range(..p).next_back().map(|(&s, &v)| (s, v));
+        let right = self.runs.get(&p).copied();
+        if let (Some((ls, (le, lc))), Some((re, rc))) = (left, right) {
+            if le == p && lc == rc {
+                self.runs.remove(&p);
+                self.runs.insert(ls, (re, rc));
+            }
+        }
+    }
+
+    /// Increment the count of every point in `[start, end)`.
+    pub fn add(&mut self, start: u64, end: u64) {
+        assert!(start < end, "empty interval");
+        self.split_at(start);
+        self.split_at(end);
+        // Walk existing runs inside [start, end), bumping counts and filling
+        // gaps with fresh count-1 runs.
+        let mut covered = start;
+        let inside: Vec<(u64, u64)> = self
+            .runs
+            .range(start..end)
+            .map(|(&s, &(e, _))| (s, e))
+            .collect();
+        for (s, e) in inside {
+            if covered < s {
+                self.runs.insert(covered, (s, 1));
+            }
+            let c = self.runs.get_mut(&s).expect("run listed above");
+            c.1 += 1;
+            covered = e;
+        }
+        if covered < end {
+            self.runs.insert(covered, (end, 1));
+        }
+        self.coalesce_at(start);
+        self.coalesce_at(end);
+        // Gap-fill may have created equal-count neighbours strictly inside.
+        let interior: Vec<u64> = self.runs.range(start + 1..end).map(|(&s, _)| s).collect();
+        for s in interior {
+            self.coalesce_at(s);
+        }
+    }
+
+    /// Decrement the count of every point in `[start, end)`. Returns the
+    /// maximal runs within `[start, end)` whose count reached zero (the
+    /// intervals to `munlock`), or [`CounterUnderflow`] if any point was
+    /// already at zero (release without matching add).
+    pub fn sub(&mut self, start: u64, end: u64) -> Result<Vec<(u64, u64)>, CounterUnderflow> {
+        assert!(start < end, "empty interval");
+        // Underflow check first: the whole interval must be covered by
+        // positive runs — no gaps.
+        let mut covered = start;
+        for (&s, &(e, _)) in self.runs.range(..end) {
+            if e <= start {
+                continue;
+            }
+            if s > covered {
+                return Err(CounterUnderflow);
+            }
+            covered = covered.max(e);
+        }
+        if covered < end {
+            return Err(CounterUnderflow);
+        }
+
+        self.split_at(start);
+        self.split_at(end);
+        let inside: Vec<u64> = self.runs.range(start..end).map(|(&s, _)| s).collect();
+        let mut zero_runs: Vec<(u64, u64)> = Vec::new();
+        for s in inside {
+            let &(e, c) = self.runs.get(&s).expect("run listed above");
+            if c == 1 {
+                self.runs.remove(&s);
+                match zero_runs.last_mut() {
+                    Some(last) if last.1 == s => last.1 = e,
+                    _ => zero_runs.push((s, e)),
+                }
+            } else {
+                self.runs.insert(s, (e, c - 1));
+            }
+        }
+        self.coalesce_at(start);
+        self.coalesce_at(end);
+        let interior: Vec<u64> = self.runs.range(start + 1..end).map(|(&s, _)| s).collect();
+        for s in interior {
+            self.coalesce_at(s);
+        }
+        Ok(zero_runs)
+    }
+
+    #[cfg(test)]
+    fn assert_invariants(&self) {
+        let mut prev: Option<(u64, u64, u32)> = None;
+        for (s, e, c) in self.iter() {
+            assert!(s < e, "empty run stored");
+            assert!(c > 0, "zero-count run stored");
+            if let Some((_, pe, pc)) = prev {
+                assert!(pe <= s, "overlapping runs");
+                assert!(pe < s || pc != c, "uncoalesced neighbours");
+            }
+            prev = Some((s, e, c));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let mut ic = IntervalCounter::new();
+        ic.add(10, 20);
+        ic.assert_invariants();
+        assert_eq!(ic.count_at(10), 1);
+        assert_eq!(ic.count_at(19), 1);
+        assert_eq!(ic.count_at(20), 0);
+        let zeros = ic.sub(10, 20).unwrap();
+        assert_eq!(zeros, vec![(10, 20)]);
+        assert!(ic.is_empty());
+    }
+
+    #[test]
+    fn nesting_keeps_pages_counted() {
+        let mut ic = IntervalCounter::new();
+        ic.add(0, 8);
+        ic.add(0, 8);
+        assert_eq!(ic.sub(0, 8).unwrap(), vec![], "still covered once");
+        assert_eq!(ic.count_at(4), 1);
+        assert_eq!(ic.sub(0, 8).unwrap(), vec![(0, 8)]);
+        ic.assert_invariants();
+    }
+
+    #[test]
+    fn partial_overlap_releases_only_free_runs() {
+        let mut ic = IntervalCounter::new();
+        ic.add(0, 8); // [0,8)
+        ic.add(4, 12); // overlap [4,8)
+        ic.assert_invariants();
+        assert_eq!(ic.sub(0, 8).unwrap(), vec![(0, 4)], "[4,8) still held");
+        assert_eq!(ic.sub(4, 12).unwrap(), vec![(4, 12)]);
+        assert!(ic.is_empty());
+    }
+
+    #[test]
+    fn interleaved_zero_runs_are_maximal() {
+        let mut ic = IntervalCounter::new();
+        ic.add(0, 10);
+        ic.add(2, 4); // pages 2,3 twice
+        ic.add(6, 8); // pages 6,7 twice
+                      // Dropping the big region frees [0,2), [4,6), [8,10) as three runs.
+        assert_eq!(ic.sub(0, 10).unwrap(), vec![(0, 2), (4, 6), (8, 10)]);
+        ic.assert_invariants();
+        assert_eq!(ic.sub(2, 4).unwrap(), vec![(2, 4)]);
+        assert_eq!(ic.sub(6, 8).unwrap(), vec![(6, 8)]);
+        assert!(ic.is_empty());
+    }
+
+    #[test]
+    fn underflow_is_detected_without_mutation() {
+        let mut ic = IntervalCounter::new();
+        ic.add(5, 10);
+        assert!(ic.sub(0, 10).is_err(), "gap before run");
+        assert!(ic.sub(5, 11).is_err(), "gap after run");
+        assert!(ic.sub(12, 14).is_err(), "entirely uncovered");
+        // The failed subs must not have altered counts.
+        assert_eq!(ic.count_at(5), 1);
+        assert_eq!(ic.sub(5, 10).unwrap(), vec![(5, 10)]);
+    }
+
+    #[test]
+    fn coalescing_bounds_run_count() {
+        let mut ic = IntervalCounter::new();
+        // 64 adjacent single-page adds collapse into one run.
+        for i in 0..64 {
+            ic.add(i, i + 1);
+        }
+        ic.assert_invariants();
+        assert_eq!(ic.iter().count(), 1);
+        assert_eq!(ic.iter().next(), Some((0, 64, 1)));
+    }
+}

@@ -52,13 +52,18 @@
 
 pub mod cache;
 pub mod error;
+pub mod interval;
+pub mod lru;
 pub mod pin;
 pub mod region;
 pub mod registry;
+mod span;
 pub mod strategy;
 
 pub use cache::{CacheStats, RegistrationCache};
 pub use error::{RegError, RegResult};
+pub use interval::IntervalCounter;
+pub use lru::{CacheReleaseError, CoveringLru};
 pub use pin::PinTable;
 pub use region::{MemHandle, Region, RegionTable};
 pub use registry::MemoryRegistry;

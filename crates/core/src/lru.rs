@@ -1,0 +1,327 @@
+//! The generic covering-aware LRU used by both registration caches
+//! ([`crate::cache::RegistrationCache`] at the kernel-agent level and the
+//! msg crate's `NodeRegCache` at the NIC-handle level).
+//!
+//! Three structural properties replace the seed's per-cache ad-hoc maps:
+//!
+//! * **Covering hits** — a request for a sub-range of an already-cached
+//!   (already-pinned!) span is a hit on that span, via the same
+//!   [`SpanIndex`] the region table uses, instead of a full miss that
+//!   re-pins the pages and refills the TPT.
+//! * **O(log n) eviction** — idle entries sit in a stamp-ordered
+//!   `BTreeMap`, so the LRU victim is the first key, not an O(n)
+//!   `min_by_key` scan over every entry.
+//! * **O(1) release** — a handle → key reverse map replaces the O(n)
+//!   `iter().find` on every release.
+//!
+//! The cache tracks spans and use counts only; the caller owns the actual
+//! register/deregister side effects (kernel agent trap, TPT fill), keeping
+//! this type free of kernel/NIC dependencies.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+use simmem::{Pid, VirtAddr, PAGE_SIZE};
+
+use crate::span::SpanIndex;
+
+/// Cache performance counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Exact-span hits.
+    pub hits: u64,
+    /// Hits served by a cached span strictly larger than the request.
+    pub covering_hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in [0, 1]; 0 when no lookups happened. Covering hits are
+    /// hits — the request was served without a registration.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.covering_hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            (self.hits + self.covering_hits) as f64 / total as f64
+        }
+    }
+}
+
+/// Why a release was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheReleaseError {
+    /// The handle is not cached here.
+    UnknownHandle,
+    /// The entry's use count is already zero: release without a matching
+    /// acquire (the double-release bug the seed only `debug_assert`ed).
+    Underflow,
+}
+
+/// Key identifying a cached registration: same process, same page span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SpanKey {
+    pid: Pid,
+    page_base: VirtAddr,
+    npages: usize,
+}
+
+impl SpanKey {
+    fn of(pid: Pid, addr: VirtAddr, len: usize) -> Self {
+        SpanKey {
+            pid,
+            page_base: simmem::page_base(addr),
+            npages: crate::strategy::npages(addr, len),
+        }
+    }
+
+    fn end(&self) -> VirtAddr {
+        self.page_base + (self.npages * PAGE_SIZE) as u64
+    }
+}
+
+struct Entry<H> {
+    handle: H,
+    /// Outstanding acquisitions; only zero-use entries may be evicted.
+    users: u32,
+    /// LRU stamp: larger = more recently used. Unique across entries (the
+    /// clock ticks once per lookup and an entry absorbs at most one tick),
+    /// so it doubles as the idle-queue key.
+    stamp: u64,
+    npages: usize,
+}
+
+/// Covering-aware LRU over spans, generic in the handle type (kernel-agent
+/// `MemHandle`, NIC `MemId`, ...).
+pub struct CoveringLru<H> {
+    entries: HashMap<SpanKey, Entry<H>>,
+    by_handle: HashMap<H, SpanKey>,
+    /// stamp → key for entries with `users == 0`, oldest first.
+    idle: BTreeMap<u64, SpanKey>,
+    index: SpanIndex<SpanKey>,
+    capacity_pages: usize,
+    cached_pages: usize,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl<H: Copy + Eq + Hash> CoveringLru<H> {
+    /// Cache with a page budget: idle entries beyond it are evicted.
+    pub fn new(capacity_pages: usize) -> Self {
+        CoveringLru {
+            entries: HashMap::new(),
+            by_handle: HashMap::new(),
+            idle: BTreeMap::new(),
+            index: SpanIndex::new(),
+            capacity_pages,
+            cached_pages: 0,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Look up `[addr, addr+len)` for `pid`: an exact-span or covering-span
+    /// hit bumps the entry's use count and returns its handle; a miss
+    /// returns `None` and the caller registers the full page span, then
+    /// calls [`CoveringLru::admit`]. Stats are counted here for all three
+    /// outcomes.
+    pub fn acquire(&mut self, pid: Pid, addr: VirtAddr, len: usize) -> Option<H> {
+        let key = SpanKey::of(pid, addr, len);
+        self.clock += 1;
+        if self.entries.contains_key(&key) {
+            self.stats.hits += 1;
+            return Some(self.touch(key));
+        }
+        if let Some(ckey) = self.index.find_covering(pid, key.page_base, key.end()) {
+            self.stats.covering_hits += 1;
+            return Some(self.touch(ckey));
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Mark `key`'s entry used now and return its handle.
+    fn touch(&mut self, key: SpanKey) -> H {
+        let e = self.entries.get_mut(&key).expect("caller checked presence");
+        if e.users == 0 {
+            self.idle.remove(&e.stamp);
+        }
+        e.users += 1;
+        e.stamp = self.clock;
+        e.handle
+    }
+
+    /// Record the registration a miss produced. The caller must have
+    /// registered the full page span of `[addr, addr+len)` (so future
+    /// sub-range requests hit). The entry starts with one user.
+    pub fn admit(&mut self, pid: Pid, addr: VirtAddr, len: usize, handle: H) {
+        let key = SpanKey::of(pid, addr, len);
+        assert!(
+            !self.entries.contains_key(&key),
+            "admit of an already-cached span; acquire first"
+        );
+        self.entries.insert(
+            key,
+            Entry {
+                handle,
+                users: 1,
+                stamp: self.clock,
+                npages: key.npages,
+            },
+        );
+        self.by_handle.insert(handle, key);
+        self.index.insert(pid, key.page_base, key.end(), key);
+        self.cached_pages += key.npages;
+    }
+
+    /// Release one acquisition of `handle`. The registration stays cached;
+    /// when the last user leaves, the entry joins the idle (evictable) set.
+    pub fn release(&mut self, handle: H) -> Result<(), CacheReleaseError> {
+        let key = *self
+            .by_handle
+            .get(&handle)
+            .ok_or(CacheReleaseError::UnknownHandle)?;
+        let e = self.entries.get_mut(&key).expect("reverse map in sync");
+        if e.users == 0 {
+            return Err(CacheReleaseError::Underflow);
+        }
+        e.users -= 1;
+        if e.users == 0 {
+            self.idle.insert(e.stamp, key);
+        }
+        Ok(())
+    }
+
+    /// Idle LRU handles to evict until the cache fits its page budget.
+    /// Entries are removed from the cache here; the caller deregisters the
+    /// returned handles.
+    pub fn evict_over_budget(&mut self) -> Vec<H> {
+        let mut victims = Vec::new();
+        while self.cached_pages > self.capacity_pages {
+            let Some((&stamp, &key)) = self.idle.iter().next() else {
+                break; // everything in use: over budget but stuck
+            };
+            self.idle.remove(&stamp);
+            victims.push(self.remove_entry(key));
+        }
+        victims
+    }
+
+    /// Remove and return every idle entry's handle (flush / low-memory
+    /// callback); in-use entries stay.
+    pub fn drain_idle(&mut self) -> Vec<H> {
+        let idle = std::mem::take(&mut self.idle);
+        idle.into_values()
+            .map(|key| self.remove_entry(key))
+            .collect()
+    }
+
+    fn remove_entry(&mut self, key: SpanKey) -> H {
+        let e = self.entries.remove(&key).expect("idle set in sync");
+        self.by_handle.remove(&e.handle);
+        self.index.remove(key.pid, key.page_base, key);
+        self.cached_pages -= e.npages;
+        self.stats.evictions += 1;
+        e.handle
+    }
+
+    /// Total pages held by cached registrations (used + idle) — a running
+    /// counter, not a scan.
+    pub fn cached_pages(&self) -> usize {
+        self.cached_pages
+    }
+
+    /// Number of cached registrations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: Pid = Pid(1);
+    const PG: u64 = PAGE_SIZE as u64;
+
+    #[test]
+    fn exact_then_covering_then_miss() {
+        let mut c: CoveringLru<u32> = CoveringLru::new(64);
+        assert_eq!(c.acquire(P, 8 * PG, 8 * PAGE_SIZE), None);
+        c.admit(P, 8 * PG, 8 * PAGE_SIZE, 1);
+        // Exact.
+        assert_eq!(c.acquire(P, 8 * PG, 8 * PAGE_SIZE), Some(1));
+        // Sub-span → covering hit on the same handle.
+        assert_eq!(c.acquire(P, 9 * PG, 3 * PAGE_SIZE), Some(1));
+        // Overhang → miss.
+        assert_eq!(c.acquire(P, 12 * PG, 8 * PAGE_SIZE), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.covering_hits, s.misses), (1, 1, 2));
+        // Three acquisitions succeeded → three releases.
+        for _ in 0..3 {
+            c.release(1).unwrap();
+        }
+        assert_eq!(c.release(1), Err(CacheReleaseError::Underflow));
+        assert_eq!(c.release(99), Err(CacheReleaseError::UnknownHandle));
+    }
+
+    #[test]
+    fn eviction_is_lru_and_skips_in_use() {
+        let mut c: CoveringLru<u32> = CoveringLru::new(8);
+        for (i, h) in [(0u64, 10u32), (1, 11), (2, 12)] {
+            assert_eq!(c.acquire(P, i * 4 * PG, 4 * PAGE_SIZE), None);
+            c.admit(P, i * 4 * PG, 4 * PAGE_SIZE, h);
+        }
+        // Only 10 and 12 released; 11 stays in use.
+        c.release(10).unwrap();
+        c.release(12).unwrap();
+        assert_eq!(c.cached_pages(), 12);
+        // Victim must be 10 (oldest idle), leaving 8 pages.
+        assert_eq!(c.evict_over_budget(), vec![10]);
+        assert_eq!(c.cached_pages(), 8);
+        // Covering lookups no longer see the evicted span.
+        assert_eq!(c.acquire(P, 0, PAGE_SIZE), None);
+        c.release(11).unwrap();
+    }
+
+    #[test]
+    fn drain_idle_leaves_users() {
+        let mut c: CoveringLru<u32> = CoveringLru::new(64);
+        c.acquire(P, 0, PAGE_SIZE);
+        c.admit(P, 0, PAGE_SIZE, 1);
+        c.acquire(P, 4 * PG, PAGE_SIZE);
+        c.admit(P, 4 * PG, PAGE_SIZE, 2);
+        c.release(2).unwrap();
+        assert_eq!(c.drain_idle(), vec![2]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.cached_pages(), 1);
+        c.release(1).unwrap();
+    }
+
+    #[test]
+    fn reacquire_after_idle_restores_eviction_order() {
+        let mut c: CoveringLru<u32> = CoveringLru::new(2);
+        c.acquire(P, 0, PAGE_SIZE);
+        c.admit(P, 0, PAGE_SIZE, 1);
+        c.acquire(P, 4 * PG, PAGE_SIZE);
+        c.admit(P, 4 * PG, PAGE_SIZE, 2);
+        c.release(1).unwrap();
+        c.release(2).unwrap();
+        // Touch 1 again: 2 becomes the LRU victim.
+        assert_eq!(c.acquire(P, 0, PAGE_SIZE), Some(1));
+        c.release(1).unwrap();
+        c.acquire(P, 8 * PG, PAGE_SIZE);
+        c.admit(P, 8 * PG, PAGE_SIZE, 3);
+        c.release(3).unwrap();
+        assert_eq!(c.evict_over_budget(), vec![2]);
+    }
+}

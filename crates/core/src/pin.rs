@@ -9,17 +9,22 @@
 //! unpin brings the count to zero. Multiple (and overlapping) registrations
 //! of the same memory thereby behave exactly as the VIA specification
 //! requires.
+//!
+//! Counts live in a dense `Vec<u32>` indexed by frame id — frame ids are
+//! small and dense in the simulated kernel (as `struct page` indices are in
+//! the real one), so a pin/unpin is an array access, not a hash probe.
 
-use std::collections::HashMap;
-
-use simmem::{page::PageFlags, FrameId, Kernel};
+use simmem::{page::PageFlags, FrameId, Kernel, Pid, VirtAddr, PAGE_SIZE};
 
 use crate::error::{RegError, RegResult};
 
 /// Per-frame pin counts shared by all kiobuf-based registrations.
 #[derive(Debug, Default)]
 pub struct PinTable {
-    counts: HashMap<FrameId, u32>,
+    /// `counts[frame.0]`, grown on demand; zero = not pinned.
+    counts: Vec<u32>,
+    /// Number of distinct frames with a positive count.
+    pinned: usize,
 }
 
 impl PinTable {
@@ -32,37 +37,40 @@ impl PinTable {
     /// returned and the caller retries once the I/O completes — modelling
     /// the page-wait-queue sleep of the real mechanism.
     pub fn pin(&mut self, kernel: &mut Kernel, frame: FrameId) -> RegResult<()> {
-        let entry = self.counts.entry(frame).or_insert(0);
-        if *entry == 0 {
+        let idx = frame.0 as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        if self.counts[idx] == 0 {
             if kernel
                 .page_descriptor(frame)
                 .flags
                 .contains(PageFlags::LOCKED)
             {
                 // Someone else (kernel I/O) holds the lock: we must wait.
-                self.counts.remove(&frame);
                 return Err(RegError::WouldBlock);
             }
             kernel.raw_set_page_flag(frame, PageFlags::LOCKED);
+            self.pinned += 1;
         }
-        *entry += 1;
+        self.counts[idx] += 1;
         Ok(())
     }
 
     /// Unpin one frame; the last unpin releases `PG_locked`.
     pub fn unpin(&mut self, kernel: &mut Kernel, frame: FrameId) -> RegResult<()> {
-        match self.counts.get_mut(&frame) {
-            None => Err(RegError::PinUnderflow),
-            Some(c) if *c == 0 => Err(RegError::PinUnderflow),
-            Some(c) => {
-                *c -= 1;
-                if *c == 0 {
-                    self.counts.remove(&frame);
-                    kernel.raw_clear_page_flag(frame, PageFlags::LOCKED);
-                }
-                Ok(())
-            }
+        let Some(c) = self.counts.get_mut(frame.0 as usize) else {
+            return Err(RegError::PinUnderflow);
+        };
+        if *c == 0 {
+            return Err(RegError::PinUnderflow);
         }
+        *c -= 1;
+        if *c == 0 {
+            self.pinned -= 1;
+            kernel.raw_clear_page_flag(frame, PageFlags::LOCKED);
+        }
+        Ok(())
     }
 
     /// Pin a whole frame list transactionally: on failure everything pinned
@@ -87,30 +95,89 @@ impl PinTable {
         Ok(())
     }
 
+    /// The proposal's batched registration path: per page, fault in and
+    /// take a reference, then immediately take the page lock through the
+    /// table — **before** the next page's fault can trigger reclaim. (Under
+    /// the substrate's 2.2 eviction semantics a referenced-but-unlocked
+    /// page can still be orphaned, so the lock must not wait for a second
+    /// pass over the range.) On any failure everything acquired so far —
+    /// references and pins — is rolled back.
+    pub fn pin_user_range(
+        &mut self,
+        kernel: &mut Kernel,
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+    ) -> RegResult<Vec<FrameId>> {
+        let start = simmem::page_base(addr);
+        let end = simmem::page_align_up(addr + len as u64);
+        let mut frames = Vec::with_capacity(((end - start) as usize) / PAGE_SIZE);
+        let mut a = start;
+        while a < end {
+            let f = match kernel.get_user_page(pid, a) {
+                Ok(f) => f,
+                Err(e) => {
+                    self.rollback(kernel, &frames);
+                    return Err(e.into());
+                }
+            };
+            if let Err(e) = self.pin(kernel, f) {
+                kernel.put_user_page(f);
+                self.rollback(kernel, &frames);
+                return Err(e);
+            }
+            frames.push(f);
+            a += PAGE_SIZE as u64;
+        }
+        Ok(frames)
+    }
+
+    /// Undo a [`PinTable::pin_user_range`]: unpin and drop the page
+    /// reference on each frame.
+    pub fn unpin_user_range(&mut self, kernel: &mut Kernel, frames: &[FrameId]) -> RegResult<()> {
+        for &f in frames {
+            self.unpin(kernel, f)?;
+            kernel.put_user_page(f);
+        }
+        Ok(())
+    }
+
+    fn rollback(&mut self, kernel: &mut Kernel, frames: &[FrameId]) {
+        for &g in frames {
+            self.unpin(kernel, g).expect("rollback of fresh pin");
+            kernel.put_user_page(g);
+        }
+    }
+
     /// Current pin count of a frame (0 if not pinned).
     pub fn count(&self, frame: FrameId) -> u32 {
-        self.counts.get(&frame).copied().unwrap_or(0)
+        self.counts.get(frame.0 as usize).copied().unwrap_or(0)
     }
 
     /// Number of distinct pinned frames.
     pub fn pinned_frames(&self) -> usize {
-        self.counts.len()
+        self.pinned
     }
 
-    /// Invariant check for property tests: every tracked frame has a
-    /// positive count and carries `PG_locked`.
+    /// Invariant check for property tests: the pinned-frame counter matches
+    /// the table and every pinned frame carries `PG_locked`.
     pub fn check_invariants(&self, kernel: &Kernel) -> Result<(), String> {
-        for (&f, &c) in &self.counts {
+        let mut pinned = 0usize;
+        for (i, &c) in self.counts.iter().enumerate() {
             if c == 0 {
-                return Err(format!("frame {} tracked with zero count", f.0));
+                continue;
             }
-            if !kernel
-                .page_descriptor(f)
-                .flags
-                .contains(PageFlags::LOCKED)
-            {
-                return Err(format!("pinned frame {} lost PG_locked", f.0));
+            pinned += 1;
+            let f = FrameId(i as u32);
+            if !kernel.page_descriptor(f).flags.contains(PageFlags::LOCKED) {
+                return Err(format!("pinned frame {i} lost PG_locked"));
             }
+        }
+        if pinned != self.pinned {
+            return Err(format!(
+                "pinned-frame counter {} != table census {}",
+                self.pinned, pinned
+            ));
         }
         Ok(())
     }
@@ -119,12 +186,14 @@ impl PinTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simmem::{prot, Capabilities, KernelConfig, PAGE_SIZE};
+    use simmem::{prot, Capabilities, KernelConfig};
 
-    fn setup() -> (Kernel, Vec<FrameId>) {
+    fn setup() -> (Kernel, Pid, VirtAddr, Vec<FrameId>) {
         let mut k = Kernel::new(KernelConfig::small());
         let pid = k.spawn_process(Capabilities::default());
-        let a = k.mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let a = k
+            .mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         k.touch_pages(pid, a, 4 * PAGE_SIZE, true).unwrap();
         let frames: Vec<FrameId> = k
             .frames_of_range(pid, a, 4 * PAGE_SIZE)
@@ -132,12 +201,12 @@ mod tests {
             .into_iter()
             .flatten()
             .collect();
-        (k, frames)
+        (k, pid, a, frames)
     }
 
     #[test]
     fn first_pin_locks_last_unpin_unlocks() {
-        let (mut k, frames) = setup();
+        let (mut k, _, _, frames) = setup();
         let mut pt = PinTable::new();
         let f = frames[0];
         pt.pin(&mut k, f).unwrap();
@@ -157,7 +226,7 @@ mod tests {
 
     #[test]
     fn foreign_io_lock_blocks() {
-        let (mut k, frames) = setup();
+        let (mut k, _, _, frames) = setup();
         let mut pt = PinTable::new();
         let f = frames[1];
         k.begin_page_io(f);
@@ -170,7 +239,7 @@ mod tests {
 
     #[test]
     fn pin_all_rolls_back_on_failure() {
-        let (mut k, frames) = setup();
+        let (mut k, _, _, frames) = setup();
         let mut pt = PinTable::new();
         k.begin_page_io(frames[2]);
         assert_eq!(pt.pin_all(&mut k, &frames), Err(RegError::WouldBlock));
@@ -189,8 +258,37 @@ mod tests {
     }
 
     #[test]
+    fn pin_user_range_pins_and_rolls_back() {
+        let (mut k, pid, a, frames) = setup();
+        let mut pt = PinTable::new();
+        // Foreign I/O on page 2: the batch must fail and leave no trace —
+        // no pins, no stray page references.
+        let count0 = k.page_descriptor(frames[0]).count;
+        k.begin_page_io(frames[2]);
+        assert_eq!(
+            pt.pin_user_range(&mut k, pid, a, 4 * PAGE_SIZE),
+            Err(RegError::WouldBlock)
+        );
+        assert_eq!(pt.pinned_frames(), 0);
+        assert_eq!(
+            k.page_descriptor(frames[0]).count,
+            count0,
+            "refs rolled back"
+        );
+        assert!(k.end_page_io(frames[2]), "foreign lock untouched");
+        // Retry succeeds; unpin_user_range restores everything.
+        let got = pt.pin_user_range(&mut k, pid, a, 4 * PAGE_SIZE).unwrap();
+        assert_eq!(got, frames);
+        assert_eq!(pt.pinned_frames(), 4);
+        pt.check_invariants(&k).unwrap();
+        pt.unpin_user_range(&mut k, &got).unwrap();
+        assert_eq!(pt.pinned_frames(), 0);
+        assert_eq!(k.page_descriptor(frames[0]).count, count0);
+    }
+
+    #[test]
     fn unpin_underflow_detected() {
-        let (mut k, frames) = setup();
+        let (mut k, _, _, frames) = setup();
         let mut pt = PinTable::new();
         assert_eq!(pt.unpin(&mut k, frames[0]), Err(RegError::PinUnderflow));
     }

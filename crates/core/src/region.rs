@@ -9,6 +9,7 @@ use std::collections::BTreeMap;
 use simmem::{FrameId, Pid, VirtAddr, PAGE_SIZE};
 
 use crate::error::{RegError, RegResult};
+use crate::span::SpanIndex;
 use crate::strategy::{PinToken, StrategyKind};
 
 /// Opaque memory handle returned by registration (the VIA
@@ -55,10 +56,15 @@ impl Region {
     }
 }
 
-/// Table of live regions.
+/// Table of live regions, with a per-pid interval index so covering-region
+/// lookups don't scan the whole table.
 #[derive(Debug, Default)]
 pub struct RegionTable {
     regions: BTreeMap<MemHandle, Region>,
+    /// `(pid, [page_base, page_end))` → handle, for `find_covering`.
+    index: SpanIndex<MemHandle>,
+    /// Running sum of `frames.len()` over live regions.
+    total_pages: usize,
     next: u64,
 }
 
@@ -78,6 +84,10 @@ impl RegionTable {
     ) -> MemHandle {
         self.next += 1;
         let handle = MemHandle(self.next);
+        let page_base = simmem::page_base(user_addr);
+        let page_end = page_base + (frames.len() * PAGE_SIZE) as u64;
+        self.index.insert(pid, page_base, page_end, handle);
+        self.total_pages += frames.len();
         self.regions.insert(
             handle,
             Region {
@@ -85,7 +95,7 @@ impl RegionTable {
                 pid,
                 user_addr,
                 len,
-                page_base: simmem::page_base(user_addr),
+                page_base,
                 frames,
                 strategy,
                 token: Some(token),
@@ -99,7 +109,32 @@ impl RegionTable {
     }
 
     pub fn remove(&mut self, handle: MemHandle) -> RegResult<Region> {
-        self.regions.remove(&handle).ok_or(RegError::NoSuchHandle)
+        let region = self.regions.remove(&handle).ok_or(RegError::NoSuchHandle)?;
+        self.index.remove(region.pid, region.page_base, handle);
+        self.total_pages -= region.frames.len();
+        Ok(region)
+    }
+
+    /// A live region of `pid` whose pinned page span covers
+    /// `[start, start+len)`. O(log n + window) via the interval index; the
+    /// window is bounded by the largest region ever registered, not the
+    /// live-region count.
+    pub fn find_covering(&self, pid: Pid, start: VirtAddr, len: usize) -> Option<MemHandle> {
+        self.find_covering_probed(pid, start, len).0
+    }
+
+    /// [`RegionTable::find_covering`] plus the number of index entries
+    /// probed — deterministic evidence for complexity assertions in tests
+    /// and benches.
+    #[doc(hidden)]
+    pub fn find_covering_probed(
+        &self,
+        pid: Pid,
+        start: VirtAddr,
+        len: usize,
+    ) -> (Option<MemHandle>, usize) {
+        self.index
+            .find_covering_probed(pid, start, start + len as u64)
     }
 
     /// Number of live registrations.
@@ -112,9 +147,10 @@ impl RegionTable {
     }
 
     /// Total pinned pages across all live regions (pages pinned twice count
-    /// twice — this is the TPT-occupancy view).
+    /// twice — this is the TPT-occupancy view). A running counter, not a
+    /// table scan.
     pub fn total_pages(&self) -> usize {
-        self.regions.values().map(|r| r.frames.len()).sum()
+        self.total_pages
     }
 
     /// Iterate live regions.
@@ -170,7 +206,9 @@ mod tests {
             PAGE_SIZE,
             vec![FrameId(1)],
             StrategyKind::RefcountOnly,
-            PinToken::Refcount { frames: vec![FrameId(1)] },
+            PinToken::Refcount {
+                frames: vec![FrameId(1)],
+            },
         );
         let h2 = t.insert(
             Pid(1),
@@ -178,7 +216,9 @@ mod tests {
             PAGE_SIZE,
             vec![FrameId(1)],
             StrategyKind::RefcountOnly,
-            PinToken::Refcount { frames: vec![FrameId(1)] },
+            PinToken::Refcount {
+                frames: vec![FrameId(1)],
+            },
         );
         assert_ne!(h1, h2, "multiple registration yields distinct handles");
         assert_eq!(t.len(), 2);
@@ -186,5 +226,33 @@ mod tests {
         t.remove(h1).unwrap();
         assert!(t.remove(h1).is_err(), "double deregistration rejected");
         assert_eq!(t.len(), 1);
+        assert_eq!(t.total_pages(), 1);
+    }
+
+    #[test]
+    fn covering_lookup_tracks_inserts_and_removals() {
+        let mut t = RegionTable::new();
+        let frames = vec![FrameId(1), FrameId(2), FrameId(3), FrameId(4)];
+        let h = t.insert(
+            Pid(1),
+            0x1000,
+            4 * PAGE_SIZE,
+            frames,
+            StrategyKind::KiobufReliable,
+            PinToken::Refcount { frames: vec![] },
+        );
+        assert_eq!(t.find_covering(Pid(1), 0x2000, PAGE_SIZE), Some(h));
+        assert_eq!(
+            t.find_covering(Pid(2), 0x2000, PAGE_SIZE),
+            None,
+            "other pid"
+        );
+        assert_eq!(
+            t.find_covering(Pid(1), 0x4000, 2 * PAGE_SIZE),
+            None,
+            "overhang"
+        );
+        t.remove(h).unwrap();
+        assert_eq!(t.find_covering(Pid(1), 0x2000, PAGE_SIZE), None);
     }
 }

@@ -4,15 +4,16 @@
 //! land on after the trap into the kernel agent. The registry drives the
 //! configured [`StrategyKind`], owns the shared [`PinTable`], and — for the
 //! mlock strategy — keeps the **driver-side interval bookkeeping** the paper
-//! says is unavoidable because `munlock` does not nest: per-page lock
-//! counts, with `munlock` issued only over contiguous runs whose count
-//! dropped to zero.
+//! says is unavoidable because `munlock` does not nest: per-pid
+//! [`IntervalCounter`]s over VPN runs, with `munlock` issued only over
+//! contiguous runs whose count dropped to zero.
 
 use std::collections::HashMap;
 
 use simmem::{FrameId, Kernel, Pid, VirtAddr, PAGE_SHIFT, PAGE_SIZE};
 
 use crate::error::{RegError, RegResult};
+use crate::interval::IntervalCounter;
 use crate::pin::PinTable;
 use crate::region::{MemHandle, Region, RegionTable};
 use crate::strategy::{pin_region, unpin_region, PinToken, StrategyKind};
@@ -33,9 +34,9 @@ pub struct MemoryRegistry {
     strategy: StrategyKind,
     regions: RegionTable,
     pin_table: PinTable,
-    /// Per-(pid, vpn) lock counts for the mlock strategy's interval
-    /// bookkeeping.
-    mlock_counts: HashMap<(Pid, u64), u32>,
+    /// Per-pid VPN-run lock counts for the mlock strategy's interval
+    /// bookkeeping: O(runs) per register/deregister instead of O(pages).
+    mlock_counts: HashMap<Pid, IntervalCounter>,
     /// Optional cap on total pinned pages (models TPT capacity).
     max_pages: Option<usize>,
     pub stats: RegistryStats,
@@ -90,9 +91,10 @@ impl MemoryRegistry {
             };
         if self.strategy == StrategyKind::VmaMlock {
             let (first, last) = page_span(addr, len);
-            for vpn in first..=last {
-                *self.mlock_counts.entry((pid, vpn)).or_insert(0) += 1;
-            }
+            self.mlock_counts
+                .entry(pid)
+                .or_default()
+                .add(first, last + 1);
         }
         self.stats.registrations += 1;
         self.stats.pages_pinned += frames.len() as u64;
@@ -110,28 +112,20 @@ impl MemoryRegistry {
 
         match (&token, self.strategy) {
             (PinToken::Mlock { pid, start, len }, StrategyKind::VmaMlock) => {
-                // Interval bookkeeping: decrement per-page counts; munlock
-                // only contiguous runs that dropped to zero.
+                // Interval bookkeeping: decrement run counts; munlock only
+                // the maximal half-open VPN runs `[s, e)` that dropped to
+                // zero.
                 let (pid, start, len) = (*pid, *start, *len);
                 let (first, last) = page_span(start, len);
-                let mut zero_runs: Vec<(u64, u64)> = Vec::new();
-                let mut run_start: Option<u64> = None;
-                for vpn in first..=last {
-                    let c = self
-                        .mlock_counts
-                        .get_mut(&(pid, vpn))
-                        .ok_or(RegError::PinUnderflow)?;
-                    *c -= 1;
-                    let zero = *c == 0;
-                    if zero {
-                        self.mlock_counts.remove(&(pid, vpn));
-                        run_start.get_or_insert(vpn);
-                    } else if let Some(s) = run_start.take() {
-                        zero_runs.push((s, vpn - 1));
-                    }
-                }
-                if let Some(s) = run_start {
-                    zero_runs.push((s, last));
+                let counter = self
+                    .mlock_counts
+                    .get_mut(&pid)
+                    .ok_or(RegError::PinUnderflow)?;
+                let zero_runs = counter
+                    .sub(first, last + 1)
+                    .map_err(|_| RegError::PinUnderflow)?;
+                if counter.is_empty() {
+                    self.mlock_counts.remove(&pid);
                 }
                 // Token consumed without touching VMAs; we unlock runs
                 // ourselves below.
@@ -144,7 +138,7 @@ impl MemoryRegistry {
                     let res = kernel.do_mlock(
                         pid,
                         s << PAGE_SHIFT,
-                        ((e - s + 1) as usize) * PAGE_SIZE,
+                        ((e - s) as usize) * PAGE_SIZE,
                         false,
                     );
                     if !had_cap {
@@ -183,11 +177,7 @@ impl MemoryRegistry {
     /// stale frames.
     pub fn verify_consistency(&self, kernel: &Kernel, handle: MemHandle) -> RegResult<bool> {
         let r = self.regions.get(handle)?;
-        let current = kernel.frames_of_range(
-            r.pid,
-            r.page_base,
-            r.frames.len() * PAGE_SIZE,
-        )?;
+        let current = kernel.frames_of_range(r.pid, r.page_base, r.frames.len() * PAGE_SIZE)?;
         Ok(r.frames
             .iter()
             .zip(current.iter())
@@ -196,23 +186,34 @@ impl MemoryRegistry {
 
     /// Find a live registration whose page span covers `[addr, addr+len)`
     /// for `pid` — what a kernel agent uses to answer "is this buffer
-    /// already registered?" for dynamic zero-copy protocols.
-    pub fn find_covering(
+    /// already registered?" for dynamic zero-copy protocols. Served from
+    /// the region table's interval index in O(log n + window) rather than a
+    /// scan over every live region.
+    pub fn find_covering(&self, pid: Pid, addr: VirtAddr, len: usize) -> Option<MemHandle> {
+        self.find_covering_probed(pid, addr, len).0
+    }
+
+    /// [`MemoryRegistry::find_covering`] plus the number of index entries
+    /// probed — deterministic evidence that the lookup cost does not grow
+    /// with the live-region count.
+    #[doc(hidden)]
+    pub fn find_covering_probed(
         &self,
         pid: Pid,
         addr: VirtAddr,
         len: usize,
-    ) -> Option<MemHandle> {
+    ) -> (Option<MemHandle>, usize) {
         let start = simmem::page_base(addr);
         let end = simmem::page_align_up(addr + len as u64);
         self.regions
-            .iter()
-            .find(|r| {
-                r.pid == pid
-                    && r.page_base <= start
-                    && r.page_base + (r.frames.len() * PAGE_SIZE) as u64 >= end
-            })
-            .map(|r| r.handle)
+            .find_covering_probed(pid, start, (end - start) as usize)
+    }
+
+    /// Driver-side mlock count at one VPN (mlock strategy bookkeeping) —
+    /// oracle hook for property tests.
+    #[doc(hidden)]
+    pub fn mlock_count_at(&self, pid: Pid, vpn: u64) -> u32 {
+        self.mlock_counts.get(&pid).map_or(0, |c| c.count_at(vpn))
     }
 
     /// Number of live registrations.
@@ -271,7 +272,9 @@ mod tests {
     fn setup() -> (Kernel, Pid, VirtAddr) {
         let mut k = Kernel::new(KernelConfig::small());
         let pid = k.spawn_process(Capabilities::default());
-        let a = k.mmap_anon(pid, 16 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let a = k
+            .mmap_anon(pid, 16 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         (k, pid, a)
     }
 

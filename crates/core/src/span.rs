@@ -1,0 +1,205 @@
+//! Per-pid interval index over page spans: the structure behind
+//! `find_covering` lookups in both the region table and the covering-aware
+//! registration caches.
+//!
+//! Spans are byte ranges `[base, end)` with page-aligned `base`. Lookup
+//! asks "which indexed span covers `[start, end)`?". The index keeps, per
+//! pid, a `BTreeMap` keyed by span base; each base holds the (few) spans
+//! starting there plus the maximum end among them. A covering span must
+//! start at or before `start` and must start within the largest span
+//! length ever indexed for the pid (`max_span` high-water mark), so lookup
+//! walks `by_base.range(lo..=start).rev()` — a window bounded by the
+//! largest region size, not by the number of live spans. For the common
+//! workloads (bounded region sizes, arbitrary region counts) this is
+//! O(log n + window) instead of the old O(n) scan over every live region.
+
+use std::collections::{BTreeMap, HashMap};
+
+use simmem::{Pid, VirtAddr};
+
+/// Spans starting at one base address.
+#[derive(Debug)]
+struct BaseEntry<K> {
+    /// `(key, end)` for each span starting here; regions sharing an exact
+    /// span are all kept (multiple registration).
+    spans: Vec<(K, VirtAddr)>,
+    /// Largest `end` among `spans` — lets lookup skip a base without
+    /// touching the per-span vector.
+    max_end: VirtAddr,
+}
+
+#[derive(Debug)]
+struct PidIndex<K> {
+    by_base: BTreeMap<VirtAddr, BaseEntry<K>>,
+    /// High-water mark of span length (bytes) ever indexed for this pid;
+    /// bounds the backward scan window. Never shrinks — correctness only
+    /// needs an upper bound.
+    max_span: u64,
+}
+
+impl<K> Default for PidIndex<K> {
+    fn default() -> Self {
+        PidIndex {
+            by_base: BTreeMap::new(),
+            max_span: 0,
+        }
+    }
+}
+
+/// Interval index mapping `(pid, [base, end))` spans to keys of type `K`.
+#[derive(Debug)]
+pub(crate) struct SpanIndex<K> {
+    by_pid: HashMap<Pid, PidIndex<K>>,
+}
+
+impl<K> Default for SpanIndex<K> {
+    fn default() -> Self {
+        SpanIndex {
+            by_pid: HashMap::new(),
+        }
+    }
+}
+
+impl<K: Copy + Eq> SpanIndex<K> {
+    pub fn new() -> Self {
+        SpanIndex {
+            by_pid: HashMap::new(),
+        }
+    }
+
+    /// Index `[base, end)` under `key`. Duplicate spans are allowed.
+    pub fn insert(&mut self, pid: Pid, base: VirtAddr, end: VirtAddr, key: K) {
+        debug_assert!(base < end, "empty span");
+        let pi = self.by_pid.entry(pid).or_default();
+        pi.max_span = pi.max_span.max(end - base);
+        let e = pi.by_base.entry(base).or_insert_with(|| BaseEntry {
+            spans: Vec::new(),
+            max_end: 0,
+        });
+        e.spans.push((key, end));
+        e.max_end = e.max_end.max(end);
+    }
+
+    /// Remove the span previously inserted under `key`. Returns whether the
+    /// span was present.
+    pub fn remove(&mut self, pid: Pid, base: VirtAddr, key: K) -> bool {
+        let Some(pi) = self.by_pid.get_mut(&pid) else {
+            return false;
+        };
+        let Some(e) = pi.by_base.get_mut(&base) else {
+            return false;
+        };
+        let Some(i) = e.spans.iter().position(|&(k, _)| k == key) else {
+            return false;
+        };
+        e.spans.swap_remove(i);
+        if e.spans.is_empty() {
+            pi.by_base.remove(&base);
+            if pi.by_base.is_empty() {
+                self.by_pid.remove(&pid);
+            }
+        } else {
+            e.max_end = e.spans.iter().map(|&(_, end)| end).max().unwrap();
+        }
+        true
+    }
+
+    /// A key whose span covers `[start, end)`, if any.
+    pub fn find_covering(&self, pid: Pid, start: VirtAddr, end: VirtAddr) -> Option<K> {
+        self.find_covering_probed(pid, start, end).0
+    }
+
+    /// [`SpanIndex::find_covering`] plus the number of base entries probed —
+    /// the evidence hook for tests asserting the lookup does not degrade to
+    /// a scan over all live spans.
+    pub fn find_covering_probed(
+        &self,
+        pid: Pid,
+        start: VirtAddr,
+        end: VirtAddr,
+    ) -> (Option<K>, usize) {
+        let mut probes = 0usize;
+        let Some(pi) = self.by_pid.get(&pid) else {
+            return (None, probes);
+        };
+        // A covering span satisfies base <= start and base + len >= end,
+        // hence base >= end - max_span.
+        let lo = end.saturating_sub(pi.max_span);
+        if lo > start {
+            return (None, probes);
+        }
+        for (_, e) in pi.by_base.range(lo..=start).rev() {
+            probes += 1;
+            if e.max_end >= end {
+                let key = e
+                    .spans
+                    .iter()
+                    .find(|&&(_, span_end)| span_end >= end)
+                    .map(|&(k, _)| k)
+                    .expect("max_end promised a covering span");
+                return (Some(key), probes);
+            }
+        }
+        (None, probes)
+    }
+
+    /// Number of indexed spans (all pids).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.by_pid
+            .values()
+            .flat_map(|pi| pi.by_base.values())
+            .map(|e| e.spans.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: Pid = Pid(7);
+
+    #[test]
+    fn covering_basics() {
+        let mut idx = SpanIndex::new();
+        idx.insert(P, 0x1000, 0x5000, 1u32);
+        assert_eq!(idx.find_covering(P, 0x1000, 0x5000), Some(1));
+        assert_eq!(idx.find_covering(P, 0x2000, 0x3000), Some(1));
+        assert_eq!(idx.find_covering(P, 0x0000, 0x2000), None, "starts before");
+        assert_eq!(idx.find_covering(P, 0x4000, 0x6000), None, "ends after");
+        assert_eq!(idx.find_covering(Pid(8), 0x2000, 0x3000), None);
+    }
+
+    #[test]
+    fn duplicates_and_removal() {
+        let mut idx = SpanIndex::new();
+        idx.insert(P, 0x1000, 0x3000, 1u32);
+        idx.insert(P, 0x1000, 0x3000, 2u32);
+        idx.insert(P, 0x1000, 0x8000, 3u32);
+        assert!(idx.remove(P, 0x1000, 3));
+        // The long span is gone; short duplicates still answer short asks.
+        assert_eq!(idx.find_covering(P, 0x1000, 0x8000), None);
+        assert!(idx.find_covering(P, 0x1000, 0x3000).is_some());
+        assert!(idx.remove(P, 0x1000, 1));
+        assert!(idx.remove(P, 0x1000, 2));
+        assert!(!idx.remove(P, 0x1000, 2), "double remove reports absence");
+        assert_eq!(idx.len(), 0);
+    }
+
+    #[test]
+    fn lookup_window_is_bounded_by_span_size_not_count() {
+        let mut idx = SpanIndex::new();
+        // Many 1-page spans far apart, all equal length.
+        for i in 0..10_000u64 {
+            idx.insert(P, i * 0x1000, i * 0x1000 + 0x1000, i as u32);
+        }
+        let (hit, probes) = idx.find_covering_probed(P, 5_000 * 0x1000, 5_000 * 0x1000 + 0x1000);
+        assert_eq!(hit, Some(5_000));
+        assert!(probes <= 2, "probed {probes} bases for a point lookup");
+        let (miss, probes) =
+            idx.find_covering_probed(P, 5_000 * 0x1000 + 0x800, 5_001 * 0x1000 + 0x800);
+        assert_eq!(miss, None);
+        assert!(probes <= 3);
+    }
+}

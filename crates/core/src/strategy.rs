@@ -59,39 +59,14 @@ pub enum PinToken {
     RawFlags { frames: Vec<FrameId> },
     /// mlock: the locked interval; unlocking happens when the *driver-side*
     /// interval count drops to zero (see `registry`).
-    Mlock { pid: Pid, start: VirtAddr, len: usize },
+    Mlock {
+        pid: Pid,
+        start: VirtAddr,
+        len: usize,
+    },
     /// kiobuf: page references plus pin-table locks (released through the
     /// shared [`PinTable`]).
     Kiobuf { frames: Vec<FrameId> },
-}
-
-/// Fault a user range in (with write intent on writable VMAs, breaking COW
-/// so DMA writes land on private pages) and return the backing frames —
-/// the "walk the page tables" step every strategy except kiobuf performs
-/// explicitly.
-pub(crate) fn fault_and_walk(
-    kernel: &mut Kernel,
-    pid: Pid,
-    addr: VirtAddr,
-    len: usize,
-) -> RegResult<Vec<FrameId>> {
-    let start = simmem::page_base(addr);
-    let end = simmem::page_align_up(addr + len as u64);
-    let mut a = start;
-    while a < end {
-        // Per-page write intent matching the VMA, exactly as
-        // `map_user_kiobuf` does: a DMA target must never share the zero
-        // page or a COW frame.
-        let writable = kernel.vma_writable(pid, a)?;
-        kernel.touch_pages(pid, a, 1, writable)?;
-        a += PAGE_SIZE as u64;
-    }
-    let frames = kernel
-        .frames_of_range(pid, start, (end - start) as usize)?
-        .into_iter()
-        .map(|f| f.expect("just touched"))
-        .collect();
-    Ok(frames)
 }
 
 /// Register a range with the given strategy; returns the pinned frames and
@@ -111,22 +86,10 @@ pub fn pin_region(
     let end = simmem::page_align_up(addr + len as u64);
     match strategy {
         StrategyKind::RefcountOnly => {
-            // Per page: fault in, bump the reference count. This is exactly
-            // the Berkeley-VIA / M-VIA loop — and exactly as unreliable.
-            let mut frames = Vec::new();
-            let mut a = start;
-            while a < end {
-                match kernel.get_user_page(pid, a) {
-                    Ok(f) => frames.push(f),
-                    Err(e) => {
-                        for &g in &frames {
-                            kernel.put_user_page(g);
-                        }
-                        return Err(e.into());
-                    }
-                }
-                a += PAGE_SIZE as u64;
-            }
+            // Batched `get_user_pages`: fault in, bump the reference count.
+            // This is exactly the Berkeley-VIA / M-VIA approach — and
+            // exactly as unreliable; the kernel rolls partial failures back.
+            let frames = kernel.get_user_pages(pid, start, (end - start) as usize)?;
             Ok((frames.clone(), PinToken::Refcount { frames }))
         }
         StrategyKind::RawFlags => {
@@ -167,10 +130,17 @@ pub fn pin_region(
             // Still must read the physical addresses for the TPT — which
             // means walking page tables after all. `make_pages_present`
             // faults read-only (possibly onto the shared zero page), so the
-            // walk must first break COW with write intent where the VMA
+            // batched walk first breaks COW with write intent where the VMA
             // allows it.
-            let frames = fault_and_walk(kernel, pid, addr, len)?;
-            Ok((frames, PinToken::Mlock { pid, start: addr, len }))
+            let frames = kernel.fault_in_range(pid, start, (end - start) as usize)?;
+            Ok((
+                frames,
+                PinToken::Mlock {
+                    pid,
+                    start: addr,
+                    len,
+                },
+            ))
         }
         StrategyKind::KiobufReliable => {
             // The proposal: fault each page in and take its page lock
@@ -179,31 +149,10 @@ pub fn pin_region(
             // 2.4 the gap between the two calls is benign because the swap
             // cache re-unifies an evicted-but-referenced page; our
             // substrate has the paper's 2.2 eviction semantics, where the
-            // gap would orphan pages, so the lock is taken eagerly.)
-            let mut frames = Vec::new();
-            let mut a = start;
-            let rollback = |kernel: &mut Kernel, pin_table: &mut PinTable, frames: &[FrameId]| {
-                for &g in frames {
-                    pin_table.unpin(kernel, g).expect("fresh pin");
-                    kernel.put_user_page(g);
-                }
-            };
-            while a < end {
-                let f = match kernel.get_user_page(pid, a) {
-                    Ok(f) => f,
-                    Err(e) => {
-                        rollback(kernel, pin_table, &frames);
-                        return Err(e.into());
-                    }
-                };
-                if let Err(e) = pin_table.pin(kernel, f) {
-                    kernel.put_user_page(f);
-                    rollback(kernel, pin_table, &frames);
-                    return Err(e);
-                }
-                frames.push(f);
-                a += PAGE_SIZE as u64;
-            }
+            // gap would orphan pages, so the lock is taken eagerly.) The
+            // fused fault+ref+lock batch, with full rollback, lives in the
+            // pin table.
+            let frames = pin_table.pin_user_range(kernel, pid, start, (end - start) as usize)?;
             Ok((frames.clone(), PinToken::Kiobuf { frames }))
         }
     }
@@ -248,13 +197,7 @@ pub fn unpin_region(
             }
             Ok(())
         }
-        PinToken::Kiobuf { frames } => {
-            pin_table.unpin_all(kernel, &frames)?;
-            for f in frames {
-                kernel.put_user_page(f);
-            }
-            Ok(())
-        }
+        PinToken::Kiobuf { frames } => pin_table.unpin_user_range(kernel, &frames),
     }
 }
 
@@ -273,7 +216,9 @@ mod tests {
     fn setup() -> (Kernel, Pid, VirtAddr) {
         let mut k = Kernel::new(KernelConfig::small());
         let pid = k.spawn_process(Capabilities::default());
-        let a = k.mmap_anon(pid, 8 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let a = k
+            .mmap_anon(pid, 8 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         (k, pid, a)
     }
 
@@ -299,10 +244,20 @@ mod tests {
     fn refcount_strategy_bumps_counts() {
         let (mut k, pid, a) = setup();
         let mut pt = PinTable::new();
-        let (frames, token) =
-            pin_region(&mut k, &mut pt, StrategyKind::RefcountOnly, pid, a, PAGE_SIZE).unwrap();
+        let (frames, token) = pin_region(
+            &mut k,
+            &mut pt,
+            StrategyKind::RefcountOnly,
+            pid,
+            a,
+            PAGE_SIZE,
+        )
+        .unwrap();
         assert_eq!(k.page_descriptor(frames[0]).count, 2);
-        assert!(!k.page_descriptor(frames[0]).flags.contains(PageFlags::LOCKED));
+        assert!(!k
+            .page_descriptor(frames[0])
+            .flags
+            .contains(PageFlags::LOCKED));
         unpin_region(&mut k, &mut pt, token, true).unwrap();
         assert_eq!(k.page_descriptor(frames[0]).count, 1);
     }
@@ -312,8 +267,15 @@ mod tests {
         let (mut k, pid, a) = setup();
         let mut pt = PinTable::new();
         assert!(!k.capabilities(pid).unwrap().ipc_lock);
-        let (_, token) =
-            pin_region(&mut k, &mut pt, StrategyKind::VmaMlock, pid, a, 2 * PAGE_SIZE).unwrap();
+        let (_, token) = pin_region(
+            &mut k,
+            &mut pt,
+            StrategyKind::VmaMlock,
+            pid,
+            a,
+            2 * PAGE_SIZE,
+        )
+        .unwrap();
         assert!(!k.capabilities(pid).unwrap().ipc_lock, "cap reclaimed");
         assert_eq!(k.locked_bytes(pid).unwrap(), 2 * PAGE_SIZE as u64);
         unpin_region(&mut k, &mut pt, token, true).unwrap();
@@ -324,12 +286,24 @@ mod tests {
     fn kiobuf_strategy_locks_pages_nested() {
         let (mut k, pid, a) = setup();
         let mut pt = PinTable::new();
-        let (f1, t1) =
-            pin_region(&mut k, &mut pt, StrategyKind::KiobufReliable, pid, a, 2 * PAGE_SIZE)
-                .unwrap();
-        let (f2, t2) =
-            pin_region(&mut k, &mut pt, StrategyKind::KiobufReliable, pid, a, 2 * PAGE_SIZE)
-                .unwrap();
+        let (f1, t1) = pin_region(
+            &mut k,
+            &mut pt,
+            StrategyKind::KiobufReliable,
+            pid,
+            a,
+            2 * PAGE_SIZE,
+        )
+        .unwrap();
+        let (f2, t2) = pin_region(
+            &mut k,
+            &mut pt,
+            StrategyKind::KiobufReliable,
+            pid,
+            a,
+            2 * PAGE_SIZE,
+        )
+        .unwrap();
         assert_eq!(f1, f2, "same physical pages");
         assert_eq!(pt.count(f1[0]), 2);
         unpin_region(&mut k, &mut pt, t1, false).unwrap();
@@ -366,13 +340,27 @@ mod tests {
         k.touch_pages(pid, a, PAGE_SIZE, true).unwrap();
         let f = k.frame_of(pid, a).unwrap().unwrap();
         k.begin_page_io(f);
-        let r = pin_region(&mut k, &mut pt, StrategyKind::KiobufReliable, pid, a, PAGE_SIZE);
+        let r = pin_region(
+            &mut k,
+            &mut pt,
+            StrategyKind::KiobufReliable,
+            pid,
+            a,
+            PAGE_SIZE,
+        );
         assert_eq!(r.unwrap_err(), crate::RegError::WouldBlock);
         assert!(k.end_page_io(f), "I/O lock untouched");
         assert_eq!(k.kiobuf_count(), 0, "failed registration left no kiobuf");
         // Retry succeeds.
-        let (_, token) =
-            pin_region(&mut k, &mut pt, StrategyKind::KiobufReliable, pid, a, PAGE_SIZE).unwrap();
+        let (_, token) = pin_region(
+            &mut k,
+            &mut pt,
+            StrategyKind::KiobufReliable,
+            pid,
+            a,
+            PAGE_SIZE,
+        )
+        .unwrap();
         unpin_region(&mut k, &mut pt, token, false).unwrap();
     }
 

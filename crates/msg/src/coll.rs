@@ -45,7 +45,9 @@ pub fn barrier(comm: &mut Comm, scratch: &RankBufs) -> ViaResult<()> {
         return Ok(());
     }
     if scratch.len() < n {
-        return Err(ViaError::BadState("barrier needs one scratch buffer per rank"));
+        return Err(ViaError::BadState(
+            "barrier needs one scratch buffer per rank",
+        ));
     }
     let mut k = 0u32;
     let mut dist = 1usize;
@@ -72,12 +74,7 @@ pub fn barrier(comm: &mut Comm, scratch: &RankBufs) -> ViaResult<()> {
 
 /// Binomial-tree broadcast of `len` bytes from `root`'s buffer into every
 /// other rank's buffer.
-pub fn bcast(
-    comm: &mut Comm,
-    root: RankId,
-    bufs: &RankBufs,
-    len: usize,
-) -> ViaResult<()> {
+pub fn bcast(comm: &mut Comm, root: RankId, bufs: &RankBufs, len: usize) -> ViaResult<()> {
     let n = comm.n_ranks();
     if n < 2 || len == 0 {
         return Ok(());
@@ -151,11 +148,7 @@ pub fn gather(
 /// element-wise sum. Gather-to-0 + local reduce + binomial broadcast — the
 /// mapping of global operations onto point-to-point the Multidevice paper
 /// describes for the MPIR layer.
-pub fn allreduce_sum_u64(
-    comm: &mut Comm,
-    bufs: &RankBufs,
-    n_words: usize,
-) -> ViaResult<()> {
+pub fn allreduce_sum_u64(comm: &mut Comm, bufs: &RankBufs, n_words: usize) -> ViaResult<()> {
     let n = comm.n_ranks();
     if n < 2 || n_words == 0 {
         return Ok(());
@@ -250,8 +243,14 @@ mod tests {
     use vialock::StrategyKind;
 
     fn comm(n: usize) -> Comm {
-        Comm::new(n, 2, KernelConfig::large(), StrategyKind::KiobufReliable, MsgConfig::tiny())
-            .unwrap()
+        Comm::new(
+            n,
+            2,
+            KernelConfig::large(),
+            StrategyKind::KiobufReliable,
+            MsgConfig::tiny(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -291,7 +290,9 @@ mod tests {
         let mut out = vec![0u8; 3 * len];
         c.read_buffer(1, root_buf, &mut out).unwrap();
         for r in 0..3 {
-            assert!(out[r * len..(r + 1) * len].iter().all(|&b| b == r as u8 + 1));
+            assert!(out[r * len..(r + 1) * len]
+                .iter()
+                .all(|&b| b == r as u8 + 1));
         }
     }
 
@@ -300,25 +301,39 @@ mod tests {
         let n = 3;
         let mut c = comm(n);
         let block = 100;
-        let send_bufs: Vec<_> = (0..n).map(|r| c.alloc_buffer(r, n * block).unwrap()).collect();
-        let recv_bufs: Vec<_> = (0..n).map(|r| c.alloc_buffer(r, n * block).unwrap()).collect();
+        let send_bufs: Vec<_> = (0..n)
+            .map(|r| c.alloc_buffer(r, n * block).unwrap())
+            .collect();
+        let recv_bufs: Vec<_> = (0..n)
+            .map(|r| c.alloc_buffer(r, n * block).unwrap())
+            .collect();
         // Rank s sends block "s*10 + d" to rank d.
         for s in 0..n {
             for d in 0..n {
-                c.fill_buffer(s, send_bufs[s] + (d * block) as u64, &vec![(s * 10 + d) as u8; block])
-                    .unwrap();
+                c.fill_buffer(
+                    s,
+                    send_bufs[s] + (d * block) as u64,
+                    &vec![(s * 10 + d) as u8; block],
+                )
+                .unwrap();
             }
         }
-        let offs: Vec<Vec<usize>> = (0..n).map(|_| (0..n).map(|d| d * block).collect()).collect();
+        let offs: Vec<Vec<usize>> = (0..n)
+            .map(|_| (0..n).map(|d| d * block).collect())
+            .collect();
         let counts: Vec<Vec<usize>> = (0..n).map(|_| vec![block; n]).collect();
-        let roffs: Vec<Vec<usize>> = (0..n).map(|_| (0..n).map(|s| s * block).collect()).collect();
+        let roffs: Vec<Vec<usize>> = (0..n)
+            .map(|_| (0..n).map(|s| s * block).collect())
+            .collect();
         alltoallv(&mut c, &send_bufs, &offs, &counts, &recv_bufs, &roffs).unwrap();
         for d in 0..n {
             let mut out = vec![0u8; n * block];
             c.read_buffer(d, recv_bufs[d], &mut out).unwrap();
             for s in 0..n {
                 assert!(
-                    out[s * block..(s + 1) * block].iter().all(|&b| b == (s * 10 + d) as u8),
+                    out[s * block..(s + 1) * block]
+                        .iter()
+                        .all(|&b| b == (s * 10 + d) as u8),
                     "block {s}→{d}"
                 );
             }
@@ -330,7 +345,9 @@ mod tests {
         let n = 4;
         let mut c = comm(n);
         let words = 8;
-        let bufs: Vec<_> = (0..n).map(|r| c.alloc_buffer(r, words * 8).unwrap()).collect();
+        let bufs: Vec<_> = (0..n)
+            .map(|r| c.alloc_buffer(r, words * 8).unwrap())
+            .collect();
         for r in 0..n {
             let mut bytes = Vec::new();
             for w in 0..words as u64 {

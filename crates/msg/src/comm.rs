@@ -121,7 +121,8 @@ impl Comm {
         strategy: StrategyKind,
         cfg: MsgConfig,
     ) -> ViaResult<Self> {
-        cfg.validate().map_err(|_| ViaError::BadState("invalid MsgConfig"))?;
+        cfg.validate()
+            .map_err(|_| ViaError::BadState("invalid MsgConfig"))?;
         let mut sys = ViaSystem::new(n_nodes, kcfg, strategy);
         let mut ranks = Vec::with_capacity(n_ranks);
         for r in 0..n_ranks {
@@ -133,7 +134,9 @@ impl Comm {
                 tag: ProtectionTag(1000 + r as u32),
             });
         }
-        let caches = (0..n_nodes).map(|_| NodeRegCache::new(cfg.cache_pages)).collect();
+        let caches = (0..n_nodes)
+            .map(|_| NodeRegCache::new(cfg.cache_pages))
+            .collect();
         let mut comm = Comm {
             sys,
             cfg,
@@ -175,26 +178,45 @@ impl Comm {
 
         // Receiver-exported segment.
         let r_len = layout.r_seg_bytes();
-        let r_seg_addr = self.sys.mmap(r_node, r_pid, r_len, prot::READ | prot::WRITE)?;
-        self.sys.kernel_mut(r_node).touch_pages(r_pid, r_seg_addr, r_len, true)?;
-        let r_seg_mem = self.sys.register_mem(r_node, r_pid, r_seg_addr, r_len, r_tag)?;
+        let r_seg_addr = self
+            .sys
+            .mmap(r_node, r_pid, r_len, prot::READ | prot::WRITE)?;
+        self.sys
+            .kernel_mut(r_node)
+            .touch_pages(r_pid, r_seg_addr, r_len, true)?;
+        let r_seg_mem = self
+            .sys
+            .register_mem(r_node, r_pid, r_seg_addr, r_len, r_tag)?;
 
         // Sender-exported control segment.
         let s_len = layout.s_seg_bytes();
-        let s_seg_addr = self.sys.mmap(s_node, s_pid, s_len, prot::READ | prot::WRITE)?;
-        self.sys.kernel_mut(s_node).touch_pages(s_pid, s_seg_addr, s_len, true)?;
-        let s_seg_mem = self.sys.register_mem(s_node, s_pid, s_seg_addr, s_len, s_tag)?;
+        let s_seg_addr = self
+            .sys
+            .mmap(s_node, s_pid, s_len, prot::READ | prot::WRITE)?;
+        self.sys
+            .kernel_mut(s_node)
+            .touch_pages(s_pid, s_seg_addr, s_len, true)?;
+        let s_seg_mem = self
+            .sys
+            .register_mem(s_node, s_pid, s_seg_addr, s_len, s_tag)?;
 
         // One-copy ring: `prepost` buffers of chunk size, registered once,
         // pre-posted as receive descriptors in FIFO order.
         let ring_len = self.cfg.prepost * self.cfg.chunk_bytes;
-        let ring_addr = self.sys.mmap(r_node, r_pid, ring_len, prot::READ | prot::WRITE)?;
-        self.sys.kernel_mut(r_node).touch_pages(r_pid, ring_addr, ring_len, true)?;
-        let oc_mem = self.sys.register_mem(r_node, r_pid, ring_addr, ring_len, r_tag)?;
+        let ring_addr = self
+            .sys
+            .mmap(r_node, r_pid, ring_len, prot::READ | prot::WRITE)?;
+        self.sys
+            .kernel_mut(r_node)
+            .touch_pages(r_pid, ring_addr, ring_len, true)?;
+        let oc_mem = self
+            .sys
+            .register_mem(r_node, r_pid, ring_addr, ring_len, r_tag)?;
         let mut oc_ring = VecDeque::with_capacity(self.cfg.prepost);
         for i in 0..self.cfg.prepost {
             let addr = ring_addr + (i * self.cfg.chunk_bytes) as u64;
-            self.sys.post_recv(r_node, vi_r, oc_mem, addr, self.cfg.chunk_bytes)?;
+            self.sys
+                .post_recv(r_node, vi_r, oc_mem, addr, self.cfg.chunk_bytes)?;
             oc_ring.push_back(addr);
         }
 
@@ -270,7 +292,7 @@ impl Comm {
 
     /// Per-node registration-cache statistics.
     pub fn cache_stats(&self, node: NodeId) -> vialock::CacheStats {
-        self.caches[node].stats
+        self.caches[node].stats()
     }
 
     /// Allocate a user buffer in a rank's address space.
@@ -305,12 +327,7 @@ impl Comm {
     }
 
     /// Read a rank-local buffer back out.
-    pub fn read_buffer(
-        &mut self,
-        rank: RankId,
-        addr: VirtAddr,
-        out: &mut [u8],
-    ) -> ViaResult<()> {
+    pub fn read_buffer(&mut self, rank: RankId, addr: VirtAddr, out: &mut [u8]) -> ViaResult<()> {
         let (node, pid) = (self.ranks[rank].node, self.ranks[rank].pid);
         self.sys.read_user(node, pid, addr, out)
     }
@@ -327,9 +344,9 @@ impl Comm {
         len: usize,
         tag: ProtectionTag,
     ) -> ViaResult<MemId> {
-        let misses0 = self.caches[node].stats.misses;
+        let misses0 = self.caches[node].stats().misses;
         let mem = self.caches[node].acquire(self.sys.node_mut(node), pid, addr, len, tag)?;
-        if self.caches[node].stats.misses > misses0 {
+        if self.caches[node].stats().misses > misses0 {
             self.stats.registrations += 1;
             let base = simmem::page_base(addr);
             let pages = (simmem::page_align_up(addr + len as u64) - base) / PAGE_SIZE as u64;
@@ -355,7 +372,8 @@ impl Comm {
             pair.r_seg_mem,
             pair.layout.info_off(slot),
         );
-        self.sys.sci_write_bytes(&info.encode(), (r_node, mem, off))?;
+        self.sys
+            .sci_write_bytes(&info.encode(), (r_node, mem, off))?;
         self.stats.control_writes += 1;
         self.stats.pio_bytes += INFO_SIZE as u64;
         Ok(())
@@ -374,7 +392,8 @@ impl Comm {
             pair.s_seg_mem,
             pair.layout.resp_off(slot),
         );
-        self.sys.sci_write_bytes(&resp.encode(), (s_node, mem, off))?;
+        self.sys
+            .sci_write_bytes(&resp.encode(), (s_node, mem, off))?;
         self.stats.control_writes += 1;
         self.stats.pio_bytes += RESP_SIZE as u64;
         Ok(())
@@ -429,7 +448,10 @@ impl Comm {
         // Reap finished sends so their slots free up.
         self.progress()?;
         let slot = {
-            let pair = self.pairs.get_mut(&(from, to)).ok_or(ViaError::BadId("pair"))?;
+            let pair = self
+                .pairs
+                .get_mut(&(from, to))
+                .ok_or(ViaError::BadId("pair"))?;
             let Some(slot) = pair.slot_busy.iter().position(|b| !b) else {
                 return Err(ViaError::BadState("no free message slot"));
             };
@@ -460,7 +482,8 @@ impl Comm {
                         pair.layout.data_off(slot),
                     )
                 };
-                self.sys.sci_write((s_node, s_pid, addr), len, (r_node, r_mem, data_off))?;
+                self.sys
+                    .sci_write((s_node, s_pid, addr), len, (r_node, r_mem, data_off))?;
                 self.stats.pio_bytes += len as u64;
                 self.stats.sm_msgs += 1;
                 self.write_info(
@@ -496,14 +519,17 @@ impl Comm {
                 let mut off = 0usize;
                 while off < len {
                     let chunk = (len - off).min(self.cfg.chunk_bytes);
-                    self.sys.post_send(s_node, vi_s, mem, addr + off as u64, chunk)?;
+                    self.sys
+                        .post_send(s_node, vi_s, mem, addr + off as u64, chunk)?;
                     self.stats.oc_chunks += 1;
                     off += chunk;
                 }
                 self.sys.pump()?;
                 self.stats.dma_bytes += len as u64;
                 self.stats.oc_msgs += 1;
-                SendState::AwaitDone { cached_mem: Some(mem) }
+                SendState::AwaitDone {
+                    cached_mem: Some(mem),
+                }
             }
             Protocol::ZeroCopy => {
                 // Register early (CHEMPI step 2 on the sender side), then
@@ -544,7 +570,9 @@ impl Comm {
     /// engine — in a threaded MPI this runs on the communication thread).
     pub fn progress(&mut self) -> ViaResult<()> {
         for i in 0..self.pending.len() {
-            let Some(p) = self.pending[i].take() else { continue };
+            let Some(p) = self.pending[i].take() else {
+                continue;
+            };
             let next = self.progress_one(p)?;
             self.pending[i] = next;
         }
@@ -562,7 +590,11 @@ impl Comm {
                 p.state = SendState::AwaitDone { cached_mem };
                 Ok(Some(p))
             }
-            SendState::ZcAwaitBuffer { cached_mem, addr, len } => {
+            SendState::ZcAwaitBuffer {
+                cached_mem,
+                addr,
+                len,
+            } => {
                 if resp.state == RESP_BUF_READY {
                     let s_node = self.ranks[p.from].node;
                     let vi_s = self.pairs[&(p.from, p.to)].vi_s;
@@ -591,7 +623,11 @@ impl Comm {
                     p.state = SendState::ZcAwaitDone { cached_mem };
                     return Ok(Some(p));
                 }
-                p.state = SendState::ZcAwaitBuffer { cached_mem, addr, len };
+                p.state = SendState::ZcAwaitBuffer {
+                    cached_mem,
+                    addr,
+                    len,
+                };
                 Ok(Some(p))
             }
             SendState::ZcAwaitDone { cached_mem } => {
@@ -630,7 +666,10 @@ impl Comm {
         let (node, pid) = (self.ranks[p.from].node, self.ranks[p.from].pid);
         let addr = pair.s_seg_addr + pair.layout.resp_off(p.slot) as u64;
         self.sys.write_user(node, pid, addr, &[RESP_NONE; 1])?;
-        self.pairs.get_mut(&(p.from, p.to)).expect("pair exists").slot_busy[p.slot] = false;
+        self.pairs
+            .get_mut(&(p.from, p.to))
+            .expect("pair exists")
+            .slot_busy[p.slot] = false;
         Ok(())
     }
 
@@ -642,7 +681,9 @@ impl Comm {
             }
             self.progress()?;
         }
-        Err(ViaError::BadState("send did not complete (peer not receiving?)"))
+        Err(ViaError::BadState(
+            "send did not complete (peer not receiving?)",
+        ))
     }
 
     /// True once the send has completed (non-blocking test).
@@ -678,7 +719,14 @@ impl Comm {
             };
             Some((node, self.cached_acquire(node, pid, addr, len, rtag)?))
         };
-        Ok(PersistentSend { from, to, tag, addr, len, held })
+        Ok(PersistentSend {
+            from,
+            to,
+            tag,
+            addr,
+            len,
+            held,
+        })
     }
 
     /// Start one transfer of a persistent request (non-blocking, like
@@ -743,10 +791,7 @@ impl Comm {
         let mut best: Option<(RankId, usize, MsgInfo)> = None;
         for s in sources {
             if let Some((slot, info)) = self.match_message(s, at, tag)? {
-                if best
-                    .as_ref()
-                    .is_none_or(|(_, _, b)| info.msg_id < b.msg_id)
-                {
+                if best.as_ref().is_none_or(|(_, _, b)| info.msg_id < b.msg_id) {
                     best = Some((s, slot, info));
                 }
             }
@@ -811,7 +856,10 @@ impl Comm {
     ) -> ViaResult<usize> {
         let len = info.len as usize;
         if len > buf_len {
-            return Err(ViaError::RecvTooSmall { need: len, have: buf_len });
+            return Err(ViaError::RecvTooSmall {
+                need: len,
+                have: buf_len,
+            });
         }
         let (r_node, r_pid, r_tag) = {
             let i = &self.ranks[at];
@@ -826,15 +874,21 @@ impl Comm {
                     (pair.r_seg_addr, pair.layout.data_off(slot))
                 };
                 let mut tmp = vec![0u8; len];
-                self.sys.read_user(r_node, r_pid, seg_addr + data_off as u64, &mut tmp)?;
+                self.sys
+                    .read_user(r_node, r_pid, seg_addr + data_off as u64, &mut tmp)?;
                 self.sys.write_user(r_node, r_pid, buf_addr, &tmp)?;
                 self.stats.copy_bytes += len as u64;
                 self.clear_info(from, at, slot)?;
-                self.write_response(from, at, slot, &Response {
-                    state: RESP_DONE,
-                    mem: 0,
-                    addr: 0,
-                })?;
+                self.write_response(
+                    from,
+                    at,
+                    slot,
+                    &Response {
+                        state: RESP_DONE,
+                        mem: 0,
+                        addr: 0,
+                    },
+                )?;
                 Ok(len)
             }
             // ----------------------------- one-copy ---------------------
@@ -856,7 +910,8 @@ impl Comm {
                     // the user buffer.
                     let mut tmp = vec![0u8; c.len];
                     self.sys.read_user(r_node, r_pid, ring_addr, &mut tmp)?;
-                    self.sys.write_user(r_node, r_pid, buf_addr + off as u64, &tmp)?;
+                    self.sys
+                        .write_user(r_node, r_pid, buf_addr + off as u64, &tmp)?;
                     self.stats.copy_bytes += c.len as u64;
                     off += c.len;
                     // Repost the buffer.
@@ -865,17 +920,23 @@ impl Comm {
                         pair.oc_ring.push_back(ring_addr);
                         (pair.oc_mem, self.cfg.chunk_bytes)
                     };
-                    self.sys.post_recv(r_node, vi_r, oc_mem, ring_addr, chunk_bytes)?;
+                    self.sys
+                        .post_recv(r_node, vi_r, oc_mem, ring_addr, chunk_bytes)?;
                 }
                 if off != len {
                     return Err(ViaError::BadState("one-copy reassembly length mismatch"));
                 }
                 self.clear_info(from, at, slot)?;
-                self.write_response(from, at, slot, &Response {
-                    state: RESP_DONE,
-                    mem: 0,
-                    addr: 0,
-                })?;
+                self.write_response(
+                    from,
+                    at,
+                    slot,
+                    &Response {
+                        state: RESP_DONE,
+                        mem: 0,
+                        addr: 0,
+                    },
+                )?;
                 Ok(len)
             }
             // ---------------------------- zero-copy ---------------------
@@ -883,11 +944,16 @@ impl Comm {
                 // Rendezvous: register the user buffer, answer, and wait
                 // for the sender's RDMA to land.
                 let mem = self.cached_acquire(r_node, r_pid, buf_addr, len, r_tag)?;
-                self.write_response(from, at, slot, &Response {
-                    state: RESP_BUF_READY,
-                    mem: mem.0,
-                    addr: buf_addr,
-                })?;
+                self.write_response(
+                    from,
+                    at,
+                    slot,
+                    &Response {
+                        state: RESP_BUF_READY,
+                        mem: mem.0,
+                        addr: buf_addr,
+                    },
+                )?;
                 let mut done = false;
                 for _ in 0..SPIN_LIMIT {
                     self.progress()?;
@@ -902,11 +968,16 @@ impl Comm {
                 }
                 self.cached_release(r_node, mem)?;
                 self.clear_info(from, at, slot)?;
-                self.write_response(from, at, slot, &Response {
-                    state: RESP_DONE,
-                    mem: 0,
-                    addr: 0,
-                })?;
+                self.write_response(
+                    from,
+                    at,
+                    slot,
+                    &Response {
+                        state: RESP_DONE,
+                        mem: 0,
+                        addr: 0,
+                    },
+                )?;
                 Ok(len)
             }
             _ => Err(ViaError::BadState("unknown protocol discriminator")),
@@ -1056,7 +1127,10 @@ mod tests {
         // Probe sees it without consuming.
         let (src, tag, len) = c.iprobe(1, ANY_SOURCE, ANY_TAG).unwrap().unwrap();
         assert_eq!((src, tag, len), (0, 77, 9));
-        assert!(c.iprobe(1, ANY_SOURCE, ANY_TAG).unwrap().is_some(), "probe is non-destructive");
+        assert!(
+            c.iprobe(1, ANY_SOURCE, ANY_TAG).unwrap().is_some(),
+            "probe is non-destructive"
+        );
         // Tag filter.
         assert!(c.iprobe(1, ANY_SOURCE, 99).unwrap().is_none());
         // recv_any consumes it and reports the source.
@@ -1106,8 +1180,14 @@ mod tests {
         // persistent request holds its entry so every start() hits.
         let mut cfg = MsgConfig::tiny();
         cfg.cache_pages = 13; // exactly one 50 000-B buffer's pages
-        let mut c = Comm::new(2, 2, KernelConfig::large(), StrategyKind::KiobufReliable, cfg)
-            .unwrap();
+        let mut c = Comm::new(
+            2,
+            2,
+            KernelConfig::large(),
+            StrategyKind::KiobufReliable,
+            cfg,
+        )
+        .unwrap();
         let len = 50_000;
         let sbuf = c.alloc_buffer(0, len).unwrap();
         let rbuf = c.alloc_buffer(1, len).unwrap();
@@ -1139,7 +1219,10 @@ mod tests {
         let r = c.alloc_buffer(1, 16).unwrap();
         assert!(matches!(
             c.recv(1, 0, 3, r, 16),
-            Err(ViaError::RecvTooSmall { need: 128, have: 16 })
+            Err(ViaError::RecvTooSmall {
+                need: 128,
+                have: 16
+            })
         ));
     }
 }

@@ -171,8 +171,14 @@ mod tests {
     use vialock::StrategyKind;
 
     fn comm() -> Comm {
-        Comm::new(3, 2, KernelConfig::large(), StrategyKind::KiobufReliable, MsgConfig::tiny())
-            .unwrap()
+        Comm::new(
+            3,
+            2,
+            KernelConfig::large(),
+            StrategyKind::KiobufReliable,
+            MsgConfig::tiny(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -188,7 +194,14 @@ mod tests {
         c.send_indirect(0, 1, 2, 42, sbuf, len).unwrap();
         assert_eq!(c.forward_pump(1).unwrap(), 1, "intermediate relayed once");
         let env = c.recv_indirect(2, 42, rbuf, len).unwrap();
-        assert_eq!(env, ForwardedEnvelope { orig_src: 0, tag: 42, len });
+        assert_eq!(
+            env,
+            ForwardedEnvelope {
+                orig_src: 0,
+                tag: 42,
+                len
+            }
+        );
         let mut out = vec![0u8; len];
         c.read_buffer(2, rbuf, &mut out).unwrap();
         assert_eq!(out, data);
@@ -232,9 +245,27 @@ mod tests {
         let desc = NetworkDescription {
             n_nodes: 3,
             links: vec![
-                Link { a: 0, b: 1, device: "sci", latency_ns: 3_000, per_byte_ns: 12.0 },
-                Link { a: 1, b: 2, device: "sci", latency_ns: 3_000, per_byte_ns: 12.0 },
-                Link { a: 0, b: 2, device: "ethernet", latency_ns: 125_000, per_byte_ns: 97.0 },
+                Link {
+                    a: 0,
+                    b: 1,
+                    device: "sci",
+                    latency_ns: 3_000,
+                    per_byte_ns: 12.0,
+                },
+                Link {
+                    a: 1,
+                    b: 2,
+                    device: "sci",
+                    latency_ns: 3_000,
+                    per_byte_ns: 12.0,
+                },
+                Link {
+                    a: 0,
+                    b: 2,
+                    device: "ethernet",
+                    latency_ns: 125_000,
+                    per_byte_ns: 97.0,
+                },
             ],
             forward_ns: Some(10_000),
         };

@@ -1,48 +1,35 @@
 //! TPT-level registration cache: the `vialock` cache idea applied at the
 //! NIC-handle level, which is where a zero-copy MPI needs it — a cache hit
 //! avoids both the kernel-agent trap *and* the TPT refill.
+//!
+//! The mechanics (covering-span hits, stamp-ordered LRU eviction, O(1)
+//! release) are the shared [`vialock::CoveringLru`]; this wrapper turns
+//! misses into `Node::register_mem` calls and evictions into
+//! `Node::deregister_mem` calls. Since each rank has its own protection
+//! tag *and* its own pid, the pid-keyed covering index never serves a span
+//! registered under another rank's tag.
 
-use std::collections::HashMap;
-
-use simmem::{Pid, VirtAddr, PAGE_SIZE};
+use simmem::{Pid, VirtAddr};
 use via::nic::Node;
 use via::tpt::{MemId, ProtectionTag};
 use via::ViaResult;
-use vialock::CacheStats;
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct Key {
-    pid: Pid,
-    page_base: VirtAddr,
-    npages: usize,
-}
-
-struct Entry {
-    mem: MemId,
-    users: u32,
-    stamp: u64,
-    npages: usize,
-}
+use vialock::{CacheReleaseError, CacheStats, CoveringLru, RegError};
 
 /// LRU cache of live NIC registrations for one node.
 pub struct NodeRegCache {
-    entries: HashMap<Key, Entry>,
-    capacity_pages: usize,
-    clock: u64,
-    pub stats: CacheStats,
+    lru: CoveringLru<MemId>,
 }
 
 impl NodeRegCache {
     pub fn new(capacity_pages: usize) -> Self {
         NodeRegCache {
-            entries: HashMap::new(),
-            capacity_pages,
-            clock: 0,
-            stats: CacheStats::default(),
+            lru: CoveringLru::new(capacity_pages),
         }
     }
 
-    /// Acquire a registration covering `[addr, addr+len)` under `tag`.
+    /// Acquire a registration covering `[addr, addr+len)` under `tag`. Any
+    /// cached span covering the request — exact or larger — is a hit; a
+    /// miss registers the full page span with the NIC.
     pub fn acquire(
         &mut self,
         node: &mut Node,
@@ -51,96 +38,64 @@ impl NodeRegCache {
         len: usize,
         tag: ProtectionTag,
     ) -> ViaResult<MemId> {
-        let page_base = simmem::page_base(addr);
-        let npages = ((simmem::page_align_up(addr + len as u64) - page_base) as usize) / PAGE_SIZE;
-        let key = Key { pid, page_base, npages };
-        self.clock += 1;
-        if let Some(e) = self.entries.get_mut(&key) {
-            e.users += 1;
-            e.stamp = self.clock;
-            self.stats.hits += 1;
-            return Ok(e.mem);
+        if let Some(mem) = self.lru.acquire(pid, addr, len) {
+            return Ok(mem);
         }
-        self.stats.misses += 1;
-        let mem = node.register_mem(pid, page_base, npages * PAGE_SIZE, tag)?;
-        self.entries.insert(
-            key,
-            Entry { mem, users: 1, stamp: self.clock, npages },
-        );
+        let page_base = simmem::page_base(addr);
+        let span_len = (simmem::page_align_up(addr + len as u64) - page_base) as usize;
+        let mem = node.register_mem(pid, page_base, span_len, tag)?;
+        self.lru.admit(pid, addr, len, mem);
         Ok(mem)
     }
 
     /// Release a prior acquisition; evict idle LRU entries beyond budget.
+    /// Releasing more often than acquired is an error, not a silent
+    /// saturation.
     pub fn release(&mut self, node: &mut Node, mem: MemId) -> ViaResult<()> {
-        let key = self
-            .entries
-            .iter()
-            .find(|(_, e)| e.mem == mem)
-            .map(|(k, _)| *k)
-            .ok_or(via::ViaError::BadId("cached memory"))?;
-        let e = self.entries.get_mut(&key).expect("found above");
-        debug_assert!(e.users > 0, "release without acquire");
-        e.users = e.users.saturating_sub(1);
-        self.shrink(node)
-    }
-
-    fn shrink(&mut self, node: &mut Node) -> ViaResult<()> {
-        while self.cached_pages() > self.capacity_pages {
-            let victim = self
-                .entries
-                .iter()
-                .filter(|(_, e)| e.users == 0)
-                .min_by_key(|(_, e)| e.stamp)
-                .map(|(k, _)| *k);
-            let Some(k) = victim else { break };
-            let e = self.entries.remove(&k).expect("victim present");
-            node.deregister_mem(e.mem)?;
-            self.stats.evictions += 1;
+        self.lru.release(mem).map_err(|e| match e {
+            CacheReleaseError::UnknownHandle => via::ViaError::BadId("cached memory"),
+            CacheReleaseError::Underflow => via::ViaError::Reg(RegError::PinUnderflow),
+        })?;
+        for victim in self.lru.evict_over_budget() {
+            node.deregister_mem(victim)?;
         }
         Ok(())
     }
 
     /// Deregister every idle cached region.
     pub fn flush(&mut self, node: &mut Node) -> ViaResult<()> {
-        let victims: Vec<Key> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.users == 0)
-            .map(|(k, _)| *k)
-            .collect();
-        for k in victims {
-            let e = self.entries.remove(&k).expect("victim present");
-            node.deregister_mem(e.mem)?;
-            self.stats.evictions += 1;
+        for victim in self.lru.drain_idle() {
+            node.deregister_mem(victim)?;
         }
         Ok(())
     }
 
     pub fn cached_pages(&self) -> usize {
-        self.entries.values().map(|e| e.npages).sum()
+        self.lru.cached_pages()
     }
 
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.lru.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.lru.is_empty()
+    }
+
+    /// Performance counters.
+    pub fn stats(&self) -> CacheStats {
+        self.lru.stats()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simmem::{prot, KernelConfig};
+    use simmem::{prot, KernelConfig, PAGE_SIZE};
     use vialock::StrategyKind;
 
     fn node() -> (Node, Pid, VirtAddr) {
-        let mut n = Node::new(
-            KernelConfig::small(),
-            StrategyKind::KiobufReliable,
-            1024,
-        );
+        let mut n = Node::new(KernelConfig::small(), StrategyKind::KiobufReliable, 1024);
         let pid = n.kernel.spawn_process(simmem::Capabilities::default());
         let a = n
             .kernel
@@ -158,9 +113,29 @@ mod tests {
         c.release(&mut n, m1).unwrap();
         let m2 = c.acquire(&mut n, pid, a, PAGE_SIZE, tag).unwrap();
         assert_eq!(m1, m2);
-        assert_eq!(c.stats.hits, 1);
+        assert_eq!(c.stats().hits, 1);
         assert_eq!(n.registry.stats.registrations, 1);
         c.release(&mut n, m2).unwrap();
+    }
+
+    #[test]
+    fn sub_span_hits_cached_covering_region() {
+        // The NIC-level mirror of the tentpole test: cache [a, a+8p), then
+        // ask for [a+p, a+3p) — zero new TPT registrations.
+        let (mut n, pid, a) = node();
+        let mut c = NodeRegCache::new(128);
+        let tag = ProtectionTag(1);
+        let big = c.acquire(&mut n, pid, a, 8 * PAGE_SIZE, tag).unwrap();
+        c.release(&mut n, big).unwrap();
+        assert_eq!(n.registry.stats.registrations, 1);
+        let sub = c
+            .acquire(&mut n, pid, a + PAGE_SIZE as u64, 2 * PAGE_SIZE, tag)
+            .unwrap();
+        assert_eq!(sub, big, "served by the covering TPT entry");
+        assert_eq!(n.registry.stats.registrations, 1, "zero new registrations");
+        assert_eq!(c.stats().covering_hits, 1);
+        assert_eq!(n.nic.tpt.region_count(), 1);
+        c.release(&mut n, sub).unwrap();
     }
 
     #[test]
@@ -174,7 +149,7 @@ mod tests {
             c.release(&mut n, m).unwrap();
         }
         assert!(c.cached_pages() <= 4);
-        assert!(c.stats.evictions >= 1);
+        assert!(c.stats().evictions >= 1);
     }
 
     #[test]
@@ -200,8 +175,26 @@ mod tests {
         let m1 = c.acquire(&mut n, pid, a + 10, 100, tag).unwrap();
         let m2 = c.acquire(&mut n, pid, a + 500, 200, tag).unwrap();
         assert_eq!(m1, m2);
-        assert_eq!(c.stats.hits, 1);
+        assert_eq!(c.stats().hits, 1);
         c.release(&mut n, m1).unwrap();
         c.release(&mut n, m2).unwrap();
+    }
+
+    #[test]
+    fn double_release_is_reported() {
+        let (mut n, pid, a) = node();
+        let mut c = NodeRegCache::new(128);
+        let m = c
+            .acquire(&mut n, pid, a, PAGE_SIZE, ProtectionTag(1))
+            .unwrap();
+        c.release(&mut n, m).unwrap();
+        assert!(matches!(
+            c.release(&mut n, m),
+            Err(via::ViaError::Reg(RegError::PinUnderflow))
+        ));
+        assert!(matches!(
+            c.release(&mut n, MemId(4242)),
+            Err(via::ViaError::BadId(_))
+        ));
     }
 }

@@ -66,8 +66,17 @@ mod tests {
 
     #[test]
     fn windowed_difference() {
-        let a = MsgStats { sm_msgs: 2, dma_bytes: 100, ..Default::default() };
-        let b = MsgStats { sm_msgs: 5, dma_bytes: 400, zc_msgs: 1, ..Default::default() };
+        let a = MsgStats {
+            sm_msgs: 2,
+            dma_bytes: 100,
+            ..Default::default()
+        };
+        let b = MsgStats {
+            sm_msgs: 5,
+            dma_bytes: 400,
+            zc_msgs: 1,
+            ..Default::default()
+        };
         let d = b.since(&a);
         assert_eq!(d.sm_msgs, 3);
         assert_eq!(d.dma_bytes, 300);

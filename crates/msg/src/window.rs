@@ -41,7 +41,12 @@ impl Comm {
             .system_mut()
             .node_mut(node)
             .register_mem_attrs(pid, base, len, tag, true, true)?;
-        Ok(Window { owner, base, len, mem })
+        Ok(Window {
+            owner,
+            base,
+            len,
+            mem,
+        })
     }
 
     /// Close a window: deregister the owner-side registration.
@@ -78,8 +83,15 @@ impl Comm {
         );
         let mem = self.cache_acquire_for(node, pid, src, len, tag)?;
         let vi = self.pair_send_vi(origin, w.owner)?;
-        self.system_mut()
-            .post_rdma_write(node, vi, mem, src, len, w.mem, w.base + offset as u64)?;
+        self.system_mut().post_rdma_write(
+            node,
+            vi,
+            mem,
+            src,
+            len,
+            w.mem,
+            w.base + offset as u64,
+        )?;
         self.system_mut().pump()?;
         self.stats.dma_bytes += len as u64;
         // Drain the send completion so the CQ does not grow unbounded.
@@ -173,14 +185,8 @@ mod tests {
         let win_buf = c.alloc_buffer(1, 4096).unwrap();
         let w = c.expose_window(1, win_buf, 4096).unwrap();
         let src = c.alloc_buffer(0, 512).unwrap();
-        assert_eq!(
-            c.put(0, src, 512, &w, 4000),
-            Err(ViaError::OutOfBounds)
-        );
-        assert_eq!(
-            c.get(0, src, 512, &w, 4000),
-            Err(ViaError::OutOfBounds)
-        );
+        assert_eq!(c.put(0, src, 512, &w, 4000), Err(ViaError::OutOfBounds));
+        assert_eq!(c.get(0, src, 512, &w, 4000), Err(ViaError::OutOfBounds));
         c.close_window(w).unwrap();
     }
 
@@ -190,8 +196,12 @@ mod tests {
         let win_buf = c.alloc_buffer(0, 4096).unwrap();
         let w = c.expose_window(0, win_buf, 4096).unwrap();
         let src = c.alloc_buffer(0, 64).unwrap();
-        c.fill_buffer(0, src, b"local-put-through-window-path-0000000000000000000000000000000000")
-            .unwrap();
+        c.fill_buffer(
+            0,
+            src,
+            b"local-put-through-window-path-0000000000000000000000000000000000",
+        )
+        .unwrap();
         c.put(0, src, 64, &w, 0).unwrap();
         let dst = c.alloc_buffer(0, 64).unwrap();
         c.get(0, dst, 64, &w, 0).unwrap();
@@ -238,10 +248,11 @@ mod tests {
     fn workload_pressure(k: &mut simmem::Kernel, pages: usize) {
         let pid = k.spawn_process(simmem::Capabilities::default());
         let len = pages * simmem::PAGE_SIZE;
-        let a = k.mmap_anon(pid, len, simmem::prot::READ | simmem::prot::WRITE).unwrap();
+        let a = k
+            .mmap_anon(pid, len, simmem::prot::READ | simmem::prot::WRITE)
+            .unwrap();
         for i in 0..pages {
-            if k
-                .write_user(pid, a + (i * simmem::PAGE_SIZE) as u64, &[1u8; 8])
+            if k.write_user(pid, a + (i * simmem::PAGE_SIZE) as u64, &[1u8; 8])
                 .is_err()
             {
                 break;

@@ -112,7 +112,10 @@ mod tests {
         let sp_user = dma_switch_point(&user_level_dma(), &s).unwrap();
         let sp_kernel = dma_switch_point(&NetworkProfile::dolphin_dma(), &s).unwrap();
         assert!(sp_kernel > sp_user);
-        assert!(sp_kernel >= 512, "kernel DMA pays off an order of magnitude later");
+        assert!(
+            sp_kernel >= 512,
+            "kernel DMA pays off an order of magnitude later"
+        );
     }
 
     #[test]

@@ -38,22 +38,34 @@ pub struct RegistrationCost {
 impl RegistrationCost {
     /// Refcount-only: cheapest — and wrong.
     pub fn refcount() -> Self {
-        RegistrationCost { trap_ns: 2_000, per_page_ns: 200 }
+        RegistrationCost {
+            trap_ns: 2_000,
+            per_page_ns: 200,
+        }
     }
 
     /// Raw-flags: refcount plus a flag write.
     pub fn raw_flags() -> Self {
-        RegistrationCost { trap_ns: 2_000, per_page_ns: 250 }
+        RegistrationCost {
+            trap_ns: 2_000,
+            per_page_ns: 250,
+        }
     }
 
     /// mlock-based: VMA surgery dominates the fixed part.
     pub fn vma_mlock() -> Self {
-        RegistrationCost { trap_ns: 6_000, per_page_ns: 350 }
+        RegistrationCost {
+            trap_ns: 6_000,
+            per_page_ns: 350,
+        }
     }
 
     /// kiobuf-based (the proposal): fault-in + page lock per page.
     pub fn kiobuf() -> Self {
-        RegistrationCost { trap_ns: 3_000, per_page_ns: 400 }
+        RegistrationCost {
+            trap_ns: 3_000,
+            per_page_ns: 400,
+        }
     }
 
     /// Cost of registering `pages` pages.
@@ -133,7 +145,10 @@ impl ProtocolCosts {
         let sm = ("shared-memory", self.shared_memory_ns(bytes));
         let oc = ("one-copy", self.one_copy_ns(bytes));
         let zc = ("zero-copy", self.zero_copy_ns(bytes));
-        [sm, oc, zc].into_iter().min_by_key(|&(_, t)| t).expect("non-empty")
+        [sm, oc, zc]
+            .into_iter()
+            .min_by_key(|&(_, t)| t)
+            .expect("non-empty")
     }
 }
 
@@ -198,7 +213,10 @@ mod tests {
         };
         let cold_x = first_zc(&cold).expect("zero-copy eventually wins");
         let warm_x = first_zc(&warm).expect("zero-copy eventually wins");
-        assert!(warm_x <= cold_x, "cache can only help ({warm_x} vs {cold_x})");
+        assert!(
+            warm_x <= cold_x,
+            "cache can only help ({warm_x} vs {cold_x})"
+        );
     }
 
     #[test]
@@ -213,9 +231,6 @@ mod tests {
     fn register_cost_scales_with_pages() {
         let r = RegistrationCost::kiobuf();
         assert!(r.register_ns(100) > r.register_ns(1));
-        assert_eq!(
-            r.register_ns(10) - r.register_ns(0),
-            10 * r.per_page_ns
-        );
+        assert_eq!(r.register_ns(10) - r.register_ns(0), 10 * r.per_page_ns);
     }
 }

@@ -140,11 +140,17 @@ pub fn plan_routes(desc: &NetworkDescription, msg_bytes: usize) -> RouteTable {
             let mut at = dst;
             while at != src {
                 let (p, li) = prev[&at];
-                hops.push(Hop { to: at, device: desc.links[li].device });
+                hops.push(Hop {
+                    to: at,
+                    device: desc.links[li].device,
+                });
                 at = p;
             }
             hops.reverse();
-            row.push(Some(Route { hops, cost_ns: cost }));
+            row.push(Some(Route {
+                hops,
+                cost_ns: cost,
+            }));
         }
         routes.push(row);
     }
@@ -180,9 +186,27 @@ mod tests {
         NetworkDescription {
             n_nodes: 3,
             links: vec![
-                Link { a: 0, b: 1, device: "sci", latency_ns: 3_000, per_byte_ns: 12.0 },
-                Link { a: 1, b: 2, device: "sci", latency_ns: 3_000, per_byte_ns: 12.0 },
-                Link { a: 0, b: 2, device: "ethernet", latency_ns: 125_000, per_byte_ns: 97.0 },
+                Link {
+                    a: 0,
+                    b: 1,
+                    device: "sci",
+                    latency_ns: 3_000,
+                    per_byte_ns: 12.0,
+                },
+                Link {
+                    a: 1,
+                    b: 2,
+                    device: "sci",
+                    latency_ns: 3_000,
+                    per_byte_ns: 12.0,
+                },
+                Link {
+                    a: 0,
+                    b: 2,
+                    device: "ethernet",
+                    latency_ns: 125_000,
+                    per_byte_ns: 97.0,
+                },
             ],
             forward_ns: Some(10_000),
         }
@@ -203,10 +227,19 @@ mod tests {
         let rt = plan_routes(&oscar(), 1024);
         let r = rt.route(0, 2).unwrap();
         assert_eq!(r.hops.len(), 2, "routes via node 1");
-        assert_eq!(r.hops, vec![
-            Hop { to: 1, device: "sci" },
-            Hop { to: 2, device: "sci" },
-        ]);
+        assert_eq!(
+            r.hops,
+            vec![
+                Hop {
+                    to: 1,
+                    device: "sci"
+                },
+                Hop {
+                    to: 2,
+                    device: "sci"
+                },
+            ]
+        );
         assert!(r.cost_ns < 125_000);
     }
 
@@ -235,8 +268,20 @@ mod tests {
         let d = NetworkDescription {
             n_nodes: 2,
             links: vec![
-                Link { a: 0, b: 1, device: "sci", latency_ns: 8_000, per_byte_ns: 12.2 },
-                Link { a: 0, b: 1, device: "clan", latency_ns: 65_000, per_byte_ns: 10.7 },
+                Link {
+                    a: 0,
+                    b: 1,
+                    device: "sci",
+                    latency_ns: 8_000,
+                    per_byte_ns: 12.2,
+                },
+                Link {
+                    a: 0,
+                    b: 1,
+                    device: "clan",
+                    latency_ns: 65_000,
+                    per_byte_ns: 10.7,
+                },
             ],
             forward_ns: None,
         };
@@ -250,7 +295,13 @@ mod tests {
     fn disconnected_nodes_have_no_route() {
         let d = NetworkDescription {
             n_nodes: 3,
-            links: vec![Link { a: 0, b: 1, device: "sci", latency_ns: 1, per_byte_ns: 0.0 }],
+            links: vec![Link {
+                a: 0,
+                b: 1,
+                device: "sci",
+                latency_ns: 1,
+                per_byte_ns: 0.0,
+            }],
             forward_ns: Some(0),
         };
         let rt = plan_routes(&d, 1);

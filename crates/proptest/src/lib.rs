@@ -1,0 +1,423 @@
+//! Offline stand-in for `proptest`, exposing exactly the API surface the
+//! workspace's property tests use:
+//!
+//! * `proptest! { #![proptest_config(..)] #[test] fn name(x in strat, ..) {..} }`
+//! * `Strategy` (with `prop_map` and `boxed`), integer-range strategies,
+//!   tuple strategies (2–4 elements), `any::<T>()`, `prop::collection::vec`,
+//!   and `prop_oneof!`;
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assume!`.
+//!
+//! Semantics differ from the real proptest in two deliberate ways: the RNG
+//! is seeded deterministically from the test name (reproducible runs, no
+//! persistence files), and there is no shrinking — a failure reports the
+//! case number and message only. That trade-off keeps this crate
+//! dependency-free so `cargo test` works without a registry.
+
+use core::ops::Range;
+
+// ---------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------
+
+/// Deterministic SplitMix64 stream used to generate test cases.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the inputs; retry with fresh ones.
+    Reject(String),
+    /// `prop_assert!`-family failure; abort the whole test.
+    Fail(String),
+}
+
+fn seed_of(name: &str) -> u64 {
+    // FNV-1a, so each test gets a distinct but reproducible stream.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+pub fn run_proptest<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::new(seed_of(name));
+    let mut passed = 0u32;
+    let mut rejected = 0u64;
+    let max_rejects = 1024 + 64 * config.cases as u64;
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "proptest '{name}': too many prop_assume! rejections \
+                         ({rejected}) for {} passing cases",
+                        passed
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed at case {passed}: {msg}")
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// Object-safe view of [`Strategy`] so `prop_oneof!` can mix arm types.
+pub trait DynStrategy {
+    type Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+pub type BoxedStrategy<V> = Box<dyn DynStrategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.as_ref().generate_dyn(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// `any::<T>()` support.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize);
+
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: core::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Uniform choice between boxed arms (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+pub mod prop {
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use core::ops::Range;
+
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.size.generate(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            $crate::run_proptest(__config, stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                let mut __case = move || -> ::core::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                };
+                __case()
+            });
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        if !(__l == __r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{}` == `{}` ({:?} != {:?})",
+                stringify!($lhs), stringify!($rhs), __l, __r
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        if !(__l == __r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{} ({:?} != {:?})", format!($($fmt)+), __l, __r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, BoxedStrategy,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, v in prop::collection::vec(0u8..4, 1..9)) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(y in prop_oneof![
+            (0u32..10, 1u32..5).prop_map(|(a, b)| a + b),
+            (100u32..110).prop_map(|a| a),
+        ]) {
+            prop_assume!(y != 1);
+            prop_assert!((y < 15 && y > 0) || (100..110).contains(&y), "y = {}", y);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_number() {
+        run_proptest_failure();
+    }
+
+    fn run_proptest_failure() {
+        crate::run_proptest(
+            crate::ProptestConfig::with_cases(4),
+            "always_fails",
+            |_rng| Err(crate::TestCaseError::Fail("boom".into())),
+        );
+    }
+}

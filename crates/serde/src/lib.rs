@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`. The workspace derives `Serialize` /
+//! `Deserialize` on stats and config structs for downstream tooling, but no
+//! crate here actually serialises anything (there is no `serde_json` or
+//! similar consumer). This shim keeps the derive sites compiling without
+//! network access: the traits are markers with blanket impls, and the derive
+//! macros expand to nothing.
+//!
+//! If a future PR needs real serialisation, vendor or re-enable the real
+//! serde and delete this crate; call sites need no changes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Bound-compatibility alias mirroring `serde::de::DeserializeOwned`.
+pub mod de {
+    pub trait DeserializeOwned {}
+    impl<T> DeserializeOwned for T {}
+}

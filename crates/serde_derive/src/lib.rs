@@ -1,0 +1,16 @@
+//! No-op derive macros standing in for `serde_derive` while the build is
+//! offline. `#[derive(Serialize, Deserialize)]` parses (attributes like
+//! `#[serde(...)]` are accepted and ignored) and expands to nothing; the
+//! companion `serde` shim provides blanket trait impls so bounds still hold.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

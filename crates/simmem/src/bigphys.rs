@@ -37,7 +37,11 @@ pub struct BigphysArea {
 
 impl BigphysArea {
     pub(crate) fn new(base: u32, size: u32) -> Self {
-        BigphysArea { base, size, blocks: Vec::new() }
+        BigphysArea {
+            base,
+            size,
+            blocks: Vec::new(),
+        }
     }
 
     /// Total reserved frames (whether or not currently allocated).
@@ -79,7 +83,10 @@ impl BigphysArea {
                             .binary_search_by_key(&candidate, |&(b, _)| b)
                             .unwrap_err();
                         self.blocks.insert(pos, (candidate, nframes));
-                        return Some(BigphysBlock { base: FrameId(candidate), nframes });
+                        return Some(BigphysBlock {
+                            base: FrameId(candidate),
+                            nframes,
+                        });
                     }
                     return None;
                 }
@@ -89,7 +96,11 @@ impl BigphysArea {
 
     /// Free a previously allocated block.
     pub fn free(&mut self, block: BigphysBlock) -> Result<(), MmError> {
-        match self.blocks.iter().position(|&(b, n)| b == block.base.0 && n == block.nframes) {
+        match self
+            .blocks
+            .iter()
+            .position(|&(b, n)| b == block.base.0 && n == block.nframes)
+        {
             Some(i) => {
                 self.blocks.remove(i);
                 Ok(())
@@ -170,7 +181,12 @@ mod tests {
         area.free(a).unwrap();
         let c = area.alloc(10, 8).unwrap();
         assert_eq!(c.base, a.base, "first fit reuses the hole");
-        assert!(area.free(BigphysBlock { base: FrameId(1), nframes: 3 }).is_err());
+        assert!(area
+            .free(BigphysBlock {
+                base: FrameId(1),
+                nframes: 3
+            })
+            .is_err());
     }
 
     #[test]
@@ -201,9 +217,16 @@ mod tests {
         k.reserve_bigphys(64).unwrap();
         let first_reserved = k.config.nframes - 64;
         let pid = k.spawn_process(Capabilities::default());
-        let a = k.mmap_anon(pid, 32 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let a = k
+            .mmap_anon(pid, 32 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         k.touch_pages(pid, a, 32 * PAGE_SIZE, true).unwrap();
-        for f in k.frames_of_range(pid, a, 32 * PAGE_SIZE).unwrap().into_iter().flatten() {
+        for f in k
+            .frames_of_range(pid, a, 32 * PAGE_SIZE)
+            .unwrap()
+            .into_iter()
+            .flatten()
+        {
             assert!(f.0 < first_reserved, "frame {} inside the reservation", f.0);
         }
     }

@@ -9,7 +9,12 @@ impl Kernel {
     /// Ensure the page containing `addr` is present with the requested
     /// access; returns the backing frame. This is the whole CPU fault path:
     /// VMA lookup, protection check, then demand paging / COW / swap-in.
-    pub(crate) fn fault_in(&mut self, pid: Pid, addr: VirtAddr, write: bool) -> MmResult<crate::FrameId> {
+    pub(crate) fn fault_in(
+        &mut self,
+        pid: Pid,
+        addr: VirtAddr,
+        write: bool,
+    ) -> MmResult<crate::FrameId> {
         let vpn = AddressSpace::vpn(addr);
 
         // --- find_vma + access check -----------------------------------
@@ -35,9 +40,7 @@ impl Kernel {
             // Fast path: present and sufficient permissions.
             // ----------------------------------------------------------
             Some(Pte::Present {
-                frame,
-                writable,
-                ..
+                frame, writable, ..
             }) if !write || writable => {
                 if let Some(Pte::Present {
                     accessed, dirty, ..
@@ -154,7 +157,9 @@ mod tests {
     fn cow_from_zero_page() {
         let mut k = Kernel::new(KernelConfig::small());
         let pid = k.spawn_process(Capabilities::default());
-        let a = k.mmap_anon(pid, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let a = k
+            .mmap_anon(pid, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         // Read first: zero page mapped.
         let mut b = [0u8; 1];
         k.read_user(pid, a, &mut b).unwrap();
@@ -180,7 +185,9 @@ mod tests {
     fn fault_counters() {
         let mut k = Kernel::new(KernelConfig::small());
         let pid = k.spawn_process(Capabilities::default());
-        let a = k.mmap_anon(pid, 2 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let a = k
+            .mmap_anon(pid, 2 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         k.touch_pages(pid, a, 2 * PAGE_SIZE, true).unwrap();
         assert_eq!(k.stats.minor_faults, 2);
         assert_eq!(k.stats.major_faults, 0);
@@ -194,8 +201,12 @@ mod tests {
         let mut k = Kernel::new(KernelConfig::small());
         let p1 = k.spawn_process(Capabilities::default());
         let p2 = k.spawn_process(Capabilities::default());
-        let a1 = k.mmap_anon(p1, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
-        let a2 = k.mmap_anon(p2, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let a1 = k
+            .mmap_anon(p1, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        let a2 = k
+            .mmap_anon(p2, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         k.write_user(p1, a1, b"one").unwrap();
         k.write_user(p2, a2, b"two").unwrap();
         let mut out = [0u8; 3];

@@ -51,18 +51,33 @@ impl Kernel {
                 continue;
             }
             match pte {
-                Pte::Present { frame, accessed, dirty, .. } => {
+                Pte::Present {
+                    frame,
+                    accessed,
+                    dirty,
+                    ..
+                } => {
                     // Share the frame COW: write-protect both sides.
                     self.pagemap.get_page(frame);
                     // A frame mapped by two processes has no single rmap.
                     self.pagemap.get_mut(frame).rmap = None;
                     self.process_mut(parent)?.mm.set_pte(
                         vpn,
-                        Pte::Present { frame, writable: false, accessed, dirty },
+                        Pte::Present {
+                            frame,
+                            writable: false,
+                            accessed,
+                            dirty,
+                        },
                     );
                     self.process_mut(child)?.mm.set_pte(
                         vpn,
-                        Pte::Present { frame, writable: false, accessed: false, dirty: false },
+                        Pte::Present {
+                            frame,
+                            writable: false,
+                            accessed: false,
+                            dirty: false,
+                        },
                     );
                 }
                 Pte::Swapped { slot } => {
@@ -108,7 +123,9 @@ impl Kernel {
             }
         }
         let proc = self.process_mut(pid)?;
-        proc.mm.vmas.for_range_mut(start, end, |v| v.flags.dontfork = dontfork);
+        proc.mm
+            .vmas
+            .for_range_mut(start, end, |v| v.flags.dontfork = dontfork);
         proc.mm.vmas.merge_adjacent();
         Ok(())
     }
@@ -172,7 +189,9 @@ mod tests {
     fn setup() -> (Kernel, Pid, VirtAddr) {
         let mut k = Kernel::new(KernelConfig::small());
         let pid = k.spawn_process(Capabilities::default());
-        let a = k.mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let a = k
+            .mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         k.write_user(pid, a, b"parent data").unwrap();
         (k, pid, a)
     }
@@ -220,11 +239,15 @@ mod tests {
             swap_cache: false,
         });
         let parent = k.spawn_process(Capabilities::default());
-        let a = k.mmap_anon(parent, 2 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let a = k
+            .mmap_anon(parent, 2 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         k.write_user(parent, a, b"swapme").unwrap();
         // Force the page out.
         let hog = k.spawn_process(Capabilities::default());
-        let hb = k.mmap_anon(hog, 80 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let hb = k
+            .mmap_anon(hog, 80 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         for i in 0..80 {
             let _ = k.write_user(hog, hb + (i * PAGE_SIZE) as u64, &[1u8; 8]);
         }
@@ -243,11 +266,17 @@ mod tests {
     fn vm_locked_not_inherited() {
         let mut k = Kernel::new(KernelConfig::small());
         let parent = k.spawn_process(Capabilities::root());
-        let a = k.mmap_anon(parent, 2 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let a = k
+            .mmap_anon(parent, 2 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         k.sys_mlock(parent, a, 2 * PAGE_SIZE).unwrap();
         let child = k.fork(parent).unwrap();
         assert_eq!(k.locked_bytes(parent).unwrap(), 2 * PAGE_SIZE as u64);
-        assert_eq!(k.locked_bytes(child).unwrap(), 0, "mlock is per address space");
+        assert_eq!(
+            k.locked_bytes(child).unwrap(),
+            0,
+            "mlock is per address space"
+        );
     }
 
     #[test]
@@ -260,10 +289,11 @@ mod tests {
         ));
         let mut out = [0u8; 4];
         k.read_user(pid, a, &mut out).unwrap(); // reads still fine
-        // Other pages unaffected.
+                                                // Other pages unaffected.
         k.write_user(pid, a + PAGE_SIZE as u64, b"ok").unwrap();
         // Upgrade back; the next write COW/unprotect-faults and succeeds.
-        k.mprotect(pid, a, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        k.mprotect(pid, a, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         k.write_user(pid, a, b"y").unwrap();
     }
 
@@ -271,10 +301,16 @@ mod tests {
     fn mprotect_splits_and_merges_vmas() {
         let (mut k, pid, a) = setup();
         assert_eq!(k.vma_count(pid).unwrap(), 1);
-        k.mprotect(pid, a + PAGE_SIZE as u64, PAGE_SIZE, prot::READ).unwrap();
-        assert_eq!(k.vma_count(pid).unwrap(), 3);
-        k.mprotect(pid, a + PAGE_SIZE as u64, PAGE_SIZE, prot::READ | prot::WRITE)
+        k.mprotect(pid, a + PAGE_SIZE as u64, PAGE_SIZE, prot::READ)
             .unwrap();
+        assert_eq!(k.vma_count(pid).unwrap(), 3);
+        k.mprotect(
+            pid,
+            a + PAGE_SIZE as u64,
+            PAGE_SIZE,
+            prot::READ | prot::WRITE,
+        )
+        .unwrap();
         assert_eq!(k.vma_count(pid).unwrap(), 1);
     }
 

@@ -81,7 +81,9 @@ impl PhysMem {
     /// frame boundary.
     pub fn write(&mut self, id: FrameId, offset: usize, buf: &[u8]) -> Result<(), MmError> {
         if offset + buf.len() > PAGE_SIZE {
-            return Err(MmError::InvalidArgument("frame write crosses page boundary"));
+            return Err(MmError::InvalidArgument(
+                "frame write crosses page boundary",
+            ));
         }
         let f = self.frame_mut(id);
         f[offset..offset + buf.len()].copy_from_slice(buf);

@@ -9,8 +9,8 @@ use crate::error::MmResult;
 use crate::kiobuf::Kiobuf;
 use crate::mm::AddressSpace;
 use crate::page::{PageFlags, PageMap};
-use crate::vma::{VmArea, VmFlags};
 use crate::stats::MemInfo;
+use crate::vma::{VmArea, VmFlags};
 use crate::{
     FrameId, KiobufId, MmError, MmStats, PhysMem, Pte, SwapDevice, VirtAddr, PAGE_MASK, PAGE_SIZE,
 };
@@ -198,11 +198,7 @@ impl Kernel {
     /// Tear a process down, releasing frames and swap slots.
     pub fn exit_process(&mut self, pid: Pid) -> MmResult<()> {
         let proc = self.procs.remove(&pid).ok_or(MmError::NoSuchProcess(pid))?;
-        let ptes: Vec<(u64, Pte)> = proc
-            .mm
-            .ptes_in(0, u64::MAX)
-            .map(|(v, p)| (v, *p))
-            .collect();
+        let ptes: Vec<(u64, Pte)> = proc.mm.ptes_in(0, u64::MAX).map(|(v, p)| (v, *p)).collect();
         for (_, pte) in ptes {
             match pte {
                 Pte::Present { frame, .. } => self.put_frame(frame),
@@ -279,10 +275,7 @@ impl Kernel {
             let vpns: Vec<u64> = {
                 let proc = self.process(pid)?;
                 proc.mm
-                    .ptes_in(
-                        AddressSpace::vpn(vma.start),
-                        AddressSpace::vpn(vma.end),
-                    )
+                    .ptes_in(AddressSpace::vpn(vma.start), AddressSpace::vpn(vma.end))
                     .map(|(v, _)| v)
                     .collect()
             };
@@ -390,7 +383,8 @@ impl Kernel {
             let in_page = (PAGE_SIZE - (a & PAGE_MASK) as usize).min(data.len() - off);
             let frame = self.fault_in(pid, a, true)?;
             let page_off = (a & PAGE_MASK) as usize;
-            self.phys.write(frame, page_off, &data[off..off + in_page])?;
+            self.phys
+                .write(frame, page_off, &data[off..off + in_page])?;
             let d = self.pagemap.get_mut(frame);
             d.flags.set(PageFlags::ACCESSED);
             d.flags.set(PageFlags::DIRTY);
@@ -407,11 +401,9 @@ impl Kernel {
             let in_page = (PAGE_SIZE - (a & PAGE_MASK) as usize).min(out.len() - off);
             let frame = self.fault_in(pid, a, false)?;
             let page_off = (a & PAGE_MASK) as usize;
-            self.phys.read(frame, page_off, &mut out[off..off + in_page])?;
-            self.pagemap
-                .get_mut(frame)
-                .flags
-                .set(PageFlags::ACCESSED);
+            self.phys
+                .read(frame, page_off, &mut out[off..off + in_page])?;
+            self.pagemap.get_mut(frame).flags.set(PageFlags::ACCESSED);
             off += in_page;
         }
         Ok(())
@@ -420,7 +412,13 @@ impl Kernel {
     /// Touch every page of `[addr, addr+len)` (write access if `write`),
     /// forcing them present. Step 1 of the paper's locktest ("fill with
     /// data ... be sure each virtual page maps a distinct physical page").
-    pub fn touch_pages(&mut self, pid: Pid, addr: VirtAddr, len: usize, write: bool) -> MmResult<()> {
+    pub fn touch_pages(
+        &mut self,
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+        write: bool,
+    ) -> MmResult<()> {
         let mut a = crate::page_base(addr);
         let end = addr + len as u64;
         while a < end {
@@ -455,6 +453,62 @@ impl Kernel {
         self.put_frame(frame);
     }
 
+    /// `get_user_pages` proper: fault every page of `[addr, addr+len)` in
+    /// and take one reference per page, returning the backing frames in
+    /// order. On any failure the references taken so far are dropped — no
+    /// partial acquisition escapes. The same residency caveat as
+    /// [`Kernel::get_user_page`] applies to every frame.
+    pub fn get_user_pages(
+        &mut self,
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+    ) -> MmResult<Vec<FrameId>> {
+        let mut frames = Vec::with_capacity(crate::pages_for(len));
+        let mut a = crate::page_base(addr);
+        let end = addr + len as u64;
+        while a < end {
+            match self.get_user_page(pid, a) {
+                Ok(f) => frames.push(f),
+                Err(e) => {
+                    self.put_user_pages(&frames);
+                    return Err(e);
+                }
+            }
+            a += PAGE_SIZE as u64;
+        }
+        Ok(frames)
+    }
+
+    /// Drop one reference per frame, as taken by
+    /// [`Kernel::get_user_pages`].
+    pub fn put_user_pages(&mut self, frames: &[FrameId]) {
+        for &f in frames {
+            self.put_frame(f);
+        }
+    }
+
+    /// Fault every page of `[addr, addr+len)` in — write intent wherever
+    /// the VMA allows it, breaking COW so DMA targets never share frames —
+    /// and return the backing frames in order. The batched form of the
+    /// per-page `vma_writable` + fault walk; takes **no** page references.
+    pub fn fault_in_range(
+        &mut self,
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+    ) -> MmResult<Vec<FrameId>> {
+        let mut frames = Vec::with_capacity(crate::pages_for(len));
+        let mut a = crate::page_base(addr);
+        let end = addr + len as u64;
+        while a < end {
+            let writable = self.vma_writable(pid, a)?;
+            frames.push(self.fault_in(pid, a, writable)?);
+            a += PAGE_SIZE as u64;
+        }
+        Ok(frames)
+    }
+
     /// Map specific physical frames into a process (the driver `mmap` of a
     /// bigphys region / device memory): creates a VMA and present,
     /// writable PTEs, taking a reference on each frame.
@@ -476,7 +530,9 @@ impl Kernel {
         for (i, &f) in frames.iter().enumerate() {
             self.pagemap.get_page(f);
             let vpn = AddressSpace::vpn(start) + i as u64;
-            self.process_mut(pid)?.mm.set_pte(vpn, Pte::present(f, true));
+            self.process_mut(pid)?
+                .mm
+                .set_pte(vpn, Pte::present(f, true));
         }
         Ok(start)
     }
@@ -494,10 +550,7 @@ impl Kernel {
     /// Walk the page table: the frame currently backing `addr`, if present.
     pub fn frame_of(&self, pid: Pid, addr: VirtAddr) -> MmResult<Option<FrameId>> {
         let proc = self.process(pid)?;
-        Ok(proc
-            .mm
-            .pte(AddressSpace::vpn(addr))
-            .and_then(|p| p.frame()))
+        Ok(proc.mm.pte(AddressSpace::vpn(addr)).and_then(|p| p.frame()))
     }
 
     /// Physical frames for each page of `[addr, addr+len)`; `None` entries
@@ -610,7 +663,11 @@ impl Kernel {
             swapped_pages: swapped,
             orphaned_frames: self.count_orphaned_frames(),
             swap_cache_frames: self.swap_cache.len(),
-            bigphys_frames: self.bigphys.as_ref().map(|b| b.reserved_frames() as usize).unwrap_or(0),
+            bigphys_frames: self
+                .bigphys
+                .as_ref()
+                .map(|b| b.reserved_frames() as usize)
+                .unwrap_or(0),
         }
     }
 
@@ -652,7 +709,9 @@ mod tests {
     fn mmap_write_read() {
         let mut k = Kernel::new(KernelConfig::small());
         let pid = k.spawn_process(Capabilities::default());
-        let a = k.mmap_anon(pid, 3 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let a = k
+            .mmap_anon(pid, 3 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         let msg = b"the quick brown fox";
         k.write_user(pid, a + 100, msg).unwrap();
         let mut out = vec![0u8; msg.len()];
@@ -664,7 +723,9 @@ mod tests {
     fn cross_page_write() {
         let mut k = Kernel::new(KernelConfig::small());
         let pid = k.spawn_process(Capabilities::default());
-        let a = k.mmap_anon(pid, 3 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let a = k
+            .mmap_anon(pid, 3 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         let data: Vec<u8> = (0..PAGE_SIZE + 100).map(|i| (i % 251) as u8).collect();
         k.write_user(pid, a + 4000, &data).unwrap();
         let mut out = vec![0u8; data.len()];
@@ -698,7 +759,9 @@ mod tests {
         let mut k = Kernel::new(KernelConfig::small());
         let pid = k.spawn_process(Capabilities::default());
         let free0 = k.free_frames();
-        let a = k.mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let a = k
+            .mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         k.touch_pages(pid, a, 4 * PAGE_SIZE, true).unwrap();
         assert_eq!(k.free_frames(), free0 - 4);
         k.munmap(pid, a, 4 * PAGE_SIZE).unwrap();
@@ -710,7 +773,9 @@ mod tests {
         let mut k = Kernel::new(KernelConfig::small());
         let pid = k.spawn_process(Capabilities::default());
         let free0 = k.free_frames();
-        let a = k.mmap_anon(pid, 8 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let a = k
+            .mmap_anon(pid, 8 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         k.touch_pages(pid, a, 8 * PAGE_SIZE, true).unwrap();
         k.exit_process(pid).unwrap();
         assert_eq!(k.free_frames(), free0);
@@ -722,7 +787,9 @@ mod tests {
         // Locktest step 1: writing every page yields pairwise-distinct frames.
         let mut k = Kernel::new(KernelConfig::small());
         let pid = k.spawn_process(Capabilities::default());
-        let a = k.mmap_anon(pid, 16 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let a = k
+            .mmap_anon(pid, 16 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         k.touch_pages(pid, a, 16 * PAGE_SIZE, true).unwrap();
         let frames = k.frames_of_range(pid, a, 16 * PAGE_SIZE).unwrap();
         let mut set = std::collections::HashSet::new();
@@ -735,14 +802,20 @@ mod tests {
     fn meminfo_snapshot_accounts() {
         let mut k = Kernel::new(KernelConfig::small());
         let pid = k.spawn_process(Capabilities::default());
-        let a = k.mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let a = k
+            .mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         k.touch_pages(pid, a, 4 * PAGE_SIZE, true).unwrap();
         let mi = k.meminfo();
         assert_eq!(mi.total_frames, 256);
         assert_eq!(mi.resident_pages, 4);
         assert_eq!(mi.swapped_pages, 0);
         assert_eq!(mi.orphaned_frames, 0);
-        assert_eq!(mi.free_frames + 4 + 9, 256, "free + resident + reserved(8+zero)");
+        assert_eq!(
+            mi.free_frames + 4 + 9,
+            256,
+            "free + resident + reserved(8+zero)"
+        );
     }
 
     #[test]
@@ -767,7 +840,9 @@ mod tests {
     fn read_touch_maps_zero_page() {
         let mut k = Kernel::new(KernelConfig::small());
         let pid = k.spawn_process(Capabilities::default());
-        let a = k.mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let a = k
+            .mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         k.touch_pages(pid, a, 4 * PAGE_SIZE, false).unwrap();
         for f in k.frames_of_range(pid, a, 4 * PAGE_SIZE).unwrap() {
             assert_eq!(f, Some(k.zero_frame()), "read faults map the zero page");

@@ -168,7 +168,9 @@ mod tests {
     fn setup() -> (Kernel, Pid, VirtAddr) {
         let mut k = Kernel::new(KernelConfig::small());
         let pid = k.spawn_process(Capabilities::default());
-        let a = k.mmap_anon(pid, 8 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let a = k
+            .mmap_anon(pid, 8 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         (k, pid, a)
     }
 
@@ -209,14 +211,8 @@ mod tests {
         k.lock_kiobuf(id).unwrap();
         let f = k.kiobuf(id).unwrap().frames[0];
         assert!(k.page_descriptor(f).flags.contains(PageFlags::LOCKED));
-        assert!(matches!(
-            k.lock_kiobuf(id),
-            Err(MmError::KiobufState(_))
-        ));
-        assert!(matches!(
-            k.unmap_kiobuf(id),
-            Err(MmError::KiobufState(_)),
-        ));
+        assert!(matches!(k.lock_kiobuf(id), Err(MmError::KiobufState(_))));
+        assert!(matches!(k.unmap_kiobuf(id), Err(MmError::KiobufState(_)),));
         k.unlock_kiobuf(id).unwrap();
         assert!(!k.page_descriptor(f).flags.contains(PageFlags::LOCKED));
         k.unmap_kiobuf(id).unwrap();
@@ -246,7 +242,9 @@ mod tests {
     fn unaligned_range_covers_both_pages() {
         let (mut k, pid, a) = setup();
         // Range straddling a page boundary must pin both pages.
-        let id = k.map_user_kiobuf(pid, a + PAGE_SIZE as u64 - 10, 20).unwrap();
+        let id = k
+            .map_user_kiobuf(pid, a + PAGE_SIZE as u64 - 10, 20)
+            .unwrap();
         assert_eq!(k.kiobuf(id).unwrap().frames.len(), 2);
         k.unmap_kiobuf(id).unwrap();
     }

@@ -55,7 +55,9 @@ impl Kernel {
 
         {
             let proc = self.process_mut(pid)?;
-            proc.mm.vmas.for_range_mut(start, end, |v| v.flags.locked = lock);
+            proc.mm
+                .vmas
+                .for_range_mut(start, end, |v| v.flags.locked = lock);
             proc.mm.vmas.merge_adjacent();
         }
 
@@ -110,8 +112,13 @@ mod tests {
     fn mlock_requires_capability() {
         let mut k = Kernel::new(KernelConfig::small());
         let pid = k.spawn_process(Capabilities::default());
-        let a = k.mmap_anon(pid, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
-        assert_eq!(k.sys_mlock(pid, a, PAGE_SIZE), Err(MmError::PermissionDenied));
+        let a = k
+            .mmap_anon(pid, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        assert_eq!(
+            k.sys_mlock(pid, a, PAGE_SIZE),
+            Err(MmError::PermissionDenied)
+        );
         // The cap_raise / cap_lower dance from the paper:
         k.cap_raise_ipc_lock(pid).unwrap();
         k.sys_mlock(pid, a, PAGE_SIZE).unwrap();
@@ -123,7 +130,9 @@ mod tests {
     fn mlock_makes_pages_present() {
         let mut k = Kernel::new(KernelConfig::small());
         let pid = k.spawn_process(Capabilities::root());
-        let a = k.mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let a = k
+            .mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         assert_eq!(k.rss(pid).unwrap(), 0);
         k.sys_mlock(pid, a, 4 * PAGE_SIZE).unwrap();
         assert_eq!(k.rss(pid).unwrap(), 4);
@@ -133,11 +142,15 @@ mod tests {
     fn mlock_splits_and_munlock_merges() {
         let mut k = Kernel::new(KernelConfig::small());
         let pid = k.spawn_process(Capabilities::root());
-        let a = k.mmap_anon(pid, 10 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let a = k
+            .mmap_anon(pid, 10 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         assert_eq!(k.vma_count(pid).unwrap(), 1);
-        k.sys_mlock(pid, a + 2 * PAGE_SIZE as u64, 3 * PAGE_SIZE).unwrap();
+        k.sys_mlock(pid, a + 2 * PAGE_SIZE as u64, 3 * PAGE_SIZE)
+            .unwrap();
         assert_eq!(k.vma_count(pid).unwrap(), 3);
-        k.sys_munlock(pid, a + 2 * PAGE_SIZE as u64, 3 * PAGE_SIZE).unwrap();
+        k.sys_munlock(pid, a + 2 * PAGE_SIZE as u64, 3 * PAGE_SIZE)
+            .unwrap();
         assert_eq!(k.vma_count(pid).unwrap(), 1, "merge restores one VMA");
     }
 
@@ -146,18 +159,26 @@ mod tests {
         // The paper's complaint: lock twice, unlock once → unlocked.
         let mut k = Kernel::new(KernelConfig::small());
         let pid = k.spawn_process(Capabilities::root());
-        let a = k.mmap_anon(pid, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let a = k
+            .mmap_anon(pid, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         k.sys_mlock(pid, a, PAGE_SIZE).unwrap();
         k.sys_mlock(pid, a, PAGE_SIZE).unwrap();
         k.sys_munlock(pid, a, PAGE_SIZE).unwrap();
-        assert_eq!(k.locked_bytes(pid).unwrap(), 0, "single munlock annuls both locks");
+        assert_eq!(
+            k.locked_bytes(pid).unwrap(),
+            0,
+            "single munlock annuls both locks"
+        );
     }
 
     #[test]
     fn mlock_hole_fails() {
         let mut k = Kernel::new(KernelConfig::small());
         let pid = k.spawn_process(Capabilities::root());
-        let a = k.mmap_anon(pid, 2 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let a = k
+            .mmap_anon(pid, 2 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         // Range extending beyond the mapping has a hole.
         assert!(matches!(
             k.sys_mlock(pid, a, 4 * PAGE_SIZE),
@@ -169,12 +190,12 @@ mod tests {
     fn rlimit_enforced() {
         let mut k = Kernel::new(KernelConfig::small());
         let pid = k.spawn_process(Capabilities::root());
-        k.set_rlimit_memlock(pid, Some(2 * PAGE_SIZE as u64)).unwrap();
-        let a = k.mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
-        assert_eq!(
-            k.sys_mlock(pid, a, 4 * PAGE_SIZE),
-            Err(MmError::MlockLimit)
-        );
+        k.set_rlimit_memlock(pid, Some(2 * PAGE_SIZE as u64))
+            .unwrap();
+        let a = k
+            .mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        assert_eq!(k.sys_mlock(pid, a, 4 * PAGE_SIZE), Err(MmError::MlockLimit));
         assert!(k.sys_mlock(pid, a, 2 * PAGE_SIZE).is_ok());
     }
 }

@@ -87,11 +87,8 @@ impl Kernel {
                 let present = self
                     .process(pid)
                     .map(|p| {
-                        p.mm.present_vpns_in(
-                            AddressSpace::vpn(start),
-                            AddressSpace::vpn(end),
-                        )
-                        .len() as u64
+                        p.mm.present_vpns_in(AddressSpace::vpn(start), AddressSpace::vpn(end))
+                            .len() as u64
                     })
                     .unwrap_or(0);
                 self.stats.skipped_vm_locked += present;
@@ -234,8 +231,11 @@ mod tests {
     fn pressure_triggers_swapping() {
         let mut k = tight();
         let victim = k.spawn_process(Capabilities::default());
-        let vbuf = k.mmap_anon(victim, 16 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
-        k.write_user(victim, vbuf, &vec![7u8; 16 * PAGE_SIZE]).unwrap();
+        let vbuf = k
+            .mmap_anon(victim, 16 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        k.write_user(victim, vbuf, &vec![7u8; 16 * PAGE_SIZE])
+            .unwrap();
 
         // Allocator antagonist: takes (nearly) all remaining memory.
         let hog = k.spawn_process(Capabilities::default());
@@ -255,8 +255,11 @@ mod tests {
     fn vm_locked_pages_survive_in_place() {
         let mut k = tight();
         let victim = k.spawn_process(Capabilities::root());
-        let vbuf = k.mmap_anon(victim, 8 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
-        k.write_user(victim, vbuf, &vec![9u8; 8 * PAGE_SIZE]).unwrap();
+        let vbuf = k
+            .mmap_anon(victim, 8 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        k.write_user(victim, vbuf, &vec![9u8; 8 * PAGE_SIZE])
+            .unwrap();
         let before = k.frames_of_range(victim, vbuf, 8 * PAGE_SIZE).unwrap();
         k.sys_mlock(victim, vbuf, 8 * PAGE_SIZE).unwrap();
 
@@ -274,8 +277,11 @@ mod tests {
     fn pg_locked_pages_are_skipped() {
         let mut k = tight();
         let victim = k.spawn_process(Capabilities::default());
-        let vbuf = k.mmap_anon(victim, 4 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
-        k.write_user(victim, vbuf, &vec![3u8; 4 * PAGE_SIZE]).unwrap();
+        let vbuf = k
+            .mmap_anon(victim, 4 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        k.write_user(victim, vbuf, &vec![3u8; 4 * PAGE_SIZE])
+            .unwrap();
         let frames = k.frames_of_range(victim, vbuf, 4 * PAGE_SIZE).unwrap();
         for f in frames.iter().flatten() {
             k.raw_set_page_flag(*f, PageFlags::LOCKED);
@@ -300,7 +306,9 @@ mod tests {
         // back elsewhere.
         let mut k = tight();
         let victim = k.spawn_process(Capabilities::default());
-        let vbuf = k.mmap_anon(victim, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let vbuf = k
+            .mmap_anon(victim, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         k.write_user(victim, vbuf, b"pinned?").unwrap();
         let f0 = k.frame_of(victim, vbuf).unwrap().unwrap();
         k.raw_get_page(f0); // Berkeley-VIA / M-VIA style "pin"
@@ -311,7 +319,10 @@ mod tests {
         k.write_user(hog, hbuf, &vec![1u8; total]).unwrap();
 
         // The page must have been evicted despite the refcount.
-        assert!(k.frame_of(victim, vbuf).unwrap().is_none(), "PTE redirected to swap");
+        assert!(
+            k.frame_of(victim, vbuf).unwrap().is_none(),
+            "PTE redirected to swap"
+        );
         assert!(k.stats.orphaned_pages >= 1);
 
         // Touch it back in: lands on a different frame.

@@ -23,8 +23,7 @@ fn pressure(k: &mut Kernel, pages: usize) {
         .mmap_anon(hog, pages * PAGE_SIZE, prot::READ | prot::WRITE)
         .unwrap();
     for i in 0..pages {
-        if k
-            .write_user(hog, hbuf + (i * PAGE_SIZE) as u64, &[1u8; 8])
+        if k.write_user(hog, hbuf + (i * PAGE_SIZE) as u64, &[1u8; 8])
             .is_err()
         {
             break;
@@ -36,7 +35,9 @@ fn pressure(k: &mut Kernel, pages: usize) {
 fn pinned_page_comes_back_as_the_same_frame() {
     let mut k = tight(true);
     let pid = k.spawn_process(Capabilities::default());
-    let a = k.mmap_anon(pid, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let a = k
+        .mmap_anon(pid, PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
     k.write_user(pid, a, b"cached").unwrap();
     let f0 = k.frame_of(pid, a).unwrap().unwrap();
     k.raw_get_page(f0); // refcount pin (2.4 drivers relied on this + cache)
@@ -50,9 +51,17 @@ fn pinned_page_comes_back_as_the_same_frame() {
     let mut out = [0u8; 6];
     k.read_user(pid, a, &mut out).unwrap();
     assert_eq!(&out, b"cached");
-    assert_eq!(k.frame_of(pid, a).unwrap(), Some(f0), "swap cache reunified the frame");
+    assert_eq!(
+        k.frame_of(pid, a).unwrap(),
+        Some(f0),
+        "swap cache reunified the frame"
+    );
     assert!(k.stats.swap_cache_hits >= 1);
-    assert_eq!(k.count_orphaned_frames(), 0, "no orphans under 2.4 semantics");
+    assert_eq!(
+        k.count_orphaned_frames(),
+        0,
+        "no orphans under 2.4 semantics"
+    );
     k.raw_put_page(f0).unwrap();
 }
 
@@ -63,7 +72,9 @@ fn dma_write_during_swapout_window_is_preserved() {
     // after the refault.
     let mut k = tight(true);
     let pid = k.spawn_process(Capabilities::default());
-    let a = k.mmap_anon(pid, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let a = k
+        .mmap_anon(pid, PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
     k.write_user(pid, a, b"old").unwrap();
     let f0 = k.frame_of(pid, a).unwrap().unwrap();
     k.raw_get_page(f0);
@@ -84,7 +95,9 @@ fn dma_write_during_swapout_window_is_preserved() {
 fn without_cache_the_same_sequence_loses_the_write() {
     let mut k = tight(false);
     let pid = k.spawn_process(Capabilities::default());
-    let a = k.mmap_anon(pid, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let a = k
+        .mmap_anon(pid, PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
     k.write_user(pid, a, b"old").unwrap();
     let f0 = k.frame_of(pid, a).unwrap().unwrap();
     k.raw_get_page(f0);
@@ -103,7 +116,9 @@ fn without_cache_the_same_sequence_loses_the_write() {
 fn unpinned_pages_never_enter_the_cache() {
     let mut k = tight(true);
     let pid = k.spawn_process(Capabilities::default());
-    let a = k.mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let a = k
+        .mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
     k.write_user(pid, a, &[9u8; 4 * PAGE_SIZE]).unwrap();
     pressure(&mut k, 80);
     assert_eq!(k.swap_cache_len(), 0, "count==1 pages are freed outright");
@@ -117,7 +132,9 @@ fn unpinned_pages_never_enter_the_cache() {
 fn dropping_the_pin_empties_the_cache() {
     let mut k = tight(true);
     let pid = k.spawn_process(Capabilities::default());
-    let a = k.mmap_anon(pid, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let a = k
+        .mmap_anon(pid, PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
     k.write_user(pid, a, b"x").unwrap();
     let f0 = k.frame_of(pid, a).unwrap().unwrap();
     k.raw_get_page(f0);
@@ -136,7 +153,9 @@ fn dropping_the_pin_empties_the_cache() {
 fn exit_with_cached_pages_is_clean() {
     let mut k = tight(true);
     let pid = k.spawn_process(Capabilities::default());
-    let a = k.mmap_anon(pid, 2 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let a = k
+        .mmap_anon(pid, 2 * PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
     k.write_user(pid, a, &[5u8; 2 * PAGE_SIZE]).unwrap();
     let frames: Vec<_> = k
         .frames_of_range(pid, a, 2 * PAGE_SIZE)

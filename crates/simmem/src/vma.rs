@@ -149,11 +149,7 @@ impl VmaSet {
     pub fn remove_range(&mut self, start: VirtAddr, end: VirtAddr) -> Vec<VmArea> {
         self.split_at(start);
         self.split_at(end);
-        let keys: Vec<VirtAddr> = self
-            .areas
-            .range(start..end)
-            .map(|(k, _)| *k)
-            .collect();
+        let keys: Vec<VirtAddr> = self.areas.range(start..end).map(|(k, _)| *k).collect();
         keys.into_iter()
             .filter_map(|k| self.areas.remove(&k))
             .collect()

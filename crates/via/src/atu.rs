@@ -102,7 +102,8 @@ impl Node {
             let frame = simmem::FrameId(w.block.base.0 + (abs / PAGE_SIZE) as u32);
             let in_page = abs % PAGE_SIZE;
             let chunk = (out.len() - done).min(PAGE_SIZE - in_page);
-            self.kernel.dma_read(frame, in_page, &mut out[done..done + chunk])?;
+            self.kernel
+                .dma_read(frame, in_page, &mut out[done..done + chunk])?;
             done += chunk;
         }
         Ok(())
@@ -156,7 +157,11 @@ mod tests {
     fn export_rounds_to_window_granularity() {
         let mut n = node_with_bigphys();
         let w = n.export_window(10 * PAGE_SIZE).unwrap();
-        assert_eq!(w.reserved_frames(), 128, "10 pages cost a full 512 KiB window");
+        assert_eq!(
+            w.reserved_frames(),
+            128,
+            "10 pages cost a full 512 KiB window"
+        );
         assert_eq!(w.base().0 % WINDOW_ALIGN_FRAMES, 0, "aligned");
         // A second window fits (512 − 128 ≥ 128)…
         let w2 = n.export_window(PAGE_SIZE).unwrap();
@@ -212,14 +217,22 @@ mod tests {
         let pid = n.kernel.spawn_process(Capabilities::default());
         let w = n.export_window(2 * PAGE_SIZE).unwrap();
         let va = n.map_window(pid, &w).unwrap();
-        n.kernel.write_user(pid, va, b"pinned by construction").unwrap();
+        n.kernel
+            .write_user(pid, va, b"pinned by construction")
+            .unwrap();
         let hog = n.kernel.spawn_process(Capabilities::default());
         let hb = n
             .kernel
-            .mmap_anon(hog, 800 * PAGE_SIZE, simmem::prot::READ | simmem::prot::WRITE)
+            .mmap_anon(
+                hog,
+                800 * PAGE_SIZE,
+                simmem::prot::READ | simmem::prot::WRITE,
+            )
             .unwrap();
         for i in 0..800 {
-            let _ = n.kernel.write_user(hog, hb + (i * PAGE_SIZE) as u64, &[1u8; 8]);
+            let _ = n
+                .kernel
+                .write_user(hog, hb + (i * PAGE_SIZE) as u64, &[1u8; 8]);
         }
         let mut out = [0u8; 22];
         n.window_read(&w, 0, &mut out).unwrap();

@@ -161,9 +161,11 @@ impl Node {
     ) -> ViaResult<MemId> {
         let handle = self.registry.register(&mut self.kernel, pid, addr, len)?;
         let frames = self.registry.frames(handle)?.to_vec();
-        match self.nic.tpt.insert_region(
-            handle, pid, addr, len, &frames, tag, rdma_write, rdma_read,
-        ) {
+        match self
+            .nic
+            .tpt
+            .insert_region(handle, pid, addr, len, &frames, tag, rdma_write, rdma_read)
+        {
             Ok(mem_id) => Ok(mem_id),
             Err(e) => {
                 // TPT full: undo the pin.
@@ -176,7 +178,8 @@ impl Node {
     /// `VipDeregisterMem`.
     pub fn deregister_mem(&mut self, mem_id: MemId) -> ViaResult<()> {
         let region = self.nic.tpt.remove_region(mem_id)?;
-        self.registry.deregister(&mut self.kernel, region.reg_handle)?;
+        self.registry
+            .deregister(&mut self.kernel, region.reg_handle)?;
         Ok(())
     }
 
@@ -188,11 +191,15 @@ impl Node {
             let mut remaining = seg.len;
             let mut addr = seg.addr;
             while remaining > 0 {
-                let (frame, off) = self.nic.tpt.translate(seg.mem, addr, vi_tag, Access::Local)?;
+                let (frame, off) = self
+                    .nic
+                    .tpt
+                    .translate(seg.mem, addr, vi_tag, Access::Local)?;
                 let chunk = remaining.min(PAGE_SIZE - off);
                 let base = out.len();
                 out.resize(base + chunk, 0);
-                self.kernel.dma_read(frame, off, &mut out[base..base + chunk])?;
+                self.kernel
+                    .dma_read(frame, off, &mut out[base..base + chunk])?;
                 addr += chunk as u64;
                 remaining -= chunk;
             }
@@ -216,7 +223,10 @@ impl Node {
             let mut addr = seg.addr;
             let mut room = seg.len;
             while room > 0 && written < data.len() {
-                let (frame, off) = self.nic.tpt.translate(seg.mem, addr, vi_tag, Access::Local)?;
+                let (frame, off) = self
+                    .nic
+                    .tpt
+                    .translate(seg.mem, addr, vi_tag, Access::Local)?;
                 let chunk = room.min(PAGE_SIZE - off).min(data.len() - written);
                 self.kernel
                     .dma_write(frame, off, &data[written..written + chunk])?;
@@ -240,7 +250,10 @@ impl Node {
         let mut written = 0usize;
         let mut addr = remote_addr;
         while written < data.len() {
-            let (frame, off) = self.nic.tpt.translate(remote_mem, addr, vi_tag, Access::RdmaWrite)?;
+            let (frame, off) =
+                self.nic
+                    .tpt
+                    .translate(remote_mem, addr, vi_tag, Access::RdmaWrite)?;
             let chunk = (data.len() - written).min(PAGE_SIZE - off);
             self.kernel
                 .dma_write(frame, off, &data[written..written + chunk])?;
@@ -516,11 +529,14 @@ impl Node {
         let mut addr = remote_addr;
         while out.len() < len {
             let (frame, off) =
-                self.nic.tpt.translate(remote_mem, addr, vi_tag, Access::RdmaRead)?;
+                self.nic
+                    .tpt
+                    .translate(remote_mem, addr, vi_tag, Access::RdmaRead)?;
             let chunk = (len - out.len()).min(PAGE_SIZE - off);
             let base = out.len();
             out.resize(base + chunk, 0);
-            self.kernel.dma_read(frame, off, &mut out[base..base + chunk])?;
+            self.kernel
+                .dma_read(frame, off, &mut out[base..base + chunk])?;
             addr += chunk as u64;
         }
         Ok(out)

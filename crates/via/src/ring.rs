@@ -59,8 +59,8 @@ pub fn encode(desc: &Descriptor) -> ViaResult<Vec<u8>> {
         DescOp::RdmaWrite => wire::OP_RDMA_WRITE,
         DescOp::RdmaRead => wire::OP_RDMA_READ,
     };
-    let nsegs = u16::try_from(desc.segs.len())
-        .map_err(|_| ViaError::BadState("too many segments"))?;
+    let nsegs =
+        u16::try_from(desc.segs.len()).map_err(|_| ViaError::BadState("too many segments"))?;
     out[2..4].copy_from_slice(&nsegs.to_le_bytes());
     if let Some(imm) = desc.imm {
         out[4] = 1;
@@ -95,7 +95,9 @@ pub fn decode(bytes: &[u8]) -> ViaResult<Descriptor> {
     };
     let nsegs = u16::from_le_bytes(bytes[2..4].try_into().expect("2 bytes")) as usize;
     let imm = if bytes[4] == 1 {
-        Some(u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")))
+        Some(u32::from_le_bytes(
+            bytes[8..12].try_into().expect("4 bytes"),
+        ))
     } else {
         None
     };
@@ -108,7 +110,10 @@ pub fn decode(bytes: &[u8]) -> ViaResult<Descriptor> {
         let mem = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes"));
         let addr = u64::from_le_bytes(bytes[off + 8..off + 16].try_into().expect("8 bytes"));
         off += wire::ADDR_SIZE;
-        Some(RdmaSeg { remote_mem: MemId(mem), remote_addr: addr })
+        Some(RdmaSeg {
+            remote_mem: MemId(mem),
+            remote_addr: addr,
+        })
     } else {
         None
     };
@@ -117,10 +122,21 @@ pub fn decode(bytes: &[u8]) -> ViaResult<Descriptor> {
         let mem = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes"));
         let len = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("4 bytes")) as usize;
         let addr = u64::from_le_bytes(bytes[off + 8..off + 16].try_into().expect("8 bytes"));
-        segs.push(DataSeg { mem: MemId(mem), addr, len });
+        segs.push(DataSeg {
+            mem: MemId(mem),
+            addr,
+            len,
+        });
         off += wire::SEG_SIZE;
     }
-    Ok(Descriptor { op, segs, rdma, imm, status: DescStatus::Pending, done_len: 0 })
+    Ok(Descriptor {
+        op,
+        segs,
+        rdma,
+        imm,
+        status: DescStatus::Pending,
+        done_len: 0,
+    })
 }
 
 /// Fixed descriptor-slot size in the ring (holds up to 6 data segments
@@ -148,7 +164,14 @@ impl DescriptorRing {
     /// Create a ring over `[base, base + slots*SLOT_SIZE)` of a registered
     /// region. The region must cover the ring.
     pub fn new(mem: MemId, base: VirtAddr, slots: usize) -> Self {
-        DescriptorRing { mem, base, slots, head: 0, tail: 0, doorbell: 0 }
+        DescriptorRing {
+            mem,
+            base,
+            slots,
+            head: 0,
+            tail: 0,
+            doorbell: 0,
+        }
     }
 
     /// Bytes the ring occupies.
@@ -251,8 +274,16 @@ mod tests {
     #[test]
     fn wire_roundtrip_multiseg() {
         let mut d = Descriptor::send(MemId(1), 0x1000, 10);
-        d.segs.push(DataSeg { mem: MemId(2), addr: 0x2000, len: 20 });
-        d.segs.push(DataSeg { mem: MemId(3), addr: 0x3000, len: 30 });
+        d.segs.push(DataSeg {
+            mem: MemId(2),
+            addr: 0x2000,
+            len: 20,
+        });
+        d.segs.push(DataSeg {
+            mem: MemId(3),
+            addr: 0x3000,
+            len: 30,
+        });
         let back = decode(&encode(&d).unwrap()).unwrap();
         assert_eq!(back.segs.len(), 3);
         assert_eq!(back.total_len(), 60);
@@ -272,7 +303,10 @@ mod tests {
         let tag = ProtectionTag(4);
         let slots = 8;
         let len = DescriptorRing::bytes(slots);
-        let base = node.kernel.mmap_anon(pid, len, prot::READ | prot::WRITE).unwrap();
+        let base = node
+            .kernel
+            .mmap_anon(pid, len, prot::READ | prot::WRITE)
+            .unwrap();
         // The ring itself lives in registered memory, as the spec demands.
         let mem = node.register_mem(pid, base, len, tag).unwrap();
         (node, pid, DescriptorRing::new(mem, base, slots), tag)
@@ -292,7 +326,10 @@ mod tests {
         assert_eq!(got.segs[0].len, 1234);
         assert_eq!(got.imm, Some(7));
         assert_eq!(ring.pending(), 0);
-        assert!(ring.fetch_next(&node.kernel, &node.nic.tpt, tag).unwrap().is_none());
+        assert!(ring
+            .fetch_next(&node.kernel, &node.nic.tpt, tag)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -300,8 +337,12 @@ mod tests {
         let (mut node, pid, mut ring, tag) = ring_setup();
         // Fill completely.
         for i in 0..8u32 {
-            ring.post(&mut node.kernel, pid, &Descriptor::send(MemId(i), 0, i as usize))
-                .unwrap();
+            ring.post(
+                &mut node.kernel,
+                pid,
+                &Descriptor::send(MemId(i), 0, i as usize),
+            )
+            .unwrap();
         }
         assert!(matches!(
             ring.post(&mut node.kernel, pid, &Descriptor::send(MemId(9), 0, 9)),
@@ -309,14 +350,21 @@ mod tests {
         ));
         // Drain in order, refill past the wrap point.
         for i in 0..8u32 {
-            let d = ring.fetch_next(&node.kernel, &node.nic.tpt, tag).unwrap().unwrap();
+            let d = ring
+                .fetch_next(&node.kernel, &node.nic.tpt, tag)
+                .unwrap()
+                .unwrap();
             assert_eq!(d.segs[0].mem, MemId(i));
         }
         for i in 100..104u32 {
-            ring.post(&mut node.kernel, pid, &Descriptor::send(MemId(i), 0, 1)).unwrap();
+            ring.post(&mut node.kernel, pid, &Descriptor::send(MemId(i), 0, 1))
+                .unwrap();
         }
         for i in 100..104u32 {
-            let d = ring.fetch_next(&node.kernel, &node.nic.tpt, tag).unwrap().unwrap();
+            let d = ring
+                .fetch_next(&node.kernel, &node.nic.tpt, tag)
+                .unwrap()
+                .unwrap();
             assert_eq!(d.segs[0].mem, MemId(i));
         }
     }
@@ -341,7 +389,10 @@ mod tests {
         let tag = ProtectionTag(4);
         let slots = 8;
         let len = DescriptorRing::bytes(slots);
-        let base = node.kernel.mmap_anon(pid, len, prot::READ | prot::WRITE).unwrap();
+        let base = node
+            .kernel
+            .mmap_anon(pid, len, prot::READ | prot::WRITE)
+            .unwrap();
         let mem = node.register_mem(pid, base, len, tag).unwrap();
         let mut ring = DescriptorRing::new(mem, base, slots);
 
@@ -352,7 +403,9 @@ mod tests {
             .mmap_anon(hog, 200 * PAGE_SIZE, prot::READ | prot::WRITE)
             .unwrap();
         for i in 0..200 {
-            let _ = node.kernel.write_user(hog, hb + (i * PAGE_SIZE) as u64, &[1u8; 8]);
+            let _ = node
+                .kernel
+                .write_user(hog, hb + (i * PAGE_SIZE) as u64, &[1u8; 8]);
         }
 
         // Post through the (refaulted) user mapping; the NIC fetches via

@@ -80,7 +80,13 @@ impl ViaSystem {
     }
 
     /// CPU store into user memory (runs the fault path).
-    pub fn write_user(&mut self, n: NodeId, pid: Pid, addr: VirtAddr, data: &[u8]) -> ViaResult<()> {
+    pub fn write_user(
+        &mut self,
+        n: NodeId,
+        pid: Pid,
+        addr: VirtAddr,
+        data: &[u8],
+    ) -> ViaResult<()> {
         Ok(self.nodes[n].kernel.write_user(pid, addr, data)?)
     }
 
@@ -153,7 +159,8 @@ impl ViaSystem {
         {
             let v = self.nodes[a.0].nic.vi_mut(a.1)?;
             if v.state != ViState::Idle {
-                self.listeners.insert((server_node, discriminator), server_vi);
+                self.listeners
+                    .insert((server_node, discriminator), server_vi);
                 return Err(ViaError::BadState("connect_request on non-idle VI"));
             }
             v.peer = Some((server_node, server_vi));
@@ -336,11 +343,7 @@ impl ViaSystem {
 
     /// [`ViaSystem::sci_write`] with an in-flight byte buffer as source
     /// (used for control words built in registers rather than memory).
-    pub fn sci_write_bytes(
-        &mut self,
-        data: &[u8],
-        dst: (NodeId, MemId, usize),
-    ) -> ViaResult<()> {
+    pub fn sci_write_bytes(&mut self, data: &[u8], dst: (NodeId, MemId, usize)) -> ViaResult<()> {
         let (dn, dmem, doff) = dst;
         let node = &mut self.nodes[dn];
         let region = node.nic.tpt.region(dmem)?.clone();
@@ -351,9 +354,13 @@ impl ViaSystem {
         let mut written = 0usize;
         while written < data.len() {
             let addr = region.user_addr + (doff + written) as u64;
-            let (frame, off) = node.nic.tpt.translate(dmem, addr, tag, crate::tpt::Access::Local)?;
+            let (frame, off) =
+                node.nic
+                    .tpt
+                    .translate(dmem, addr, tag, crate::tpt::Access::Local)?;
             let chunk = (data.len() - written).min(simmem::PAGE_SIZE - off);
-            node.kernel.dma_write(frame, off, &data[written..written + chunk])?;
+            node.kernel
+                .dma_write(frame, off, &data[written..written + chunk])?;
             written += chunk;
         }
         Ok(())
@@ -361,11 +368,7 @@ impl ViaSystem {
 
     /// SCI remote *read* (expensive on real hardware — the CHEMPI paper
     /// avoids it; provided for completeness and tests).
-    pub fn sci_read_bytes(
-        &mut self,
-        src: (NodeId, MemId, usize),
-        out: &mut [u8],
-    ) -> ViaResult<()> {
+    pub fn sci_read_bytes(&mut self, src: (NodeId, MemId, usize), out: &mut [u8]) -> ViaResult<()> {
         let (sn, smem, soff) = src;
         let node = &self.nodes[sn];
         let region = node.nic.tpt.region(smem)?.clone();
@@ -376,9 +379,13 @@ impl ViaSystem {
         let mut read = 0usize;
         while read < out.len() {
             let addr = region.user_addr + (soff + read) as u64;
-            let (frame, off) = node.nic.tpt.translate(smem, addr, tag, crate::tpt::Access::Local)?;
+            let (frame, off) =
+                node.nic
+                    .tpt
+                    .translate(smem, addr, tag, crate::tpt::Access::Local)?;
             let chunk = (out.len() - read).min(simmem::PAGE_SIZE - off);
-            node.kernel.dma_read(frame, off, &mut out[read..read + chunk])?;
+            node.kernel
+                .dma_read(frame, off, &mut out[read..read + chunk])?;
             read += chunk;
         }
         Ok(())
@@ -440,9 +447,7 @@ mod tests {
     use super::*;
     use simmem::{prot, PAGE_SIZE};
 
-    fn two_node_setup(
-        strategy: StrategyKind,
-    ) -> (ViaSystem, Pid, Pid, ViId, ViId, ProtectionTag) {
+    fn two_node_setup(strategy: StrategyKind) -> (ViaSystem, Pid, Pid, ViId, ViId, ProtectionTag) {
         let mut sys = ViaSystem::new(2, KernelConfig::small(), strategy);
         let pa = sys.spawn_process(0);
         let pb = sys.spawn_process(1);
@@ -456,8 +461,12 @@ mod tests {
     #[test]
     fn send_receive_roundtrip() {
         let (mut sys, pa, pb, va, vb, tag) = two_node_setup(StrategyKind::KiobufReliable);
-        let sbuf = sys.mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
-        let rbuf = sys.mmap(1, pb, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let sbuf = sys
+            .mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        let rbuf = sys
+            .mmap(1, pb, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         sys.write_user(0, pa, sbuf, b"payload!").unwrap();
         let sh = sys.register_mem(0, pa, sbuf, PAGE_SIZE, tag).unwrap();
         let rh = sys.register_mem(1, pb, rbuf, PAGE_SIZE, tag).unwrap();
@@ -479,7 +488,9 @@ mod tests {
     #[test]
     fn send_without_recv_breaks_connection() {
         let (mut sys, pa, _pb, va, vb, tag) = two_node_setup(StrategyKind::KiobufReliable);
-        let sbuf = sys.mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let sbuf = sys
+            .mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         sys.write_user(0, pa, sbuf, b"x").unwrap();
         let sh = sys.register_mem(0, pa, sbuf, PAGE_SIZE, tag).unwrap();
         sys.post_send(0, va, sh, sbuf, 1).unwrap();
@@ -496,8 +507,12 @@ mod tests {
     #[test]
     fn rdma_write_roundtrip() {
         let (mut sys, pa, pb, va, _vb, tag) = two_node_setup(StrategyKind::KiobufReliable);
-        let sbuf = sys.mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
-        let rbuf = sys.mmap(1, pb, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let sbuf = sys
+            .mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        let rbuf = sys
+            .mmap(1, pb, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         sys.write_user(0, pa, sbuf, b"one-sided").unwrap();
         let sh = sys.register_mem(0, pa, sbuf, PAGE_SIZE, tag).unwrap();
         let rh = sys.register_mem(1, pb, rbuf, PAGE_SIZE, tag).unwrap();
@@ -517,9 +532,13 @@ mod tests {
         let va = sys.create_vi(0, pa, ProtectionTag(1)).unwrap();
         let vb = sys.create_vi(1, pb, ProtectionTag(2)).unwrap();
         sys.connect((0, va), (1, vb)).unwrap();
-        let sbuf = sys.mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let sbuf = sys
+            .mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         // Buffer registered with a DIFFERENT tag than the VI.
-        let sh = sys.register_mem(0, pa, sbuf, PAGE_SIZE, ProtectionTag(9)).unwrap();
+        let sh = sys
+            .register_mem(0, pa, sbuf, PAGE_SIZE, ProtectionTag(9))
+            .unwrap();
         sys.post_send(0, va, sh, sbuf, 4).unwrap();
         sys.pump().unwrap();
         let c = sys.poll_cq(0, va).unwrap().unwrap();
@@ -531,8 +550,12 @@ mod tests {
     #[test]
     fn recv_too_small_is_dropped() {
         let (mut sys, pa, pb, va, vb, tag) = two_node_setup(StrategyKind::KiobufReliable);
-        let sbuf = sys.mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
-        let rbuf = sys.mmap(1, pb, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let sbuf = sys
+            .mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        let rbuf = sys
+            .mmap(1, pb, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         sys.write_user(0, pa, sbuf, &[9u8; 128]).unwrap();
         let sh = sys.register_mem(0, pa, sbuf, PAGE_SIZE, tag).unwrap();
         let rh = sys.register_mem(1, pb, rbuf, PAGE_SIZE, tag).unwrap();
@@ -540,7 +563,10 @@ mod tests {
         sys.post_send(0, va, sh, sbuf, 128).unwrap();
         assert!(matches!(
             sys.pump(),
-            Err(ViaError::RecvTooSmall { need: 128, have: 16 })
+            Err(ViaError::RecvTooSmall {
+                need: 128,
+                have: 16
+            })
         ));
         assert_eq!(sys.node(1).nic.vi(vb).unwrap().state, ViState::Error);
     }
@@ -570,8 +596,12 @@ mod tests {
     fn sci_pio_write_and_read() {
         let (mut sys, pa, pb, _va, _vb, tag) = two_node_setup(StrategyKind::KiobufReliable);
         // Receiver exports a segment; sender PIO-writes into it.
-        let sbuf = sys.mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
-        let seg = sys.mmap(1, pb, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let sbuf = sys
+            .mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        let seg = sys
+            .mmap(1, pb, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         sys.write_user(0, pa, sbuf, b"PIO store").unwrap();
         let exported = sys.register_mem(1, pb, seg, PAGE_SIZE, tag).unwrap();
         sys.sci_write((0, pa, sbuf), 9, (1, exported, 100)).unwrap();
@@ -593,8 +623,12 @@ mod tests {
     #[test]
     fn rdma_read_roundtrip() {
         let (mut sys, pa, pb, va, _vb, tag) = two_node_setup(StrategyKind::KiobufReliable);
-        let lbuf = sys.mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
-        let rbuf = sys.mmap(1, pb, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let lbuf = sys
+            .mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        let rbuf = sys
+            .mmap(1, pb, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         sys.write_user(1, pb, rbuf, b"remote bytes").unwrap();
         let lh = sys.register_mem(0, pa, lbuf, PAGE_SIZE, tag).unwrap();
         // The remote region must carry the RDMA-read enable attribute.
@@ -617,8 +651,12 @@ mod tests {
     #[test]
     fn rdma_read_requires_read_enable() {
         let (mut sys, pa, pb, va, _vb, tag) = two_node_setup(StrategyKind::KiobufReliable);
-        let lbuf = sys.mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
-        let rbuf = sys.mmap(1, pb, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let lbuf = sys
+            .mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        let rbuf = sys
+            .mmap(1, pb, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         let lh = sys.register_mem(0, pa, lbuf, PAGE_SIZE, tag).unwrap();
         // Default attributes: rdma_read disabled.
         let rh = sys.register_mem(1, pb, rbuf, PAGE_SIZE, tag).unwrap();
@@ -655,7 +693,9 @@ mod tests {
     #[test]
     fn disconnect_flushes_descriptors() {
         let (mut sys, pa, pb, va, vb, tag) = two_node_setup(StrategyKind::KiobufReliable);
-        let rbuf = sys.mmap(1, pb, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let rbuf = sys
+            .mmap(1, pb, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         let rh = sys.register_mem(1, pb, rbuf, PAGE_SIZE, tag).unwrap();
         sys.post_recv(1, vb, rh, rbuf, PAGE_SIZE).unwrap();
         sys.disconnect(0, va).unwrap();
@@ -666,7 +706,9 @@ mod tests {
         assert_eq!(c.status, crate::descriptor::DescStatus::Dropped);
         // The pair can reconnect and work again.
         sys.connect((0, va), (1, vb)).unwrap();
-        let sbuf = sys.mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let sbuf = sys
+            .mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         sys.write_user(0, pa, sbuf, b"again").unwrap();
         let sh = sys.register_mem(0, pa, sbuf, PAGE_SIZE, tag).unwrap();
         sys.post_recv(1, vb, rh, rbuf, PAGE_SIZE).unwrap();
@@ -680,17 +722,29 @@ mod tests {
     #[test]
     fn multi_segment_gather_scatter() {
         let (mut sys, pa, pb, va, vb, tag) = two_node_setup(StrategyKind::KiobufReliable);
-        let sbuf = sys.mmap(0, pa, 2 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
-        let rbuf = sys.mmap(1, pb, 2 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let sbuf = sys
+            .mmap(0, pa, 2 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        let rbuf = sys
+            .mmap(1, pb, 2 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         sys.write_user(0, pa, sbuf, b"AAAA").unwrap();
         sys.write_user(0, pa, sbuf + 1000, b"BBBB").unwrap();
         let sh = sys.register_mem(0, pa, sbuf, 2 * PAGE_SIZE, tag).unwrap();
         let rh = sys.register_mem(1, pb, rbuf, 2 * PAGE_SIZE, tag).unwrap();
         // Gather from two disjoint segments, scatter into two.
         let mut send = Descriptor::send(sh, sbuf, 4);
-        send.segs.push(crate::descriptor::DataSeg { mem: sh, addr: sbuf + 1000, len: 4 });
+        send.segs.push(crate::descriptor::DataSeg {
+            mem: sh,
+            addr: sbuf + 1000,
+            len: 4,
+        });
         let mut recv = Descriptor::recv(rh, rbuf + 100, 5);
-        recv.segs.push(crate::descriptor::DataSeg { mem: rh, addr: rbuf + 500, len: 5 });
+        recv.segs.push(crate::descriptor::DataSeg {
+            mem: rh,
+            addr: rbuf + 500,
+            len: 5,
+        });
         sys.post_recv_desc(1, vb, recv).unwrap();
         sys.post_send_desc(0, va, send.with_imm(0xCAFE)).unwrap();
         sys.pump().unwrap();
@@ -716,8 +770,12 @@ mod tests {
         let v1 = sys.create_vi(0, p1, tag).unwrap();
         let v2 = sys.create_vi(0, p2, tag).unwrap();
         sys.connect((0, v1), (0, v2)).unwrap();
-        let sbuf = sys.mmap(0, p1, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
-        let rbuf = sys.mmap(0, p2, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let sbuf = sys
+            .mmap(0, p1, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        let rbuf = sys
+            .mmap(0, p2, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         sys.write_user(0, p1, sbuf, b"local").unwrap();
         let sh = sys.register_mem(0, p1, sbuf, PAGE_SIZE, tag).unwrap();
         let rh = sys.register_mem(0, p2, rbuf, PAGE_SIZE, tag).unwrap();

@@ -1,5 +1,5 @@
 //! A multi-threaded two-node fabric: each node (kernel + NIC + kernel
-//! agent) runs on its own OS thread; packets travel over crossbeam
+//! agent) runs on its own OS thread; packets travel over std mpsc
 //! channels. This is the concurrency-faithful counterpart of the
 //! deterministic single-threaded [`crate::system::ViaSystem`]: the same
 //! `Node` type, real thread interleavings, no shared state beyond the
@@ -12,9 +12,8 @@
 //! incoming ones, or [`NodeCtx::wait_completion`] to block until a CQ
 //! entry arrives.
 
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
-
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use crate::error::{ViaError, ViaResult};
 use crate::nic::{Node, Packet};
@@ -65,9 +64,7 @@ impl NodeCtx {
             for pkt in self.node.pump_vi_sends(vi, self.index)? {
                 sent += 1;
                 // A closed peer is a torn-down cluster; surface it.
-                self.tx
-                    .send(pkt)
-                    .map_err(|_| ViaError::Disconnected)?;
+                self.tx.send(pkt).map_err(|_| ViaError::Disconnected)?;
             }
         }
         let mut delivered = 0usize;
@@ -80,12 +77,32 @@ impl NodeCtx {
         Ok((sent, delivered))
     }
 
+    /// Ship every pending send without touching the inbound queue.
+    fn ship_sends(&mut self) -> ViaResult<usize> {
+        let mut sent = 0usize;
+        for vi in self.node.nic.vi_ids() {
+            for pkt in self.node.pump_vi_sends(vi, self.index)? {
+                sent += 1;
+                self.tx.send(pkt).map_err(|_| ViaError::Disconnected)?;
+            }
+        }
+        Ok(sent)
+    }
+
     /// Block until a completion appears on `vi`'s CQ (pumping while
     /// waiting), or time out.
+    ///
+    /// Inbound packets are delivered one at a time with a CQ check in
+    /// between, never drained in bulk: once the awaited completion is on
+    /// the CQ the caller gets control back before we consume a message
+    /// whose receive descriptor it has not posted yet. (Bulk draining
+    /// here loses the race against a fast peer: its next message lands
+    /// before our next receive is posted and reliable mode rejects it
+    /// with `NoRecvDescriptor`, tearing the node down.)
     pub fn wait_completion(&mut self, vi: ViId) -> ViaResult<Completion> {
         let deadline = Instant::now() + WAIT_TIMEOUT;
         loop {
-            self.pump()?;
+            self.ship_sends()?;
             if let Some(c) = self.node.nic.vi_mut(vi)?.poll_cq() {
                 return Ok(c);
             }
@@ -99,14 +116,16 @@ impl NodeCtx {
                 }
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => {
-                    // Peer thread finished; drain anything it left behind.
-                    while let Ok(pkt) = self.rx.try_recv() {
+                    // Peer thread finished; drain what it left behind,
+                    // still one packet per CQ check.
+                    loop {
+                        if let Some(c) = self.node.nic.vi_mut(vi)?.poll_cq() {
+                            return Ok(c);
+                        }
+                        let Ok(pkt) = self.rx.try_recv() else { break };
                         for resp in self.node.deliver(pkt)? {
                             let _ = self.tx.send(resp);
                         }
-                    }
-                    if let Some(c) = self.node.nic.vi_mut(vi)?.poll_cq() {
-                        return Ok(c);
                     }
                     return Err(ViaError::Disconnected);
                 }
@@ -134,10 +153,20 @@ where
     F0: FnOnce(&mut NodeCtx) -> ViaResult<R0> + Send,
     F1: FnOnce(&mut NodeCtx) -> ViaResult<R1> + Send,
 {
-    let (tx01, rx01) = unbounded::<Packet>();
-    let (tx10, rx10) = unbounded::<Packet>();
-    let mut ctx0 = NodeCtx { node: node0, index: 0, tx: tx01, rx: rx10 };
-    let mut ctx1 = NodeCtx { node: node1, index: 1, tx: tx10, rx: rx01 };
+    let (tx01, rx01) = channel::<Packet>();
+    let (tx10, rx10) = channel::<Packet>();
+    let mut ctx0 = NodeCtx {
+        node: node0,
+        index: 0,
+        tx: tx01,
+        rx: rx10,
+    };
+    let mut ctx1 = NodeCtx {
+        node: node1,
+        index: 1,
+        tx: tx10,
+        rx: rx01,
+    };
 
     std::thread::scope(|s| {
         let h0 = s.spawn(move || -> ViaResult<(R0, Node)> {
@@ -151,8 +180,16 @@ where
             let _ = ctx1.pump();
             Ok((r, ctx1.node))
         });
-        let r0 = h0.join().map_err(|_| ViaError::BadState("node 0 thread panicked"))??;
-        let r1 = h1.join().map_err(|_| ViaError::BadState("node 1 thread panicked"))??;
+        // Join both threads before propagating either error: bailing on
+        // node 0's error would detach node 1's scope guard mid-run.
+        let r0 = h0
+            .join()
+            .map_err(|_| ViaError::BadState("node 0 thread panicked"))?;
+        let r1 = h1
+            .join()
+            .map_err(|_| ViaError::BadState("node 1 thread panicked"))?;
+        let r0 = r0?;
+        let r1 = r1?;
         Ok((r0, r1))
     })
 }
@@ -180,8 +217,14 @@ mod tests {
         connect_pair(&mut n0, v0, 0, &mut n1, v1, 1).unwrap();
 
         let len = 2 * PAGE_SIZE;
-        let b0 = n0.kernel.mmap_anon(p0, len, prot::READ | prot::WRITE).unwrap();
-        let b1 = n1.kernel.mmap_anon(p1, len, prot::READ | prot::WRITE).unwrap();
+        let b0 = n0
+            .kernel
+            .mmap_anon(p0, len, prot::READ | prot::WRITE)
+            .unwrap();
+        let b1 = n1
+            .kernel
+            .mmap_anon(p1, len, prot::READ | prot::WRITE)
+            .unwrap();
         let m0 = n0.register_mem(p0, b0, len, tag).unwrap();
         let m1 = n1.register_mem(p1, b1, len, tag).unwrap();
 
@@ -265,8 +308,14 @@ mod tests {
         connect_pair(&mut n0, v0, 0, &mut n1, v1, 1).unwrap();
 
         let len = 8 * PAGE_SIZE;
-        let b0 = n0.kernel.mmap_anon(p0, len, prot::READ | prot::WRITE).unwrap();
-        let b1 = n1.kernel.mmap_anon(p1, len, prot::READ | prot::WRITE).unwrap();
+        let b0 = n0
+            .kernel
+            .mmap_anon(p0, len, prot::READ | prot::WRITE)
+            .unwrap();
+        let b1 = n1
+            .kernel
+            .mmap_anon(p1, len, prot::READ | prot::WRITE)
+            .unwrap();
         n0.kernel.write_user(p0, b0, &vec![0xEE; len]).unwrap();
         let m0 = n0.register_mem(p0, b0, len, tag).unwrap();
         let m1 = n1.register_mem(p1, b1, len, tag).unwrap();

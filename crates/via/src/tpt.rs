@@ -121,7 +121,8 @@ impl Tpt {
                 rdma_read,
             });
         }
-        self.free.retain(|&s| !(first_slot..first_slot + npages).contains(&s));
+        self.free
+            .retain(|&s| !(first_slot..first_slot + npages).contains(&s));
         let mem_id = MemId(self.next_mem);
         self.next_mem += 1;
         self.regions.insert(
@@ -251,11 +252,18 @@ mod tests {
     #[test]
     fn translate_checks_bounds_and_tags() {
         let (t, id) = mk_tpt();
-        let (f, off) = t.translate(id, 0x1000 + 50, ProtectionTag(7), Access::Local).unwrap();
+        let (f, off) = t
+            .translate(id, 0x1000 + 50, ProtectionTag(7), Access::Local)
+            .unwrap();
         assert_eq!((f, off), (FrameId(100), 50));
         // Cross into second page.
         let (f, _) = t
-            .translate(id, 0x1000 + PAGE_SIZE as u64 + 1, ProtectionTag(7), Access::Local)
+            .translate(
+                id,
+                0x1000 + PAGE_SIZE as u64 + 1,
+                ProtectionTag(7),
+                Access::Local,
+            )
             .unwrap();
         assert_eq!(f, FrameId(101));
         // Below and beyond the region.
@@ -302,7 +310,9 @@ mod tests {
             t.translate(id, 0x4000, ProtectionTag(1), Access::RdmaRead),
             Err(ViaError::RdmaDisabled)
         );
-        assert!(t.translate(id, 0x4000, ProtectionTag(1), Access::Local).is_ok());
+        assert!(t
+            .translate(id, 0x4000, ProtectionTag(1), Access::Local)
+            .is_ok());
     }
 
     #[test]

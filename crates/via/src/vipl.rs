@@ -134,8 +134,12 @@ mod tests {
         let va = VipCreateVi(&mut sys, 0, pa, tag).unwrap();
         let vb = VipCreateVi(&mut sys, 1, pb, tag).unwrap();
         VipConnect(&mut sys, (0, va), (1, vb)).unwrap();
-        let sbuf = sys.mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
-        let rbuf = sys.mmap(1, pb, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let sbuf = sys
+            .mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        let rbuf = sys
+            .mmap(1, pb, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         sys.write_user(0, pa, sbuf, b"VIPL").unwrap();
         let sh = VipRegisterMem(&mut sys, 0, pa, sbuf, PAGE_SIZE, tag).unwrap();
         let rh = VipRegisterMem(&mut sys, 1, pb, rbuf, PAGE_SIZE, tag).unwrap();

@@ -1,0 +1,268 @@
+//! Registration fast-path micro-benchmark (criterion-free, offline).
+//!
+//! Measures the three paths the fast-path overhaul targets and writes the
+//! numbers to `BENCH_regpath.json` in the repository root:
+//!
+//! * `register`/`deregister` cost per strategy × region size (the batched
+//!   pin paths);
+//! * `find_covering` cost and probe count as the live-region count grows
+//!   (the interval index — the probe column is the deterministic witness
+//!   that lookups no longer scan the table);
+//! * registration-cache acquire cost for exact hits, covering hits and
+//!   misses (the O(1)-release / O(log n)-eviction LRU).
+//!
+//! Wall-clock numbers are medians over `REPS` timed batches; probe counts
+//! are exact. Run with `cargo run --release --bin regpath_bench`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use simmem::{prot, Capabilities, Kernel, KernelConfig, Pid, PAGE_SIZE};
+use vialock::{MemoryRegistry, RegistrationCache, StrategyKind};
+
+const REPS: usize = 7;
+
+fn kernel() -> (Kernel, Pid) {
+    let mut k = Kernel::new(KernelConfig {
+        nframes: 1 << 16,
+        reserved_frames: 128,
+        swap_slots: 1 << 17,
+        default_rlimit_memlock: None,
+        swap_cache: false,
+    });
+    let pid = k.spawn_process(Capabilities::default());
+    (k, pid)
+}
+
+/// Median of `REPS` runs of `f`, each returning (total_ns, per-op count).
+fn median_ns_per_op(mut f: impl FnMut() -> (u128, usize)) -> f64 {
+    let mut samples: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let (ns, n) = f();
+            ns as f64 / n as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn bench_register(strategy: StrategyKind, npages: usize) -> (f64, f64) {
+    let (mut k, pid) = kernel();
+    let iters = 64;
+    let buf = k
+        .mmap_anon(pid, iters * npages * PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
+    let mut reg = MemoryRegistry::new(strategy);
+    let reg_ns = median_ns_per_op(|| {
+        let t = Instant::now();
+        let handles: Vec<_> = (0..iters)
+            .map(|i| {
+                reg.register(
+                    &mut k,
+                    pid,
+                    buf + (i * npages * PAGE_SIZE) as u64,
+                    npages * PAGE_SIZE,
+                )
+                .unwrap()
+            })
+            .collect();
+        let ns = t.elapsed().as_nanos();
+        for h in handles {
+            reg.deregister(&mut k, h).unwrap();
+        }
+        (ns, iters)
+    });
+    let dereg_ns = median_ns_per_op(|| {
+        let handles: Vec<_> = (0..iters)
+            .map(|i| {
+                reg.register(
+                    &mut k,
+                    pid,
+                    buf + (i * npages * PAGE_SIZE) as u64,
+                    npages * PAGE_SIZE,
+                )
+                .unwrap()
+            })
+            .collect();
+        let t = Instant::now();
+        for h in handles {
+            reg.deregister(&mut k, h).unwrap();
+        }
+        (t.elapsed().as_nanos(), iters)
+    });
+    (reg_ns, dereg_ns)
+}
+
+fn bench_find_covering(live: usize) -> (f64, usize) {
+    let (mut k, pid) = kernel();
+    let buf = k
+        .mmap_anon(pid, live * PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
+    let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable);
+    let handles: Vec<_> = (0..live)
+        .map(|i| {
+            reg.register(&mut k, pid, buf + (i * PAGE_SIZE) as u64, PAGE_SIZE)
+                .unwrap()
+        })
+        .collect();
+    let iters = 4096;
+    let lookup_ns = median_ns_per_op(|| {
+        let t = Instant::now();
+        let mut found = 0usize;
+        for i in 0..iters {
+            let q = buf + (((i * 31) % live) * PAGE_SIZE) as u64;
+            found += usize::from(reg.find_covering(pid, q, PAGE_SIZE).is_some());
+        }
+        assert_eq!(found, iters);
+        (t.elapsed().as_nanos(), iters)
+    });
+    let (_, probes) =
+        reg.find_covering_probed(pid, buf + ((live / 2) * PAGE_SIZE) as u64, PAGE_SIZE);
+    for h in handles {
+        reg.deregister(&mut k, h).unwrap();
+    }
+    (lookup_ns, probes)
+}
+
+fn bench_cache() -> (f64, f64, f64) {
+    let (mut k, pid) = kernel();
+    let buf = k
+        .mmap_anon(pid, 4096 * PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
+    let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable);
+    let mut cache = RegistrationCache::new(1 << 20);
+    // Warm 512 cached 8-page spans.
+    let spans = 512usize;
+    for i in 0..spans {
+        let h = cache
+            .acquire(
+                &mut k,
+                &mut reg,
+                pid,
+                buf + (i * 8 * PAGE_SIZE) as u64,
+                8 * PAGE_SIZE,
+            )
+            .unwrap();
+        cache.release(&mut k, &mut reg, h).unwrap();
+    }
+    let iters = 4096;
+    let exact_ns = median_ns_per_op(|| {
+        let t = Instant::now();
+        for i in 0..iters {
+            let a = buf + (((i * 13) % spans) * 8 * PAGE_SIZE) as u64;
+            let h = cache
+                .acquire(&mut k, &mut reg, pid, a, 8 * PAGE_SIZE)
+                .unwrap();
+            cache.release(&mut k, &mut reg, h).unwrap();
+        }
+        (t.elapsed().as_nanos(), iters)
+    });
+    let covering_ns = median_ns_per_op(|| {
+        let t = Instant::now();
+        for i in 0..iters {
+            let a = buf + ((((i * 13) % spans) * 8 + 1) * PAGE_SIZE) as u64;
+            let h = cache
+                .acquire(&mut k, &mut reg, pid, a, 2 * PAGE_SIZE)
+                .unwrap();
+            cache.release(&mut k, &mut reg, h).unwrap();
+        }
+        (t.elapsed().as_nanos(), iters)
+    });
+    // Miss + immediate flush: the full register/admit/evict cycle.
+    let miss_buf = k
+        .mmap_anon(pid, 256 * PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
+    let miss_iters = 256;
+    let miss_ns = median_ns_per_op(|| {
+        let t = Instant::now();
+        for i in 0..miss_iters {
+            let a = miss_buf + (i * PAGE_SIZE) as u64;
+            let h = cache.acquire(&mut k, &mut reg, pid, a, PAGE_SIZE).unwrap();
+            cache.release(&mut k, &mut reg, h).unwrap();
+        }
+        let ns = t.elapsed().as_nanos();
+        // Drop the fresh entries so the next rep misses again.
+        cache.flush(&mut k, &mut reg).unwrap();
+        // Re-warm the hit working set evicted by the flush.
+        for i in 0..spans {
+            let h = cache
+                .acquire(
+                    &mut k,
+                    &mut reg,
+                    pid,
+                    buf + (i * 8 * PAGE_SIZE) as u64,
+                    8 * PAGE_SIZE,
+                )
+                .unwrap();
+            cache.release(&mut k, &mut reg, h).unwrap();
+        }
+        (ns, miss_iters)
+    });
+    (exact_ns, covering_ns, miss_ns)
+}
+
+fn main() {
+    let mut json = String::from("{\n  \"bench\": \"regpath\",\n  \"unit\": \"ns_per_op\",\n");
+
+    json.push_str("  \"register\": {\n");
+    let sizes = [4usize, 64];
+    for (si, strategy) in StrategyKind::ALL.iter().enumerate() {
+        write!(json, "    \"{}\": {{", strategy.label()).unwrap();
+        for (i, &npages) in sizes.iter().enumerate() {
+            let (r, d) = bench_register(*strategy, npages);
+            eprintln!(
+                "register {:>14} {:>3} pages: {:>9.0} ns/reg {:>9.0} ns/dereg",
+                strategy.label(),
+                npages,
+                r,
+                d
+            );
+            write!(
+                json,
+                "{}\"{}p\": {{\"register\": {:.0}, \"deregister\": {:.0}}}",
+                if i == 0 { "" } else { ", " },
+                npages,
+                r,
+                d
+            )
+            .unwrap();
+        }
+        json.push_str(if si + 1 == StrategyKind::ALL.len() {
+            "}\n"
+        } else {
+            "},\n"
+        });
+    }
+    json.push_str("  },\n");
+
+    json.push_str("  \"find_covering\": {\n");
+    let counts = [64usize, 1024, 4096];
+    for (i, &live) in counts.iter().enumerate() {
+        let (ns, probes) = bench_find_covering(live);
+        eprintln!("find_covering {live:>5} live regions: {ns:>7.0} ns/lookup, {probes} probes");
+        writeln!(
+            json,
+            "    \"{}\": {{\"lookup_ns\": {:.0}, \"probes\": {}}}{}",
+            live,
+            ns,
+            probes,
+            if i + 1 == counts.len() { "" } else { "," }
+        )
+        .unwrap();
+    }
+    json.push_str("  },\n");
+
+    let (exact, covering, miss) = bench_cache();
+    eprintln!("cache acquire: exact {exact:.0} ns, covering {covering:.0} ns, miss {miss:.0} ns");
+    write!(
+        json,
+        "  \"cache_acquire\": {{\"exact_hit\": {exact:.0}, \"covering_hit\": {covering:.0}, \"miss\": {miss:.0}}}\n}}\n"
+    )
+    .unwrap();
+
+    // Anchor to the repository root so the output lands in the same place
+    // regardless of the invoking directory.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_regpath.json");
+    std::fs::write(out, &json).expect("write BENCH_regpath.json");
+    println!("{json}");
+}

@@ -33,8 +33,14 @@ pub fn run_cache_experiment(
 ) -> CachePoint {
     let mut cfg = MsgConfig::classic();
     cfg.cache_pages = cache_pages;
-    let mut comm = Comm::new(2, 2, KernelConfig::large(), StrategyKind::KiobufReliable, cfg)
-        .expect("communicator");
+    let mut comm = Comm::new(
+        2,
+        2,
+        KernelConfig::large(),
+        StrategyKind::KiobufReliable,
+        cfg,
+    )
+    .expect("communicator");
 
     // Pools on both sides.
     let sbufs: Vec<_> = (0..working_set)

@@ -85,15 +85,9 @@ pub fn run_locktest_with(
 
     // Step 2: register — pin with the strategy under test and capture the
     // physical addresses into the NIC's TPT.
-    let mem = node
-        .register_mem(pid, buf, len, tag)
-        .expect("registration");
+    let mem = node.register_mem(pid, buf, len, tag).expect("registration");
     let reg_handle = node.nic.tpt.region(mem).expect("region").reg_handle;
-    let frames_at_reg: Vec<_> = node
-        .registry
-        .frames(reg_handle)
-        .expect("frames")
-        .to_vec();
+    let frames_at_reg: Vec<_> = node.registry.frames(reg_handle).expect("frames").to_vec();
 
     // Step 3: the allocator antagonist grabs as much memory as possible.
     let swap_outs_before = node.kernel.stats.swap_outs;
@@ -200,7 +194,10 @@ fn run_locktest_pressured(
     let tag = ProtectionTag(1);
     let pid = node.kernel.spawn_process(Capabilities::default());
     let len = npages * PAGE_SIZE;
-    let buf = node.kernel.mmap_anon(pid, len, prot::READ | prot::WRITE).expect("mmap");
+    let buf = node
+        .kernel
+        .mmap_anon(pid, len, prot::READ | prot::WRITE)
+        .expect("mmap");
     for i in 0..npages {
         node.kernel
             .write_user(pid, buf + (i * PAGE_SIZE) as u64, &[i as u8; 32])
@@ -242,9 +239,18 @@ fn run_locktest_pressured(
 /// The kernel-semantics ablation: refcount-only pinning under 2.2 vs 2.4.
 pub fn run_semantics_ablation(npages: usize) -> Vec<(&'static str, LocktestOutcome)> {
     vec![
-        ("2.2 (no swap cache)", run_locktest_with(StrategyKind::RefcountOnly, npages, false)),
-        ("2.4 (swap cache)", run_locktest_with(StrategyKind::RefcountOnly, npages, true)),
-        ("2.4 + kiobuf", run_locktest_with(StrategyKind::KiobufReliable, npages, true)),
+        (
+            "2.2 (no swap cache)",
+            run_locktest_with(StrategyKind::RefcountOnly, npages, false),
+        ),
+        (
+            "2.4 (swap cache)",
+            run_locktest_with(StrategyKind::RefcountOnly, npages, true),
+        ),
+        (
+            "2.4 + kiobuf",
+            run_locktest_with(StrategyKind::KiobufReliable, npages, true),
+        ),
     ]
 }
 
@@ -257,7 +263,10 @@ mod tests {
         let o = run_locktest(StrategyKind::RefcountOnly, 16);
         assert!(o.swap_outs > 0, "pressure must actually swap");
         assert!(o.pages_moved > 0, "physical addresses changed");
-        assert!(!o.dma_visible, "the first page still contains its original value");
+        assert!(
+            !o.dma_visible,
+            "the first page still contains its original value"
+        );
         assert!(o.orphaned_frames > 0, "orphaned frames remain");
         assert!(!o.reliable);
     }
@@ -283,7 +292,10 @@ mod tests {
         let o = run_locktest(StrategyKind::KiobufReliable, 16);
         assert_eq!(o.pages_moved, 0);
         assert!(o.dma_visible);
-        assert!(o.skipped_pg_locked > 0, "stealer bounced off the page locks");
+        assert!(
+            o.skipped_pg_locked > 0,
+            "stealer bounced off the page locks"
+        );
         assert!(o.reliable);
     }
 
@@ -322,8 +334,7 @@ mod tests {
     fn matrix_verdicts() {
         let m = run_locktest_matrix(8);
         assert_eq!(m.len(), 4);
-        let verdict: Vec<(&str, bool)> =
-            m.iter().map(|o| (o.strategy, o.reliable)).collect();
+        let verdict: Vec<(&str, bool)> = m.iter().map(|o| (o.strategy, o.reliable)).collect();
         assert_eq!(
             verdict,
             vec![

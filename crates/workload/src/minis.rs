@@ -71,7 +71,11 @@ fn network_models() -> Vec<(&'static str, ProtocolCosts)> {
     eth.pio = NetworkProfile::fast_ethernet();
     eth.dma = NetworkProfile::fast_ethernet();
 
-    vec![("sci-scampi", sci), ("via-clan", clan), ("fast-ethernet", eth)]
+    vec![
+        ("sci-scampi", sci),
+        ("via-clan", clan),
+        ("fast-ethernet", eth),
+    ]
 }
 
 /// Run the bucket sort: generate keys, histogram by destination rank,
@@ -96,7 +100,9 @@ pub fn run_mini_is(n_ranks: usize, keys_per_rank: usize, seed: u64) -> IsReport 
     let mut send_offs: Vec<Vec<usize>> = Vec::new();
     let mut send_counts: Vec<Vec<usize>> = Vec::new();
     for r in 0..n_ranks {
-        let keys: Vec<u32> = (0..keys_per_rank).map(|_| rng.random_range(0..KEY_RANGE)).collect();
+        let keys: Vec<u32> = (0..keys_per_rank)
+            .map(|_| rng.random_range(0..KEY_RANGE))
+            .collect();
         let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n_ranks];
         for k in keys {
             buckets[(k / bucket_width) as usize % n_ranks].push(k);
@@ -154,7 +160,8 @@ pub fn run_mini_is(n_ranks: usize, keys_per_rank: usize, seed: u64) -> IsReport 
     let mut sorted_ok = true;
     for d in 0..n_ranks {
         let mut bytes = vec![0u8; recv_totals[d]];
-        comm.read_buffer(d, recv_bufs[d], &mut bytes).expect("read keys");
+        comm.read_buffer(d, recv_bufs[d], &mut bytes)
+            .expect("read keys");
         let mut keys: Vec<u32> = bytes
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
@@ -223,7 +230,10 @@ mod tests {
         assert!(by("sci-scampi") > 2.0 * by("fast-ethernet"));
         assert!(by("via-clan") > 2.0 * by("fast-ethernet"));
         let ratio = by("via-clan") / by("sci-scampi");
-        assert!((0.4..2.5).contains(&ratio), "high-speed nets comparable: {ratio}");
+        assert!(
+            (0.4..2.5).contains(&ratio),
+            "high-speed nets comparable: {ratio}"
+        );
     }
 
     #[test]
@@ -231,9 +241,6 @@ mod tests {
         let a = run_mini_is(2, 500, 7);
         let b = run_mini_is(2, 500, 7);
         assert_eq!(a.bytes_exchanged, b.bytes_exchanged);
-        assert_eq!(
-            a.per_network[0].comm_ns,
-            b.per_network[0].comm_ns
-        );
+        assert_eq!(a.per_network[0].comm_ns, b.per_network[0].comm_ns);
     }
 }

@@ -69,7 +69,11 @@ mod tests {
 
     #[test]
     fn registrations_add_cost() {
-        let base = MsgStats { zc_msgs: 1, dma_bytes: 1 << 20, ..Default::default() };
+        let base = MsgStats {
+            zc_msgs: 1,
+            dma_bytes: 1 << 20,
+            ..Default::default()
+        };
         let with_reg = MsgStats {
             registrations: 2,
             pages_registered: 512,

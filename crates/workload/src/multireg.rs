@@ -33,7 +33,7 @@ fn tight_kernel(npages: usize) -> Kernel {
         reserved_frames: 8,
         swap_slots: npages as u32 * 64,
         default_rlimit_memlock: None,
-            swap_cache: false,
+        swap_cache: false,
     })
 }
 

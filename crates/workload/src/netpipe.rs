@@ -48,19 +48,18 @@ pub fn profile_sweep(profile: &NetworkProfile, sizes: &[usize]) -> Vec<SweepPoin
 
 /// Build a two-rank communicator for the functional sweep.
 pub fn sweep_comm(strategy: StrategyKind) -> Comm {
-    Comm::new(
-        2,
-        2,
-        KernelConfig::large(),
-        strategy,
-        MsgConfig::classic(),
-    )
-    .expect("sweep communicator")
+    Comm::new(2, 2, KernelConfig::large(), strategy, MsgConfig::classic())
+        .expect("sweep communicator")
 }
 
 /// Run `reps` functional ping-pongs of `bytes` and return the event-charged
 /// one-way time and bandwidth.
-pub fn measure_point(comm: &mut Comm, costs: &ProtocolCosts, bytes: usize, reps: usize) -> SweepPoint {
+pub fn measure_point(
+    comm: &mut Comm,
+    costs: &ProtocolCosts,
+    bytes: usize,
+    reps: usize,
+) -> SweepPoint {
     let len = bytes.max(1);
     let sbuf = comm.alloc_buffer(0, len).expect("send buffer");
     let rbuf = comm.alloc_buffer(1, len).expect("recv buffer");
@@ -119,7 +118,10 @@ mod tests {
         let via = profile_sweep(&NetworkProfile::via_clan_mpi(), &sizes);
         // SCI ahead at 1 KB, cLAN ahead at 1 MB (the paper's figure 3).
         let at = |v: &Vec<SweepPoint>, n: usize| {
-            v.iter().find(|p| p.bytes == n).expect("point").bandwidth_mb_s
+            v.iter()
+                .find(|p| p.bytes == n)
+                .expect("point")
+                .bandwidth_mb_s
         };
         assert!(at(&sci, 1024) > at(&via, 1024));
         assert!(at(&via, 1 << 20) > at(&sci, 1 << 20));

@@ -57,7 +57,11 @@ pub fn run_old_style(n_buffers: usize, buf_bytes: usize) -> MmSchemeReport {
     let pid = node.kernel.spawn_process(Capabilities::default());
     // The app's real data structures: scattered anonymous buffers.
     let bufs: Vec<u64> = (0..n_buffers)
-        .map(|_| node.kernel.mmap_anon(pid, buf_bytes, prot::READ | prot::WRITE).unwrap())
+        .map(|_| {
+            node.kernel
+                .mmap_anon(pid, buf_bytes, prot::READ | prot::WRITE)
+                .unwrap()
+        })
         .collect();
 
     // One window sized for a single buffer at a time (the bounce buffer).
@@ -98,7 +102,11 @@ pub fn run_new_style(n_buffers: usize, buf_bytes: usize) -> MmSchemeReport {
     let pid = node.kernel.spawn_process(Capabilities::default());
     let tag = ProtectionTag(1);
     let bufs: Vec<u64> = (0..n_buffers)
-        .map(|_| node.kernel.mmap_anon(pid, buf_bytes, prot::READ | prot::WRITE).unwrap())
+        .map(|_| {
+            node.kernel
+                .mmap_anon(pid, buf_bytes, prot::READ | prot::WRITE)
+                .unwrap()
+        })
         .collect();
 
     let mut intact = true;
@@ -114,10 +122,17 @@ pub fn run_new_style(n_buffers: usize, buf_bytes: usize) -> MmSchemeReport {
             let (frame, in_page) = node
                 .nic
                 .tpt
-                .translate(mem, region.user_addr + off as u64, tag, via::tpt::Access::Local)
+                .translate(
+                    mem,
+                    region.user_addr + off as u64,
+                    tag,
+                    via::tpt::Access::Local,
+                )
                 .unwrap();
             let chunk = (buf_bytes - off).min(PAGE_SIZE - in_page);
-            node.kernel.dma_write(frame, in_page, &payload[off..off + chunk]).unwrap();
+            node.kernel
+                .dma_write(frame, in_page, &payload[off..off + chunk])
+                .unwrap();
             off += chunk;
         }
         let mut check = vec![0u8; buf_bytes];

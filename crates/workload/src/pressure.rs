@@ -77,7 +77,9 @@ mod tests {
         });
         // A victim with resident pages.
         let v = k.spawn_process(Capabilities::default());
-        let a = k.mmap_anon(v, 16 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let a = k
+            .mmap_anon(v, 16 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         k.write_user(v, a, &vec![1u8; 16 * PAGE_SIZE]).unwrap();
 
         let rep = apply_pressure(&mut k, 100);

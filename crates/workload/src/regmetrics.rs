@@ -39,7 +39,9 @@ pub fn measure(strategy: StrategyKind, npages: usize) -> RegMetrics {
     });
     let pid = k.spawn_process(Capabilities::default());
     let len = npages * PAGE_SIZE;
-    let buf = k.mmap_anon(pid, len, prot::READ | prot::WRITE).expect("mmap");
+    let buf = k
+        .mmap_anon(pid, len, prot::READ | prot::WRITE)
+        .expect("mmap");
     let mut reg = MemoryRegistry::new(strategy);
 
     let before: MmStats = k.stats;
@@ -75,7 +77,10 @@ pub fn measure(strategy: StrategyKind, npages: usize) -> RegMetrics {
 
 /// The full matrix for one size.
 pub fn measure_matrix(npages: usize) -> Vec<RegMetrics> {
-    StrategyKind::ALL.into_iter().map(|s| measure(s, npages)).collect()
+    StrategyKind::ALL
+        .into_iter()
+        .map(|s| measure(s, npages))
+        .collect()
 }
 
 #[cfg(test)]
@@ -121,7 +126,9 @@ mod tests {
         // Register 8 pages out of a larger mapping: mlock carves the VMA.
         let mut k = Kernel::new(KernelConfig::small());
         let pid = k.spawn_process(Capabilities::default());
-        let buf = k.mmap_anon(pid, 16 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let buf = k
+            .mmap_anon(pid, 16 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
         let mut reg = MemoryRegistry::new(StrategyKind::VmaMlock);
         let h = reg
             .register(&mut k, pid, buf + 4 * PAGE_SIZE as u64, 8 * PAGE_SIZE)

@@ -48,7 +48,11 @@ pub fn mbs(v: f64) -> String {
 
 /// Format a boolean as the experiment verdict.
 pub fn verdict(ok: bool) -> String {
-    if ok { "OK".into() } else { "FAILS".into() }
+    if ok {
+        "OK".into()
+    } else {
+        "FAILS".into()
+    }
 }
 
 #[cfg(test)]

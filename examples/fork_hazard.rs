@@ -13,38 +13,55 @@ fn main() {
     // --- the hazard ------------------------------------------------------
     let mut k = Kernel::new(KernelConfig::small());
     let parent = k.spawn_process(Capabilities::default());
-    let buf = k.mmap_anon(parent, 2 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let buf = k
+        .mmap_anon(parent, 2 * PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
     k.write_user(parent, buf, b"registered").unwrap();
     let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable);
     let h = reg.register(&mut k, parent, buf, 2 * PAGE_SIZE).unwrap();
-    println!("registered 2 pages with the kiobuf mechanism — consistent: {}",
-        reg.verify_consistency(&k, h).unwrap());
+    println!(
+        "registered 2 pages with the kiobuf mechanism — consistent: {}",
+        reg.verify_consistency(&k, h).unwrap()
+    );
 
     let child = k.fork(parent).unwrap();
     k.write_user(parent, buf, b"post-fork!").unwrap();
-    println!("after fork + parent write     — consistent: {}  <-- the hazard",
-        reg.verify_consistency(&k, h).unwrap());
+    println!(
+        "after fork + parent write     — consistent: {}  <-- the hazard",
+        reg.verify_consistency(&k, h).unwrap()
+    );
     let pinned = reg.frames(h).unwrap()[0];
     k.dma_write(pinned, 0, b"DMA").unwrap();
     let mut out = [0u8; 3];
     k.read_user(child, buf, &mut out).unwrap();
-    println!("NIC DMA through the TPT lands in the CHILD's view: {:?}",
-        String::from_utf8_lossy(&out));
+    println!(
+        "NIC DMA through the TPT lands in the CHILD's view: {:?}",
+        String::from_utf8_lossy(&out)
+    );
     reg.deregister(&mut k, h).unwrap();
 
     // --- the remedy ------------------------------------------------------
     let mut k = Kernel::new(KernelConfig::small());
     let parent = k.spawn_process(Capabilities::default());
-    let buf = k.mmap_anon(parent, 2 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let buf = k
+        .mmap_anon(parent, 2 * PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
     k.write_user(parent, buf, b"registered").unwrap();
     let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable);
     let h = reg.register(&mut k, parent, buf, 2 * PAGE_SIZE).unwrap();
-    k.madvise_dontfork(parent, buf, 2 * PAGE_SIZE, true).unwrap();
+    k.madvise_dontfork(parent, buf, 2 * PAGE_SIZE, true)
+        .unwrap();
     let child = k.fork(parent).unwrap();
     k.write_user(parent, buf, b"post-fork!").unwrap();
-    println!("\nwith madvise(MADV_DONTFORK)   — consistent: {}  <-- the remedy",
-        reg.verify_consistency(&k, h).unwrap());
-    println!("child access to the region: {:?}",
-        k.read_user(child, buf, &mut [0u8; 1]).err().map(|e| e.to_string()));
+    println!(
+        "\nwith madvise(MADV_DONTFORK)   — consistent: {}  <-- the remedy",
+        reg.verify_consistency(&k, h).unwrap()
+    );
+    println!(
+        "child access to the region: {:?}",
+        k.read_user(child, buf, &mut [0u8; 1])
+            .err()
+            .map(|e| e.to_string())
+    );
     reg.deregister(&mut k, h).unwrap();
 }

@@ -16,9 +16,27 @@ fn main() {
     let desc = NetworkDescription {
         n_nodes: 3,
         links: vec![
-            Link { a: 0, b: 1, device: "sci", latency_ns: 3_000, per_byte_ns: 12.2 },
-            Link { a: 1, b: 2, device: "sci", latency_ns: 3_000, per_byte_ns: 12.2 },
-            Link { a: 0, b: 2, device: "ethernet", latency_ns: 125_000, per_byte_ns: 97.0 },
+            Link {
+                a: 0,
+                b: 1,
+                device: "sci",
+                latency_ns: 3_000,
+                per_byte_ns: 12.2,
+            },
+            Link {
+                a: 1,
+                b: 2,
+                device: "sci",
+                latency_ns: 3_000,
+                per_byte_ns: 12.2,
+            },
+            Link {
+                a: 0,
+                b: 2,
+                device: "ethernet",
+                latency_ns: 125_000,
+                per_byte_ns: 97.0,
+            },
         ],
         forward_ns: Some(10_000),
     };
@@ -50,17 +68,28 @@ fn main() {
     let dual = NetworkDescription {
         n_nodes: 2,
         links: vec![
-            Link { a: 0, b: 1, device: "sci", latency_ns: 8_000, per_byte_ns: 12.2 },
-            Link { a: 0, b: 1, device: "clan", latency_ns: 65_000, per_byte_ns: 10.7 },
+            Link {
+                a: 0,
+                b: 1,
+                device: "sci",
+                latency_ns: 8_000,
+                per_byte_ns: 12.2,
+            },
+            Link {
+                a: 0,
+                b: 1,
+                device: "clan",
+                latency_ns: 65_000,
+                per_byte_ns: 10.7,
+            },
         ],
         forward_ns: None,
     };
     println!("\nConnectiontable for a dual-rail pair (device by message size):\n");
-    let rows: Vec<Vec<String>> =
-        device_by_size(&dual, 0, 1, &[64, 4096, 65536, 1 << 22, 1 << 24])
-            .into_iter()
-            .map(|(n, dev)| vec![n.to_string(), dev.to_string()])
-            .collect();
+    let rows: Vec<Vec<String>> = device_by_size(&dual, 0, 1, &[64, 4096, 65536, 1 << 22, 1 << 24])
+        .into_iter()
+        .map(|(n, dev)| vec![n.to_string(), dev.to_string()])
+        .collect();
     println!("{}", markdown_table(&["bytes", "device"], &rows));
 
     // Execute the planned indirect route functionally.
@@ -69,13 +98,20 @@ fn main() {
     let intermediate = r.hops[0].to;
     println!("\nexecuting 0 → 2 via node {intermediate} on the functional stack…");
 
-    let mut c = Comm::new(3, 3, KernelConfig::medium(), StrategyKind::KiobufReliable, MsgConfig::tiny())
-        .expect("communicator");
+    let mut c = Comm::new(
+        3,
+        3,
+        KernelConfig::medium(),
+        StrategyKind::KiobufReliable,
+        MsgConfig::tiny(),
+    )
+    .expect("communicator");
     let msg = b"forwarded through the intermediate, header-wrapped";
     let sbuf = c.alloc_buffer(0, msg.len()).unwrap();
     let rbuf = c.alloc_buffer(2, 128).unwrap();
     c.fill_buffer(0, sbuf, msg).unwrap();
-    c.send_indirect(0, intermediate, 2, 7, sbuf, msg.len()).unwrap();
+    c.send_indirect(0, intermediate, 2, 7, sbuf, msg.len())
+        .unwrap();
     let relayed = c.forward_pump(intermediate).unwrap();
     let env = c.recv_indirect(2, ANY_TAG, rbuf, 128).unwrap();
     let mut out = vec![0u8; env.len];

@@ -38,14 +38,25 @@ fn main() {
         .collect();
     println!(
         "{}",
-        markdown_table(&["bytes", "SCI (ScaMPI)", "VIA (cLAN)", "FastEthernet"], &rows)
+        markdown_table(
+            &["bytes", "SCI (ScaMPI)", "VIA (cLAN)", "FastEthernet"],
+            &rows
+        )
     );
 
     // ---- E6: functional protocol sweep ----------------------------------
     println!("\nE6 — functional protocol sweep (kiobuf pinning, event-charged):\n");
     let pts = protocol_sweep(
         StrategyKind::KiobufReliable,
-        &[64, 1024, 8 * 1024, 32 * 1024, 128 * 1024, 512 * 1024, 2 * 1024 * 1024],
+        &[
+            64,
+            1024,
+            8 * 1024,
+            32 * 1024,
+            128 * 1024,
+            512 * 1024,
+            2 * 1024 * 1024,
+        ],
         2,
     );
     let rows: Vec<Vec<String>> = pts

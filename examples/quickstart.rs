@@ -25,8 +25,12 @@ fn main() {
 
     // Allocate and register communication buffers. Registration faults the
     // pages in, pins them (kiobuf + pin table) and fills the NIC's TPT.
-    let sbuf = sys.mmap(0, alice, 2 * PAGE_SIZE, prot::READ | prot::WRITE).expect("mmap");
-    let rbuf = sys.mmap(1, bob, 2 * PAGE_SIZE, prot::READ | prot::WRITE).expect("mmap");
+    let sbuf = sys
+        .mmap(0, alice, 2 * PAGE_SIZE, prot::READ | prot::WRITE)
+        .expect("mmap");
+    let rbuf = sys
+        .mmap(1, bob, 2 * PAGE_SIZE, prot::READ | prot::WRITE)
+        .expect("mmap");
     let smem = VipRegisterMem(&mut sys, 0, alice, sbuf, 2 * PAGE_SIZE, tag).expect("register");
     let rmem = VipRegisterMem(&mut sys, 1, bob, rbuf, 2 * PAGE_SIZE, tag).expect("register");
     println!("registered 2 pages on each node; TPT regions: {}", 2);
@@ -38,7 +42,9 @@ fn main() {
     VipPostSend(&mut sys, 0, vi_a, smem, sbuf, msg.len()).expect("post send");
     sys.pump().expect("fabric");
 
-    let done = VipCQDone(&mut sys, 1, vi_b).expect("poll").expect("completion");
+    let done = VipCQDone(&mut sys, 1, vi_b)
+        .expect("poll")
+        .expect("completion");
     let mut got = vec![0u8; done.len];
     sys.read_user(1, bob, rbuf, &mut got).expect("read");
     println!("send/receive: bob got {:?}", String::from_utf8_lossy(&got));
@@ -47,8 +53,17 @@ fn main() {
     // One-sided RDMA write: no receive descriptor involved.
     let rdma = b"one-sided RDMA write, straight into bob's registered pages";
     sys.write_user(0, alice, sbuf + 512, rdma).expect("fill");
-    VipPostRdmaWrite(&mut sys, 0, vi_a, smem, sbuf + 512, rdma.len(), rmem, rbuf + 512)
-        .expect("post rdma");
+    VipPostRdmaWrite(
+        &mut sys,
+        0,
+        vi_a,
+        smem,
+        sbuf + 512,
+        rdma.len(),
+        rmem,
+        rbuf + 512,
+    )
+    .expect("post rdma");
     sys.pump().expect("fabric");
     let mut got = vec![0u8; rdma.len()];
     sys.read_user(1, bob, rbuf + 512, &mut got).expect("read");

@@ -12,7 +12,10 @@ fn main() {
     let cache_pages = 160; // holds ~2.5 buffers
 
     println!("zero-copy sends over a pool of B buffers; LRU cache budget");
-    println!("{cache_pages} pages ({} buffers' worth); {sends} sends.\n", cache_pages / 64);
+    println!(
+        "{cache_pages} pages ({} buffers' worth); {sends} sends.\n",
+        cache_pages / 64
+    );
 
     let rows: Vec<Vec<String>> = run_cache_series(&[1, 2, 3, 4, 8], buf, sends, cache_pages)
         .into_iter()
@@ -29,7 +32,12 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["working set (buffers)", "hit ratio", "registrations", "regs/send"],
+            &[
+                "working set (buffers)",
+                "hit ratio",
+                "registrations",
+                "regs/send"
+            ],
             &rows,
         )
     );

@@ -28,9 +28,15 @@ fn main() {
     let v1 = n1.nic.create_vi(p1, tag);
     connect_pair(&mut n0, v0, 0, &mut n1, v1, 1).expect("connect");
 
-    let b0 = n0.kernel.mmap_anon(p0, MSG_BYTES, prot::READ | prot::WRITE).unwrap();
+    let b0 = n0
+        .kernel
+        .mmap_anon(p0, MSG_BYTES, prot::READ | prot::WRITE)
+        .unwrap();
     let rlen = MSGS * MSG_BYTES;
-    let b1 = n1.kernel.mmap_anon(p1, rlen, prot::READ | prot::WRITE).unwrap();
+    let b1 = n1
+        .kernel
+        .mmap_anon(p1, rlen, prot::READ | prot::WRITE)
+        .unwrap();
     let m0 = n0.register_mem(p0, b0, MSG_BYTES, tag).unwrap();
     let m1 = n1.register_mem(p1, b1, rlen, tag).unwrap();
 
@@ -50,7 +56,9 @@ fn main() {
         n1,
         move |ctx| {
             for i in 0..MSGS {
-                ctx.node.kernel.write_user(p0, b0, &vec![(i % 251) as u8; MSG_BYTES])?;
+                ctx.node
+                    .kernel
+                    .write_user(p0, b0, &vec![(i % 251) as u8; MSG_BYTES])?;
                 ctx.node
                     .nic
                     .vi_mut(v0)?
@@ -82,7 +90,10 @@ fn main() {
         n1.kernel
             .read_user(p1, b1 + (i * MSG_BYTES) as u64, &mut out)
             .unwrap();
-        assert!(out.iter().all(|&b| b == (i % 251) as u8), "message {i} corrupted");
+        assert!(
+            out.iter().all(|&b| b == (i % 251) as u8),
+            "message {i} corrupted"
+        );
     }
 
     println!("node 0 sent {sent}, node 1 received {received} — all {MSGS} payloads verified");

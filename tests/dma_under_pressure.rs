@@ -16,7 +16,7 @@ fn tight() -> KernelConfig {
         reserved_frames: 8,
         swap_slots: 8192,
         default_rlimit_memlock: None,
-            swap_cache: false,
+        swap_cache: false,
     }
 }
 

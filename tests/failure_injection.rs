@@ -15,7 +15,10 @@ fn tpt_exhaustion_rolls_back_the_pin() {
     let mut node = Node::new(KernelConfig::small(), StrategyKind::KiobufReliable, 8);
     let pid = node.kernel.spawn_process(Capabilities::default());
     let tag = ProtectionTag(1);
-    let a = node.kernel.mmap_anon(pid, 16 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let a = node
+        .kernel
+        .mmap_anon(pid, 16 * PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
     let small = node.register_mem(pid, a, 4 * PAGE_SIZE, tag).unwrap();
     // 12 more pages do not fit into the remaining 4 slots.
     let r = node.register_mem(pid, a + 4 * PAGE_SIZE as u64, 12 * PAGE_SIZE, tag);
@@ -30,7 +33,9 @@ fn tpt_exhaustion_rolls_back_the_pin() {
 fn registry_page_limit_is_a_hard_cap() {
     let mut k = Kernel::new(KernelConfig::small());
     let pid = k.spawn_process(Capabilities::default());
-    let a = k.mmap_anon(pid, 32 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let a = k
+        .mmap_anon(pid, 32 * PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
     let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable).with_page_limit(10);
     let h1 = reg.register(&mut k, pid, a, 6 * PAGE_SIZE).unwrap();
     assert_eq!(
@@ -50,7 +55,9 @@ fn would_block_then_retry_succeeds() {
     // pins everything.
     let mut k = Kernel::new(KernelConfig::small());
     let pid = k.spawn_process(Capabilities::default());
-    let a = k.mmap_anon(pid, 8 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let a = k
+        .mmap_anon(pid, 8 * PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
     k.touch_pages(pid, a, 8 * PAGE_SIZE, true).unwrap();
     let busy = k.frame_of(pid, a + 3 * PAGE_SIZE as u64).unwrap().unwrap();
     k.begin_page_io(busy);
@@ -87,7 +94,9 @@ fn oom_during_registration_fails_cleanly() {
         swap_cache: false,
     });
     let pid = k.spawn_process(Capabilities::default());
-    let a = k.mmap_anon(pid, 64 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let a = k
+        .mmap_anon(pid, 64 * PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
     let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable);
     let r = reg.register(&mut k, pid, a, 64 * PAGE_SIZE);
     assert_eq!(r, Err(RegError::Mm(MmError::OutOfMemory)));
@@ -106,7 +115,9 @@ fn rlimit_memlock_blocks_the_mlock_strategy() {
         swap_cache: false,
     });
     let pid = k.spawn_process(Capabilities::default());
-    let a = k.mmap_anon(pid, 8 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let a = k
+        .mmap_anon(pid, 8 * PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
     let mut reg = MemoryRegistry::new(StrategyKind::VmaMlock);
     assert_eq!(
         reg.register(&mut k, pid, a, 8 * PAGE_SIZE),
@@ -135,16 +146,27 @@ fn swap_full_under_pressure_is_oom_not_corruption() {
     );
     let pid = node.kernel.spawn_process(Capabilities::default());
     let tag = ProtectionTag(2);
-    let a = node.kernel.mmap_anon(pid, 8 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
-    node.kernel.write_user(pid, a, &vec![7u8; 8 * PAGE_SIZE]).unwrap();
+    let a = node
+        .kernel
+        .mmap_anon(pid, 8 * PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
+    node.kernel
+        .write_user(pid, a, &vec![7u8; 8 * PAGE_SIZE])
+        .unwrap();
     let mem = node.register_mem(pid, a, 8 * PAGE_SIZE, tag).unwrap();
 
     // Hog until OOM.
     let hog = node.kernel.spawn_process(Capabilities::default());
-    let hb = node.kernel.mmap_anon(hog, 512 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let hb = node
+        .kernel
+        .mmap_anon(hog, 512 * PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
     let mut oomed = false;
     for i in 0..512 {
-        match node.kernel.write_user(hog, hb + (i * PAGE_SIZE) as u64, &[1u8; 8]) {
+        match node
+            .kernel
+            .write_user(hog, hb + (i * PAGE_SIZE) as u64, &[1u8; 8])
+        {
             Ok(()) => {}
             Err(MmError::OutOfMemory) => {
                 oomed = true;

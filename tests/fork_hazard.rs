@@ -12,7 +12,9 @@ use vialock::{MemoryRegistry, StrategyKind};
 fn setup() -> (Kernel, simmem::Pid, u64, MemoryRegistry) {
     let mut k = Kernel::new(KernelConfig::small());
     let pid = k.spawn_process(Capabilities::default());
-    let a = k.mmap_anon(pid, 2 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let a = k
+        .mmap_anon(pid, 2 * PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
     k.write_user(pid, a, b"registered").unwrap();
     (k, pid, a, MemoryRegistry::new(StrategyKind::KiobufReliable))
 }

@@ -16,7 +16,7 @@ fn comm(strategy: StrategyKind) -> Comm {
         reserved_frames: 16,
         swap_slots: 32768,
         default_rlimit_memlock: None,
-            swap_cache: false,
+        swap_cache: false,
     };
     Comm::new(2, 2, kcfg, strategy, MsgConfig::tiny()).expect("communicator")
 }

@@ -26,9 +26,15 @@ fn setup_pair() -> (RingNode, RingNode, ProtectionTag) {
         let vi = node.nic.create_vi(pid, tag);
         let slots = 16;
         let ring_len = DescriptorRing::bytes(slots);
-        let sbase = node.kernel.mmap_anon(pid, ring_len, prot::READ | prot::WRITE).unwrap();
+        let sbase = node
+            .kernel
+            .mmap_anon(pid, ring_len, prot::READ | prot::WRITE)
+            .unwrap();
         let smem = node.register_mem(pid, sbase, ring_len, tag).unwrap();
-        let rbase = node.kernel.mmap_anon(pid, ring_len, prot::READ | prot::WRITE).unwrap();
+        let rbase = node
+            .kernel
+            .mmap_anon(pid, ring_len, prot::READ | prot::WRITE)
+            .unwrap();
         let rmem = node.register_mem(pid, rbase, ring_len, tag).unwrap();
         let _ = index_hint;
         RingNode {
@@ -60,22 +66,44 @@ fn send_receive_entirely_through_rings() {
     let (mut a, mut b, tag) = setup_pair();
 
     // Payload buffers.
-    let sbuf = a.node.kernel.mmap_anon(a.pid, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
-    a.node.kernel.write_user(a.pid, sbuf, b"ring path!").unwrap();
+    let sbuf = a
+        .node
+        .kernel
+        .mmap_anon(a.pid, PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
+    a.node
+        .kernel
+        .write_user(a.pid, sbuf, b"ring path!")
+        .unwrap();
     let smem = a.node.register_mem(a.pid, sbuf, PAGE_SIZE, tag).unwrap();
-    let rbuf = b.node.kernel.mmap_anon(b.pid, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let rbuf = b
+        .node
+        .kernel
+        .mmap_anon(b.pid, PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
     let rmem = b.node.register_mem(b.pid, rbuf, PAGE_SIZE, tag).unwrap();
 
     // The receiver posts its descriptor into ITS recv ring (CPU stores),
     // and the NIC prefetches it by DMA.
     b.recv_ring
-        .post(&mut b.node.kernel, b.pid, &Descriptor::recv(rmem, rbuf, PAGE_SIZE))
+        .post(
+            &mut b.node.kernel,
+            b.pid,
+            &Descriptor::recv(rmem, rbuf, PAGE_SIZE),
+        )
         .unwrap();
-    assert_eq!(b.node.prefetch_ring_recvs(b.vi, &mut b.recv_ring).unwrap(), 1);
+    assert_eq!(
+        b.node.prefetch_ring_recvs(b.vi, &mut b.recv_ring).unwrap(),
+        1
+    );
 
     // The sender posts into its send ring; the NIC fetches + executes.
     a.send_ring
-        .post(&mut a.node.kernel, a.pid, &Descriptor::send(smem, sbuf, 10).with_imm(3))
+        .post(
+            &mut a.node.kernel,
+            a.pid,
+            &Descriptor::send(smem, sbuf, 10).with_imm(3),
+        )
         .unwrap();
     let packets = a.node.pump_ring_sends(a.vi, &mut a.send_ring, 0).unwrap();
     assert_eq!(packets.len(), 1);
@@ -96,10 +124,21 @@ fn send_receive_entirely_through_rings() {
 #[test]
 fn rdma_write_through_rings() {
     let (mut a, mut b, tag) = setup_pair();
-    let sbuf = a.node.kernel.mmap_anon(a.pid, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
-    a.node.kernel.write_user(a.pid, sbuf, b"one-sided ring").unwrap();
+    let sbuf = a
+        .node
+        .kernel
+        .mmap_anon(a.pid, PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
+    a.node
+        .kernel
+        .write_user(a.pid, sbuf, b"one-sided ring")
+        .unwrap();
     let smem = a.node.register_mem(a.pid, sbuf, PAGE_SIZE, tag).unwrap();
-    let rbuf = b.node.kernel.mmap_anon(b.pid, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let rbuf = b
+        .node
+        .kernel
+        .mmap_anon(b.pid, PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
     let rmem = b.node.register_mem(b.pid, rbuf, PAGE_SIZE, tag).unwrap();
 
     a.send_ring
@@ -121,7 +160,11 @@ fn rdma_write_through_rings() {
 #[test]
 fn non_recv_on_recv_ring_is_rejected() {
     let (_, mut b, tag) = setup_pair();
-    let buf = b.node.kernel.mmap_anon(b.pid, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let buf = b
+        .node
+        .kernel
+        .mmap_anon(b.pid, PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
     let mem = b.node.register_mem(b.pid, buf, PAGE_SIZE, tag).unwrap();
     b.recv_ring
         .post(&mut b.node.kernel, b.pid, &Descriptor::send(mem, buf, 4))
@@ -133,9 +176,17 @@ fn non_recv_on_recv_ring_is_rejected() {
 fn ring_batches_multiple_descriptors() {
     let (mut a, mut b, tag) = setup_pair();
     let len = 4 * PAGE_SIZE;
-    let sbuf = a.node.kernel.mmap_anon(a.pid, len, prot::READ | prot::WRITE).unwrap();
+    let sbuf = a
+        .node
+        .kernel
+        .mmap_anon(a.pid, len, prot::READ | prot::WRITE)
+        .unwrap();
     let smem = a.node.register_mem(a.pid, sbuf, len, tag).unwrap();
-    let rbuf = b.node.kernel.mmap_anon(b.pid, len, prot::READ | prot::WRITE).unwrap();
+    let rbuf = b
+        .node
+        .kernel
+        .mmap_anon(b.pid, len, prot::READ | prot::WRITE)
+        .unwrap();
     let rmem = b.node.register_mem(b.pid, rbuf, len, tag).unwrap();
 
     for i in 0..4u8 {

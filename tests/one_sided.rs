@@ -8,8 +8,14 @@ use vialock::StrategyKind;
 use msg::{Comm, MsgConfig};
 
 fn comm(n: usize) -> Comm {
-    Comm::new(n, 2, KernelConfig::large(), StrategyKind::KiobufReliable, MsgConfig::tiny())
-        .unwrap()
+    Comm::new(
+        n,
+        2,
+        KernelConfig::large(),
+        StrategyKind::KiobufReliable,
+        MsgConfig::tiny(),
+    )
+    .unwrap()
 }
 
 #[test]
@@ -28,7 +34,8 @@ fn many_origins_share_one_window() {
     // The owner sees all three blocks.
     for r in 1..4usize {
         let mut out = vec![0u8; 4096];
-        c.read_buffer(0, win_buf + (r * 4096) as u64, &mut out).unwrap();
+        c.read_buffer(0, win_buf + (r * 4096) as u64, &mut out)
+            .unwrap();
         assert!(out.iter().all(|&b| b == r as u8 * 10), "rank {r}'s block");
     }
     // And every rank can get any block back.
@@ -80,7 +87,10 @@ fn closed_window_refuses_access() {
     let w = c.expose_window(1, win_buf, 4096).unwrap();
     c.close_window(w).unwrap();
     let src = c.alloc_buffer(0, 64).unwrap();
-    assert!(c.put(0, src, 64, &w, 0).is_err(), "stale window handle refused");
+    assert!(
+        c.put(0, src, 64, &w, 0).is_err(),
+        "stale window handle refused"
+    );
 }
 
 #[test]

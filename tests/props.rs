@@ -222,6 +222,159 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Registration fast path: interval index + run-length mlock bookkeeping
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn find_covering_agrees_with_linear_oracle(
+        ops in prop::collection::vec((0usize..60, 1usize..8, any::<bool>()), 1..40),
+        queries in prop::collection::vec((0usize..63, 1usize..8), 1..16),
+    ) {
+        let mut k = Kernel::new(KernelConfig::medium());
+        let pid = k.spawn_process(Capabilities::default());
+        let base = k.mmap_anon(pid, 64 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable);
+        // Oracle: live spans as (handle, first page, page count).
+        let mut live: Vec<(vialock::MemHandle, usize, usize)> = Vec::new();
+        for (page, pages, do_register) in ops {
+            if do_register || live.is_empty() {
+                let pages = pages.min(64 - page);
+                if pages == 0 { continue; }
+                let addr = base + (page * PAGE_SIZE) as u64;
+                let h = reg.register(&mut k, pid, addr, pages * PAGE_SIZE).unwrap();
+                live.push((h, page, pages));
+            } else {
+                let (h, _, _) = live.swap_remove(live.len() / 2);
+                reg.deregister(&mut k, h).unwrap();
+            }
+        }
+        for (qpage, qpages) in queries {
+            let qpages = qpages.min(64 - qpage).max(1);
+            let addr = base + (qpage * PAGE_SIZE) as u64;
+            let got = reg.find_covering(pid, addr, qpages * PAGE_SIZE);
+            let covered = live
+                .iter()
+                .any(|&(_, p, n)| p <= qpage && p + n >= qpage + qpages);
+            prop_assert_eq!(got.is_some(), covered, "query page {} + {}", qpage, qpages);
+            if let Some(h) = got {
+                // Whatever handle the index returned really covers the query.
+                let (_, p, n) = *live
+                    .iter()
+                    .find(|&&(lh, _, _)| lh == h)
+                    .expect("returned handle is live");
+                prop_assert!(p <= qpage && p + n >= qpage + qpages);
+            }
+        }
+        for (h, _, _) in live {
+            reg.deregister(&mut k, h).unwrap();
+        }
+    }
+
+    #[test]
+    fn mlock_run_length_counters_match_per_page_oracle(
+        ops in prop::collection::vec((0usize..60, 1usize..8, any::<bool>()), 1..40),
+    ) {
+        use std::collections::HashMap;
+        let mut k = Kernel::new(KernelConfig::medium());
+        let pid = k.spawn_process(Capabilities::default());
+        let base = k.mmap_anon(pid, 64 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let base_vpn = base / PAGE_SIZE as u64;
+        let mut reg = MemoryRegistry::new(StrategyKind::VmaMlock);
+        let mut live: Vec<(vialock::MemHandle, usize, usize)> = Vec::new();
+        // Oracle: one count per (virtual) page, the seed's representation.
+        let mut oracle: HashMap<u64, u32> = HashMap::new();
+        for (page, pages, do_register) in ops {
+            if do_register || live.is_empty() {
+                let pages = pages.min(64 - page);
+                if pages == 0 { continue; }
+                let addr = base + (page * PAGE_SIZE) as u64;
+                let h = reg.register(&mut k, pid, addr, pages * PAGE_SIZE).unwrap();
+                for vpn in page..page + pages {
+                    *oracle.entry(base_vpn + vpn as u64).or_insert(0) += 1;
+                }
+                live.push((h, page, pages));
+            } else {
+                let (h, page, pages) = live.swap_remove(live.len() / 2);
+                reg.deregister(&mut k, h).unwrap();
+                for vpn in page..page + pages {
+                    let c = oracle.get_mut(&(base_vpn + vpn as u64)).unwrap();
+                    *c -= 1;
+                    if *c == 0 {
+                        oracle.remove(&(base_vpn + vpn as u64));
+                    }
+                }
+            }
+            // The run-length counters agree with the per-page oracle at
+            // every page...
+            for vpn in 0..64u64 {
+                prop_assert_eq!(
+                    reg.mlock_count_at(pid, base_vpn + vpn),
+                    oracle.get(&(base_vpn + vpn)).copied().unwrap_or(0),
+                    "vpn {}", vpn
+                );
+            }
+            // ...and the kernel agrees exactly which pages are still locked.
+            prop_assert_eq!(
+                k.locked_bytes(pid).unwrap(),
+                oracle.len() as u64 * PAGE_SIZE as u64
+            );
+        }
+        for (h, _, _) in live {
+            reg.deregister(&mut k, h).unwrap();
+        }
+        prop_assert_eq!(k.locked_bytes(pid).unwrap(), 0);
+    }
+}
+
+/// Acceptance check for the interval-indexed lookup: with well over a
+/// thousand live regions, a covering lookup probes a handful of index
+/// entries, and the probe count does not grow between 100 and 1200 live
+/// regions. Probe counts are the deterministic stand-in for wall-clock
+/// non-linearity.
+#[test]
+fn covering_lookup_stays_flat_at_a_thousand_regions() {
+    const N: usize = 1200;
+    let mut k = Kernel::new(KernelConfig::large());
+    let pid = k.spawn_process(Capabilities::default());
+    let base = k
+        .mmap_anon(pid, N * PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
+    let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable);
+    let mut handles = Vec::new();
+    let mut probes_at = Vec::new();
+    for i in 0..N {
+        let addr = base + (i * PAGE_SIZE) as u64;
+        handles.push(reg.register(&mut k, pid, addr, PAGE_SIZE).unwrap());
+        if i + 1 == 100 || i + 1 == N {
+            let q = base + ((i / 2) * PAGE_SIZE) as u64;
+            let (hit, probes) = reg.find_covering_probed(pid, q, PAGE_SIZE);
+            assert!(hit.is_some());
+            probes_at.push(probes);
+        }
+    }
+    let (at_100, at_1200) = (probes_at[0], probes_at[1]);
+    assert!(
+        at_1200 <= 4,
+        "lookup probed {at_1200} entries with {N} live regions"
+    );
+    assert!(
+        at_1200 <= at_100 + 2,
+        "probe count grew with the live-region count: {at_100} -> {at_1200}"
+    );
+    // Misses are cheap too: no region spans two pages, and the max-span
+    // bound prunes the scan before it starts.
+    let (miss, probes) = reg.find_covering_probed(pid, base + 7, 2 * PAGE_SIZE);
+    assert_eq!(miss, None);
+    assert!(probes <= 4);
+    for h in handles {
+        reg.deregister(&mut k, h).unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------
 // Message-layer integrity
 // ---------------------------------------------------------------------
 

@@ -17,9 +17,13 @@ fn tight() -> Kernel {
 
 fn pressure(k: &mut Kernel, pages: usize) {
     let hog = k.spawn_process(Capabilities::default());
-    let hb = k.mmap_anon(hog, pages * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let hb = k
+        .mmap_anon(hog, pages * PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
     for i in 0..pages {
-        if k.write_user(hog, hb + (i * PAGE_SIZE) as u64, &[1u8; 8]).is_err() {
+        if k.write_user(hog, hb + (i * PAGE_SIZE) as u64, &[1u8; 8])
+            .is_err()
+        {
             break;
         }
     }
@@ -30,8 +34,12 @@ fn registration_survives_neighbouring_munmap() {
     // Unmapping an ADJACENT region must not disturb the pinned one.
     let mut k = Kernel::new(KernelConfig::medium());
     let pid = k.spawn_process(Capabilities::default());
-    let a = k.mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
-    let b = k.mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let a = k
+        .mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
+    let b = k
+        .mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
     let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable);
     let h = reg.register(&mut k, pid, a, 4 * PAGE_SIZE).unwrap();
     k.touch_pages(pid, b, 4 * PAGE_SIZE, true).unwrap();
@@ -47,7 +55,9 @@ fn munmap_of_registered_memory_keeps_frames_alive() {
     // frames return only at deregistration.
     let mut k = Kernel::new(KernelConfig::medium());
     let pid = k.spawn_process(Capabilities::default());
-    let a = k.mmap_anon(pid, 2 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let a = k
+        .mmap_anon(pid, 2 * PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
     k.write_user(pid, a, b"pinned").unwrap();
     let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable);
     let h = reg.register(&mut k, pid, a, 2 * PAGE_SIZE).unwrap();
@@ -71,7 +81,9 @@ fn munmap_of_registered_memory_keeps_frames_alive() {
 fn mprotect_readonly_does_not_break_an_existing_registration() {
     let mut k = tight();
     let pid = k.spawn_process(Capabilities::default());
-    let a = k.mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let a = k
+        .mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
     k.write_user(pid, a, &[3u8; 4 * PAGE_SIZE]).unwrap();
     let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable);
     let h = reg.register(&mut k, pid, a, 4 * PAGE_SIZE).unwrap();
@@ -94,7 +106,9 @@ fn exit_with_live_registration_is_contained() {
     // reclaims at deregistration — no use-after-free for the NIC.
     let mut k = Kernel::new(KernelConfig::medium());
     let pid = k.spawn_process(Capabilities::default());
-    let a = k.mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let a = k
+        .mmap_anon(pid, 4 * PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
     k.write_user(pid, a, &[9u8; 4 * PAGE_SIZE]).unwrap();
     let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable);
     let h = reg.register(&mut k, pid, a, 4 * PAGE_SIZE).unwrap();
@@ -120,9 +134,12 @@ fn swap_pressure_with_mixed_pins_and_plain_memory() {
     // ones; data in both halves survives (through the pins resp. swap).
     let mut k = tight();
     let pid = k.spawn_process(Capabilities::default());
-    let a = k.mmap_anon(pid, 16 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+    let a = k
+        .mmap_anon(pid, 16 * PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
     for i in 0..16 {
-        k.write_user(pid, a + (i * PAGE_SIZE) as u64, &[i as u8; 32]).unwrap();
+        k.write_user(pid, a + (i * PAGE_SIZE) as u64, &[i as u8; 32])
+            .unwrap();
     }
     let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable);
     let h = reg.register(&mut k, pid, a, 8 * PAGE_SIZE).unwrap();
@@ -133,7 +150,8 @@ fn swap_pressure_with_mixed_pins_and_plain_memory() {
     assert!(reg.verify_consistency(&k, h).unwrap());
     for i in 0..16 {
         let mut out = [0u8; 32];
-        k.read_user(pid, a + (i * PAGE_SIZE) as u64, &mut out).unwrap();
+        k.read_user(pid, a + (i * PAGE_SIZE) as u64, &mut out)
+            .unwrap();
         assert!(out.iter().all(|&b| b == i as u8), "page {i}");
     }
     reg.deregister(&mut k, h).unwrap();
