@@ -108,6 +108,9 @@ pub struct Comm {
     caches: Vec<NodeRegCache>,
     /// Relay sends in flight for the indirect-communication machinery.
     pub(crate) pending_forward_handles: Vec<SendHandle>,
+    /// Recycled staging buffer for the SM and one-copy copy-out paths, so
+    /// steady-state receives do not allocate per message (or per chunk).
+    copy_scratch: Vec<u8>,
     pub stats: MsgStats,
 }
 
@@ -145,6 +148,7 @@ impl Comm {
             pending: Vec::new(),
             caches,
             pending_forward_handles: Vec::new(),
+            copy_scratch: Vec::new(),
             stats: MsgStats::default(),
         };
         for s in 0..n_ranks {
@@ -293,6 +297,34 @@ impl Comm {
     /// Per-node registration-cache statistics.
     pub fn cache_stats(&self, node: NodeId) -> vialock::CacheStats {
         self.caches[node].stats()
+    }
+
+    /// Per-node NIC data-path statistics (TLB hit rates, DMA ops, pool
+    /// recycling) — benches read deltas of these.
+    pub fn nic_stats(&self, node: NodeId) -> via::nic::NicStats {
+        self.sys.node(node).nic.stats
+    }
+
+    /// Intra-rank staging copy (`src → dst`, same process) through the
+    /// recycled scratch buffer — the local fallback of one-sided put/get.
+    pub(crate) fn local_copy(
+        &mut self,
+        rank: RankId,
+        src: VirtAddr,
+        dst: VirtAddr,
+        len: usize,
+    ) -> ViaResult<()> {
+        let mut tmp = std::mem::take(&mut self.copy_scratch);
+        tmp.clear();
+        tmp.resize(len, 0);
+        let copied = self
+            .read_buffer(rank, src, &mut tmp)
+            .and_then(|()| self.fill_buffer(rank, dst, &tmp));
+        self.copy_scratch = tmp;
+        copied?;
+        self.stats.copy_bytes += len as u64;
+        self.stats.copy_ops += 1;
+        Ok(())
     }
 
     /// Allocate a user buffer in a rank's address space.
@@ -873,11 +905,17 @@ impl Comm {
                     let pair = &self.pairs[&(from, at)];
                     (pair.r_seg_addr, pair.layout.data_off(slot))
                 };
-                let mut tmp = vec![0u8; len];
-                self.sys
-                    .read_user(r_node, r_pid, seg_addr + data_off as u64, &mut tmp)?;
-                self.sys.write_user(r_node, r_pid, buf_addr, &tmp)?;
+                let mut tmp = std::mem::take(&mut self.copy_scratch);
+                tmp.clear();
+                tmp.resize(len, 0);
+                let copied = self
+                    .sys
+                    .read_user(r_node, r_pid, seg_addr + data_off as u64, &mut tmp)
+                    .and_then(|()| self.sys.write_user(r_node, r_pid, buf_addr, &tmp));
+                self.copy_scratch = tmp;
+                copied?;
                 self.stats.copy_bytes += len as u64;
+                self.stats.copy_ops += 1;
                 self.clear_info(from, at, slot)?;
                 self.write_response(
                     from,
@@ -908,11 +946,20 @@ impl Comm {
                     };
                     // Copy chunk from the pre-registered ring buffer into
                     // the user buffer.
-                    let mut tmp = vec![0u8; c.len];
-                    self.sys.read_user(r_node, r_pid, ring_addr, &mut tmp)?;
-                    self.sys
-                        .write_user(r_node, r_pid, buf_addr + off as u64, &tmp)?;
+                    let mut tmp = std::mem::take(&mut self.copy_scratch);
+                    tmp.clear();
+                    tmp.resize(c.len, 0);
+                    let copied = self
+                        .sys
+                        .read_user(r_node, r_pid, ring_addr, &mut tmp)
+                        .and_then(|()| {
+                            self.sys
+                                .write_user(r_node, r_pid, buf_addr + off as u64, &tmp)
+                        });
+                    self.copy_scratch = tmp;
+                    copied?;
                     self.stats.copy_bytes += c.len as u64;
+                    self.stats.copy_ops += 1;
                     off += c.len;
                     // Repost the buffer.
                     let (oc_mem, chunk_bytes) = {

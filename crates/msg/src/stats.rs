@@ -27,6 +27,9 @@ pub struct MsgStats {
     pub dma_bytes: u64,
     /// Bytes memcpy'd by a CPU (receiver copy-out in SM and one-copy).
     pub copy_bytes: u64,
+    /// CPU staging-copy operations (each SM/one-copy copy-out is one op;
+    /// the staging buffer itself is recycled, not reallocated).
+    pub copy_ops: u64,
 
     /// Dynamic registrations performed (cache misses, both sides).
     pub registrations: u64,
@@ -48,6 +51,7 @@ impl MsgStats {
             zc_msgs: self.zc_msgs - earlier.zc_msgs,
             dma_bytes: self.dma_bytes - earlier.dma_bytes,
             copy_bytes: self.copy_bytes - earlier.copy_bytes,
+            copy_ops: self.copy_ops - earlier.copy_ops,
             registrations: self.registrations - earlier.registrations,
             pages_registered: self.pages_registered - earlier.pages_registered,
             cache_hits: self.cache_hits - earlier.cache_hits,

@@ -70,11 +70,8 @@ impl Comm {
             return Err(ViaError::OutOfBounds);
         }
         if origin == w.owner {
-            // Local put: plain memory copy.
-            let mut tmp = vec![0u8; len];
-            self.read_buffer(origin, src, &mut tmp)?;
-            self.fill_buffer(origin, w.base + offset as u64, &tmp)?;
-            return Ok(());
+            // Local put: plain memory copy through the recycled scratch.
+            return self.local_copy(origin, src, w.base + offset as u64, len);
         }
         let (node, pid, tag) = (
             self.rank_node(origin),
@@ -114,10 +111,7 @@ impl Comm {
             return Err(ViaError::OutOfBounds);
         }
         if origin == w.owner {
-            let mut tmp = vec![0u8; len];
-            self.read_buffer(origin, w.base + offset as u64, &mut tmp)?;
-            self.fill_buffer(origin, dst, &tmp)?;
-            return Ok(());
+            return self.local_copy(origin, w.base + offset as u64, dst, len);
         }
         let (node, pid, tag) = (
             self.rank_node(origin),

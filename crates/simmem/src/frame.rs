@@ -89,6 +89,33 @@ impl PhysMem {
         f[offset..offset + buf.len()].copy_from_slice(buf);
         Ok(())
     }
+
+    /// Byte range of a run starting at `offset` within frame `id`; the run
+    /// may span any number of *physically consecutive* frames.
+    fn run_range(&self, id: FrameId, offset: usize, len: usize) -> Result<usize, MmError> {
+        let start = id.0 as usize * PAGE_SIZE + offset;
+        let arena = self.nframes as usize * PAGE_SIZE;
+        if offset >= PAGE_SIZE || start + len > arena {
+            return Err(MmError::InvalidArgument("run exceeds physical memory"));
+        }
+        Ok(start)
+    }
+
+    /// Read a physically contiguous run: `buf.len()` bytes starting at
+    /// `offset` within frame `id`, continuing through consecutive frames.
+    /// One burst transaction instead of a per-page loop.
+    pub fn read_run(&self, id: FrameId, offset: usize, buf: &mut [u8]) -> Result<(), MmError> {
+        let start = self.run_range(id, offset, buf.len())?;
+        buf.copy_from_slice(&self.bytes[start..start + buf.len()]);
+        Ok(())
+    }
+
+    /// Write a physically contiguous run (see [`PhysMem::read_run`]).
+    pub fn write_run(&mut self, id: FrameId, offset: usize, buf: &[u8]) -> Result<(), MmError> {
+        let start = self.run_range(id, offset, buf.len())?;
+        self.bytes[start..start + buf.len()].copy_from_slice(buf);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +151,25 @@ mod tests {
         let mut buf = [0u8; 2];
         assert!(pm.read(FrameId(0), PAGE_SIZE - 1, &mut buf).is_err());
         assert!(pm.write(FrameId(0), PAGE_SIZE - 1, b"x").is_ok());
+    }
+
+    #[test]
+    fn run_io_crosses_frames() {
+        let mut pm = PhysMem::new(4);
+        // A run spanning three frames (1..=3), unaligned at both ends.
+        let data: Vec<u8> = (0..PAGE_SIZE + 150).map(|i| (i % 251) as u8).collect();
+        pm.write_run(FrameId(1), PAGE_SIZE - 50, &data).unwrap();
+        let mut out = vec![0u8; data.len()];
+        pm.read_run(FrameId(1), PAGE_SIZE - 50, &mut out).unwrap();
+        assert_eq!(out, data);
+        // Equivalent to the per-page view.
+        let mut first = [0u8; 50];
+        pm.read(FrameId(1), PAGE_SIZE - 50, &mut first).unwrap();
+        assert_eq!(&first, &data[..50]);
+        // Out-of-arena runs refused.
+        assert!(pm.write_run(FrameId(3), PAGE_SIZE - 1, &[0u8; 1]).is_ok());
+        assert!(pm.write_run(FrameId(3), PAGE_SIZE - 1, &[0u8; 2]).is_err());
+        assert!(pm.read_run(FrameId(0), PAGE_SIZE, &mut [0u8; 1]).is_err());
     }
 
     #[test]

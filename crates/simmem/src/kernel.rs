@@ -597,6 +597,21 @@ impl Kernel {
         self.phys.read(frame, offset, out)
     }
 
+    /// Burst DMA write over a *physically contiguous* frame run: one device
+    /// transaction for `data.len()` bytes starting at `offset` within
+    /// `frame`, continuing through consecutive frames. The data-path run
+    /// entry point: the NIC issues one of these per contiguous run instead
+    /// of one [`Kernel::dma_write`] per page.
+    pub fn dma_write_run(&mut self, frame: FrameId, offset: usize, data: &[u8]) -> MmResult<()> {
+        self.phys.write_run(frame, offset, data)
+    }
+
+    /// Burst DMA read over a physically contiguous frame run (see
+    /// [`Kernel::dma_write_run`]).
+    pub fn dma_read_run(&self, frame: FrameId, offset: usize, out: &mut [u8]) -> MmResult<()> {
+        self.phys.read_run(frame, offset, out)
+    }
+
     /// Raw page-descriptor mutation used by the "risky" Giganet-style
     /// strategy that sets `PG_locked`/`PG_reserved` behind the VM's back.
     pub fn raw_set_page_flag(&mut self, frame: FrameId, bit: u8) {

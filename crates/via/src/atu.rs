@@ -16,7 +16,7 @@
 //!   the application uses a "special malloc", which the MPI papers reject
 //!   as a violation of architecture independence).
 
-use simmem::{BigphysBlock, Kernel, Pid, VirtAddr, PAGE_SIZE};
+use simmem::{BigphysBlock, Pid, VirtAddr, PAGE_SIZE};
 
 use crate::error::{ViaError, ViaResult};
 use crate::nic::Node;
@@ -41,6 +41,14 @@ impl AtuWindow {
     /// The window's base frame (what remote ATUs translate to).
     pub fn base(&self) -> simmem::FrameId {
         self.block.base
+    }
+
+    /// Linear translation of a byte offset: (frame, offset within frame).
+    fn translate(&self, offset: usize) -> (simmem::FrameId, usize) {
+        (
+            simmem::FrameId(self.block.base.0 + (offset / PAGE_SIZE) as u32),
+            offset % PAGE_SIZE,
+        )
     }
 }
 
@@ -83,51 +91,24 @@ impl Node {
 
     /// A remote store into the window: linear translation, bounds check
     /// only — no tags, no per-page attributes (the protection weakness of
-    /// the conventional design).
+    /// the conventional design). The window's frames are contiguous by
+    /// construction, so any span is exactly one DMA burst.
     pub fn window_write(&mut self, w: &AtuWindow, offset: usize, data: &[u8]) -> ViaResult<()> {
         if offset + data.len() > w.len {
             return Err(ViaError::OutOfBounds);
         }
-        window_io(&mut self.kernel, w, offset, IoOp::Write(data))
+        let (frame, in_page) = w.translate(offset);
+        Ok(self.kernel.dma_write_run(frame, in_page, data)?)
     }
 
-    /// A remote load from the window.
+    /// A remote load from the window (one DMA burst, see
+    /// [`Node::window_write`]).
     pub fn window_read(&self, w: &AtuWindow, offset: usize, out: &mut [u8]) -> ViaResult<()> {
         if offset + out.len() > w.len {
             return Err(ViaError::OutOfBounds);
         }
-        let mut done = 0usize;
-        while done < out.len() {
-            let abs = offset + done;
-            let frame = simmem::FrameId(w.block.base.0 + (abs / PAGE_SIZE) as u32);
-            let in_page = abs % PAGE_SIZE;
-            let chunk = (out.len() - done).min(PAGE_SIZE - in_page);
-            self.kernel
-                .dma_read(frame, in_page, &mut out[done..done + chunk])?;
-            done += chunk;
-        }
-        Ok(())
-    }
-}
-
-enum IoOp<'a> {
-    Write(&'a [u8]),
-}
-
-fn window_io(kernel: &mut Kernel, w: &AtuWindow, offset: usize, op: IoOp<'_>) -> ViaResult<()> {
-    match op {
-        IoOp::Write(data) => {
-            let mut done = 0usize;
-            while done < data.len() {
-                let abs = offset + done;
-                let frame = simmem::FrameId(w.block.base.0 + (abs / PAGE_SIZE) as u32);
-                let in_page = abs % PAGE_SIZE;
-                let chunk = (data.len() - done).min(PAGE_SIZE - in_page);
-                kernel.dma_write(frame, in_page, &data[done..done + chunk])?;
-                done += chunk;
-            }
-            Ok(())
-        }
+        let (frame, in_page) = w.translate(offset);
+        Ok(self.kernel.dma_read_run(frame, in_page, out)?)
     }
 }
 

@@ -16,8 +16,8 @@ use vialock::{MemoryRegistry, StrategyKind};
 
 use crate::descriptor::{DescOp, DescStatus, Descriptor};
 use crate::error::{ViaError, ViaResult};
-use crate::tpt::{Access, MemId, ProtectionTag, Tpt};
-use crate::vi::{Completion, ViId, ViState, VirtualInterface};
+use crate::tpt::{Access, DmaRun, MemId, ProtectionTag, Tpt};
+use crate::vi::{Completion, Reliability, ViId, ViState, VirtualInterface};
 
 /// Default TPT capacity in pages (Giganet's cLAN shipped with a 1 Mi-entry
 /// table; we default far smaller so capacity effects are testable).
@@ -36,6 +36,69 @@ pub struct NicStats {
     pub dropped: u64,
     /// Accesses refused by protection checks.
     pub protection_errors: u64,
+    /// Data-path translations served from a VI's mini-TLB.
+    pub tlb_hits: u64,
+    /// Data-path translations that walked the TPT directory.
+    pub tlb_misses: u64,
+    /// DMA burst operations issued (one per physically contiguous run).
+    pub dma_ops: u64,
+    /// Payload buffers recycled from the packet pool (zero-alloc path).
+    pub pool_recycled: u64,
+    /// Payload buffers that needed a fresh heap allocation.
+    pub payload_allocs: u64,
+}
+
+/// Recycling free list for packet payload buffers. Buffers keep their
+/// capacity across uses, so a steady-state exchange allocates nothing per
+/// message: `take` pops and resizes in place, `put` returns the buffer.
+#[derive(Debug)]
+pub struct PacketPool {
+    free: Vec<Vec<u8>>,
+    max_free: usize,
+}
+
+impl Default for PacketPool {
+    fn default() -> Self {
+        PacketPool {
+            free: Vec::new(),
+            max_free: 64,
+        }
+    }
+}
+
+impl PacketPool {
+    /// A zeroed buffer of exactly `len` bytes, recycled when possible.
+    fn take(&mut self, len: usize, stats: &mut NicStats) -> Vec<u8> {
+        match self.free.pop() {
+            Some(mut buf) => {
+                if buf.capacity() >= len {
+                    stats.pool_recycled += 1;
+                } else {
+                    stats.payload_allocs += 1;
+                }
+                buf.clear();
+                buf.resize(len, 0);
+                buf
+            }
+            None => {
+                stats.payload_allocs += 1;
+                vec![0u8; len]
+            }
+        }
+    }
+
+    /// Return a payload buffer to the free list (bounded; excess and
+    /// zero-capacity buffers are simply dropped).
+    fn put(&mut self, buf: Vec<u8>) {
+        if buf.capacity() > 0 && self.free.len() < self.max_free {
+            self.free.push(buf);
+        }
+    }
+
+    /// Buffers currently on the free list.
+    pub fn free_buffers(&self) -> usize {
+        self.free.len()
+    }
 }
 
 /// A packet in flight on the fabric.
@@ -80,6 +143,9 @@ pub struct Nic {
     vis: BTreeMap<ViId, VirtualInterface>,
     next_vi: u32,
     pub stats: NicStats,
+    /// A/B switch for benchmarking: replay the pre-overhaul data path
+    /// (per-page translation, no TLB, fresh `Vec` per message).
+    pub legacy_datapath: bool,
 }
 
 impl Nic {
@@ -89,6 +155,7 @@ impl Nic {
             vis: BTreeMap::new(),
             next_vi: 0,
             stats: NicStats::default(),
+            legacy_datapath: false,
         }
     }
 
@@ -117,6 +184,37 @@ impl Nic {
     pub fn vi_ids(&self) -> Vec<ViId> {
         self.vis.keys().copied().collect()
     }
+
+    /// Refill `out` with the VI ids without allocating a fresh vector
+    /// (the fabric pump calls this every iteration).
+    pub fn vi_ids_into(&self, out: &mut Vec<ViId>) {
+        out.clear();
+        out.extend(self.vis.keys().copied());
+    }
+
+    /// Resolve a span into contiguous-frame DMA runs through `vi_id`'s
+    /// mini-TLB, charging the hit/miss counters. The VI's protection tag
+    /// is checked against the region exactly as in per-page translation.
+    pub fn translate_range(
+        &mut self,
+        vi_id: ViId,
+        mem: MemId,
+        addr: VirtAddr,
+        len: usize,
+        access: Access,
+        out: &mut Vec<DmaRun>,
+    ) -> ViaResult<()> {
+        let vi = self.vis.get_mut(&vi_id).ok_or(ViaError::BadId("vi"))?;
+        let hit = self
+            .tpt
+            .translate_range_tlb(&mut vi.tlb, mem, addr, len, vi.tag, access, out)?;
+        if hit {
+            self.stats.tlb_hits += 1;
+        } else {
+            self.stats.tlb_misses += 1;
+        }
+        Ok(())
+    }
 }
 
 /// One cluster node: a simulated kernel, its NIC and the kernel agent's
@@ -125,6 +223,12 @@ pub struct Node {
     pub kernel: Kernel,
     pub nic: Nic,
     pub registry: MemoryRegistry,
+    /// Recycled payload buffers for outgoing packets; incoming payloads are
+    /// returned here after scatter, so a steady exchange is allocation-free.
+    pub pool: PacketPool,
+    /// Scratch run list reused across gathers/scatters (no per-message
+    /// allocation once it reaches its high-water mark).
+    run_scratch: Vec<DmaRun>,
 }
 
 impl Node {
@@ -133,6 +237,8 @@ impl Node {
             kernel: Kernel::new(config),
             nic: Nic::new(tpt_pages),
             registry: MemoryRegistry::new(strategy),
+            pool: PacketPool::default(),
+            run_scratch: Vec::new(),
         }
     }
 
@@ -184,8 +290,57 @@ impl Node {
     }
 
     /// Gather the bytes of a send/RDMA descriptor out of physical memory
-    /// through the TPT (the NIC-side DMA read).
-    fn gather(&self, vi_tag: ProtectionTag, desc: &Descriptor) -> ViaResult<Vec<u8>> {
+    /// through the TPT (the NIC-side DMA read): one burst DMA per
+    /// physically contiguous frame run, into a pooled payload buffer.
+    fn gather(&mut self, vi_id: ViId, desc: &Descriptor) -> ViaResult<Vec<u8>> {
+        if self.nic.legacy_datapath {
+            let tag = self.nic.vi(vi_id)?.tag;
+            return self.gather_legacy(tag, desc);
+        }
+        let total = desc.total_len();
+        let mut out = self.pool.take(total, &mut self.nic.stats);
+        let mut base = 0usize;
+        let mut runs = std::mem::take(&mut self.run_scratch);
+        let r = (|| {
+            for seg in &desc.segs {
+                runs.clear();
+                self.nic.translate_range(
+                    vi_id,
+                    seg.mem,
+                    seg.addr,
+                    seg.len,
+                    Access::Local,
+                    &mut runs,
+                )?;
+                for run in &runs {
+                    self.kernel.dma_read_run(
+                        run.frame,
+                        run.offset,
+                        &mut out[base..base + run.len],
+                    )?;
+                    self.nic.stats.dma_ops += 1;
+                    base += run.len;
+                }
+            }
+            Ok(())
+        })();
+        self.run_scratch = runs;
+        match r {
+            Ok(()) => {
+                debug_assert_eq!(base, total);
+                Ok(out)
+            }
+            Err(e) => {
+                self.pool.put(out);
+                Err(e)
+            }
+        }
+    }
+
+    /// The pre-overhaul gather: per-page translate, fresh `Vec` grown
+    /// chunk-by-chunk. Kept behind [`Nic::legacy_datapath`] so the bench
+    /// can A/B the two paths in one binary.
+    fn gather_legacy(&self, vi_tag: ProtectionTag, desc: &Descriptor) -> ViaResult<Vec<u8>> {
         let mut out = Vec::with_capacity(desc.total_len());
         for seg in &desc.segs {
             let mut remaining = seg.len;
@@ -208,8 +363,49 @@ impl Node {
     }
 
     /// Scatter incoming bytes into the buffers of a receive descriptor (the
-    /// NIC-side DMA write).
-    fn scatter(
+    /// NIC-side DMA write), one burst DMA per contiguous run. Writes stop
+    /// when the descriptor runs out of room: `written < data.len()` is a
+    /// silent truncation the caller decides how to report.
+    fn scatter(&mut self, vi_id: ViId, desc: &Descriptor, data: &[u8]) -> ViaResult<usize> {
+        if self.nic.legacy_datapath {
+            let tag = self.nic.vi(vi_id)?.tag;
+            return self.scatter_legacy(tag, desc, data);
+        }
+        let mut written = 0usize;
+        let mut runs = std::mem::take(&mut self.run_scratch);
+        let r = (|| {
+            for seg in &desc.segs {
+                if written == data.len() {
+                    break;
+                }
+                let take = seg.len.min(data.len() - written);
+                runs.clear();
+                self.nic.translate_range(
+                    vi_id,
+                    seg.mem,
+                    seg.addr,
+                    take,
+                    Access::Local,
+                    &mut runs,
+                )?;
+                for run in &runs {
+                    self.kernel.dma_write_run(
+                        run.frame,
+                        run.offset,
+                        &data[written..written + run.len],
+                    )?;
+                    self.nic.stats.dma_ops += 1;
+                    written += run.len;
+                }
+            }
+            Ok(())
+        })();
+        self.run_scratch = runs;
+        r.map(|()| written)
+    }
+
+    /// Pre-overhaul per-page scatter (see [`Node::gather_legacy`]).
+    fn scatter_legacy(
         &mut self,
         vi_tag: ProtectionTag,
         desc: &Descriptor,
@@ -242,25 +438,53 @@ impl Node {
     /// (checking the target VI's tag and the region's RDMA-write enable).
     fn rdma_scatter(
         &mut self,
-        vi_tag: ProtectionTag,
+        vi_id: ViId,
         remote_mem: MemId,
         remote_addr: VirtAddr,
         data: &[u8],
     ) -> ViaResult<()> {
-        let mut written = 0usize;
-        let mut addr = remote_addr;
-        while written < data.len() {
-            let (frame, off) =
-                self.nic
-                    .tpt
-                    .translate(remote_mem, addr, vi_tag, Access::RdmaWrite)?;
-            let chunk = (data.len() - written).min(PAGE_SIZE - off);
-            self.kernel
-                .dma_write(frame, off, &data[written..written + chunk])?;
-            addr += chunk as u64;
-            written += chunk;
+        if self.nic.legacy_datapath {
+            let vi_tag = self.nic.vi(vi_id)?.tag;
+            let mut written = 0usize;
+            let mut addr = remote_addr;
+            while written < data.len() {
+                let (frame, off) =
+                    self.nic
+                        .tpt
+                        .translate(remote_mem, addr, vi_tag, Access::RdmaWrite)?;
+                let chunk = (data.len() - written).min(PAGE_SIZE - off);
+                self.kernel
+                    .dma_write(frame, off, &data[written..written + chunk])?;
+                addr += chunk as u64;
+                written += chunk;
+            }
+            return Ok(());
         }
-        Ok(())
+        let mut written = 0usize;
+        let mut runs = std::mem::take(&mut self.run_scratch);
+        let r = (|| {
+            runs.clear();
+            self.nic.translate_range(
+                vi_id,
+                remote_mem,
+                remote_addr,
+                data.len(),
+                Access::RdmaWrite,
+                &mut runs,
+            )?;
+            for run in &runs {
+                self.kernel.dma_write_run(
+                    run.frame,
+                    run.offset,
+                    &data[written..written + run.len],
+                )?;
+                self.nic.stats.dma_ops += 1;
+                written += run.len;
+            }
+            Ok(())
+        })();
+        self.run_scratch = runs;
+        r
     }
 
     /// Process all pending send-side descriptors of one VI, emitting
@@ -268,12 +492,27 @@ impl Node {
     /// (data "on the wire").
     pub fn pump_vi_sends(&mut self, vi_id: ViId, node_index: usize) -> ViaResult<Vec<Packet>> {
         let mut packets = Vec::new();
+        self.pump_vi_sends_into(vi_id, node_index, &mut packets)?;
+        Ok(packets)
+    }
+
+    /// [`Node::pump_vi_sends`] appending into a caller-owned vector, so the
+    /// fabric pump batches every VI's packets without an allocation per VI.
+    /// Returns the number of packets appended.
+    pub fn pump_vi_sends_into(
+        &mut self,
+        vi_id: ViId,
+        node_index: usize,
+        out: &mut Vec<Packet>,
+    ) -> ViaResult<usize> {
+        let mut n = 0usize;
         while let Some(desc) = self.nic.vi_mut(vi_id)?.send_q.pop_front() {
             if let Some(pkt) = self.execute_send_desc(vi_id, desc, node_index)? {
-                packets.push(pkt);
+                out.push(pkt);
+                n += 1;
             }
         }
-        Ok(packets)
+        Ok(n)
     }
 
     /// Native-mode pump: DMA-fetch every posted descriptor from the VI's
@@ -322,9 +561,9 @@ impl Node {
         mut desc: Descriptor,
         node_index: usize,
     ) -> ViaResult<Option<Packet>> {
-        let (tag, peer, state) = {
+        let (peer, state) = {
             let vi = self.nic.vi(vi_id)?;
-            (vi.tag, vi.peer, vi.state)
+            (vi.peer, vi.state)
         };
         if state != ViState::Connected {
             return Err(ViaError::NotConnected);
@@ -352,7 +591,7 @@ impl Node {
             self.nic.vi_mut(vi_id)?.pending_reads.push_back(desc);
             return Ok(Some(pkt));
         }
-        match self.gather(tag, &desc) {
+        match self.gather(vi_id, &desc) {
             Ok(payload) => {
                 desc.status = DescStatus::Done;
                 desc.done_len = payload.len();
@@ -411,17 +650,25 @@ impl Node {
     /// packets (RDMA-read answers) for the fabric to route.
     pub fn deliver(&mut self, packet: Packet) -> ViaResult<Vec<Packet>> {
         let vi_id = packet.dst_vi;
-        let tag = self.nic.vi(vi_id)?.tag;
+        self.nic.vi(vi_id)?;
         match packet.kind {
             PacketKind::Send => {
+                let reliability = self.nic.vi(vi_id)?.reliability;
                 let Some(mut desc) = self.nic.vi_mut(vi_id)?.recv_q.pop_front() else {
-                    // Reliable mode: drop the message AND break the
-                    // connection.
                     self.nic.stats.dropped += 1;
-                    self.nic.vi_mut(vi_id)?.state = ViState::Error;
-                    return Err(ViaError::NoRecvDescriptor);
+                    self.pool.put(packet.payload);
+                    return match reliability {
+                        // Reliable mode: drop the message AND break the
+                        // connection.
+                        Reliability::Reliable => {
+                            self.nic.vi_mut(vi_id)?.state = ViState::Error;
+                            Err(ViaError::NoRecvDescriptor)
+                        }
+                        // Unreliable delivery: a datagram into the void.
+                        Reliability::Unreliable => Ok(Vec::new()),
+                    };
                 };
-                if desc.total_len() < packet.payload.len() {
+                if reliability == Reliability::Reliable && desc.total_len() < packet.payload.len() {
                     self.nic.stats.dropped += 1;
                     let vi = self.nic.vi_mut(vi_id)?;
                     vi.state = ViState::Error;
@@ -432,16 +679,22 @@ impl Node {
                         len: 0,
                         imm: packet.imm,
                     });
-                    return Err(ViaError::RecvTooSmall {
+                    let e = Err(ViaError::RecvTooSmall {
                         need: packet.payload.len(),
                         have: desc.total_len(),
                     });
+                    self.pool.put(packet.payload);
+                    return e;
                 }
-                let written = self.scatter(tag, &desc, &packet.payload)?;
+                // Unreliable mode takes a truncating delivery instead:
+                // `scatter` stops at the descriptor's capacity and the
+                // completion reports the bytes actually placed.
+                let written = self.scatter(vi_id, &desc, &packet.payload)?;
                 desc.status = DescStatus::Done;
                 desc.done_len = written;
                 self.nic.stats.recvs += 1;
                 self.nic.stats.bytes_rx += written as u64;
+                self.pool.put(packet.payload);
                 let vi = self.nic.vi_mut(vi_id)?;
                 vi.cq.push_back(Completion {
                     vi: vi_id,
@@ -457,7 +710,9 @@ impl Node {
                 remote_addr,
             } => {
                 let n = packet.payload.len();
-                match self.rdma_scatter(tag, remote_mem, remote_addr, &packet.payload) {
+                let r = self.rdma_scatter(vi_id, remote_mem, remote_addr, &packet.payload);
+                self.pool.put(packet.payload);
+                match r {
                     Ok(()) => {
                         self.nic.stats.bytes_rx += n as u64;
                         Ok(Vec::new())
@@ -476,7 +731,7 @@ impl Node {
             } => {
                 // Target side: gather the requested range (tag + read-enable
                 // checked) and answer.
-                match self.rdma_gather(tag, remote_mem, remote_addr, len) {
+                match self.rdma_gather(vi_id, remote_mem, remote_addr, len) {
                     Ok(payload) => {
                         self.nic.stats.bytes_tx += payload.len() as u64;
                         Ok(vec![Packet {
@@ -497,12 +752,14 @@ impl Node {
             PacketKind::RdmaReadResp => {
                 // Requester side: scatter into the parked read descriptor.
                 let Some(mut desc) = self.nic.vi_mut(vi_id)?.pending_reads.pop_front() else {
+                    self.pool.put(packet.payload);
                     return Err(ViaError::BadState("read response without pending read"));
                 };
-                let written = self.scatter(tag, &desc, &packet.payload)?;
+                let written = self.scatter(vi_id, &desc, &packet.payload)?;
                 desc.status = DescStatus::Done;
                 desc.done_len = written;
                 self.nic.stats.bytes_rx += written as u64;
+                self.pool.put(packet.payload);
                 let vi = self.nic.vi_mut(vi_id)?;
                 vi.cq.push_back(Completion {
                     vi: vi_id,
@@ -519,26 +776,58 @@ impl Node {
     /// Gather `len` bytes from a named region for an RDMA-read request
     /// (checking the target VI's tag and the region's read-enable).
     fn rdma_gather(
-        &self,
-        vi_tag: ProtectionTag,
+        &mut self,
+        vi_id: ViId,
         remote_mem: MemId,
         remote_addr: VirtAddr,
         len: usize,
     ) -> ViaResult<Vec<u8>> {
-        let mut out = Vec::with_capacity(len);
-        let mut addr = remote_addr;
-        while out.len() < len {
-            let (frame, off) =
-                self.nic
-                    .tpt
-                    .translate(remote_mem, addr, vi_tag, Access::RdmaRead)?;
-            let chunk = (len - out.len()).min(PAGE_SIZE - off);
-            let base = out.len();
-            out.resize(base + chunk, 0);
-            self.kernel
-                .dma_read(frame, off, &mut out[base..base + chunk])?;
-            addr += chunk as u64;
+        if self.nic.legacy_datapath {
+            let vi_tag = self.nic.vi(vi_id)?.tag;
+            let mut out = Vec::with_capacity(len);
+            let mut addr = remote_addr;
+            while out.len() < len {
+                let (frame, off) =
+                    self.nic
+                        .tpt
+                        .translate(remote_mem, addr, vi_tag, Access::RdmaRead)?;
+                let chunk = (len - out.len()).min(PAGE_SIZE - off);
+                let base = out.len();
+                out.resize(base + chunk, 0);
+                self.kernel
+                    .dma_read(frame, off, &mut out[base..base + chunk])?;
+                addr += chunk as u64;
+            }
+            return Ok(out);
         }
-        Ok(out)
+        let mut out = self.pool.take(len, &mut self.nic.stats);
+        let mut base = 0usize;
+        let mut runs = std::mem::take(&mut self.run_scratch);
+        let r = (|| {
+            runs.clear();
+            self.nic.translate_range(
+                vi_id,
+                remote_mem,
+                remote_addr,
+                len,
+                Access::RdmaRead,
+                &mut runs,
+            )?;
+            for run in &runs {
+                self.kernel
+                    .dma_read_run(run.frame, run.offset, &mut out[base..base + run.len])?;
+                self.nic.stats.dma_ops += 1;
+                base += run.len;
+            }
+            Ok(())
+        })();
+        self.run_scratch = runs;
+        match r {
+            Ok(()) => Ok(out),
+            Err(e) => {
+                self.pool.put(out);
+                Err(e)
+            }
+        }
     }
 }

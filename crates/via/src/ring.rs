@@ -21,11 +21,11 @@
 //!   exactly why the VIA spec demands that descriptor memory be
 //!   registered and locked too.
 
-use simmem::{Kernel, VirtAddr, PAGE_SIZE};
+use simmem::{Kernel, VirtAddr};
 
 use crate::descriptor::{DataSeg, DescOp, DescStatus, Descriptor, RdmaSeg};
 use crate::error::{ViaError, ViaResult};
-use crate::tpt::{Access, MemId, ProtectionTag, Tpt};
+use crate::tpt::{Access, DmaRun, MemId, ProtectionTag, Tpt};
 
 /// On-memory descriptor layout.
 pub mod wire {
@@ -158,6 +158,8 @@ pub struct DescriptorRing {
     /// The doorbell: outstanding descriptor count. In hardware this is a
     /// memory-mapped register; posting = incrementing.
     doorbell: u64,
+    /// Scratch run list reused across descriptor fetches.
+    runs: Vec<DmaRun>,
 }
 
 impl DescriptorRing {
@@ -171,6 +173,7 @@ impl DescriptorRing {
             head: 0,
             tail: 0,
             doorbell: 0,
+            runs: Vec::new(),
         }
     }
 
@@ -219,16 +222,24 @@ impl DescriptorRing {
             return Ok(None);
         }
         let slot = (self.tail % self.slots as u64) as usize;
-        let mut addr = self.base + (slot * SLOT_SIZE) as u64;
+        let addr = self.base + (slot * SLOT_SIZE) as u64;
         let mut bytes = [0u8; SLOT_SIZE];
-        // The slot may cross a page boundary inside the registered region.
+        // The slot may cross a page boundary inside the registered region;
+        // translate_range hands back one run per contiguous stretch (one,
+        // for a page-interior slot).
+        self.runs.clear();
+        tpt.translate_range(
+            self.mem,
+            addr,
+            SLOT_SIZE,
+            tag,
+            Access::Local,
+            &mut self.runs,
+        )?;
         let mut read = 0usize;
-        while read < SLOT_SIZE {
-            let (frame, off) = tpt.translate(self.mem, addr, tag, Access::Local)?;
-            let chunk = (SLOT_SIZE - read).min(PAGE_SIZE - off);
-            kernel.dma_read(frame, off, &mut bytes[read..read + chunk])?;
-            read += chunk;
-            addr += chunk as u64;
+        for run in &self.runs {
+            kernel.dma_read_run(run.frame, run.offset, &mut bytes[read..read + run.len])?;
+            read += run.len;
         }
         let desc = decode(&bytes)?;
         self.tail += 1;
@@ -241,7 +252,7 @@ impl DescriptorRing {
 mod tests {
     use super::*;
     use crate::nic::Node;
-    use simmem::{prot, Capabilities, KernelConfig};
+    use simmem::{prot, Capabilities, KernelConfig, PAGE_SIZE};
     use vialock::StrategyKind;
 
     #[test]

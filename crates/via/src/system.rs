@@ -11,8 +11,8 @@ use vialock::StrategyKind;
 use crate::descriptor::Descriptor;
 use crate::error::{ViaError, ViaResult};
 use crate::nic::{Node, Packet, DEFAULT_TPT_PAGES};
-use crate::tpt::{MemId, ProtectionTag};
-use crate::vi::{Completion, ViId, ViState};
+use crate::tpt::{Access, DmaRun, MemId, ProtectionTag};
+use crate::vi::{Completion, Reliability, ViId, ViState};
 
 /// Index of a node in the system.
 pub type NodeId = usize;
@@ -25,6 +25,12 @@ pub struct ViaSystem {
     /// Connection manager: listening endpoints keyed by
     /// (node, discriminator) — the VIA connection-establishment address.
     listeners: std::collections::HashMap<(NodeId, u64), ViId>,
+    /// Scratch VI-id list reused by [`ViaSystem::pump`].
+    vi_scratch: Vec<ViId>,
+    /// Scratch staging buffer reused by [`ViaSystem::sci_write`].
+    pio_scratch: Vec<u8>,
+    /// Scratch DMA-run list reused by the SCI PIO paths.
+    sci_runs: Vec<DmaRun>,
 }
 
 impl ViaSystem {
@@ -37,6 +43,9 @@ impl ViaSystem {
                 .collect(),
             in_flight: Vec::new(),
             listeners: std::collections::HashMap::new(),
+            vi_scratch: Vec::new(),
+            pio_scratch: Vec::new(),
+            sci_runs: Vec::new(),
         }
     }
 
@@ -104,6 +113,14 @@ impl ViaSystem {
     /// Create a VI on node `n`.
     pub fn create_vi(&mut self, n: NodeId, pid: Pid, tag: ProtectionTag) -> ViaResult<ViId> {
         Ok(self.nodes[n].nic.create_vi(pid, tag))
+    }
+
+    /// Set a VI's reliability level. Delivery semantics are decided by the
+    /// *receiving* VI's level, so symmetric connections should set both
+    /// ends.
+    pub fn set_reliability(&mut self, n: NodeId, vi: ViId, r: Reliability) -> ViaResult<()> {
+        self.nodes[n].nic.vi_mut(vi)?.reliability = r;
+        Ok(())
     }
 
     /// Connect two VIs (the client/server handshake collapsed into one
@@ -336,9 +353,16 @@ impl ViaSystem {
     ) -> ViaResult<()> {
         let (sn, spid, saddr) = src;
         let (dn, dmem, doff) = dst;
-        let mut buf = vec![0u8; len];
-        self.nodes[sn].kernel.read_user(spid, saddr, &mut buf)?;
-        self.sci_write_bytes(&buf, (dn, dmem, doff))
+        let mut buf = std::mem::take(&mut self.pio_scratch);
+        buf.clear();
+        buf.resize(len, 0);
+        let r = self.nodes[sn]
+            .kernel
+            .read_user(spid, saddr, &mut buf)
+            .map_err(ViaError::from)
+            .and_then(|()| self.sci_write_bytes(&buf, (dn, dmem, doff)));
+        self.pio_scratch = buf;
+        r
     }
 
     /// [`ViaSystem::sci_write`] with an in-flight byte buffer as source
@@ -350,18 +374,21 @@ impl ViaSystem {
         if doff + data.len() > region.len {
             return Err(ViaError::OutOfBounds);
         }
-        let tag = region.tag;
+        let addr = region.user_addr + doff as u64;
+        self.sci_runs.clear();
+        node.nic.tpt.translate_range(
+            dmem,
+            addr,
+            data.len(),
+            region.tag,
+            Access::Local,
+            &mut self.sci_runs,
+        )?;
         let mut written = 0usize;
-        while written < data.len() {
-            let addr = region.user_addr + (doff + written) as u64;
-            let (frame, off) =
-                node.nic
-                    .tpt
-                    .translate(dmem, addr, tag, crate::tpt::Access::Local)?;
-            let chunk = (data.len() - written).min(simmem::PAGE_SIZE - off);
+        for run in &self.sci_runs {
             node.kernel
-                .dma_write(frame, off, &data[written..written + chunk])?;
-            written += chunk;
+                .dma_write_run(run.frame, run.offset, &data[written..written + run.len])?;
+            written += run.len;
         }
         Ok(())
     }
@@ -375,18 +402,21 @@ impl ViaSystem {
         if soff + out.len() > region.len {
             return Err(ViaError::OutOfBounds);
         }
-        let tag = region.tag;
+        let addr = region.user_addr + soff as u64;
+        self.sci_runs.clear();
+        node.nic.tpt.translate_range(
+            smem,
+            addr,
+            out.len(),
+            region.tag,
+            Access::Local,
+            &mut self.sci_runs,
+        )?;
         let mut read = 0usize;
-        while read < out.len() {
-            let addr = region.user_addr + (soff + read) as u64;
-            let (frame, off) =
-                node.nic
-                    .tpt
-                    .translate(smem, addr, tag, crate::tpt::Access::Local)?;
-            let chunk = (out.len() - read).min(simmem::PAGE_SIZE - off);
+        for run in &self.sci_runs {
             node.kernel
-                .dma_read(frame, off, &mut out[read..read + chunk])?;
-            read += chunk;
+                .dma_read_run(run.frame, run.offset, &mut out[read..read + run.len])?;
+            read += run.len;
         }
         Ok(())
     }
@@ -404,15 +434,16 @@ impl ViaSystem {
         let mut delivered = 0usize;
         let mut first_error: Option<ViaError> = None;
         loop {
-            // Collect packets from every node.
+            // Collect packets from every node, batched straight into the
+            // in-flight queue (no per-VI vector).
             for n in 0..self.nodes.len() {
-                for vi in self.nodes[n].nic.vi_ids() {
-                    let has_sends = self.nodes[n].nic.vi(vi)?.sends_pending() > 0;
-                    if !has_sends {
+                self.nodes[n].nic.vi_ids_into(&mut self.vi_scratch);
+                for i in 0..self.vi_scratch.len() {
+                    let vi = self.vi_scratch[i];
+                    if self.nodes[n].nic.vi(vi)?.sends_pending() == 0 {
                         continue;
                     }
-                    let mut pkts = self.nodes[n].pump_vi_sends(vi, n)?;
-                    self.in_flight.append(&mut pkts);
+                    self.nodes[n].pump_vi_sends_into(vi, n, &mut self.in_flight)?;
                 }
             }
             if self.in_flight.is_empty() {

@@ -12,6 +12,7 @@
 //! incoming ones, or [`NodeCtx::wait_completion`] to block until a CQ
 //! entry arrives.
 
+use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
 
@@ -22,6 +23,34 @@ use crate::vi::{Completion, ViId};
 /// How long [`NodeCtx::wait_completion`] waits before declaring the peer
 /// dead.
 pub const WAIT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Non-blocking polls of the inbound channel before
+/// [`NodeCtx::wait_completion`] starts yielding (spin-yield-park). On a
+/// single-core host the budget is zero: the peer can only make progress
+/// once we give the core away, so every spin iteration is pure added
+/// latency there.
+fn spin_budget() -> usize {
+    static BUDGET: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores > 1 {
+            64
+        } else {
+            0
+        }
+    })
+}
+
+/// Polls with a `yield_now` between them after the spin budget runs out:
+/// a yield hands the core to the peer without the futex sleep/wake
+/// round-trip a park costs.
+const YIELD_BUDGET: usize = 16;
+
+/// How long a single park lasts once the spin budget is exhausted.
+const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// Most packets [`NodeCtx::pump`] delivers per call (bounded burst).
+const DELIVER_BURST: usize = 256;
 
 /// Wire two VIs of two (not yet split) nodes together. `a_index` and
 /// `b_index` are the node indices used in packet routing (0 and 1 for
@@ -47,46 +76,94 @@ pub fn connect_pair(
     Ok(())
 }
 
-/// Per-thread driver for one node.
+/// Per-thread driver for one node. Packets travel in batches: one channel
+/// send per pump carries every packet staged since the last one, and
+/// arriving batches land in `inbound` to be delivered one at a time.
 pub struct NodeCtx {
     pub node: Node,
     index: usize,
-    tx: Sender<Packet>,
-    rx: Receiver<Packet>,
+    tx: Sender<Vec<Packet>>,
+    rx: Receiver<Vec<Packet>>,
+    /// Packets received from the wire but not yet delivered.
+    inbound: VecDeque<Packet>,
+    /// Cached VI id list; VIs are only ever created, so a count check
+    /// suffices to detect staleness.
+    vi_ids: Vec<ViId>,
+    /// Outgoing packets staged for the next batched channel send.
+    outbox: Vec<Packet>,
 }
 
 impl NodeCtx {
-    /// Ship every pending send and deliver every packet currently queued
-    /// inbound. Returns (packets sent, packets delivered).
+    /// Ship every pending send and deliver a bounded burst of queued
+    /// inbound packets (one at a time, a CQ stays checkable between any
+    /// two). Returns (packets sent, packets delivered).
     pub fn pump(&mut self) -> ViaResult<(usize, usize)> {
-        let mut sent = 0usize;
-        for vi in self.node.nic.vi_ids() {
-            for pkt in self.node.pump_vi_sends(vi, self.index)? {
-                sent += 1;
-                // A closed peer is a torn-down cluster; surface it.
-                self.tx.send(pkt).map_err(|_| ViaError::Disconnected)?;
-            }
-        }
+        let sent = self.ship_sends()?;
         let mut delivered = 0usize;
-        while let Ok(pkt) = self.rx.try_recv() {
+        while delivered < DELIVER_BURST && self.deliver_one_inbound(false)? {
             delivered += 1;
-            for resp in self.node.deliver(pkt)? {
-                self.tx.send(resp).map_err(|_| ViaError::Disconnected)?;
-            }
         }
         Ok((sent, delivered))
     }
 
-    /// Ship every pending send without touching the inbound queue.
+    /// Ship every pending send of every VI as ONE batched channel send,
+    /// without touching the inbound queue.
     fn ship_sends(&mut self) -> ViaResult<usize> {
+        if self.vi_ids.len() != self.node.nic.vi_count() {
+            self.node.nic.vi_ids_into(&mut self.vi_ids);
+        }
         let mut sent = 0usize;
-        for vi in self.node.nic.vi_ids() {
-            for pkt in self.node.pump_vi_sends(vi, self.index)? {
-                sent += 1;
-                self.tx.send(pkt).map_err(|_| ViaError::Disconnected)?;
+        for i in 0..self.vi_ids.len() {
+            sent += self
+                .node
+                .pump_vi_sends_into(self.vi_ids[i], self.index, &mut self.outbox)?;
+        }
+        if !self.outbox.is_empty() {
+            if self.node.nic.legacy_datapath {
+                // Pre-overhaul wire: one channel operation (and one peer
+                // wakeup) per packet.
+                for pkt in self.outbox.drain(..) {
+                    self.tx
+                        .send(vec![pkt])
+                        .map_err(|_| ViaError::Disconnected)?;
+                }
+            } else {
+                let batch = std::mem::take(&mut self.outbox);
+                // A closed peer is a torn-down cluster; surface it.
+                self.tx.send(batch).map_err(|_| ViaError::Disconnected)?;
             }
         }
         Ok(sent)
+    }
+
+    /// Pull whatever the wire has queued into `inbound` without blocking.
+    /// Returns whether `inbound` is now non-empty.
+    fn refill_inbound(&mut self) -> bool {
+        while let Ok(batch) = self.rx.try_recv() {
+            self.inbound.extend(batch);
+        }
+        !self.inbound.is_empty()
+    }
+
+    /// Deliver exactly ONE inbound packet, if any is queued. This is the
+    /// single choke point both `pump` and the disconnected drain go
+    /// through, so the one-packet-per-CQ-check rule holds everywhere.
+    /// With `best_effort_tx` a dead peer channel swallows responses
+    /// instead of erroring (used while draining after a disconnect).
+    fn deliver_one_inbound(&mut self, best_effort_tx: bool) -> ViaResult<bool> {
+        if self.inbound.is_empty() && !self.refill_inbound() {
+            return Ok(false);
+        }
+        let pkt = self.inbound.pop_front().expect("refill_inbound said so");
+        let resps = self.node.deliver(pkt)?;
+        if !resps.is_empty() {
+            if best_effort_tx {
+                let _ = self.tx.send(resps);
+            } else {
+                self.tx.send(resps).map_err(|_| ViaError::Disconnected)?;
+            }
+        }
+        Ok(true)
     }
 
     /// Block until a completion appears on `vi`'s CQ (pumping while
@@ -99,6 +176,11 @@ impl NodeCtx {
     /// here loses the race against a fast peer: its next message lands
     /// before our next receive is posted and reliable mode rejects it
     /// with `NoRecvDescriptor`, tearing the node down.)
+    ///
+    /// While idle the wait spins on non-blocking channel polls for
+    /// [`spin_budget`] iterations (latency path: the peer usually answers
+    /// within microseconds), yields the core for up to [`YIELD_BUDGET`]
+    /// more polls, and only then parks for [`PARK_TIMEOUT`].
     pub fn wait_completion(&mut self, vi: ViId) -> ViaResult<Completion> {
         let deadline = Instant::now() + WAIT_TIMEOUT;
         loop {
@@ -106,32 +188,53 @@ impl NodeCtx {
             if let Some(c) = self.node.nic.vi_mut(vi)?.poll_cq() {
                 return Ok(c);
             }
-            // Park briefly on the inbound channel so we neither spin hot
-            // nor miss a wakeup.
-            match self.rx.recv_timeout(Duration::from_millis(1)) {
-                Ok(pkt) => {
-                    for resp in self.node.deliver(pkt)? {
-                        self.tx.send(resp).map_err(|_| ViaError::Disconnected)?;
+            if self.deliver_one_inbound(false)? {
+                continue;
+            }
+            // Nothing queued: spin briefly, then park so we neither burn
+            // the core nor miss a wakeup. The legacy path parked
+            // immediately (the pre-overhaul fixed 1 ms park), paying a
+            // futex sleep/wake on every idle wait.
+            let mut woke = false;
+            if !self.node.nic.legacy_datapath {
+                let spins = spin_budget();
+                for i in 0..spins + YIELD_BUDGET {
+                    if self.refill_inbound() {
+                        woke = true;
+                        break;
+                    }
+                    if i < spins {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
                     }
                 }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => {
-                    // Peer thread finished; drain what it left behind,
-                    // still one packet per CQ check.
-                    loop {
-                        if let Some(c) = self.node.nic.vi_mut(vi)?.poll_cq() {
-                            return Ok(c);
-                        }
-                        let Ok(pkt) = self.rx.try_recv() else { break };
-                        for resp in self.node.deliver(pkt)? {
-                            let _ = self.tx.send(resp);
-                        }
+            }
+            if !woke {
+                match self.rx.recv_timeout(PARK_TIMEOUT) {
+                    Ok(batch) => self.inbound.extend(batch),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return self.drain_disconnected(vi);
                     }
-                    return Err(ViaError::Disconnected);
                 }
             }
             if Instant::now() > deadline {
                 return Err(ViaError::BadState("wait_completion timed out"));
+            }
+        }
+    }
+
+    /// Peer thread finished: deliver what it left behind — still one
+    /// packet per CQ check — then report the disconnect if the awaited
+    /// completion never materialises.
+    fn drain_disconnected(&mut self, vi: ViId) -> ViaResult<Completion> {
+        loop {
+            if let Some(c) = self.node.nic.vi_mut(vi)?.poll_cq() {
+                return Ok(c);
+            }
+            if !self.deliver_one_inbound(true)? {
+                return Err(ViaError::Disconnected);
             }
         }
     }
@@ -153,19 +256,25 @@ where
     F0: FnOnce(&mut NodeCtx) -> ViaResult<R0> + Send,
     F1: FnOnce(&mut NodeCtx) -> ViaResult<R1> + Send,
 {
-    let (tx01, rx01) = channel::<Packet>();
-    let (tx10, rx10) = channel::<Packet>();
+    let (tx01, rx01) = channel::<Vec<Packet>>();
+    let (tx10, rx10) = channel::<Vec<Packet>>();
     let mut ctx0 = NodeCtx {
         node: node0,
         index: 0,
         tx: tx01,
         rx: rx10,
+        inbound: VecDeque::new(),
+        vi_ids: Vec::new(),
+        outbox: Vec::new(),
     };
     let mut ctx1 = NodeCtx {
         node: node1,
         index: 1,
         tx: tx10,
         rx: rx01,
+        inbound: VecDeque::new(),
+        vi_ids: Vec::new(),
+        outbox: Vec::new(),
     };
 
     std::thread::scope(|s| {

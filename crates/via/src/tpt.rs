@@ -65,12 +65,68 @@ pub struct TptRegion {
     pub tag: ProtectionTag,
 }
 
+/// A maximal physically contiguous frame run inside a translated span: the
+/// unit of burst DMA. `frame` is the first frame; the run continues through
+/// physically consecutive frames for `len` bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaRun {
+    pub frame: FrameId,
+    /// Byte offset within the first frame.
+    pub offset: usize,
+    /// Total bytes in the run (may cross any number of frame boundaries).
+    pub len: usize,
+}
+
+/// Number of region descriptors a per-VI translation cache holds.
+pub const TLB_WAYS: usize = 8;
+
+#[derive(Debug, Clone, Copy)]
+struct TlbSlot {
+    mem: MemId,
+    /// TPT generation the entry was filled at; any insert/remove since
+    /// invalidates it.
+    generation: u64,
+    user_addr: VirtAddr,
+    len: usize,
+    page_base: VirtAddr,
+    first_slot: usize,
+    tag: ProtectionTag,
+    rdma_write: bool,
+    rdma_read: bool,
+}
+
+/// A per-VI mini-TLB over TPT *region descriptors*: a hit resolves bounds,
+/// protection and the slot window without touching the region directory
+/// (the `BTreeMap` walk real NICs avoid with their on-chip TLBs). Frames
+/// are always read from the live TPT slots, so `poke_frame` staleness
+/// injection stays visible; directory mutations invalidate via the TPT
+/// generation counter.
+#[derive(Debug, Default)]
+pub struct TranslationCache {
+    slots: [Option<TlbSlot>; TLB_WAYS],
+}
+
+impl TranslationCache {
+    fn lookup(&self, mem: MemId, generation: u64) -> Option<&TlbSlot> {
+        self.slots[mem.0 as usize % TLB_WAYS]
+            .as_ref()
+            .filter(|s| s.mem == mem && s.generation == generation)
+    }
+
+    fn fill(&mut self, slot: TlbSlot) {
+        self.slots[slot.mem.0 as usize % TLB_WAYS] = Some(slot);
+    }
+}
+
 /// The table itself: fixed-capacity slots plus the region directory.
 pub struct Tpt {
     slots: Vec<Option<TptEntry>>,
     free: Vec<usize>,
     regions: std::collections::BTreeMap<MemId, TptRegion>,
     next_mem: u32,
+    /// Bumped on every directory mutation; validates [`TranslationCache`]
+    /// entries.
+    generation: u64,
 }
 
 impl Tpt {
@@ -81,7 +137,13 @@ impl Tpt {
             free: (0..capacity).rev().collect(),
             regions: Default::default(),
             next_mem: 1,
+            generation: 0,
         }
+    }
+
+    /// Current directory generation (TLB validity stamp).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Free page slots remaining.
@@ -125,6 +187,7 @@ impl Tpt {
             .retain(|&s| !(first_slot..first_slot + npages).contains(&s));
         let mem_id = MemId(self.next_mem);
         self.next_mem += 1;
+        self.generation += 1;
         self.regions.insert(
             mem_id,
             TptRegion {
@@ -168,6 +231,7 @@ impl Tpt {
             self.slots[slot] = None;
             self.free.push(slot);
         }
+        self.generation += 1;
         Ok(region)
     }
 
@@ -210,6 +274,181 @@ impl Tpt {
             _ => {}
         }
         Ok((entry.frame, (addr & (PAGE_SIZE as u64 - 1)) as usize))
+    }
+
+    /// Resolve `[addr, addr+len)` of a region into maximal physically
+    /// contiguous frame runs, appended to `out`. Bounds, protection-tag and
+    /// RDMA-attribute checks run **once per span**, not once per page; the
+    /// caller then issues one burst DMA per run.
+    pub fn translate_range(
+        &self,
+        mem_id: MemId,
+        addr: VirtAddr,
+        len: usize,
+        want_tag: ProtectionTag,
+        access: Access,
+        out: &mut Vec<DmaRun>,
+    ) -> ViaResult<()> {
+        let region = self.region(mem_id)?;
+        self.resolve_runs(
+            region.user_addr,
+            region.len,
+            region.page_base,
+            region.first_slot,
+            region.tag,
+            addr,
+            len,
+            want_tag,
+            access,
+            out,
+        )
+    }
+
+    /// [`Tpt::translate_range`] through a per-VI [`TranslationCache`]: a
+    /// hit skips the region-directory lookup entirely. Returns `true` on a
+    /// TLB hit, `false` on a miss (the entry is filled for next time).
+    #[allow(clippy::too_many_arguments)]
+    pub fn translate_range_tlb(
+        &self,
+        tlb: &mut TranslationCache,
+        mem_id: MemId,
+        addr: VirtAddr,
+        len: usize,
+        want_tag: ProtectionTag,
+        access: Access,
+        out: &mut Vec<DmaRun>,
+    ) -> ViaResult<bool> {
+        if let Some(e) = tlb.lookup(mem_id, self.generation) {
+            let (user_addr, rlen, page_base, first_slot, tag) =
+                (e.user_addr, e.len, e.page_base, e.first_slot, e.tag);
+            // Attribute checks against the cached descriptor.
+            match access {
+                Access::Local => {}
+                Access::RdmaWrite if !e.rdma_write => return Err(ViaError::RdmaDisabled),
+                Access::RdmaRead if !e.rdma_read => return Err(ViaError::RdmaDisabled),
+                _ => {}
+            }
+            self.resolve_runs(
+                user_addr,
+                rlen,
+                page_base,
+                first_slot,
+                tag,
+                addr,
+                len,
+                want_tag,
+                Access::Local, // attributes already checked above
+                out,
+            )?;
+            return Ok(true);
+        }
+        let region = self.region(mem_id)?;
+        // Region attributes are uniform across its slots; cache them from
+        // the first entry.
+        let entry = self.slots[region.first_slot]
+            .as_ref()
+            .expect("region slots are filled");
+        let slot = TlbSlot {
+            mem: mem_id,
+            generation: self.generation,
+            user_addr: region.user_addr,
+            len: region.len,
+            page_base: region.page_base,
+            first_slot: region.first_slot,
+            tag: region.tag,
+            rdma_write: entry.rdma_write,
+            rdma_read: entry.rdma_read,
+        };
+        self.resolve_runs(
+            region.user_addr,
+            region.len,
+            region.page_base,
+            region.first_slot,
+            region.tag,
+            addr,
+            len,
+            want_tag,
+            access,
+            out,
+        )?;
+        tlb.fill(slot);
+        Ok(false)
+    }
+
+    /// Shared core of the range translators: span checks once, then a
+    /// slot walk that coalesces physically consecutive frames.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_runs(
+        &self,
+        region_addr: VirtAddr,
+        region_len: usize,
+        page_base: VirtAddr,
+        first_slot: usize,
+        region_tag: ProtectionTag,
+        addr: VirtAddr,
+        len: usize,
+        want_tag: ProtectionTag,
+        access: Access,
+        out: &mut Vec<DmaRun>,
+    ) -> ViaResult<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        if addr < region_addr || addr + len as u64 > region_addr + region_len as u64 {
+            return Err(ViaError::OutOfBounds);
+        }
+        if region_tag != want_tag {
+            return Err(ViaError::ProtectionMismatch);
+        }
+        let first_page = ((addr - page_base) / PAGE_SIZE as u64) as usize;
+        let last_page = ((addr + len as u64 - 1 - page_base) / PAGE_SIZE as u64) as usize;
+        let first_entry = self.slots[first_slot + first_page]
+            .as_ref()
+            .expect("region slots are filled");
+        match access {
+            Access::Local => {}
+            Access::RdmaWrite if !first_entry.rdma_write => return Err(ViaError::RdmaDisabled),
+            Access::RdmaRead if !first_entry.rdma_read => return Err(ViaError::RdmaDisabled),
+            _ => {}
+        }
+        let mut run_frame = first_entry.frame;
+        let mut run_offset = (addr & (PAGE_SIZE as u64 - 1)) as usize;
+        // Bytes of the span covered by each page: the first and last pages
+        // may be partial.
+        let mut run_len = 0usize;
+        let mut prev_frame = run_frame;
+        let mut remaining = len;
+        for page in first_page..=last_page {
+            let covered = if page == first_page {
+                remaining.min(PAGE_SIZE - run_offset)
+            } else {
+                remaining.min(PAGE_SIZE)
+            };
+            let frame = self.slots[first_slot + page]
+                .as_ref()
+                .expect("region slots are filled")
+                .frame;
+            if page > first_page && frame.0 != prev_frame.0 + 1 {
+                // Physical discontinuity: close the current run.
+                out.push(DmaRun {
+                    frame: run_frame,
+                    offset: run_offset,
+                    len: run_len,
+                });
+                run_frame = frame;
+                run_offset = 0;
+                run_len = 0;
+            }
+            run_len += covered;
+            remaining -= covered;
+            prev_frame = frame;
+        }
+        out.push(DmaRun {
+            frame: run_frame,
+            offset: run_offset,
+            len: run_len,
+        });
+        Ok(())
     }
 
     /// Overwrite the frame stored for one page of a region (test hook used
@@ -364,5 +603,221 @@ mod tests {
     fn remove_unknown_region() {
         let mut t = Tpt::new(4);
         assert!(t.remove_region(MemId(9)).is_err());
+    }
+
+    #[test]
+    fn translate_range_coalesces_contiguous_frames() {
+        let mut t = Tpt::new(16);
+        // Frames 100,101,102 contiguous; then a gap; then 200.
+        let id = t
+            .insert_region(
+                vialock::MemHandle(1),
+                Pid(1),
+                0x1000,
+                4 * PAGE_SIZE,
+                &[FrameId(100), FrameId(101), FrameId(102), FrameId(200)],
+                ProtectionTag(7),
+                true,
+                false,
+            )
+            .unwrap();
+        let mut runs = Vec::new();
+        t.translate_range(
+            id,
+            0x1000 + 10,
+            3 * PAGE_SIZE,
+            ProtectionTag(7),
+            Access::Local,
+            &mut runs,
+        )
+        .unwrap();
+        // 10..3*PAGE+10 spans pages 0..3: one run over 100..102 (ending 10
+        // bytes into frame 102's successor — no: 3*PAGE bytes from offset 10
+        // covers pages 0,1,2,3) then the discontiguous 200.
+        assert_eq!(
+            runs,
+            vec![
+                DmaRun {
+                    frame: FrameId(100),
+                    offset: 10,
+                    len: 3 * PAGE_SIZE - 10
+                },
+                DmaRun {
+                    frame: FrameId(200),
+                    offset: 0,
+                    len: 10
+                },
+            ]
+        );
+        let total: usize = runs.iter().map(|r| r.len).sum();
+        assert_eq!(total, 3 * PAGE_SIZE);
+
+        // Same result as per-page translate, page by page.
+        let (f, off) = t
+            .translate(id, 0x1000 + 10, ProtectionTag(7), Access::Local)
+            .unwrap();
+        assert_eq!((f, off), (FrameId(100), 10));
+
+        // Bounds and tag still enforced, now span-wide.
+        assert_eq!(
+            t.translate_range(
+                id,
+                0x1000 + PAGE_SIZE as u64,
+                4 * PAGE_SIZE,
+                ProtectionTag(7),
+                Access::Local,
+                &mut runs
+            ),
+            Err(ViaError::OutOfBounds)
+        );
+        assert_eq!(
+            t.translate_range(
+                id,
+                0x1000,
+                PAGE_SIZE,
+                ProtectionTag(8),
+                Access::Local,
+                &mut runs
+            ),
+            Err(ViaError::ProtectionMismatch)
+        );
+        assert_eq!(
+            t.translate_range(
+                id,
+                0x1000,
+                PAGE_SIZE,
+                ProtectionTag(7),
+                Access::RdmaRead,
+                &mut runs
+            ),
+            Err(ViaError::RdmaDisabled)
+        );
+    }
+
+    #[test]
+    fn tlb_hits_and_generation_invalidation() {
+        let mut t = Tpt::new(16);
+        let id = t
+            .insert_region(
+                vialock::MemHandle(1),
+                Pid(1),
+                0x1000,
+                2 * PAGE_SIZE,
+                &[FrameId(5), FrameId(6)],
+                ProtectionTag(1),
+                true,
+                false,
+            )
+            .unwrap();
+        let mut tlb = TranslationCache::default();
+        let mut runs = Vec::new();
+        let hit = t
+            .translate_range_tlb(
+                &mut tlb,
+                id,
+                0x1000,
+                64,
+                ProtectionTag(1),
+                Access::Local,
+                &mut runs,
+            )
+            .unwrap();
+        assert!(!hit, "first access misses");
+        runs.clear();
+        let hit = t
+            .translate_range_tlb(
+                &mut tlb,
+                id,
+                0x1000 + 100,
+                PAGE_SIZE,
+                ProtectionTag(1),
+                Access::Local,
+                &mut runs,
+            )
+            .unwrap();
+        assert!(hit, "second access hits");
+        assert_eq!(runs[0].frame, FrameId(5));
+        // Attribute checks still enforced on the hit path.
+        assert_eq!(
+            t.translate_range_tlb(
+                &mut tlb,
+                id,
+                0x1000,
+                64,
+                ProtectionTag(1),
+                Access::RdmaRead,
+                &mut runs
+            ),
+            Err(ViaError::RdmaDisabled)
+        );
+        // A directory mutation invalidates the cached descriptor.
+        let id2 = t
+            .insert_region(
+                vialock::MemHandle(2),
+                Pid(1),
+                0x9000,
+                PAGE_SIZE,
+                &[FrameId(9)],
+                ProtectionTag(1),
+                true,
+                false,
+            )
+            .unwrap();
+        runs.clear();
+        let hit = t
+            .translate_range_tlb(
+                &mut tlb,
+                id,
+                0x1000,
+                64,
+                ProtectionTag(1),
+                Access::Local,
+                &mut runs,
+            )
+            .unwrap();
+        assert!(!hit, "generation bump invalidates");
+        // A removed region misses and then errors.
+        t.remove_region(id2).unwrap();
+        runs.clear();
+        assert!(matches!(
+            t.translate_range_tlb(
+                &mut tlb,
+                id2,
+                0x9000,
+                8,
+                ProtectionTag(1),
+                Access::Local,
+                &mut runs
+            ),
+            Err(ViaError::BadId(_))
+        ));
+        // Frames are read live: poke_frame staleness shows up through a TLB
+        // hit (no generation bump — the directory did not change).
+        runs.clear();
+        t.translate_range_tlb(
+            &mut tlb,
+            id,
+            0x1000,
+            64,
+            ProtectionTag(1),
+            Access::Local,
+            &mut runs,
+        )
+        .unwrap();
+        t.poke_frame(id, 0, FrameId(12)).unwrap();
+        runs.clear();
+        let hit = t
+            .translate_range_tlb(
+                &mut tlb,
+                id,
+                0x1000,
+                64,
+                ProtectionTag(1),
+                Access::Local,
+                &mut runs,
+            )
+            .unwrap();
+        assert!(hit);
+        assert_eq!(runs[0].frame, FrameId(12), "poked frame visible via TLB");
     }
 }

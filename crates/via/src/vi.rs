@@ -6,11 +6,26 @@ use std::collections::VecDeque;
 use simmem::Pid;
 
 use crate::descriptor::{DescStatus, Descriptor};
-use crate::tpt::ProtectionTag;
+use crate::tpt::{ProtectionTag, TranslationCache};
 
 /// VI identifier on one NIC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ViId(pub u32);
+
+/// VIA reliability level of a connection (a subset of the spec's three:
+/// we model Unreliable Delivery and Reliable Delivery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Reliability {
+    /// Errors break the connection: a send arriving with no posted receive
+    /// descriptor, or one too small, transitions the VI to
+    /// [`ViState::Error`].
+    #[default]
+    Reliable,
+    /// Datagram semantics: a missing receive descriptor drops the packet
+    /// silently; a too-small descriptor takes a truncating delivery with
+    /// the completion reporting the bytes actually written.
+    Unreliable,
+}
 
 /// Connection state of a VI.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +69,11 @@ pub struct VirtualInterface {
     pub cq: VecDeque<Completion>,
     /// RDMA-read descriptors awaiting their response from the target.
     pub pending_reads: VecDeque<Descriptor>,
+    /// Reliability level negotiated at connect time.
+    pub reliability: Reliability,
+    /// Per-VI translation cache (mini-TLB) fronting the TPT directory on
+    /// the data path. Invalidated wholesale by TPT generation bumps.
+    pub tlb: TranslationCache,
 }
 
 impl VirtualInterface {
@@ -68,6 +88,8 @@ impl VirtualInterface {
             recv_q: VecDeque::new(),
             cq: VecDeque::new(),
             pending_reads: VecDeque::new(),
+            reliability: Reliability::default(),
+            tlb: TranslationCache::default(),
         }
     }
 

@@ -1,0 +1,407 @@
+//! Data-path throughput micro-benchmark (criterion-free, offline).
+//!
+//! NetPIPE-style ping-pong sweep (64 B – 1 MiB), A/B-ing the overhauled
+//! data path against the pre-overhaul one kept behind
+//! `Nic::legacy_datapath`:
+//!
+//! * **pooled** — run-coalesced DMA (one burst per physically contiguous
+//!   frame run), per-VI translation mini-TLB, recycled packet-payload
+//!   buffers, batched channel sends and spin-then-park waits;
+//! * **legacy** — per-page translate + per-page DMA, a fresh payload
+//!   `Vec` per message, one channel operation per packet and park-only
+//!   waits.
+//!
+//! Two sweeps: **threaded** runs the two nodes on real OS threads
+//! (`via::threaded`), where the wire batching and spin-then-park changes
+//! dominate small-message latency; **functional** runs the deterministic
+//! single-threaded fabric (`ViaSystem::pump`), where run-coalesced DMA
+//! dominates large-message bandwidth. Reported per size: msgs/s and MB/s
+//! (medians over `REPS` timed batches), plus — for the pooled path —
+//! steady-state allocations per message, TLB hit rate and DMA bursts per
+//! message read straight off the NIC counters. Writes
+//! `BENCH_datapath.json` in the repository root.
+//!
+//! Run with `cargo run --release -p workload --bin datapath_bench`; set
+//! `DATAPATH_BENCH_QUICK=1` (or pass `--quick`) for the CI smoke variant.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use simmem::{prot, Capabilities, KernelConfig};
+use via::nic::{NicStats, Node};
+use via::system::ViaSystem;
+use via::threaded::{connect_pair, run_pair, NodeCtx};
+use via::tpt::{MemId, ProtectionTag};
+use via::vi::ViId;
+use via::{Descriptor, ViaResult};
+use vialock::StrategyKind;
+
+/// Largest message in the sweep.
+const MAX_SIZE: usize = 1 << 20;
+
+/// The sweep: powers of four from 64 B to 1 MiB.
+const SIZES: [usize; 8] = [64, 256, 1024, 4096, 16384, 65536, 262144, 1048576];
+
+struct Bench {
+    reps: usize,
+    quick: bool,
+}
+
+/// Per-(size, mode) measurement.
+struct Sample {
+    msgs_per_s: f64,
+    mb_per_s: f64,
+    allocs_per_msg: f64,
+    tlb_hit_rate: f64,
+    dma_ops_per_msg: f64,
+}
+
+impl Sample {
+    fn from_deltas(ns_per_msg: f64, size: usize, msgs: u64, d: NicStats) -> Sample {
+        Sample {
+            msgs_per_s: 1e9 / ns_per_msg,
+            mb_per_s: (size as f64) * 1e9 / ns_per_msg / 1e6,
+            allocs_per_msg: d.payload_allocs as f64 / msgs as f64,
+            tlb_hit_rate: if d.tlb_hits + d.tlb_misses == 0 {
+                0.0
+            } else {
+                d.tlb_hits as f64 / (d.tlb_hits + d.tlb_misses) as f64
+            },
+            dma_ops_per_msg: d.dma_ops as f64 / msgs as f64,
+        }
+    }
+}
+
+fn stats_delta(now: &NicStats, then: &NicStats) -> NicStats {
+    NicStats {
+        tlb_hits: now.tlb_hits - then.tlb_hits,
+        tlb_misses: now.tlb_misses - then.tlb_misses,
+        dma_ops: now.dma_ops - then.dma_ops,
+        payload_allocs: now.payload_allocs - then.payload_allocs,
+        pool_recycled: now.pool_recycled - then.pool_recycled,
+        ..*now
+    }
+}
+
+fn stats_sum(a: NicStats, b: NicStats) -> NicStats {
+    NicStats {
+        tlb_hits: a.tlb_hits + b.tlb_hits,
+        tlb_misses: a.tlb_misses + b.tlb_misses,
+        dma_ops: a.dma_ops + b.dma_ops,
+        payload_allocs: a.payload_allocs + b.payload_allocs,
+        pool_recycled: a.pool_recycled + b.pool_recycled,
+        ..a
+    }
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn kcfg() -> KernelConfig {
+    KernelConfig {
+        nframes: 1 << 12,
+        reserved_frames: 64,
+        swap_slots: 1 << 13,
+        default_rlimit_memlock: None,
+        swap_cache: false,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Threaded sweep: two OS threads, the mpsc wire, wait_completion.
+// ---------------------------------------------------------------------
+
+/// One sender round-trip: post the pong receive and the ping send, then
+/// reap exactly two completions (local send + pong receive).
+fn sender_round(ctx: &mut NodeCtx, vi: ViId, mem: MemId, addr: u64, size: usize) -> ViaResult<()> {
+    ctx.node
+        .nic
+        .vi_mut(vi)?
+        .recv_q
+        .push_back(Descriptor::recv(mem, addr, size));
+    ctx.node
+        .nic
+        .vi_mut(vi)?
+        .send_q
+        .push_back(Descriptor::send(mem, addr, size));
+    ctx.wait_completion(vi)?;
+    ctx.wait_completion(vi)?;
+    Ok(())
+}
+
+/// One echo round: post the ping receive, reap it, pong it back, reap the
+/// local send completion.
+fn echo_round(ctx: &mut NodeCtx, vi: ViId, mem: MemId, addr: u64, size: usize) -> ViaResult<()> {
+    ctx.node
+        .nic
+        .vi_mut(vi)?
+        .recv_q
+        .push_back(Descriptor::recv(mem, addr, size));
+    ctx.wait_completion(vi)?;
+    ctx.node
+        .nic
+        .vi_mut(vi)?
+        .send_q
+        .push_back(Descriptor::send(mem, addr, size));
+    ctx.wait_completion(vi)?;
+    Ok(())
+}
+
+fn bench_threaded(cfg: &Bench, size: usize, legacy: bool) -> Sample {
+    let mut n0 = Node::new(kcfg(), StrategyKind::KiobufReliable, 1024);
+    let mut n1 = Node::new(kcfg(), StrategyKind::KiobufReliable, 1024);
+    let tag = ProtectionTag(9);
+    let p0 = n0.kernel.spawn_process(Capabilities::default());
+    let p1 = n1.kernel.spawn_process(Capabilities::default());
+    let v0 = n0.nic.create_vi(p0, tag);
+    let v1 = n1.nic.create_vi(p1, tag);
+    connect_pair(&mut n0, v0, 0, &mut n1, v1, 1).unwrap();
+    let fill = vec![0x5Au8; MAX_SIZE];
+    let b0 = n0
+        .kernel
+        .mmap_anon(p0, MAX_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
+    n0.kernel.write_user(p0, b0, &fill).unwrap();
+    let m0 = n0.register_mem(p0, b0, MAX_SIZE, tag).unwrap();
+    let b1 = n1
+        .kernel
+        .mmap_anon(p1, MAX_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
+    n1.kernel.write_user(p1, b1, &fill).unwrap();
+    let m1 = n1.register_mem(p1, b1, MAX_SIZE, tag).unwrap();
+    n0.nic.legacy_datapath = legacy;
+    n1.nic.legacy_datapath = legacy;
+
+    let warm = 8usize;
+    let iters = ((1 << 19) / size).clamp(8, if cfg.quick { 32 } else { 256 });
+    let reps = cfg.reps;
+    let rounds = warm + reps * iters;
+
+    let (((samples, s0_stats), n0), (r0_stats, n1)) = run_pair(
+        n0,
+        n1,
+        move |ctx| {
+            for _ in 0..warm {
+                sender_round(ctx, v0, m0, b0, size)?;
+            }
+            let s0 = ctx.node.nic.stats;
+            let mut samples = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    sender_round(ctx, v0, m0, b0, size)?;
+                }
+                samples.push(t.elapsed().as_nanos() as f64 / (2 * iters) as f64);
+            }
+            Ok((samples, s0))
+        },
+        move |ctx| {
+            let mut r0 = ctx.node.nic.stats;
+            for r in 0..rounds {
+                if r == warm {
+                    r0 = ctx.node.nic.stats;
+                }
+                echo_round(ctx, v1, m1, b1, size)?;
+            }
+            Ok(r0)
+        },
+    )
+    .unwrap();
+
+    let msgs = (2 * reps * iters) as u64;
+    let d = stats_sum(
+        stats_delta(&n0.nic.stats, &s0_stats),
+        stats_delta(&n1.nic.stats, &r0_stats),
+    );
+    if !legacy {
+        // The pooled path must not allocate per message in steady state.
+        assert_eq!(d.payload_allocs, 0, "steady-state payload allocations");
+    }
+    Sample::from_deltas(median(samples), size, msgs, d)
+}
+
+// ---------------------------------------------------------------------
+// Functional sweep: the deterministic single-threaded fabric.
+// ---------------------------------------------------------------------
+
+struct Harness {
+    sys: ViaSystem,
+    vi: [ViId; 2],
+    mem: [MemId; 2],
+    addr: [simmem::VirtAddr; 2],
+}
+
+fn harness(legacy: bool) -> Harness {
+    let mut sys = ViaSystem::new(2, kcfg(), StrategyKind::KiobufReliable);
+    let tag = ProtectionTag(7);
+    let pids = [sys.spawn_process(0), sys.spawn_process(1)];
+    let vi = [
+        sys.create_vi(0, pids[0], tag).unwrap(),
+        sys.create_vi(1, pids[1], tag).unwrap(),
+    ];
+    sys.connect((0, vi[0]), (1, vi[1])).unwrap();
+    let mut mem = [MemId(0); 2];
+    let mut addr = [0u64; 2];
+    for n in 0..2 {
+        let a = sys
+            .mmap(n, pids[n], MAX_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        // Touch every page so the whole span is resident before pinning.
+        let fill = vec![0xA5u8; MAX_SIZE];
+        sys.write_user(n, pids[n], a, &fill).unwrap();
+        mem[n] = sys.register_mem(n, pids[n], a, MAX_SIZE, tag).unwrap();
+        addr[n] = a;
+        sys.node_mut(n).nic.legacy_datapath = legacy;
+    }
+    Harness { sys, vi, mem, addr }
+}
+
+impl Harness {
+    /// One ping-pong round-trip: two messages, four completions.
+    fn roundtrip(&mut self, size: usize) {
+        let (sys, vi, mem, addr) = (&mut self.sys, self.vi, self.mem, self.addr);
+        sys.post_recv(1, vi[1], mem[1], addr[1], size).unwrap();
+        sys.post_send(0, vi[0], mem[0], addr[0], size).unwrap();
+        sys.pump().unwrap();
+        assert!(sys.poll_cq(0, vi[0]).unwrap().is_some(), "ping send cq");
+        assert!(sys.poll_cq(1, vi[1]).unwrap().is_some(), "ping recv cq");
+        sys.post_recv(0, vi[0], mem[0], addr[0], size).unwrap();
+        sys.post_send(1, vi[1], mem[1], addr[1], size).unwrap();
+        sys.pump().unwrap();
+        assert!(sys.poll_cq(1, vi[1]).unwrap().is_some(), "pong send cq");
+        assert!(sys.poll_cq(0, vi[0]).unwrap().is_some(), "pong recv cq");
+    }
+
+    fn nic_totals(&self) -> NicStats {
+        stats_sum(self.sys.node(0).nic.stats, self.sys.node(1).nic.stats)
+    }
+}
+
+fn bench_functional(cfg: &Bench, size: usize, legacy: bool) -> Sample {
+    let mut h = harness(legacy);
+    let iters = ((1 << 21) / size).clamp(16, if cfg.quick { 64 } else { 1024 });
+    // Warm up: fill the TLB, circulate pool buffers, fault nothing later.
+    for _ in 0..4 {
+        h.roundtrip(size);
+    }
+    let before = h.nic_totals();
+    let mut msgs = 0u64;
+    let samples: Vec<f64> = (0..cfg.reps)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                h.roundtrip(size);
+            }
+            msgs += 2 * iters as u64;
+            t.elapsed().as_nanos() as f64 / (2 * iters) as f64
+        })
+        .collect();
+    let d = stats_delta(&h.nic_totals(), &before);
+    if !legacy {
+        assert_eq!(d.payload_allocs, 0, "steady-state payload allocations");
+        assert!(d.pool_recycled > 0, "pool recycling active");
+    }
+    Sample::from_deltas(median(samples), size, msgs, d)
+}
+
+// ---------------------------------------------------------------------
+// Sweep driver and JSON emission.
+// ---------------------------------------------------------------------
+
+struct SweepSummary {
+    small_speedup_min: f64,
+    tlb_rate_min: f64,
+    allocs_max: f64,
+}
+
+fn sweep(
+    json: &mut String,
+    label: &str,
+    mut run: impl FnMut(usize, bool) -> Sample,
+) -> SweepSummary {
+    let mut summary = SweepSummary {
+        small_speedup_min: f64::INFINITY,
+        tlb_rate_min: f64::INFINITY,
+        allocs_max: 0.0,
+    };
+    writeln!(json, "  \"{label}\": [").unwrap();
+    for (i, &size) in SIZES.iter().enumerate() {
+        let pooled = run(size, false);
+        let legacy = run(size, true);
+        let speedup = pooled.msgs_per_s / legacy.msgs_per_s;
+        if size <= 4096 {
+            summary.small_speedup_min = summary.small_speedup_min.min(speedup);
+        }
+        summary.tlb_rate_min = summary.tlb_rate_min.min(pooled.tlb_hit_rate);
+        summary.allocs_max = summary.allocs_max.max(pooled.allocs_per_msg);
+        eprintln!(
+            "{label:>10} {size:>8} B: pooled {:>9.0} msg/s {:>8.1} MB/s (tlb {:>5.1}%, \
+             {:.2} dma/msg, {:.3} alloc/msg) | legacy {:>9.0} msg/s | x{speedup:.2}",
+            pooled.msgs_per_s,
+            pooled.mb_per_s,
+            100.0 * pooled.tlb_hit_rate,
+            pooled.dma_ops_per_msg,
+            pooled.allocs_per_msg,
+            legacy.msgs_per_s,
+        );
+        writeln!(
+            json,
+            "    {{\"bytes\": {size},\n      \"pooled\": {{\"msgs_per_s\": {:.0}, \
+             \"mb_per_s\": {:.2}, \"allocs_per_msg\": {:.4}, \"tlb_hit_rate\": {:.4}, \
+             \"dma_ops_per_msg\": {:.2}}},\n      \"legacy\": {{\"msgs_per_s\": {:.0}, \
+             \"mb_per_s\": {:.2}}},\n      \"speedup_msgs_per_s\": {speedup:.2}}}{}",
+            pooled.msgs_per_s,
+            pooled.mb_per_s,
+            pooled.allocs_per_msg,
+            pooled.tlb_hit_rate,
+            pooled.dma_ops_per_msg,
+            legacy.msgs_per_s,
+            legacy.mb_per_s,
+            if i + 1 == SIZES.len() { "" } else { "," }
+        )
+        .unwrap();
+    }
+    json.push_str("  ],\n");
+    summary
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("DATAPATH_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let cfg = Bench {
+        reps: if quick { 3 } else { 7 },
+        quick,
+    };
+
+    let mut json = String::from("{\n  \"bench\": \"datapath\",\n");
+    writeln!(json, "  \"quick\": {quick},").unwrap();
+    json.push_str("  \"mode\": \"ping-pong, two-node fabric, pooled vs legacy_datapath\",\n");
+
+    let threaded = sweep(&mut json, "threaded", |size, legacy| {
+        bench_threaded(&cfg, size, legacy)
+    });
+    let functional = sweep(&mut json, "functional", |size, legacy| {
+        bench_functional(&cfg, size, legacy)
+    });
+
+    // Headline numbers: small-message speedup where latency (the threaded
+    // wire) dominates; TLB/alloc steady-state across both sweeps.
+    writeln!(
+        json,
+        "  \"small_msg_speedup_min\": {:.2},\n  \
+         \"steady_state_tlb_hit_rate_min\": {:.4},\n  \
+         \"steady_state_allocs_per_msg_max\": {:.4}\n}}",
+        threaded.small_speedup_min,
+        threaded.tlb_rate_min.min(functional.tlb_rate_min),
+        threaded.allocs_max.max(functional.allocs_max),
+    )
+    .unwrap();
+
+    // Anchor to the repository root so the output lands in the same place
+    // regardless of the invoking directory.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_datapath.json");
+    std::fs::write(out, &json).expect("write BENCH_datapath.json");
+    println!("{json}");
+}

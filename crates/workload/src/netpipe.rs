@@ -28,6 +28,11 @@ pub struct SweepPoint {
     pub bandwidth_mb_s: f64,
     /// Which protocol carried the payload (functional sweep only).
     pub protocol: Option<&'static str>,
+    /// NIC translation-cache hit rate over the point's transfers
+    /// (functional sweep only; 0 when no translations ran).
+    pub tlb_hit_rate: f64,
+    /// CPU staging copies the message layer performed for the point.
+    pub copy_ops: u64,
 }
 
 /// Evaluate a pure profile over a size ladder (the E7 figures).
@@ -41,6 +46,8 @@ pub fn profile_sweep(profile: &NetworkProfile, sizes: &[usize]) -> Vec<SweepPoin
                 one_way_ns: t,
                 bandwidth_mb_s: bandwidth_mb_s(n, t),
                 protocol: None,
+                tlb_hit_rate: 0.0,
+                copy_ops: 0,
             }
         })
         .collect()
@@ -67,6 +74,7 @@ pub fn measure_point(
     comm.fill_buffer(0, sbuf, &payload).expect("fill");
 
     let before = comm.stats;
+    let nic_before = [comm.nic_stats(0), comm.nic_stats(1)];
     for _ in 0..reps {
         // Ping…
         let h = comm.send(0, 1, 1, sbuf, len).expect("send");
@@ -78,6 +86,12 @@ pub fn measure_point(
         comm.wait(h).expect("wait back");
     }
     let delta = comm.stats.since(&before);
+    let (mut hits, mut misses) = (0u64, 0u64);
+    for (n, b) in nic_before.iter().enumerate() {
+        let s = comm.nic_stats(n);
+        hits += s.tlb_hits - b.tlb_hits;
+        misses += s.tlb_misses - b.tlb_misses;
+    }
     let total = time_from_stats(&delta, costs);
     let one_way = total / (2 * reps as u64);
     // Return the pages: sweeps run many points on one machine.
@@ -93,6 +107,12 @@ pub fn measure_point(
         one_way_ns: one_way,
         bandwidth_mb_s: bandwidth_mb_s(bytes, one_way),
         protocol,
+        tlb_hit_rate: if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        },
+        copy_ops: delta.copy_ops,
     }
 }
 

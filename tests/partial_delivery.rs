@@ -1,0 +1,205 @@
+//! Partial-delivery semantics of the receive path: what happens when the
+//! posted receive descriptor is smaller than the arriving payload, in
+//! both reliability modes.
+//!
+//! `Node::scatter` truncates silently — it stops at the descriptor's
+//! capacity and reports `written < data.len()` to its caller. These tests
+//! pin who turns that short write into what: reliable delivery rejects
+//! the message outright (Dropped completion, VI in Error, the connection
+//! torn down), unreliable delivery takes the truncating write and the
+//! completion reports the bytes actually placed.
+
+use simmem::{prot, KernelConfig, PAGE_SIZE};
+use via::descriptor::{DataSeg, DescOp, DescStatus, Descriptor};
+use via::system::ViaSystem;
+use via::tpt::ProtectionTag;
+use via::vi::Reliability;
+use via::ViaError;
+use vialock::StrategyKind;
+
+struct Pair {
+    sys: ViaSystem,
+    pids: [simmem::Pid; 2],
+    vis: [via::vi::ViId; 2],
+    mems: [via::tpt::MemId; 2],
+    bufs: [simmem::VirtAddr; 2],
+}
+
+fn pair() -> Pair {
+    let mut sys = ViaSystem::new(2, KernelConfig::small(), StrategyKind::KiobufReliable);
+    let tag = ProtectionTag(3);
+    let pids = [sys.spawn_process(0), sys.spawn_process(1)];
+    let vis = [
+        sys.create_vi(0, pids[0], tag).unwrap(),
+        sys.create_vi(1, pids[1], tag).unwrap(),
+    ];
+    sys.connect((0, vis[0]), (1, vis[1])).unwrap();
+    let len = 2 * PAGE_SIZE;
+    let mut mems = [via::tpt::MemId(0); 2];
+    let mut bufs = [0u64; 2];
+    for n in 0..2 {
+        let b = sys.mmap(n, pids[n], len, prot::READ | prot::WRITE).unwrap();
+        sys.write_user(n, pids[n], b, &vec![0u8; len]).unwrap();
+        mems[n] = sys.register_mem(n, pids[n], b, len, tag).unwrap();
+        bufs[n] = b;
+    }
+    Pair {
+        sys,
+        pids,
+        vis,
+        mems,
+        bufs,
+    }
+}
+
+#[test]
+fn reliable_too_small_recv_drops_and_tears_down() {
+    let mut p = pair();
+    p.sys
+        .write_user(0, p.pids[0], p.bufs[0], &[0xABu8; 256])
+        .unwrap();
+    // A 64-byte receive cannot hold a 256-byte message.
+    p.sys
+        .post_recv(1, p.vis[1], p.mems[1], p.bufs[1], 64)
+        .unwrap();
+    p.sys
+        .post_send(0, p.vis[0], p.mems[0], p.bufs[0], 256)
+        .unwrap();
+    assert_eq!(
+        p.sys.pump(),
+        Err(ViaError::RecvTooSmall {
+            need: 256,
+            have: 64
+        })
+    );
+    // The receiver gets a Dropped completion reporting zero bytes…
+    let c = p.sys.poll_cq(1, p.vis[1]).unwrap().unwrap();
+    assert_eq!(c.op, DescOp::Recv);
+    assert_eq!(c.status, DescStatus::Dropped);
+    assert_eq!(c.len, 0);
+    // …nothing landed in its buffer…
+    let mut out = [0u8; 64];
+    p.sys.read_user(1, p.pids[1], p.bufs[1], &mut out).unwrap();
+    assert_eq!(out, [0u8; 64], "no partial write in reliable mode");
+    // …and the connection is torn down: further posts are refused.
+    assert_eq!(
+        p.sys.post_recv(1, p.vis[1], p.mems[1], p.bufs[1], 64),
+        Err(ViaError::Disconnected)
+    );
+    assert_eq!(p.sys.node(1).nic.stats.dropped, 1);
+}
+
+#[test]
+fn unreliable_too_small_recv_truncates_and_survives() {
+    let mut p = pair();
+    p.sys
+        .set_reliability(1, p.vis[1], Reliability::Unreliable)
+        .unwrap();
+    p.sys
+        .write_user(0, p.pids[0], p.bufs[0], &[0xCDu8; 256])
+        .unwrap();
+    p.sys
+        .post_recv(1, p.vis[1], p.mems[1], p.bufs[1], 64)
+        .unwrap();
+    p.sys
+        .post_send(0, p.vis[0], p.mems[0], p.bufs[0], 256)
+        .unwrap();
+    p.sys.pump().unwrap();
+    // The completion reports the bytes actually placed (the short write).
+    let c = p.sys.poll_cq(1, p.vis[1]).unwrap().unwrap();
+    assert_eq!(c.op, DescOp::Recv);
+    assert_eq!(c.status, DescStatus::Done);
+    assert_eq!(c.len, 64, "completion length is the truncated write");
+    // Exactly 64 bytes landed; byte 64 is untouched.
+    let mut out = [0u8; 65];
+    p.sys.read_user(1, p.pids[1], p.bufs[1], &mut out).unwrap();
+    assert!(out[..64].iter().all(|&b| b == 0xCD));
+    assert_eq!(out[64], 0, "write stopped at the descriptor's capacity");
+    // The connection survives: a correctly-sized follow-up flows.
+    p.sys
+        .post_recv(1, p.vis[1], p.mems[1], p.bufs[1], 256)
+        .unwrap();
+    p.sys
+        .post_send(0, p.vis[0], p.mems[0], p.bufs[0], 256)
+        .unwrap();
+    p.sys.pump().unwrap();
+    let c = p.sys.poll_cq(1, p.vis[1]).unwrap().unwrap();
+    assert_eq!((c.status, c.len), (DescStatus::Done, 256));
+}
+
+#[test]
+fn unreliable_missing_descriptor_is_a_silent_drop() {
+    let mut p = pair();
+    p.sys
+        .set_reliability(1, p.vis[1], Reliability::Unreliable)
+        .unwrap();
+    // No receive posted: the datagram vanishes without an error and
+    // without breaking the connection.
+    p.sys
+        .post_send(0, p.vis[0], p.mems[0], p.bufs[0], 128)
+        .unwrap();
+    p.sys.pump().unwrap();
+    assert_eq!(p.sys.node(1).nic.stats.dropped, 1);
+    assert!(p.sys.poll_cq(1, p.vis[1]).unwrap().is_none());
+    // Later traffic still flows.
+    p.sys
+        .post_recv(1, p.vis[1], p.mems[1], p.bufs[1], 128)
+        .unwrap();
+    p.sys
+        .post_send(0, p.vis[0], p.mems[0], p.bufs[0], 128)
+        .unwrap();
+    p.sys.pump().unwrap();
+    let c = p.sys.poll_cq(1, p.vis[1]).unwrap().unwrap();
+    assert_eq!((c.status, c.len), (DescStatus::Done, 128));
+}
+
+#[test]
+fn reliable_missing_descriptor_breaks_the_connection() {
+    let mut p = pair();
+    p.sys
+        .post_send(0, p.vis[0], p.mems[0], p.bufs[0], 128)
+        .unwrap();
+    assert_eq!(p.sys.pump(), Err(ViaError::NoRecvDescriptor));
+    assert_eq!(p.sys.node(1).nic.stats.dropped, 1);
+    assert_eq!(
+        p.sys.post_recv(1, p.vis[1], p.mems[1], p.bufs[1], 128),
+        Err(ViaError::Disconnected)
+    );
+}
+
+#[test]
+fn multi_segment_short_write_fills_segments_in_order() {
+    let mut p = pair();
+    p.sys
+        .set_reliability(1, p.vis[1], Reliability::Unreliable)
+        .unwrap();
+    p.sys
+        .write_user(0, p.pids[0], p.bufs[0], &[0xEFu8; 300])
+        .unwrap();
+    // Two 100-byte segments (the second one a page away): 200 bytes of
+    // room for a 300-byte payload.
+    let mut desc = Descriptor::recv(p.mems[1], p.bufs[1], 100);
+    desc.segs.push(DataSeg {
+        mem: p.mems[1],
+        addr: p.bufs[1] + PAGE_SIZE as u64,
+        len: 100,
+    });
+    p.sys.post_recv_desc(1, p.vis[1], desc).unwrap();
+    p.sys
+        .post_send(0, p.vis[0], p.mems[0], p.bufs[0], 300)
+        .unwrap();
+    p.sys.pump().unwrap();
+    let c = p.sys.poll_cq(1, p.vis[1]).unwrap().unwrap();
+    assert_eq!((c.status, c.len), (DescStatus::Done, 200));
+    // Both segments filled in order, nothing past either.
+    let mut seg1 = [0u8; 101];
+    p.sys.read_user(1, p.pids[1], p.bufs[1], &mut seg1).unwrap();
+    assert!(seg1[..100].iter().all(|&b| b == 0xEF));
+    assert_eq!(seg1[100], 0);
+    let mut seg2 = [0u8; 101];
+    p.sys
+        .read_user(1, p.pids[1], p.bufs[1] + PAGE_SIZE as u64, &mut seg2)
+        .unwrap();
+    assert!(seg2[..100].iter().all(|&b| b == 0xEF));
+    assert_eq!(seg2[100], 0);
+}
