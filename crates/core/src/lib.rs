@@ -52,6 +52,7 @@
 
 pub mod cache;
 pub mod error;
+pub mod fault;
 pub mod interval;
 pub mod lru;
 pub mod pin;
@@ -62,6 +63,7 @@ pub mod strategy;
 
 pub use cache::{CacheStats, RegistrationCache};
 pub use error::{RegError, RegResult};
+pub use fault::{FaultHandle, FaultPlan, FaultRule, FaultSite};
 pub use interval::IntervalCounter;
 pub use lru::{CacheReleaseError, CoveringLru};
 pub use pin::PinTable;

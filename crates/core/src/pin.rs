@@ -46,6 +46,7 @@ impl PinTable {
                 .page_descriptor(frame)
                 .flags
                 .contains(PageFlags::LOCKED)
+                || kernel.inject(simmem::inject::PAGE_LOCK)
             {
                 // Someone else (kernel I/O) holds the lock: we must wait.
                 return Err(RegError::WouldBlock);

@@ -27,6 +27,14 @@ pub struct RegistryStats {
     pub pages_unpinned: u64,
     /// Registrations that failed with `WouldBlock` (foreign I/O lock).
     pub blocked: u64,
+    /// Bounded in-registry retries after a `WouldBlock` (see
+    /// [`MemoryRegistry::with_retry`]).
+    pub pin_retries: u64,
+    /// Simulated backoff time accumulated by those retries (exponential:
+    /// attempt *i* waits 2^i ticks on the page-wait queue).
+    pub backoff_ticks: u64,
+    /// Registrations rescued by the kiobuf → mlock degradation chain.
+    pub fallbacks: u64,
 }
 
 /// The kernel agent's registration front-end.
@@ -39,11 +47,18 @@ pub struct MemoryRegistry {
     mlock_counts: HashMap<Pid, IntervalCounter>,
     /// Optional cap on total pinned pages (models TPT capacity).
     max_pages: Option<usize>,
+    /// Extra pin attempts after a `WouldBlock` before giving up (0 = report
+    /// the first `WouldBlock` to the caller, the historical behaviour).
+    retry_limit: u32,
+    /// Degrade kiobuf registrations to the mlock strategy when the page
+    /// lock stays contended through every retry.
+    fallback: bool,
     pub stats: RegistryStats,
 }
 
 impl MemoryRegistry {
-    /// A registry using `strategy` with unlimited capacity.
+    /// A registry using `strategy` with unlimited capacity, no retries and
+    /// no degradation chain.
     pub fn new(strategy: StrategyKind) -> Self {
         MemoryRegistry {
             strategy,
@@ -51,6 +66,8 @@ impl MemoryRegistry {
             pin_table: PinTable::new(),
             mlock_counts: HashMap::new(),
             max_pages: None,
+            retry_limit: 0,
+            fallback: false,
             stats: RegistryStats::default(),
         }
     }
@@ -61,8 +78,48 @@ impl MemoryRegistry {
         self
     }
 
+    /// Retry a `WouldBlock`ed pin up to `retries` more times, modelling the
+    /// bounded page-wait-queue sleep (exponential backoff is accounted in
+    /// [`RegistryStats::backoff_ticks`]).
+    pub fn with_retry(mut self, retries: u32) -> Self {
+        self.retry_limit = retries;
+        self
+    }
+
+    /// Enable the graceful-degradation chain: a kiobuf registration whose
+    /// page lock stays contended through every retry falls back to the
+    /// mlock strategy instead of failing (the VIA spec lets the kernel
+    /// agent pick any pinning mechanism per region).
+    pub fn with_fallback(mut self) -> Self {
+        self.fallback = true;
+        self
+    }
+
     pub fn strategy(&self) -> StrategyKind {
         self.strategy
+    }
+
+    /// One strategy attempt with the bounded retry loop around the pin.
+    fn pin_with_retry(
+        &mut self,
+        kernel: &mut Kernel,
+        strategy: StrategyKind,
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+    ) -> RegResult<(Vec<FrameId>, PinToken)> {
+        let mut attempt = 0u32;
+        loop {
+            match pin_region(kernel, &mut self.pin_table, strategy, pid, addr, len) {
+                Ok(ok) => return Ok(ok),
+                Err(RegError::WouldBlock) if attempt < self.retry_limit => {
+                    attempt += 1;
+                    self.stats.pin_retries += 1;
+                    self.stats.backoff_ticks += 1u64 << attempt;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Register `[addr, addr + len)` of process `pid`. Returns a handle; the
@@ -80,16 +137,29 @@ impl MemoryRegistry {
                 return Err(RegError::LimitExceeded);
             }
         }
-        let (frames, token) =
-            match pin_region(kernel, &mut self.pin_table, self.strategy, pid, addr, len) {
-                Ok(ok) => ok,
-                Err(RegError::WouldBlock) => {
-                    self.stats.blocked += 1;
-                    return Err(RegError::WouldBlock);
-                }
-                Err(e) => return Err(e),
-            };
-        if self.strategy == StrategyKind::VmaMlock {
+        let (frames, token, used) = match self.pin_with_retry(kernel, self.strategy, pid, addr, len)
+        {
+            Ok((f, t)) => (f, t, self.strategy),
+            Err(RegError::WouldBlock)
+                if self.fallback && self.strategy == StrategyKind::KiobufReliable =>
+            {
+                // Degradation chain: the page lock stayed contended
+                // through every retry — pin via mlock instead. The
+                // region records the strategy actually used, and the
+                // token drives teardown, so mixed-strategy tables are
+                // fine.
+                self.stats.blocked += 1;
+                let (f, t) = self.pin_with_retry(kernel, StrategyKind::VmaMlock, pid, addr, len)?;
+                self.stats.fallbacks += 1;
+                (f, t, StrategyKind::VmaMlock)
+            }
+            Err(RegError::WouldBlock) => {
+                self.stats.blocked += 1;
+                return Err(RegError::WouldBlock);
+            }
+            Err(e) => return Err(e),
+        };
+        if matches!(token, PinToken::Mlock { .. }) {
             let (first, last) = page_span(addr, len);
             self.mlock_counts
                 .entry(pid)
@@ -98,9 +168,7 @@ impl MemoryRegistry {
         }
         self.stats.registrations += 1;
         self.stats.pages_pinned += frames.len() as u64;
-        Ok(self
-            .regions
-            .insert(pid, addr, len, frames, self.strategy, token))
+        Ok(self.regions.insert(pid, addr, len, frames, used, token))
     }
 
     /// Deregister a handle; the pages are unpinned when the last
@@ -110,8 +178,11 @@ impl MemoryRegistry {
         let token = region.token.take().expect("token taken only here");
         let npages = region.frames.len();
 
-        match (&token, self.strategy) {
-            (PinToken::Mlock { pid, start, len }, StrategyKind::VmaMlock) => {
+        // Teardown is driven by the *token*, not the registry's configured
+        // strategy: the degradation chain can leave mlock-pinned regions in
+        // a kiobuf registry.
+        match &token {
+            PinToken::Mlock { pid, start, len } => {
                 // Interval bookkeeping: decrement run counts; munlock only
                 // the maximal half-open VPN runs `[s, e)` that dropped to
                 // zero.
@@ -227,31 +298,34 @@ impl MemoryRegistry {
         self.pin_table.pinned_frames()
     }
 
-    /// Cross-check pin-table invariants (property tests).
+    /// Cross-check pin-table invariants (property tests and the chaos
+    /// harness). The census is over regions whose *token* is a kiobuf pin —
+    /// mlock-fallback regions do not go through the pin table.
     pub fn check_invariants(&self, kernel: &Kernel) -> Result<(), String> {
         self.pin_table.check_invariants(kernel)?;
-        if self.strategy == StrategyKind::KiobufReliable {
-            // Sum of per-frame pins must equal the number of (handle, page)
-            // pairs that pin each frame.
-            let mut expect: HashMap<FrameId, u32> = HashMap::new();
-            for r in self.regions.iter() {
-                for &f in &r.frames {
-                    *expect.entry(f).or_insert(0) += 1;
-                }
+        // Sum of per-frame pins must equal the number of (handle, page)
+        // pairs that pin each frame.
+        let mut expect: HashMap<FrameId, u32> = HashMap::new();
+        for r in self.regions.iter() {
+            if !matches!(r.token, Some(PinToken::Kiobuf { .. })) {
+                continue;
             }
-            for (&f, &c) in &expect {
-                if self.pin_table.count(f) != c {
-                    return Err(format!(
-                        "frame {} pin count {} != expected {}",
-                        f.0,
-                        self.pin_table.count(f),
-                        c
-                    ));
-                }
+            for &f in &r.frames {
+                *expect.entry(f).or_insert(0) += 1;
             }
-            if expect.len() != self.pin_table.pinned_frames() {
-                return Err("pin table tracks frames not owned by any region".into());
+        }
+        for (&f, &c) in &expect {
+            if self.pin_table.count(f) != c {
+                return Err(format!(
+                    "frame {} pin count {} != expected {}",
+                    f.0,
+                    self.pin_table.count(f),
+                    c
+                ));
             }
+        }
+        if expect.len() != self.pin_table.pinned_frames() {
+            return Err("pin table tracks frames not owned by any region".into());
         }
         Ok(())
     }
@@ -382,6 +456,84 @@ mod tests {
         assert_eq!(reg.find_covering(Pid(999), a, 16), None);
         reg.deregister(&mut k, h).unwrap();
         assert_eq!(reg.find_covering(pid, a, 16), None);
+    }
+
+    #[test]
+    fn retry_rescues_transient_page_lock() {
+        use crate::fault::{handle, kernel_hook, FaultPlan, FaultSite};
+        let (mut k, pid, a) = setup();
+        // Two injected PG_locked collisions, three retries budgeted: the
+        // registration succeeds on the third attempt.
+        let h = handle(FaultPlan::new(3).fail(FaultSite::PageLock, 2));
+        k.set_injector(Some(kernel_hook(&h)));
+        let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable).with_retry(3);
+        let mh = reg.register(&mut k, pid, a, 4 * PAGE_SIZE).unwrap();
+        assert_eq!(reg.stats.pin_retries, 2);
+        assert!(
+            reg.stats.backoff_ticks >= 2 + 4,
+            "exponential backoff accounted"
+        );
+        assert_eq!(reg.stats.blocked, 0);
+        reg.check_invariants(&k).unwrap();
+        reg.deregister(&mut k, mh).unwrap();
+    }
+
+    #[test]
+    fn kiobuf_falls_back_to_mlock_under_persistent_contention() {
+        let (mut k, pid, a) = setup();
+        k.touch_pages(pid, a, 4 * PAGE_SIZE, true).unwrap();
+        // A frame held by foreign I/O for the whole registration: every
+        // retry fails, the degradation chain pins via mlock instead.
+        let busy = k.frame_of(pid, a).unwrap().unwrap();
+        k.begin_page_io(busy);
+        let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable)
+            .with_retry(2)
+            .with_fallback();
+        let h = reg.register(&mut k, pid, a, 4 * PAGE_SIZE).unwrap();
+        assert_eq!(reg.stats.fallbacks, 1);
+        assert_eq!(reg.stats.blocked, 1);
+        assert_eq!(reg.stats.pin_retries, 2);
+        assert_eq!(
+            k.locked_bytes(pid).unwrap(),
+            4 * PAGE_SIZE as u64,
+            "fallback region is VM_LOCKED"
+        );
+        assert_eq!(reg.pinned_frames(), 0, "no pin-table pins for fallback");
+        reg.check_invariants(&k).unwrap();
+        assert!(k.end_page_io(busy), "foreign I/O lock untouched");
+        // Token-driven teardown releases the mlock interval.
+        reg.deregister(&mut k, h).unwrap();
+        assert_eq!(k.locked_bytes(pid).unwrap(), 0);
+        reg.check_invariants(&k).unwrap();
+    }
+
+    #[test]
+    fn fallback_mixes_with_native_kiobuf_regions() {
+        let (mut k, pid, a) = setup();
+        k.touch_pages(pid, a, 8 * PAGE_SIZE, true).unwrap();
+        let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable)
+            .with_retry(1)
+            .with_fallback();
+        // First region pins normally through the kiobuf path.
+        let h1 = reg.register(&mut k, pid, a, 4 * PAGE_SIZE).unwrap();
+        // Second hits a persistently busy page → mlock fallback.
+        let busy = k.frame_of(pid, a + 4 * PAGE_SIZE as u64).unwrap().unwrap();
+        k.begin_page_io(busy);
+        let h2 = reg
+            .register(&mut k, pid, a + 4 * PAGE_SIZE as u64, 4 * PAGE_SIZE)
+            .unwrap();
+        k.end_page_io(busy);
+        assert_eq!(
+            reg.pinned_frames(),
+            4,
+            "only the kiobuf region is in the pin table"
+        );
+        reg.check_invariants(&k).unwrap();
+        reg.deregister(&mut k, h2).unwrap();
+        reg.deregister(&mut k, h1).unwrap();
+        assert_eq!(reg.pinned_frames(), 0);
+        assert_eq!(k.locked_bytes(pid).unwrap(), 0);
+        reg.check_invariants(&k).unwrap();
     }
 
     #[test]

@@ -940,6 +940,11 @@ impl Comm {
                         .sys
                         .poll_cq(r_node, vi_r)?
                         .ok_or(ViaError::BadState("missing one-copy completion"))?;
+                    // An error completion (transport loss, drop, protection)
+                    // means the chunk never landed in the ring buffer.
+                    if c.status.is_error() {
+                        return Err(ViaError::BadState("one-copy chunk completed in error"));
+                    }
                     let ring_addr = {
                         let pair = self.pairs.get_mut(&(from, at)).expect("pair exists");
                         pair.oc_ring.pop_front().expect("posted ring non-empty")

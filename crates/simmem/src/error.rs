@@ -13,6 +13,9 @@ pub enum MmError {
     OutOfMemory,
     /// The swap device has no free slots left.
     SwapFull,
+    /// A swap-device read failed (`EIO` on swap-in). The PTE keeps pointing
+    /// at the slot, so the fault can be retried.
+    SwapIoError,
     /// Access to an address that is not covered by any VMA (`SIGSEGV`).
     SegFault { pid: Pid, addr: VirtAddr },
     /// Write access to a read-only mapping (`SIGSEGV`).
@@ -45,6 +48,7 @@ impl fmt::Display for MmError {
         match self {
             MmError::OutOfMemory => write!(f, "out of memory (no page could be freed)"),
             MmError::SwapFull => write!(f, "swap device full"),
+            MmError::SwapIoError => write!(f, "swap device I/O error"),
             MmError::SegFault { pid, addr } => {
                 write!(f, "segmentation fault: pid {} addr {:#x}", pid.0, addr)
             }

@@ -107,6 +107,11 @@ impl Kernel {
                         return Ok(frame);
                     }
                 }
+                // A failed device read leaves the PTE pointing at the slot;
+                // the fault can simply be retried.
+                if self.inject(crate::inject::SWAP_IO) {
+                    return Err(MmError::SwapIoError);
+                }
                 let new = self.get_free_frame()?;
                 // Borrow dance: read the slot into a stack page, then into
                 // the frame.

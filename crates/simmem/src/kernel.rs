@@ -127,6 +127,10 @@ pub struct Kernel {
     pub(crate) swap_cache: std::collections::HashMap<crate::SlotId, FrameId>,
     /// Optional bigphys reservation (see [`crate::bigphys`]).
     pub(crate) bigphys: Option<crate::bigphys::BigphysArea>,
+    /// Pluggable deterministic fault injector (see [`crate::inject`]). The
+    /// kernel consults it at named sites by code; `None` (the default) makes
+    /// every site a single branch on a cold `Option`.
+    pub(crate) injector: Option<Box<dyn FnMut(u32) -> bool + Send>>,
     pub stats: MmStats,
     pub config: KernelConfig,
 }
@@ -170,6 +174,7 @@ impl Kernel {
             swap_rotor: 0,
             swap_cache: std::collections::HashMap::new(),
             bigphys: None,
+            injector: None,
             stats: MmStats::default(),
             config,
         }
@@ -292,12 +297,44 @@ impl Kernel {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Install (or clear) the deterministic fault injector. The closure is
+    /// consulted at named sites (see [`crate::inject`]) and returns `true`
+    /// to force that site to fail. Layers above the kernel reuse the same
+    /// hook with their own site codes (`inject::UPPER_BASE` and up), so one
+    /// seeded plan can drive the whole stack.
+    pub fn set_injector(&mut self, injector: Option<Box<dyn FnMut(u32) -> bool + Send>>) {
+        self.injector = injector;
+    }
+
+    /// Consult the injector for `site`. `false` when no injector is
+    /// installed — the disabled cost is one branch.
+    #[inline]
+    pub fn inject(&mut self, site: u32) -> bool {
+        match self.injector.as_mut() {
+            None => false,
+            Some(f) => {
+                let fire = f(site);
+                if fire {
+                    self.stats.faults_injected += 1;
+                }
+                fire
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Frame allocation
     // ------------------------------------------------------------------
 
     /// `__get_free_page()`: pop a frame from the free list, reclaiming if
     /// necessary. The returned frame has `count == 1` and clean flags.
     pub(crate) fn get_free_frame(&mut self) -> MmResult<FrameId> {
+        if self.inject(crate::inject::FRAME_ALLOC) {
+            return Err(MmError::OutOfMemory);
+        }
         loop {
             if let Some(frame) = self.free_list.pop() {
                 let d = self.pagemap.get_mut(frame);

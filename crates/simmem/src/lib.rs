@@ -93,6 +93,28 @@ pub fn page_align_up(addr: u64) -> u64 {
     (addr + PAGE_MASK) & !PAGE_MASK
 }
 
+/// Site codes for the kernel's pluggable deterministic fault injector
+/// (see [`Kernel::set_injector`] / [`Kernel::inject`]).
+///
+/// The kernel itself fires the codes below; the hook is deliberately
+/// `u32`-typed so layers *above* the kernel (the VIA NIC, the wire) can
+/// route their own sites through the same seeded plan — they allocate
+/// codes from [`UPPER_BASE`] upward. The full catalog lives in the
+/// `vialock::fault` module, which owns the plan.
+pub mod inject {
+    /// `__get_free_page()` fails as if reclaim found nothing (`ENOMEM`).
+    pub const FRAME_ALLOC: u32 = 0;
+    /// `swap_out` finds the swap device full mid-reclaim.
+    pub const SWAP_FULL: u32 = 1;
+    /// `do_swap_page` hits a device read error (`EIO`).
+    pub const SWAP_IO: u32 = 2;
+    /// A page's `PG_locked` bit is held by a foreign I/O — pinning a batch
+    /// observes `WouldBlock` mid-way and must roll back.
+    pub const PAGE_LOCK: u32 = 3;
+    /// First code available to layers above the kernel.
+    pub const UPPER_BASE: u32 = 16;
+}
+
 /// Protection bits for mappings, mirroring `PROT_READ`/`PROT_WRITE`.
 pub mod prot {
     /// Pages may be read.

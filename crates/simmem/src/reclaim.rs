@@ -167,6 +167,9 @@ impl Kernel {
         }
 
         // Write the page out. If swap is full we cannot evict anything.
+        if self.inject(crate::inject::SWAP_FULL) {
+            return SwapOutResult::Nothing;
+        }
         let mut page = [0u8; crate::PAGE_SIZE];
         page.copy_from_slice(self.phys.frame(frame));
         let slot = match self.swap.swap_out(&page) {

@@ -34,6 +34,12 @@ pub struct MmStats {
     pub swap_cache_adds: u64,
     /// Refaults satisfied from the swap cache — same frame re-mapped.
     pub swap_cache_hits: u64,
+    /// Faults forced by the pluggable injector (see [`crate::inject`]),
+    /// counted across all sites including the ones upper layers register.
+    pub faults_injected: u64,
+    /// Abstract time callers spent in retry backoff after transient
+    /// failures (each retry doubles the wait; nothing actually sleeps).
+    pub backoff_ticks: u64,
 }
 
 impl MmStats {
@@ -53,6 +59,8 @@ impl MmStats {
             kiobuf_unpins: self.kiobuf_unpins - earlier.kiobuf_unpins,
             swap_cache_adds: self.swap_cache_adds - earlier.swap_cache_adds,
             swap_cache_hits: self.swap_cache_hits - earlier.swap_cache_hits,
+            faults_injected: self.faults_injected - earlier.faults_injected,
+            backoff_ticks: self.backoff_ticks - earlier.backoff_ticks,
         }
     }
 }

@@ -31,6 +31,21 @@ pub enum DescStatus {
     /// Arrived with no receive descriptor posted / buffer too small; the
     /// connection is broken in reliable mode.
     Dropped,
+    /// Malformed descriptor (e.g. an RDMA opcode without an address
+    /// segment) — VIA's "descriptor format error" completion.
+    FormatError,
+    /// The fabric lost the transfer on a reliable connection; the NIC
+    /// completes the affected descriptor with this status and breaks the
+    /// connection.
+    TransportError,
+}
+
+impl DescStatus {
+    /// `true` for every status other than `Pending`/`Done` — the msg layer
+    /// uses this to recognise error completions.
+    pub fn is_error(self) -> bool {
+        !matches!(self, DescStatus::Pending | DescStatus::Done)
+    }
 }
 
 /// One scatter/gather element: a range of *registered* user memory.

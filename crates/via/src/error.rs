@@ -32,6 +32,9 @@ pub enum ViaError {
     BadState(&'static str),
     /// The connection was broken by a previous delivery error.
     Disconnected,
+    /// A completion could not be delivered because the completion queue was
+    /// at capacity; the completion is lost and the VI is broken.
+    CqOverrun,
 }
 
 impl fmt::Display for ViaError {
@@ -50,6 +53,7 @@ impl fmt::Display for ViaError {
             ViaError::BadId(what) => write!(f, "unknown {what} id"),
             ViaError::BadState(s) => write!(f, "bad VI state: {s}"),
             ViaError::Disconnected => write!(f, "connection broken"),
+            ViaError::CqOverrun => write!(f, "completion queue overrun"),
         }
     }
 }

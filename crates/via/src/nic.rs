@@ -12,7 +12,7 @@
 use std::collections::BTreeMap;
 
 use simmem::{Kernel, Pid, VirtAddr, PAGE_SIZE};
-use vialock::{MemoryRegistry, StrategyKind};
+use vialock::{FaultHandle, FaultSite, MemoryRegistry, StrategyKind};
 
 use crate::descriptor::{DescOp, DescStatus, Descriptor};
 use crate::error::{ViaError, ViaResult};
@@ -46,6 +46,16 @@ pub struct NicStats {
     pub pool_recycled: u64,
     /// Payload buffers that needed a fresh heap allocation.
     pub payload_allocs: u64,
+    /// Packets the (injected) wire dropped.
+    pub wire_drops: u64,
+    /// Packets the (injected) wire duplicated.
+    pub wire_dups: u64,
+    /// Packets the (injected) wire delayed past later traffic.
+    pub wire_delays: u64,
+    /// Completions lost to a full (or fault-injected) completion queue.
+    pub cq_overruns: u64,
+    /// Descriptors completed with an error status instead of `Done`.
+    pub desc_errors: u64,
 }
 
 /// Recycling free list for packet payload buffers. Buffers keep their
@@ -55,6 +65,11 @@ pub struct NicStats {
 pub struct PacketPool {
     free: Vec<Vec<u8>>,
     max_free: usize,
+    /// Buffers handed out ([`PacketPool::take`] with `len > 0`).
+    takes: u64,
+    /// Buffers returned (capacity > 0; counted even when the free list is
+    /// full and the buffer is dropped).
+    puts: u64,
 }
 
 impl Default for PacketPool {
@@ -62,13 +77,21 @@ impl Default for PacketPool {
         PacketPool {
             free: Vec::new(),
             max_free: 64,
+            takes: 0,
+            puts: 0,
         }
     }
 }
 
 impl PacketPool {
     /// A zeroed buffer of exactly `len` bytes, recycled when possible.
+    /// Zero-length requests get an unaccounted dummy (capacity 0) so the
+    /// take/put ledger only tracks real buffers.
     fn take(&mut self, len: usize, stats: &mut NicStats) -> Vec<u8> {
+        if len == 0 {
+            return Vec::new();
+        }
+        self.takes += 1;
         match self.free.pop() {
             Some(mut buf) => {
                 if buf.capacity() >= len {
@@ -87,17 +110,37 @@ impl PacketPool {
         }
     }
 
-    /// Return a payload buffer to the free list (bounded; excess and
-    /// zero-capacity buffers are simply dropped).
-    fn put(&mut self, buf: Vec<u8>) {
-        if buf.capacity() > 0 && self.free.len() < self.max_free {
+    /// Return a payload buffer to the free list (bounded; excess buffers
+    /// are dropped but still accounted; zero-capacity dummies are ignored).
+    pub(crate) fn put(&mut self, buf: Vec<u8>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        self.puts += 1;
+        if self.free.len() < self.max_free {
             self.free.push(buf);
         }
+    }
+
+    /// A pool-accounted copy of `data` — used when the faulty wire
+    /// duplicates a packet, so the duplicate's buffer balances the ledger
+    /// when the receiver returns it.
+    pub(crate) fn dup_payload(&mut self, data: &[u8], stats: &mut NicStats) -> Vec<u8> {
+        let mut buf = self.take(data.len(), stats);
+        buf.copy_from_slice(data);
+        buf
     }
 
     /// Buffers currently on the free list.
     pub fn free_buffers(&self) -> usize {
         self.free.len()
+    }
+
+    /// Buffers taken minus buffers returned: with no packets in flight this
+    /// is zero for the whole fabric (summed over nodes — buffers migrate
+    /// from the sender's pool to the receiver's).
+    pub fn outstanding(&self) -> i64 {
+        self.takes as i64 - self.puts as i64
     }
 }
 
@@ -231,15 +274,118 @@ pub struct Node {
     run_scratch: Vec<DmaRun>,
 }
 
+/// Bounded pin retries the node's kernel agent attempts on a `WouldBlock`
+/// before the registration path degrades or fails.
+const NODE_PIN_RETRIES: u32 = 3;
+
 impl Node {
     pub fn new(config: simmem::KernelConfig, strategy: StrategyKind, tpt_pages: usize) -> Self {
+        // The node-level kernel agent registers with bounded retry and, for
+        // the kiobuf strategy, the mlock degradation chain; the raw
+        // `MemoryRegistry` default (fail fast) stays available for the
+        // strategy-comparison experiments.
+        let mut registry = MemoryRegistry::new(strategy).with_retry(NODE_PIN_RETRIES);
+        if strategy == StrategyKind::KiobufReliable {
+            registry = registry.with_fallback();
+        }
         Node {
             kernel: Kernel::new(config),
             nic: Nic::new(tpt_pages),
-            registry: MemoryRegistry::new(strategy),
+            registry,
             pool: PacketPool::default(),
             run_scratch: Vec::new(),
         }
+    }
+
+    /// Route every named fault site of this node — kernel, NIC and wire —
+    /// through the shared seeded plan.
+    pub fn install_fault_plan(&mut self, plan: &FaultHandle) {
+        self.kernel
+            .set_injector(Some(vialock::fault::kernel_hook(plan)));
+    }
+
+    /// Consult the fault plan (if any) for a VIA-layer site.
+    #[inline]
+    pub(crate) fn inject(&mut self, site: FaultSite) -> bool {
+        self.kernel.inject(site.code())
+    }
+
+    /// Push a completion onto a VI's CQ, modelling completion-queue
+    /// overrun: on a full (or fault-injected) CQ the completion is lost,
+    /// the VI is broken and [`ViaError::CqOverrun`] is returned.
+    fn push_completion(&mut self, vi_id: ViId, c: Completion) -> ViaResult<()> {
+        let forced = self.inject(FaultSite::CqOverrun);
+        if c.status.is_error() {
+            self.nic.stats.desc_errors += 1;
+        }
+        let vi = self.nic.vi_mut(vi_id)?;
+        if forced || !vi.push_completion(c) {
+            vi.state = ViState::Error;
+            self.nic.stats.cq_overruns += 1;
+            return Err(ViaError::CqOverrun);
+        }
+        Ok(())
+    }
+
+    /// Receive-side reaction to a wire loss. On a reliable VI the fabric
+    /// guaranteed delivery, so a loss is a transport error: the oldest
+    /// posted receive descriptor completes with
+    /// [`DescStatus::TransportError`] and the connection breaks. An
+    /// unreliable VI just counts the drop (datagrams may vanish).
+    pub(crate) fn wire_drop(&mut self, vi_id: ViId) -> ViaResult<()> {
+        self.nic.stats.wire_drops += 1;
+        let vi = self.nic.vi_mut(vi_id)?;
+        if vi.reliability == Reliability::Unreliable {
+            return Ok(());
+        }
+        vi.state = ViState::Error;
+        let lost = vi.recv_q.pop_front();
+        if let Some(d) = lost {
+            self.push_completion(
+                vi_id,
+                Completion {
+                    vi: vi_id,
+                    op: d.op,
+                    status: DescStatus::TransportError,
+                    len: 0,
+                    imm: d.imm,
+                },
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Tear down everything a process owns on this node: every TPT entry
+    /// and registration (pins, mlock intervals), every VI, and finally the
+    /// process itself. This is the kernel agent's `release` callback — the
+    /// guarantee that an exiting process leaks nothing no matter what it
+    /// had registered.
+    pub fn exit_process(&mut self, pid: Pid) -> ViaResult<()> {
+        for mem_id in self.nic.tpt.region_ids_for_pid(pid) {
+            self.deregister_mem(mem_id)?;
+        }
+        // Break and flush the process' VIs: queued descriptors complete as
+        // Dropped (best effort — an already-full CQ loses them), parked
+        // reads are abandoned.
+        for vi_id in self.nic.vi_ids() {
+            let vi = self.nic.vi_mut(vi_id)?;
+            if vi.pid != pid {
+                continue;
+            }
+            vi.state = ViState::Error;
+            vi.pending_reads.clear();
+            while let Some(d) = vi.send_q.pop_front().or_else(|| vi.recv_q.pop_front()) {
+                let _ = vi.push_completion(Completion {
+                    vi: vi_id,
+                    op: d.op,
+                    status: DescStatus::Dropped,
+                    len: 0,
+                    imm: d.imm,
+                });
+            }
+        }
+        self.kernel.exit_process(pid)?;
+        Ok(())
     }
 
     /// `VipRegisterMem`: the trap into the kernel agent. Pins the region
@@ -267,6 +413,12 @@ impl Node {
     ) -> ViaResult<MemId> {
         let handle = self.registry.register(&mut self.kernel, pid, addr, len)?;
         let frames = self.registry.frames(handle)?.to_vec();
+        if self.inject(FaultSite::TptFull) {
+            // Injected TPT exhaustion: identical to the organic full-table
+            // path below, pin rolled back.
+            self.registry.deregister(&mut self.kernel, handle)?;
+            return Err(ViaError::Reg(vialock::RegError::LimitExceeded));
+        }
         match self
             .nic
             .tpt
@@ -569,10 +721,33 @@ impl Node {
             return Err(ViaError::NotConnected);
         }
         let (dst_node, dst_vi) = peer.ok_or(ViaError::NotConnected)?;
+        // Validate the descriptor before touching memory: an RDMA opcode
+        // without an address segment is VIA's "descriptor format error" —
+        // completed in error, nothing transferred, connection intact.
+        let rdma_seg = match desc.op {
+            DescOp::RdmaWrite | DescOp::RdmaRead => match desc.rdma {
+                Some(r) => Some(r),
+                None => {
+                    desc.status = DescStatus::FormatError;
+                    self.push_completion(
+                        vi_id,
+                        Completion {
+                            vi: vi_id,
+                            op: desc.op,
+                            status: DescStatus::FormatError,
+                            len: 0,
+                            imm: desc.imm,
+                        },
+                    )?;
+                    return Ok(None);
+                }
+            },
+            _ => None,
+        };
         if desc.op == DescOp::RdmaRead {
             // No local gather yet: emit the request, park the descriptor
             // until the response arrives.
-            let r = desc.rdma.expect("rdma-read descriptor has address segment");
+            let r = rdma_seg.ok_or(ViaError::BadState("rdma read without address segment"))?;
             let len = desc.total_len();
             self.nic.stats.rdma_reads += 1;
             let pkt = Packet {
@@ -602,7 +777,8 @@ impl Node {
                     }
                     DescOp::RdmaWrite => {
                         self.nic.stats.rdma_writes += 1;
-                        let r = desc.rdma.expect("rdma descriptor has address segment");
+                        let r = rdma_seg
+                            .ok_or(ViaError::BadState("rdma write without address segment"))?;
                         PacketKind::RdmaWrite {
                             remote_mem: r.remote_mem,
                             remote_addr: r.remote_addr,
@@ -620,26 +796,34 @@ impl Node {
                     payload,
                     imm: desc.imm,
                 };
-                let vi = self.nic.vi_mut(vi_id)?;
-                vi.cq.push_back(Completion {
-                    vi: vi_id,
-                    op: desc.op,
-                    status: DescStatus::Done,
-                    len: desc.done_len,
-                    imm: desc.imm,
-                });
+                if let Err(e) = self.push_completion(
+                    vi_id,
+                    Completion {
+                        vi: vi_id,
+                        op: desc.op,
+                        status: DescStatus::Done,
+                        len: desc.done_len,
+                        imm: desc.imm,
+                    },
+                ) {
+                    // CQ overrun broke the VI: the packet never leaves.
+                    self.pool.put(pkt.payload);
+                    return Err(e);
+                }
                 Ok(Some(pkt))
             }
             Err(e) => {
                 self.nic.stats.protection_errors += 1;
-                let vi = self.nic.vi_mut(vi_id)?;
-                vi.cq.push_back(Completion {
-                    vi: vi_id,
-                    op: desc.op,
-                    status: DescStatus::ProtectionError,
-                    len: 0,
-                    imm: desc.imm,
-                });
+                self.push_completion(
+                    vi_id,
+                    Completion {
+                        vi: vi_id,
+                        op: desc.op,
+                        status: DescStatus::ProtectionError,
+                        len: 0,
+                        imm: desc.imm,
+                    },
+                )?;
                 let _ = e;
                 Ok(None)
             }
@@ -670,39 +854,48 @@ impl Node {
                 };
                 if reliability == Reliability::Reliable && desc.total_len() < packet.payload.len() {
                     self.nic.stats.dropped += 1;
-                    let vi = self.nic.vi_mut(vi_id)?;
-                    vi.state = ViState::Error;
-                    vi.cq.push_back(Completion {
-                        vi: vi_id,
-                        op: DescOp::Recv,
-                        status: DescStatus::Dropped,
-                        len: 0,
-                        imm: packet.imm,
-                    });
-                    let e = Err(ViaError::RecvTooSmall {
-                        need: packet.payload.len(),
-                        have: desc.total_len(),
-                    });
+                    let (need, have) = (packet.payload.len(), desc.total_len());
+                    let imm = packet.imm;
                     self.pool.put(packet.payload);
-                    return e;
+                    self.nic.vi_mut(vi_id)?.state = ViState::Error;
+                    self.push_completion(
+                        vi_id,
+                        Completion {
+                            vi: vi_id,
+                            op: DescOp::Recv,
+                            status: DescStatus::Dropped,
+                            len: 0,
+                            imm,
+                        },
+                    )?;
+                    return Err(ViaError::RecvTooSmall { need, have });
                 }
                 // Unreliable mode takes a truncating delivery instead:
                 // `scatter` stops at the descriptor's capacity and the
                 // completion reports the bytes actually placed.
-                let written = self.scatter(vi_id, &desc, &packet.payload)?;
+                let written = match self.scatter(vi_id, &desc, &packet.payload) {
+                    Ok(w) => w,
+                    Err(e) => {
+                        self.pool.put(packet.payload);
+                        return Err(e);
+                    }
+                };
                 desc.status = DescStatus::Done;
                 desc.done_len = written;
                 self.nic.stats.recvs += 1;
                 self.nic.stats.bytes_rx += written as u64;
+                let imm = packet.imm;
                 self.pool.put(packet.payload);
-                let vi = self.nic.vi_mut(vi_id)?;
-                vi.cq.push_back(Completion {
-                    vi: vi_id,
-                    op: DescOp::Recv,
-                    status: DescStatus::Done,
-                    len: written,
-                    imm: packet.imm,
-                });
+                self.push_completion(
+                    vi_id,
+                    Completion {
+                        vi: vi_id,
+                        op: DescOp::Recv,
+                        status: DescStatus::Done,
+                        len: written,
+                        imm,
+                    },
+                )?;
                 Ok(Vec::new())
             }
             PacketKind::RdmaWrite {
@@ -755,19 +948,28 @@ impl Node {
                     self.pool.put(packet.payload);
                     return Err(ViaError::BadState("read response without pending read"));
                 };
-                let written = self.scatter(vi_id, &desc, &packet.payload)?;
+                let written = match self.scatter(vi_id, &desc, &packet.payload) {
+                    Ok(w) => w,
+                    Err(e) => {
+                        self.pool.put(packet.payload);
+                        return Err(e);
+                    }
+                };
                 desc.status = DescStatus::Done;
                 desc.done_len = written;
                 self.nic.stats.bytes_rx += written as u64;
+                let imm = packet.imm;
                 self.pool.put(packet.payload);
-                let vi = self.nic.vi_mut(vi_id)?;
-                vi.cq.push_back(Completion {
-                    vi: vi_id,
-                    op: DescOp::RdmaRead,
-                    status: DescStatus::Done,
-                    len: written,
-                    imm: packet.imm,
-                });
+                self.push_completion(
+                    vi_id,
+                    Completion {
+                        vi: vi_id,
+                        op: DescOp::RdmaRead,
+                        status: DescStatus::Done,
+                        len: written,
+                        imm,
+                    },
+                )?;
                 Ok(Vec::new())
             }
         }

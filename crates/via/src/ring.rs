@@ -190,7 +190,9 @@ impl DescriptorRing {
         pid: simmem::Pid,
         desc: &Descriptor,
     ) -> ViaResult<()> {
-        if self.doorbell as usize >= self.slots {
+        if self.doorbell as usize >= self.slots
+            || kernel.inject(vialock::FaultSite::DoorbellOverflow.code())
+        {
             return Err(ViaError::BadState("descriptor ring full"));
         }
         let bytes = encode(desc)?;
@@ -203,6 +205,35 @@ impl DescriptorRing {
         self.head += 1;
         self.doorbell += 1;
         Ok(())
+    }
+
+    /// [`DescriptorRing::post`] with bounded retry: a doorbell overflow is
+    /// transient when the NIC is draining the ring concurrently (or the
+    /// overflow was injected), so the send path retries up to `retries`
+    /// times with exponentially growing backoff before surfacing the error.
+    /// Returns the number of retries that were needed.
+    pub fn post_with_retry(
+        &mut self,
+        kernel: &mut Kernel,
+        pid: simmem::Pid,
+        desc: &Descriptor,
+        retries: u32,
+    ) -> ViaResult<u32> {
+        let mut attempt = 0u32;
+        loop {
+            match self.post(kernel, pid, desc) {
+                Ok(()) => return Ok(attempt),
+                Err(ViaError::BadState(msg))
+                    if msg == "descriptor ring full" && attempt < retries =>
+                {
+                    attempt += 1;
+                    // Model the backoff: each retry waits twice as long for
+                    // the NIC to drain (accounted, not slept).
+                    kernel.stats.backoff_ticks += 1u64 << attempt;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Outstanding descriptors (doorbell value).

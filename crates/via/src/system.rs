@@ -6,11 +6,11 @@
 //! methods are node-indexed so one test can hold the entire cluster.
 
 use simmem::{Capabilities, Kernel, KernelConfig, Pid, VirtAddr};
-use vialock::StrategyKind;
+use vialock::{FaultSite, StrategyKind};
 
 use crate::descriptor::Descriptor;
 use crate::error::{ViaError, ViaResult};
-use crate::nic::{Node, Packet, DEFAULT_TPT_PAGES};
+use crate::nic::{Node, Packet, PacketKind, DEFAULT_TPT_PAGES};
 use crate::tpt::{Access, DmaRun, MemId, ProtectionTag};
 use crate::vi::{Completion, Reliability, ViId, ViState};
 
@@ -22,6 +22,9 @@ pub struct ViaSystem {
     nodes: Vec<Node>,
     /// Packets in flight, delivered FIFO by [`ViaSystem::pump`].
     in_flight: Vec<Packet>,
+    /// Packets an injected wire delay postponed past the current delivery
+    /// round; re-queued (and re-subjected to ingress faults) next round.
+    delayed: Vec<Packet>,
     /// Connection manager: listening endpoints keyed by
     /// (node, discriminator) — the VIA connection-establishment address.
     listeners: std::collections::HashMap<(NodeId, u64), ViId>,
@@ -42,6 +45,7 @@ impl ViaSystem {
                 .map(|_| Node::new(config, strategy, DEFAULT_TPT_PAGES))
                 .collect(),
             in_flight: Vec::new(),
+            delayed: Vec::new(),
             listeners: std::collections::HashMap::new(),
             vi_scratch: Vec::new(),
             pio_scratch: Vec::new(),
@@ -72,6 +76,77 @@ impl ViaSystem {
     /// antagonist processes).
     pub fn kernel_mut(&mut self, n: NodeId) -> &mut Kernel {
         &mut self.nodes[n].kernel
+    }
+
+    /// Route every node's fault sites through one shared seeded plan.
+    pub fn install_fault_plan(&mut self, plan: &vialock::FaultHandle) {
+        for node in &mut self.nodes {
+            node.install_fault_plan(plan);
+        }
+    }
+
+    /// Process exit on node `n`: the kernel agent reclaims every TPT entry,
+    /// pin and mlock interval the process owned, breaks its VIs, then the
+    /// kernel tears the address space down.
+    pub fn exit_process(&mut self, n: NodeId, pid: Pid) -> ViaResult<()> {
+        self.nodes[n].exit_process(pid)
+    }
+
+    /// Scope-bound process lifetime: spawn a process on node `n`, run `f`
+    /// with it, then tear it down through [`ViaSystem::exit_process`] even
+    /// when `f` fails — so a mid-registration error cannot leak pins.
+    pub fn with_process<T>(
+        &mut self,
+        n: NodeId,
+        f: impl FnOnce(&mut Self, Pid) -> ViaResult<T>,
+    ) -> ViaResult<T> {
+        let pid = self.spawn_process(n);
+        let r = f(self, pid);
+        let cleanup = self.nodes[n].exit_process(pid);
+        let v = r?;
+        cleanup?;
+        Ok(v)
+    }
+
+    /// The chaos harness's safety net, checked after every operation:
+    ///
+    /// 1. every node's registry census holds (per-frame pin counts equal
+    ///    the live registrations covering them);
+    /// 2. no orphaned frames anywhere (reliable pinning's whole promise —
+    ///    callers using `RefcountOnly` should expect this to trip under
+    ///    pressure, which is the paper's point);
+    /// 3. TPT occupancy never exceeds capacity;
+    /// 4. the packet-pool ledger balances: buffers taken minus returned,
+    ///    summed fabric-wide, equals the pool-backed packets still in
+    ///    flight (delayed ones included).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, node) in self.nodes.iter().enumerate() {
+            node.registry
+                .check_invariants(&node.kernel)
+                .map_err(|e| format!("node {i}: {e}"))?;
+            let orphans = node.kernel.count_orphaned_frames();
+            if orphans != 0 {
+                return Err(format!("node {i}: {orphans} orphaned frames"));
+            }
+            let (used, cap) = (node.nic.tpt.used_slots(), node.nic.tpt.capacity());
+            if used > cap {
+                return Err(format!("node {i}: TPT occupancy {used} > capacity {cap}"));
+            }
+        }
+        let outstanding: i64 = self.nodes.iter().map(|n| n.pool.outstanding()).sum();
+        let in_flight = self
+            .in_flight
+            .iter()
+            .chain(self.delayed.iter())
+            .filter(|p| p.payload.capacity() > 0)
+            .count() as i64;
+        if outstanding != in_flight {
+            return Err(format!(
+                "pool ledger imbalance: {outstanding} buffers outstanding, \
+                 {in_flight} pool-backed packets in flight"
+            ));
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -215,7 +290,8 @@ impl ViaSystem {
         let mut flushed: Vec<crate::descriptor::Descriptor> = v.send_q.drain(..).collect();
         flushed.extend(v.recv_q.drain(..));
         for d in flushed {
-            v.cq.push_back(crate::vi::Completion {
+            // Best effort: a CQ already at capacity loses flush completions.
+            let _ = v.push_completion(crate::vi::Completion {
                 vi,
                 op: d.op,
                 status: crate::descriptor::DescStatus::Dropped,
@@ -453,6 +529,44 @@ impl ViaSystem {
             // (RDMA-read answers) that go back in flight.
             for pkt in std::mem::take(&mut self.in_flight) {
                 let dst = pkt.dst_node;
+                // Wire faults strike at the receiving NIC's ingress.
+                if self.nodes[dst].inject(FaultSite::WireDelay) {
+                    self.nodes[dst].nic.stats.wire_delays += 1;
+                    self.delayed.push(pkt);
+                    continue;
+                }
+                if self.nodes[dst].inject(FaultSite::WireDrop) {
+                    let vi = pkt.dst_vi;
+                    self.nodes[dst].pool.put(pkt.payload);
+                    if let Err(e) = self.nodes[dst].wire_drop(vi) {
+                        if first_error.is_none() {
+                            first_error = Some(e);
+                        }
+                    }
+                    continue;
+                }
+                if self.nodes[dst].inject(FaultSite::WireDuplicate) {
+                    self.nodes[dst].nic.stats.wire_dups += 1;
+                    // Reliable VIs suppress the copy (sequence numbers);
+                    // unreliable datagrams really arrive twice.
+                    let unreliable = self.nodes[dst]
+                        .nic
+                        .vi(pkt.dst_vi)
+                        .map(|v| v.reliability == Reliability::Unreliable)
+                        .unwrap_or(false);
+                    if unreliable && matches!(pkt.kind, PacketKind::Send) {
+                        let node = &mut self.nodes[dst];
+                        let payload = node.pool.dup_payload(&pkt.payload, &mut node.nic.stats);
+                        self.in_flight.push(Packet {
+                            src_node: pkt.src_node,
+                            dst_node: dst,
+                            dst_vi: pkt.dst_vi,
+                            kind: PacketKind::Send,
+                            payload,
+                            imm: pkt.imm,
+                        });
+                    }
+                }
                 match self.nodes[dst].deliver(pkt) {
                     Ok(mut responses) => {
                         delivered += 1;
@@ -465,6 +579,8 @@ impl ViaSystem {
                     }
                 }
             }
+            // Delayed packets re-enter the race next round.
+            self.in_flight.append(&mut self.delayed);
         }
         match first_error {
             Some(e) => Err(e),

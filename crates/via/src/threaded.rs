@@ -16,9 +16,11 @@ use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
 
+use vialock::FaultSite;
+
 use crate::error::{ViaError, ViaResult};
-use crate::nic::{Node, Packet};
-use crate::vi::{Completion, ViId};
+use crate::nic::{Node, Packet, PacketKind};
+use crate::vi::{Completion, Reliability, ViId};
 
 /// How long [`NodeCtx::wait_completion`] waits before declaring the peer
 /// dead.
@@ -155,6 +157,46 @@ impl NodeCtx {
             return Ok(false);
         }
         let pkt = self.inbound.pop_front().expect("refill_inbound said so");
+        // Wire faults strike at this NIC's ingress, exactly as in the
+        // single-threaded fabric.
+        if self.node.inject(FaultSite::WireDelay) {
+            self.node.nic.stats.wire_delays += 1;
+            // Requeue behind everything already waiting: the packet is
+            // overtaken by later traffic.
+            self.inbound.push_back(pkt);
+            return Ok(true);
+        }
+        if self.node.inject(FaultSite::WireDrop) {
+            let vi = pkt.dst_vi;
+            self.node.pool.put(pkt.payload);
+            self.node.wire_drop(vi)?;
+            return Ok(true);
+        }
+        if self.node.inject(FaultSite::WireDuplicate) {
+            self.node.nic.stats.wire_dups += 1;
+            // Reliable VIs suppress the copy; unreliable datagrams arrive
+            // twice.
+            let unreliable = self
+                .node
+                .nic
+                .vi(pkt.dst_vi)
+                .map(|v| v.reliability == Reliability::Unreliable)
+                .unwrap_or(false);
+            if unreliable && matches!(pkt.kind, PacketKind::Send) {
+                let payload = self
+                    .node
+                    .pool
+                    .dup_payload(&pkt.payload, &mut self.node.nic.stats);
+                self.inbound.push_back(Packet {
+                    src_node: pkt.src_node,
+                    dst_node: pkt.dst_node,
+                    dst_vi: pkt.dst_vi,
+                    kind: PacketKind::Send,
+                    payload,
+                    imm: pkt.imm,
+                });
+            }
+        }
         let resps = self.node.deliver(pkt)?;
         if !resps.is_empty() {
             if best_effort_tx {

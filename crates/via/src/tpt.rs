@@ -245,6 +245,25 @@ impl Tpt {
         self.regions.len()
     }
 
+    /// Ids of every region owned by `pid` (the exit-time teardown walk).
+    pub fn region_ids_for_pid(&self, pid: Pid) -> Vec<MemId> {
+        self.regions
+            .values()
+            .filter(|r| r.pid == pid)
+            .map(|r| r.mem_id)
+            .collect()
+    }
+
+    /// Occupied page slots.
+    pub fn used_slots(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Total page-slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
     /// The NIC-side address translation: `(mem_id, user virtual addr)` →
     /// `(physical frame, in-page offset)`, with bounds and protection-tag
     /// checks. `want_tag` is the requesting VI's tag; RDMA accesses

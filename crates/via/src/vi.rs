@@ -49,6 +49,11 @@ pub struct Completion {
     pub imm: Option<u32>,
 }
 
+/// Default completion-queue capacity. Real VIA hardware sizes CQs at
+/// creation time; overrunning one is a catastrophic VI error. Large enough
+/// that well-behaved workloads never notice.
+pub const DEFAULT_CQ_CAPACITY: usize = 4096;
+
 /// One virtual interface.
 pub struct VirtualInterface {
     pub id: ViId,
@@ -67,6 +72,9 @@ pub struct VirtualInterface {
     /// Completion queue shared by both work queues (one CQ per VI keeps the
     /// model simple; the spec allows sharing across VIs).
     pub cq: VecDeque<Completion>,
+    /// CQ capacity; [`VirtualInterface::push_completion`] refuses entries
+    /// beyond it (completion-queue overrun).
+    pub cq_capacity: usize,
     /// RDMA-read descriptors awaiting their response from the target.
     pub pending_reads: VecDeque<Descriptor>,
     /// Reliability level negotiated at connect time.
@@ -87,6 +95,7 @@ impl VirtualInterface {
             send_q: VecDeque::new(),
             recv_q: VecDeque::new(),
             cq: VecDeque::new(),
+            cq_capacity: DEFAULT_CQ_CAPACITY,
             pending_reads: VecDeque::new(),
             reliability: Reliability::default(),
             tlb: TranslationCache::default(),
@@ -96,6 +105,18 @@ impl VirtualInterface {
     /// Pop the next completion, if any (`VipCQDone` polling).
     pub fn poll_cq(&mut self) -> Option<Completion> {
         self.cq.pop_front()
+    }
+
+    /// Append a completion, refusing when the CQ is at capacity. Returns
+    /// `false` on overrun — the caller decides how to surface the loss
+    /// (the NIC breaks the VI).
+    #[must_use]
+    pub fn push_completion(&mut self, c: Completion) -> bool {
+        if self.cq.len() >= self.cq_capacity {
+            return false;
+        }
+        self.cq.push_back(c);
+        true
     }
 
     /// Pending send descriptors (doorbell count).

@@ -1,0 +1,235 @@
+//! The invariant-checked chaos harness: sweep seeded fault plans over a
+//! representative VIA workload and assert, after every operation, that the
+//! stack degraded *cleanly* — every injected fault surfaces as a typed
+//! `ViaError` or an error completion, never as a panic, and the structural
+//! invariants hold throughout:
+//!
+//! 1. registry census: per-frame pin counts equal the live registrations
+//!    covering them;
+//! 2. no orphaned frames (the reliable-pinning promise);
+//! 3. TPT occupancy never exceeds capacity;
+//! 4. the packet-pool ledger balances against packets in flight.
+//!
+//! The deterministic per-site sweep doubles as the CI `chaos-smoke` run:
+//! seeds are fixed, so a failure reproduces with `cargo test --test chaos`.
+
+use proptest::prelude::*;
+
+use simmem::{prot, KernelConfig, PAGE_SIZE};
+use via::system::ViaSystem;
+use via::tpt::{MemId, ProtectionTag};
+use via::ViaError;
+use vialock::{fault, FaultPlan, FaultSite, StrategyKind};
+
+/// Run one workload round under `plan`. Returns `Err` only when an
+/// invariant breaks or teardown leaks — an injected fault surfacing as a
+/// `ViaError` is an *accepted* outcome (returned in the `Ok` payload for
+/// the caller to inspect).
+fn chaos_round(plan: FaultPlan) -> Result<Result<(), ViaError>, String> {
+    let handle = fault::handle(plan);
+    let mut sys = ViaSystem::new(2, KernelConfig::small(), StrategyKind::KiobufReliable);
+    sys.install_fault_plan(&handle);
+    let tag = ProtectionTag(1);
+    let p0 = sys.spawn_process(0);
+    let p1 = sys.spawn_process(1);
+    let mut mems: Vec<(usize, MemId)> = Vec::new();
+
+    let outcome = workload(&mut sys, p0, p1, tag, &mut mems)?;
+
+    // Teardown reclaims everything regardless of what the faults did:
+    // registrations, pins, mlock intervals, TPT entries, address spaces.
+    sys.exit_process(0, p0)
+        .map_err(|e| format!("exit_process p0: {e:?}"))?;
+    sys.exit_process(1, p1)
+        .map_err(|e| format!("exit_process p1: {e:?}"))?;
+    sys.check_invariants()
+        .map_err(|e| format!("after process exit: {e}"))?;
+    for n in 0..2 {
+        let pinned = sys.node(n).registry.pinned_frames();
+        if pinned != 0 {
+            return Err(format!("node {n}: {pinned} pins leaked after exit"));
+        }
+        if sys.node(n).nic.tpt.region_count() != 0 {
+            return Err(format!("node {n}: TPT regions leaked after exit"));
+        }
+    }
+    Ok(outcome)
+}
+
+/// The workload itself: registration, two-sided traffic, RDMA write,
+/// deregistration. Invariants are checked after EVERY operation; the
+/// first typed error ends the round early (still a clean outcome).
+fn workload(
+    sys: &mut ViaSystem,
+    p0: simmem::Pid,
+    p1: simmem::Pid,
+    tag: ProtectionTag,
+    mems: &mut Vec<(usize, MemId)>,
+) -> Result<Result<(), ViaError>, String> {
+    macro_rules! step {
+        ($name:expr, $e:expr) => {{
+            let r = $e;
+            sys.check_invariants()
+                .map_err(|err| format!("after {}: {err}", $name))?;
+            match r {
+                Ok(v) => v,
+                Err(e) => return Ok(Err(e)),
+            }
+        }};
+    }
+    let v0 = step!("create_vi 0", sys.create_vi(0, p0, tag));
+    let v1 = step!("create_vi 1", sys.create_vi(1, p1, tag));
+    step!("connect", sys.connect((0, v0), (1, v1)));
+    let len = 2 * PAGE_SIZE;
+    let b0 = step!("mmap 0", sys.mmap(0, p0, len, prot::READ | prot::WRITE));
+    let b1 = step!("mmap 1", sys.mmap(1, p1, len, prot::READ | prot::WRITE));
+    step!("write_user", sys.write_user(0, p0, b0, &[0xAB; 512]));
+    let m0 = step!("register 0", sys.register_mem(0, p0, b0, len, tag));
+    mems.push((0, m0));
+    let m1 = step!("register 1", sys.register_mem(1, p1, b1, len, tag));
+    mems.push((1, m1));
+
+    // Two-sided exchange.
+    step!("post_recv", sys.post_recv(1, v1, m1, b1, len));
+    step!("post_send", sys.post_send(0, v0, m0, b0, 512));
+    step!("pump 1", sys.pump());
+    while step!("poll_cq 0", sys.poll_cq(0, v0)).is_some() {}
+    while step!("poll_cq 1", sys.poll_cq(1, v1)).is_some() {}
+
+    // Second exchange plus a one-sided write.
+    step!("post_recv 2", sys.post_recv(1, v1, m1, b1, len));
+    step!("post_send 2", sys.post_send(0, v0, m0, b0, 256));
+    step!("pump 2", sys.pump());
+    step!(
+        "post_rdma_write",
+        sys.post_rdma_write(0, v0, m0, b0, 128, m1, b1 + PAGE_SIZE as u64)
+    );
+    step!("pump 3", sys.pump());
+
+    // Explicit deregistration (exit_process covers whatever is left).
+    for (n, m) in mems.drain(..) {
+        step!("deregister", sys.deregister_mem(n, m));
+    }
+    Ok(Ok(()))
+}
+
+// ---------------------------------------------------------------------
+// Deterministic per-site sweep (the CI chaos-smoke entry point)
+// ---------------------------------------------------------------------
+
+/// Every site, hit positions 0..4, one and three failures per activation:
+/// 80 fixed-seed rounds. Each must end with success or a typed error and
+/// all four invariants intact.
+#[test]
+fn chaos_smoke_every_site_every_position() {
+    let mut rounds = 0u32;
+    let mut errored = 0u32;
+    for site in FaultSite::ALL {
+        for skip in 0..4u64 {
+            for fail in [1u64, 3] {
+                let seed = 0xC0FFEE ^ (skip << 8) ^ fail;
+                let plan = FaultPlan::new(seed).fail_after(site, skip, fail);
+                match chaos_round(plan) {
+                    Ok(Ok(())) => {}
+                    Ok(Err(_)) => errored += 1,
+                    Err(violation) => {
+                        panic!("site {site} skip {skip} fail {fail}: {violation}")
+                    }
+                }
+                rounds += 1;
+            }
+        }
+    }
+    assert_eq!(rounds, 80);
+    // The sweep is only meaningful if faults actually bite somewhere.
+    assert!(errored > 0, "no plan produced a typed error — sites dead?");
+}
+
+/// A plan with every site disabled must behave exactly like no plan:
+/// the full workload succeeds.
+#[test]
+fn empty_plan_is_transparent() {
+    let outcome = chaos_round(FaultPlan::new(1)).expect("invariants");
+    assert_eq!(outcome, Ok(()));
+}
+
+// ---------------------------------------------------------------------
+// Randomised sweeps
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The acceptance sweep: every single-fault plan — any site, any hit
+    /// position, any failure burst — yields success or a typed error with
+    /// all four invariants held.
+    #[test]
+    fn single_fault_plans_degrade_cleanly(
+        shape in (0usize..FaultSite::ALL.len(), 0u64..6, 1u64..4),
+        seed in any::<u64>(),
+    ) {
+        let (i, skip, fail) = shape;
+        let plan = FaultPlan::new(seed).fail_after(FaultSite::ALL[i], skip, fail);
+        let r = chaos_round(plan);
+        prop_assert!(
+            r.is_ok(),
+            "site {} skip {skip} fail {fail} seed {seed:#x}: {:?}",
+            FaultSite::ALL[i],
+            r.err()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Compound plans: two independent sites active at once, plus a
+    /// residual probability on a third. Same guarantee.
+    #[test]
+    fn compound_fault_plans_degrade_cleanly(
+        sites in (0usize..10, 0usize..10, 0usize..10),
+        knobs in (0u64..4, 1u32..2048),
+        seed in any::<u64>(),
+    ) {
+        let (a, b, c) = sites;
+        let (skip, prob) = knobs;
+        let plan = FaultPlan::new(seed)
+            .fail_after(FaultSite::ALL[a], skip, 2)
+            .fail(FaultSite::ALL[b], 1)
+            .fail_with_probability(FaultSite::ALL[c], prob);
+        let r = chaos_round(plan);
+        prop_assert!(
+            r.is_ok(),
+            "sites {}/{}/{} seed {seed:#x}: {:?}",
+            FaultSite::ALL[a], FaultSite::ALL[b], FaultSite::ALL[c],
+            r.err()
+        );
+    }
+}
+
+/// Same plan, same seed → same outcome and same fault-site hit counts:
+/// the subsystem is deterministic, so any chaos failure reproduces.
+#[test]
+fn chaos_runs_are_deterministic() {
+    let mk = || {
+        FaultPlan::new(0xDEAD_BEEF)
+            .fail_after(FaultSite::PageLock, 1, 2)
+            .fail_with_probability(FaultSite::WireDrop, 1024)
+    };
+    let run = |plan: FaultPlan| {
+        let h = fault::handle(plan);
+        let mut sys = ViaSystem::new(2, KernelConfig::small(), StrategyKind::KiobufReliable);
+        sys.install_fault_plan(&h);
+        let tag = ProtectionTag(1);
+        let p0 = sys.spawn_process(0);
+        let p1 = sys.spawn_process(1);
+        let mut mems = Vec::new();
+        let outcome = workload(&mut sys, p0, p1, tag, &mut mems).expect("invariants");
+        let fired = h.lock().unwrap().total_fired();
+        (format!("{outcome:?}"), fired)
+    };
+    let (o1, f1) = run(mk());
+    let (o2, f2) = run(mk());
+    assert_eq!(o1, o2);
+    assert_eq!(f1, f2);
+}

@@ -1,0 +1,133 @@
+//! Process exit with live communication state — the paper's core safety
+//! claim. A process that dies while holding registered (pinned, locked)
+//! communication memory must not leak a single pin, TPT entry, or frame:
+//! the exit path walks its registrations, unwinds them through the
+//! registry (unpin + munlock), and breaks its VIs so queued descriptors
+//! surface as `Dropped` completions rather than vanishing.
+
+use simmem::{prot, KernelConfig, PAGE_SIZE};
+use via::system::ViaSystem;
+use via::tpt::ProtectionTag;
+use via::vi::ViState;
+use via::{DescStatus, ViaError};
+use vialock::StrategyKind;
+
+fn sys2() -> ViaSystem {
+    ViaSystem::new(2, KernelConfig::small(), StrategyKind::KiobufReliable)
+}
+
+#[test]
+fn exit_reclaims_all_pins_and_tpt_entries() {
+    let mut sys = sys2();
+    let tag = ProtectionTag(3);
+    let pid = sys.spawn_process(0);
+
+    // Several live registrations of different sizes.
+    for pages in [1usize, 2, 4] {
+        let len = pages * PAGE_SIZE;
+        let buf = sys.mmap(0, pid, len, prot::READ | prot::WRITE).unwrap();
+        sys.write_user(0, pid, buf, &[1; 64]).unwrap();
+        sys.register_mem(0, pid, buf, len, tag).unwrap();
+    }
+    assert_eq!(sys.node(0).nic.tpt.region_count(), 3);
+    assert!(sys.node(0).registry.pinned_frames() >= 7);
+
+    sys.exit_process(0, pid).unwrap();
+
+    assert_eq!(sys.node(0).registry.pinned_frames(), 0);
+    assert_eq!(sys.node(0).nic.tpt.region_count(), 0);
+    sys.check_invariants().unwrap();
+}
+
+#[test]
+fn exit_breaks_vis_and_drops_queued_descriptors() {
+    let mut sys = sys2();
+    let tag = ProtectionTag(3);
+    let p0 = sys.spawn_process(0);
+    let p1 = sys.spawn_process(1);
+    let v0 = sys.create_vi(0, p0, tag).unwrap();
+    let v1 = sys.create_vi(1, p1, tag).unwrap();
+    sys.connect((0, v0), (1, v1)).unwrap();
+
+    let buf = sys
+        .mmap(0, p0, PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
+    sys.write_user(0, p0, buf, &[2; 64]).unwrap();
+    let mem = sys.register_mem(0, p0, buf, PAGE_SIZE, tag).unwrap();
+
+    // Descriptors queued but never pumped: the process dies first.
+    sys.post_send(0, v0, mem, buf, 64).unwrap();
+    sys.post_recv(0, v0, mem, buf, PAGE_SIZE).unwrap();
+
+    sys.exit_process(0, p0).unwrap();
+
+    // The VI is broken and each queued descriptor completed as Dropped.
+    assert_eq!(sys.node(0).nic.vi(v0).unwrap().state, ViState::Error);
+    let mut dropped = 0;
+    while let Some(c) = sys.poll_cq(0, v0).unwrap() {
+        assert_eq!(c.status, DescStatus::Dropped);
+        dropped += 1;
+    }
+    assert_eq!(dropped, 2);
+
+    // Nothing pinned, nothing mapped, nothing orphaned.
+    assert_eq!(sys.node(0).registry.pinned_frames(), 0);
+    assert_eq!(sys.node(0).nic.tpt.region_count(), 0);
+    sys.check_invariants().unwrap();
+
+    // New posts on the dead process's VI are refused.
+    assert!(matches!(
+        sys.post_send(0, v0, mem, buf, 64),
+        Err(ViaError::Disconnected)
+    ));
+}
+
+#[test]
+fn exit_leaves_other_processes_untouched() {
+    let mut sys = sys2();
+    let tag = ProtectionTag(3);
+    let doomed = sys.spawn_process(0);
+    let survivor = sys.spawn_process(0);
+
+    let b1 = sys
+        .mmap(0, doomed, PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
+    sys.write_user(0, doomed, b1, &[3; 32]).unwrap();
+    sys.register_mem(0, doomed, b1, PAGE_SIZE, tag).unwrap();
+
+    let len2 = 2 * PAGE_SIZE;
+    let b2 = sys
+        .mmap(0, survivor, len2, prot::READ | prot::WRITE)
+        .unwrap();
+    sys.write_user(0, survivor, b2, &[4; 32]).unwrap();
+    let m2 = sys.register_mem(0, survivor, b2, len2, tag).unwrap();
+
+    let before = sys.node(0).registry.pinned_frames();
+    sys.exit_process(0, doomed).unwrap();
+
+    // Only the doomed process's pins went away.
+    assert!(sys.node(0).registry.pinned_frames() < before);
+    assert!(sys.node(0).registry.pinned_frames() >= 2);
+    assert_eq!(sys.node(0).nic.tpt.region_count(), 1);
+    sys.check_invariants().unwrap();
+
+    // The survivor's region still translates and deregisters cleanly.
+    sys.deregister_mem(0, m2).unwrap();
+    assert_eq!(sys.node(0).registry.pinned_frames(), 0);
+    sys.check_invariants().unwrap();
+}
+
+#[test]
+fn with_process_cleans_up_even_on_error() {
+    let mut sys = sys2();
+    let tag = ProtectionTag(3);
+    let r: Result<(), ViaError> = sys.with_process(0, |sys, pid| {
+        let buf = sys.mmap(0, pid, PAGE_SIZE, prot::READ | prot::WRITE)?;
+        sys.register_mem(0, pid, buf, PAGE_SIZE, tag)?;
+        Err(ViaError::BadState("simulated crash mid-workload"))
+    });
+    assert!(r.is_err());
+    assert_eq!(sys.node(0).registry.pinned_frames(), 0);
+    assert_eq!(sys.node(0).nic.tpt.region_count(), 0);
+    sys.check_invariants().unwrap();
+}

@@ -1,0 +1,201 @@
+//! Wire-fault semantics per reliability mode.
+//!
+//! VIA's delivery guarantees live at the *receiving* VI: a reliable VI must
+//! turn a lost packet into a broken connection (transport-error completion,
+//! VI in the error state) and must suppress duplicates, while an unreliable
+//! VI silently drops and — lacking sequence numbers — sees duplicates twice.
+//! Delayed packets are reordered behind later traffic in both modes.
+
+use simmem::{prot, KernelConfig, PAGE_SIZE};
+use via::system::ViaSystem;
+use via::tpt::{MemId, ProtectionTag};
+use via::vi::{Reliability, ViId, ViState};
+use via::DescStatus;
+use vialock::{fault, FaultPlan, FaultSite, StrategyKind};
+
+struct Pair {
+    sys: ViaSystem,
+    v0: ViId,
+    v1: ViId,
+    m0: MemId,
+    m1: MemId,
+    b0: u64,
+    b1: u64,
+}
+
+fn pair(reliability: Reliability, plan: FaultPlan) -> Pair {
+    let mut sys = ViaSystem::new(2, KernelConfig::small(), StrategyKind::KiobufReliable);
+    sys.install_fault_plan(&fault::handle(plan));
+    let tag = ProtectionTag(7);
+    let p0 = sys.spawn_process(0);
+    let p1 = sys.spawn_process(1);
+    let v0 = sys.create_vi(0, p0, tag).unwrap();
+    let v1 = sys.create_vi(1, p1, tag).unwrap();
+    sys.set_reliability(0, v0, reliability).unwrap();
+    sys.set_reliability(1, v1, reliability).unwrap();
+    sys.connect((0, v0), (1, v1)).unwrap();
+    let len = PAGE_SIZE;
+    let b0 = sys.mmap(0, p0, len, prot::READ | prot::WRITE).unwrap();
+    let b1 = sys.mmap(1, p1, len, prot::READ | prot::WRITE).unwrap();
+    sys.write_user(0, p0, b0, &[0x5A; 256]).unwrap();
+    let m0 = sys.register_mem(0, p0, b0, len, tag).unwrap();
+    let m1 = sys.register_mem(1, p1, b1, len, tag).unwrap();
+    Pair {
+        sys,
+        v0,
+        v1,
+        m0,
+        m1,
+        b0,
+        b1,
+    }
+}
+
+#[test]
+fn reliable_drop_breaks_connection_with_transport_error() {
+    let mut p = pair(
+        Reliability::Reliable,
+        FaultPlan::new(11).fail(FaultSite::WireDrop, 1),
+    );
+    p.sys.post_recv(1, p.v1, p.m1, p.b1, PAGE_SIZE).unwrap();
+    p.sys.post_send(0, p.v0, p.m0, p.b0, 256).unwrap();
+    p.sys.pump().unwrap();
+
+    // The receiver learns about the loss: its oldest posted recv completes
+    // in error and the VI transitions to the error state.
+    let c = p.sys.poll_cq(1, p.v1).unwrap().expect("error completion");
+    assert_eq!(c.status, DescStatus::TransportError);
+    assert!(c.status.is_error());
+    assert_eq!(p.sys.node(1).nic.vi(p.v1).unwrap().state, ViState::Error);
+    assert_eq!(p.sys.node(1).nic.stats.wire_drops, 1);
+
+    // Further posts on the broken VI are refused with a typed error.
+    assert!(p.sys.post_recv(1, p.v1, p.m1, p.b1, PAGE_SIZE).is_err());
+    p.sys.check_invariants().unwrap();
+}
+
+#[test]
+fn unreliable_drop_is_silent() {
+    let mut p = pair(
+        Reliability::Unreliable,
+        FaultPlan::new(12).fail(FaultSite::WireDrop, 1),
+    );
+    p.sys.post_recv(1, p.v1, p.m1, p.b1, PAGE_SIZE).unwrap();
+    p.sys.post_send(0, p.v0, p.m0, p.b0, 256).unwrap();
+    p.sys.pump().unwrap();
+
+    // No completion, no broken VI — just a counter. The recv stays posted
+    // and a retransmission lands in it.
+    assert!(p.sys.poll_cq(1, p.v1).unwrap().is_none());
+    assert_eq!(
+        p.sys.node(1).nic.vi(p.v1).unwrap().state,
+        ViState::Connected
+    );
+    assert_eq!(p.sys.node(1).nic.stats.wire_drops, 1);
+
+    p.sys.post_send(0, p.v0, p.m0, p.b0, 256).unwrap();
+    p.sys.pump().unwrap();
+    let c = p
+        .sys
+        .poll_cq(1, p.v1)
+        .unwrap()
+        .expect("retransmit delivered");
+    assert_eq!(c.status, DescStatus::Done);
+    p.sys.check_invariants().unwrap();
+}
+
+#[test]
+fn reliable_duplicate_is_suppressed() {
+    let mut p = pair(
+        Reliability::Reliable,
+        FaultPlan::new(13).fail(FaultSite::WireDuplicate, 1),
+    );
+    p.sys.post_recv(1, p.v1, p.m1, p.b1, PAGE_SIZE).unwrap();
+    p.sys.post_recv(1, p.v1, p.m1, p.b1, PAGE_SIZE).unwrap();
+    p.sys.post_send(0, p.v0, p.m0, p.b0, 256).unwrap();
+    p.sys.pump().unwrap();
+    p.sys.pump().unwrap();
+
+    // Sequence numbers discard the copy: exactly one receive completes.
+    let c = p.sys.poll_cq(1, p.v1).unwrap().expect("one delivery");
+    assert_eq!(c.status, DescStatus::Done);
+    assert!(p.sys.poll_cq(1, p.v1).unwrap().is_none());
+    assert_eq!(p.sys.node(1).nic.stats.wire_dups, 1);
+    assert_eq!(
+        p.sys.node(1).nic.vi(p.v1).unwrap().state,
+        ViState::Connected
+    );
+    p.sys.check_invariants().unwrap();
+}
+
+#[test]
+fn unreliable_duplicate_delivers_twice() {
+    let mut p = pair(
+        Reliability::Unreliable,
+        FaultPlan::new(14).fail(FaultSite::WireDuplicate, 1),
+    );
+    p.sys.post_recv(1, p.v1, p.m1, p.b1, PAGE_SIZE).unwrap();
+    p.sys.post_recv(1, p.v1, p.m1, p.b1, PAGE_SIZE).unwrap();
+    p.sys.post_send(0, p.v0, p.m0, p.b0, 256).unwrap();
+    p.sys.pump().unwrap();
+    p.sys.pump().unwrap();
+
+    // No sequence numbers: the copy consumes a second posted recv.
+    let c1 = p.sys.poll_cq(1, p.v1).unwrap().expect("first delivery");
+    let c2 = p.sys.poll_cq(1, p.v1).unwrap().expect("duplicate delivery");
+    assert_eq!(c1.status, DescStatus::Done);
+    assert_eq!(c2.status, DescStatus::Done);
+    assert_eq!(c1.len, c2.len);
+    assert_eq!(p.sys.node(1).nic.stats.wire_dups, 1);
+    p.sys.check_invariants().unwrap();
+}
+
+#[test]
+fn delayed_packet_is_reordered_behind_later_traffic() {
+    // pump() runs delivery rounds until the fabric is quiescent, so a
+    // delayed packet is not lost — it re-enters the race a round later,
+    // behind traffic that was sent after it.
+    let mut p = pair(
+        Reliability::Reliable,
+        FaultPlan::new(15).fail(FaultSite::WireDelay, 1),
+    );
+    p.sys.post_recv(1, p.v1, p.m1, p.b1, PAGE_SIZE).unwrap();
+    p.sys.post_recv(1, p.v1, p.m1, p.b1, PAGE_SIZE).unwrap();
+    p.sys.post_send(0, p.v0, p.m0, p.b0, 256).unwrap(); // delayed
+    p.sys.post_send(0, p.v0, p.m0, p.b0, 128).unwrap(); // overtakes it
+    p.sys.pump().unwrap();
+
+    // Both arrive, but the second send completes first.
+    let c1 = p.sys.poll_cq(1, p.v1).unwrap().expect("first delivery");
+    let c2 = p.sys.poll_cq(1, p.v1).unwrap().expect("second delivery");
+    assert_eq!(c1.status, DescStatus::Done);
+    assert_eq!(c2.status, DescStatus::Done);
+    assert_eq!((c1.len, c2.len), (128, 256), "delay did not reorder");
+    assert_eq!(p.sys.node(1).nic.stats.wire_delays, 1);
+    p.sys.check_invariants().unwrap();
+}
+
+#[test]
+fn wire_faults_never_unbalance_the_pool_ledger() {
+    // Hammer all three wire sites probabilistically over many exchanges;
+    // the pool ledger and every other invariant must hold after each round.
+    let plan = FaultPlan::new(0xFEED)
+        .fail_with_probability(FaultSite::WireDrop, 8192)
+        .fail_with_probability(FaultSite::WireDuplicate, 8192)
+        .fail_with_probability(FaultSite::WireDelay, 8192);
+    let mut p = pair(Reliability::Unreliable, plan);
+    for _ in 0..64 {
+        let _ = p.sys.post_recv(1, p.v1, p.m1, p.b1, PAGE_SIZE);
+        let _ = p.sys.post_recv(1, p.v1, p.m1, p.b1, PAGE_SIZE);
+        let _ = p.sys.post_send(0, p.v0, p.m0, p.b0, 128);
+        p.sys.pump().unwrap();
+        p.sys.check_invariants().unwrap();
+        while p.sys.poll_cq(1, p.v1).unwrap().is_some() {}
+        while p.sys.poll_cq(0, p.v0).unwrap().is_some() {}
+    }
+    let s = &p.sys.node(1).nic.stats;
+    assert!(
+        s.wire_drops + s.wire_dups + s.wire_delays > 0,
+        "probabilistic plan never fired"
+    );
+}
