@@ -61,6 +61,10 @@ pub mod registry;
 mod span;
 pub mod strategy;
 
+// The workspace-wide counter-diffing macro: every stats block (`MmStats`,
+// `NicStats`, `MsgStats`, fabric counters) derives its `since()` from this.
+pub use simmem::impl_since;
+
 pub use cache::{CacheStats, RegistrationCache};
 pub use error::{RegError, RegResult};
 pub use fault::{FaultHandle, FaultPlan, FaultRule, FaultSite};

@@ -15,7 +15,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use simmem::VirtAddr;
-use via::{ViaError, ViaResult};
+use via::{Fabric, ViaError, ViaResult};
 
 use crate::comm::{Comm, RankId};
 
@@ -39,7 +39,7 @@ pub type RankBufs = [VirtAddr];
 
 /// Dissemination barrier: ⌈log2 n⌉ rounds, each rank sends a token to
 /// `(rank + 2^k) mod n` and receives from `(rank − 2^k) mod n`.
-pub fn barrier(comm: &mut Comm, scratch: &RankBufs) -> ViaResult<()> {
+pub fn barrier<F: Fabric>(comm: &mut Comm<F>, scratch: &RankBufs) -> ViaResult<()> {
     let n = comm.n_ranks();
     if n < 2 {
         return Ok(());
@@ -74,7 +74,12 @@ pub fn barrier(comm: &mut Comm, scratch: &RankBufs) -> ViaResult<()> {
 
 /// Binomial-tree broadcast of `len` bytes from `root`'s buffer into every
 /// other rank's buffer.
-pub fn bcast(comm: &mut Comm, root: RankId, bufs: &RankBufs, len: usize) -> ViaResult<()> {
+pub fn bcast<F: Fabric>(
+    comm: &mut Comm<F>,
+    root: RankId,
+    bufs: &RankBufs,
+    len: usize,
+) -> ViaResult<()> {
     let n = comm.n_ranks();
     if n < 2 || len == 0 {
         return Ok(());
@@ -112,8 +117,8 @@ pub fn bcast(comm: &mut Comm, root: RankId, bufs: &RankBufs, len: usize) -> ViaR
 
 /// Gather `len` bytes from every rank into `root`'s buffer (rank r's
 /// contribution lands at offset `r * len`).
-pub fn gather(
-    comm: &mut Comm,
+pub fn gather<F: Fabric>(
+    comm: &mut Comm<F>,
     root: RankId,
     bufs: &RankBufs,
     root_buf: VirtAddr,
@@ -148,7 +153,11 @@ pub fn gather(
 /// element-wise sum. Gather-to-0 + local reduce + binomial broadcast — the
 /// mapping of global operations onto point-to-point the Multidevice paper
 /// describes for the MPIR layer.
-pub fn allreduce_sum_u64(comm: &mut Comm, bufs: &RankBufs, n_words: usize) -> ViaResult<()> {
+pub fn allreduce_sum_u64<F: Fabric>(
+    comm: &mut Comm<F>,
+    bufs: &RankBufs,
+    n_words: usize,
+) -> ViaResult<()> {
     let n = comm.n_ranks();
     if n < 2 || n_words == 0 {
         return Ok(());
@@ -191,8 +200,8 @@ pub fn allreduce_sum_u64(comm: &mut Comm, bufs: &RankBufs, n_words: usize) -> Vi
 /// `send_counts[s][d]` bytes travel from offset `send_offs[s][d]` of rank
 /// s's buffer to offset `recv_offs[d][s]` of rank d's buffer.
 #[allow(clippy::too_many_arguments)]
-pub fn alltoallv(
-    comm: &mut Comm,
+pub fn alltoallv<F: Fabric>(
+    comm: &mut Comm<F>,
     send_bufs: &RankBufs,
     send_offs: &[Vec<usize>],
     send_counts: &[Vec<usize>],

@@ -5,6 +5,11 @@
 //! (rank, address, length) triple, not a host slice, so every byte really
 //! flows through registered frames — and through whatever pinning strategy
 //! the nodes were configured with.
+//!
+//! The communicator is generic over the [`Fabric`]: [`Comm::new`] builds
+//! the deterministic [`ViaSystem`] variant, [`Comm::on_fabric`] wraps any
+//! pre-built fabric (e.g. a [`via::ThreadedCluster`]) so the same protocol
+//! code runs over real concurrency.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -12,7 +17,7 @@ use simmem::{prot, KernelConfig, Pid, VirtAddr, PAGE_SIZE};
 use via::system::{NodeId, ViaSystem};
 use via::tpt::{MemId, ProtectionTag};
 use via::vi::ViId;
-use via::{ViaError, ViaResult};
+use via::{DescOp, Fabric, FabricNode, ViaError, ViaResult};
 use vialock::StrategyKind;
 
 use crate::config::{MsgConfig, Protocol};
@@ -98,9 +103,10 @@ struct PendingSend {
     state: SendState,
 }
 
-/// The communicator.
-pub struct Comm {
-    sys: ViaSystem,
+/// The communicator, generic over the underlying [`Fabric`] (the
+/// deterministic [`ViaSystem`] by default).
+pub struct Comm<F: Fabric = ViaSystem> {
+    sys: F,
     cfg: MsgConfig,
     ranks: Vec<RankInfo>,
     pairs: HashMap<(RankId, RankId), Pair>,
@@ -116,7 +122,8 @@ pub struct Comm {
 
 impl Comm {
     /// Build a communicator of `n_ranks` ranks spread round-robin over
-    /// `n_nodes` nodes, with all channels set up.
+    /// `n_nodes` nodes of a fresh deterministic fabric, with all channels
+    /// set up.
     pub fn new(
         n_ranks: usize,
         n_nodes: usize,
@@ -124,9 +131,18 @@ impl Comm {
         strategy: StrategyKind,
         cfg: MsgConfig,
     ) -> ViaResult<Self> {
+        Comm::on_fabric(ViaSystem::new(n_nodes, kcfg, strategy), n_ranks, cfg)
+    }
+}
+
+impl<F: Fabric> Comm<F> {
+    /// Build a communicator of `n_ranks` ranks spread round-robin over the
+    /// nodes of a pre-built fabric (deterministic or threaded), with all
+    /// channels set up.
+    pub fn on_fabric(mut sys: F, n_ranks: usize, cfg: MsgConfig) -> ViaResult<Self> {
         cfg.validate()
             .map_err(|_| ViaError::BadState("invalid MsgConfig"))?;
-        let mut sys = ViaSystem::new(n_nodes, kcfg, strategy);
+        let n_nodes = sys.node_count();
         let mut ranks = Vec::with_capacity(n_ranks);
         for r in 0..n_ranks {
             let node = r % n_nodes;
@@ -186,8 +202,7 @@ impl Comm {
             .sys
             .mmap(r_node, r_pid, r_len, prot::READ | prot::WRITE)?;
         self.sys
-            .kernel_mut(r_node)
-            .touch_pages(r_pid, r_seg_addr, r_len, true)?;
+            .touch_pages(r_node, r_pid, r_seg_addr, r_len, true)?;
         let r_seg_mem = self
             .sys
             .register_mem(r_node, r_pid, r_seg_addr, r_len, r_tag)?;
@@ -198,8 +213,7 @@ impl Comm {
             .sys
             .mmap(s_node, s_pid, s_len, prot::READ | prot::WRITE)?;
         self.sys
-            .kernel_mut(s_node)
-            .touch_pages(s_pid, s_seg_addr, s_len, true)?;
+            .touch_pages(s_node, s_pid, s_seg_addr, s_len, true)?;
         let s_seg_mem = self
             .sys
             .register_mem(s_node, s_pid, s_seg_addr, s_len, s_tag)?;
@@ -211,8 +225,7 @@ impl Comm {
             .sys
             .mmap(r_node, r_pid, ring_len, prot::READ | prot::WRITE)?;
         self.sys
-            .kernel_mut(r_node)
-            .touch_pages(r_pid, ring_addr, ring_len, true)?;
+            .touch_pages(r_node, r_pid, ring_addr, ring_len, true)?;
         let oc_mem = self
             .sys
             .register_mem(r_node, r_pid, ring_addr, ring_len, r_tag)?;
@@ -290,7 +303,7 @@ impl Comm {
     }
 
     /// Access the underlying fabric (workloads run antagonists through it).
-    pub fn system_mut(&mut self) -> &mut ViaSystem {
+    pub fn system_mut(&mut self) -> &mut F {
         &mut self.sys
     }
 
@@ -300,9 +313,11 @@ impl Comm {
     }
 
     /// Per-node NIC data-path statistics (TLB hit rates, DMA ops, pool
-    /// recycling) — benches read deltas of these.
-    pub fn nic_stats(&self, node: NodeId) -> via::nic::NicStats {
-        self.sys.node(node).nic.stats
+    /// recycling) — benches read deltas of these. `&mut self`: on a
+    /// threaded fabric this is a command round-trip into the node's
+    /// service thread.
+    pub fn nic_stats(&mut self, node: NodeId) -> via::nic::NicStats {
+        self.sys.nic_stats(node)
     }
 
     /// Intra-rank staging copy (`src → dst`, same process) through the
@@ -346,14 +361,17 @@ impl Comm {
         // Cached registrations may still pin parts of the range; drop the
         // idle cache entries first so the frames actually come back.
         self.flush_caches()?;
-        Ok(self.sys.kernel_mut(node).munmap(pid, addr, len)?)
+        self.sys.munmap(node, pid, addr, len)
     }
 
     /// Deregister every idle cached registration on every node.
     pub fn flush_caches(&mut self) -> ViaResult<()> {
         let Comm { caches, sys, .. } = self;
         for (n, cache) in caches.iter_mut().enumerate() {
-            cache.flush(sys.node_mut(n))?;
+            cache.flush(&mut FabricNode {
+                fabric: &mut *sys,
+                node: n,
+            })?;
         }
         Ok(())
     }
@@ -376,21 +394,40 @@ impl Comm {
         len: usize,
         tag: ProtectionTag,
     ) -> ViaResult<MemId> {
-        let misses0 = self.caches[node].stats().misses;
-        let mem = self.caches[node].acquire(self.sys.node_mut(node), pid, addr, len, tag)?;
-        if self.caches[node].stats().misses > misses0 {
-            self.stats.registrations += 1;
+        let Comm {
+            caches, sys, stats, ..
+        } = self;
+        let misses0 = caches[node].stats().misses;
+        let mem = caches[node].acquire(
+            &mut FabricNode {
+                fabric: &mut *sys,
+                node,
+            },
+            pid,
+            addr,
+            len,
+            tag,
+        )?;
+        if caches[node].stats().misses > misses0 {
+            stats.registrations += 1;
             let base = simmem::page_base(addr);
             let pages = (simmem::page_align_up(addr + len as u64) - base) / PAGE_SIZE as u64;
-            self.stats.pages_registered += pages;
+            stats.pages_registered += pages;
         } else {
-            self.stats.cache_hits += 1;
+            stats.cache_hits += 1;
         }
         Ok(mem)
     }
 
     fn cached_release(&mut self, node: NodeId, mem: MemId) -> ViaResult<()> {
-        self.caches[node].release(self.sys.node_mut(node), mem)
+        let Comm { caches, sys, .. } = self;
+        caches[node].release(
+            &mut FabricNode {
+                fabric: &mut *sys,
+                node,
+            },
+            mem,
+        )
     }
 
     // ------------------------------------------------------------------
@@ -640,6 +677,24 @@ impl Comm {
                         resp.addr,
                     )?;
                     self.sys.pump()?;
+                    // Fence: the RDMA-write completion is generated by the
+                    // *receiving* NIC's response packet, so waiting for it
+                    // here guarantees the payload landed before we announce
+                    // ZC_DONE — essential on the threaded fabric, where the
+                    // packet may still be in flight after one pump round.
+                    // Stale Send completions from earlier one-copy chunks on
+                    // the same VI are drained along the way.
+                    loop {
+                        let c = self.sys.wait_cq(s_node, vi_s)?;
+                        if c.op == DescOp::RdmaWrite {
+                            if c.status.is_error() {
+                                return Err(ViaError::BadState(
+                                    "zero-copy RDMA completed in error",
+                                ));
+                            }
+                            break;
+                        }
+                    }
                     self.stats.dma_bytes += len as u64;
                     // Tell the receiver the payload landed.
                     let info = self.read_info_as_sender(p.from, p.to, p.slot)?;
@@ -932,14 +987,13 @@ impl Comm {
             // ----------------------------- one-copy ---------------------
             1 => {
                 let n_chunks = len.div_ceil(self.cfg.chunk_bytes);
-                self.sys.pump()?;
                 let vi_r = self.pairs[&(from, at)].vi_r;
                 let mut off = 0usize;
                 for _ in 0..n_chunks {
-                    let c = self
-                        .sys
-                        .poll_cq(r_node, vi_r)?
-                        .ok_or(ViaError::BadState("missing one-copy completion"))?;
+                    // `wait_cq`: on the deterministic fabric this pumps to
+                    // quiescence and polls; on the threaded fabric it runs
+                    // the node's wait ladder until the chunk arrives.
+                    let c = self.sys.wait_cq(r_node, vi_r)?;
                     // An error completion (transport loss, drop, protection)
                     // means the chunk never landed in the ring buffer.
                     if c.status.is_error() {

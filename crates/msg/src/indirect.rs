@@ -14,7 +14,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use simmem::VirtAddr;
-use via::{ViaError, ViaResult};
+use via::{Fabric, ViaError, ViaResult};
 
 use crate::coll::SYS_TAG_BASE;
 use crate::comm::{Comm, RankId, ANY_TAG};
@@ -49,7 +49,7 @@ pub struct ForwardedEnvelope {
     pub len: usize,
 }
 
-impl Comm {
+impl<F: Fabric> Comm<F> {
     /// Send `[addr, addr+len)` from `from` to `to` **via** the intermediate
     /// rank (step 1–2 of the paper's protocol: wrap payload with a header,
     /// ship it to the intermediate as a system message). Blocking: the

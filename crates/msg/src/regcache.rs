@@ -4,15 +4,16 @@
 //!
 //! The mechanics (covering-span hits, stamp-ordered LRU eviction, O(1)
 //! release) are the shared [`vialock::CoveringLru`]; this wrapper turns
-//! misses into `Node::register_mem` calls and evictions into
-//! `Node::deregister_mem` calls. Since each rank has its own protection
-//! tag *and* its own pid, the pid-keyed covering index never serves a span
-//! registered under another rank's tag.
+//! misses into registration calls and evictions into deregistration calls
+//! against any [`RegPort`] — a bare `Node` (deterministic fabric, or inside
+//! a service thread) or a [`via::FabricNode`] adapter routing through the
+//! `Fabric` trait. Since each rank has its own protection tag *and* its own
+//! pid, the pid-keyed covering index never serves a span registered under
+//! another rank's tag.
 
 use simmem::{Pid, VirtAddr};
-use via::nic::Node;
 use via::tpt::{MemId, ProtectionTag};
-use via::ViaResult;
+use via::{RegPort, ViaResult};
 use vialock::{CacheReleaseError, CacheStats, CoveringLru, RegError};
 
 /// LRU cache of live NIC registrations for one node.
@@ -30,9 +31,9 @@ impl NodeRegCache {
     /// Acquire a registration covering `[addr, addr+len)` under `tag`. Any
     /// cached span covering the request — exact or larger — is a hit; a
     /// miss registers the full page span with the NIC.
-    pub fn acquire(
+    pub fn acquire<P: RegPort>(
         &mut self,
-        node: &mut Node,
+        port: &mut P,
         pid: Pid,
         addr: VirtAddr,
         len: usize,
@@ -43,7 +44,7 @@ impl NodeRegCache {
         }
         let page_base = simmem::page_base(addr);
         let span_len = (simmem::page_align_up(addr + len as u64) - page_base) as usize;
-        let mem = node.register_mem(pid, page_base, span_len, tag)?;
+        let mem = port.port_register(pid, page_base, span_len, tag)?;
         self.lru.admit(pid, addr, len, mem);
         Ok(mem)
     }
@@ -51,21 +52,21 @@ impl NodeRegCache {
     /// Release a prior acquisition; evict idle LRU entries beyond budget.
     /// Releasing more often than acquired is an error, not a silent
     /// saturation.
-    pub fn release(&mut self, node: &mut Node, mem: MemId) -> ViaResult<()> {
+    pub fn release<P: RegPort>(&mut self, port: &mut P, mem: MemId) -> ViaResult<()> {
         self.lru.release(mem).map_err(|e| match e {
             CacheReleaseError::UnknownHandle => via::ViaError::BadId("cached memory"),
             CacheReleaseError::Underflow => via::ViaError::Reg(RegError::PinUnderflow),
         })?;
         for victim in self.lru.evict_over_budget() {
-            node.deregister_mem(victim)?;
+            port.port_deregister(victim)?;
         }
         Ok(())
     }
 
     /// Deregister every idle cached region.
-    pub fn flush(&mut self, node: &mut Node) -> ViaResult<()> {
+    pub fn flush<P: RegPort>(&mut self, port: &mut P) -> ViaResult<()> {
         for victim in self.lru.drain_idle() {
-            node.deregister_mem(victim)?;
+            port.port_deregister(victim)?;
         }
         Ok(())
     }
@@ -92,6 +93,7 @@ impl NodeRegCache {
 mod tests {
     use super::*;
     use simmem::{prot, KernelConfig, PAGE_SIZE};
+    use via::nic::Node;
     use vialock::StrategyKind;
 
     fn node() -> (Node, Pid, VirtAddr) {

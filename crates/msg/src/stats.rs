@@ -3,6 +3,7 @@
 //! models to produce simulated transfer times.
 
 use serde::Serialize;
+use vialock::impl_since;
 
 /// Cumulative message-layer statistics.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -39,25 +40,22 @@ pub struct MsgStats {
     pub cache_hits: u64,
 }
 
-impl MsgStats {
-    /// Windowed difference.
-    pub fn since(&self, earlier: &MsgStats) -> MsgStats {
-        MsgStats {
-            sm_msgs: self.sm_msgs - earlier.sm_msgs,
-            pio_bytes: self.pio_bytes - earlier.pio_bytes,
-            control_writes: self.control_writes - earlier.control_writes,
-            oc_msgs: self.oc_msgs - earlier.oc_msgs,
-            oc_chunks: self.oc_chunks - earlier.oc_chunks,
-            zc_msgs: self.zc_msgs - earlier.zc_msgs,
-            dma_bytes: self.dma_bytes - earlier.dma_bytes,
-            copy_bytes: self.copy_bytes - earlier.copy_bytes,
-            copy_ops: self.copy_ops - earlier.copy_ops,
-            registrations: self.registrations - earlier.registrations,
-            pages_registered: self.pages_registered - earlier.pages_registered,
-            cache_hits: self.cache_hits - earlier.cache_hits,
-        }
-    }
+impl_since!(MsgStats {
+    sm_msgs,
+    pio_bytes,
+    control_writes,
+    oc_msgs,
+    oc_chunks,
+    zc_msgs,
+    dma_bytes,
+    copy_bytes,
+    copy_ops,
+    registrations,
+    pages_registered,
+    cache_hits,
+});
 
+impl MsgStats {
     /// Total messages.
     pub fn msgs(&self) -> u64 {
         self.sm_msgs + self.oc_msgs + self.zc_msgs

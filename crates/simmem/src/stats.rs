@@ -3,6 +3,27 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Implements a `since(&self, earlier: &Self) -> Self` windowed difference
+/// for a counter struct, subtracting field by field. The field list must be
+/// exhaustive — the struct-literal expansion fails to compile if a field is
+/// missing, so new counters cannot silently escape diffing.
+///
+/// Shared by every stats block in the workspace (`MmStats` here, `NicStats`
+/// in `via`, `MsgStats` in `msg`, fabric counters in the threaded cluster).
+#[macro_export]
+macro_rules! impl_since {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $ty {
+            /// Difference `self - earlier`, for windowed measurements.
+            pub fn since(&self, earlier: &$ty) -> $ty {
+                $ty {
+                    $($field: self.$field - earlier.$field,)+
+                }
+            }
+        }
+    };
+}
+
 /// Cumulative memory-management statistics.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MmStats {
@@ -42,28 +63,23 @@ pub struct MmStats {
     pub backoff_ticks: u64,
 }
 
-impl MmStats {
-    /// Difference `self - earlier`, for windowed measurements.
-    pub fn since(&self, earlier: &MmStats) -> MmStats {
-        MmStats {
-            minor_faults: self.minor_faults - earlier.minor_faults,
-            major_faults: self.major_faults - earlier.major_faults,
-            swap_outs: self.swap_outs - earlier.swap_outs,
-            swap_ins: self.swap_ins - earlier.swap_ins,
-            cow_copies: self.cow_copies - earlier.cow_copies,
-            reclaim_passes: self.reclaim_passes - earlier.reclaim_passes,
-            orphaned_pages: self.orphaned_pages - earlier.orphaned_pages,
-            skipped_vm_locked: self.skipped_vm_locked - earlier.skipped_vm_locked,
-            skipped_pg_locked: self.skipped_pg_locked - earlier.skipped_pg_locked,
-            kiobuf_pins: self.kiobuf_pins - earlier.kiobuf_pins,
-            kiobuf_unpins: self.kiobuf_unpins - earlier.kiobuf_unpins,
-            swap_cache_adds: self.swap_cache_adds - earlier.swap_cache_adds,
-            swap_cache_hits: self.swap_cache_hits - earlier.swap_cache_hits,
-            faults_injected: self.faults_injected - earlier.faults_injected,
-            backoff_ticks: self.backoff_ticks - earlier.backoff_ticks,
-        }
-    }
-}
+impl_since!(MmStats {
+    minor_faults,
+    major_faults,
+    swap_outs,
+    swap_ins,
+    cow_copies,
+    reclaim_passes,
+    orphaned_pages,
+    skipped_vm_locked,
+    skipped_pg_locked,
+    kiobuf_pins,
+    kiobuf_unpins,
+    swap_cache_adds,
+    swap_cache_hits,
+    faults_injected,
+    backoff_ticks,
+});
 
 #[cfg(test)]
 mod tests {

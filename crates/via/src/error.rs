@@ -35,6 +35,10 @@ pub enum ViaError {
     /// A completion could not be delivered because the completion queue was
     /// at capacity; the completion is lost and the VI is broken.
     CqOverrun,
+    /// The service thread for the given node is gone — it panicked, was
+    /// shut down, or its mailbox was closed. The fabric equivalent of a
+    /// peer process dying mid-conversation.
+    PeerGone(usize),
 }
 
 impl fmt::Display for ViaError {
@@ -54,6 +58,7 @@ impl fmt::Display for ViaError {
             ViaError::BadState(s) => write!(f, "bad VI state: {s}"),
             ViaError::Disconnected => write!(f, "connection broken"),
             ViaError::CqOverrun => write!(f, "completion queue overrun"),
+            ViaError::PeerGone(node) => write!(f, "node {node} thread is gone"),
         }
     }
 }
@@ -93,5 +98,6 @@ mod tests {
         assert!(ViaError::RecvTooSmall { need: 10, have: 5 }
             .to_string()
             .contains("10"));
+        assert!(ViaError::PeerGone(3).to_string().contains('3'));
     }
 }

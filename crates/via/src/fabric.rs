@@ -1,0 +1,501 @@
+//! The [`Fabric`] abstraction: one surface, two fabrics.
+//!
+//! Everything above the NIC — the message layer, the collectives, the
+//! workload drivers, the chaos harness — talks to a cluster through this
+//! trait, so the same code runs on either implementation:
+//!
+//! * [`crate::ViaSystem`] — the deterministic fabric: every node lives on
+//!   the caller's thread, [`Fabric::pump`] drains the whole cluster to
+//!   quiescence in FIFO order. Reproducible to the packet; the fabric of
+//!   choice for invariant checks and seeded chaos sweeps.
+//! * [`crate::ThreadedCluster`] — the concurrency-faithful fabric: one OS
+//!   thread per node, MPSC mailboxes between them, real interleavings. The
+//!   fabric of choice for racing registration/pinning/DMA against the VM
+//!   the way the paper's mechanism must survive in production.
+//!
+//! The trade-off is fundamental: the deterministic fabric can order every
+//! delivery (and so can promise *which* packet a seeded fault hits), while
+//! the threaded fabric promises only per-VI FIFO and charges real
+//! synchronization costs. Code written against `Fabric` gets both.
+
+use simmem::{Pid, VirtAddr};
+use vialock::FaultHandle;
+
+use crate::descriptor::Descriptor;
+use crate::error::{ViaError, ViaResult};
+use crate::nic::{NicStats, Node};
+use crate::system::{NodeId, ViaSystem};
+use crate::tpt::{MemId, ProtectionTag};
+use crate::vi::{Completion, Reliability, ViId};
+
+/// A cluster of VIA nodes, node-indexed. See the module docs for the two
+/// implementations and their trade-off.
+///
+/// Methods that on a threaded fabric must cross into a node's service
+/// thread take `&mut self` even where the deterministic fabric could get
+/// by with `&self` (e.g. [`Fabric::nic_stats`],
+/// [`Fabric::check_invariants`]): the trait models the command round-trip,
+/// not the cheapest implementation.
+pub trait Fabric {
+    /// Number of nodes in the cluster.
+    fn node_count(&self) -> usize;
+
+    /// Spawn an unprivileged process on node `n`.
+    fn spawn_process(&mut self, n: NodeId) -> Pid;
+
+    /// Process exit on node `n`: the kernel agent reclaims every TPT
+    /// entry, pin and mlock interval the process owned, breaks its VIs,
+    /// then the kernel tears the address space down.
+    fn exit_process(&mut self, n: NodeId, pid: Pid) -> ViaResult<()>;
+
+    /// Anonymous mapping in a node-local process.
+    fn mmap(&mut self, n: NodeId, pid: Pid, len: usize, prot: u8) -> ViaResult<VirtAddr>;
+
+    /// Unmap a range in a node-local process.
+    fn munmap(&mut self, n: NodeId, pid: Pid, addr: VirtAddr, len: usize) -> ViaResult<()>;
+
+    /// Fault every page of `[addr, addr+len)` present (write if `write`).
+    fn touch_pages(
+        &mut self,
+        n: NodeId,
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+        write: bool,
+    ) -> ViaResult<()>;
+
+    /// CPU store into user memory (runs the fault path).
+    fn write_user(&mut self, n: NodeId, pid: Pid, addr: VirtAddr, data: &[u8]) -> ViaResult<()>;
+
+    /// CPU load from user memory.
+    fn read_user(&mut self, n: NodeId, pid: Pid, addr: VirtAddr, out: &mut [u8]) -> ViaResult<()>;
+
+    /// Create a VI on node `n`.
+    fn create_vi(&mut self, n: NodeId, pid: Pid, tag: ProtectionTag) -> ViaResult<ViId>;
+
+    /// Set a VI's reliability level. Delivery semantics are decided by the
+    /// *receiving* VI's level, so symmetric connections should set both
+    /// ends.
+    fn set_reliability(&mut self, n: NodeId, vi: ViId, r: Reliability) -> ViaResult<()>;
+
+    /// Connect two VIs (the client/server handshake collapsed into one
+    /// fabric-level operation). Both must be `Idle`.
+    fn connect(&mut self, a: (NodeId, ViId), b: (NodeId, ViId)) -> ViaResult<()>;
+
+    /// Register memory on node `n` (kernel-agent trap). RDMA-write enabled,
+    /// RDMA-read disabled — the common MPI setting.
+    fn register_mem(
+        &mut self,
+        n: NodeId,
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+        tag: ProtectionTag,
+    ) -> ViaResult<MemId> {
+        self.register_mem_attrs(n, pid, addr, len, tag, true, false)
+    }
+
+    /// Register memory with explicit RDMA attributes.
+    #[allow(clippy::too_many_arguments)]
+    fn register_mem_attrs(
+        &mut self,
+        n: NodeId,
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+        tag: ProtectionTag,
+        rdma_write: bool,
+        rdma_read: bool,
+    ) -> ViaResult<MemId>;
+
+    /// Deregister memory on node `n`.
+    fn deregister_mem(&mut self, n: NodeId, mem: MemId) -> ViaResult<()>;
+
+    /// Post an arbitrary send-side descriptor and ring the doorbell.
+    fn post_send_desc(&mut self, n: NodeId, vi: ViId, desc: Descriptor) -> ViaResult<()>;
+
+    /// Post an arbitrary receive descriptor.
+    fn post_recv_desc(&mut self, n: NodeId, vi: ViId, desc: Descriptor) -> ViaResult<()>;
+
+    /// Post a one-segment send descriptor.
+    fn post_send(
+        &mut self,
+        n: NodeId,
+        vi: ViId,
+        mem: MemId,
+        addr: VirtAddr,
+        len: usize,
+    ) -> ViaResult<()> {
+        self.post_send_desc(n, vi, Descriptor::send(mem, addr, len))
+    }
+
+    /// Post a one-segment receive descriptor.
+    fn post_recv(
+        &mut self,
+        n: NodeId,
+        vi: ViId,
+        mem: MemId,
+        addr: VirtAddr,
+        len: usize,
+    ) -> ViaResult<()> {
+        self.post_recv_desc(n, vi, Descriptor::recv(mem, addr, len))
+    }
+
+    /// Post a one-segment RDMA write.
+    #[allow(clippy::too_many_arguments)]
+    fn post_rdma_write(
+        &mut self,
+        n: NodeId,
+        vi: ViId,
+        local_mem: MemId,
+        local_addr: VirtAddr,
+        len: usize,
+        remote_mem: MemId,
+        remote_addr: VirtAddr,
+    ) -> ViaResult<()> {
+        self.post_send_desc(
+            n,
+            vi,
+            Descriptor::rdma_write(local_mem, local_addr, len, remote_mem, remote_addr),
+        )
+    }
+
+    /// Post a one-segment RDMA read.
+    #[allow(clippy::too_many_arguments)]
+    fn post_rdma_read(
+        &mut self,
+        n: NodeId,
+        vi: ViId,
+        local_mem: MemId,
+        local_addr: VirtAddr,
+        len: usize,
+        remote_mem: MemId,
+        remote_addr: VirtAddr,
+    ) -> ViaResult<()> {
+        self.post_send_desc(
+            n,
+            vi,
+            Descriptor::rdma_read(local_mem, local_addr, len, remote_mem, remote_addr),
+        )
+    }
+
+    /// Poll one VI's completion queue (non-blocking).
+    fn poll_cq(&mut self, n: NodeId, vi: ViId) -> ViaResult<Option<Completion>>;
+
+    /// Block until one completion is available on the VI's CQ. On the
+    /// deterministic fabric this pumps the cluster to quiescence and polls;
+    /// on the threaded fabric it runs the node's spin→yield→park wait
+    /// ladder under the cluster's wait timeout.
+    fn wait_cq(&mut self, n: NodeId, vi: ViId) -> ViaResult<Completion>;
+
+    /// Make progress: drain send queues, route and deliver packets. On the
+    /// deterministic fabric this runs to quiescence and returns the total
+    /// packets delivered; on the threaded fabric it is one bounded round
+    /// per node (service threads also progress autonomously). Delivery
+    /// errors (no receive descriptor, protection) are recorded in NIC
+    /// stats and VI state; the first one observed is also returned.
+    fn pump(&mut self) -> ViaResult<usize>;
+
+    /// SCI-style programmed I/O: the CPU on `src` loads `len` bytes from
+    /// its own user buffer and stores them into memory imported from `dst`
+    /// (a registered region addressed by `(MemId, byte offset)`).
+    fn sci_write(
+        &mut self,
+        src: (NodeId, Pid, VirtAddr),
+        len: usize,
+        dst: (NodeId, MemId, usize),
+    ) -> ViaResult<()>;
+
+    /// [`Fabric::sci_write`] with an in-flight byte buffer as source.
+    fn sci_write_bytes(&mut self, data: &[u8], dst: (NodeId, MemId, usize)) -> ViaResult<()>;
+
+    /// SCI remote read (expensive on real hardware; completeness + tests).
+    fn sci_read_bytes(&mut self, src: (NodeId, MemId, usize), out: &mut [u8]) -> ViaResult<()>;
+
+    /// Route every node's fault sites through one shared seeded plan.
+    ///
+    /// On the deterministic fabric the plan's rule order maps 1:1 onto the
+    /// delivery order, so "fault the third packet" is meaningful; on the
+    /// threaded fabric consultation order is whatever the race produces.
+    fn install_fault_plan(&mut self, plan: &FaultHandle);
+
+    /// The chaos harness's safety net: registry census, no orphaned
+    /// frames, TPT occupancy, and the fabric-wide packet-pool ledger. The
+    /// threaded fabric quiesces the cluster first (the ledger only
+    /// balances with no packets in flight).
+    fn check_invariants(&mut self) -> Result<(), String>;
+
+    /// Snapshot one node's NIC counters.
+    fn nic_stats(&mut self, n: NodeId) -> NicStats;
+
+    /// Run a closure against one node's [`Node`] — the escape hatch for
+    /// harness code that reaches below the fabric surface (antagonist
+    /// processes, registry post-mortems). On the threaded fabric the
+    /// closure is shipped to the node's service thread, hence the
+    /// `Send + 'static` bounds.
+    fn with_node<R, G>(&mut self, n: NodeId, f: G) -> R
+    where
+        R: Send + 'static,
+        G: FnOnce(&mut Node) -> R + Send + 'static;
+}
+
+impl Fabric for ViaSystem {
+    fn node_count(&self) -> usize {
+        self.len()
+    }
+
+    fn spawn_process(&mut self, n: NodeId) -> Pid {
+        ViaSystem::spawn_process(self, n)
+    }
+
+    fn exit_process(&mut self, n: NodeId, pid: Pid) -> ViaResult<()> {
+        ViaSystem::exit_process(self, n, pid)
+    }
+
+    fn mmap(&mut self, n: NodeId, pid: Pid, len: usize, prot: u8) -> ViaResult<VirtAddr> {
+        ViaSystem::mmap(self, n, pid, len, prot)
+    }
+
+    fn munmap(&mut self, n: NodeId, pid: Pid, addr: VirtAddr, len: usize) -> ViaResult<()> {
+        ViaSystem::munmap(self, n, pid, addr, len)
+    }
+
+    fn touch_pages(
+        &mut self,
+        n: NodeId,
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+        write: bool,
+    ) -> ViaResult<()> {
+        ViaSystem::touch_pages(self, n, pid, addr, len, write)
+    }
+
+    fn write_user(&mut self, n: NodeId, pid: Pid, addr: VirtAddr, data: &[u8]) -> ViaResult<()> {
+        ViaSystem::write_user(self, n, pid, addr, data)
+    }
+
+    fn read_user(&mut self, n: NodeId, pid: Pid, addr: VirtAddr, out: &mut [u8]) -> ViaResult<()> {
+        ViaSystem::read_user(self, n, pid, addr, out)
+    }
+
+    fn create_vi(&mut self, n: NodeId, pid: Pid, tag: ProtectionTag) -> ViaResult<ViId> {
+        ViaSystem::create_vi(self, n, pid, tag)
+    }
+
+    fn set_reliability(&mut self, n: NodeId, vi: ViId, r: Reliability) -> ViaResult<()> {
+        ViaSystem::set_reliability(self, n, vi, r)
+    }
+
+    fn connect(&mut self, a: (NodeId, ViId), b: (NodeId, ViId)) -> ViaResult<()> {
+        ViaSystem::connect(self, a, b)
+    }
+
+    fn register_mem_attrs(
+        &mut self,
+        n: NodeId,
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+        tag: ProtectionTag,
+        rdma_write: bool,
+        rdma_read: bool,
+    ) -> ViaResult<MemId> {
+        self.node_mut(n)
+            .register_mem_attrs(pid, addr, len, tag, rdma_write, rdma_read)
+    }
+
+    fn deregister_mem(&mut self, n: NodeId, mem: MemId) -> ViaResult<()> {
+        ViaSystem::deregister_mem(self, n, mem)
+    }
+
+    fn post_send_desc(&mut self, n: NodeId, vi: ViId, desc: Descriptor) -> ViaResult<()> {
+        ViaSystem::post_send_desc(self, n, vi, desc)
+    }
+
+    fn post_recv_desc(&mut self, n: NodeId, vi: ViId, desc: Descriptor) -> ViaResult<()> {
+        ViaSystem::post_recv_desc(self, n, vi, desc)
+    }
+
+    fn poll_cq(&mut self, n: NodeId, vi: ViId) -> ViaResult<Option<Completion>> {
+        ViaSystem::poll_cq(self, n, vi)
+    }
+
+    fn wait_cq(&mut self, n: NodeId, vi: ViId) -> ViaResult<Completion> {
+        if let Some(c) = ViaSystem::poll_cq(self, n, vi)? {
+            return Ok(c);
+        }
+        ViaSystem::pump(self)?;
+        ViaSystem::poll_cq(self, n, vi)?
+            .ok_or(ViaError::BadState("wait_cq: no completion after pump"))
+    }
+
+    fn pump(&mut self) -> ViaResult<usize> {
+        ViaSystem::pump(self)
+    }
+
+    fn sci_write(
+        &mut self,
+        src: (NodeId, Pid, VirtAddr),
+        len: usize,
+        dst: (NodeId, MemId, usize),
+    ) -> ViaResult<()> {
+        ViaSystem::sci_write(self, src, len, dst)
+    }
+
+    fn sci_write_bytes(&mut self, data: &[u8], dst: (NodeId, MemId, usize)) -> ViaResult<()> {
+        ViaSystem::sci_write_bytes(self, data, dst)
+    }
+
+    fn sci_read_bytes(&mut self, src: (NodeId, MemId, usize), out: &mut [u8]) -> ViaResult<()> {
+        ViaSystem::sci_read_bytes(self, src, out)
+    }
+
+    fn install_fault_plan(&mut self, plan: &FaultHandle) {
+        ViaSystem::install_fault_plan(self, plan)
+    }
+
+    fn check_invariants(&mut self) -> Result<(), String> {
+        ViaSystem::check_invariants(self)
+    }
+
+    fn nic_stats(&mut self, n: NodeId) -> NicStats {
+        self.node(n).nic.stats
+    }
+
+    fn with_node<R, G>(&mut self, n: NodeId, f: G) -> R
+    where
+        R: Send + 'static,
+        G: FnOnce(&mut Node) -> R + Send + 'static,
+    {
+        f(self.node_mut(n))
+    }
+}
+
+/// A registration port: the two kernel-agent calls the registration cache
+/// needs, abstracted so the cache works against a bare [`Node`] (inside a
+/// service thread or the deterministic fabric) or against a
+/// [`FabricNode`] adapter (through the trait, command round-trips and
+/// all). Method names are deliberately distinct from the inherent
+/// `register_mem`/`deregister_mem` so the `Node` impl cannot recurse.
+pub trait RegPort {
+    /// `VipRegisterMem` with the default attributes (RDMA-write on).
+    fn port_register(
+        &mut self,
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+        tag: ProtectionTag,
+    ) -> ViaResult<MemId>;
+
+    /// `VipDeregisterMem`.
+    fn port_deregister(&mut self, mem: MemId) -> ViaResult<()>;
+}
+
+impl RegPort for Node {
+    fn port_register(
+        &mut self,
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+        tag: ProtectionTag,
+    ) -> ViaResult<MemId> {
+        self.register_mem(pid, addr, len, tag)
+    }
+
+    fn port_deregister(&mut self, mem: MemId) -> ViaResult<()> {
+        self.deregister_mem(mem)
+    }
+}
+
+/// One node of a fabric viewed as a [`RegPort`].
+pub struct FabricNode<'a, F: Fabric> {
+    pub fabric: &'a mut F,
+    pub node: NodeId,
+}
+
+impl<F: Fabric> RegPort for FabricNode<'_, F> {
+    fn port_register(
+        &mut self,
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+        tag: ProtectionTag,
+    ) -> ViaResult<MemId> {
+        self.fabric.register_mem(self.node, pid, addr, len, tag)
+    }
+
+    fn port_deregister(&mut self, mem: MemId) -> ViaResult<()> {
+        self.fabric.deregister_mem(self.node, mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmem::{prot, KernelConfig, PAGE_SIZE};
+    use vialock::StrategyKind;
+
+    /// The deterministic fabric driven exclusively through the trait: a
+    /// send/recv roundtrip with `wait_cq` on both ends.
+    fn roundtrip_on<F: Fabric>(fab: &mut F) {
+        let pa = fab.spawn_process(0);
+        let pb = fab.spawn_process(1);
+        let tag = ProtectionTag(7);
+        let va = fab.create_vi(0, pa, tag).unwrap();
+        let vb = fab.create_vi(1, pb, tag).unwrap();
+        fab.connect((0, va), (1, vb)).unwrap();
+        let sbuf = fab
+            .mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        let rbuf = fab
+            .mmap(1, pb, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        fab.write_user(0, pa, sbuf, b"via trait").unwrap();
+        let sh = fab.register_mem(0, pa, sbuf, PAGE_SIZE, tag).unwrap();
+        let rh = fab.register_mem(1, pb, rbuf, PAGE_SIZE, tag).unwrap();
+        fab.post_recv(1, vb, rh, rbuf, PAGE_SIZE).unwrap();
+        fab.post_send(0, va, sh, sbuf, 9).unwrap();
+        let cr = fab.wait_cq(1, vb).unwrap();
+        assert_eq!(cr.len, 9);
+        let cs = fab.wait_cq(0, va).unwrap();
+        assert_eq!(cs.op, crate::descriptor::DescOp::Send);
+        let mut out = [0u8; 9];
+        fab.read_user(1, pb, rbuf, &mut out).unwrap();
+        assert_eq!(&out, b"via trait");
+        assert!(fab.nic_stats(0).sends >= 1);
+        fab.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn deterministic_fabric_roundtrip_through_trait() {
+        let mut sys = ViaSystem::new(2, KernelConfig::small(), StrategyKind::KiobufReliable);
+        roundtrip_on(&mut sys);
+    }
+
+    #[test]
+    fn wait_cq_without_traffic_is_bad_state() {
+        let mut sys = ViaSystem::new(1, KernelConfig::small(), StrategyKind::KiobufReliable);
+        let p = Fabric::spawn_process(&mut sys, 0);
+        let vi = Fabric::create_vi(&mut sys, 0, p, ProtectionTag(1)).unwrap();
+        assert!(matches!(
+            Fabric::wait_cq(&mut sys, 0, vi),
+            Err(ViaError::BadState(_))
+        ));
+    }
+
+    #[test]
+    fn fabric_node_is_a_reg_port() {
+        let mut sys = ViaSystem::new(1, KernelConfig::small(), StrategyKind::KiobufReliable);
+        let p = Fabric::spawn_process(&mut sys, 0);
+        let buf = Fabric::mmap(&mut sys, 0, p, 2 * PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let mut port = FabricNode {
+            fabric: &mut sys,
+            node: 0,
+        };
+        let mem = port
+            .port_register(p, buf, 2 * PAGE_SIZE, ProtectionTag(1))
+            .unwrap();
+        port.port_deregister(mem).unwrap();
+    }
+}

@@ -58,6 +58,7 @@
 pub mod atu;
 pub mod descriptor;
 pub mod error;
+pub mod fabric;
 pub mod nic;
 pub mod ring;
 pub mod system;
@@ -68,7 +69,9 @@ pub mod vipl;
 
 pub use descriptor::{DescOp, DescStatus, Descriptor};
 pub use error::{ViaError, ViaResult};
+pub use fabric::{Fabric, FabricNode, RegPort};
 pub use nic::{Nic, NicStats, Node};
 pub use system::{NodeId, ViaSystem};
+pub use threaded::{ClusterBuilder, FabricStats, ThreadedCluster};
 pub use tpt::{MemId, ProtectionTag, Tpt, TptEntry};
 pub use vi::{Completion, ViId, ViState, VirtualInterface};

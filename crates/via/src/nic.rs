@@ -12,7 +12,7 @@
 use std::collections::BTreeMap;
 
 use simmem::{Kernel, Pid, VirtAddr, PAGE_SIZE};
-use vialock::{FaultHandle, FaultSite, MemoryRegistry, StrategyKind};
+use vialock::{impl_since, FaultHandle, FaultSite, MemoryRegistry, StrategyKind};
 
 use crate::descriptor::{DescOp, DescStatus, Descriptor};
 use crate::error::{ViaError, ViaResult};
@@ -57,6 +57,27 @@ pub struct NicStats {
     /// Descriptors completed with an error status instead of `Done`.
     pub desc_errors: u64,
 }
+
+impl_since!(NicStats {
+    sends,
+    recvs,
+    rdma_writes,
+    rdma_reads,
+    bytes_tx,
+    bytes_rx,
+    dropped,
+    protection_errors,
+    tlb_hits,
+    tlb_misses,
+    dma_ops,
+    pool_recycled,
+    payload_allocs,
+    wire_drops,
+    wire_dups,
+    wire_delays,
+    cq_overruns,
+    desc_errors,
+});
 
 /// Recycling free list for packet payload buffers. Buffers keep their
 /// capacity across uses, so a steady-state exchange allocates nothing per
@@ -973,6 +994,99 @@ impl Node {
                 Ok(Vec::new())
             }
         }
+    }
+
+    /// SCI-style PIO store into one of this node's exported regions,
+    /// addressed by `(MemId, byte offset)`. Node-local so every fabric —
+    /// the deterministic system and the threaded cluster — shares one
+    /// implementation; translation uses the region's own tag (importer-side
+    /// protection is the host MMU).
+    pub fn sci_write_bytes(&mut self, data: &[u8], dmem: MemId, doff: usize) -> ViaResult<()> {
+        let region = self.nic.tpt.region(dmem)?.clone();
+        if doff + data.len() > region.len {
+            return Err(ViaError::OutOfBounds);
+        }
+        let addr = region.user_addr + doff as u64;
+        let mut runs = std::mem::take(&mut self.run_scratch);
+        let r = (|| {
+            runs.clear();
+            self.nic.tpt.translate_range(
+                dmem,
+                addr,
+                data.len(),
+                region.tag,
+                Access::Local,
+                &mut runs,
+            )?;
+            let mut written = 0usize;
+            for run in &runs {
+                self.kernel.dma_write_run(
+                    run.frame,
+                    run.offset,
+                    &data[written..written + run.len],
+                )?;
+                written += run.len;
+            }
+            Ok(())
+        })();
+        self.run_scratch = runs;
+        r
+    }
+
+    /// SCI remote read from one of this node's exported regions (see
+    /// [`Node::sci_write_bytes`]).
+    pub fn sci_read_bytes(&mut self, smem: MemId, soff: usize, out: &mut [u8]) -> ViaResult<()> {
+        let region = self.nic.tpt.region(smem)?.clone();
+        if soff + out.len() > region.len {
+            return Err(ViaError::OutOfBounds);
+        }
+        let addr = region.user_addr + soff as u64;
+        let mut runs = std::mem::take(&mut self.run_scratch);
+        let r = (|| {
+            runs.clear();
+            self.nic.tpt.translate_range(
+                smem,
+                addr,
+                out.len(),
+                region.tag,
+                Access::Local,
+                &mut runs,
+            )?;
+            let mut read = 0usize;
+            for run in &runs {
+                self.kernel
+                    .dma_read_run(run.frame, run.offset, &mut out[read..read + run.len])?;
+                read += run.len;
+            }
+            Ok(())
+        })();
+        self.run_scratch = runs;
+        r
+    }
+
+    /// The per-node slice of the fabric-wide invariants:
+    ///
+    /// 1. the registry census holds (per-frame pin counts equal the live
+    ///    registrations covering them);
+    /// 2. no orphaned frames (reliable pinning's whole promise);
+    /// 3. TPT occupancy never exceeds capacity.
+    ///
+    /// The packet-pool ledger is *fabric-wide* (buffers migrate between
+    /// nodes with the packets that carry them), so the fabric sums
+    /// [`PacketPool::outstanding`] across nodes on top of this check.
+    pub fn check_local_invariants(&self) -> Result<(), String> {
+        self.registry
+            .check_invariants(&self.kernel)
+            .map_err(|e| e.to_string())?;
+        let orphans = self.kernel.count_orphaned_frames();
+        if orphans != 0 {
+            return Err(format!("{orphans} orphaned frames"));
+        }
+        let (used, cap) = (self.nic.tpt.used_slots(), self.nic.tpt.capacity());
+        if used > cap {
+            return Err(format!("TPT occupancy {used} > capacity {cap}"));
+        }
+        Ok(())
     }
 
     /// Gather `len` bytes from a named region for an RDMA-read request

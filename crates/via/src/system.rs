@@ -11,7 +11,7 @@ use vialock::{FaultSite, StrategyKind};
 use crate::descriptor::Descriptor;
 use crate::error::{ViaError, ViaResult};
 use crate::nic::{Node, Packet, PacketKind, DEFAULT_TPT_PAGES};
-use crate::tpt::{Access, DmaRun, MemId, ProtectionTag};
+use crate::tpt::{MemId, ProtectionTag};
 use crate::vi::{Completion, Reliability, ViId, ViState};
 
 /// Index of a node in the system.
@@ -32,8 +32,6 @@ pub struct ViaSystem {
     vi_scratch: Vec<ViId>,
     /// Scratch staging buffer reused by [`ViaSystem::sci_write`].
     pio_scratch: Vec<u8>,
-    /// Scratch DMA-run list reused by the SCI PIO paths.
-    sci_runs: Vec<DmaRun>,
 }
 
 impl ViaSystem {
@@ -49,7 +47,6 @@ impl ViaSystem {
             listeners: std::collections::HashMap::new(),
             vi_scratch: Vec::new(),
             pio_scratch: Vec::new(),
-            sci_runs: Vec::new(),
         }
     }
 
@@ -121,17 +118,8 @@ impl ViaSystem {
     ///    flight (delayed ones included).
     pub fn check_invariants(&self) -> Result<(), String> {
         for (i, node) in self.nodes.iter().enumerate() {
-            node.registry
-                .check_invariants(&node.kernel)
+            node.check_local_invariants()
                 .map_err(|e| format!("node {i}: {e}"))?;
-            let orphans = node.kernel.count_orphaned_frames();
-            if orphans != 0 {
-                return Err(format!("node {i}: {orphans} orphaned frames"));
-            }
-            let (used, cap) = (node.nic.tpt.used_slots(), node.nic.tpt.capacity());
-            if used > cap {
-                return Err(format!("node {i}: TPT occupancy {used} > capacity {cap}"));
-            }
         }
         let outstanding: i64 = self.nodes.iter().map(|n| n.pool.outstanding()).sum();
         let in_flight = self
@@ -161,6 +149,24 @@ impl ViaSystem {
     /// Anonymous mapping in a node-local process.
     pub fn mmap(&mut self, n: NodeId, pid: Pid, len: usize, prot: u8) -> ViaResult<VirtAddr> {
         Ok(self.nodes[n].kernel.mmap_anon(pid, len, prot)?)
+    }
+
+    /// Unmap a range in a node-local process.
+    pub fn munmap(&mut self, n: NodeId, pid: Pid, addr: VirtAddr, len: usize) -> ViaResult<()> {
+        Ok(self.nodes[n].kernel.munmap(pid, addr, len)?)
+    }
+
+    /// Fault every page of `[addr, addr+len)` present in a node-local
+    /// process (write access if `write`).
+    pub fn touch_pages(
+        &mut self,
+        n: NodeId,
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+        write: bool,
+    ) -> ViaResult<()> {
+        Ok(self.nodes[n].kernel.touch_pages(pid, addr, len, write)?)
     }
 
     /// CPU store into user memory (runs the fault path).
@@ -445,56 +451,14 @@ impl ViaSystem {
     /// (used for control words built in registers rather than memory).
     pub fn sci_write_bytes(&mut self, data: &[u8], dst: (NodeId, MemId, usize)) -> ViaResult<()> {
         let (dn, dmem, doff) = dst;
-        let node = &mut self.nodes[dn];
-        let region = node.nic.tpt.region(dmem)?.clone();
-        if doff + data.len() > region.len {
-            return Err(ViaError::OutOfBounds);
-        }
-        let addr = region.user_addr + doff as u64;
-        self.sci_runs.clear();
-        node.nic.tpt.translate_range(
-            dmem,
-            addr,
-            data.len(),
-            region.tag,
-            Access::Local,
-            &mut self.sci_runs,
-        )?;
-        let mut written = 0usize;
-        for run in &self.sci_runs {
-            node.kernel
-                .dma_write_run(run.frame, run.offset, &data[written..written + run.len])?;
-            written += run.len;
-        }
-        Ok(())
+        self.nodes[dn].sci_write_bytes(data, dmem, doff)
     }
 
     /// SCI remote *read* (expensive on real hardware — the CHEMPI paper
     /// avoids it; provided for completeness and tests).
     pub fn sci_read_bytes(&mut self, src: (NodeId, MemId, usize), out: &mut [u8]) -> ViaResult<()> {
         let (sn, smem, soff) = src;
-        let node = &self.nodes[sn];
-        let region = node.nic.tpt.region(smem)?.clone();
-        if soff + out.len() > region.len {
-            return Err(ViaError::OutOfBounds);
-        }
-        let addr = region.user_addr + soff as u64;
-        self.sci_runs.clear();
-        node.nic.tpt.translate_range(
-            smem,
-            addr,
-            out.len(),
-            region.tag,
-            Access::Local,
-            &mut self.sci_runs,
-        )?;
-        let mut read = 0usize;
-        for run in &self.sci_runs {
-            node.kernel
-                .dma_read_run(run.frame, run.offset, &mut out[read..read + run.len])?;
-            read += run.len;
-        }
-        Ok(())
+        self.nodes[sn].sci_read_bytes(smem, soff, out)
     }
 
     // ------------------------------------------------------------------

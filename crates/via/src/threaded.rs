@@ -1,32 +1,49 @@
-//! A multi-threaded two-node fabric: each node (kernel + NIC + kernel
+//! A multi-threaded N-node fabric: each node (kernel + NIC + kernel
 //! agent) runs on its own OS thread; packets travel over std mpsc
-//! channels. This is the concurrency-faithful counterpart of the
-//! deterministic single-threaded [`crate::system::ViaSystem`]: the same
-//! `Node` type, real thread interleavings, no shared state beyond the
-//! wire.
+//! mailboxes, one per node, with a routing layer in front of them. This
+//! is the concurrency-faithful counterpart of the deterministic
+//! single-threaded [`crate::system::ViaSystem`]: the same `Node` type,
+//! real thread interleavings, no shared state beyond the wire.
 //!
-//! Use [`connect_pair`] to wire VIs *before* splitting the nodes onto
-//! threads, then [`run_pair`] with one closure per node. Each closure
-//! drives its node through a [`NodeCtx`]: post descriptors on the node
-//! directly, then [`NodeCtx::pump`] to ship outgoing packets and deliver
-//! incoming ones, or [`NodeCtx::wait_completion`] to block until a CQ
-//! entry arrives.
+//! Two ways to drive it:
+//!
+//! * [`ThreadedCluster`] — the fabric as a service. Node threads run a
+//!   command loop; the cluster handle implements [`Fabric`], so the
+//!   message layer and the workload drivers run on it unchanged. Build
+//!   one with [`ClusterBuilder`] (node count, kernel config, pinning
+//!   strategy, wait timeout).
+//! * [`run_cluster`] — one closure per node, each driving its node
+//!   through a [`NodeCtx`]: post descriptors on the node directly, then
+//!   [`NodeCtx::pump`] to ship outgoing packets and deliver incoming
+//!   ones, or [`NodeCtx::wait_completion`] to block until a CQ entry
+//!   arrives. Wire VIs first with [`connect_nodes`].
+//!
+//! The 2-node [`connect_pair`]/[`run_pair`] entry points are deprecated
+//! thin wrappers over the N-node machinery, kept for one release.
 
+use std::any::Any;
 use std::collections::VecDeque;
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use vialock::FaultSite;
+use simmem::{Capabilities, KernelConfig, Pid, VirtAddr};
+use vialock::{impl_since, FaultHandle, FaultSite, StrategyKind};
 
+use crate::descriptor::Descriptor;
 use crate::error::{ViaError, ViaResult};
-use crate::nic::{Node, Packet, PacketKind};
-use crate::vi::{Completion, Reliability, ViId};
+use crate::fabric::Fabric;
+use crate::nic::{NicStats, Node, Packet, PacketKind, DEFAULT_TPT_PAGES};
+use crate::system::NodeId;
+use crate::tpt::{MemId, ProtectionTag};
+use crate::vi::{Completion, Reliability, ViId, ViState};
 
-/// How long [`NodeCtx::wait_completion`] waits before declaring the peer
-/// dead.
+/// Default for how long [`NodeCtx::wait_completion`] (and the cluster's
+/// [`Fabric::wait_cq`]) waits before declaring the peer dead. Override
+/// per cluster with [`ClusterBuilder::wait_timeout`].
 pub const WAIT_TIMEOUT: Duration = Duration::from_secs(5);
 
-/// Non-blocking polls of the inbound channel before
+/// Non-blocking polls of the inbound mailbox before
 /// [`NodeCtx::wait_completion`] starts yielding (spin-yield-park). On a
 /// single-core host the budget is zero: the peer can only make progress
 /// once we give the core away, so every spin iteration is pure added
@@ -54,48 +71,243 @@ const PARK_TIMEOUT: Duration = Duration::from_millis(1);
 /// Most packets [`NodeCtx::pump`] delivers per call (bounded burst).
 const DELIVER_BURST: usize = 256;
 
-/// Wire two VIs of two (not yet split) nodes together. `a_index` and
-/// `b_index` are the node indices used in packet routing (0 and 1 for
-/// [`run_pair`]).
-pub fn connect_pair(
-    a: &mut Node,
-    a_vi: ViId,
-    a_index: usize,
-    b: &mut Node,
-    b_vi: ViId,
-    b_index: usize,
-) -> ViaResult<()> {
-    {
-        let v = a.nic.vi_mut(a_vi)?;
-        v.peer = Some((b_index, b_vi));
-        v.state = crate::vi::ViState::Connected;
-    }
-    {
-        let v = b.nic.vi_mut(b_vi)?;
-        v.peer = Some((a_index, a_vi));
-        v.state = crate::vi::ViState::Connected;
-    }
-    Ok(())
+/// Service-loop rounds [`ThreadedCluster::quiesce`] tolerates before
+/// declaring the cluster livelocked.
+const QUIESCE_ROUND_CAP: usize = 10_000;
+
+/// Per-node counters of the threaded fabric itself (not the NIC): wire
+/// batching, routing, and wait-ladder behaviour. Diffable with
+/// [`FabricStats::since`] like every other stats block.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Mailbox sends (one per destination per ship, however many packets
+    /// each carried).
+    pub batches_sent: u64,
+    /// Packets routed to another node's mailbox.
+    pub packets_routed: u64,
+    /// Packets delivered into this node's NIC.
+    pub delivered: u64,
+    /// Times the node blocked on its mailbox (idle or wait-ladder park).
+    pub parks: u64,
+    /// Times the spin/yield phase of the wait ladder caught new mail
+    /// before a park was needed.
+    pub spin_wakes: u64,
+    /// Fabric commands served by this node's thread.
+    pub commands: u64,
+    /// High-water mark of the inbound queue (monotone).
+    pub mailbox_peak: u64,
 }
 
-/// Per-thread driver for one node. Packets travel in batches: one channel
-/// send per pump carries every packet staged since the last one, and
-/// arriving batches land in `inbound` to be delivered one at a time.
+impl_since!(FabricStats {
+    batches_sent,
+    packets_routed,
+    delivered,
+    parks,
+    spin_wakes,
+    commands,
+    mailbox_peak,
+});
+
+/// Everything that can land in a node's mailbox: wire traffic or a
+/// fabric command from the cluster handle.
+enum Mail {
+    Packets(Vec<Packet>),
+    Cmd(Command),
+}
+
+/// A closure shipped to a node's service thread by [`Fabric::with_node`].
+type NodeFn = Box<dyn FnOnce(&mut Node) -> Box<dyn Any + Send> + Send>;
+
+/// The fabric-surface operations a [`ThreadedCluster`] ships to a node's
+/// service thread. One command, one [`Reply`], in lockstep.
+enum Command {
+    SpawnProcess,
+    ExitProcess(Pid),
+    Mmap {
+        pid: Pid,
+        len: usize,
+        prot: u8,
+    },
+    Munmap {
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+    },
+    TouchPages {
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+        write: bool,
+    },
+    WriteUser {
+        pid: Pid,
+        addr: VirtAddr,
+        data: Vec<u8>,
+    },
+    ReadUser {
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+    },
+    CreateVi {
+        pid: Pid,
+        tag: ProtectionTag,
+    },
+    SetReliability {
+        vi: ViId,
+        r: Reliability,
+    },
+    /// Half of a cross-node connect: point `vi` at `peer` (must be idle).
+    SetPeer {
+        vi: ViId,
+        peer: (NodeId, ViId),
+    },
+    /// Roll back a half-applied connect whose other side failed.
+    RevertPeer {
+        vi: ViId,
+    },
+    /// Same-node connect: both VIs live here.
+    ConnectLocal {
+        a: ViId,
+        b: ViId,
+    },
+    RegisterMem {
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+        tag: ProtectionTag,
+        rdma_write: bool,
+        rdma_read: bool,
+    },
+    DeregisterMem(MemId),
+    PostSend {
+        vi: ViId,
+        desc: Descriptor,
+    },
+    PostRecv {
+        vi: ViId,
+        desc: Descriptor,
+    },
+    PollCq(ViId),
+    WaitCq(ViId),
+    Pump,
+    SciWriteBytes {
+        data: Vec<u8>,
+        mem: MemId,
+        off: usize,
+    },
+    SciReadBytes {
+        mem: MemId,
+        off: usize,
+        len: usize,
+    },
+    InstallFaultPlan(FaultHandle),
+    NicStats,
+    FabricStats,
+    /// Local invariants + pool ledger contribution + inbound depth.
+    CheckNode,
+    WithNode(NodeFn),
+    Shutdown,
+}
+
+/// Service-thread answers, one per [`Command`].
+enum Reply {
+    Pid(Pid),
+    Unit(ViaResult<()>),
+    Addr(ViaResult<VirtAddr>),
+    Bytes(ViaResult<Vec<u8>>),
+    Vi(ViaResult<ViId>),
+    Mem(ViaResult<MemId>),
+    Maybe(ViaResult<Option<Completion>>),
+    Completion(ViaResult<Completion>),
+    Pumped {
+        delivered: usize,
+        idle: bool,
+        error: Option<ViaError>,
+    },
+    Stats(NicStats),
+    Fabric(FabricStats),
+    Check {
+        local: Result<(), String>,
+        outstanding: i64,
+        inbound: usize,
+    },
+    Any(Box<dyn Any + Send>),
+}
+
+/// Per-thread driver for one node of an N-node cluster. Packets travel
+/// in batches: one mailbox send per destination per pump carries every
+/// packet staged for it since the last one, and arriving batches land in
+/// `inbound` to be delivered one at a time.
 pub struct NodeCtx {
     pub node: Node,
     index: usize,
-    tx: Sender<Vec<Packet>>,
-    rx: Receiver<Vec<Packet>>,
+    /// One sender per node in the cluster. The slot for this node itself
+    /// is a dead sender (self-destined packets short-circuit through
+    /// `inbound`), so a mailbox disconnect means every *other* thread —
+    /// and the cluster handle, if any — is gone.
+    txs: Vec<Sender<Mail>>,
+    rx: Receiver<Mail>,
     /// Packets received from the wire but not yet delivered.
     inbound: VecDeque<Packet>,
+    /// Fabric commands that arrived while this thread was mid-wait;
+    /// served by the service loop in arrival order.
+    backlog: VecDeque<Command>,
     /// Cached VI id list; VIs are only ever created, so a count check
     /// suffices to detect staleness.
     vi_ids: Vec<ViId>,
-    /// Outgoing packets staged for the next batched channel send.
+    /// Outgoing packets staged for the next batched mailbox send.
     outbox: Vec<Packet>,
+    /// Per-destination staging, reused across ships.
+    route_scratch: Vec<Vec<Packet>>,
+    /// Deadline budget for [`NodeCtx::wait_completion`].
+    wait_timeout: Duration,
+    stats: FabricStats,
+    /// First error the autonomous service pump swallowed; surfaced on
+    /// the next `Pump` command.
+    pending_error: Option<ViaError>,
 }
 
 impl NodeCtx {
+    fn new(
+        node: Node,
+        index: usize,
+        mut txs: Vec<Sender<Mail>>,
+        rx: Receiver<Mail>,
+        wait_timeout: Duration,
+    ) -> Self {
+        // Replace our own sender with a dead one: holding it would keep
+        // our own mailbox alive forever and disconnects would never be
+        // observed. Self-destined traffic never touches the channel.
+        let (dead, _) = channel();
+        txs[index] = dead;
+        let n = txs.len();
+        NodeCtx {
+            node,
+            index,
+            txs,
+            rx,
+            inbound: VecDeque::new(),
+            backlog: VecDeque::new(),
+            vi_ids: Vec::new(),
+            outbox: Vec::new(),
+            route_scratch: (0..n).map(|_| Vec::new()).collect(),
+            wait_timeout,
+            stats: FabricStats::default(),
+            pending_error: None,
+        }
+    }
+
+    /// This node's index in the cluster (its routing address).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Fabric-layer counters for this node.
+    pub fn fabric_stats(&self) -> FabricStats {
+        self.stats
+    }
+
     /// Ship every pending send and deliver a bounded burst of queued
     /// inbound packets (one at a time, a CQ stays checkable between any
     /// two). Returns (packets sent, packets delivered).
@@ -108,8 +320,53 @@ impl NodeCtx {
         Ok((sent, delivered))
     }
 
-    /// Ship every pending send of every VI as ONE batched channel send,
-    /// without touching the inbound queue.
+    /// File mail into the right queue, tracking the inbound high-water
+    /// mark.
+    fn enqueue(&mut self, mail: Mail) {
+        match mail {
+            Mail::Packets(batch) => {
+                self.inbound.extend(batch);
+                self.stats.mailbox_peak = self.stats.mailbox_peak.max(self.inbound.len() as u64);
+            }
+            Mail::Cmd(cmd) => self.backlog.push_back(cmd),
+        }
+    }
+
+    /// Route one outbound packet: self-destined short-circuits into
+    /// `inbound`, everything else stages for a batched mailbox send.
+    fn stage(&mut self, pkt: Packet) {
+        if pkt.dst_node == self.index {
+            self.inbound.push_back(pkt);
+        } else {
+            self.route_scratch[pkt.dst_node].push(pkt);
+        }
+    }
+
+    /// Flush the per-destination staging: ONE mailbox send per
+    /// destination. A closed mailbox is a gone peer; with `best_effort`
+    /// the loss is swallowed (drain paths), otherwise it surfaces as
+    /// [`ViaError::PeerGone`].
+    fn flush_routes(&mut self, best_effort: bool) -> ViaResult<()> {
+        let mut first_err = None;
+        for dst in 0..self.route_scratch.len() {
+            if self.route_scratch[dst].is_empty() {
+                continue;
+            }
+            let batch = std::mem::take(&mut self.route_scratch[dst]);
+            self.stats.packets_routed += batch.len() as u64;
+            self.stats.batches_sent += 1;
+            if self.txs[dst].send(Mail::Packets(batch)).is_err() && !best_effort {
+                first_err.get_or_insert(ViaError::PeerGone(dst));
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Ship every pending send of every VI, batched per destination,
+    /// without touching the inbound queue (beyond loopback traffic).
     fn ship_sends(&mut self) -> ViaResult<usize> {
         if self.vi_ids.len() != self.node.nic.vi_count() {
             self.node.nic.vi_ids_into(&mut self.vi_ids);
@@ -120,38 +377,48 @@ impl NodeCtx {
                 .node
                 .pump_vi_sends_into(self.vi_ids[i], self.index, &mut self.outbox)?;
         }
-        if !self.outbox.is_empty() {
-            if self.node.nic.legacy_datapath {
-                // Pre-overhaul wire: one channel operation (and one peer
-                // wakeup) per packet.
-                for pkt in self.outbox.drain(..) {
-                    self.tx
-                        .send(vec![pkt])
-                        .map_err(|_| ViaError::Disconnected)?;
-                }
-            } else {
-                let batch = std::mem::take(&mut self.outbox);
-                // A closed peer is a torn-down cluster; surface it.
-                self.tx.send(batch).map_err(|_| ViaError::Disconnected)?;
-            }
+        if self.outbox.is_empty() {
+            return Ok(sent);
         }
+        if self.node.nic.legacy_datapath {
+            // Pre-overhaul wire: one mailbox operation (and one peer
+            // wakeup) per packet.
+            for pkt in std::mem::take(&mut self.outbox) {
+                if pkt.dst_node == self.index {
+                    self.inbound.push_back(pkt);
+                    continue;
+                }
+                let dst = pkt.dst_node;
+                self.stats.packets_routed += 1;
+                self.stats.batches_sent += 1;
+                self.txs[dst]
+                    .send(Mail::Packets(vec![pkt]))
+                    .map_err(|_| ViaError::PeerGone(dst))?;
+            }
+            return Ok(sent);
+        }
+        for pkt in std::mem::take(&mut self.outbox) {
+            self.stage(pkt);
+        }
+        self.flush_routes(false)?;
         Ok(sent)
     }
 
-    /// Pull whatever the wire has queued into `inbound` without blocking.
-    /// Returns whether `inbound` is now non-empty.
+    /// Pull whatever the mailbox has queued into `inbound`/`backlog`
+    /// without blocking. Returns whether `inbound` is now non-empty.
     fn refill_inbound(&mut self) -> bool {
-        while let Ok(batch) = self.rx.try_recv() {
-            self.inbound.extend(batch);
+        while let Ok(mail) = self.rx.try_recv() {
+            self.enqueue(mail);
         }
         !self.inbound.is_empty()
     }
 
     /// Deliver exactly ONE inbound packet, if any is queued. This is the
-    /// single choke point both `pump` and the disconnected drain go
-    /// through, so the one-packet-per-CQ-check rule holds everywhere.
-    /// With `best_effort_tx` a dead peer channel swallows responses
-    /// instead of erroring (used while draining after a disconnect).
+    /// single choke point every drain path goes through, so the
+    /// one-packet-per-CQ-check rule holds everywhere. With
+    /// `best_effort_tx` a dead peer mailbox swallows responses instead
+    /// of erroring (used while draining after a disconnect and by the
+    /// autonomous service pump).
     fn deliver_one_inbound(&mut self, best_effort_tx: bool) -> ViaResult<bool> {
         if self.inbound.is_empty() && !self.refill_inbound() {
             return Ok(false);
@@ -198,18 +465,18 @@ impl NodeCtx {
             }
         }
         let resps = self.node.deliver(pkt)?;
+        self.stats.delivered += 1;
         if !resps.is_empty() {
-            if best_effort_tx {
-                let _ = self.tx.send(resps);
-            } else {
-                self.tx.send(resps).map_err(|_| ViaError::Disconnected)?;
+            for r in resps {
+                self.stage(r);
             }
+            self.flush_routes(best_effort_tx)?;
         }
         Ok(true)
     }
 
     /// Block until a completion appears on `vi`'s CQ (pumping while
-    /// waiting), or time out.
+    /// waiting), or time out after the cluster's wait budget.
     ///
     /// Inbound packets are delivered one at a time with a CQ check in
     /// between, never drained in bulk: once the awaited completion is on
@@ -219,12 +486,12 @@ impl NodeCtx {
     /// before our next receive is posted and reliable mode rejects it
     /// with `NoRecvDescriptor`, tearing the node down.)
     ///
-    /// While idle the wait spins on non-blocking channel polls for
+    /// While idle the wait spins on non-blocking mailbox polls for
     /// [`spin_budget`] iterations (latency path: the peer usually answers
     /// within microseconds), yields the core for up to [`YIELD_BUDGET`]
     /// more polls, and only then parks for [`PARK_TIMEOUT`].
     pub fn wait_completion(&mut self, vi: ViId) -> ViaResult<Completion> {
-        let deadline = Instant::now() + WAIT_TIMEOUT;
+        let deadline = Instant::now() + self.wait_timeout;
         loop {
             self.ship_sends()?;
             if let Some(c) = self.node.nic.vi_mut(vi)?.poll_cq() {
@@ -243,6 +510,7 @@ impl NodeCtx {
                 for i in 0..spins + YIELD_BUDGET {
                     if self.refill_inbound() {
                         woke = true;
+                        self.stats.spin_wakes += 1;
                         break;
                     }
                     if i < spins {
@@ -253,8 +521,9 @@ impl NodeCtx {
                 }
             }
             if !woke {
+                self.stats.parks += 1;
                 match self.rx.recv_timeout(PARK_TIMEOUT) {
-                    Ok(batch) => self.inbound.extend(batch),
+                    Ok(mail) => self.enqueue(mail),
                     Err(RecvTimeoutError::Timeout) => {}
                     Err(RecvTimeoutError::Disconnected) => {
                         return self.drain_disconnected(vi);
@@ -267,9 +536,9 @@ impl NodeCtx {
         }
     }
 
-    /// Peer thread finished: deliver what it left behind — still one
-    /// packet per CQ check — then report the disconnect if the awaited
-    /// completion never materialises.
+    /// Every other thread finished: deliver what they left behind —
+    /// still one packet per CQ check — then report the disconnect if the
+    /// awaited completion never materialises.
     fn drain_disconnected(&mut self, vi: ViId) -> ViaResult<Completion> {
         loop {
             if let Some(c) = self.node.nic.vi_mut(vi)?.poll_cq() {
@@ -280,12 +549,897 @@ impl NodeCtx {
             }
         }
     }
+
+    /// Remember the first error the autonomous pump swallowed.
+    fn note_error(&mut self, e: ViaError) {
+        self.pending_error.get_or_insert(e);
+    }
+
+    /// One best-effort progress round for the service loop: ship, then
+    /// deliver a bounded burst. Errors are noted (and the offending
+    /// packet consumed) rather than propagated — a service thread must
+    /// outlive a torn-down VI. Returns whether any progress was made.
+    fn pump_round(&mut self) -> bool {
+        let mut progressed = false;
+        match self.ship_sends() {
+            Ok(sent) => progressed |= sent > 0,
+            Err(e) => self.note_error(e),
+        }
+        let mut delivered = 0usize;
+        while delivered < DELIVER_BURST {
+            match self.deliver_one_inbound(true) {
+                Ok(true) => delivered += 1,
+                Ok(false) => break,
+                Err(e) => {
+                    // The packet was consumed; the error is the result of
+                    // its delivery (e.g. a reliable VI torn down). Finite,
+                    // so it counts as progress.
+                    self.note_error(e);
+                    delivered += 1;
+                }
+            }
+        }
+        progressed | (delivered > 0)
+    }
+}
+
+// ----------------------------------------------------------------------
+// The service loop: a NodeCtx driven by commands from the cluster handle
+// ----------------------------------------------------------------------
+
+impl NodeCtx {
+    /// Execute one fabric command against this node. `WaitCq` and `Pump`
+    /// recurse into the normal pump/wait machinery, so wire traffic keeps
+    /// flowing while a command is being served.
+    fn handle(&mut self, cmd: Command) -> Reply {
+        match cmd {
+            Command::SpawnProcess => {
+                Reply::Pid(self.node.kernel.spawn_process(Capabilities::default()))
+            }
+            Command::ExitProcess(pid) => Reply::Unit(self.node.exit_process(pid)),
+            Command::Mmap { pid, len, prot } => Reply::Addr(
+                self.node
+                    .kernel
+                    .mmap_anon(pid, len, prot)
+                    .map_err(ViaError::from),
+            ),
+            Command::Munmap { pid, addr, len } => Reply::Unit(
+                self.node
+                    .kernel
+                    .munmap(pid, addr, len)
+                    .map_err(ViaError::from),
+            ),
+            Command::TouchPages {
+                pid,
+                addr,
+                len,
+                write,
+            } => Reply::Unit(
+                self.node
+                    .kernel
+                    .touch_pages(pid, addr, len, write)
+                    .map_err(ViaError::from),
+            ),
+            Command::WriteUser { pid, addr, data } => Reply::Unit(
+                self.node
+                    .kernel
+                    .write_user(pid, addr, &data)
+                    .map_err(ViaError::from),
+            ),
+            Command::ReadUser { pid, addr, len } => {
+                let mut buf = vec![0u8; len];
+                Reply::Bytes(
+                    self.node
+                        .kernel
+                        .read_user(pid, addr, &mut buf)
+                        .map(|()| buf)
+                        .map_err(ViaError::from),
+                )
+            }
+            Command::CreateVi { pid, tag } => Reply::Vi(Ok(self.node.nic.create_vi(pid, tag))),
+            Command::SetReliability { vi, r } => {
+                Reply::Unit(self.node.nic.vi_mut(vi).map(|v| v.reliability = r))
+            }
+            Command::SetPeer { vi, peer } => Reply::Unit(self.set_peer(vi, peer)),
+            Command::RevertPeer { vi } => Reply::Unit(self.node.nic.vi_mut(vi).map(|v| {
+                v.peer = None;
+                v.state = ViState::Idle;
+            })),
+            Command::ConnectLocal { a, b } => Reply::Unit(self.connect_local(a, b)),
+            Command::RegisterMem {
+                pid,
+                addr,
+                len,
+                tag,
+                rdma_write,
+                rdma_read,
+            } => Reply::Mem(
+                self.node
+                    .register_mem_attrs(pid, addr, len, tag, rdma_write, rdma_read),
+            ),
+            Command::DeregisterMem(mem) => Reply::Unit(self.node.deregister_mem(mem)),
+            Command::PostSend { vi, desc } => Reply::Unit(self.post(vi, desc, true)),
+            Command::PostRecv { vi, desc } => Reply::Unit(self.post(vi, desc, false)),
+            Command::PollCq(vi) => Reply::Maybe(self.node.nic.vi_mut(vi).map(|v| v.poll_cq())),
+            Command::WaitCq(vi) => Reply::Completion(self.wait_completion(vi)),
+            Command::Pump => {
+                let before = self.stats.delivered;
+                let progressed = self.pump_round();
+                let delivered = (self.stats.delivered - before) as usize;
+                Reply::Pumped {
+                    delivered,
+                    idle: !progressed && self.inbound.is_empty() && self.outbox.is_empty(),
+                    error: self.pending_error.take(),
+                }
+            }
+            Command::SciWriteBytes { data, mem, off } => {
+                Reply::Unit(self.node.sci_write_bytes(&data, mem, off))
+            }
+            Command::SciReadBytes { mem, off, len } => {
+                let mut out = vec![0u8; len];
+                Reply::Bytes(self.node.sci_read_bytes(mem, off, &mut out).map(|()| out))
+            }
+            Command::InstallFaultPlan(plan) => {
+                self.node.install_fault_plan(&plan);
+                Reply::Unit(Ok(()))
+            }
+            Command::NicStats => Reply::Stats(self.node.nic.stats),
+            Command::FabricStats => Reply::Fabric(self.stats),
+            Command::CheckNode => Reply::Check {
+                local: self.node.check_local_invariants(),
+                outstanding: self.node.pool.outstanding(),
+                inbound: self.inbound.len(),
+            },
+            Command::WithNode(f) => Reply::Any(f(&mut self.node)),
+            Command::Shutdown => Reply::Unit(Ok(())),
+        }
+    }
+
+    fn set_peer(&mut self, vi: ViId, peer: (NodeId, ViId)) -> ViaResult<()> {
+        let v = self.node.nic.vi_mut(vi)?;
+        if v.state != ViState::Idle {
+            return Err(ViaError::BadState("connect on non-idle VI"));
+        }
+        v.peer = Some(peer);
+        v.state = ViState::Connected;
+        Ok(())
+    }
+
+    fn connect_local(&mut self, a: ViId, b: ViId) -> ViaResult<()> {
+        if self.node.nic.vi(a)?.state != ViState::Idle
+            || self.node.nic.vi(b)?.state != ViState::Idle
+        {
+            return Err(ViaError::BadState("connect on non-idle VI"));
+        }
+        let index = self.index;
+        {
+            let v = self.node.nic.vi_mut(a)?;
+            v.peer = Some((index, b));
+            v.state = ViState::Connected;
+        }
+        {
+            let v = self.node.nic.vi_mut(b)?;
+            v.peer = Some((index, a));
+            v.state = ViState::Connected;
+        }
+        Ok(())
+    }
+
+    fn post(&mut self, vi: ViId, desc: Descriptor, send: bool) -> ViaResult<()> {
+        let v = self.node.nic.vi_mut(vi)?;
+        if v.state == ViState::Error {
+            return Err(ViaError::Disconnected);
+        }
+        if send {
+            v.send_q.push_back(desc);
+        } else {
+            v.recv_q.push_back(desc);
+        }
+        Ok(())
+    }
+}
+
+/// The per-node service thread: serve backlogged commands, make
+/// autonomous wire progress, and block on the mailbox when idle. Returns
+/// the node for post-mortem inspection once the cluster shuts down.
+fn service(mut ctx: NodeCtx, reply_tx: Sender<Reply>) -> Node {
+    loop {
+        while let Some(cmd) = ctx.backlog.pop_front() {
+            ctx.stats.commands += 1;
+            let shutdown = matches!(cmd, Command::Shutdown);
+            if shutdown {
+                // Flush anything still staged so peers draining their
+                // mailboxes see it.
+                let _ = ctx.pump_round();
+            }
+            let reply = ctx.handle(cmd);
+            if reply_tx.send(reply).is_err() || shutdown {
+                // Controller gone (or orderly shutdown): we're done.
+                return ctx.node;
+            }
+        }
+        if ctx.pump_round() {
+            // Made progress; pick up any mail that arrived meanwhile and
+            // go again.
+            match ctx.rx.try_recv() {
+                Ok(mail) => ctx.enqueue(mail),
+                Err(TryRecvError::Empty) => {}
+                Err(TryRecvError::Disconnected) => return ctx.node,
+            }
+            continue;
+        }
+        if !ctx.backlog.is_empty() || ctx.refill_inbound() {
+            continue;
+        }
+        // Fully idle: sleep until mail arrives. Every packet and every
+        // command is a wakeup, so a blocking receive loses nothing.
+        ctx.stats.parks += 1;
+        match ctx.rx.recv() {
+            Ok(mail) => ctx.enqueue(mail),
+            Err(_) => return ctx.node,
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// The cluster handle
+// ----------------------------------------------------------------------
+
+/// Configuration for a [`ThreadedCluster`].
+pub struct ClusterBuilder {
+    nodes: usize,
+    config: KernelConfig,
+    strategy: StrategyKind,
+    tpt_pages: usize,
+    wait_timeout: Duration,
+}
+
+impl ClusterBuilder {
+    /// `nodes` identical nodes with the given kernel configuration and
+    /// pinning strategy.
+    pub fn new(nodes: usize, config: KernelConfig, strategy: StrategyKind) -> Self {
+        ClusterBuilder {
+            nodes,
+            config,
+            strategy,
+            tpt_pages: DEFAULT_TPT_PAGES,
+            wait_timeout: WAIT_TIMEOUT,
+        }
+    }
+
+    /// TPT capacity per node, in pages.
+    pub fn tpt_pages(mut self, pages: usize) -> Self {
+        self.tpt_pages = pages;
+        self
+    }
+
+    /// How long a blocking wait ([`Fabric::wait_cq`],
+    /// [`NodeCtx::wait_completion`]) may stall before erroring. Tighten
+    /// for tests that expect to time out; loosen for heavily oversubscribed
+    /// hosts.
+    pub fn wait_timeout(mut self, timeout: Duration) -> Self {
+        self.wait_timeout = timeout;
+        self
+    }
+
+    /// Spawn the node threads and hand back the cluster.
+    pub fn build(self) -> ThreadedCluster {
+        let nodes = (0..self.nodes)
+            .map(|_| Node::new(self.config, self.strategy, self.tpt_pages))
+            .collect();
+        ThreadedCluster::launch(nodes, self.wait_timeout)
+    }
+}
+
+/// An N-node threaded fabric behind a [`Fabric`] surface: one service
+/// thread per node, commands round-trip over the node's mailbox. Dropping
+/// the handle shuts the threads down; [`ThreadedCluster::into_nodes`]
+/// shuts down *and* returns the nodes for post-mortem inspection.
+pub struct ThreadedCluster {
+    txs: Vec<Sender<Mail>>,
+    replies: Vec<Receiver<Reply>>,
+    handles: Vec<Option<JoinHandle<Node>>>,
+    wait_timeout: Duration,
+}
+
+impl ThreadedCluster {
+    /// A cluster with default TPT capacity and wait timeout. See
+    /// [`ClusterBuilder`] for the knobs.
+    pub fn new(nodes: usize, config: KernelConfig, strategy: StrategyKind) -> Self {
+        ClusterBuilder::new(nodes, config, strategy).build()
+    }
+
+    /// Put pre-built nodes on service threads.
+    fn launch(nodes: Vec<Node>, wait_timeout: Duration) -> Self {
+        let n = nodes.len();
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel::<Mail>();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let mut replies = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for (i, (node, rx)) in nodes.into_iter().zip(rxs).enumerate() {
+            let ctx = NodeCtx::new(node, i, txs.clone(), rx, wait_timeout);
+            let (reply_tx, reply_rx) = channel::<Reply>();
+            replies.push(reply_rx);
+            let handle = std::thread::Builder::new()
+                .name(format!("via-node-{i}"))
+                .spawn(move || service(ctx, reply_tx))
+                .expect("spawn via node thread");
+            handles.push(Some(handle));
+        }
+        ThreadedCluster {
+            txs,
+            replies,
+            handles,
+            wait_timeout,
+        }
+    }
+
+    /// The configured wait budget.
+    pub fn wait_timeout(&self) -> Duration {
+        self.wait_timeout
+    }
+
+    /// One command round-trip to node `n`'s service thread. A closed
+    /// mailbox or reply channel means the thread is gone (panicked or shut
+    /// down) — [`ViaError::PeerGone`].
+    fn command(&mut self, n: NodeId, cmd: Command) -> ViaResult<Reply> {
+        self.txs[n]
+            .send(Mail::Cmd(cmd))
+            .map_err(|_| ViaError::PeerGone(n))?;
+        // A panicking service thread drops its reply sender, so this
+        // cannot deadlock.
+        self.replies[n].recv().map_err(|_| ViaError::PeerGone(n))
+    }
+
+    fn unit(&mut self, n: NodeId, cmd: Command) -> ViaResult<()> {
+        match self.command(n, cmd)? {
+            Reply::Unit(r) => r,
+            _ => unreachable!("reply type mismatch for unit command"),
+        }
+    }
+
+    fn bytes(&mut self, n: NodeId, cmd: Command) -> ViaResult<Vec<u8>> {
+        match self.command(n, cmd)? {
+            Reply::Bytes(r) => r,
+            _ => unreachable!("reply type mismatch for bytes command"),
+        }
+    }
+
+    /// One bounded, best-effort progress round on node `n`. Returns
+    /// (packets delivered, node idle, first autonomous error).
+    fn pump_node(&mut self, n: NodeId) -> ViaResult<(usize, bool, Option<ViaError>)> {
+        match self.command(n, Command::Pump)? {
+            Reply::Pumped {
+                delivered,
+                idle,
+                error,
+            } => Ok((delivered, idle, error)),
+            _ => unreachable!("reply type mismatch for Pump"),
+        }
+    }
+
+    /// Pump every node until two consecutive all-idle rounds — the
+    /// threaded analogue of the deterministic fabric's pump-to-quiescence.
+    /// Autonomous delivery errors encountered on the way are dropped (they
+    /// are already recorded in NIC stats and VI state); callers that care
+    /// should use [`ThreadedCluster::pump`] and inspect its error. Errors
+    /// from this method itself mean the cluster is unhealthy (a thread is
+    /// gone, or the fabric would not settle).
+    pub fn quiesce(&mut self) -> ViaResult<usize> {
+        let n = self.txs.len();
+        let mut total = 0usize;
+        let mut idle_rounds = 0usize;
+        let mut rounds = 0usize;
+        while idle_rounds < 2 {
+            rounds += 1;
+            if rounds > QUIESCE_ROUND_CAP {
+                return Err(ViaError::BadState("quiesce: cluster would not settle"));
+            }
+            let mut all_idle = true;
+            for i in 0..n {
+                let (delivered, idle, _autonomous) = self.pump_node(i)?;
+                total += delivered;
+                if delivered > 0 || !idle {
+                    all_idle = false;
+                }
+            }
+            if all_idle {
+                idle_rounds += 1;
+            } else {
+                idle_rounds = 0;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Fabric-layer counters of node `n`'s service thread.
+    pub fn fabric_stats(&mut self, n: NodeId) -> ViaResult<FabricStats> {
+        match self.command(n, Command::FabricStats)? {
+            Reply::Fabric(s) => Ok(s),
+            _ => unreachable!("reply type mismatch for FabricStats"),
+        }
+    }
+
+    /// Shut every node thread down and return the nodes for post-mortem
+    /// inspection (registries, stats, VI state).
+    pub fn into_nodes(mut self) -> ViaResult<Vec<Node>> {
+        let txs = std::mem::take(&mut self.txs);
+        let replies = std::mem::take(&mut self.replies);
+        let mut handles = std::mem::take(&mut self.handles);
+        for tx in &txs {
+            let _ = tx.send(Mail::Cmd(Command::Shutdown));
+        }
+        drop(txs);
+        drop(replies);
+        let mut nodes = Vec::with_capacity(handles.len());
+        for (i, slot) in handles.iter_mut().enumerate() {
+            let handle = slot.take().expect("handle taken twice");
+            nodes.push(handle.join().map_err(|_| ViaError::PeerGone(i))?);
+        }
+        Ok(nodes)
+    }
+}
+
+impl Drop for ThreadedCluster {
+    fn drop(&mut self) {
+        for tx in &self.txs {
+            let _ = tx.send(Mail::Cmd(Command::Shutdown));
+        }
+        self.txs.clear();
+        self.replies.clear();
+        for handle in self.handles.iter_mut().filter_map(Option::take) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Fabric for ThreadedCluster {
+    fn node_count(&self) -> usize {
+        self.txs.len()
+    }
+
+    fn spawn_process(&mut self, n: NodeId) -> Pid {
+        match self
+            .command(n, Command::SpawnProcess)
+            .unwrap_or_else(|e| panic!("spawn_process: node {n} unreachable: {e}"))
+        {
+            Reply::Pid(p) => p,
+            _ => unreachable!("reply type mismatch for SpawnProcess"),
+        }
+    }
+
+    fn exit_process(&mut self, n: NodeId, pid: Pid) -> ViaResult<()> {
+        self.unit(n, Command::ExitProcess(pid))
+    }
+
+    fn mmap(&mut self, n: NodeId, pid: Pid, len: usize, prot: u8) -> ViaResult<VirtAddr> {
+        match self.command(n, Command::Mmap { pid, len, prot })? {
+            Reply::Addr(r) => r,
+            _ => unreachable!("reply type mismatch for Mmap"),
+        }
+    }
+
+    fn munmap(&mut self, n: NodeId, pid: Pid, addr: VirtAddr, len: usize) -> ViaResult<()> {
+        self.unit(n, Command::Munmap { pid, addr, len })
+    }
+
+    fn touch_pages(
+        &mut self,
+        n: NodeId,
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+        write: bool,
+    ) -> ViaResult<()> {
+        self.unit(
+            n,
+            Command::TouchPages {
+                pid,
+                addr,
+                len,
+                write,
+            },
+        )
+    }
+
+    fn write_user(&mut self, n: NodeId, pid: Pid, addr: VirtAddr, data: &[u8]) -> ViaResult<()> {
+        self.unit(
+            n,
+            Command::WriteUser {
+                pid,
+                addr,
+                data: data.to_vec(),
+            },
+        )
+    }
+
+    fn read_user(&mut self, n: NodeId, pid: Pid, addr: VirtAddr, out: &mut [u8]) -> ViaResult<()> {
+        let bytes = self.bytes(
+            n,
+            Command::ReadUser {
+                pid,
+                addr,
+                len: out.len(),
+            },
+        )?;
+        out.copy_from_slice(&bytes);
+        Ok(())
+    }
+
+    fn create_vi(&mut self, n: NodeId, pid: Pid, tag: ProtectionTag) -> ViaResult<ViId> {
+        match self.command(n, Command::CreateVi { pid, tag })? {
+            Reply::Vi(r) => r,
+            _ => unreachable!("reply type mismatch for CreateVi"),
+        }
+    }
+
+    fn set_reliability(&mut self, n: NodeId, vi: ViId, r: Reliability) -> ViaResult<()> {
+        self.unit(n, Command::SetReliability { vi, r })
+    }
+
+    fn connect(&mut self, a: (NodeId, ViId), b: (NodeId, ViId)) -> ViaResult<()> {
+        if a.0 == b.0 {
+            if a.1 == b.1 {
+                return Err(ViaError::BadState("connect VI to itself"));
+            }
+            return self.unit(a.0, Command::ConnectLocal { a: a.1, b: b.1 });
+        }
+        self.unit(
+            a.0,
+            Command::SetPeer {
+                vi: a.1,
+                peer: (b.0, b.1),
+            },
+        )?;
+        match self.unit(
+            b.0,
+            Command::SetPeer {
+                vi: b.1,
+                peer: (a.0, a.1),
+            },
+        ) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // Roll the first half back so a failed connect leaves
+                // both VIs idle.
+                let _ = self.unit(a.0, Command::RevertPeer { vi: a.1 });
+                Err(e)
+            }
+        }
+    }
+
+    fn register_mem_attrs(
+        &mut self,
+        n: NodeId,
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+        tag: ProtectionTag,
+        rdma_write: bool,
+        rdma_read: bool,
+    ) -> ViaResult<MemId> {
+        match self.command(
+            n,
+            Command::RegisterMem {
+                pid,
+                addr,
+                len,
+                tag,
+                rdma_write,
+                rdma_read,
+            },
+        )? {
+            Reply::Mem(r) => r,
+            _ => unreachable!("reply type mismatch for RegisterMem"),
+        }
+    }
+
+    fn deregister_mem(&mut self, n: NodeId, mem: MemId) -> ViaResult<()> {
+        self.unit(n, Command::DeregisterMem(mem))
+    }
+
+    fn post_send_desc(&mut self, n: NodeId, vi: ViId, desc: Descriptor) -> ViaResult<()> {
+        self.unit(n, Command::PostSend { vi, desc })
+    }
+
+    fn post_recv_desc(&mut self, n: NodeId, vi: ViId, desc: Descriptor) -> ViaResult<()> {
+        self.unit(n, Command::PostRecv { vi, desc })
+    }
+
+    fn poll_cq(&mut self, n: NodeId, vi: ViId) -> ViaResult<Option<Completion>> {
+        match self.command(n, Command::PollCq(vi))? {
+            Reply::Maybe(r) => r,
+            _ => unreachable!("reply type mismatch for PollCq"),
+        }
+    }
+
+    fn wait_cq(&mut self, n: NodeId, vi: ViId) -> ViaResult<Completion> {
+        match self.command(n, Command::WaitCq(vi))? {
+            Reply::Completion(r) => r,
+            _ => unreachable!("reply type mismatch for WaitCq"),
+        }
+    }
+
+    fn pump(&mut self) -> ViaResult<usize> {
+        let n = self.txs.len();
+        let mut delivered = 0usize;
+        let mut first_error: Option<ViaError> = None;
+        for i in 0..n {
+            let (d, _idle, autonomous) = self.pump_node(i)?;
+            delivered += d;
+            if first_error.is_none() {
+                first_error = autonomous;
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(delivered),
+        }
+    }
+
+    fn sci_write(
+        &mut self,
+        src: (NodeId, Pid, VirtAddr),
+        len: usize,
+        dst: (NodeId, MemId, usize),
+    ) -> ViaResult<()> {
+        let (sn, spid, saddr) = src;
+        let data = self.bytes(
+            sn,
+            Command::ReadUser {
+                pid: spid,
+                addr: saddr,
+                len,
+            },
+        )?;
+        self.sci_write_bytes(&data, dst)
+    }
+
+    fn sci_write_bytes(&mut self, data: &[u8], dst: (NodeId, MemId, usize)) -> ViaResult<()> {
+        let (dn, dmem, doff) = dst;
+        self.unit(
+            dn,
+            Command::SciWriteBytes {
+                data: data.to_vec(),
+                mem: dmem,
+                off: doff,
+            },
+        )
+    }
+
+    fn sci_read_bytes(&mut self, src: (NodeId, MemId, usize), out: &mut [u8]) -> ViaResult<()> {
+        let (sn, smem, soff) = src;
+        let bytes = self.bytes(
+            sn,
+            Command::SciReadBytes {
+                mem: smem,
+                off: soff,
+                len: out.len(),
+            },
+        )?;
+        out.copy_from_slice(&bytes);
+        Ok(())
+    }
+
+    fn install_fault_plan(&mut self, plan: &FaultHandle) {
+        for n in 0..self.txs.len() {
+            self.unit(n, Command::InstallFaultPlan(plan.clone()))
+                .unwrap_or_else(|e| panic!("install_fault_plan: node {n} unreachable: {e}"));
+        }
+    }
+
+    fn check_invariants(&mut self) -> Result<(), String> {
+        // The pool ledger only balances with no packets in flight, so
+        // settle the fabric first.
+        self.quiesce().map_err(|e| format!("quiesce: {e}"))?;
+        let n = self.txs.len();
+        let mut outstanding_total = 0i64;
+        for i in 0..n {
+            match self
+                .command(i, Command::CheckNode)
+                .map_err(|e| format!("node {i}: {e}"))?
+            {
+                Reply::Check {
+                    local,
+                    outstanding,
+                    inbound,
+                } => {
+                    local.map_err(|e| format!("node {i}: {e}"))?;
+                    if inbound != 0 {
+                        return Err(format!(
+                            "node {i}: {inbound} packets still queued after quiesce"
+                        ));
+                    }
+                    outstanding_total += outstanding;
+                }
+                _ => unreachable!("reply type mismatch for CheckNode"),
+            }
+        }
+        if outstanding_total != 0 {
+            return Err(format!(
+                "pool ledger imbalance: {outstanding_total} buffers outstanding \
+                 with the fabric quiescent"
+            ));
+        }
+        Ok(())
+    }
+
+    fn nic_stats(&mut self, n: NodeId) -> NicStats {
+        match self
+            .command(n, Command::NicStats)
+            .unwrap_or_else(|e| panic!("nic_stats: node {n} unreachable: {e}"))
+        {
+            Reply::Stats(s) => s,
+            _ => unreachable!("reply type mismatch for NicStats"),
+        }
+    }
+
+    fn with_node<R, G>(&mut self, n: NodeId, f: G) -> R
+    where
+        R: Send + 'static,
+        G: FnOnce(&mut Node) -> R + Send + 'static,
+    {
+        let boxed: NodeFn = Box::new(move |node| Box::new(f(node)) as Box<dyn Any + Send>);
+        match self
+            .command(n, Command::WithNode(boxed))
+            .unwrap_or_else(|e| panic!("with_node: node {n} unreachable: {e}"))
+        {
+            Reply::Any(any) => *any.downcast::<R>().expect("with_node reply type"),
+            _ => unreachable!("reply type mismatch for WithNode"),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Closure mode: one thread per node, caller-supplied drivers
+// ----------------------------------------------------------------------
+
+/// Wire two VIs of two (not yet split) nodes together; slice-indexed, so
+/// same-node connects work too. Both VIs must be idle.
+pub fn connect_nodes(nodes: &mut [Node], a: (usize, ViId), b: (usize, ViId)) -> ViaResult<()> {
+    if a.0 == b.0 && a.1 == b.1 {
+        return Err(ViaError::BadState("connect VI to itself"));
+    }
+    if nodes[a.0].nic.vi(a.1)?.state != ViState::Idle
+        || nodes[b.0].nic.vi(b.1)?.state != ViState::Idle
+    {
+        return Err(ViaError::BadState("connect on non-idle VI"));
+    }
+    {
+        let v = nodes[a.0].nic.vi_mut(a.1)?;
+        v.peer = Some((b.0, b.1));
+        v.state = ViState::Connected;
+    }
+    {
+        let v = nodes[b.0].nic.vi_mut(b.1)?;
+        v.peer = Some((a.0, a.1));
+        v.state = ViState::Connected;
+    }
+    Ok(())
+}
+
+/// Run N nodes on N threads with the default [`WAIT_TIMEOUT`]. See
+/// [`run_cluster_with_timeout`].
+pub fn run_cluster<R, F>(nodes: Vec<Node>, fns: Vec<F>) -> ViaResult<Vec<(R, Node)>>
+where
+    R: Send,
+    F: FnOnce(&mut NodeCtx) -> ViaResult<R> + Send,
+{
+    run_cluster_with_timeout(nodes, WAIT_TIMEOUT, fns)
+}
+
+/// Run N nodes on N threads, one closure per node (use boxed closures if
+/// the per-node drivers differ in type). Node `i` routes packets with
+/// `src_node = i`; wire the VIs first with [`connect_nodes`]. Returns
+/// every closure result plus its node (for post-mortem inspection), in
+/// node order. All threads are joined before any error is propagated; a
+/// panicked node thread reports [`ViaError::PeerGone`] with its index.
+pub fn run_cluster_with_timeout<R, F>(
+    nodes: Vec<Node>,
+    wait_timeout: Duration,
+    fns: Vec<F>,
+) -> ViaResult<Vec<(R, Node)>>
+where
+    R: Send,
+    F: FnOnce(&mut NodeCtx) -> ViaResult<R> + Send,
+{
+    if nodes.len() != fns.len() {
+        return Err(ViaError::BadState("run_cluster: one closure per node"));
+    }
+    let n = nodes.len();
+    let mut txs = Vec::with_capacity(n);
+    let mut rxs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = channel::<Mail>();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let ctxs: Vec<NodeCtx> = nodes
+        .into_iter()
+        .zip(rxs)
+        .enumerate()
+        .map(|(i, (node, rx))| NodeCtx::new(node, i, txs.clone(), rx, wait_timeout))
+        .collect();
+    // The clones above are the only live senders once the ctxs own them;
+    // dropping the originals lets mailboxes disconnect as threads finish.
+    drop(txs);
+
+    std::thread::scope(|s| {
+        let mut joins = Vec::with_capacity(n);
+        for (mut ctx, f) in ctxs.into_iter().zip(fns) {
+            joins.push(s.spawn(move || -> ViaResult<(R, Node)> {
+                let r = f(&mut ctx)?;
+                // Final drain so late arrivals are not lost.
+                let _ = ctx.pump();
+                Ok((r, ctx.node))
+            }));
+        }
+        // Join every thread before propagating any error: bailing early
+        // would detach the other scope guards mid-run.
+        let mut results = Vec::with_capacity(n);
+        let mut first_error: Option<ViaError> = None;
+        for (i, join) in joins.into_iter().enumerate() {
+            match join.join() {
+                Ok(Ok(r)) => results.push(Some(r)),
+                Ok(Err(e)) => {
+                    results.push(None);
+                    first_error.get_or_insert(e);
+                }
+                Err(_) => {
+                    results.push(None);
+                    first_error.get_or_insert(ViaError::PeerGone(i));
+                }
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("no error, so every result is present"))
+            .collect())
+    })
+}
+
+// ----------------------------------------------------------------------
+// Deprecated 2-node compatibility wrappers
+// ----------------------------------------------------------------------
+
+/// Wire two VIs of two (not yet split) nodes together. `a_index` and
+/// `b_index` are the node indices used in packet routing (0 and 1 for
+/// [`run_pair`]).
+#[deprecated(note = "use `connect_nodes` (or `Fabric::connect` on a `ThreadedCluster`)")]
+pub fn connect_pair(
+    a: &mut Node,
+    a_vi: ViId,
+    a_index: usize,
+    b: &mut Node,
+    b_vi: ViId,
+    b_index: usize,
+) -> ViaResult<()> {
+    {
+        let v = a.nic.vi_mut(a_vi)?;
+        v.peer = Some((b_index, b_vi));
+        v.state = ViState::Connected;
+    }
+    {
+        let v = b.nic.vi_mut(b_vi)?;
+        v.peer = Some((a_index, a_vi));
+        v.state = ViState::Connected;
+    }
+    Ok(())
 }
 
 /// Run two nodes on two threads. The closures receive their [`NodeCtx`];
 /// node 0 routes packets with `src_node = 0` to node 1 and vice versa.
 /// Returns both closure results plus the nodes (for post-mortem
 /// inspection).
+#[deprecated(note = "use `run_cluster` (or a `ThreadedCluster` behind the `Fabric` trait)")]
 pub fn run_pair<R0, R1, F0, F1>(
     node0: Node,
     node1: Node,
@@ -298,31 +1452,16 @@ where
     F0: FnOnce(&mut NodeCtx) -> ViaResult<R0> + Send,
     F1: FnOnce(&mut NodeCtx) -> ViaResult<R1> + Send,
 {
-    let (tx01, rx01) = channel::<Vec<Packet>>();
-    let (tx10, rx10) = channel::<Vec<Packet>>();
-    let mut ctx0 = NodeCtx {
-        node: node0,
-        index: 0,
-        tx: tx01,
-        rx: rx10,
-        inbound: VecDeque::new(),
-        vi_ids: Vec::new(),
-        outbox: Vec::new(),
-    };
-    let mut ctx1 = NodeCtx {
-        node: node1,
-        index: 1,
-        tx: tx10,
-        rx: rx01,
-        inbound: VecDeque::new(),
-        vi_ids: Vec::new(),
-        outbox: Vec::new(),
-    };
+    // Implemented directly rather than via `run_cluster` so the two
+    // result types need not unify.
+    let (tx0, rx0) = channel::<Mail>();
+    let (tx1, rx1) = channel::<Mail>();
+    let mut ctx0 = NodeCtx::new(node0, 0, vec![tx0.clone(), tx1.clone()], rx0, WAIT_TIMEOUT);
+    let mut ctx1 = NodeCtx::new(node1, 1, vec![tx0, tx1], rx1, WAIT_TIMEOUT);
 
     std::thread::scope(|s| {
         let h0 = s.spawn(move || -> ViaResult<(R0, Node)> {
             let r = f0(&mut ctx0)?;
-            // Final drain so late arrivals are not lost.
             let _ = ctx0.pump();
             Ok((r, ctx0.node))
         });
@@ -333,12 +1472,8 @@ where
         });
         // Join both threads before propagating either error: bailing on
         // node 0's error would detach node 1's scope guard mid-run.
-        let r0 = h0
-            .join()
-            .map_err(|_| ViaError::BadState("node 0 thread panicked"))?;
-        let r1 = h1
-            .join()
-            .map_err(|_| ViaError::BadState("node 1 thread panicked"))?;
+        let r0 = h0.join().map_err(|_| ViaError::PeerGone(0))?;
+        let r1 = h1.join().map_err(|_| ViaError::PeerGone(1))?;
         let r0 = r0?;
         let r1 = r1?;
         Ok((r0, r1))
@@ -349,8 +1484,10 @@ where
 mod tests {
     use super::*;
     use crate::tpt::ProtectionTag;
-    use simmem::{prot, Capabilities, KernelConfig, PAGE_SIZE};
+    use simmem::{prot, KernelConfig, PAGE_SIZE};
     use vialock::StrategyKind;
+
+    type Driver<R> = Box<dyn FnOnce(&mut NodeCtx) -> ViaResult<R> + Send>;
 
     fn node() -> Node {
         Node::new(KernelConfig::medium(), StrategyKind::KiobufReliable, 1024)
@@ -358,32 +1495,29 @@ mod tests {
 
     #[test]
     fn threaded_ping_pong() {
-        let mut n0 = node();
-        let mut n1 = node();
+        let mut nodes = vec![node(), node()];
         let tag = ProtectionTag(1);
-        let p0 = n0.kernel.spawn_process(Capabilities::default());
-        let p1 = n1.kernel.spawn_process(Capabilities::default());
-        let v0 = n0.nic.create_vi(p0, tag);
-        let v1 = n1.nic.create_vi(p1, tag);
-        connect_pair(&mut n0, v0, 0, &mut n1, v1, 1).unwrap();
+        let p0 = nodes[0].kernel.spawn_process(Capabilities::default());
+        let p1 = nodes[1].kernel.spawn_process(Capabilities::default());
+        let v0 = nodes[0].nic.create_vi(p0, tag);
+        let v1 = nodes[1].nic.create_vi(p1, tag);
+        connect_nodes(&mut nodes, (0, v0), (1, v1)).unwrap();
 
         let len = 2 * PAGE_SIZE;
-        let b0 = n0
+        let b0 = nodes[0]
             .kernel
             .mmap_anon(p0, len, prot::READ | prot::WRITE)
             .unwrap();
-        let b1 = n1
+        let b1 = nodes[1]
             .kernel
             .mmap_anon(p1, len, prot::READ | prot::WRITE)
             .unwrap();
-        let m0 = n0.register_mem(p0, b0, len, tag).unwrap();
-        let m1 = n1.register_mem(p1, b1, len, tag).unwrap();
+        let m0 = nodes[0].register_mem(p0, b0, len, tag).unwrap();
+        let m1 = nodes[1].register_mem(p1, b1, len, tag).unwrap();
 
         const ROUNDS: usize = 50;
-        let ((sent, _n0), (got, _n1)) = run_pair(
-            n0,
-            n1,
-            move |ctx| {
+        let drivers: Vec<Driver<usize>> = vec![
+            Box::new(move |ctx| {
                 let mut sent = 0usize;
                 for i in 0..ROUNDS {
                     let msg = vec![i as u8; 256];
@@ -409,8 +1543,8 @@ mod tests {
                     sent += 1;
                 }
                 Ok(sent)
-            },
-            move |ctx| {
+            }),
+            Box::new(move |ctx| {
                 let mut got = 0usize;
                 for i in 0..ROUNDS {
                     ctx.node
@@ -440,79 +1574,311 @@ mod tests {
                     assert_eq!(c.op, crate::descriptor::DescOp::Send);
                 }
                 Ok(got)
-            },
-        )
-        .unwrap();
+            }),
+        ];
+        let mut results = run_cluster(nodes, drivers).unwrap();
+        let (got, _n1) = results.pop().unwrap();
+        let (sent, _n0) = results.pop().unwrap();
         assert_eq!(sent, ROUNDS);
         assert_eq!(got, ROUNDS);
     }
 
     #[test]
     fn threaded_rdma_write_stream() {
+        let mut nodes = vec![node(), node()];
+        let tag = ProtectionTag(2);
+        let p0 = nodes[0].kernel.spawn_process(Capabilities::default());
+        let p1 = nodes[1].kernel.spawn_process(Capabilities::default());
+        let v0 = nodes[0].nic.create_vi(p0, tag);
+        let v1 = nodes[1].nic.create_vi(p1, tag);
+        connect_nodes(&mut nodes, (0, v0), (1, v1)).unwrap();
+
+        let len = 8 * PAGE_SIZE;
+        let b0 = nodes[0]
+            .kernel
+            .mmap_anon(p0, len, prot::READ | prot::WRITE)
+            .unwrap();
+        let b1 = nodes[1]
+            .kernel
+            .mmap_anon(p1, len, prot::READ | prot::WRITE)
+            .unwrap();
+        nodes[0]
+            .kernel
+            .write_user(p0, b0, &vec![0xEE; len])
+            .unwrap();
+        let m0 = nodes[0].register_mem(p0, b0, len, tag).unwrap();
+        let m1 = nodes[1].register_mem(p1, b1, len, tag).unwrap();
+
+        let drivers: Vec<Driver<()>> = vec![
+            Box::new(move |ctx| {
+                // Stream 16 RDMA writes, one page each.
+                for i in 0..16usize {
+                    let off = (i % 8) * PAGE_SIZE;
+                    ctx.node.nic.vi_mut(v0)?.send_q.push_back(
+                        crate::descriptor::Descriptor::rdma_write(
+                            m0,
+                            b0 + off as u64,
+                            PAGE_SIZE,
+                            m1,
+                            b1 + off as u64,
+                        ),
+                    );
+                    let c = ctx.wait_completion(v0)?;
+                    assert_eq!(c.op, crate::descriptor::DescOp::RdmaWrite);
+                }
+                Ok(())
+            }),
+            Box::new(move |ctx| {
+                // One-sided: the target just pumps until the data shows
+                // up everywhere.
+                let deadline = Instant::now() + WAIT_TIMEOUT;
+                loop {
+                    ctx.pump()?;
+                    let mut all = vec![0u8; len];
+                    ctx.node.kernel.read_user(p1, b1, &mut all)?;
+                    if all.iter().all(|&b| b == 0xEE) {
+                        return Ok(());
+                    }
+                    if Instant::now() > deadline {
+                        return Err(ViaError::BadState("rdma stream never completed"));
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }),
+        ];
+        run_cluster(nodes, drivers).unwrap();
+    }
+
+    /// Three nodes in a line, traffic relayed by the middle one: packets
+    /// route by destination, not to "the peer".
+    #[test]
+    fn three_node_relay() {
+        let mut nodes = vec![node(), node(), node()];
+        let tag = ProtectionTag(3);
+        let pids: Vec<_> = nodes
+            .iter_mut()
+            .map(|n| n.kernel.spawn_process(Capabilities::default()))
+            .collect();
+        // 0 <-> 1 and 1 <-> 2.
+        let v0 = nodes[0].nic.create_vi(pids[0], tag);
+        let v1a = nodes[1].nic.create_vi(pids[1], tag);
+        let v1b = nodes[1].nic.create_vi(pids[1], tag);
+        let v2 = nodes[2].nic.create_vi(pids[2], tag);
+        connect_nodes(&mut nodes, (0, v0), (1, v1a)).unwrap();
+        connect_nodes(&mut nodes, (1, v1b), (2, v2)).unwrap();
+
+        let len = PAGE_SIZE;
+        let bufs: Vec<_> = nodes
+            .iter_mut()
+            .zip(&pids)
+            .map(|(n, &p)| {
+                n.kernel
+                    .mmap_anon(p, len, prot::READ | prot::WRITE)
+                    .unwrap()
+            })
+            .collect();
+        let mems: Vec<_> = nodes
+            .iter_mut()
+            .zip(&pids)
+            .zip(&bufs)
+            .map(|((n, &p), &b)| n.register_mem(p, b, len, tag).unwrap())
+            .collect();
+
+        let (p0, _p1, p2) = (pids[0], pids[1], pids[2]);
+        let (b0, b1, b2) = (bufs[0], bufs[1], bufs[2]);
+        let (m0, m1, m2) = (mems[0], mems[1], mems[2]);
+        let drivers: Vec<Driver<()>> = vec![
+            Box::new(move |ctx| {
+                ctx.node.kernel.write_user(p0, b0, b"relay me!")?;
+                ctx.node
+                    .nic
+                    .vi_mut(v0)?
+                    .send_q
+                    .push_back(crate::descriptor::Descriptor::send(m0, b0, 9));
+                let c = ctx.wait_completion(v0)?;
+                assert_eq!(c.op, crate::descriptor::DescOp::Send);
+                Ok(())
+            }),
+            Box::new(move |ctx| {
+                // Receive from node 0, forward to node 2.
+                ctx.node
+                    .nic
+                    .vi_mut(v1a)?
+                    .recv_q
+                    .push_back(crate::descriptor::Descriptor::recv(m1, b1, len));
+                let c = ctx.wait_completion(v1a)?;
+                assert_eq!(c.op, crate::descriptor::DescOp::Recv);
+                ctx.node
+                    .nic
+                    .vi_mut(v1b)?
+                    .send_q
+                    .push_back(crate::descriptor::Descriptor::send(m1, b1, c.len));
+                let c = ctx.wait_completion(v1b)?;
+                assert_eq!(c.op, crate::descriptor::DescOp::Send);
+                Ok(())
+            }),
+            Box::new(move |ctx| {
+                ctx.node
+                    .nic
+                    .vi_mut(v2)?
+                    .recv_q
+                    .push_back(crate::descriptor::Descriptor::recv(m2, b2, len));
+                let c = ctx.wait_completion(v2)?;
+                assert_eq!(c.op, crate::descriptor::DescOp::Recv);
+                assert_eq!(c.len, 9);
+                let mut out = [0u8; 9];
+                ctx.node.kernel.read_user(p2, b2, &mut out)?;
+                assert_eq!(&out, b"relay me!");
+                Ok(())
+            }),
+        ];
+        run_cluster(nodes, drivers).unwrap();
+    }
+
+    /// The cluster-as-a-service surface: a roundtrip entirely through the
+    /// `Fabric` trait, then invariants and an orderly teardown.
+    #[test]
+    fn cluster_service_roundtrip() {
+        let mut fab = ThreadedCluster::new(2, KernelConfig::small(), StrategyKind::KiobufReliable);
+        assert_eq!(fab.node_count(), 2);
+        let pa = fab.spawn_process(0);
+        let pb = fab.spawn_process(1);
+        let tag = ProtectionTag(7);
+        let va = fab.create_vi(0, pa, tag).unwrap();
+        let vb = fab.create_vi(1, pb, tag).unwrap();
+        fab.connect((0, va), (1, vb)).unwrap();
+        let sbuf = fab
+            .mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        let rbuf = fab
+            .mmap(1, pb, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        fab.write_user(0, pa, sbuf, b"via threads").unwrap();
+        let sh = fab.register_mem(0, pa, sbuf, PAGE_SIZE, tag).unwrap();
+        let rh = fab.register_mem(1, pb, rbuf, PAGE_SIZE, tag).unwrap();
+        fab.post_recv(1, vb, rh, rbuf, PAGE_SIZE).unwrap();
+        fab.post_send(0, va, sh, sbuf, 11).unwrap();
+        let cr = fab.wait_cq(1, vb).unwrap();
+        assert_eq!(cr.op, crate::descriptor::DescOp::Recv);
+        assert_eq!(cr.len, 11);
+        let cs = fab.wait_cq(0, va).unwrap();
+        assert_eq!(cs.op, crate::descriptor::DescOp::Send);
+        let mut out = [0u8; 11];
+        fab.read_user(1, pb, rbuf, &mut out).unwrap();
+        assert_eq!(&out, b"via threads");
+        assert!(fab.nic_stats(0).sends >= 1);
+        let fs = fab.fabric_stats(0).unwrap();
+        assert!(fs.commands > 0);
+        fab.check_invariants().unwrap();
+        let nodes = fab.into_nodes().unwrap();
+        assert_eq!(nodes.len(), 2);
+        assert!(nodes[1].nic.stats.recvs >= 1);
+    }
+
+    /// `with_node` ships a closure into the service thread and returns
+    /// its result; `sci_write_bytes`/`sci_read_bytes` round-trip through
+    /// the command layer.
+    #[test]
+    fn cluster_with_node_and_sci() {
+        let mut fab = ThreadedCluster::new(2, KernelConfig::small(), StrategyKind::KiobufReliable);
+        let p = fab.spawn_process(1);
+        let tag = ProtectionTag(4);
+        let buf = fab.mmap(1, p, PAGE_SIZE, prot::READ | prot::WRITE).unwrap();
+        let mem = fab.register_mem(1, p, buf, PAGE_SIZE, tag).unwrap();
+        fab.sci_write_bytes(b"remote pio", (1, mem, 16)).unwrap();
+        let mut out = [0u8; 10];
+        fab.sci_read_bytes((1, mem, 16), &mut out).unwrap();
+        assert_eq!(&out, b"remote pio");
+        let pins = fab.with_node(1, |node| node.nic.stats.sends);
+        assert_eq!(pins, 0);
+        fab.check_invariants().unwrap();
+    }
+
+    /// A tightened wait budget actually bites: waiting on a CQ nobody
+    /// will ever complete errors out quickly instead of after 5 s.
+    #[test]
+    fn cluster_wait_timeout_is_configurable() {
+        let mut fab = ClusterBuilder::new(2, KernelConfig::small(), StrategyKind::KiobufReliable)
+            .wait_timeout(Duration::from_millis(50))
+            .build();
+        assert_eq!(fab.wait_timeout(), Duration::from_millis(50));
+        let p = fab.spawn_process(0);
+        let vi = fab.create_vi(0, p, ProtectionTag(1)).unwrap();
+        let start = Instant::now();
+        let r = fab.wait_cq(0, vi);
+        assert!(matches!(r, Err(ViaError::BadState(_))), "got {r:?}");
+        assert!(start.elapsed() < Duration::from_secs(2));
+    }
+
+    /// Connecting across non-idle VIs fails atomically: the first half is
+    /// rolled back.
+    #[test]
+    fn cluster_connect_rolls_back() {
+        let mut fab = ThreadedCluster::new(2, KernelConfig::small(), StrategyKind::KiobufReliable);
+        let pa = fab.spawn_process(0);
+        let pb = fab.spawn_process(1);
+        let tag = ProtectionTag(2);
+        let va = fab.create_vi(0, pa, tag).unwrap();
+        let vb = fab.create_vi(1, pb, tag).unwrap();
+        let vc = fab.create_vi(1, pb, tag).unwrap();
+        fab.connect((0, va), (1, vb)).unwrap();
+        // vb is now connected; connecting a fresh VI to it must fail and
+        // leave the fresh VI idle.
+        let vd = fab.create_vi(0, pa, tag).unwrap();
+        assert!(fab.connect((0, vd), (1, vb)).is_err());
+        // vd was rolled back to idle, so this connect succeeds.
+        fab.connect((0, vd), (1, vc)).unwrap();
+    }
+
+    /// The deprecated pair API still works for one release.
+    #[test]
+    #[allow(deprecated)]
+    fn pair_compat_wrappers() {
         let mut n0 = node();
         let mut n1 = node();
-        let tag = ProtectionTag(2);
+        let tag = ProtectionTag(1);
         let p0 = n0.kernel.spawn_process(Capabilities::default());
         let p1 = n1.kernel.spawn_process(Capabilities::default());
         let v0 = n0.nic.create_vi(p0, tag);
         let v1 = n1.nic.create_vi(p1, tag);
         connect_pair(&mut n0, v0, 0, &mut n1, v1, 1).unwrap();
-
-        let len = 8 * PAGE_SIZE;
         let b0 = n0
             .kernel
-            .mmap_anon(p0, len, prot::READ | prot::WRITE)
+            .mmap_anon(p0, PAGE_SIZE, prot::READ | prot::WRITE)
             .unwrap();
         let b1 = n1
             .kernel
-            .mmap_anon(p1, len, prot::READ | prot::WRITE)
+            .mmap_anon(p1, PAGE_SIZE, prot::READ | prot::WRITE)
             .unwrap();
-        n0.kernel.write_user(p0, b0, &vec![0xEE; len]).unwrap();
-        let m0 = n0.register_mem(p0, b0, len, tag).unwrap();
-        let m1 = n1.register_mem(p1, b1, len, tag).unwrap();
-
-        let ((), _n0, _n1) = {
-            let ((a, n0), ((), n1)) = run_pair(
+        n0.kernel.write_user(p0, b0, b"pair").unwrap();
+        let m0 = n0.register_mem(p0, b0, PAGE_SIZE, tag).unwrap();
+        let m1 = n1.register_mem(p1, b1, PAGE_SIZE, tag).unwrap();
+        let ((), (got, _)) = {
+            let ((a, _n0), r1) = run_pair(
                 n0,
                 n1,
                 move |ctx| {
-                    // Stream 16 RDMA writes, one page each.
-                    for i in 0..16usize {
-                        let off = (i % 8) * PAGE_SIZE;
-                        ctx.node.nic.vi_mut(v0)?.send_q.push_back(
-                            crate::descriptor::Descriptor::rdma_write(
-                                m0,
-                                b0 + off as u64,
-                                PAGE_SIZE,
-                                m1,
-                                b1 + off as u64,
-                            ),
-                        );
-                        let c = ctx.wait_completion(v0)?;
-                        assert_eq!(c.op, crate::descriptor::DescOp::RdmaWrite);
-                    }
+                    ctx.node
+                        .nic
+                        .vi_mut(v0)?
+                        .send_q
+                        .push_back(crate::descriptor::Descriptor::send(m0, b0, 4));
+                    ctx.wait_completion(v0)?;
                     Ok(())
                 },
                 move |ctx| {
-                    // One-sided: the target just pumps until the data shows
-                    // up everywhere.
-                    let deadline = Instant::now() + WAIT_TIMEOUT;
-                    loop {
-                        ctx.pump()?;
-                        let mut all = vec![0u8; len];
-                        ctx.node.kernel.read_user(p1, b1, &mut all)?;
-                        if all.iter().all(|&b| b == 0xEE) {
-                            return Ok(());
-                        }
-                        if Instant::now() > deadline {
-                            return Err(ViaError::BadState("rdma stream never completed"));
-                        }
-                        std::thread::sleep(Duration::from_millis(1));
-                    }
+                    ctx.node
+                        .nic
+                        .vi_mut(v1)?
+                        .recv_q
+                        .push_back(crate::descriptor::Descriptor::recv(m1, b1, PAGE_SIZE));
+                    let c = ctx.wait_completion(v1)?;
+                    Ok(c.len)
                 },
             )
             .unwrap();
-            (a, n0, n1)
+            (a, r1)
         };
+        assert_eq!(got, 4);
     }
 }

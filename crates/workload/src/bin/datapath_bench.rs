@@ -30,7 +30,7 @@ use std::time::Instant;
 use simmem::{prot, Capabilities, KernelConfig};
 use via::nic::{NicStats, Node};
 use via::system::ViaSystem;
-use via::threaded::{connect_pair, run_pair, NodeCtx};
+use via::threaded::{connect_nodes, run_cluster, NodeCtx};
 use via::tpt::{MemId, ProtectionTag};
 use via::vi::ViId;
 use via::{Descriptor, ViaResult};
@@ -149,77 +149,112 @@ fn echo_round(ctx: &mut NodeCtx, vi: ViId, mem: MemId, addr: u64, size: usize) -
     Ok(())
 }
 
-fn bench_threaded(cfg: &Bench, size: usize, legacy: bool) -> Sample {
-    let mut n0 = Node::new(kcfg(), StrategyKind::KiobufReliable, 1024);
-    let mut n1 = Node::new(kcfg(), StrategyKind::KiobufReliable, 1024);
+/// Boxed per-node driver so heterogeneous closures share one type.
+type Driver = Box<dyn FnOnce(&mut NodeCtx) -> ViaResult<(Vec<f64>, NicStats)> + Send>;
+
+/// Prepare one node: process, VI, a registered `MAX_SIZE` buffer.
+fn cluster_node(legacy: bool) -> (Node, ViId, MemId, u64) {
+    let mut n = Node::new(kcfg(), StrategyKind::KiobufReliable, 1024);
     let tag = ProtectionTag(9);
-    let p0 = n0.kernel.spawn_process(Capabilities::default());
-    let p1 = n1.kernel.spawn_process(Capabilities::default());
-    let v0 = n0.nic.create_vi(p0, tag);
-    let v1 = n1.nic.create_vi(p1, tag);
-    connect_pair(&mut n0, v0, 0, &mut n1, v1, 1).unwrap();
-    let fill = vec![0x5Au8; MAX_SIZE];
-    let b0 = n0
+    let p = n.kernel.spawn_process(Capabilities::default());
+    let v = n.nic.create_vi(p, tag);
+    let b = n
         .kernel
-        .mmap_anon(p0, MAX_SIZE, prot::READ | prot::WRITE)
+        .mmap_anon(p, MAX_SIZE, prot::READ | prot::WRITE)
         .unwrap();
-    n0.kernel.write_user(p0, b0, &fill).unwrap();
-    let m0 = n0.register_mem(p0, b0, MAX_SIZE, tag).unwrap();
-    let b1 = n1
-        .kernel
-        .mmap_anon(p1, MAX_SIZE, prot::READ | prot::WRITE)
-        .unwrap();
-    n1.kernel.write_user(p1, b1, &fill).unwrap();
-    let m1 = n1.register_mem(p1, b1, MAX_SIZE, tag).unwrap();
-    n0.nic.legacy_datapath = legacy;
-    n1.nic.legacy_datapath = legacy;
+    n.kernel.write_user(p, b, &vec![0x5Au8; MAX_SIZE]).unwrap();
+    let m = n.register_mem(p, b, MAX_SIZE, tag).unwrap();
+    n.nic.legacy_datapath = legacy;
+    (n, v, m, b)
+}
+
+/// Ping-pong over an `n_nodes` cluster: nodes `(2k, 2k+1)` form concurrent
+/// sender/echo pairs. Returns per-pair median ns/msg samples plus the
+/// summed NIC-stat deltas over the timed region.
+fn cluster_pingpong(
+    cfg: &Bench,
+    n_nodes: usize,
+    size: usize,
+    legacy: bool,
+) -> (Vec<Vec<f64>>, NicStats, u64) {
+    assert!(
+        n_nodes >= 2 && n_nodes.is_multiple_of(2),
+        "cluster needs node pairs"
+    );
+    let mut nodes = Vec::with_capacity(n_nodes);
+    let mut vis = Vec::with_capacity(n_nodes);
+    let mut mems = Vec::with_capacity(n_nodes);
+    let mut bufs = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        let (n, v, m, b) = cluster_node(legacy);
+        nodes.push(n);
+        vis.push(v);
+        mems.push(m);
+        bufs.push(b);
+    }
+    for k in 0..n_nodes / 2 {
+        connect_nodes(&mut nodes, (2 * k, vis[2 * k]), (2 * k + 1, vis[2 * k + 1])).unwrap();
+    }
 
     let warm = 8usize;
     let iters = ((1 << 19) / size).clamp(8, if cfg.quick { 32 } else { 256 });
     let reps = cfg.reps;
     let rounds = warm + reps * iters;
 
-    let (((samples, s0_stats), n0), (r0_stats, n1)) = run_pair(
-        n0,
-        n1,
-        move |ctx| {
-            for _ in 0..warm {
-                sender_round(ctx, v0, m0, b0, size)?;
+    let drivers: Vec<Driver> = (0..n_nodes)
+        .map(|i| {
+            let (vi, mem, buf) = (vis[i], mems[i], bufs[i]);
+            if i % 2 == 0 {
+                Box::new(move |ctx: &mut NodeCtx| {
+                    for _ in 0..warm {
+                        sender_round(ctx, vi, mem, buf, size)?;
+                    }
+                    let s0 = ctx.node.nic.stats;
+                    let mut samples = Vec::with_capacity(reps);
+                    for _ in 0..reps {
+                        let t = Instant::now();
+                        for _ in 0..iters {
+                            sender_round(ctx, vi, mem, buf, size)?;
+                        }
+                        samples.push(t.elapsed().as_nanos() as f64 / (2 * iters) as f64);
+                    }
+                    Ok((samples, s0))
+                }) as Driver
+            } else {
+                Box::new(move |ctx: &mut NodeCtx| {
+                    let mut r0 = ctx.node.nic.stats;
+                    for r in 0..rounds {
+                        if r == warm {
+                            r0 = ctx.node.nic.stats;
+                        }
+                        echo_round(ctx, vi, mem, buf, size)?;
+                    }
+                    Ok((Vec::new(), r0))
+                }) as Driver
             }
-            let s0 = ctx.node.nic.stats;
-            let mut samples = Vec::with_capacity(reps);
-            for _ in 0..reps {
-                let t = Instant::now();
-                for _ in 0..iters {
-                    sender_round(ctx, v0, m0, b0, size)?;
-                }
-                samples.push(t.elapsed().as_nanos() as f64 / (2 * iters) as f64);
-            }
-            Ok((samples, s0))
-        },
-        move |ctx| {
-            let mut r0 = ctx.node.nic.stats;
-            for r in 0..rounds {
-                if r == warm {
-                    r0 = ctx.node.nic.stats;
-                }
-                echo_round(ctx, v1, m1, b1, size)?;
-            }
-            Ok(r0)
-        },
-    )
-    .unwrap();
+        })
+        .collect();
 
-    let msgs = (2 * reps * iters) as u64;
-    let d = stats_sum(
-        stats_delta(&n0.nic.stats, &s0_stats),
-        stats_delta(&n1.nic.stats, &r0_stats),
-    );
+    let out = run_cluster(nodes, drivers).unwrap();
+    let mut per_pair = Vec::with_capacity(n_nodes / 2);
+    let mut d = NicStats::default();
+    for ((samples, before), node) in out {
+        if !samples.is_empty() {
+            per_pair.push(samples);
+        }
+        d = stats_sum(d, stats_delta(&node.nic.stats, &before));
+    }
+    let msgs = (n_nodes / 2) as u64 * (2 * reps * iters) as u64;
+    (per_pair, d, msgs)
+}
+
+fn bench_threaded(cfg: &Bench, size: usize, legacy: bool) -> Sample {
+    let (per_pair, d, msgs) = cluster_pingpong(cfg, 2, size, legacy);
     if !legacy {
         // The pooled path must not allocate per message in steady state.
         assert_eq!(d.payload_allocs, 0, "steady-state payload allocations");
     }
-    Sample::from_deltas(median(samples), size, msgs, d)
+    Sample::from_deltas(median(per_pair.into_iter().next().unwrap()), size, msgs, d)
 }
 
 // ---------------------------------------------------------------------
@@ -307,6 +342,57 @@ fn bench_functional(cfg: &Bench, size: usize, legacy: bool) -> Sample {
 }
 
 // ---------------------------------------------------------------------
+// Cluster scaling sweep: N-node threaded fabric, concurrent pairs.
+// ---------------------------------------------------------------------
+
+/// Node counts of the scaling sweep (E13): pair, quad, eight-node cluster.
+const CLUSTER_NODE_COUNTS: [usize; 3] = [2, 4, 8];
+/// Message sizes per node count: one per protocol regime.
+const CLUSTER_SIZES: [usize; 3] = [1024, 16384, 262144];
+
+/// NetPIPE scaling over the threaded cluster: at each node count, all
+/// `nodes/2` sender/echo pairs run concurrently and the aggregate
+/// throughput (sum of per-pair medians) is reported — the wall-clock
+/// scaling figure the deterministic fabric cannot produce.
+fn sweep_cluster(json: &mut String, cfg: &Bench) {
+    writeln!(json, "  \"cluster_scaling\": [").unwrap();
+    for (ci, &nodes) in CLUSTER_NODE_COUNTS.iter().enumerate() {
+        writeln!(json, "    {{\"nodes\": {nodes}, \"points\": [").unwrap();
+        for (si, &size) in CLUSTER_SIZES.iter().enumerate() {
+            let (per_pair, _d, msgs) = cluster_pingpong(cfg, nodes, size, false);
+            let agg_msgs_per_s: f64 = per_pair.iter().map(|s| 1e9 / median(s.clone())).sum();
+            let agg_mb_per_s = agg_msgs_per_s * size as f64 / 1e6;
+            eprintln!(
+                "   cluster {nodes:>2} nodes {size:>8} B: {agg_msgs_per_s:>9.0} msg/s \
+                 aggregate, {agg_mb_per_s:>8.1} MB/s ({msgs} msgs)"
+            );
+            writeln!(
+                json,
+                "      {{\"bytes\": {size}, \"msgs_per_s\": {agg_msgs_per_s:.0}, \
+                 \"mb_per_s\": {agg_mb_per_s:.2}}}{}",
+                if si + 1 == CLUSTER_SIZES.len() {
+                    ""
+                } else {
+                    ","
+                }
+            )
+            .unwrap();
+        }
+        writeln!(
+            json,
+            "    ]}}{}",
+            if ci + 1 == CLUSTER_NODE_COUNTS.len() {
+                ""
+            } else {
+                ","
+            }
+        )
+        .unwrap();
+    }
+    json.push_str("  ],\n");
+}
+
+// ---------------------------------------------------------------------
 // Sweep driver and JSON emission.
 // ---------------------------------------------------------------------
 
@@ -385,6 +471,7 @@ fn main() {
     let functional = sweep(&mut json, "functional", |size, legacy| {
         bench_functional(&cfg, size, legacy)
     });
+    sweep_cluster(&mut json, &cfg);
 
     // Headline numbers: small-message speedup where latency (the threaded
     // wire) dominates; TLB/alloc steady-state across both sweeps.

@@ -7,6 +7,7 @@ use serde::Serialize;
 use simmem::{prot, Capabilities, KernelConfig, PAGE_SIZE};
 use via::nic::Node;
 use via::tpt::ProtectionTag;
+use via::{Fabric, NodeId};
 use vialock::StrategyKind;
 
 use crate::pressure::apply_pressure;
@@ -66,6 +67,23 @@ pub fn run_locktest_with(
         swap_cache,
     };
     let mut node = Node::new(kcfg, strategy, npages * 4);
+    locktest_steps(&mut node, npages)
+}
+
+/// Run the eight locktest steps against one node of a live fabric: the
+/// steps ship to the node via [`Fabric::with_node`], so on a threaded
+/// cluster they execute on the node's service thread while the rest of the
+/// cluster keeps running. The node's own pinning strategy (whatever the
+/// fabric was built with) is the one under test.
+pub fn run_locktest_on<F: Fabric>(fab: &mut F, node: NodeId, npages: usize) -> LocktestOutcome {
+    fab.with_node(node, move |n| locktest_steps(n, npages))
+}
+
+/// The eight steps of section 3.1 against an existing node. Pressure is
+/// sized off the node's own RAM (twice the frame count), as in the paper's
+/// setup where the antagonist takes everything the allocator will give.
+pub fn locktest_steps(node: &mut Node, npages: usize) -> LocktestOutcome {
+    let strategy = node.registry.strategy();
     let tag = ProtectionTag(1);
 
     // Step 1: allocate memory and fill it with data (distinct frames per
@@ -91,7 +109,7 @@ pub fn run_locktest_with(
 
     // Step 3: the allocator antagonist grabs as much memory as possible.
     let swap_outs_before = node.kernel.stats.swap_outs;
-    let pressure_pages = (kcfg.nframes as usize) * 2;
+    let pressure_pages = (node.kernel.config.nframes as usize) * 2;
     let _rep = apply_pressure(&mut node.kernel, pressure_pages);
 
     // Step 4: the locktest process writes to each page of the block again.

@@ -17,6 +17,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 use simmem::KernelConfig;
+use via::Fabric;
 use vialock::StrategyKind;
 
 use msg::coll::alltoallv;
@@ -90,7 +91,14 @@ pub fn run_mini_is(n_ranks: usize, keys_per_rank: usize, seed: u64) -> IsReport 
         MsgConfig::classic(),
     )
     .expect("communicator");
+    run_mini_is_on(&mut comm, keys_per_rank, seed)
+}
 
+/// The bucket sort against an existing communicator — generic over the
+/// [`Fabric`], so the same kernel runs on the deterministic system or a
+/// threaded N-node cluster.
+pub fn run_mini_is_on<F: Fabric>(comm: &mut Comm<F>, keys_per_rank: usize, seed: u64) -> IsReport {
+    let n_ranks = comm.n_ranks();
     let mut rng = StdRng::seed_from_u64(seed);
     let bucket_width = KEY_RANGE.div_ceil(n_ranks as u32);
 
@@ -144,7 +152,7 @@ pub fn run_mini_is(n_ranks: usize, keys_per_rank: usize, seed: u64) -> IsReport 
     // The exchange — the traffic the figure is about.
     let stats_before = comm.stats;
     alltoallv(
-        &mut comm,
+        comm,
         &send_bufs,
         &send_offs,
         &send_counts,

@@ -11,6 +11,7 @@
 
 use serde::Serialize;
 use simmem::KernelConfig;
+use via::{Fabric, ThreadedCluster};
 use vialock::StrategyKind;
 
 use msg::{Comm, MsgConfig};
@@ -59,10 +60,20 @@ pub fn sweep_comm(strategy: StrategyKind) -> Comm {
         .expect("sweep communicator")
 }
 
+/// Build a two-rank communicator on an `n_nodes`-node threaded cluster:
+/// ranks 0 and 1 land on nodes 0 and 1, the remaining nodes idle — but the
+/// full N-node mailbox/routing layer is live, so the same sweep exercises
+/// the concurrent fabric.
+pub fn threaded_sweep_comm(n_nodes: usize, strategy: StrategyKind) -> Comm<ThreadedCluster> {
+    let cluster = ThreadedCluster::new(n_nodes, KernelConfig::large(), strategy);
+    Comm::on_fabric(cluster, 2, MsgConfig::classic()).expect("threaded sweep communicator")
+}
+
 /// Run `reps` functional ping-pongs of `bytes` and return the event-charged
-/// one-way time and bandwidth.
-pub fn measure_point(
-    comm: &mut Comm,
+/// one-way time and bandwidth. Generic over the [`Fabric`]: the same
+/// measurement runs on the deterministic system or a threaded cluster.
+pub fn measure_point<F: Fabric>(
+    comm: &mut Comm<F>,
     costs: &ProtocolCosts,
     bytes: usize,
     reps: usize,

@@ -1,104 +1,174 @@
-//! The multi-threaded fabric: two nodes on two OS threads exchanging
-//! send/receive traffic over crossbeam channels — real interleavings, same
-//! VIA semantics as the deterministic fabric.
+//! The multi-threaded fabric at cluster scale: four nodes on four OS
+//! threads forming a store-and-forward pipeline 0 → 1 → 2 → 3 — real
+//! interleavings, per-node mailboxes and N-way routing, same VIA
+//! semantics as the deterministic fabric.
 //!
-//! VIA discipline on display: the receiver pre-posts one descriptor per
-//! expected message (reliable mode *drops* unmatched sends and breaks the
-//! connection), each into its own slot, and the sender streams freely.
+//! VIA discipline on display: every hop pre-posts one receive descriptor
+//! per expected message (reliable mode *drops* unmatched sends and breaks
+//! the connection), each into its own slot, and the upstream node streams
+//! freely against its send-completion back-pressure.
 //!
 //! Run with: `cargo run --example threaded_cluster`
 
 use simmem::{prot, Capabilities, KernelConfig};
 use via::descriptor::{DescOp, Descriptor};
 use via::nic::Node;
-use via::threaded::{connect_pair, run_pair};
+use via::threaded::{connect_nodes, run_cluster, FabricStats, NodeCtx};
 use via::tpt::ProtectionTag;
+use via::{ViId, ViaResult};
 use vialock::StrategyKind;
 
-const MSGS: usize = 200;
+const NODES: usize = 4;
+const MSGS: usize = 100;
 const MSG_BYTES: usize = 1024;
 
+type Driver = Box<dyn FnOnce(&mut NodeCtx) -> ViaResult<(usize, FabricStats)> + Send>;
+
 fn main() {
-    let mut n0 = Node::new(KernelConfig::large(), StrategyKind::KiobufReliable, 4096);
-    let mut n1 = Node::new(KernelConfig::large(), StrategyKind::KiobufReliable, 4096);
     let tag = ProtectionTag(1);
-    let p0 = n0.kernel.spawn_process(Capabilities::default());
-    let p1 = n1.kernel.spawn_process(Capabilities::default());
-    let v0 = n0.nic.create_vi(p0, tag);
-    let v1 = n1.nic.create_vi(p1, tag);
-    connect_pair(&mut n0, v0, 0, &mut n1, v1, 1).expect("connect");
+    let mut nodes: Vec<Node> = (0..NODES)
+        .map(|_| Node::new(KernelConfig::large(), StrategyKind::KiobufReliable, 4096))
+        .collect();
+    let pids: Vec<_> = nodes
+        .iter_mut()
+        .map(|n| n.kernel.spawn_process(Capabilities::default()))
+        .collect();
 
-    let b0 = n0
-        .kernel
-        .mmap_anon(p0, MSG_BYTES, prot::READ | prot::WRITE)
-        .unwrap();
-    let rlen = MSGS * MSG_BYTES;
-    let b1 = n1
-        .kernel
-        .mmap_anon(p1, rlen, prot::READ | prot::WRITE)
-        .unwrap();
-    let m0 = n0.register_mem(p0, b0, MSG_BYTES, tag).unwrap();
-    let m1 = n1.register_mem(p1, b1, rlen, tag).unwrap();
-
-    // Pre-post every receive, one slot per message.
-    for i in 0..MSGS {
-        n1.nic
-            .vi_mut(v1)
-            .unwrap()
-            .recv_q
-            .push_back(Descriptor::recv(m1, b1 + (i * MSG_BYTES) as u64, MSG_BYTES));
+    // Node i owns `vin[i]` (from its predecessor) and `vout[i]` (to its
+    // successor); the ends of the pipeline leave the unused side out.
+    let mut vin: Vec<Option<ViId>> = vec![None; NODES];
+    let mut vout: Vec<Option<ViId>> = vec![None; NODES];
+    for i in 0..NODES {
+        if i > 0 {
+            vin[i] = Some(nodes[i].nic.create_vi(pids[i], tag));
+        }
+        if i + 1 < NODES {
+            vout[i] = Some(nodes[i].nic.create_vi(pids[i], tag));
+        }
+    }
+    for i in 0..NODES - 1 {
+        connect_nodes(
+            &mut nodes,
+            (i, vout[i].expect("vout")),
+            (i + 1, vin[i + 1].expect("vin")),
+        )
+        .expect("connect hop");
     }
 
-    println!("streaming {MSGS} × {MSG_BYTES} B node 0 → node 1, one thread per node…");
+    // One MSG_BYTES staging buffer on node 0; a MSGS-slot arena on every
+    // downstream node (slot i holds message i, so the tail can audit all
+    // of them after the dust settles).
+    let arena = MSGS * MSG_BYTES;
+    let b0 = nodes[0]
+        .kernel
+        .mmap_anon(pids[0], MSG_BYTES, prot::READ | prot::WRITE)
+        .unwrap();
+    let m0 = nodes[0].register_mem(pids[0], b0, MSG_BYTES, tag).unwrap();
+    let mut slabs = [(0u64, via::MemId(0)); NODES];
+    for i in 1..NODES {
+        let b = nodes[i]
+            .kernel
+            .mmap_anon(pids[i], arena, prot::READ | prot::WRITE)
+            .unwrap();
+        let m = nodes[i].register_mem(pids[i], b, arena, tag).unwrap();
+        slabs[i] = (b, m);
+        // Pre-post every receive, one slot per message.
+        for k in 0..MSGS {
+            nodes[i]
+                .nic
+                .vi_mut(vin[i].expect("vin"))
+                .unwrap()
+                .recv_q
+                .push_back(Descriptor::recv(m, b + (k * MSG_BYTES) as u64, MSG_BYTES));
+        }
+    }
 
-    let ((sent, n0), (received, mut n1)) = run_pair(
-        n0,
-        n1,
-        move |ctx| {
-            for i in 0..MSGS {
-                ctx.node
-                    .kernel
-                    .write_user(p0, b0, &vec![(i % 251) as u8; MSG_BYTES])?;
-                ctx.node
-                    .nic
-                    .vi_mut(v0)?
-                    .send_q
-                    .push_back(Descriptor::send(m0, b0, MSG_BYTES));
-                // Wait for the send completion before reusing the buffer —
-                // VIA completes a send once the data is on the wire.
-                let c = ctx.wait_completion(v0)?;
-                assert_eq!(c.op, DescOp::Send);
-            }
-            Ok(MSGS)
-        },
-        move |ctx| {
-            let mut received = 0usize;
-            while received < MSGS {
-                let c = ctx.wait_completion(v1)?;
-                assert_eq!(c.op, DescOp::Recv);
-                assert_eq!(c.len, MSG_BYTES);
-                received += 1;
-            }
-            Ok(received)
-        },
-    )
-    .expect("threaded run");
+    println!("streaming {MSGS} × {MSG_BYTES} B down the pipeline 0 → 1 → 2 → 3…");
 
-    // Verify every slot after the dust settles.
-    for i in 0..MSGS {
+    let mut drivers: Vec<Driver> = Vec::new();
+    for i in 0..NODES {
+        let (vi_in, vi_out) = (vin[i], vout[i]);
+        let (slab_addr, slab_mem) = slabs[i];
+        let pid = pids[i];
+        drivers.push(Box::new(move |ctx| {
+            let mut handled = 0usize;
+            if i == 0 {
+                // The head: stamp each payload and stream, reusing the
+                // buffer only after its send completion comes back.
+                for k in 0..MSGS {
+                    ctx.node
+                        .kernel
+                        .write_user(pid, b0, &vec![(k % 251) as u8; MSG_BYTES])?;
+                    ctx.node
+                        .nic
+                        .vi_mut(vi_out.expect("head sends"))?
+                        .send_q
+                        .push_back(Descriptor::send(m0, b0, MSG_BYTES));
+                    let c = ctx.wait_completion(vi_out.expect("head sends"))?;
+                    assert_eq!(c.op, DescOp::Send);
+                    handled += 1;
+                }
+            } else {
+                // Middle hops forward each slot as it lands; the tail
+                // just counts.
+                for k in 0..MSGS {
+                    let c = ctx.wait_completion(vi_in.expect("downstream receives"))?;
+                    assert_eq!(c.op, DescOp::Recv);
+                    assert_eq!(c.len, MSG_BYTES);
+                    if let Some(out) = vi_out {
+                        let slot = slab_addr + (k * MSG_BYTES) as u64;
+                        ctx.node
+                            .nic
+                            .vi_mut(out)?
+                            .send_q
+                            .push_back(Descriptor::send(slab_mem, slot, MSG_BYTES));
+                        loop {
+                            if ctx.wait_completion(out)?.op == DescOp::Send {
+                                break;
+                            }
+                        }
+                    }
+                    handled += 1;
+                }
+            }
+            Ok((handled, ctx.fabric_stats()))
+        }));
+    }
+
+    let mut results = run_cluster(nodes, drivers).expect("threaded run");
+
+    // Verify every slot on the tail node after the dust settles.
+    let (tail_result, tail_node) = &mut results[NODES - 1];
+    let (tail_addr, _) = slabs[NODES - 1];
+    for k in 0..MSGS {
         let mut out = vec![0u8; MSG_BYTES];
-        n1.kernel
-            .read_user(p1, b1 + (i * MSG_BYTES) as u64, &mut out)
+        tail_node
+            .kernel
+            .read_user(
+                pids[NODES - 1],
+                tail_addr + (k * MSG_BYTES) as u64,
+                &mut out,
+            )
             .unwrap();
         assert!(
-            out.iter().all(|&b| b == (i % 251) as u8),
-            "message {i} corrupted"
+            out.iter().all(|&b| b == (k % 251) as u8),
+            "message {k} corrupted at the tail"
         );
     }
+    assert_eq!(tail_result.0, MSGS);
 
-    println!("node 0 sent {sent}, node 1 received {received} — all {MSGS} payloads verified");
-    println!(
-        "nic stats: tx {} B ({} sends), rx {} B ({} recvs)",
-        n0.nic.stats.bytes_tx, n0.nic.stats.sends, n1.nic.stats.bytes_rx, n1.nic.stats.recvs
-    );
+    println!("all {MSGS} payloads verified after {} hops", NODES - 1);
+    for (i, ((handled, stats), node)) in results.iter().enumerate() {
+        println!(
+            "node {i}: handled {handled}, routed {} pkts in {} batches, \
+             delivered {}, parks {}, spin-wakes {} | nic tx {} B rx {} B",
+            stats.packets_routed,
+            stats.batches_sent,
+            stats.delivered,
+            stats.parks,
+            stats.spin_wakes,
+            node.nic.stats.bytes_tx,
+            node.nic.stats.bytes_rx
+        );
+    }
 }

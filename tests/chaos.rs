@@ -18,16 +18,26 @@ use proptest::prelude::*;
 use simmem::{prot, KernelConfig, PAGE_SIZE};
 use via::system::ViaSystem;
 use via::tpt::{MemId, ProtectionTag};
-use via::ViaError;
+use via::{Fabric, ThreadedCluster, ViaError};
 use vialock::{fault, FaultPlan, FaultSite, StrategyKind};
 
-/// Run one workload round under `plan`. Returns `Err` only when an
-/// invariant breaks or teardown leaks — an injected fault surfacing as a
-/// `ViaError` is an *accepted* outcome (returned in the `Ok` payload for
-/// the caller to inspect).
+/// Run one workload round under `plan` on the deterministic system.
+/// Returns `Err` only when an invariant breaks or teardown leaks — an
+/// injected fault surfacing as a `ViaError` is an *accepted* outcome
+/// (returned in the `Ok` payload for the caller to inspect).
 fn chaos_round(plan: FaultPlan) -> Result<Result<(), ViaError>, String> {
+    chaos_round_on(
+        ViaSystem::new(2, KernelConfig::small(), StrategyKind::KiobufReliable),
+        plan,
+    )
+}
+
+/// The fabric-generic chaos round: the same workload, invariant cadence
+/// and teardown audit run against any [`Fabric`] — the deterministic
+/// system for the reproducible sweeps, the threaded cluster to assert
+/// that faults degrade cleanly under real concurrency too.
+fn chaos_round_on<F: Fabric>(mut sys: F, plan: FaultPlan) -> Result<Result<(), ViaError>, String> {
     let handle = fault::handle(plan);
-    let mut sys = ViaSystem::new(2, KernelConfig::small(), StrategyKind::KiobufReliable);
     sys.install_fault_plan(&handle);
     let tag = ProtectionTag(1);
     let p0 = sys.spawn_process(0);
@@ -44,12 +54,14 @@ fn chaos_round(plan: FaultPlan) -> Result<Result<(), ViaError>, String> {
         .map_err(|e| format!("exit_process p1: {e:?}"))?;
     sys.check_invariants()
         .map_err(|e| format!("after process exit: {e}"))?;
-    for n in 0..2 {
-        let pinned = sys.node(n).registry.pinned_frames();
+    for n in 0..sys.node_count() {
+        let (pinned, regions) = sys.with_node(n, |node| {
+            (node.registry.pinned_frames(), node.nic.tpt.region_count())
+        });
         if pinned != 0 {
             return Err(format!("node {n}: {pinned} pins leaked after exit"));
         }
-        if sys.node(n).nic.tpt.region_count() != 0 {
+        if regions != 0 {
             return Err(format!("node {n}: TPT regions leaked after exit"));
         }
     }
@@ -59,8 +71,8 @@ fn chaos_round(plan: FaultPlan) -> Result<Result<(), ViaError>, String> {
 /// The workload itself: registration, two-sided traffic, RDMA write,
 /// deregistration. Invariants are checked after EVERY operation; the
 /// first typed error ends the round early (still a clean outcome).
-fn workload(
-    sys: &mut ViaSystem,
+fn workload<F: Fabric>(
+    sys: &mut F,
     p0: simmem::Pid,
     p1: simmem::Pid,
     tag: ProtectionTag,
@@ -205,6 +217,35 @@ proptest! {
             r.err()
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// The same harness on the threaded fabric
+// ---------------------------------------------------------------------
+
+/// Every fault site, first-hit and third-hit plans, on a live 2-node
+/// [`ThreadedCluster`]: node threads, mailboxes and the routing layer are
+/// all real, so scheduling is nondeterministic — the assertion is NOT
+/// packet-level reproducibility but the same clean-degradation contract
+/// as the deterministic sweep: typed errors only, invariants intact,
+/// nothing leaked at teardown.
+#[test]
+fn chaos_on_threaded_cluster_degrades_cleanly() {
+    let mut errored = 0u32;
+    for site in FaultSite::ALL {
+        for skip in [0u64, 2] {
+            let seed = 0xBAD_CAFE ^ skip;
+            let plan = FaultPlan::new(seed).fail_after(site, skip, 1);
+            let cluster =
+                ThreadedCluster::new(2, KernelConfig::small(), StrategyKind::KiobufReliable);
+            match chaos_round_on(cluster, plan) {
+                Ok(Ok(())) => {}
+                Ok(Err(_)) => errored += 1,
+                Err(violation) => panic!("threaded, site {site} skip {skip}: {violation}"),
+            }
+        }
+    }
+    assert!(errored > 0, "no plan bit on the threaded fabric");
 }
 
 /// Same plan, same seed → same outcome and same fault-site hit counts:

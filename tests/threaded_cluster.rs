@@ -1,0 +1,212 @@
+//! The N-node threaded-cluster matrix: the same fabric-generic workloads
+//! that run on the deterministic [`ViaSystem`] must run on a live
+//! [`ThreadedCluster`] — node threads, mailboxes, routing and the wait
+//! ladder all real — at 2, 4 and 8 nodes, in both reliability modes.
+//!
+//! The centrepiece is a shift-ring all-to-all: each node owns two VIs
+//! (one toward its successor, one from its predecessor); over `n - 1`
+//! rounds every node forwards the token it last received, so every
+//! token visits every node. The helper is generic over [`Fabric`], and
+//! one test runs it unchanged on the deterministic system to pin down
+//! that both fabrics implement the same contract.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use simmem::{prot, KernelConfig, Pid, PAGE_SIZE};
+use via::vi::Reliability;
+use via::{
+    ClusterBuilder, DescOp, Fabric, ProtectionTag, ThreadedCluster, ViaError, ViaResult, ViaSystem,
+};
+use vialock::{fault, FaultPlan, FaultSite, StrategyKind};
+
+/// Token payload carried around the ring (node `i` seeds pattern `i + 1`).
+const TOKEN: usize = 256;
+
+/// Run the shift-ring all-to-all on any fabric. Returns, per node, the
+/// set of token patterns it saw (its own plus everything forwarded to
+/// it). Processes are recorded in `spawned` as soon as they exist so the
+/// caller can tear down and audit even after a mid-run typed error.
+fn ring_all_to_all<F: Fabric>(
+    fab: &mut F,
+    reliability: Reliability,
+    spawned: &mut Vec<(usize, Pid)>,
+) -> ViaResult<Vec<BTreeSet<u8>>> {
+    let n = fab.node_count();
+    let tag = ProtectionTag(3);
+    let buf_len = 2 * PAGE_SIZE;
+    let (mut vnext, mut vprev) = (Vec::new(), Vec::new());
+    let (mut token, mut inbox) = (Vec::new(), Vec::new());
+    let (mut mtok, mut minb) = (Vec::new(), Vec::new());
+    for i in 0..n {
+        let pid = fab.spawn_process(i);
+        spawned.push((i, pid));
+        let vn = fab.create_vi(i, pid, tag)?;
+        let vp = fab.create_vi(i, pid, tag)?;
+        fab.set_reliability(i, vn, reliability)?;
+        fab.set_reliability(i, vp, reliability)?;
+        let tok = fab.mmap(i, pid, buf_len, prot::READ | prot::WRITE)?;
+        let inb = fab.mmap(i, pid, buf_len, prot::READ | prot::WRITE)?;
+        fab.write_user(i, pid, tok, &[i as u8 + 1; TOKEN])?;
+        mtok.push(fab.register_mem(i, pid, tok, buf_len, tag)?);
+        minb.push(fab.register_mem(i, pid, inb, buf_len, tag)?);
+        vnext.push(vn);
+        vprev.push(vp);
+        token.push(tok);
+        inbox.push(inb);
+    }
+    for i in 0..n {
+        fab.connect((i, vnext[i]), ((i + 1) % n, vprev[(i + 1) % n]))?;
+    }
+
+    let mut seen: Vec<BTreeSet<u8>> = (0..n).map(|i| BTreeSet::from([i as u8 + 1])).collect();
+    for _round in 0..n - 1 {
+        // Every receive descriptor is in place before any send fires, so
+        // the round is drop-free even in Unreliable mode.
+        for i in 0..n {
+            fab.post_recv(i, vprev[i], minb[i], inbox[i], buf_len)?;
+        }
+        for i in 0..n {
+            fab.post_send(i, vnext[i], mtok[i], token[i], TOKEN)?;
+        }
+        fab.pump()?;
+        for i in 0..n {
+            loop {
+                let c = fab.wait_cq(i, vnext[i])?;
+                if c.op == DescOp::Send {
+                    if c.status.is_error() {
+                        return Err(ViaError::BadState("ring send completed in error"));
+                    }
+                    break;
+                }
+            }
+            loop {
+                let c = fab.wait_cq(i, vprev[i])?;
+                if c.op == DescOp::Recv {
+                    if c.status.is_error() || c.len != TOKEN {
+                        return Err(ViaError::BadState("ring delivery short or errored"));
+                    }
+                    break;
+                }
+            }
+        }
+        // The inbox becomes next round's outgoing token.
+        for i in 0..n {
+            let (node, pid) = spawned[i];
+            let mut buf = vec![0u8; TOKEN];
+            fab.read_user(node, pid, inbox[i], &mut buf)?;
+            seen[i].insert(buf[0]);
+            fab.write_user(node, pid, token[i], &buf)?;
+        }
+    }
+    Ok(seen)
+}
+
+/// Tear every process down and audit the reliable-pinning promise: no
+/// pins, no TPT regions, no invariant violations survive the exit.
+fn teardown_and_audit<F: Fabric>(fab: &mut F, spawned: &mut Vec<(usize, Pid)>) {
+    for (n, pid) in spawned.drain(..) {
+        fab.exit_process(n, pid).expect("exit_process");
+    }
+    fab.check_invariants().expect("invariants after teardown");
+    for i in 0..fab.node_count() {
+        let (pinned, regions) = fab.with_node(i, |node| {
+            (node.registry.pinned_frames(), node.nic.tpt.region_count())
+        });
+        assert_eq!(pinned, 0, "node {i}: pins leaked after exit");
+        assert_eq!(regions, 0, "node {i}: TPT regions leaked after exit");
+    }
+}
+
+/// The matrix: 2/4/8 nodes × both reliability modes, every node ends up
+/// with every token, nothing leaks.
+#[test]
+fn ring_all_to_all_matrix() {
+    for nodes in [2usize, 4, 8] {
+        for rel in [Reliability::Reliable, Reliability::Unreliable] {
+            let mut fab =
+                ThreadedCluster::new(nodes, KernelConfig::medium(), StrategyKind::KiobufReliable);
+            let mut spawned = Vec::new();
+            let seen = ring_all_to_all(&mut fab, rel, &mut spawned)
+                .unwrap_or_else(|e| panic!("{nodes} nodes, {rel:?}: {e:?}"));
+            let want: BTreeSet<u8> = (0..nodes).map(|i| i as u8 + 1).collect();
+            for (i, s) in seen.iter().enumerate() {
+                assert_eq!(s, &want, "{nodes} nodes, {rel:?}: node {i} missed tokens");
+            }
+            teardown_and_audit(&mut fab, &mut spawned);
+        }
+    }
+}
+
+/// The identical helper on the deterministic fabric — both impls honour
+/// the same [`Fabric`] contract, so the ring needs no per-fabric code.
+#[test]
+fn ring_all_to_all_on_the_deterministic_fabric() {
+    for rel in [Reliability::Reliable, Reliability::Unreliable] {
+        let mut fab = ViaSystem::new(4, KernelConfig::medium(), StrategyKind::KiobufReliable);
+        let mut spawned = Vec::new();
+        let seen = ring_all_to_all(&mut fab, rel, &mut spawned).expect("deterministic ring");
+        let want: BTreeSet<u8> = (1..=4u8).collect();
+        for s in &seen {
+            assert_eq!(s, &want);
+        }
+        teardown_and_audit(&mut fab, &mut spawned);
+    }
+}
+
+/// Chaos-seeded 4-node rings on a tight wait-timeout builder: every
+/// fault site armed once, mid-ring. A typed error is an accepted
+/// outcome; a panic, a leak or an invariant violation is not.
+#[test]
+fn chaos_seeded_ring_degrades_cleanly() {
+    let mut faulted = 0u32;
+    for (k, site) in FaultSite::ALL.iter().enumerate() {
+        let plan = FaultPlan::new(0x51EED ^ k as u64).fail_after(*site, 1, 2);
+        let handle = fault::handle(plan);
+        let mut fab = ClusterBuilder::new(4, KernelConfig::medium(), StrategyKind::KiobufReliable)
+            .wait_timeout(Duration::from_millis(250))
+            .build();
+        fab.install_fault_plan(&handle);
+        let mut spawned = Vec::new();
+        if ring_all_to_all(&mut fab, Reliability::Reliable, &mut spawned).is_err() {
+            faulted += 1;
+        }
+        teardown_and_audit(&mut fab, &mut spawned);
+    }
+    assert!(faulted > 0, "no fault plan bit the ring");
+}
+
+/// The full message layer — rendezvous, collectives, the mini-IS bucket
+/// sort — on a 4-node threaded cluster via `Comm::on_fabric`.
+#[test]
+fn mini_is_collectives_on_the_threaded_fabric() {
+    let cluster = ThreadedCluster::new(4, KernelConfig::large(), StrategyKind::KiobufReliable);
+    let mut comm = msg::Comm::on_fabric(cluster, 4, msg::MsgConfig::classic()).expect("comm");
+    let rep = workload::minis::run_mini_is_on(&mut comm, 400, 11);
+    assert!(
+        rep.sorted_ok,
+        "bucket sort globally ordered over the cluster"
+    );
+    assert!(rep.bytes_exchanged > 0);
+}
+
+/// The NetPIPE measurement on the threaded fabric crosses all three
+/// protocols — shared-memory PIO, one-copy chunking and the zero-copy
+/// rendezvous (RDMA fence included) — through the same generic
+/// `measure_point` the deterministic sweep uses.
+#[test]
+fn netpipe_ladder_on_the_threaded_fabric() {
+    let mut comm = workload::netpipe::threaded_sweep_comm(4, StrategyKind::KiobufReliable);
+    let costs = netsim::proto::ProtocolCosts::classic(workload::model::reg_cost_for(
+        StrategyKind::KiobufReliable,
+    ));
+    for (bytes, want) in [
+        (64usize, "shared-memory"),
+        (64 * 1024, "one-copy"),
+        (512 * 1024, "zero-copy"),
+    ] {
+        let p = workload::netpipe::measure_point(&mut comm, &costs, bytes, 1);
+        assert_eq!(p.protocol, Some(want), "{bytes} B");
+        assert!(p.bandwidth_mb_s > 0.0, "{bytes} B moved no data");
+    }
+}
