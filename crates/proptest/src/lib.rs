@@ -242,6 +242,17 @@ impl<T: Arbitrary> Strategy for Any<T> {
     }
 }
 
+/// A strategy that always yields a clone of one fixed value.
+#[derive(Clone)]
+pub struct Just<V: Clone>(pub V);
+
+impl<V: Clone> Strategy for Just<V> {
+    type Value = V;
+    fn generate(&self, _rng: &mut TestRng) -> V {
+        self.0.clone()
+    }
+}
+
 /// Uniform choice between boxed arms (`prop_oneof!`).
 pub struct Union<V> {
     arms: Vec<BoxedStrategy<V>>,
@@ -379,7 +390,7 @@ macro_rules! prop_assume {
 pub mod prelude {
     pub use crate::{
         any, prop, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, BoxedStrategy,
-        ProptestConfig, Strategy, TestCaseError,
+        Just, ProptestConfig, Strategy, TestCaseError,
     };
 }
 

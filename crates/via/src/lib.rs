@@ -61,6 +61,7 @@ pub mod error;
 pub mod fabric;
 pub mod nic;
 pub mod ring;
+pub mod spsc;
 pub mod system;
 pub mod threaded;
 pub mod tpt;

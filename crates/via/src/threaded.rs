@@ -1,9 +1,18 @@
 //! A multi-threaded N-node fabric: each node (kernel + NIC + kernel
-//! agent) runs on its own OS thread; packets travel over std mpsc
-//! mailboxes, one per node, with a routing layer in front of them. This
-//! is the concurrency-faithful counterpart of the deterministic
+//! agent) runs on its own OS thread; packets travel over **per-pair
+//! lock-free SPSC rings** ([`crate::spsc`]) — the producer writes
+//! directly into the consumer's queue, one release-store publishes a
+//! whole batch, and a per-node [`Doorbell`] wakes a parked consumer
+//! without touching a lock unless it is actually asleep. This is the
+//! concurrency-faithful counterpart of the deterministic
 //! single-threaded [`crate::system::ViaSystem`]: the same `Node` type,
 //! real thread interleavings, no shared state beyond the wire.
+//!
+//! The control plane stays off the data path: [`Fabric`] commands
+//! round-trip over a plain (low-rate) mpsc channel per node, so RPC
+//! traffic never contends with packet flow. Peer death is detected
+//! through the rings' explicit `Closed` state — the replacement for the
+//! channel-disconnect semantics of the retired mailbox transport.
 //!
 //! Two ways to drive it:
 //!
@@ -11,19 +20,17 @@
 //!   command loop; the cluster handle implements [`Fabric`], so the
 //!   message layer and the workload drivers run on it unchanged. Build
 //!   one with [`ClusterBuilder`] (node count, kernel config, pinning
-//!   strategy, wait timeout).
+//!   strategy, ring capacity, wait timeout).
 //! * [`run_cluster`] — one closure per node, each driving its node
 //!   through a [`NodeCtx`]: post descriptors on the node directly, then
 //!   [`NodeCtx::pump`] to ship outgoing packets and deliver incoming
 //!   ones, or [`NodeCtx::wait_completion`] to block until a CQ entry
 //!   arrives. Wire VIs first with [`connect_nodes`].
-//!
-//! The 2-node [`connect_pair`]/[`run_pair`] entry points are deprecated
-//! thin wrappers over the N-node machinery, kept for one release.
 
 use std::any::Any;
 use std::collections::VecDeque;
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -34,6 +41,7 @@ use crate::descriptor::Descriptor;
 use crate::error::{ViaError, ViaResult};
 use crate::fabric::Fabric;
 use crate::nic::{NicStats, Node, Packet, PacketKind, DEFAULT_TPT_PAGES};
+use crate::spsc::{self, Consumer, Doorbell, Producer, PushError};
 use crate::system::NodeId;
 use crate::tpt::{MemId, ProtectionTag};
 use crate::vi::{Completion, Reliability, ViId, ViState};
@@ -66,7 +74,22 @@ fn spin_budget() -> usize {
 const YIELD_BUDGET: usize = 16;
 
 /// How long a single park lasts once the spin budget is exhausted.
+/// Doorbell rings cut it short; the timeout only bounds the damage of a
+/// wedged peer so wait budgets and chaos timeouts still fire.
 const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// Idle park of the autonomous service loop. Longer than
+/// [`PARK_TIMEOUT`]: every packet batch and every command rings the
+/// node's doorbell, so the timeout is pure belt-and-braces (it also
+/// bounds how long an abandoned node lingers after its controller dies
+/// without an orderly shutdown).
+const SERVICE_PARK_TIMEOUT: Duration = Duration::from_millis(25);
+
+/// Default slot count of each per-pair wire ring (power of two). A ring
+/// holds packet headers, not payload bytes — payloads ride pooled
+/// buffers — so capacity bounds in-flight *packets* per (src, dst) pair.
+/// Override per cluster with [`ClusterBuilder::ring_capacity`].
+pub const DEFAULT_RING_CAPACITY: usize = 256;
 
 /// Most packets [`NodeCtx::pump`] delivers per call (bounded burst).
 const DELIVER_BURST: usize = 256;
@@ -80,22 +103,28 @@ const QUIESCE_ROUND_CAP: usize = 10_000;
 /// [`FabricStats::since`] like every other stats block.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct FabricStats {
-    /// Mailbox sends (one per destination per ship, however many packets
-    /// each carried).
+    /// Ring publishes (one release-store per destination per flush,
+    /// however many packets each exposed).
     pub batches_sent: u64,
-    /// Packets routed to another node's mailbox.
+    /// Packets routed into another node's ring.
     pub packets_routed: u64,
     /// Packets delivered into this node's NIC.
     pub delivered: u64,
-    /// Times the node blocked on its mailbox (idle or wait-ladder park).
+    /// Times the node parked on its doorbell (idle or wait-ladder park).
     pub parks: u64,
-    /// Times the spin/yield phase of the wait ladder caught new mail
+    /// Times the spin/yield phase of the wait ladder caught new work
     /// before a park was needed.
     pub spin_wakes: u64,
     /// Fabric commands served by this node's thread.
     pub commands: u64,
-    /// High-water mark of the inbound queue (monotone).
+    /// High-water mark of the inbound queue (monotone) — the occupancy
+    /// stat the mailbox transport called by the same name.
     pub mailbox_peak: u64,
+    /// Doorbells rung at peers (at most one per published batch).
+    pub doorbell_rings: u64,
+    /// Backpressure rounds: a wire ring was full and the producer had to
+    /// publish early, drain its own inbound and retry.
+    pub wire_stalls: u64,
 }
 
 impl_since!(FabricStats {
@@ -106,14 +135,9 @@ impl_since!(FabricStats {
     spin_wakes,
     commands,
     mailbox_peak,
+    doorbell_rings,
+    wire_stalls,
 });
-
-/// Everything that can land in a node's mailbox: wire traffic or a
-/// fabric command from the cluster handle.
-enum Mail {
-    Packets(Vec<Packet>),
-    Cmd(Command),
-}
 
 /// A closure shipped to a node's service thread by [`Fabric::with_node`].
 type NodeFn = Box<dyn FnOnce(&mut Node) -> Box<dyn Any + Send> + Send>;
@@ -235,19 +259,84 @@ enum Reply {
     Any(Box<dyn Any + Send>),
 }
 
-/// Per-thread driver for one node of an N-node cluster. Packets travel
-/// in batches: one mailbox send per destination per pump carries every
-/// packet staged for it since the last one, and arriving batches land in
-/// `inbound` to be delivered one at a time.
+/// The wire endpoints one node owns: a producer per destination, a
+/// consumer per source, and everyone's doorbells.
+struct WirePorts {
+    /// `tx[dst]` is this node's private ring into `dst` (`None` for the
+    /// self slot — loopback short-circuits through `inbound`).
+    tx: Vec<Option<Producer<Packet>>>,
+    /// `rx[src]` is `src`'s private ring into this node.
+    rx: Vec<Option<Consumer<Packet>>>,
+    /// Every node's doorbell; `bells[i]` is rung after publishing into
+    /// `tx[i]`. The self slot is this node's own bell.
+    bells: Vec<Arc<Doorbell>>,
+}
+
+impl WirePorts {
+    /// This node's own doorbell.
+    fn own_bell(&self, index: usize) -> &Doorbell {
+        &self.bells[index]
+    }
+
+    /// Packets sitting published-but-unconsumed in this node's inbound
+    /// rings (approximate while producers run).
+    fn queued(&self) -> usize {
+        self.rx.iter().flatten().map(Consumer::len).sum()
+    }
+
+    /// Whether every peer has closed its ring into this node.
+    fn all_peers_closed(&self) -> bool {
+        self.rx.iter().flatten().all(Consumer::is_closed)
+    }
+}
+
+/// Build the full wire mesh for `n` nodes: one SPSC ring per ordered
+/// (src, dst) pair plus one doorbell per node. Returns per-node ports.
+fn wire_mesh(n: usize, ring_capacity: usize) -> Vec<WirePorts> {
+    let bells: Vec<Arc<Doorbell>> = (0..n).map(|_| Arc::new(Doorbell::default())).collect();
+    // rings[src][dst]
+    let mut txs: Vec<Vec<Option<Producer<Packet>>>> =
+        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+    let mut rxs: Vec<Vec<Option<Consumer<Packet>>>> =
+        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+    for src in 0..n {
+        for dst in 0..n {
+            if src == dst {
+                continue;
+            }
+            let (p, c) = spsc::ring(ring_capacity);
+            txs[src][dst] = Some(p);
+            rxs[dst][src] = Some(c);
+        }
+    }
+    txs.into_iter()
+        .zip(rxs)
+        .map(|(tx, rx)| WirePorts {
+            tx,
+            rx,
+            bells: bells.clone(),
+        })
+        .collect()
+}
+
+/// Per-thread driver for one node of an N-node cluster. Outgoing packets
+/// are written straight into the destination's SPSC ring and published
+/// in batches — one release-store plus at most one doorbell ring per
+/// destination per flush; arriving packets are popped into `inbound` to
+/// be delivered one at a time.
 pub struct NodeCtx {
     pub node: Node,
     index: usize,
-    /// One sender per node in the cluster. The slot for this node itself
-    /// is a dead sender (self-destined packets short-circuit through
-    /// `inbound`), so a mailbox disconnect means every *other* thread —
-    /// and the cluster handle, if any — is gone.
-    txs: Vec<Sender<Mail>>,
-    rx: Receiver<Mail>,
+    /// The data plane: per-pair rings and doorbells.
+    wire: WirePorts,
+    /// The control plane: fabric commands from the cluster handle (a
+    /// dead channel in closure mode). Low-rate by construction, so RPC
+    /// never contends with the rings.
+    cmd_rx: Receiver<Command>,
+    /// The command channel disconnected: the cluster handle (or closure
+    /// harness) is gone. Together with every inbound ring closed this is
+    /// the transport's "everyone else is gone" signal.
+    controller_gone: bool,
     /// Packets received from the wire but not yet delivered.
     inbound: VecDeque<Packet>,
     /// Fabric commands that arrived while this thread was mid-wait;
@@ -256,11 +345,17 @@ pub struct NodeCtx {
     /// Cached VI id list; VIs are only ever created, so a count check
     /// suffices to detect staleness.
     vi_ids: Vec<ViId>,
-    /// Outgoing packets staged for the next batched mailbox send.
+    /// Outgoing packets staged for the next routed flush.
     outbox: Vec<Packet>,
-    /// Per-destination staging, reused across ships.
-    route_scratch: Vec<Vec<Packet>>,
-    /// Deadline budget for [`NodeCtx::wait_completion`].
+    /// Destinations with deferred (unpublished) ring entries.
+    touched: Vec<bool>,
+    /// Doorbell event count as of the last inbound-ring scan. Every
+    /// publish toward us rings our bell, so an unchanged count means a
+    /// scan would find nothing: the idle poll stays O(1) instead of
+    /// walking N-1 consumers.
+    last_events: u64,
+    /// Deadline budget for [`NodeCtx::wait_completion`] and
+    /// backpressure stalls.
     wait_timeout: Duration,
     stats: FabricStats,
     /// First error the autonomous service pump swallowed; surfaced on
@@ -272,26 +367,25 @@ impl NodeCtx {
     fn new(
         node: Node,
         index: usize,
-        mut txs: Vec<Sender<Mail>>,
-        rx: Receiver<Mail>,
+        wire: WirePorts,
+        cmd_rx: Receiver<Command>,
         wait_timeout: Duration,
     ) -> Self {
-        // Replace our own sender with a dead one: holding it would keep
-        // our own mailbox alive forever and disconnects would never be
-        // observed. Self-destined traffic never touches the channel.
-        let (dead, _) = channel();
-        txs[index] = dead;
-        let n = txs.len();
+        let n = wire.bells.len();
         NodeCtx {
             node,
             index,
-            txs,
-            rx,
+            wire,
+            cmd_rx,
+            controller_gone: false,
             inbound: VecDeque::new(),
             backlog: VecDeque::new(),
             vi_ids: Vec::new(),
             outbox: Vec::new(),
-            route_scratch: (0..n).map(|_| Vec::new()).collect(),
+            touched: vec![false; n],
+            // MAX forces the first refill to scan regardless of bell
+            // state.
+            last_events: u64::MAX,
             wait_timeout,
             stats: FabricStats::default(),
             pending_error: None,
@@ -320,49 +414,103 @@ impl NodeCtx {
         Ok((sent, delivered))
     }
 
-    /// File mail into the right queue, tracking the inbound high-water
-    /// mark.
-    fn enqueue(&mut self, mail: Mail) {
-        match mail {
-            Mail::Packets(batch) => {
-                self.inbound.extend(batch);
-                self.stats.mailbox_peak = self.stats.mailbox_peak.max(self.inbound.len() as u64);
-            }
-            Mail::Cmd(cmd) => self.backlog.push_back(cmd),
-        }
-    }
-
     /// Route one outbound packet: self-destined short-circuits into
-    /// `inbound`, everything else stages for a batched mailbox send.
-    fn stage(&mut self, pkt: Packet) {
+    /// `inbound`, everything else is written (deferred, unpublished) into
+    /// the destination's ring. A full ring is backpressure: publish what
+    /// we have, drain our own inbound rings (so a mutual-full cycle
+    /// always unwinds — popping needs no CQ progress), and retry until
+    /// the wait budget runs out. A closed ring is a gone peer: the
+    /// payload returns to the pool and — unless `best_effort` — the
+    /// stall surfaces as [`ViaError::PeerGone`].
+    fn stage(&mut self, pkt: Packet, best_effort: bool) -> ViaResult<()> {
         if pkt.dst_node == self.index {
             self.inbound.push_back(pkt);
-        } else {
-            self.route_scratch[pkt.dst_node].push(pkt);
+            self.stats.mailbox_peak = self.stats.mailbox_peak.max(self.inbound.len() as u64);
+            return Ok(());
+        }
+        let dst = pkt.dst_node;
+        let mut pkt = pkt;
+        let mut deadline: Option<Instant> = None;
+        loop {
+            let prod = self.wire.tx[dst]
+                .as_mut()
+                .expect("non-self destination has a ring");
+            match prod.push_deferred(pkt) {
+                Ok(()) => {
+                    self.touched[dst] = true;
+                    self.stats.packets_routed += 1;
+                    return Ok(());
+                }
+                Err(PushError::Closed(p)) => {
+                    // Return the payload so the pool ledger stays
+                    // balanced even across a peer death.
+                    self.node.pool.put(p.payload);
+                    return if best_effort {
+                        Ok(())
+                    } else {
+                        Err(ViaError::PeerGone(dst))
+                    };
+                }
+                Err(PushError::Full(p)) => {
+                    pkt = p;
+                    self.stats.wire_stalls += 1;
+                    // Expose what we already staged so the consumer can
+                    // make progress, then absorb our own inbound.
+                    if self.wire.tx[dst].as_mut().unwrap().publish() > 0 {
+                        self.stats.batches_sent += 1;
+                        self.stats.doorbell_rings += 1;
+                        self.wire.bells[dst].ring();
+                    }
+                    self.touched[dst] = false;
+                    self.refill_wire();
+                    std::thread::yield_now();
+                    let d = *deadline.get_or_insert_with(|| Instant::now() + self.wait_timeout);
+                    if Instant::now() > d {
+                        self.node.pool.put(pkt.payload);
+                        return Err(ViaError::BadState("wire backpressure stall"));
+                    }
+                }
+            }
         }
     }
 
-    /// Flush the per-destination staging: ONE mailbox send per
-    /// destination. A closed mailbox is a gone peer; with `best_effort`
-    /// the loss is swallowed (drain paths), otherwise it surfaces as
-    /// [`ViaError::PeerGone`].
-    fn flush_routes(&mut self, best_effort: bool) -> ViaResult<()> {
-        let mut first_err = None;
-        for dst in 0..self.route_scratch.len() {
-            if self.route_scratch[dst].is_empty() {
+    /// Publish every touched destination ring — ONE release-store and at
+    /// most one doorbell ring per destination, however many packets the
+    /// flush carried.
+    fn flush_wire(&mut self) {
+        for dst in 0..self.touched.len() {
+            if !self.touched[dst] {
                 continue;
             }
-            let batch = std::mem::take(&mut self.route_scratch[dst]);
-            self.stats.packets_routed += batch.len() as u64;
-            self.stats.batches_sent += 1;
-            if self.txs[dst].send(Mail::Packets(batch)).is_err() && !best_effort {
-                first_err.get_or_insert(ViaError::PeerGone(dst));
+            self.touched[dst] = false;
+            let Some(prod) = self.wire.tx[dst].as_mut() else {
+                continue;
+            };
+            if prod.publish() > 0 {
+                self.stats.batches_sent += 1;
+                self.stats.doorbell_rings += 1;
+                self.wire.bells[dst].ring();
             }
         }
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(()),
+    }
+
+    /// Stage-and-flush the whole outbox. On a hard error (dead peer,
+    /// backpressure timeout) the not-yet-staged remainder returns its
+    /// payloads to the pool so the ledger survives the failure.
+    fn route_outbox(&mut self, best_effort: bool) -> ViaResult<()> {
+        let mut pkts = std::mem::take(&mut self.outbox).into_iter();
+        let mut result = Ok(());
+        for pkt in pkts.by_ref() {
+            if let Err(e) = self.stage(pkt, best_effort) {
+                result = Err(e);
+                break;
+            }
         }
+        for pkt in pkts {
+            self.node.pool.put(pkt.payload);
+        }
+        self.flush_wire();
+        result
     }
 
     /// Ship every pending send of every VI, batched per destination,
@@ -381,36 +529,104 @@ impl NodeCtx {
             return Ok(sent);
         }
         if self.node.nic.legacy_datapath {
-            // Pre-overhaul wire: one mailbox operation (and one peer
-            // wakeup) per packet.
-            for pkt in std::mem::take(&mut self.outbox) {
-                if pkt.dst_node == self.index {
-                    self.inbound.push_back(pkt);
-                    continue;
+            // Pre-overhaul wire: one publish (and one peer wakeup) per
+            // packet instead of one per destination per flush.
+            let mut pkts = std::mem::take(&mut self.outbox).into_iter();
+            let mut result = Ok(());
+            for pkt in pkts.by_ref() {
+                if let Err(e) = self.stage(pkt, false) {
+                    result = Err(e);
+                    break;
                 }
-                let dst = pkt.dst_node;
-                self.stats.packets_routed += 1;
-                self.stats.batches_sent += 1;
-                self.txs[dst]
-                    .send(Mail::Packets(vec![pkt]))
-                    .map_err(|_| ViaError::PeerGone(dst))?;
+                self.flush_wire();
             }
+            for pkt in pkts {
+                self.node.pool.put(pkt.payload);
+            }
+            result?;
             return Ok(sent);
         }
-        for pkt in std::mem::take(&mut self.outbox) {
-            self.stage(pkt);
-        }
-        self.flush_routes(false)?;
+        self.route_outbox(false)?;
         Ok(sent)
     }
 
-    /// Pull whatever the mailbox has queued into `inbound`/`backlog`
-    /// without blocking. Returns whether `inbound` is now non-empty.
-    fn refill_inbound(&mut self) -> bool {
-        while let Ok(mail) = self.rx.try_recv() {
-            self.enqueue(mail);
+    /// Drain the control channel into the backlog, noting a disconnect
+    /// (the cluster handle is gone).
+    fn drain_commands(&mut self) {
+        loop {
+            match self.cmd_rx.try_recv() {
+                Ok(cmd) => self.backlog.push_back(cmd),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    self.controller_gone = true;
+                    break;
+                }
+            }
         }
+    }
+
+    /// Pop everything currently published in the inbound rings into
+    /// `inbound`, tracking the high-water mark. Unconditional scan —
+    /// prefer [`NodeCtx::refill_wire`], which skips it when the doorbell
+    /// says nothing arrived.
+    fn scan_wire(&mut self) {
+        for src in 0..self.wire.rx.len() {
+            if let Some(cons) = self.wire.rx[src].as_mut() {
+                while let Ok(pkt) = cons.pop() {
+                    self.inbound.push_back(pkt);
+                }
+            }
+        }
+        self.stats.mailbox_peak = self.stats.mailbox_peak.max(self.inbound.len() as u64);
+    }
+
+    /// [`NodeCtx::scan_wire`], gated on the doorbell: every publish into
+    /// one of our rings rings our bell *after* the release-store, so an
+    /// unchanged event count proves the scan would come up empty. The
+    /// snapshot is taken before the scan — a publish landing mid-scan
+    /// bumps the count past the snapshot and forces the next scan.
+    fn refill_wire(&mut self) {
+        let events = self.wire.own_bell(self.index).events();
+        if events == self.last_events {
+            return;
+        }
+        self.last_events = events;
+        self.scan_wire();
+    }
+
+    /// Pull whatever the wire and the control channel have queued into
+    /// `inbound`/`backlog` without blocking. Returns whether `inbound`
+    /// is now non-empty.
+    fn refill_inbound(&mut self) -> bool {
+        self.drain_commands();
+        self.refill_wire();
         !self.inbound.is_empty()
+    }
+
+    /// The transport-level "everyone else is gone" signal: the control
+    /// channel is disconnected and every peer closed its inbound ring.
+    /// (In closure mode the control channel is born disconnected, so
+    /// this reduces to all-peers-closed, exactly the old mailbox
+    /// disconnect condition.)
+    fn all_peers_gone(&self) -> bool {
+        self.controller_gone && self.wire.all_peers_closed()
+    }
+
+    /// Leave the wire: close every outbound ring (publishing anything
+    /// still deferred) and ring every peer's bell so their event-gated
+    /// scans notice both the final packets and the close. Called before
+    /// the node is handed back; the thread is done with the fabric.
+    fn retire(&mut self) {
+        for tx in self.wire.tx.iter_mut() {
+            // Dropping the producer closes the ring, publishing pending
+            // slots first.
+            drop(tx.take());
+        }
+        for (i, bell) in self.wire.bells.iter().enumerate() {
+            if i != self.index {
+                bell.ring();
+            }
+        }
     }
 
     /// Deliver exactly ONE inbound packet, if any is queued. This is the
@@ -467,10 +683,8 @@ impl NodeCtx {
         let resps = self.node.deliver(pkt)?;
         self.stats.delivered += 1;
         if !resps.is_empty() {
-            for r in resps {
-                self.stage(r);
-            }
-            self.flush_routes(best_effort_tx)?;
+            self.outbox.extend(resps);
+            self.route_outbox(best_effort_tx)?;
         }
         Ok(true)
     }
@@ -486,10 +700,13 @@ impl NodeCtx {
     /// before our next receive is posted and reliable mode rejects it
     /// with `NoRecvDescriptor`, tearing the node down.)
     ///
-    /// While idle the wait spins on non-blocking mailbox polls for
+    /// While idle the wait spins on non-blocking wire polls for
     /// [`spin_budget`] iterations (latency path: the peer usually answers
     /// within microseconds), yields the core for up to [`YIELD_BUDGET`]
-    /// more polls, and only then parks for [`PARK_TIMEOUT`].
+    /// more polls, and only then parks on the doorbell for
+    /// [`PARK_TIMEOUT`]. The doorbell snapshot is taken *before* the
+    /// final emptiness re-check, so a publish that lands between the
+    /// check and the park still wakes us immediately.
     pub fn wait_completion(&mut self, vi: ViId) -> ViaResult<Completion> {
         let deadline = Instant::now() + self.wait_timeout;
         loop {
@@ -521,13 +738,18 @@ impl NodeCtx {
                 }
             }
             if !woke {
-                self.stats.parks += 1;
-                match self.rx.recv_timeout(PARK_TIMEOUT) {
-                    Ok(mail) => self.enqueue(mail),
-                    Err(RecvTimeoutError::Timeout) => {}
-                    Err(RecvTimeoutError::Disconnected) => {
-                        return self.drain_disconnected(vi);
-                    }
+                if self.all_peers_gone() {
+                    return self.drain_disconnected(vi);
+                }
+                let observed = self.wire.own_bell(self.index).events();
+                // Ungated scan on the park path: a peer that closed
+                // without ringing (panicked thread) must not stall us a
+                // full park interval per packet it left behind.
+                self.drain_commands();
+                self.scan_wire();
+                if self.inbound.is_empty() && self.backlog.is_empty() {
+                    self.stats.parks += 1;
+                    self.wire.own_bell(self.index).wait(observed, PARK_TIMEOUT);
                 }
             }
             if Instant::now() > deadline {
@@ -544,6 +766,9 @@ impl NodeCtx {
             if let Some(c) = self.node.nic.vi_mut(vi)?.poll_cq() {
                 return Ok(c);
             }
+            // Ungated scan: a peer that died without ringing (a panicked
+            // thread) may have published right before closing.
+            self.scan_wire();
             if !self.deliver_one_inbound(true)? {
                 return Err(ViaError::Disconnected);
             }
@@ -688,7 +913,9 @@ impl NodeCtx {
             Command::CheckNode => Reply::Check {
                 local: self.node.check_local_invariants(),
                 outstanding: self.node.pool.outstanding(),
-                inbound: self.inbound.len(),
+                // Undelivered work is both the local queue and anything
+                // still sitting published in our inbound rings.
+                inbound: self.inbound.len() + self.wire.queued(),
             },
             Command::WithNode(f) => Reply::Any(f(&mut self.node)),
             Command::Shutdown => Reply::Unit(Ok(())),
@@ -740,44 +967,55 @@ impl NodeCtx {
 }
 
 /// The per-node service thread: serve backlogged commands, make
-/// autonomous wire progress, and block on the mailbox when idle. Returns
+/// autonomous wire progress, and park on the doorbell when idle. Returns
 /// the node for post-mortem inspection once the cluster shuts down.
 fn service(mut ctx: NodeCtx, reply_tx: Sender<Reply>) -> Node {
     loop {
+        ctx.drain_commands();
         while let Some(cmd) = ctx.backlog.pop_front() {
             ctx.stats.commands += 1;
             let shutdown = matches!(cmd, Command::Shutdown);
             if shutdown {
                 // Flush anything still staged so peers draining their
-                // mailboxes see it.
+                // rings see it.
                 let _ = ctx.pump_round();
             }
             let reply = ctx.handle(cmd);
             if reply_tx.send(reply).is_err() || shutdown {
                 // Controller gone (or orderly shutdown): we're done.
+                ctx.retire();
                 return ctx.node;
             }
         }
+        if ctx.controller_gone {
+            // The handle was dropped without a shutdown: flush what we
+            // can so draining peers see it, then leave.
+            let _ = ctx.pump_round();
+            ctx.retire();
+            return ctx.node;
+        }
         if ctx.pump_round() {
-            // Made progress; pick up any mail that arrived meanwhile and
-            // go again.
-            match ctx.rx.try_recv() {
-                Ok(mail) => ctx.enqueue(mail),
-                Err(TryRecvError::Empty) => {}
-                Err(TryRecvError::Disconnected) => return ctx.node,
-            }
             continue;
         }
         if !ctx.backlog.is_empty() || ctx.refill_inbound() {
             continue;
         }
-        // Fully idle: sleep until mail arrives. Every packet and every
-        // command is a wakeup, so a blocking receive loses nothing.
-        ctx.stats.parks += 1;
-        match ctx.rx.recv() {
-            Ok(mail) => ctx.enqueue(mail),
-            Err(_) => return ctx.node,
+        // Fully idle: park on the doorbell until a peer publishes or the
+        // controller sends a command (commands ring the bell too). The
+        // snapshot-then-recheck order makes the sleep lost-wakeup-free;
+        // the recheck scans ungated so a peer that closed without
+        // ringing cannot stall us, and the timeout bounds everything
+        // else.
+        let observed = ctx.wire.own_bell(ctx.index).events();
+        ctx.drain_commands();
+        ctx.scan_wire();
+        if !ctx.inbound.is_empty() || !ctx.backlog.is_empty() {
+            continue;
         }
+        ctx.stats.parks += 1;
+        ctx.wire
+            .own_bell(ctx.index)
+            .wait(observed, SERVICE_PARK_TIMEOUT);
     }
 }
 
@@ -792,6 +1030,7 @@ pub struct ClusterBuilder {
     strategy: StrategyKind,
     tpt_pages: usize,
     wait_timeout: Duration,
+    ring_capacity: usize,
 }
 
 impl ClusterBuilder {
@@ -804,6 +1043,7 @@ impl ClusterBuilder {
             strategy,
             tpt_pages: DEFAULT_TPT_PAGES,
             wait_timeout: WAIT_TIMEOUT,
+            ring_capacity: DEFAULT_RING_CAPACITY,
         }
     }
 
@@ -822,48 +1062,64 @@ impl ClusterBuilder {
         self
     }
 
+    /// Per-(src, dst) wire ring capacity in packets, rounded up to a
+    /// power of two (minimum 2). Smaller rings exercise backpressure;
+    /// larger rings absorb burstier flushes.
+    pub fn ring_capacity(mut self, capacity: usize) -> Self {
+        self.ring_capacity = capacity;
+        self
+    }
+
     /// Spawn the node threads and hand back the cluster.
     pub fn build(self) -> ThreadedCluster {
         let nodes = (0..self.nodes)
             .map(|_| Node::new(self.config, self.strategy, self.tpt_pages))
             .collect();
-        ThreadedCluster::launch(nodes, self.wait_timeout)
+        ThreadedCluster::launch(nodes, self.wait_timeout, self.ring_capacity)
     }
 }
 
 /// An N-node threaded fabric behind a [`Fabric`] surface: one service
-/// thread per node, commands round-trip over the node's mailbox. Dropping
-/// the handle shuts the threads down; [`ThreadedCluster::into_nodes`]
-/// shuts down *and* returns the nodes for post-mortem inspection.
+/// thread per node, commands round-trip over the node's control channel
+/// (ringing its doorbell so a parked thread wakes). Dropping the handle
+/// shuts the threads down; [`ThreadedCluster::into_nodes`] shuts down
+/// *and* returns the nodes for post-mortem inspection.
 pub struct ThreadedCluster {
-    txs: Vec<Sender<Mail>>,
+    cmd_txs: Vec<Sender<Command>>,
+    bells: Vec<Arc<Doorbell>>,
     replies: Vec<Receiver<Reply>>,
     handles: Vec<Option<JoinHandle<Node>>>,
     wait_timeout: Duration,
 }
 
 impl ThreadedCluster {
-    /// A cluster with default TPT capacity and wait timeout. See
-    /// [`ClusterBuilder`] for the knobs.
+    /// A cluster with default TPT capacity, ring capacity and wait
+    /// timeout. See [`ClusterBuilder`] for the knobs.
     pub fn new(nodes: usize, config: KernelConfig, strategy: StrategyKind) -> Self {
         ClusterBuilder::new(nodes, config, strategy).build()
     }
 
     /// Put pre-built nodes on service threads.
-    fn launch(nodes: Vec<Node>, wait_timeout: Duration) -> Self {
+    fn launch(nodes: Vec<Node>, wait_timeout: Duration, ring_capacity: usize) -> Self {
         let n = nodes.len();
-        let mut txs = Vec::with_capacity(n);
-        let mut rxs = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = channel::<Mail>();
-            txs.push(tx);
-            rxs.push(rx);
-        }
+        let mut ports = wire_mesh(n, ring_capacity);
+        let bells = ports[0].bells.clone();
+        let mut cmd_txs = Vec::with_capacity(n);
         let mut replies = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
-        for (i, (node, rx)) in nodes.into_iter().zip(rxs).enumerate() {
-            let ctx = NodeCtx::new(node, i, txs.clone(), rx, wait_timeout);
+        for (i, node) in nodes.into_iter().enumerate() {
+            let (cmd_tx, cmd_rx) = channel::<Command>();
+            let wire = std::mem::replace(
+                &mut ports[i],
+                WirePorts {
+                    tx: Vec::new(),
+                    rx: Vec::new(),
+                    bells: Vec::new(),
+                },
+            );
+            let ctx = NodeCtx::new(node, i, wire, cmd_rx, wait_timeout);
             let (reply_tx, reply_rx) = channel::<Reply>();
+            cmd_txs.push(cmd_tx);
             replies.push(reply_rx);
             let handle = std::thread::Builder::new()
                 .name(format!("via-node-{i}"))
@@ -872,7 +1128,8 @@ impl ThreadedCluster {
             handles.push(Some(handle));
         }
         ThreadedCluster {
-            txs,
+            cmd_txs,
+            bells,
             replies,
             handles,
             wait_timeout,
@@ -884,13 +1141,15 @@ impl ThreadedCluster {
         self.wait_timeout
     }
 
-    /// One command round-trip to node `n`'s service thread. A closed
-    /// mailbox or reply channel means the thread is gone (panicked or shut
-    /// down) — [`ViaError::PeerGone`].
+    /// One command round-trip to node `n`'s service thread: send on the
+    /// control channel, ring the node's doorbell (it may be parked), wait
+    /// for the reply. A closed channel means the thread is gone (panicked
+    /// or shut down) — [`ViaError::PeerGone`].
     fn command(&mut self, n: NodeId, cmd: Command) -> ViaResult<Reply> {
-        self.txs[n]
-            .send(Mail::Cmd(cmd))
+        self.cmd_txs[n]
+            .send(cmd)
             .map_err(|_| ViaError::PeerGone(n))?;
+        self.bells[n].ring();
         // A panicking service thread drops its reply sender, so this
         // cannot deadlock.
         self.replies[n].recv().map_err(|_| ViaError::PeerGone(n))
@@ -931,7 +1190,7 @@ impl ThreadedCluster {
     /// from this method itself mean the cluster is unhealthy (a thread is
     /// gone, or the fabric would not settle).
     pub fn quiesce(&mut self) -> ViaResult<usize> {
-        let n = self.txs.len();
+        let n = self.cmd_txs.len();
         let mut total = 0usize;
         let mut idle_rounds = 0usize;
         let mut rounds = 0usize;
@@ -968,13 +1227,14 @@ impl ThreadedCluster {
     /// Shut every node thread down and return the nodes for post-mortem
     /// inspection (registries, stats, VI state).
     pub fn into_nodes(mut self) -> ViaResult<Vec<Node>> {
-        let txs = std::mem::take(&mut self.txs);
+        let cmd_txs = std::mem::take(&mut self.cmd_txs);
         let replies = std::mem::take(&mut self.replies);
         let mut handles = std::mem::take(&mut self.handles);
-        for tx in &txs {
-            let _ = tx.send(Mail::Cmd(Command::Shutdown));
+        for (i, tx) in cmd_txs.iter().enumerate() {
+            let _ = tx.send(Command::Shutdown);
+            self.bells[i].ring();
         }
-        drop(txs);
+        drop(cmd_txs);
         drop(replies);
         let mut nodes = Vec::with_capacity(handles.len());
         for (i, slot) in handles.iter_mut().enumerate() {
@@ -987,10 +1247,11 @@ impl ThreadedCluster {
 
 impl Drop for ThreadedCluster {
     fn drop(&mut self) {
-        for tx in &self.txs {
-            let _ = tx.send(Mail::Cmd(Command::Shutdown));
+        for (i, tx) in self.cmd_txs.iter().enumerate() {
+            let _ = tx.send(Command::Shutdown);
+            self.bells[i].ring();
         }
-        self.txs.clear();
+        self.cmd_txs.clear();
         self.replies.clear();
         for handle in self.handles.iter_mut().filter_map(Option::take) {
             let _ = handle.join();
@@ -1000,7 +1261,7 @@ impl Drop for ThreadedCluster {
 
 impl Fabric for ThreadedCluster {
     fn node_count(&self) -> usize {
-        self.txs.len()
+        self.cmd_txs.len()
     }
 
     fn spawn_process(&mut self, n: NodeId) -> Pid {
@@ -1166,7 +1427,7 @@ impl Fabric for ThreadedCluster {
     }
 
     fn pump(&mut self) -> ViaResult<usize> {
-        let n = self.txs.len();
+        let n = self.cmd_txs.len();
         let mut delivered = 0usize;
         let mut first_error: Option<ViaError> = None;
         for i in 0..n {
@@ -1227,7 +1488,7 @@ impl Fabric for ThreadedCluster {
     }
 
     fn install_fault_plan(&mut self, plan: &FaultHandle) {
-        for n in 0..self.txs.len() {
+        for n in 0..self.cmd_txs.len() {
             self.unit(n, Command::InstallFaultPlan(plan.clone()))
                 .unwrap_or_else(|e| panic!("install_fault_plan: node {n} unreachable: {e}"));
         }
@@ -1237,7 +1498,7 @@ impl Fabric for ThreadedCluster {
         // The pool ledger only balances with no packets in flight, so
         // settle the fabric first.
         self.quiesce().map_err(|e| format!("quiesce: {e}"))?;
-        let n = self.txs.len();
+        let n = self.cmd_txs.len();
         let mut outstanding_total = 0i64;
         for i in 0..n {
             match self
@@ -1352,30 +1613,28 @@ where
         return Err(ViaError::BadState("run_cluster: one closure per node"));
     }
     let n = nodes.len();
-    let mut txs = Vec::with_capacity(n);
-    let mut rxs = Vec::with_capacity(n);
-    for _ in 0..n {
-        let (tx, rx) = channel::<Mail>();
-        txs.push(tx);
-        rxs.push(rx);
-    }
     let ctxs: Vec<NodeCtx> = nodes
         .into_iter()
-        .zip(rxs)
+        .zip(wire_mesh(n, DEFAULT_RING_CAPACITY))
         .enumerate()
-        .map(|(i, (node, rx))| NodeCtx::new(node, i, txs.clone(), rx, wait_timeout))
+        .map(|(i, (node, wire))| {
+            // No cluster handle in closure mode: the control channel is
+            // born disconnected, so `all_peers_gone` reduces to every
+            // peer having closed its ring (dropped its NodeCtx).
+            let (_, cmd_rx) = channel::<Command>();
+            NodeCtx::new(node, i, wire, cmd_rx, wait_timeout)
+        })
         .collect();
-    // The clones above are the only live senders once the ctxs own them;
-    // dropping the originals lets mailboxes disconnect as threads finish.
-    drop(txs);
 
     std::thread::scope(|s| {
         let mut joins = Vec::with_capacity(n);
         for (mut ctx, f) in ctxs.into_iter().zip(fns) {
             joins.push(s.spawn(move || -> ViaResult<(R, Node)> {
                 let r = f(&mut ctx)?;
-                // Final drain so late arrivals are not lost.
+                // Final drain so late arrivals are not lost, then leave
+                // the wire (close + ring) so peers notice promptly.
                 let _ = ctx.pump();
+                ctx.retire();
                 Ok((r, ctx.node))
             }));
         }
@@ -1403,80 +1662,6 @@ where
             .into_iter()
             .map(|r| r.expect("no error, so every result is present"))
             .collect())
-    })
-}
-
-// ----------------------------------------------------------------------
-// Deprecated 2-node compatibility wrappers
-// ----------------------------------------------------------------------
-
-/// Wire two VIs of two (not yet split) nodes together. `a_index` and
-/// `b_index` are the node indices used in packet routing (0 and 1 for
-/// [`run_pair`]).
-#[deprecated(note = "use `connect_nodes` (or `Fabric::connect` on a `ThreadedCluster`)")]
-pub fn connect_pair(
-    a: &mut Node,
-    a_vi: ViId,
-    a_index: usize,
-    b: &mut Node,
-    b_vi: ViId,
-    b_index: usize,
-) -> ViaResult<()> {
-    {
-        let v = a.nic.vi_mut(a_vi)?;
-        v.peer = Some((b_index, b_vi));
-        v.state = ViState::Connected;
-    }
-    {
-        let v = b.nic.vi_mut(b_vi)?;
-        v.peer = Some((a_index, a_vi));
-        v.state = ViState::Connected;
-    }
-    Ok(())
-}
-
-/// Run two nodes on two threads. The closures receive their [`NodeCtx`];
-/// node 0 routes packets with `src_node = 0` to node 1 and vice versa.
-/// Returns both closure results plus the nodes (for post-mortem
-/// inspection).
-#[deprecated(note = "use `run_cluster` (or a `ThreadedCluster` behind the `Fabric` trait)")]
-pub fn run_pair<R0, R1, F0, F1>(
-    node0: Node,
-    node1: Node,
-    f0: F0,
-    f1: F1,
-) -> ViaResult<((R0, Node), (R1, Node))>
-where
-    R0: Send,
-    R1: Send,
-    F0: FnOnce(&mut NodeCtx) -> ViaResult<R0> + Send,
-    F1: FnOnce(&mut NodeCtx) -> ViaResult<R1> + Send,
-{
-    // Implemented directly rather than via `run_cluster` so the two
-    // result types need not unify.
-    let (tx0, rx0) = channel::<Mail>();
-    let (tx1, rx1) = channel::<Mail>();
-    let mut ctx0 = NodeCtx::new(node0, 0, vec![tx0.clone(), tx1.clone()], rx0, WAIT_TIMEOUT);
-    let mut ctx1 = NodeCtx::new(node1, 1, vec![tx0, tx1], rx1, WAIT_TIMEOUT);
-
-    std::thread::scope(|s| {
-        let h0 = s.spawn(move || -> ViaResult<(R0, Node)> {
-            let r = f0(&mut ctx0)?;
-            let _ = ctx0.pump();
-            Ok((r, ctx0.node))
-        });
-        let h1 = s.spawn(move || -> ViaResult<(R1, Node)> {
-            let r = f1(&mut ctx1)?;
-            let _ = ctx1.pump();
-            Ok((r, ctx1.node))
-        });
-        // Join both threads before propagating either error: bailing on
-        // node 0's error would detach node 1's scope guard mid-run.
-        let r0 = h0.join().map_err(|_| ViaError::PeerGone(0))?;
-        let r1 = h1.join().map_err(|_| ViaError::PeerGone(1))?;
-        let r0 = r0?;
-        let r1 = r1?;
-        Ok((r0, r1))
     })
 }
 
@@ -1830,55 +2015,53 @@ mod tests {
         fab.connect((0, vd), (1, vc)).unwrap();
     }
 
-    /// The deprecated pair API still works for one release.
+    /// A tiny ring capacity forces the backpressure path: stage hits
+    /// `Full`, publishes early, drains its own inbound, and the burst
+    /// still lands intact.
     #[test]
-    #[allow(deprecated)]
-    fn pair_compat_wrappers() {
-        let mut n0 = node();
-        let mut n1 = node();
+    fn tiny_rings_backpressure_without_deadlock() {
+        let mut fab = ClusterBuilder::new(2, KernelConfig::medium(), StrategyKind::KiobufReliable)
+            .ring_capacity(2)
+            .build();
         let tag = ProtectionTag(1);
-        let p0 = n0.kernel.spawn_process(Capabilities::default());
-        let p1 = n1.kernel.spawn_process(Capabilities::default());
-        let v0 = n0.nic.create_vi(p0, tag);
-        let v1 = n1.nic.create_vi(p1, tag);
-        connect_pair(&mut n0, v0, 0, &mut n1, v1, 1).unwrap();
-        let b0 = n0
-            .kernel
-            .mmap_anon(p0, PAGE_SIZE, prot::READ | prot::WRITE)
-            .unwrap();
-        let b1 = n1
-            .kernel
-            .mmap_anon(p1, PAGE_SIZE, prot::READ | prot::WRITE)
-            .unwrap();
-        n0.kernel.write_user(p0, b0, b"pair").unwrap();
-        let m0 = n0.register_mem(p0, b0, PAGE_SIZE, tag).unwrap();
-        let m1 = n1.register_mem(p1, b1, PAGE_SIZE, tag).unwrap();
-        let ((), (got, _)) = {
-            let ((a, _n0), r1) = run_pair(
-                n0,
-                n1,
-                move |ctx| {
-                    ctx.node
-                        .nic
-                        .vi_mut(v0)?
-                        .send_q
-                        .push_back(crate::descriptor::Descriptor::send(m0, b0, 4));
-                    ctx.wait_completion(v0)?;
-                    Ok(())
-                },
-                move |ctx| {
-                    ctx.node
-                        .nic
-                        .vi_mut(v1)?
-                        .recv_q
-                        .push_back(crate::descriptor::Descriptor::recv(m1, b1, PAGE_SIZE));
-                    let c = ctx.wait_completion(v1)?;
-                    Ok(c.len)
-                },
-            )
-            .unwrap();
-            (a, r1)
-        };
-        assert_eq!(got, 4);
+        let p0 = fab.spawn_process(0);
+        let p1 = fab.spawn_process(1);
+        let v0 = fab.create_vi(0, p0, tag).unwrap();
+        let v1 = fab.create_vi(1, p1, tag).unwrap();
+        fab.connect((0, v0), (1, v1)).unwrap();
+        let len = 4 * PAGE_SIZE;
+        let b0 = fab.mmap(0, p0, len, prot::READ | prot::WRITE).unwrap();
+        let b1 = fab.mmap(1, p1, len, prot::READ | prot::WRITE).unwrap();
+        fab.write_user(0, p0, b0, &[7u8; 64]).unwrap();
+        let m0 = fab.register_mem(0, p0, b0, len, tag).unwrap();
+        let m1 = fab.register_mem(1, p1, b1, len, tag).unwrap();
+        // Many small messages through a 2-slot ring. The sends are all
+        // queued in ONE `with_node` call, so the next autonomous
+        // `ship_sends` flushes a 16-packet batch through a 2-slot ring:
+        // the third deferred push *must* observe Full (deferred slots
+        // are invisible to the consumer, so it cannot help).
+        const BURST: usize = 16;
+        for _ in 0..BURST {
+            fab.post_recv(1, v1, m1, b1, 64).unwrap();
+        }
+        fab.with_node(0, move |node| {
+            let vi = node.nic.vi_mut(v0).expect("sender VI");
+            for _ in 0..BURST {
+                vi.send_q
+                    .push_back(crate::descriptor::Descriptor::send(m0, b0, 64));
+            }
+        });
+        for _ in 0..BURST {
+            let c = fab.wait_cq(0, v0).unwrap();
+            assert!(!c.status.is_error(), "send errored under backpressure");
+        }
+        for _ in 0..BURST {
+            let c = fab.wait_cq(1, v1).unwrap();
+            assert!(!c.status.is_error(), "recv errored under backpressure");
+            assert_eq!(c.len, 64);
+        }
+        let stats = fab.fabric_stats(0).unwrap();
+        assert!(stats.wire_stalls > 0, "2-slot ring never filled");
+        fab.check_invariants().unwrap();
     }
 }

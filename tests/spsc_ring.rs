@@ -1,0 +1,334 @@
+//! The SPSC wire ring on its own: single-thread edge cases (wraparound,
+//! full, empty, close races), a two-thread producer/consumer stress run,
+//! and a property test that replays a random op sequence against a
+//! `VecDeque` oracle. The threaded-cluster matrix exercises the ring
+//! in situ; these tests pin its contract down in isolation.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use via::spsc::{ring, Doorbell, PopError, PushError};
+
+// ---------------------------------------------------------------------
+// Single-thread edge cases
+// ---------------------------------------------------------------------
+
+#[test]
+fn wraparound_many_times_preserves_fifo() {
+    // Capacity 8, 1000 items: the cursors wrap the ring 125 times and
+    // cross several batch boundaries per lap.
+    let (mut p, mut c) = ring::<u32>(8);
+    let mut next_out = 0u32;
+    for i in 0..1000u32 {
+        p.push(i).unwrap();
+        if i % 3 == 0 {
+            // Drain in bursts so occupancy varies across the lap.
+            while let Ok(v) = c.pop() {
+                assert_eq!(v, next_out, "FIFO order broken");
+                next_out += 1;
+            }
+        }
+    }
+    while let Ok(v) = c.pop() {
+        assert_eq!(v, next_out);
+        next_out += 1;
+    }
+    assert_eq!(next_out, 1000);
+}
+
+#[test]
+fn full_ring_rejects_and_returns_the_value() {
+    let (mut p, mut c) = ring::<String>(4);
+    for i in 0..4 {
+        p.push(format!("item-{i}")).unwrap();
+    }
+    match p.push("overflow".to_string()) {
+        Err(PushError::Full(v)) => assert_eq!(v, "overflow"),
+        other => panic!("expected Full, got {other:?}"),
+    }
+    // One pop frees exactly one slot.
+    assert_eq!(c.pop().unwrap(), "item-0");
+    p.push("fits-now".to_string()).unwrap();
+    match p.push("overflow-again".to_string()) {
+        Err(PushError::Full(v)) => assert_eq!(v, "overflow-again"),
+        other => panic!("expected Full, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_ring_reports_empty_not_closed() {
+    let (mut p, mut c) = ring::<u8>(4);
+    assert!(matches!(c.pop(), Err(PopError::Empty)));
+    p.push(9).unwrap();
+    assert_eq!(c.pop().unwrap(), 9);
+    assert!(matches!(c.pop(), Err(PopError::Empty)));
+}
+
+#[test]
+fn capacity_rounds_up_to_power_of_two() {
+    let (p, _c) = ring::<u8>(5);
+    assert_eq!(p.capacity(), 8);
+    let (p, _c) = ring::<u8>(1);
+    assert_eq!(p.capacity(), 2);
+}
+
+#[test]
+fn deferred_pushes_invisible_until_publish() {
+    let (mut p, mut c) = ring::<u32>(8);
+    p.push_deferred(1).unwrap();
+    p.push_deferred(2).unwrap();
+    assert!(
+        matches!(c.pop(), Err(PopError::Empty)),
+        "deferred slots leaked before the publish"
+    );
+    assert_eq!(p.publish(), 2);
+    assert_eq!(c.pop().unwrap(), 1);
+    assert_eq!(c.pop().unwrap(), 2);
+}
+
+#[test]
+fn producer_close_publishes_pending_then_closes() {
+    let (mut p, mut c) = ring::<u32>(8);
+    p.push_deferred(41).unwrap();
+    p.push_deferred(42).unwrap();
+    drop(p); // close() publishes the deferred batch first
+    assert_eq!(c.pop().unwrap(), 41);
+    assert_eq!(c.pop().unwrap(), 42);
+    assert!(matches!(c.pop(), Err(PopError::Closed)));
+}
+
+#[test]
+fn consumer_close_surfaces_on_next_push() {
+    let (mut p, c) = ring::<u32>(8);
+    p.push(1).unwrap();
+    drop(c);
+    match p.push(2) {
+        Err(PushError::Closed(v)) => assert_eq!(v, 2),
+        other => panic!("expected Closed, got {other:?}"),
+    }
+    assert!(p.is_closed());
+}
+
+// ---------------------------------------------------------------------
+// Two-thread stress
+// ---------------------------------------------------------------------
+
+/// A real producer thread against a real consumer thread through a
+/// small ring: every value arrives exactly once, in order, under
+/// genuine concurrency (with backoff on both sides so a single-core
+/// host makes progress).
+#[test]
+fn stress_two_threads_fifo_exactly_once() {
+    const N: u64 = 50_000;
+    let (mut p, mut c) = ring::<u64>(64);
+    let bell = Arc::new(Doorbell::default());
+    let bell_rx = Arc::clone(&bell);
+
+    let producer = std::thread::spawn(move || {
+        let mut v = 0u64;
+        while v < N {
+            match p.push(v) {
+                Ok(()) => {
+                    bell.ring();
+                    v += 1;
+                }
+                Err(PushError::Full(_)) => std::thread::yield_now(),
+                Err(PushError::Closed(_)) => panic!("consumer died early"),
+            }
+        }
+    });
+
+    let consumer = std::thread::spawn(move || {
+        let mut expect = 0u64;
+        loop {
+            let observed = bell_rx.events();
+            match c.pop() {
+                Ok(v) => {
+                    assert_eq!(v, expect, "reordered or duplicated");
+                    expect += 1;
+                    if expect == N {
+                        return;
+                    }
+                }
+                Err(PopError::Empty) => {
+                    bell_rx.wait(observed, Duration::from_millis(1));
+                }
+                Err(PopError::Closed) => {
+                    assert_eq!(expect, N, "producer closed early");
+                    return;
+                }
+            }
+        }
+    });
+
+    producer.join().unwrap();
+    consumer.join().unwrap();
+}
+
+/// Batched publishes under concurrency: the consumer must never observe
+/// a partially published batch (a value it can pop implies every earlier
+/// value of the batch was poppable before it).
+#[test]
+fn stress_batched_publish_is_atomic_per_flush() {
+    const BATCHES: u64 = 5_000;
+    const BATCH: u64 = 7;
+    let (mut p, mut c) = ring::<u64>(64);
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_p = Arc::clone(&stop);
+
+    let producer = std::thread::spawn(move || {
+        let mut v = 0u64;
+        for _ in 0..BATCHES {
+            let mut queued = 0u64;
+            while queued < BATCH {
+                match p.push_deferred(v) {
+                    Ok(()) => {
+                        v += 1;
+                        queued += 1;
+                    }
+                    Err(PushError::Full(_)) => {
+                        p.publish();
+                        std::thread::yield_now();
+                    }
+                    Err(PushError::Closed(_)) => panic!("consumer died early"),
+                }
+            }
+            p.publish();
+        }
+        stop_p.store(true, Ordering::Release);
+    });
+
+    let consumer = std::thread::spawn(move || {
+        let mut expect = 0u64;
+        loop {
+            match c.pop() {
+                Ok(v) => {
+                    assert_eq!(v, expect, "gap inside a published batch");
+                    expect += 1;
+                }
+                Err(PopError::Empty) => {
+                    if stop.load(Ordering::Acquire) && c.is_empty() {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                Err(PopError::Closed) => break,
+            }
+        }
+        // Whatever the producer published before closing, we saw a
+        // contiguous prefix of it.
+        while let Ok(v) = c.pop() {
+            assert_eq!(v, expect);
+            expect += 1;
+        }
+        assert_eq!(expect, BATCHES * BATCH);
+    });
+
+    producer.join().unwrap();
+    consumer.join().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Property test against a VecDeque oracle
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum RingOp {
+    Push(u16),
+    PushDeferred(u16),
+    Publish,
+    Pop,
+}
+
+fn ring_op() -> impl Strategy<Value = RingOp> {
+    prop_oneof![
+        any::<u16>().prop_map(RingOp::Push),
+        any::<u16>().prop_map(RingOp::PushDeferred),
+        Just(RingOp::Publish),
+        Just(RingOp::Pop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Replay a random op sequence on the ring and on a VecDeque-based
+    /// model tracking published and deferred items separately. Every
+    /// push/pop outcome and every popped value must match the model.
+    #[test]
+    fn ring_matches_vecdeque_oracle(
+        ops in prop::collection::vec(ring_op(), 1..120),
+        cap_exp in 1u32..5,
+    ) {
+        let cap = 1usize << cap_exp;
+        let (mut p, mut c) = ring::<u16>(cap);
+        prop_assert_eq!(p.capacity(), cap);
+        let mut published: VecDeque<u16> = VecDeque::new();
+        let mut deferred: VecDeque<u16> = VecDeque::new();
+        for op in ops {
+            match op {
+                RingOp::Push(v) => {
+                    // push = push_deferred + publish, so the deferred
+                    // queue publishes alongside it.
+                    let full = published.len() + deferred.len() == cap;
+                    match p.push(v) {
+                        Ok(()) => {
+                            prop_assert!(!full, "push succeeded on a full ring");
+                            published.append(&mut deferred);
+                            published.push_back(v);
+                        }
+                        Err(PushError::Full(got)) => {
+                            prop_assert!(full, "push refused with space left");
+                            prop_assert_eq!(got, v);
+                        }
+                        Err(PushError::Closed(_)) => prop_assert!(false, "nothing closed"),
+                    }
+                }
+                RingOp::PushDeferred(v) => {
+                    let full = published.len() + deferred.len() == cap;
+                    match p.push_deferred(v) {
+                        Ok(()) => {
+                            prop_assert!(!full, "deferred push succeeded on a full ring");
+                            deferred.push_back(v);
+                        }
+                        Err(PushError::Full(got)) => {
+                            prop_assert!(full, "deferred push refused with space left");
+                            prop_assert_eq!(got, v);
+                        }
+                        Err(PushError::Closed(_)) => prop_assert!(false, "nothing closed"),
+                    }
+                }
+                RingOp::Publish => {
+                    let expected = deferred.len();
+                    prop_assert_eq!(p.publish(), expected);
+                    published.append(&mut deferred);
+                }
+                RingOp::Pop => {
+                    match c.pop() {
+                        Ok(v) => {
+                            let want = published.pop_front();
+                            prop_assert_eq!(Some(v), want, "popped wrong value");
+                        }
+                        Err(PopError::Empty) => {
+                            prop_assert!(published.is_empty(), "Empty with items published");
+                        }
+                        Err(PopError::Closed) => prop_assert!(false, "nothing closed"),
+                    }
+                }
+            }
+            prop_assert_eq!(c.len(), published.len(), "occupancy diverged from model");
+        }
+        // Close and drain: the consumer sees exactly the published
+        // prefix plus the final deferred batch (close publishes it).
+        published.append(&mut deferred);
+        drop(p);
+        for want in published {
+            prop_assert_eq!(c.pop().ok(), Some(want));
+        }
+        prop_assert!(matches!(c.pop(), Err(PopError::Closed)));
+    }
+}

@@ -1,7 +1,8 @@
 //! The N-node threaded-cluster matrix: the same fabric-generic workloads
 //! that run on the deterministic [`ViaSystem`] must run on a live
-//! [`ThreadedCluster`] — node threads, mailboxes, routing and the wait
-//! ladder all real — at 2, 4 and 8 nodes, in both reliability modes.
+//! [`ThreadedCluster`] — node threads, the SPSC wire mesh, routing and
+//! the wait ladder all real — at 2, 4 and 8 nodes in both reliability
+//! modes, plus a 16-node smoke at the scale the bench gate measures.
 //!
 //! The centrepiece is a shift-ring all-to-all: each node owns two VIs
 //! (one toward its successor, one from its predecessor); over `n - 1`
@@ -136,6 +137,23 @@ fn ring_all_to_all_matrix() {
             teardown_and_audit(&mut fab, &mut spawned);
         }
     }
+}
+
+/// 16 live node threads through the SPSC wire mesh: the all-to-all must
+/// complete and tear down clean at the scale the bench gate measures.
+/// One reliability mode keeps this cheap enough for a CI smoke step.
+#[test]
+fn sixteen_node_cluster_smoke() {
+    let mut fab =
+        ClusterBuilder::new(16, KernelConfig::medium(), StrategyKind::KiobufReliable).build();
+    let mut spawned = Vec::new();
+    let seen = ring_all_to_all(&mut fab, Reliability::Reliable, &mut spawned)
+        .expect("16-node ring all-to-all");
+    let want: BTreeSet<u8> = (0..16).map(|i| i as u8 + 1).collect();
+    for (i, s) in seen.iter().enumerate() {
+        assert_eq!(s, &want, "node {i} missed tokens at 16 nodes");
+    }
+    teardown_and_audit(&mut fab, &mut spawned);
 }
 
 /// The identical helper on the deterministic fabric — both impls honour
