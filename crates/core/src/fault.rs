@@ -348,6 +348,6 @@ mod tests {
         assert_eq!(k.write_user(pid, a, b"x"), Err(MmError::OutOfMemory));
         k.write_user(pid, a, b"x").unwrap();
         assert_eq!(h.lock().unwrap().fired(FaultSite::FrameAlloc), 1);
-        assert_eq!(k.stats.faults_injected, 1);
+        assert_eq!(k.mm_stats().faults_injected, 1);
     }
 }

@@ -44,7 +44,7 @@ impl PinTable {
         if self.counts[idx] == 0 {
             if kernel
                 .page_descriptor(frame)
-                .flags
+                .flags()
                 .contains(PageFlags::LOCKED)
                 || kernel.inject(simmem::inject::PAGE_LOCK)
             {
@@ -170,7 +170,11 @@ impl PinTable {
             }
             pinned += 1;
             let f = FrameId(i as u32);
-            if !kernel.page_descriptor(f).flags.contains(PageFlags::LOCKED) {
+            if !kernel
+                .page_descriptor(f)
+                .flags()
+                .contains(PageFlags::LOCKED)
+            {
                 return Err(format!("pinned frame {i} lost PG_locked"));
             }
         }
@@ -211,16 +215,16 @@ mod tests {
         let mut pt = PinTable::new();
         let f = frames[0];
         pt.pin(&mut k, f).unwrap();
-        assert!(k.page_descriptor(f).flags.contains(PageFlags::LOCKED));
+        assert!(k.page_descriptor(f).flags().contains(PageFlags::LOCKED));
         pt.pin(&mut k, f).unwrap();
         assert_eq!(pt.count(f), 2);
         pt.unpin(&mut k, f).unwrap();
         assert!(
-            k.page_descriptor(f).flags.contains(PageFlags::LOCKED),
+            k.page_descriptor(f).flags().contains(PageFlags::LOCKED),
             "still pinned once: lock held"
         );
         pt.unpin(&mut k, f).unwrap();
-        assert!(!k.page_descriptor(f).flags.contains(PageFlags::LOCKED));
+        assert!(!k.page_descriptor(f).flags().contains(PageFlags::LOCKED));
         assert_eq!(pt.count(f), 0);
         pt.check_invariants(&k).unwrap();
     }
@@ -246,7 +250,7 @@ mod tests {
         assert_eq!(pt.pin_all(&mut k, &frames), Err(RegError::WouldBlock));
         for &f in &[frames[0], frames[1], frames[3]] {
             assert!(
-                !k.page_descriptor(f).flags.contains(PageFlags::LOCKED),
+                !k.page_descriptor(f).flags().contains(PageFlags::LOCKED),
                 "rollback cleared partial pins"
             );
             assert_eq!(pt.count(f), 0);
@@ -264,7 +268,7 @@ mod tests {
         let mut pt = PinTable::new();
         // Foreign I/O on page 2: the batch must fail and leave no trace —
         // no pins, no stray page references.
-        let count0 = k.page_descriptor(frames[0]).count;
+        let count0 = k.page_descriptor(frames[0]).count();
         k.begin_page_io(frames[2]);
         assert_eq!(
             pt.pin_user_range(&mut k, pid, a, 4 * PAGE_SIZE),
@@ -272,7 +276,7 @@ mod tests {
         );
         assert_eq!(pt.pinned_frames(), 0);
         assert_eq!(
-            k.page_descriptor(frames[0]).count,
+            k.page_descriptor(frames[0]).count(),
             count0,
             "refs rolled back"
         );
@@ -284,7 +288,7 @@ mod tests {
         pt.check_invariants(&k).unwrap();
         pt.unpin_user_range(&mut k, &got).unwrap();
         assert_eq!(pt.pinned_frames(), 0);
-        assert_eq!(k.page_descriptor(frames[0]).count, count0);
+        assert_eq!(k.page_descriptor(frames[0]).count(), count0);
     }
 
     #[test]

@@ -18,8 +18,11 @@ use crate::pin::PinTable;
 use crate::region::{MemHandle, Region, RegionTable};
 use crate::strategy::{pin_region, unpin_region, PinToken, StrategyKind};
 
-/// Registration statistics, reported by the experiment harness.
-#[derive(Debug, Default, Clone, Copy)]
+/// Registration statistics, reported by the experiment harness. Read them
+/// through [`MemoryRegistry::snapshot`] (or `ShardedRegistry::snapshot`,
+/// which aggregates per-shard blocks with [`RegistryStats::merge`]) rather
+/// than raw fields, so concurrent readers always see a coherent block.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct RegistryStats {
     pub registrations: u64,
     pub deregistrations: u64,
@@ -35,6 +38,20 @@ pub struct RegistryStats {
     pub backoff_ticks: u64,
     /// Registrations rescued by the kiobuf → mlock degradation chain.
     pub fallbacks: u64,
+}
+
+impl RegistryStats {
+    /// Accumulate `other` into `self` — the per-shard aggregation step.
+    pub fn merge(&mut self, other: &RegistryStats) {
+        self.registrations += other.registrations;
+        self.deregistrations += other.deregistrations;
+        self.pages_pinned += other.pages_pinned;
+        self.pages_unpinned += other.pages_unpinned;
+        self.blocked += other.blocked;
+        self.pin_retries += other.pin_retries;
+        self.backoff_ticks += other.backoff_ticks;
+        self.fallbacks += other.fallbacks;
+    }
 }
 
 /// The kernel agent's registration front-end.
@@ -53,7 +70,7 @@ pub struct MemoryRegistry {
     /// Degrade kiobuf registrations to the mlock strategy when the page
     /// lock stays contended through every retry.
     fallback: bool,
-    pub stats: RegistryStats,
+    stats: RegistryStats,
 }
 
 impl MemoryRegistry {
@@ -97,6 +114,12 @@ impl MemoryRegistry {
 
     pub fn strategy(&self) -> StrategyKind {
         self.strategy
+    }
+
+    /// Consistent stats snapshot — the only supported way to read
+    /// [`RegistryStats`].
+    pub fn snapshot(&self) -> RegistryStats {
+        self.stats
     }
 
     /// One strategy attempt with the bounded retry loop around the pin.
@@ -468,12 +491,12 @@ mod tests {
         k.set_injector(Some(kernel_hook(&h)));
         let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable).with_retry(3);
         let mh = reg.register(&mut k, pid, a, 4 * PAGE_SIZE).unwrap();
-        assert_eq!(reg.stats.pin_retries, 2);
+        assert_eq!(reg.snapshot().pin_retries, 2);
         assert!(
-            reg.stats.backoff_ticks >= 2 + 4,
+            reg.snapshot().backoff_ticks >= 2 + 4,
             "exponential backoff accounted"
         );
-        assert_eq!(reg.stats.blocked, 0);
+        assert_eq!(reg.snapshot().blocked, 0);
         reg.check_invariants(&k).unwrap();
         reg.deregister(&mut k, mh).unwrap();
     }
@@ -490,9 +513,9 @@ mod tests {
             .with_retry(2)
             .with_fallback();
         let h = reg.register(&mut k, pid, a, 4 * PAGE_SIZE).unwrap();
-        assert_eq!(reg.stats.fallbacks, 1);
-        assert_eq!(reg.stats.blocked, 1);
-        assert_eq!(reg.stats.pin_retries, 2);
+        assert_eq!(reg.snapshot().fallbacks, 1);
+        assert_eq!(reg.snapshot().blocked, 1);
+        assert_eq!(reg.snapshot().pin_retries, 2);
         assert_eq!(
             k.locked_bytes(pid).unwrap(),
             4 * PAGE_SIZE as u64,
@@ -542,9 +565,9 @@ mod tests {
         let mut reg = MemoryRegistry::new(StrategyKind::KiobufReliable);
         let h = reg.register(&mut k, pid, a, 2 * PAGE_SIZE).unwrap();
         reg.deregister(&mut k, h).unwrap();
-        assert_eq!(reg.stats.registrations, 1);
-        assert_eq!(reg.stats.deregistrations, 1);
-        assert_eq!(reg.stats.pages_pinned, 2);
-        assert_eq!(reg.stats.pages_unpinned, 2);
+        assert_eq!(reg.snapshot().registrations, 1);
+        assert_eq!(reg.snapshot().deregistrations, 1);
+        assert_eq!(reg.snapshot().pages_pinned, 2);
+        assert_eq!(reg.snapshot().pages_unpinned, 2);
     }
 }

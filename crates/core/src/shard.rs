@@ -1,0 +1,934 @@
+//! The sharded concurrent registration path.
+//!
+//! The seed [`MemoryRegistry`](crate::MemoryRegistry) takes `&mut self` and
+//! `&mut Kernel`: one registering thread owns the whole kernel agent. The
+//! paper's scenario, though, is *many* client processes registering and
+//! deregistering communication memory at once, so this module rebuilds the
+//! front-end for concurrency without changing its semantics:
+//!
+//! * **Hash-sharded bookkeeping.** Region tables, mlock interval counters
+//!   and stats live in per-shard blocks behind per-shard mutexes; a pid's
+//!   regions all land in one shard (`hash(pid) % nshards`), so processes in
+//!   different shards never contend on registry state.
+//! * **Range-lock arbitration within a pid.** Overlapping registrations of
+//!   one address space must serialize (they pin the same frames); disjoint
+//!   ones must not. A per-pid [`RangeLock`](crate::rangelock::RangeLock)
+//!   (interval-keyed lock list, after *Scalable Range Locks*) admits
+//!   disjoint spans concurrently and blocks overlaps until release.
+//! * **A shared pin table.** [`SharedPinTable`] keeps the per-frame pin
+//!   counts in atomics, so the first-pin-locks / last-unpin-unlocks protocol
+//!   runs under a shared kernel borrow.
+//! * **Fast/slow pin paths.** Pinning a page that is resident with a
+//!   writable PTE needs no page-table mutation — reference count and
+//!   `PG_locked` are per-frame atomics — so the hot path runs under a
+//!   **read**-locked kernel and scales with threads. Pages that need
+//!   faulting, COW breaks or mlock fall back to the exclusive (write-locked)
+//!   path, which reuses the seed strategy code verbatim.
+//!
+//! Lock order (coarse to fine): range lock → kernel `RwLock` → shard mutex.
+//! The implementation never holds a shard mutex while acquiring the kernel
+//! lock, so the order cannot invert.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock, RwLockWriteGuard};
+
+use simmem::{page::PageFlags, FrameId, Kernel, Pid, VirtAddr, PAGE_SHIFT, PAGE_SIZE};
+
+use crate::error::{RegError, RegResult};
+use crate::interval::IntervalCounter;
+use crate::pin::PinTable;
+use crate::rangelock::RangeLockTable;
+use crate::region::{MemHandle, Region, RegionTable};
+use crate::registry::RegistryStats;
+use crate::strategy::{npages, pin_region, unpin_region, PinToken, StrategyKind};
+
+/// The kernel behind a reader/writer lock: read for the atomic fast path,
+/// write for fault-in / mlock / reclaim.
+pub type SharedKernel = RwLock<Kernel>;
+
+/// Shard index lives in the top byte of a [`MemHandle`] so deregistration
+/// finds the owning shard without a broadcast.
+const SHARD_SHIFT: u32 = 56;
+const LOCAL_MASK: u64 = (1 << SHARD_SHIFT) - 1;
+
+/// Default shard count (power of two; max 256 so the index fits the handle's
+/// top byte).
+pub const DEFAULT_SHARDS: usize = 16;
+
+#[inline]
+fn encode(shard: usize, local: MemHandle) -> MemHandle {
+    debug_assert!(local.0 <= LOCAL_MASK, "local handle overflow");
+    MemHandle(((shard as u64) << SHARD_SHIFT) | local.0)
+}
+
+#[inline]
+fn decode(handle: MemHandle) -> (usize, MemHandle) {
+    (
+        (handle.0 >> SHARD_SHIFT) as usize,
+        MemHandle(handle.0 & LOCAL_MASK),
+    )
+}
+
+/// First and last VPN of the page span of `[addr, addr+len)` (`len > 0`).
+fn page_span(addr: VirtAddr, len: usize) -> (u64, u64) {
+    let first = simmem::page_base(addr) >> PAGE_SHIFT;
+    let last = (simmem::page_align_up(addr + len as u64) >> PAGE_SHIFT) - 1;
+    (first, last)
+}
+
+// ---------------------------------------------------------------------------
+// SharedPinTable
+// ---------------------------------------------------------------------------
+
+/// The concurrent twin of [`PinTable`]: per-frame pin counts in atomics,
+/// mutable through `&self`. The first pin of a frame takes `PG_locked`
+/// (atomically, via `try_lock`), the last unpin releases it — the same
+/// nesting protocol as the seed table.
+///
+/// Concurrent pin/unpin of the *same frame* is serialized by construction:
+/// a frame backs exactly one pid's page, and overlapping ranges of one pid
+/// hold the range lock. The table itself only guarantees that disjoint
+/// frames never interfere.
+#[derive(Debug)]
+pub struct SharedPinTable {
+    /// `counts[frame.0]`; sized to the kernel's frame arena at construction
+    /// (atomics cannot grow on demand).
+    counts: Box<[AtomicU32]>,
+    /// Number of distinct frames with a positive count.
+    pinned: AtomicUsize,
+}
+
+impl SharedPinTable {
+    /// A table covering `nframes` physical frames.
+    pub fn new(nframes: usize) -> Self {
+        SharedPinTable {
+            counts: (0..nframes).map(|_| AtomicU32::new(0)).collect(),
+            pinned: AtomicUsize::new(0),
+        }
+    }
+
+    #[inline]
+    fn cell(&self, frame: FrameId) -> &AtomicU32 {
+        &self.counts[frame.0 as usize]
+    }
+
+    /// Pin one frame through a shared kernel borrow. Mirrors
+    /// [`PinTable::pin`]: a first pin whose `PG_locked` is already held by a
+    /// foreign owner (in-flight I/O) — or that the fault injector fails —
+    /// returns [`RegError::WouldBlock`] and leaves no trace.
+    pub fn pin(&self, kernel: &Kernel, frame: FrameId) -> RegResult<()> {
+        let cell = self.cell(frame);
+        if cell.fetch_add(1, Ordering::AcqRel) == 0 {
+            if !kernel.try_lock_page(frame) {
+                // Foreign holder (kernel I/O): undo and report, exactly the
+                // seed's flags-already-set branch.
+                cell.fetch_sub(1, Ordering::AcqRel);
+                return Err(RegError::WouldBlock);
+            }
+            if kernel.inject_shared(simmem::inject::PAGE_LOCK) {
+                kernel.unlock_page(frame);
+                cell.fetch_sub(1, Ordering::AcqRel);
+                return Err(RegError::WouldBlock);
+            }
+            self.pinned.fetch_add(1, Ordering::AcqRel);
+        }
+        Ok(())
+    }
+
+    /// Unpin one frame; the last unpin releases `PG_locked`.
+    pub fn unpin(&self, kernel: &Kernel, frame: FrameId) -> RegResult<()> {
+        let cell = self.cell(frame);
+        let mut cur = cell.load(Ordering::Acquire);
+        loop {
+            if cur == 0 {
+                return Err(RegError::PinUnderflow);
+            }
+            match cell.compare_exchange_weak(cur, cur - 1, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        if cur == 1 {
+            self.pinned.fetch_sub(1, Ordering::AcqRel);
+            kernel.unlock_page(frame);
+        }
+        Ok(())
+    }
+
+    /// Current pin count of a frame (0 if not pinned).
+    pub fn count(&self, frame: FrameId) -> u32 {
+        self.counts
+            .get(frame.0 as usize)
+            .map_or(0, |c| c.load(Ordering::Acquire))
+    }
+
+    /// Number of distinct pinned frames.
+    pub fn pinned_frames(&self) -> usize {
+        self.pinned.load(Ordering::Acquire)
+    }
+
+    /// Invariant check (quiescent only): census matches the counter and
+    /// every pinned frame carries `PG_locked`.
+    pub fn check_invariants(&self, kernel: &Kernel) -> Result<(), String> {
+        let mut pinned = 0usize;
+        for (i, c) in self.counts.iter().enumerate() {
+            if c.load(Ordering::Acquire) == 0 {
+                continue;
+            }
+            pinned += 1;
+            let f = FrameId(i as u32);
+            if !kernel
+                .page_descriptor(f)
+                .flags()
+                .contains(PageFlags::LOCKED)
+            {
+                return Err(format!("pinned frame {i} lost PG_locked"));
+            }
+        }
+        if pinned != self.pinned_frames() {
+            return Err(format!(
+                "pinned-frame counter {} != table census {}",
+                self.pinned_frames(),
+                pinned
+            ));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedRegistry
+// ---------------------------------------------------------------------------
+
+/// One shard's bookkeeping: the state the seed registry kept under its
+/// single `&mut self`.
+#[derive(Debug, Default)]
+struct Shard {
+    regions: RegionTable,
+    /// Per-pid VPN-run lock counts for the mlock strategy (all regions of a
+    /// pid live in this shard, so its counter does too).
+    mlock_counts: HashMap<Pid, IntervalCounter>,
+    stats: RegistryStats,
+}
+
+/// Retry/fallback accounting gathered outside the shard lock and merged in
+/// at the end of each operation.
+#[derive(Default)]
+struct OpStats {
+    pin_retries: u64,
+    backoff_ticks: u64,
+    blocked: u64,
+    fallbacks: u64,
+}
+
+/// The concurrent registration front-end: semantics of
+/// [`MemoryRegistry`](crate::MemoryRegistry), `&self` entry points.
+///
+/// Disjoint-range registrations from different processes run fully in
+/// parallel (different shards, different range locks, read-locked kernel on
+/// the resident fast path); overlapping ranges within one pid serialize
+/// only against each other on that pid's range lock.
+pub struct ShardedRegistry {
+    strategy: StrategyKind,
+    shards: Box<[Mutex<Shard>]>,
+    pin_table: SharedPinTable,
+    range_locks: RangeLockTable,
+    /// Optional cap on total pinned pages (models TPT capacity); reserved
+    /// with a CAS *before* pinning, mirroring the seed's check-then-pin
+    /// order, and rolled back on failure.
+    max_pages: Option<usize>,
+    total_pages: AtomicUsize,
+    retry_limit: u32,
+    fallback: bool,
+}
+
+impl ShardedRegistry {
+    /// A registry using `strategy` over a kernel with `nframes` physical
+    /// frames (see [`simmem::MemInfo::total_frames`]), with
+    /// [`DEFAULT_SHARDS`] shards.
+    pub fn new(strategy: StrategyKind, nframes: usize) -> Self {
+        Self::with_shards(strategy, nframes, DEFAULT_SHARDS)
+    }
+
+    /// As [`ShardedRegistry::new`] with an explicit shard count (rounded up
+    /// to a power of two, capped at 256 so the index fits the handle's top
+    /// byte).
+    pub fn with_shards(strategy: StrategyKind, nframes: usize, shards: usize) -> Self {
+        let n = shards.clamp(1, 256).next_power_of_two().min(256);
+        ShardedRegistry {
+            strategy,
+            shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
+            pin_table: SharedPinTable::new(nframes),
+            range_locks: RangeLockTable::new(),
+            max_pages: None,
+            total_pages: AtomicUsize::new(0),
+            retry_limit: 0,
+            fallback: false,
+        }
+    }
+
+    /// Cap total pinned pages — the simulated TPT size.
+    pub fn with_page_limit(mut self, max_pages: usize) -> Self {
+        self.max_pages = Some(max_pages);
+        self
+    }
+
+    /// Retry a `WouldBlock`ed pin up to `retries` more times (exponential
+    /// backoff accounted in [`RegistryStats::backoff_ticks`]).
+    pub fn with_retry(mut self, retries: u32) -> Self {
+        self.retry_limit = retries;
+        self
+    }
+
+    /// Enable the kiobuf → mlock graceful-degradation chain.
+    pub fn with_fallback(mut self) -> Self {
+        self.fallback = true;
+        self
+    }
+
+    pub fn strategy(&self) -> StrategyKind {
+        self.strategy
+    }
+
+    #[inline]
+    fn shard_of(&self, pid: Pid) -> usize {
+        // Fibonacci hashing over the pid; shard count is a power of two.
+        (pid.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize
+            >> (64 - self.shards.len().trailing_zeros())
+    }
+
+    #[inline]
+    fn shard(&self, idx: usize) -> std::sync::MutexGuard<'_, Shard> {
+        self.shards[idx].lock().expect("registry shard poisoned")
+    }
+
+    // -- capacity ---------------------------------------------------------
+
+    /// Reserve `npages` against the cap; `Err(LimitExceeded)` if it would
+    /// overflow (checked before any pin work, like the seed).
+    fn reserve_pages(&self, npages: usize) -> RegResult<()> {
+        let Some(max) = self.max_pages else {
+            self.total_pages.fetch_add(npages, Ordering::AcqRel);
+            return Ok(());
+        };
+        let mut cur = self.total_pages.load(Ordering::Acquire);
+        loop {
+            if cur + npages > max {
+                return Err(RegError::LimitExceeded);
+            }
+            match self.total_pages.compare_exchange_weak(
+                cur,
+                cur + npages,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn unreserve_pages(&self, npages: usize) {
+        self.total_pages.fetch_sub(npages, Ordering::AcqRel);
+    }
+
+    // -- pinning ----------------------------------------------------------
+
+    /// Kiobuf pin, fast path: if every page of the span is resident with a
+    /// writable PTE, reference and pin it under the **read**-locked kernel —
+    /// no page-table mutation, full parallelism. Returns `None` (nothing
+    /// acquired) when any page needs the exclusive slow path.
+    fn try_pin_resident(
+        &self,
+        kernel: &Kernel,
+        pid: Pid,
+        start: VirtAddr,
+        end: VirtAddr,
+    ) -> RegResult<Option<Vec<FrameId>>> {
+        let mut frames = Vec::with_capacity(((end - start) as usize) / PAGE_SIZE);
+        let mut a = start;
+        while a < end {
+            match kernel.resident_writable_frame(pid, a)? {
+                Some(f) => frames.push(f),
+                None => return Ok(None),
+            }
+            a += PAGE_SIZE as u64;
+        }
+        for (i, &f) in frames.iter().enumerate() {
+            kernel.get_page_shared(f);
+            if let Err(e) = self.pin_table.pin(kernel, f) {
+                // Rollback. The PTEs hold a reference on each frame, so the
+                // shared put can never free one here.
+                let zero = kernel.put_page_shared(f).expect("fresh ref");
+                debug_assert!(!zero, "mapped page freed during rollback");
+                for &g in &frames[..i] {
+                    self.pin_table.unpin(kernel, g).expect("rollback fresh pin");
+                    let zero = kernel.put_page_shared(g).expect("fresh ref");
+                    debug_assert!(!zero, "mapped page freed during rollback");
+                }
+                return Err(e);
+            }
+        }
+        Ok(Some(frames))
+    }
+
+    /// Kiobuf pin, slow path (write-locked kernel): the seed's
+    /// fault+ref+lock batch ([`PinTable::pin_user_range`]) against the
+    /// shared pin table.
+    fn pin_user_range_excl(
+        &self,
+        kernel: &mut Kernel,
+        pid: Pid,
+        start: VirtAddr,
+        end: VirtAddr,
+    ) -> RegResult<Vec<FrameId>> {
+        let rollback = |kernel: &mut Kernel, frames: &[FrameId], table: &SharedPinTable| {
+            for &g in frames {
+                table.unpin(kernel, g).expect("rollback of fresh pin");
+                kernel.put_user_page(g);
+            }
+        };
+        let mut frames = Vec::with_capacity(((end - start) as usize) / PAGE_SIZE);
+        let mut a = start;
+        while a < end {
+            let f = match kernel.get_user_page(pid, a) {
+                Ok(f) => f,
+                Err(e) => {
+                    rollback(kernel, &frames, &self.pin_table);
+                    return Err(e.into());
+                }
+            };
+            if let Err(e) = self.pin_table.pin(kernel, f) {
+                kernel.put_user_page(f);
+                rollback(kernel, &frames, &self.pin_table);
+                return Err(e);
+            }
+            frames.push(f);
+            a += PAGE_SIZE as u64;
+        }
+        Ok(frames)
+    }
+
+    /// One pin attempt with `strategy`, choosing fast or slow path.
+    fn pin_once(
+        &self,
+        kernel: &SharedKernel,
+        strategy: StrategyKind,
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+    ) -> RegResult<(Vec<FrameId>, PinToken)> {
+        if len == 0 {
+            return Err(RegError::InvalidArgument("zero-length region"));
+        }
+        let start = simmem::page_base(addr);
+        let end = simmem::page_align_up(addr + len as u64);
+        if strategy == StrategyKind::KiobufReliable {
+            {
+                let k = kernel.read().expect("kernel lock poisoned");
+                if let Some(frames) = self.try_pin_resident(&k, pid, start, end)? {
+                    return Ok((frames.clone(), PinToken::Kiobuf { frames }));
+                }
+            }
+            let mut k = kernel.write().expect("kernel lock poisoned");
+            let frames = self.pin_user_range_excl(&mut k, pid, start, end)?;
+            return Ok((frames.clone(), PinToken::Kiobuf { frames }));
+        }
+        // The three survey strategies mutate page tables / VMAs — exclusive
+        // path, reusing the seed strategy code. The scratch PinTable is
+        // untouched by the non-kiobuf arms.
+        let mut k = kernel.write().expect("kernel lock poisoned");
+        let mut scratch = PinTable::new();
+        let out = pin_region(&mut k, &mut scratch, strategy, pid, addr, len);
+        debug_assert_eq!(scratch.pinned_frames(), 0, "scratch table must stay empty");
+        out
+    }
+
+    /// The seed's bounded retry loop around one strategy's pin.
+    fn pin_with_retry(
+        &self,
+        kernel: &SharedKernel,
+        ops: &mut OpStats,
+        strategy: StrategyKind,
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+    ) -> RegResult<(Vec<FrameId>, PinToken)> {
+        let mut attempt = 0u32;
+        loop {
+            match self.pin_once(kernel, strategy, pid, addr, len) {
+                Ok(ok) => return Ok(ok),
+                Err(RegError::WouldBlock) if attempt < self.retry_limit => {
+                    attempt += 1;
+                    ops.pin_retries += 1;
+                    ops.backoff_ticks += 1u64 << attempt;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    // -- register / deregister -------------------------------------------
+
+    /// Register `[addr, addr + len)` of process `pid`. Disjoint ranges of
+    /// different pids (and disjoint ranges of the *same* pid) proceed in
+    /// parallel; overlapping ranges of one pid queue on its range lock.
+    pub fn register(
+        &self,
+        kernel: &SharedKernel,
+        pid: Pid,
+        addr: VirtAddr,
+        len: usize,
+    ) -> RegResult<MemHandle> {
+        if len == 0 {
+            // The seed surfaces this from `pin_region`; no pages means the
+            // capacity check cannot fail first, so the order is preserved.
+            return Err(RegError::InvalidArgument("zero-length region"));
+        }
+        let np = npages(addr, len);
+        let (first, last) = page_span(addr, len);
+
+        // Overlap arbitration: hold the pid's `[first, last+1)` VPN range
+        // for the whole operation.
+        let range = self.range_locks.for_pid(pid);
+        let _span = range.lock(first, last + 1);
+
+        self.reserve_pages(np)?;
+        let mut ops = OpStats::default();
+        let result = (|| {
+            match self.pin_with_retry(kernel, &mut ops, self.strategy, pid, addr, len) {
+                Ok((f, t)) => Ok((f, t, self.strategy)),
+                Err(RegError::WouldBlock)
+                    if self.fallback && self.strategy == StrategyKind::KiobufReliable =>
+                {
+                    // Degradation chain, as in the seed: contended page lock
+                    // through every retry → pin via mlock instead.
+                    ops.blocked += 1;
+                    let (f, t) = self.pin_with_retry(
+                        kernel,
+                        &mut ops,
+                        StrategyKind::VmaMlock,
+                        pid,
+                        addr,
+                        len,
+                    )?;
+                    ops.fallbacks += 1;
+                    Ok((f, t, StrategyKind::VmaMlock))
+                }
+                Err(RegError::WouldBlock) => {
+                    ops.blocked += 1;
+                    Err(RegError::WouldBlock)
+                }
+                Err(e) => Err(e),
+            }
+        })();
+
+        let si = self.shard_of(pid);
+        let mut shard = self.shard(si);
+        shard.stats.pin_retries += ops.pin_retries;
+        shard.stats.backoff_ticks += ops.backoff_ticks;
+        shard.stats.blocked += ops.blocked;
+        shard.stats.fallbacks += ops.fallbacks;
+        let (frames, token, used) = match result {
+            Ok(ok) => ok,
+            Err(e) => {
+                drop(shard);
+                self.unreserve_pages(np);
+                return Err(e);
+            }
+        };
+        if matches!(token, PinToken::Mlock { .. }) {
+            shard
+                .mlock_counts
+                .entry(pid)
+                .or_default()
+                .add(first, last + 1);
+        }
+        shard.stats.registrations += 1;
+        shard.stats.pages_pinned += frames.len() as u64;
+        let local = shard.regions.insert(pid, addr, len, frames, used, token);
+        Ok(encode(si, local))
+    }
+
+    /// Deregister a handle; pages are unpinned when the last registration
+    /// covering them goes away.
+    pub fn deregister(&self, kernel: &SharedKernel, handle: MemHandle) -> RegResult<()> {
+        let (si, local) = decode(handle);
+        if si >= self.shards.len() {
+            return Err(RegError::NoSuchHandle);
+        }
+        // Peek the span first (shard lock only), then take the range lock —
+        // never the other way around.
+        let (pid, addr, len) = {
+            let shard = self.shard(si);
+            let r = shard.regions.get(local)?;
+            (r.pid, r.user_addr, r.len)
+        };
+        let (first, last) = page_span(addr, len);
+        let range = self.range_locks.for_pid(pid);
+        let _span = range.lock(first, last + 1);
+
+        // Re-fetch under the shard lock: a racing deregister of the same
+        // handle between peek and range-lock loses here with NoSuchHandle,
+        // exactly like a seed double-deregistration.
+        let (region, zero_runs) = {
+            let mut shard = self.shard(si);
+            let region = shard.regions.remove(local)?;
+            let zero_runs = match &region.token {
+                Some(PinToken::Mlock { pid, .. }) => {
+                    let pid = *pid;
+                    let counter = shard
+                        .mlock_counts
+                        .get_mut(&pid)
+                        .ok_or(RegError::PinUnderflow)?;
+                    let runs = counter
+                        .sub(first, last + 1)
+                        .map_err(|_| RegError::PinUnderflow)?;
+                    if counter.is_empty() {
+                        shard.mlock_counts.remove(&pid);
+                    }
+                    Some(runs)
+                }
+                _ => None,
+            };
+            (region, zero_runs)
+        };
+        let mut region = region;
+        let token = region.token.take().expect("token taken only here");
+        let np = region.frames.len();
+
+        match token {
+            PinToken::Kiobuf { frames } => {
+                // Shared-path teardown: unpin + drop references under the
+                // read-locked kernel; frames whose count reaches zero (the
+                // process already unmapped them) are reaped afterwards under
+                // the write lock.
+                let mut reap = Vec::new();
+                {
+                    let k = kernel.read().expect("kernel lock poisoned");
+                    for &f in &frames {
+                        self.pin_table.unpin(&k, f)?;
+                        if k.put_page_shared(f)? {
+                            reap.push(f);
+                        }
+                    }
+                }
+                if !reap.is_empty() {
+                    let mut k = kernel.write().expect("kernel lock poisoned");
+                    for f in reap {
+                        k.reap_frame(f);
+                    }
+                }
+            }
+            PinToken::Mlock { .. } => {
+                // Interval bookkeeping already updated above; munlock only
+                // the zero runs. Exclusive kernel: VMA mutation.
+                let mut k = kernel.write().expect("kernel lock poisoned");
+                for (s, e) in zero_runs.expect("mlock token computed runs") {
+                    let had_cap = k.capabilities(pid)?.ipc_lock;
+                    if !had_cap {
+                        k.cap_raise_ipc_lock(pid)?;
+                    }
+                    let res =
+                        k.do_mlock(pid, s << PAGE_SHIFT, ((e - s) as usize) * PAGE_SIZE, false);
+                    if !had_cap {
+                        k.cap_lower_ipc_lock(pid)?;
+                    }
+                    res?;
+                }
+            }
+            other => {
+                let mut k = kernel.write().expect("kernel lock poisoned");
+                let mut scratch = PinTable::new();
+                unpin_region(&mut k, &mut scratch, other, true)?;
+            }
+        }
+
+        let mut shard = self.shard(si);
+        shard.stats.deregistrations += 1;
+        shard.stats.pages_unpinned += np as u64;
+        drop(shard);
+        self.unreserve_pages(np);
+        Ok(())
+    }
+
+    // -- queries ----------------------------------------------------------
+
+    /// The frames recorded at registration time (what a TPT holds). Cloned
+    /// out of the shard — the registry cannot hand out references across its
+    /// shard lock.
+    pub fn frames(&self, handle: MemHandle) -> RegResult<Vec<FrameId>> {
+        self.with_region(handle, |r| r.frames.clone())
+    }
+
+    /// Run `f` against the region record under its shard lock.
+    pub fn with_region<T>(&self, handle: MemHandle, f: impl FnOnce(&Region) -> T) -> RegResult<T> {
+        let (si, local) = decode(handle);
+        if si >= self.shards.len() {
+            return Err(RegError::NoSuchHandle);
+        }
+        let shard = self.shard(si);
+        Ok(f(shard.regions.get(local)?))
+    }
+
+    /// TPT-style translation: byte offset within the registration →
+    /// (frame, in-page offset).
+    pub fn translate(&self, handle: MemHandle, offset: usize) -> RegResult<(FrameId, usize)> {
+        self.with_region(handle, |r| r.translate(offset))?
+    }
+
+    /// Locktest step 6: do the page tables still map the frames recorded at
+    /// registration time?
+    pub fn verify_consistency(&self, kernel: &SharedKernel, handle: MemHandle) -> RegResult<bool> {
+        let (pid, base, frames) =
+            self.with_region(handle, |r| (r.pid, r.page_base, r.frames.clone()))?;
+        let k = kernel.read().expect("kernel lock poisoned");
+        let current = k.frames_of_range(pid, base, frames.len() * PAGE_SIZE)?;
+        Ok(frames
+            .iter()
+            .zip(current.iter())
+            .all(|(reg, cur)| Some(*reg) == *cur))
+    }
+
+    /// A live registration of `pid` covering `[addr, addr+len)` — one-shard
+    /// lookup via the pid's interval index.
+    pub fn find_covering(&self, pid: Pid, addr: VirtAddr, len: usize) -> Option<MemHandle> {
+        let si = self.shard_of(pid);
+        let shard = self.shard(si);
+        let start = simmem::page_base(addr);
+        let end = simmem::page_align_up(addr + len as u64);
+        shard
+            .regions
+            .find_covering(pid, start, (end - start) as usize)
+            .map(|local| encode(si, local))
+    }
+
+    /// Driver-side mlock count at one VPN — oracle hook for property tests.
+    #[doc(hidden)]
+    pub fn mlock_count_at(&self, pid: Pid, vpn: u64) -> u32 {
+        let shard = self.shard(self.shard_of(pid));
+        shard.mlock_counts.get(&pid).map_or(0, |c| c.count_at(vpn))
+    }
+
+    /// Number of live registrations across all shards.
+    pub fn live_regions(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| self.shard(i).regions.len())
+            .sum()
+    }
+
+    /// Distinct frames currently pinned through the shared pin table.
+    pub fn pinned_frames(&self) -> usize {
+        self.pin_table.pinned_frames()
+    }
+
+    /// Aggregated stats: per-shard blocks merged with
+    /// [`RegistryStats::merge`].
+    pub fn snapshot(&self) -> RegistryStats {
+        let mut out = RegistryStats::default();
+        for i in 0..self.shards.len() {
+            out.merge(&self.shard(i).stats);
+        }
+        out
+    }
+
+    /// Contended range-lock acquisitions across all pids (bench diagnostics).
+    /// Pin count of one frame (oracle hook for tests).
+    #[doc(hidden)]
+    pub fn pin_count(&self, frame: FrameId) -> u32 {
+        self.pin_table.count(frame)
+    }
+
+    pub fn range_contended(&self) -> u64 {
+        self.range_locks.contended_total()
+    }
+
+    /// Cross-check pin-table invariants against the union of all shards'
+    /// kiobuf regions. Quiescent-state check (tests, chaos harness rounds).
+    pub fn check_invariants(&self, kernel: &Kernel) -> Result<(), String> {
+        self.pin_table.check_invariants(kernel)?;
+        let mut expect: HashMap<FrameId, u32> = HashMap::new();
+        for i in 0..self.shards.len() {
+            let shard = self.shard(i);
+            for r in shard.regions.iter() {
+                if !matches!(r.token, Some(PinToken::Kiobuf { .. })) {
+                    continue;
+                }
+                for &f in &r.frames {
+                    *expect.entry(f).or_insert(0) += 1;
+                }
+            }
+        }
+        for (&f, &c) in &expect {
+            if self.pin_table.count(f) != c {
+                return Err(format!(
+                    "frame {} pin count {} != expected {}",
+                    f.0,
+                    self.pin_table.count(f),
+                    c
+                ));
+            }
+        }
+        if expect.len() != self.pin_table.pinned_frames() {
+            return Err("pin table tracks frames not owned by any region".into());
+        }
+        Ok(())
+    }
+
+    /// Tear down every region of `pid` (process exit), then drop its range
+    /// lock. Needs the write-locked kernel only as deep as each token does.
+    pub fn exit_process(&self, kernel: &SharedKernel, pid: Pid) -> RegResult<()> {
+        let si = self.shard_of(pid);
+        loop {
+            let handle = self
+                .shard(si)
+                .regions
+                .iter()
+                .find(|r| r.pid == pid)
+                .map(|r| encode(si, r.handle));
+            match handle {
+                Some(h) => self.deregister(kernel, h)?,
+                None => break,
+            }
+        }
+        self.range_locks.forget_pid(pid);
+        Ok(())
+    }
+}
+
+/// Borrow the kernel write guard's target — helper for callers that need a
+/// few exclusive operations (setup, teardown) around the concurrent phase.
+pub fn write_kernel(kernel: &SharedKernel) -> RwLockWriteGuard<'_, Kernel> {
+    kernel.write().expect("kernel lock poisoned")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmem::{prot, Capabilities, KernelConfig};
+
+    fn setup(strategy: StrategyKind) -> (SharedKernel, ShardedRegistry, Pid, VirtAddr) {
+        let mut k = Kernel::new(KernelConfig::small());
+        let pid = k.spawn_process(Capabilities::default());
+        let a = k
+            .mmap_anon(pid, 16 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        let nframes = k.meminfo().total_frames;
+        (
+            RwLock::new(k),
+            ShardedRegistry::new(strategy, nframes),
+            pid,
+            a,
+        )
+    }
+
+    #[test]
+    fn roundtrip_all_strategies() {
+        for strategy in StrategyKind::ALL {
+            let (kernel, reg, pid, a) = setup(strategy);
+            let h = reg.register(&kernel, pid, a, 4 * PAGE_SIZE).unwrap();
+            assert_eq!(reg.frames(h).unwrap().len(), 4, "{strategy:?}");
+            assert!(reg.verify_consistency(&kernel, h).unwrap());
+            reg.deregister(&kernel, h).unwrap();
+            assert_eq!(reg.live_regions(), 0);
+            assert!(reg.frames(h).is_err());
+            reg.check_invariants(&kernel.read().unwrap()).unwrap();
+        }
+    }
+
+    #[test]
+    fn fast_path_used_when_resident() {
+        let (kernel, reg, pid, a) = setup(StrategyKind::KiobufReliable);
+        write_kernel(&kernel)
+            .touch_pages(pid, a, 4 * PAGE_SIZE, true)
+            .unwrap();
+        let faults0 = kernel.read().unwrap().mm_stats().minor_faults;
+        let h = reg.register(&kernel, pid, a, 4 * PAGE_SIZE).unwrap();
+        assert_eq!(
+            kernel.read().unwrap().mm_stats().minor_faults,
+            faults0,
+            "resident fast path must not fault"
+        );
+        reg.deregister(&kernel, h).unwrap();
+    }
+
+    #[test]
+    fn nesting_and_overlap_counts() {
+        let (kernel, reg, pid, a) = setup(StrategyKind::KiobufReliable);
+        let h1 = reg.register(&kernel, pid, a, 8 * PAGE_SIZE).unwrap();
+        let h2 = reg
+            .register(&kernel, pid, a + 4 * PAGE_SIZE as u64, 8 * PAGE_SIZE)
+            .unwrap();
+        reg.check_invariants(&kernel.read().unwrap()).unwrap();
+        let f = reg.frames(h1).unwrap()[4];
+        assert_eq!(reg.pin_table.count(f), 2, "overlap pages pinned twice");
+        reg.deregister(&kernel, h1).unwrap();
+        assert!(
+            kernel
+                .read()
+                .unwrap()
+                .page_descriptor(f)
+                .flags()
+                .contains(PageFlags::LOCKED),
+            "still pinned by h2"
+        );
+        reg.deregister(&kernel, h2).unwrap();
+        assert_eq!(reg.pinned_frames(), 0);
+    }
+
+    #[test]
+    fn page_limit_enforced() {
+        let (kernel, _, pid, a) = setup(StrategyKind::KiobufReliable);
+        let nframes = kernel.read().unwrap().meminfo().total_frames;
+        let reg = ShardedRegistry::new(StrategyKind::KiobufReliable, nframes).with_page_limit(6);
+        let h = reg.register(&kernel, pid, a, 4 * PAGE_SIZE).unwrap();
+        assert_eq!(
+            reg.register(&kernel, pid, a, 4 * PAGE_SIZE),
+            Err(RegError::LimitExceeded)
+        );
+        reg.deregister(&kernel, h).unwrap();
+        assert!(reg.register(&kernel, pid, a, 4 * PAGE_SIZE).is_ok());
+    }
+
+    #[test]
+    fn mlock_interval_bookkeeping_nests() {
+        let (kernel, reg, pid, a) = setup(StrategyKind::VmaMlock);
+        let h1 = reg.register(&kernel, pid, a, 4 * PAGE_SIZE).unwrap();
+        let h2 = reg.register(&kernel, pid, a, 4 * PAGE_SIZE).unwrap();
+        reg.deregister(&kernel, h1).unwrap();
+        assert_eq!(
+            kernel.read().unwrap().locked_bytes(pid).unwrap(),
+            4 * PAGE_SIZE as u64,
+            "interval bookkeeping keeps the range locked"
+        );
+        reg.deregister(&kernel, h2).unwrap();
+        assert_eq!(kernel.read().unwrap().locked_bytes(pid).unwrap(), 0);
+    }
+
+    #[test]
+    fn handles_encode_shard() {
+        let (kernel, reg, pid, a) = setup(StrategyKind::KiobufReliable);
+        let h = reg.register(&kernel, pid, a, PAGE_SIZE).unwrap();
+        let (si, local) = decode(h);
+        assert_eq!(si, reg.shard_of(pid));
+        assert_eq!(encode(si, local), h);
+        assert_eq!(reg.find_covering(pid, a, PAGE_SIZE), Some(h));
+        reg.deregister(&kernel, h).unwrap();
+        assert_eq!(reg.find_covering(pid, a, PAGE_SIZE), None);
+    }
+
+    #[test]
+    fn exit_process_reclaims_everything() {
+        let (kernel, reg, pid, a) = setup(StrategyKind::KiobufReliable);
+        for i in 0..3 {
+            reg.register(&kernel, pid, a + (i * 2 * PAGE_SIZE) as u64, PAGE_SIZE)
+                .unwrap();
+        }
+        assert_eq!(reg.live_regions(), 3);
+        reg.exit_process(&kernel, pid).unwrap();
+        assert_eq!(reg.live_regions(), 0);
+        assert_eq!(reg.pinned_frames(), 0);
+        reg.check_invariants(&kernel.read().unwrap()).unwrap();
+    }
+}

@@ -253,13 +253,13 @@ mod tests {
             PAGE_SIZE,
         )
         .unwrap();
-        assert_eq!(k.page_descriptor(frames[0]).count, 2);
+        assert_eq!(k.page_descriptor(frames[0]).count(), 2);
         assert!(!k
             .page_descriptor(frames[0])
-            .flags
+            .flags()
             .contains(PageFlags::LOCKED));
         unpin_region(&mut k, &mut pt, token, true).unwrap();
-        assert_eq!(k.page_descriptor(frames[0]).count, 1);
+        assert_eq!(k.page_descriptor(frames[0]).count(), 1);
     }
 
     #[test]
@@ -308,11 +308,11 @@ mod tests {
         assert_eq!(pt.count(f1[0]), 2);
         unpin_region(&mut k, &mut pt, t1, false).unwrap();
         assert!(
-            k.page_descriptor(f1[0]).flags.contains(PageFlags::LOCKED),
+            k.page_descriptor(f1[0]).flags().contains(PageFlags::LOCKED),
             "still locked after first deregistration"
         );
         unpin_region(&mut k, &mut pt, t2, false).unwrap();
-        assert!(!k.page_descriptor(f1[0]).flags.contains(PageFlags::LOCKED));
+        assert!(!k.page_descriptor(f1[0]).flags().contains(PageFlags::LOCKED));
     }
 
     #[test]

@@ -116,7 +116,7 @@ mod tests {
         let m2 = c.acquire(&mut n, pid, a, PAGE_SIZE, tag).unwrap();
         assert_eq!(m1, m2);
         assert_eq!(c.stats().hits, 1);
-        assert_eq!(n.registry.stats.registrations, 1);
+        assert_eq!(n.registry.snapshot().registrations, 1);
         c.release(&mut n, m2).unwrap();
     }
 
@@ -129,12 +129,16 @@ mod tests {
         let tag = ProtectionTag(1);
         let big = c.acquire(&mut n, pid, a, 8 * PAGE_SIZE, tag).unwrap();
         c.release(&mut n, big).unwrap();
-        assert_eq!(n.registry.stats.registrations, 1);
+        assert_eq!(n.registry.snapshot().registrations, 1);
         let sub = c
             .acquire(&mut n, pid, a + PAGE_SIZE as u64, 2 * PAGE_SIZE, tag)
             .unwrap();
         assert_eq!(sub, big, "served by the covering TPT entry");
-        assert_eq!(n.registry.stats.registrations, 1, "zero new registrations");
+        assert_eq!(
+            n.registry.snapshot().registrations,
+            1,
+            "zero new registrations"
+        );
         assert_eq!(c.stats().covering_hits, 1);
         assert_eq!(n.nic.tpt.region_count(), 1);
         c.release(&mut n, sub).unwrap();

@@ -131,8 +131,8 @@ impl Kernel {
                     "bigphys reservation after allocations began",
                 ));
             }
-            d.count = 1;
-            d.flags.set(PageFlags::RESERVED);
+            d.set_count(1);
+            d.set_flag(PageFlags::RESERVED);
         }
         self.free_list.retain(|f| f.0 < first);
         self.bigphys = Some(BigphysArea::new(first, nframes));

@@ -3,6 +3,7 @@
 
 use crate::mm::AddressSpace;
 use crate::page::RMap;
+use crate::stats::CounterCell;
 use crate::{error::MmResult, Kernel, MmError, Pid, Pte, VirtAddr};
 
 impl Kernel {
@@ -60,7 +61,7 @@ impl Kernel {
             // ----------------------------------------------------------
             Some(Pte::Present { frame, .. }) => {
                 debug_assert!(write);
-                let shared = self.pagemap.get(frame).count > 1 || frame == self.zero_frame;
+                let shared = self.pagemap.get(frame).count() > 1 || frame == self.zero_frame;
                 if shared {
                     let new = self.get_free_frame()?;
                     self.phys.copy_frame(frame, new);
@@ -69,15 +70,15 @@ impl Kernel {
                     self.process_mut(pid)?
                         .mm
                         .set_pte(vpn, Pte::present(new, true));
-                    self.stats.cow_copies += 1;
-                    self.stats.minor_faults += 1;
+                    self.stats.cow_copies.bump();
+                    self.stats.minor_faults.bump();
                     Ok(new)
                 } else {
                     // Sole owner: just make it writable.
                     self.process_mut(pid)?
                         .mm
                         .set_pte(vpn, Pte::present(frame, true));
-                    self.stats.minor_faults += 1;
+                    self.stats.minor_faults.bump();
                     Ok(frame)
                 }
             }
@@ -102,8 +103,8 @@ impl Kernel {
                         self.process_mut(pid)?
                             .mm
                             .set_pte(vpn, Pte::present(frame, vma_flags.write));
-                        self.stats.minor_faults += 1;
-                        self.stats.swap_cache_hits += 1;
+                        self.stats.minor_faults.bump();
+                        self.stats.swap_cache_hits.bump();
                         return Ok(frame);
                     }
                 }
@@ -122,8 +123,8 @@ impl Kernel {
                 self.process_mut(pid)?
                     .mm
                     .set_pte(vpn, Pte::present(new, vma_flags.write));
-                self.stats.major_faults += 1;
-                self.stats.swap_ins += 1;
+                self.stats.major_faults.bump();
+                self.stats.swap_ins.bump();
                 Ok(new)
             }
 
@@ -132,7 +133,7 @@ impl Kernel {
             // zero page read-only (COW later); writes get a private frame.
             // ----------------------------------------------------------
             None => {
-                self.stats.minor_faults += 1;
+                self.stats.minor_faults.bump();
                 if write {
                     let new = self.get_free_frame()?;
                     self.phys.zero_frame(new);
@@ -169,17 +170,17 @@ mod tests {
         let mut b = [0u8; 1];
         k.read_user(pid, a, &mut b).unwrap();
         assert_eq!(k.frame_of(pid, a).unwrap(), Some(k.zero_frame()));
-        let zp_count = k.page_descriptor(k.zero_frame()).count;
+        let zp_count = k.page_descriptor(k.zero_frame()).count();
         // Now write: COW off the zero page.
         k.write_user(pid, a, b"Z").unwrap();
         let f = k.frame_of(pid, a).unwrap().unwrap();
         assert_ne!(f, k.zero_frame());
         assert_eq!(
-            k.page_descriptor(k.zero_frame()).count,
+            k.page_descriptor(k.zero_frame()).count(),
             zp_count - 1,
             "zero-page ref dropped"
         );
-        assert_eq!(k.stats.cow_copies, 1);
+        assert_eq!(k.mm_stats().cow_copies, 1);
         // Data visible, rest of page zero.
         let mut out = [0u8; 2];
         k.read_user(pid, a, &mut out).unwrap();
@@ -194,11 +195,11 @@ mod tests {
             .mmap_anon(pid, 2 * PAGE_SIZE, prot::READ | prot::WRITE)
             .unwrap();
         k.touch_pages(pid, a, 2 * PAGE_SIZE, true).unwrap();
-        assert_eq!(k.stats.minor_faults, 2);
-        assert_eq!(k.stats.major_faults, 0);
+        assert_eq!(k.mm_stats().minor_faults, 2);
+        assert_eq!(k.mm_stats().major_faults, 0);
         // Touching again is the fast path: no new faults.
         k.touch_pages(pid, a, 2 * PAGE_SIZE, true).unwrap();
-        assert_eq!(k.stats.minor_faults, 2);
+        assert_eq!(k.mm_stats().minor_faults, 2);
     }
 
     #[test]

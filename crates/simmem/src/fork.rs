@@ -203,7 +203,7 @@ mod tests {
         let child = k.fork(parent).unwrap();
         // Shared read-only.
         assert_eq!(k.frame_of(child, a).unwrap(), Some(f0));
-        assert_eq!(k.page_descriptor(f0).count, 2);
+        assert_eq!(k.page_descriptor(f0).count(), 2);
         let mut out = [0u8; 11];
         k.read_user(child, a, &mut out).unwrap();
         assert_eq!(&out, b"parent data");
@@ -212,7 +212,7 @@ mod tests {
         assert_ne!(k.frame_of(child, a).unwrap(), Some(f0));
         k.read_user(parent, a, &mut out).unwrap();
         assert_eq!(&out, b"parent data");
-        assert_eq!(k.stats.cow_copies, 1);
+        assert_eq!(k.mm_stats().cow_copies, 1);
     }
 
     #[test]
@@ -351,7 +351,7 @@ mod tests {
         let f0 = k.frame_of(parent, a).unwrap().unwrap();
         k.raw_set_page_flag(f0, PageFlags::LOCKED);
         let child = k.fork(parent).unwrap();
-        assert!(k.page_descriptor(f0).flags.contains(PageFlags::LOCKED));
+        assert!(k.page_descriptor(f0).flags().contains(PageFlags::LOCKED));
         assert_eq!(k.mappers_of(f0), 2);
         k.raw_clear_page_flag(f0, PageFlags::LOCKED);
         let _ = child;

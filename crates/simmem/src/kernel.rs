@@ -4,13 +4,18 @@
 //! against.
 
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 use crate::error::MmResult;
 use crate::kiobuf::Kiobuf;
 use crate::mm::AddressSpace;
 use crate::page::{PageFlags, PageMap};
-use crate::stats::MemInfo;
+use crate::stats::{CounterCell, MemInfo, MmCounters};
 use crate::vma::{VmArea, VmFlags};
+
+/// A fault-injector hook: consulted with a site code, returns `true` to
+/// force that site to fail (see [`crate::inject`]).
+pub type Injector = Box<dyn FnMut(u32) -> bool + Send>;
 use crate::{
     FrameId, KiobufId, MmError, MmStats, PhysMem, Pte, SwapDevice, VirtAddr, PAGE_MASK, PAGE_SIZE,
 };
@@ -129,9 +134,10 @@ pub struct Kernel {
     pub(crate) bigphys: Option<crate::bigphys::BigphysArea>,
     /// Pluggable deterministic fault injector (see [`crate::inject`]). The
     /// kernel consults it at named sites by code; `None` (the default) makes
-    /// every site a single branch on a cold `Option`.
-    pub(crate) injector: Option<Box<dyn FnMut(u32) -> bool + Send>>,
-    pub stats: MmStats,
+    /// every site a single branch on a cold `Option`. The mutex lets the
+    /// concurrent registration path consult it through `&Kernel`.
+    pub(crate) injector: Option<Mutex<Injector>>,
+    pub stats: MmCounters,
     pub config: KernelConfig,
 }
 
@@ -143,19 +149,19 @@ impl Kernel {
             "machine too small"
         );
         let phys = PhysMem::new(config.nframes);
-        let mut pagemap = PageMap::new(config.nframes);
+        let pagemap = PageMap::new(config.nframes);
         // Mark the kernel's own frames reserved, exactly like mem_init().
         for i in 0..config.reserved_frames {
-            let d = pagemap.get_mut(FrameId(i));
-            d.count = 1;
-            d.flags.set(PageFlags::RESERVED);
+            let d = pagemap.get(FrameId(i));
+            d.set_count(1);
+            d.set_flag(PageFlags::RESERVED);
         }
         // The shared zero page is a reserved page too.
         let zero_frame = FrameId(config.reserved_frames);
         {
-            let d = pagemap.get_mut(zero_frame);
-            d.count = 1;
-            d.flags.set(PageFlags::RESERVED);
+            let d = pagemap.get(zero_frame);
+            d.set_count(1);
+            d.set_flag(PageFlags::RESERVED);
         }
         let free_list = ((config.reserved_frames + 1)..config.nframes)
             .rev()
@@ -175,7 +181,7 @@ impl Kernel {
             swap_cache: std::collections::HashMap::new(),
             bigphys: None,
             injector: None,
-            stats: MmStats::default(),
+            stats: MmCounters::default(),
             config,
         }
     }
@@ -305,20 +311,30 @@ impl Kernel {
     /// to force that site to fail. Layers above the kernel reuse the same
     /// hook with their own site codes (`inject::UPPER_BASE` and up), so one
     /// seeded plan can drive the whole stack.
-    pub fn set_injector(&mut self, injector: Option<Box<dyn FnMut(u32) -> bool + Send>>) {
-        self.injector = injector;
+    pub fn set_injector(&mut self, injector: Option<Injector>) {
+        self.injector = injector.map(Mutex::new);
     }
 
     /// Consult the injector for `site`. `false` when no injector is
     /// installed — the disabled cost is one branch.
     #[inline]
     pub fn inject(&mut self, site: u32) -> bool {
-        match self.injector.as_mut() {
+        self.inject_shared(site)
+    }
+
+    /// [`Kernel::inject`] through a shared borrow, for the concurrent
+    /// registration path (multiple threads pinning under `&Kernel`). The
+    /// injector closure runs under its own mutex; with no injector the cost
+    /// stays one branch.
+    #[inline]
+    pub fn inject_shared(&self, site: u32) -> bool {
+        match self.injector.as_ref() {
             None => false,
-            Some(f) => {
-                let fire = f(site);
+            Some(m) => {
+                let mut f = m.lock().expect("fault injector poisoned");
+                let fire = (*f)(site);
                 if fire {
-                    self.stats.faults_injected += 1;
+                    self.stats.faults_injected.bump();
                 }
                 fire
             }
@@ -339,8 +355,8 @@ impl Kernel {
             if let Some(frame) = self.free_list.pop() {
                 let d = self.pagemap.get_mut(frame);
                 debug_assert!(d.is_free(), "frame on free list with count != 0");
-                d.count = 1;
-                d.flags = PageFlags::default();
+                d.set_count(1);
+                d.reset_flags();
                 d.rmap = None;
                 return Ok(frame);
             }
@@ -360,7 +376,7 @@ impl Kernel {
             .put_page(frame)
             .expect("put_frame: refcount underflow");
         let d = self.pagemap.get_mut(frame);
-        if now_free && !d.flags.contains(PageFlags::RESERVED) {
+        if now_free && !d.flags().contains(PageFlags::RESERVED) {
             // Leaving the swap cache: the written-out copy in the slot stays
             // authoritative (the PTE points there), only the frame-reuse
             // shortcut disappears.
@@ -368,7 +384,31 @@ impl Kernel {
                 self.swap_cache.remove(&slot);
             }
             d.rmap = None;
-            d.flags = PageFlags::default();
+            d.reset_flags();
+            self.free_list.push(frame);
+        }
+    }
+
+    /// Return a frame whose shared-path reference count reached zero to the
+    /// free list (see [`Kernel::put_page_shared`]). The concurrent pin path
+    /// cannot touch the free list itself — that needs the exclusive borrow —
+    /// so it collects such frames and reaps them here afterwards. Reaping is
+    /// idempotent: a frame that was re-referenced in the meantime, is
+    /// reserved, or already sits on the free list is left alone.
+    pub fn reap_frame(&mut self, frame: FrameId) {
+        {
+            let d = self.pagemap.get_mut(frame);
+            if !d.is_free() || d.flags().contains(PageFlags::RESERVED) {
+                return;
+            }
+            if let Some(slot) = d.swap_slot.take() {
+                self.swap_cache.remove(&slot);
+            }
+        }
+        let d = self.pagemap.get_mut(frame);
+        d.rmap = None;
+        d.reset_flags();
+        if !self.free_list.contains(&frame) {
             self.free_list.push(frame);
         }
     }
@@ -399,8 +439,8 @@ impl Kernel {
         self.pagemap
             .iter()
             .filter(|(f, d)| {
-                d.count > 0
-                    && !d.flags.contains(PageFlags::RESERVED)
+                d.count() > 0
+                    && !d.flags().contains(PageFlags::RESERVED)
                     && !mapped.contains(f)
                     && !pinned.contains(f)
             })
@@ -422,9 +462,9 @@ impl Kernel {
             let page_off = (a & PAGE_MASK) as usize;
             self.phys
                 .write(frame, page_off, &data[off..off + in_page])?;
-            let d = self.pagemap.get_mut(frame);
-            d.flags.set(PageFlags::ACCESSED);
-            d.flags.set(PageFlags::DIRTY);
+            let d = self.pagemap.get(frame);
+            d.set_flag(PageFlags::ACCESSED);
+            d.set_flag(PageFlags::DIRTY);
             off += in_page;
         }
         Ok(())
@@ -440,7 +480,7 @@ impl Kernel {
             let page_off = (a & PAGE_MASK) as usize;
             self.phys
                 .read(frame, page_off, &mut out[off..off + in_page])?;
-            self.pagemap.get_mut(frame).flags.set(PageFlags::ACCESSED);
+            self.pagemap.get(frame).set_flag(PageFlags::ACCESSED);
             off += in_page;
         }
         Ok(())
@@ -651,17 +691,18 @@ impl Kernel {
 
     /// Raw page-descriptor mutation used by the "risky" Giganet-style
     /// strategy that sets `PG_locked`/`PG_reserved` behind the VM's back.
-    pub fn raw_set_page_flag(&mut self, frame: FrameId, bit: u8) {
-        self.pagemap.get_mut(frame).flags.set(bit);
+    /// Flags are per-frame atomics, so a shared borrow suffices.
+    pub fn raw_set_page_flag(&self, frame: FrameId, bit: u8) {
+        self.pagemap.get(frame).set_flag(bit);
     }
 
     /// Raw flag clear (see [`Kernel::raw_set_page_flag`]).
-    pub fn raw_clear_page_flag(&mut self, frame: FrameId, bit: u8) {
-        self.pagemap.get_mut(frame).flags.clear(bit);
+    pub fn raw_clear_page_flag(&self, frame: FrameId, bit: u8) {
+        self.pagemap.get(frame).clear_flag(bit);
     }
 
     /// Raw refcount increment — `get_page` as Berkeley-VIA / M-VIA do it.
-    pub fn raw_get_page(&mut self, frame: FrameId) {
+    pub fn raw_get_page(&self, frame: FrameId) {
         self.pagemap.get_page(frame);
     }
 
@@ -673,17 +714,71 @@ impl Kernel {
 
     /// Simulate the kernel holding a page's I/O lock (in-flight disk I/O),
     /// for failure-injection tests of the "blindly set PG_locked" strategy.
-    pub fn begin_page_io(&mut self, frame: FrameId) {
-        self.pagemap.get_mut(frame).flags.set(PageFlags::LOCKED);
+    pub fn begin_page_io(&self, frame: FrameId) {
+        self.pagemap.get(frame).set_flag(PageFlags::LOCKED);
     }
 
     /// Complete simulated I/O: expects the lock bit still held; returns
     /// whether it was (the Giganet-style strategy may have clobbered it).
-    pub fn end_page_io(&mut self, frame: FrameId) -> bool {
-        let d = self.pagemap.get_mut(frame);
-        let was_locked = d.flags.contains(PageFlags::LOCKED);
-        d.flags.clear(PageFlags::LOCKED);
-        was_locked
+    pub fn end_page_io(&self, frame: FrameId) -> bool {
+        self.pagemap.get(frame).clear_flag(PageFlags::LOCKED)
+    }
+
+    // ------------------------------------------------------------------
+    // Concurrent ("shared-borrow") pin entry points
+    //
+    // The sharded registration path runs many registering threads under a
+    // read-locked kernel. Everything it needs on the fast path — PTE walks,
+    // page references, `PG_locked` — is readable or atomic through `&self`,
+    // so resident pages pin without the exclusive borrow. Anything that
+    // mutates page tables (fault-in, COW, mlock) still takes `&mut self`.
+    // ------------------------------------------------------------------
+
+    /// The concurrent pin path's residency probe: `Some(frame)` iff the
+    /// page containing `addr` is present with a **writable** PTE — i.e.
+    /// `get_user_page` would return this frame without faulting or breaking
+    /// COW. `None` sends the caller to the exclusive-borrow slow path.
+    pub fn resident_writable_frame(&self, pid: Pid, addr: VirtAddr) -> MmResult<Option<FrameId>> {
+        let proc = self.process(pid)?;
+        let vma = proc
+            .mm
+            .vmas
+            .find(addr)
+            .ok_or(MmError::SegFault { pid, addr })?;
+        if !vma.flags.write {
+            return Ok(None);
+        }
+        Ok(match proc.mm.pte(AddressSpace::vpn(addr)) {
+            Some(Pte::Present {
+                frame,
+                writable: true,
+                ..
+            }) => Some(*frame),
+            _ => None,
+        })
+    }
+
+    /// Take a page reference through a shared borrow (atomic `get_page`).
+    pub fn get_page_shared(&self, frame: FrameId) {
+        self.pagemap.get_page(frame);
+    }
+
+    /// Drop a shared-path page reference. Returns `true` when the count hit
+    /// zero — the frame is then free but **not yet on the free list**; the
+    /// caller must hand it to [`Kernel::reap_frame`] once it can take the
+    /// exclusive borrow.
+    pub fn put_page_shared(&self, frame: FrameId) -> MmResult<bool> {
+        self.pagemap.put_page(frame)
+    }
+
+    /// Atomically try to take `PG_locked`; `true` iff this call acquired it.
+    pub fn try_lock_page(&self, frame: FrameId) -> bool {
+        self.pagemap.get(frame).try_lock()
+    }
+
+    /// Release `PG_locked` taken by [`Kernel::try_lock_page`].
+    pub fn unlock_page(&self, frame: FrameId) {
+        self.pagemap.get(frame).clear_flag(PageFlags::LOCKED);
     }
 
     /// Free a swap slot backing a torn-down PTE, purging any swap-cache
@@ -698,6 +793,12 @@ impl Kernel {
     /// Number of frames currently held in the swap cache.
     pub fn swap_cache_len(&self) -> usize {
         self.swap_cache.len()
+    }
+
+    /// Coherent value snapshot of the live atomic counters — the reporting
+    /// accessor; diff two snapshots with [`MmStats::since`].
+    pub fn mm_stats(&self) -> MmStats {
+        self.stats.snapshot()
     }
 
     /// A /proc/meminfo-style snapshot for experiment reports.
@@ -749,11 +850,11 @@ mod tests {
         );
         assert!(k
             .page_descriptor(FrameId(0))
-            .flags
+            .flags()
             .contains(PageFlags::RESERVED));
         assert!(k
             .page_descriptor(k.zero_frame())
-            .flags
+            .flags()
             .contains(PageFlags::RESERVED));
     }
 
@@ -885,7 +986,7 @@ mod tests {
         // munmap releases the mapping references without freeing the
         // reserved frames.
         k.munmap(pid, va, 2 * PAGE_SIZE).unwrap();
-        assert!(k.page_descriptor(blk.base).count >= 1);
+        assert!(k.page_descriptor(blk.base).count() >= 1);
     }
 
     #[test]

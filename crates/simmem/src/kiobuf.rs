@@ -19,6 +19,7 @@
 
 use crate::error::MmResult;
 use crate::page::PageFlags;
+use crate::stats::CounterCell;
 use crate::{FrameId, Kernel, MmError, Pid, VirtAddr, PAGE_SIZE};
 
 /// Handle to a mapped kiobuf.
@@ -68,7 +69,7 @@ impl Kernel {
             };
             let frame = self.fault_in(pid, a, writable)?;
             self.pagemap.get_page(frame);
-            self.stats.kiobuf_pins += 1;
+            self.stats.kiobuf_pins.bump();
             frames.push(frame);
             a += PAGE_SIZE as u64;
         }
@@ -101,15 +102,13 @@ impl Kernel {
             kb.frames.clone()
         };
         for (i, &f) in frames.iter().enumerate() {
-            let d = self.pagemap.get_mut(f);
-            if d.flags.contains(PageFlags::LOCKED) {
+            if !self.pagemap.get(f).try_lock() {
                 // Roll back what we set so far, then report the busy page.
                 for &g in &frames[..i] {
-                    self.pagemap.get_mut(g).flags.clear(PageFlags::LOCKED);
+                    self.pagemap.get(g).clear_flag(PageFlags::LOCKED);
                 }
                 return Err(MmError::PageBusy(f));
             }
-            d.flags.set(PageFlags::LOCKED);
         }
         self.kiobufs.get_mut(&id).expect("checked above").locked = true;
         Ok(())
@@ -125,7 +124,7 @@ impl Kernel {
             kb.frames.clone()
         };
         for f in frames {
-            self.pagemap.get_mut(f).flags.clear(PageFlags::LOCKED);
+            self.pagemap.get(f).clear_flag(PageFlags::LOCKED);
         }
         self.kiobufs.get_mut(&id).expect("checked above").locked = false;
         Ok(())
@@ -143,7 +142,7 @@ impl Kernel {
         let kb = self.kiobufs.remove(&id).expect("checked above");
         for f in kb.frames {
             self.put_frame(f);
-            self.stats.kiobuf_unpins += 1;
+            self.stats.kiobuf_unpins.bump();
         }
         Ok(())
     }
@@ -181,11 +180,11 @@ mod tests {
         let kb = k.kiobuf(id).unwrap().clone();
         assert_eq!(kb.frames.len(), 4);
         for &f in &kb.frames {
-            assert_eq!(k.page_descriptor(f).count, 2, "mapping ref + kiobuf ref");
+            assert_eq!(k.page_descriptor(f).count(), 2, "mapping ref + kiobuf ref");
         }
         k.unmap_kiobuf(id).unwrap();
         for &f in &kb.frames {
-            assert_eq!(k.page_descriptor(f).count, 1);
+            assert_eq!(k.page_descriptor(f).count(), 1);
         }
         assert_eq!(k.kiobuf_count(), 0);
     }
@@ -210,11 +209,11 @@ mod tests {
         let id = k.map_user_kiobuf(pid, a, 2 * PAGE_SIZE).unwrap();
         k.lock_kiobuf(id).unwrap();
         let f = k.kiobuf(id).unwrap().frames[0];
-        assert!(k.page_descriptor(f).flags.contains(PageFlags::LOCKED));
+        assert!(k.page_descriptor(f).flags().contains(PageFlags::LOCKED));
         assert!(matches!(k.lock_kiobuf(id), Err(MmError::KiobufState(_))));
         assert!(matches!(k.unmap_kiobuf(id), Err(MmError::KiobufState(_)),));
         k.unlock_kiobuf(id).unwrap();
-        assert!(!k.page_descriptor(f).flags.contains(PageFlags::LOCKED));
+        assert!(!k.page_descriptor(f).flags().contains(PageFlags::LOCKED));
         k.unmap_kiobuf(id).unwrap();
     }
 
@@ -230,7 +229,7 @@ mod tests {
         assert!(matches!(err, MmError::PageBusy(_)));
         k.unlock_kiobuf(id1).unwrap();
         let f = k.kiobuf(id2).unwrap().frames[0];
-        assert!(!k.page_descriptor(f).flags.contains(PageFlags::LOCKED));
+        assert!(!k.page_descriptor(f).flags().contains(PageFlags::LOCKED));
         // Now the second lock succeeds.
         k.lock_kiobuf(id2).unwrap();
         k.unlock_kiobuf(id2).unwrap();

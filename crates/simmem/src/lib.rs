@@ -60,11 +60,11 @@ pub mod vma;
 pub use bigphys::{BigphysArea, BigphysBlock};
 pub use error::MmError;
 pub use frame::{FrameId, PhysMem};
-pub use kernel::{Capabilities, Kernel, KernelConfig, Pid};
+pub use kernel::{Capabilities, Injector, Kernel, KernelConfig, Pid};
 pub use kiobuf::{Kiobuf, KiobufId};
 pub use mm::{AddressSpace, Pte, VirtAddr, Vpn};
 pub use page::{PageDescriptor, PageFlags};
-pub use stats::{MemInfo, MmStats};
+pub use stats::{CounterCell, MemInfo, MmCounters, MmStats};
 pub use swap::{SlotId, SwapDevice};
 pub use vma::{VmArea, VmFlags, VmaSet};
 

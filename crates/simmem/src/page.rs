@@ -6,6 +6,15 @@
 //! `swap_out()` skip pages whose `PG_locked` or `PG_reserved` bit is set, but
 //! an elevated reference count alone does **not** keep a page mapped — the
 //! page is written to swap, unmapped and orphaned (section 3.1 of the paper).
+//!
+//! Count and flags live in per-frame **atomics** so that the sharded
+//! registration path can grab/drop references and take `PG_locked` from
+//! several threads under a shared (`&Kernel`) borrow — the same shift Linux
+//! itself made when `page->count` became `atomic_t`. `rmap` and `swap_slot`
+//! stay plain fields: they are only touched on the exclusive (`&mut Kernel`)
+//! fault/reclaim paths.
+
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
 
 use crate::FrameId;
 
@@ -55,12 +64,15 @@ pub struct RMap {
 }
 
 /// Per-frame descriptor: the simulated `mem_map_t`.
-#[derive(Debug, Clone, Default)]
+///
+/// `count` and `flags` are atomics (readable and mutable through `&self`);
+/// read them via [`PageDescriptor::count`] / [`PageDescriptor::flags`].
+#[derive(Debug, Default)]
 pub struct PageDescriptor {
     /// `page->count`: number of users. 0 = free.
-    pub count: u32,
+    count: AtomicU32,
     /// `PG_*` flag bits.
-    pub flags: PageFlags,
+    flags: AtomicU8,
     /// Reverse map for the (single) anonymous mapping, if any.
     pub rmap: Option<RMap>,
     /// When the frame sits in the swap cache (2.4 semantics): the slot
@@ -69,16 +81,89 @@ pub struct PageDescriptor {
 }
 
 impl PageDescriptor {
+    /// `page->count` snapshot.
+    #[inline]
+    pub fn count(&self) -> u32 {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// Overwrite the reference count (arena init / frame recycle only).
+    #[inline]
+    pub fn set_count(&self, v: u32) {
+        self.count.store(v, Ordering::Release);
+    }
+
+    /// Atomic `get_page()`: returns the previous count.
+    #[inline]
+    pub fn ref_inc(&self) -> u32 {
+        self.count.fetch_add(1, Ordering::AcqRel)
+    }
+
+    /// Atomic `__free_page()` half: drop a reference, reporting whether the
+    /// count reached zero. Underflow is a hard error (a double put).
+    #[inline]
+    pub fn ref_dec(&self, id: FrameId) -> Result<bool, crate::MmError> {
+        let mut cur = self.count.load(Ordering::Acquire);
+        loop {
+            if cur == 0 {
+                return Err(crate::MmError::RefcountUnderflow(id));
+            }
+            match self.count.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Ok(cur == 1),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Current flag bits snapshot.
+    #[inline]
+    pub fn flags(&self) -> PageFlags {
+        PageFlags(self.flags.load(Ordering::Acquire))
+    }
+
+    /// Set flag bits (atomic OR).
+    #[inline]
+    pub fn set_flag(&self, bit: u8) {
+        self.flags.fetch_or(bit, Ordering::AcqRel);
+    }
+
+    /// Clear flag bits (atomic AND-NOT); returns whether any of the bits
+    /// were previously set.
+    #[inline]
+    pub fn clear_flag(&self, bit: u8) -> bool {
+        self.flags.fetch_and(!bit, Ordering::AcqRel) & bit != 0
+    }
+
+    /// Atomically try to take `PG_locked`; `true` if this call acquired it
+    /// (it was clear before). The concurrent pin path uses this instead of a
+    /// separate test-then-set.
+    #[inline]
+    pub fn try_lock(&self) -> bool {
+        self.flags.fetch_or(PageFlags::LOCKED, Ordering::AcqRel) & PageFlags::LOCKED == 0
+    }
+
+    /// Reset all flag bits (frame recycle).
+    #[inline]
+    pub fn reset_flags(&self) {
+        self.flags.store(0, Ordering::Release);
+    }
+
     /// True if the page is free (count == 0).
     #[inline]
     pub fn is_free(&self) -> bool {
-        self.count == 0
+        self.count() == 0
     }
 
     /// True if the page stealer must skip this page (locked or reserved).
     #[inline]
     pub fn steal_protected(&self) -> bool {
-        self.flags.contains(PageFlags::LOCKED) || self.flags.contains(PageFlags::RESERVED)
+        let f = self.flags();
+        f.contains(PageFlags::LOCKED) || f.contains(PageFlags::RESERVED)
     }
 }
 
@@ -90,7 +175,7 @@ pub struct PageMap {
 impl PageMap {
     pub fn new(nframes: u32) -> Self {
         PageMap {
-            pages: vec![PageDescriptor::default(); nframes as usize],
+            pages: (0..nframes).map(|_| PageDescriptor::default()).collect(),
         }
     }
 
@@ -124,20 +209,15 @@ impl PageMap {
 
     /// `get_page()`: take an additional reference.
     #[inline]
-    pub fn get_page(&mut self, id: FrameId) {
-        self.pages[id.0 as usize].count += 1;
+    pub fn get_page(&self, id: FrameId) {
+        self.pages[id.0 as usize].ref_inc();
     }
 
     /// `__free_page()`: drop a reference; returns `true` if the count reached
     /// zero (i.e. the frame is really free now).
     #[inline]
-    pub fn put_page(&mut self, id: FrameId) -> Result<bool, crate::MmError> {
-        let d = &mut self.pages[id.0 as usize];
-        if d.count == 0 {
-            return Err(crate::MmError::RefcountUnderflow(id));
-        }
-        d.count -= 1;
-        Ok(d.count == 0)
+    pub fn put_page(&self, id: FrameId) -> Result<bool, crate::MmError> {
+        self.pages[id.0 as usize].ref_dec(id)
     }
 }
 
@@ -160,11 +240,11 @@ mod tests {
 
     #[test]
     fn refcounting() {
-        let mut pm = PageMap::new(2);
+        let pm = PageMap::new(2);
         assert!(pm.get(FrameId(0)).is_free());
         pm.get_page(FrameId(0));
         pm.get_page(FrameId(0));
-        assert_eq!(pm.get(FrameId(0)).count, 2);
+        assert_eq!(pm.get(FrameId(0)).count(), 2);
         assert!(!pm.put_page(FrameId(0)).unwrap());
         assert!(pm.put_page(FrameId(0)).unwrap());
         assert!(matches!(
@@ -175,12 +255,21 @@ mod tests {
 
     #[test]
     fn steal_protection() {
-        let mut d = PageDescriptor::default();
+        let d = PageDescriptor::default();
         assert!(!d.steal_protected());
-        d.flags.set(PageFlags::LOCKED);
+        d.set_flag(PageFlags::LOCKED);
         assert!(d.steal_protected());
-        d.flags.clear(PageFlags::LOCKED);
-        d.flags.set(PageFlags::RESERVED);
+        d.clear_flag(PageFlags::LOCKED);
+        d.set_flag(PageFlags::RESERVED);
         assert!(d.steal_protected());
+    }
+
+    #[test]
+    fn try_lock_is_exclusive() {
+        let d = PageDescriptor::default();
+        assert!(d.try_lock(), "first lock wins");
+        assert!(!d.try_lock(), "second lock loses");
+        assert!(d.clear_flag(PageFlags::LOCKED));
+        assert!(d.try_lock(), "free again after clear");
     }
 }

@@ -11,6 +11,7 @@
 //!   any NIC that captured its physical address now DMAs into a stale frame.
 
 use crate::mm::AddressSpace;
+use crate::stats::CounterCell;
 use crate::{Kernel, Pid, Pte};
 
 /// How many candidate processes one `swap_out` call examines before giving
@@ -26,7 +27,7 @@ impl Kernel {
     /// `swap_out`, which matches the pressure pattern of the paper's
     /// `allocator` antagonist.)
     pub(crate) fn try_to_free_pages(&mut self) -> bool {
-        self.stats.reclaim_passes += 1;
+        self.stats.reclaim_passes.bump();
         let mut attempts = SWAP_PROCESS_ATTEMPTS;
         while attempts > 0 {
             attempts -= 1;
@@ -91,7 +92,7 @@ impl Kernel {
                             .len() as u64
                     })
                     .unwrap_or(0);
-                self.stats.skipped_vm_locked += present;
+                self.stats.skipped_vm_locked.add(present);
                 continue;
             }
             match self.swap_out_vma(pid, start, end) {
@@ -138,7 +139,7 @@ impl Kernel {
             }
             // PG_locked / PG_reserved pages are untouchable.
             if self.pagemap.get(frame).steal_protected() {
-                self.stats.skipped_pg_locked += 1;
+                self.stats.skipped_pg_locked.bump();
                 continue;
             }
             return self.try_to_swap_out(pid, vpn, frame);
@@ -179,24 +180,24 @@ impl Kernel {
         if let Ok(p) = self.process_mut(pid) {
             p.mm.set_pte(vpn, Pte::Swapped { slot });
         }
-        self.stats.swap_outs += 1;
+        self.stats.swap_outs.bump();
 
         // __free_page: drop the mapping's reference. If a driver pinned the
         // page by refcount only, the count stays positive. Under 2.2
         // semantics the frame is orphaned — the failure the paper
         // demonstrates. Under 2.4 semantics it enters the swap cache
         // instead, and a refault re-unifies virtual page and frame.
-        let count_before = self.pagemap.get(frame).count;
+        let count_before = self.pagemap.get(frame).count();
         if count_before > 1 && self.config.swap_cache {
             self.pagemap.get_mut(frame).swap_slot = Some(slot);
             self.swap_cache.insert(slot, frame);
-            self.stats.swap_cache_adds += 1;
+            self.stats.swap_cache_adds.bump();
         }
         self.pagemap.get_mut(frame).rmap = None;
         self.put_frame(frame);
         if count_before > 1 {
             if !self.config.swap_cache {
-                self.stats.orphaned_pages += 1;
+                self.stats.orphaned_pages.bump();
             }
             SwapOutResult::Progress
         } else {
@@ -246,12 +247,12 @@ mod tests {
         let hbuf = k.mmap_anon(hog, total, prot::READ | prot::WRITE).unwrap();
         k.write_user(hog, hbuf, &vec![1u8; total]).unwrap();
 
-        assert!(k.stats.swap_outs > 0, "pressure must cause page-outs");
+        assert!(k.mm_stats().swap_outs > 0, "pressure must cause page-outs");
         // Victim's data must survive a swap round-trip.
         let mut out = vec![0u8; 16 * PAGE_SIZE];
         k.read_user(victim, vbuf, &mut out).unwrap();
         assert!(out.iter().all(|&b| b == 7));
-        assert!(k.stats.major_faults > 0, "read-back swaps pages in");
+        assert!(k.mm_stats().major_faults > 0, "read-back swaps pages in");
     }
 
     #[test]
@@ -273,7 +274,7 @@ mod tests {
 
         let after = k.frames_of_range(victim, vbuf, 8 * PAGE_SIZE).unwrap();
         assert_eq!(before, after, "mlocked pages keep their frames");
-        assert!(k.stats.skipped_vm_locked > 0);
+        assert!(k.mm_stats().skipped_vm_locked > 0);
     }
 
     #[test]
@@ -326,7 +327,7 @@ mod tests {
             k.frame_of(victim, vbuf).unwrap().is_none(),
             "PTE redirected to swap"
         );
-        assert!(k.stats.orphaned_pages >= 1);
+        assert!(k.mm_stats().orphaned_pages >= 1);
 
         // Touch it back in: lands on a different frame.
         let mut out = [0u8; 7];
@@ -336,7 +337,7 @@ mod tests {
         assert_ne!(f0, f1, "swap-in allocates a fresh frame (2.2 semantics)");
 
         // The orphan still holds the old data and the pin reference.
-        assert_eq!(k.page_descriptor(f0).count, 1);
+        assert_eq!(k.page_descriptor(f0).count(), 1);
         assert_eq!(k.count_orphaned_frames(), 1);
     }
 

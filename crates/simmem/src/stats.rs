@@ -1,5 +1,12 @@
 //! Counters exposed by the simulated kernel — the experiment harness reads
 //! these to report what the VM actually did under pressure.
+//!
+//! The kernel's live counters ([`MmCounters`]) are per-field atomics so the
+//! shared-kernel concurrent registration path can bump them through `&Kernel`
+//! without a stats lock; readers take a coherent [`MmStats`] value via
+//! [`MmCounters::snapshot`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
@@ -81,6 +88,72 @@ impl_since!(MmStats {
     backoff_ticks,
 });
 
+/// Convenience ops for atomic counters — keeps the 50-odd bump sites as
+/// terse as the old `+= 1` field writes.
+pub trait CounterCell {
+    /// Increment by one.
+    fn bump(&self);
+    /// Increment by `n`.
+    fn add(&self, n: u64);
+    /// Relaxed read.
+    fn get(&self) -> u64;
+}
+
+impl CounterCell for AtomicU64 {
+    #[inline]
+    fn bump(&self) {
+        self.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    fn add(&self, n: u64) {
+        self.fetch_add(n, Ordering::Relaxed);
+    }
+    #[inline]
+    fn get(&self) -> u64 {
+        self.load(Ordering::Relaxed)
+    }
+}
+
+/// Declares the atomic twin of [`MmStats`]: same field list (the
+/// struct-literal expansion in `snapshot` fails to compile if the lists
+/// drift), per-field `AtomicU64`, mutable through `&self`.
+macro_rules! mm_counters {
+    ($($field:ident),+ $(,)?) => {
+        /// Live kernel counters: the atomic twin of [`MmStats`].
+        #[derive(Debug, Default)]
+        pub struct MmCounters {
+            $(pub $field: AtomicU64,)+
+        }
+
+        impl MmCounters {
+            /// Coherent value snapshot for reporting and `since` diffing.
+            pub fn snapshot(&self) -> MmStats {
+                MmStats {
+                    $($field: self.$field.load(Ordering::Relaxed),)+
+                }
+            }
+        }
+    };
+}
+
+mm_counters!(
+    minor_faults,
+    major_faults,
+    swap_outs,
+    swap_ins,
+    cow_copies,
+    reclaim_passes,
+    orphaned_pages,
+    skipped_vm_locked,
+    skipped_pg_locked,
+    kiobuf_pins,
+    kiobuf_unpins,
+    swap_cache_adds,
+    swap_cache_hits,
+    faults_injected,
+    backoff_ticks,
+);
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +174,19 @@ mod tests {
         assert_eq!(d.swap_outs, 15);
         assert_eq!(d.major_faults, 4);
         assert_eq!(d.minor_faults, 0);
+    }
+
+    #[test]
+    fn counters_snapshot() {
+        let c = MmCounters::default();
+        c.swap_outs.bump();
+        c.swap_outs.bump();
+        c.backoff_ticks.add(8);
+        let s = c.snapshot();
+        assert_eq!(s.swap_outs, 2);
+        assert_eq!(s.backoff_ticks, 8);
+        assert_eq!(s.minor_faults, 0);
+        assert_eq!(c.swap_outs.get(), 2);
     }
 }
 

@@ -44,7 +44,7 @@ fn pinned_page_comes_back_as_the_same_frame() {
 
     pressure(&mut k, 80);
     assert!(k.frame_of(pid, a).unwrap().is_none(), "page was evicted");
-    assert!(k.stats.swap_cache_adds > 0);
+    assert!(k.mm_stats().swap_cache_adds > 0);
     assert!(k.swap_cache_len() > 0);
 
     // Refault: same frame, data intact, swap-cache hit recorded.
@@ -56,7 +56,7 @@ fn pinned_page_comes_back_as_the_same_frame() {
         Some(f0),
         "swap cache reunified the frame"
     );
-    assert!(k.stats.swap_cache_hits >= 1);
+    assert!(k.mm_stats().swap_cache_hits >= 1);
     assert_eq!(
         k.count_orphaned_frames(),
         0,

@@ -21,7 +21,7 @@
 //!   exactly why the VIA spec demands that descriptor memory be
 //!   registered and locked too.
 
-use simmem::{Kernel, VirtAddr};
+use simmem::{CounterCell, Kernel, VirtAddr};
 
 use crate::descriptor::{DataSeg, DescOp, DescStatus, Descriptor, RdmaSeg};
 use crate::error::{ViaError, ViaResult};
@@ -229,7 +229,7 @@ impl DescriptorRing {
                     attempt += 1;
                     // Model the backoff: each retry waits twice as long for
                     // the NIC to drain (accounted, not slept).
-                    kernel.stats.backoff_ticks += 1u64 << attempt;
+                    kernel.stats.backoff_ticks.add(1u64 << attempt);
                 }
                 Err(e) => return Err(e),
             }

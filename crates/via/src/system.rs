@@ -321,9 +321,41 @@ impl ViaSystem {
         self.nodes[n].register_mem(pid, addr, len, tag)
     }
 
+    /// Register a batch of buffers on node `n` in one kernel-agent trap,
+    /// transactionally: any failure deregisters everything registered so
+    /// far and surfaces the error (mirrors the per-page rollback inside one
+    /// registration, one level up).
+    pub fn register_mem_batch(
+        &mut self,
+        n: NodeId,
+        pid: Pid,
+        bufs: &[(VirtAddr, usize)],
+        tag: ProtectionTag,
+    ) -> ViaResult<Vec<MemId>> {
+        let mut out = Vec::with_capacity(bufs.len());
+        for &(addr, len) in bufs {
+            match self.nodes[n].register_mem(pid, addr, len, tag) {
+                Ok(id) => out.push(id),
+                Err(e) => {
+                    for id in out.into_iter().rev() {
+                        self.nodes[n].deregister_mem(id)?;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(out)
+    }
+
     /// Deregister memory on node `n`.
     pub fn deregister_mem(&mut self, n: NodeId, mem: MemId) -> ViaResult<()> {
         self.nodes[n].deregister_mem(mem)
+    }
+
+    /// Coherent registration-stats snapshot for node `n` (the only
+    /// supported way to read its registry counters).
+    pub fn registry_stats(&self, n: NodeId) -> vialock::RegistryStats {
+        self.nodes[n].registry.snapshot()
     }
 
     /// Post a one-segment send descriptor and ring the doorbell.
@@ -594,6 +626,41 @@ mod tests {
         assert_eq!(cs.status, crate::descriptor::DescStatus::Done);
         let cr = sys.poll_cq(1, vb).unwrap().unwrap();
         assert_eq!(cr.len, 8);
+    }
+
+    #[test]
+    fn batch_registration_rolls_back_on_failure() {
+        let (mut sys, pa, _pb, _va, _vb, tag) = two_node_setup(StrategyKind::KiobufReliable);
+        let buf = sys
+            .mmap(0, pa, 8 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        // A good batch registers everything.
+        let ids = sys
+            .register_mem_batch(
+                0,
+                pa,
+                &[(buf, PAGE_SIZE), (buf + 4 * PAGE_SIZE as u64, PAGE_SIZE)],
+                tag,
+            )
+            .unwrap();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(sys.registry_stats(0).registrations, 2);
+        for id in ids {
+            sys.deregister_mem(0, id).unwrap();
+        }
+        // A batch with a bad entry (zero length) leaves no registrations.
+        let before = sys.registry_stats(0);
+        assert!(sys
+            .register_mem_batch(0, pa, &[(buf, PAGE_SIZE), (buf, 0)], tag)
+            .is_err());
+        let after = sys.registry_stats(0);
+        assert_eq!(
+            after.registrations - before.registrations,
+            after.deregistrations - before.deregistrations,
+            "failed batch fully rolled back"
+        );
+        assert_eq!(sys.node(0).registry.live_regions(), 0);
+        sys.check_invariants().unwrap();
     }
 
     #[test]

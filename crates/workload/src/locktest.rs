@@ -108,7 +108,7 @@ pub fn locktest_steps(node: &mut Node, npages: usize) -> LocktestOutcome {
     let frames_at_reg: Vec<_> = node.registry.frames(reg_handle).expect("frames").to_vec();
 
     // Step 3: the allocator antagonist grabs as much memory as possible.
-    let swap_outs_before = node.kernel.stats.swap_outs;
+    let swap_outs_before = node.kernel.mm_stats().swap_outs;
     let pressure_pages = (node.kernel.config.nframes as usize) * 2;
     let _rep = apply_pressure(&mut node.kernel, pressure_pages);
 
@@ -150,7 +150,7 @@ pub fn locktest_steps(node: &mut Node, npages: usize) -> LocktestOutcome {
     // evicted pages through the swap cache, re-unifying the frames; the
     // counters below tell whether that happened.
     let orphaned = node.kernel.count_orphaned_frames();
-    let stats = node.kernel.stats;
+    let stats = node.kernel.mm_stats();
 
     // Step 7: deregister.
     node.deregister_mem(mem).expect("deregistration");
@@ -225,7 +225,7 @@ fn run_locktest_pressured(
     let reg_handle = node.nic.tpt.region(mem).expect("region").reg_handle;
     let frames_at_reg: Vec<_> = node.registry.frames(reg_handle).expect("frames").to_vec();
 
-    let swap_outs_before = node.kernel.stats.swap_outs;
+    let swap_outs_before = node.kernel.mm_stats().swap_outs;
     let pressure_pages = ((kcfg.nframes as f64) * pressure_frac) as usize;
     if pressure_pages > 0 {
         apply_pressure(&mut node.kernel, pressure_pages);
@@ -237,7 +237,7 @@ fn run_locktest_pressured(
         .zip(frames_now.iter())
         .filter(|(reg, cur)| Some(**reg) != **cur)
         .count();
-    let stats = node.kernel.stats;
+    let stats = node.kernel.mm_stats();
     let orphaned = node.kernel.count_orphaned_frames();
     node.deregister_mem(mem).expect("deregister");
     LocktestOutcome {

@@ -84,7 +84,7 @@ mod tests {
 
         let rep = apply_pressure(&mut k, 100);
         assert!(rep.pages_dirtied >= 50, "antagonist got most of memory");
-        assert!(k.stats.swap_outs > 0);
+        assert!(k.mm_stats().swap_outs > 0);
     }
 
     #[test]

@@ -44,22 +44,22 @@ pub fn measure(strategy: StrategyKind, npages: usize) -> RegMetrics {
         .expect("mmap");
     let mut reg = MemoryRegistry::new(strategy);
 
-    let before: MmStats = k.stats;
+    let before: MmStats = k.mm_stats();
     let h = reg.register(&mut k, pid, buf, len).expect("register");
-    let d = k.stats.since(&before);
+    let d = k.mm_stats().since(&before);
 
     let frames = reg.frames(h).expect("frames").to_vec();
     let pages_locked = frames
         .iter()
         .filter(|&&f| {
             k.page_descriptor(f)
-                .flags
+                .flags()
                 .contains(simmem::PageFlags::LOCKED)
         })
         .count();
     let pages_referenced = frames
         .iter()
-        .filter(|&&f| k.page_descriptor(f).count > 1)
+        .filter(|&&f| k.page_descriptor(f).count() > 1)
         .count();
     let out = RegMetrics {
         strategy: strategy.label(),

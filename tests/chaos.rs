@@ -248,6 +248,84 @@ fn chaos_on_threaded_cluster_degrades_cleanly() {
     assert!(errored > 0, "no plan bit on the threaded fabric");
 }
 
+// ---------------------------------------------------------------------
+// The concurrent registration path under fault injection
+// ---------------------------------------------------------------------
+
+/// Chaos over the sharded concurrent path: an intermittent page-lock
+/// fault (the paper's "page busy with I/O" case) fires while several
+/// threads register and deregister overlapping windows of one buffer.
+/// Every hit must surface as a typed `WouldBlock` on exactly one caller
+/// and roll back completely — no partial pins, no poisoned shards, and
+/// concurrent registrations on other ranges must be untouched. The pin
+/// census is audited after every round.
+#[test]
+fn chaos_on_sharded_concurrent_path_rolls_back_cleanly() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::RwLock;
+
+    use simmem::Capabilities;
+    use vialock::{RegError, ShardedRegistry};
+
+    let mut total_blocked = 0usize;
+    for round in 0..6u64 {
+        // ~10 % of page-lock consultations fire (probability is /65536).
+        let plan = FaultPlan::new(0xFACE ^ round).fail_with_probability(FaultSite::PageLock, 6554);
+        let handle = fault::handle(plan);
+        let mut k = simmem::Kernel::new(KernelConfig::small());
+        k.set_injector(Some(fault::kernel_hook(&handle)));
+        let pid = k.spawn_process(Capabilities::default());
+        let buf = k
+            .mmap_anon(pid, 64 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        k.touch_pages(pid, buf, 64 * PAGE_SIZE, true).unwrap();
+        let nframes = k.meminfo().total_frames;
+        let kernel = RwLock::new(k);
+        let reg = ShardedRegistry::new(StrategyKind::KiobufReliable, nframes);
+
+        let threads = 4usize;
+        let blocked = AtomicUsize::new(0);
+        let (reg_ref, kernel_ref, blocked_ref) = (&reg, &kernel, &blocked);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                s.spawn(move || {
+                    for i in 0..100usize {
+                        let start = ((t * 11 + i * 5) % 48) as u64;
+                        let pages = 1 + (i % 6);
+                        match reg_ref.register(
+                            kernel_ref,
+                            pid,
+                            buf + start * PAGE_SIZE as u64,
+                            pages * PAGE_SIZE,
+                        ) {
+                            Ok(h) => {
+                                assert_eq!(reg_ref.frames(h).unwrap().len(), pages);
+                                reg_ref.deregister(kernel_ref, h).unwrap();
+                            }
+                            // The injected fault: a clean typed refusal.
+                            Err(RegError::WouldBlock) => {
+                                blocked_ref.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(other) => panic!("unexpected error under chaos: {other:?}"),
+                        }
+                    }
+                });
+            }
+        });
+
+        // Whatever the faults did mid-round, nothing may survive it.
+        assert_eq!(reg.live_regions(), 0, "round {round}: regions leaked");
+        assert_eq!(reg.pinned_frames(), 0, "round {round}: pins leaked");
+        reg.check_invariants(&kernel.read().unwrap())
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        total_blocked += blocked.load(Ordering::Relaxed);
+    }
+    assert!(
+        total_blocked > 0,
+        "page-lock chaos never fired across 6 rounds — site dead on the shared path?"
+    );
+}
+
 /// Same plan, same seed → same outcome and same fault-site hit counts:
 /// the subsystem is deterministic, so any chaos failure reproduces.
 #[test]

@@ -76,7 +76,7 @@ fn would_block_then_retry_succeeds() {
         }
     };
     assert_eq!(attempts, 2);
-    assert_eq!(reg.stats.blocked, 1);
+    assert_eq!(reg.snapshot().blocked, 1);
     assert!(reg.verify_consistency(&k, handle).unwrap());
     reg.deregister(&mut k, handle).unwrap();
 }

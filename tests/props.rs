@@ -147,7 +147,7 @@ proptest! {
         // Conservation: free + resident(+zero-page refs) + orphaned must
         // never exceed the machine, and orphaned frames equal the stealer's
         // counter.
-        prop_assert_eq!(k.count_orphaned_frames() as u64, k.stats.orphaned_pages);
+        prop_assert_eq!(k.count_orphaned_frames() as u64, k.mm_stats().orphaned_pages);
         reg.deregister(&mut k, h).unwrap();
         // After dropping the pins, orphans become free again.
         prop_assert_eq!(k.count_orphaned_frames(), 0);

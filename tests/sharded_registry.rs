@@ -1,0 +1,238 @@
+//! The sharded concurrent registration path against the seed registry as
+//! oracle, plus a multi-thread overlap stress run.
+//!
+//! The oracle test replays one random schedule of register/deregister ops
+//! through two identically-built worlds — `MemoryRegistry` + `Kernel` on
+//! one side, `ShardedRegistry` + `RwLock<Kernel>` on the other — and
+//! demands identical observable behaviour after every op: the same error
+//! kinds, the same live-region and pinned-frame censuses, the same frames
+//! behind each handle, the same mlock interval bookkeeping, and the same
+//! `RegistryStats`. Buffers are pre-touched in both kernels so frame
+//! allocation is deterministic and frame ids line up exactly.
+
+use std::sync::{Barrier, RwLock};
+
+use proptest::prelude::*;
+
+use simmem::{prot, Capabilities, Kernel, KernelConfig, Pid, VirtAddr, PAGE_SIZE};
+use vialock::{MemHandle, MemoryRegistry, ShardedRegistry, StrategyKind};
+
+/// Pages per per-pid buffer in the oracle worlds.
+const BUF_PAGES: u64 = 64;
+const NPIDS: usize = 2;
+
+// ---------------------------------------------------------------------
+// Oracle equivalence
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Register `pages` pages starting at `page` within pid `pid_idx`'s
+    /// buffer. `page + pages` may run past the buffer end — both sides
+    /// must then fail with the same error.
+    Register { pid_idx: u8, page: u8, pages: u8 },
+    /// Deregister the `slot % live`-th outstanding handle pair.
+    Deregister { slot: u8 },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    // The vendored prop_oneof! is unweighted; listing the register arm
+    // twice biases the schedule toward a deep outstanding set.
+    prop_oneof![
+        (0u8..NPIDS as u8, 0u8..BUF_PAGES as u8, 0u8..9).prop_map(|(pid_idx, page, pages)| {
+            Op::Register {
+                pid_idx,
+                page,
+                pages,
+            }
+        }),
+        (0u8..NPIDS as u8, 0u8..BUF_PAGES as u8, 1u8..5).prop_map(|(pid_idx, page, pages)| {
+            Op::Register {
+                pid_idx,
+                page,
+                pages,
+            }
+        }),
+        (0u8..64).prop_map(|slot| Op::Deregister { slot }),
+    ]
+}
+
+/// Build one world: a small kernel, `NPIDS` processes with `CAP_IPC_LOCK`
+/// (so the mlock strategy works), and one fully-touched buffer each.
+/// Called twice per case; both calls perform the identical kernel op
+/// sequence, so frame ids in the two worlds coincide.
+fn build_world() -> (Kernel, Vec<Pid>, Vec<VirtAddr>) {
+    let mut k = Kernel::new(KernelConfig::small());
+    let mut pids = Vec::new();
+    let mut bufs = Vec::new();
+    for _ in 0..NPIDS {
+        let pid = k.spawn_process(Capabilities::root());
+        let buf = k
+            .mmap_anon(
+                pid,
+                BUF_PAGES as usize * PAGE_SIZE,
+                prot::READ | prot::WRITE,
+            )
+            .unwrap();
+        k.touch_pages(pid, buf, BUF_PAGES as usize * PAGE_SIZE, true)
+            .unwrap();
+        pids.push(pid);
+        bufs.push(buf);
+    }
+    (k, pids, bufs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sharded_registry_matches_seed_oracle(
+        strategy_idx in 0usize..StrategyKind::ALL.len(),
+        ops in prop::collection::vec(op(), 1..60),
+    ) {
+        let strategy = StrategyKind::ALL[strategy_idx];
+
+        let (mut seed_k, seed_pids, seed_bufs) = build_world();
+        let mut seed = MemoryRegistry::new(strategy);
+
+        let (shard_k, shard_pids, shard_bufs) = build_world();
+        let nframes = shard_k.meminfo().total_frames;
+        let kernel = RwLock::new(shard_k);
+        let sharded = ShardedRegistry::new(strategy, nframes);
+
+        // Outstanding (seed handle, sharded handle) pairs.
+        let mut live: Vec<(MemHandle, MemHandle)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Register { pid_idx, page, pages } => {
+                    let i = pid_idx as usize;
+                    let off = page as u64 * PAGE_SIZE as u64;
+                    let len = pages as usize * PAGE_SIZE;
+                    let r_seed = seed.register(&mut seed_k, seed_pids[i], seed_bufs[i] + off, len);
+                    let r_shard = sharded.register(&kernel, shard_pids[i], shard_bufs[i] + off, len);
+                    match (r_seed, r_shard) {
+                        (Ok(h_seed), Ok(h_shard)) => {
+                            prop_assert_eq!(
+                                seed.frames(h_seed).unwrap().to_vec(),
+                                sharded.frames(h_shard).unwrap(),
+                                "frame lists diverge for {:?}", strategy
+                            );
+                            live.push((h_seed, h_shard));
+                        }
+                        (r_seed, r_shard) => prop_assert_eq!(r_seed.err(), r_shard.err(),
+                            "error kinds diverge for {:?}", strategy),
+                    }
+                }
+                Op::Deregister { slot } => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (h_seed, h_shard) = live.remove(slot as usize % live.len());
+                    let r_seed = seed.deregister(&mut seed_k, h_seed);
+                    let r_shard = sharded.deregister(&kernel, h_shard);
+                    prop_assert_eq!(r_seed, r_shard, "deregister diverges for {:?}", strategy);
+                }
+            }
+            // Census after every op, not just at the end: a transient
+            // divergence must not be masked by later compensation.
+            prop_assert_eq!(seed.live_regions(), sharded.live_regions());
+            prop_assert_eq!(seed.pinned_frames(), sharded.pinned_frames());
+        }
+
+        // Full interval bookkeeping sweep (meaningful for the mlock
+        // strategy, trivially zero for the others).
+        for i in 0..NPIDS {
+            let base_vpn = seed_bufs[i] / PAGE_SIZE as u64;
+            let shard_base_vpn = shard_bufs[i] / PAGE_SIZE as u64;
+            for p in 0..BUF_PAGES {
+                prop_assert_eq!(
+                    seed.mlock_count_at(seed_pids[i], base_vpn + p),
+                    sharded.mlock_count_at(shard_pids[i], shard_base_vpn + p),
+                    "mlock census diverges at page {} of pid {}", p, i
+                );
+            }
+        }
+
+        prop_assert_eq!(seed.snapshot(), sharded.snapshot(), "stats diverge for {:?}", strategy);
+        let inv = sharded.check_invariants(&kernel.read().unwrap());
+        prop_assert!(inv.is_ok(), "invariant violation: {:?}", inv);
+
+        // Drain the survivors; both sides must empty out together.
+        for (h_seed, h_shard) in live {
+            let r_seed = seed.deregister(&mut seed_k, h_seed);
+            let r_shard = sharded.deregister(&kernel, h_shard);
+            prop_assert_eq!(r_seed, r_shard);
+        }
+        prop_assert_eq!(seed.live_regions(), 0);
+        prop_assert_eq!(sharded.live_regions(), 0);
+        prop_assert_eq!(sharded.pinned_frames(), 0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Multi-thread overlap stress
+// ---------------------------------------------------------------------
+
+/// 2–8 threads hammer overlapping windows of ONE pid's buffer. Overlapping
+/// same-pid ranges serialize through the range-lock table; the final state
+/// must be exactly empty and the pin-table census must balance.
+#[test]
+fn concurrent_overlapping_registration_stress() {
+    let mut k = Kernel::new(KernelConfig::small());
+    let pid = k.spawn_process(Capabilities::default());
+    let buf = k
+        .mmap_anon(pid, 64 * PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
+    k.touch_pages(pid, buf, 64 * PAGE_SIZE, true).unwrap();
+    let nframes = k.meminfo().total_frames;
+    let kernel = RwLock::new(k);
+
+    for &threads in &[2usize, 4, 8] {
+        let reg = ShardedRegistry::new(StrategyKind::KiobufReliable, nframes);
+        let barrier = Barrier::new(threads);
+        let (reg_ref, kernel_ref, barrier_ref) = (&reg, &kernel, &barrier);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                s.spawn(move || {
+                    barrier_ref.wait();
+                    for i in 0..200usize {
+                        // Stride the window so every pair of threads keeps
+                        // colliding on some pages.
+                        let start = ((t * 7 + i * 3) % 48) as u64;
+                        let pages = 1 + (i % 8);
+                        let h = reg_ref
+                            .register(
+                                kernel_ref,
+                                pid,
+                                buf + start * PAGE_SIZE as u64,
+                                pages * PAGE_SIZE,
+                            )
+                            .expect("register under contention");
+                        let frames = reg_ref.frames(h).expect("frames of live handle");
+                        assert_eq!(frames.len(), pages);
+                        // Every covered frame must read as pinned while the
+                        // registration is live.
+                        for f in frames {
+                            assert!(reg_ref.pin_count(f) >= 1, "frame lost its pin");
+                        }
+                        reg_ref.deregister(kernel_ref, h).expect("deregister");
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            reg.live_regions(),
+            0,
+            "{threads} threads left regions behind"
+        );
+        assert_eq!(reg.pinned_frames(), 0, "{threads} threads left pins behind");
+        // On a single-core runner the scheduler may serialize the whole
+        // schedule, so range-lock contention is reported, not required.
+        eprintln!(
+            "{threads} threads: {} range-lock waits",
+            reg.range_contended()
+        );
+        reg.check_invariants(&kernel.read().unwrap()).unwrap();
+    }
+}

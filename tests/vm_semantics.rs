@@ -68,8 +68,8 @@ fn munmap_of_registered_memory_keeps_frames_alive() {
     // Frames NOT freed: the registration holds references.
     assert_eq!(k.free_frames(), free_before);
     for &f in &frames {
-        assert!(k.page_descriptor(f).count >= 1);
-        assert!(k.page_descriptor(f).flags.contains(PageFlags::LOCKED));
+        assert!(k.page_descriptor(f).count() >= 1);
+        assert!(k.page_descriptor(f).flags().contains(PageFlags::LOCKED));
     }
     // DMA into the registered frame is still safe (no other owner).
     k.dma_write(frames[0], 0, b"NIC").unwrap();
@@ -116,14 +116,14 @@ fn exit_with_live_registration_is_contained() {
 
     k.exit_process(pid).unwrap();
     for &f in &frames {
-        assert_eq!(k.page_descriptor(f).count, 1, "pin reference remains");
+        assert_eq!(k.page_descriptor(f).count(), 1, "pin reference remains");
     }
     // DMA to the pinned frames is still memory-safe.
     k.dma_write(frames[0], 0, b"late").unwrap();
     // The kernel agent's cleanup path releases everything.
     reg.deregister(&mut k, h).unwrap();
     for &f in &frames {
-        assert_eq!(k.page_descriptor(f).count, 0);
+        assert_eq!(k.page_descriptor(f).count(), 0);
     }
     assert_eq!(k.count_orphaned_frames(), 0);
 }
