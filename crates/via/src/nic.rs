@@ -56,6 +56,10 @@ pub struct NicStats {
     pub cq_overruns: u64,
     /// Descriptors completed with an error status instead of `Done`.
     pub desc_errors: u64,
+    /// Atomic CAS descriptors issued from this node (requester side).
+    pub atomic_cas: u64,
+    /// Target-side CAS executions whose compare matched (swap applied).
+    pub cas_applied: u64,
 }
 
 impl_since!(NicStats {
@@ -77,6 +81,8 @@ impl_since!(NicStats {
     wire_delays,
     cq_overruns,
     desc_errors,
+    atomic_cas,
+    cas_applied,
 });
 
 /// Recycling free list for packet payload buffers. Buffers keep their
@@ -199,6 +205,22 @@ pub enum PacketKind {
     /// RDMA-read response: payload for the oldest pending read of the
     /// destination VI.
     RdmaReadResp,
+    /// Atomic compare-and-swap request on an aligned u64 at
+    /// `(remote_mem, remote_addr)`. Payload: compare(8) ‖ swap(8), LE.
+    /// The target executes the read-compare-conditional-write indivisibly
+    /// (its service thread is the only writer of its memory) and answers
+    /// with a [`PacketKind::AtomicCasResp`].
+    AtomicCasReq {
+        remote_mem: MemId,
+        remote_addr: VirtAddr,
+        /// VI at the requester to route the response back to.
+        reply_vi: ViId,
+    },
+    /// CAS response: on `ok` the payload carries the old value (8 bytes);
+    /// on a protection refusal the payload is empty and the requester's
+    /// parked descriptor completes with `ProtectionError` instead of
+    /// hanging.
+    AtomicCasResp { ok: bool },
 }
 
 /// The NIC: TPT, VIs and counters.
@@ -746,7 +768,7 @@ impl Node {
         // without an address segment is VIA's "descriptor format error" —
         // completed in error, nothing transferred, connection intact.
         let rdma_seg = match desc.op {
-            DescOp::RdmaWrite | DescOp::RdmaRead => match desc.rdma {
+            DescOp::RdmaWrite | DescOp::RdmaRead | DescOp::AtomicCas => match desc.rdma {
                 Some(r) => Some(r),
                 None => {
                     desc.status = DescStatus::FormatError;
@@ -765,6 +787,43 @@ impl Node {
             },
             _ => None,
         };
+        if desc.op == DescOp::AtomicCas {
+            // A CAS needs its operands and an 8-byte local result buffer;
+            // anything else is a descriptor format error.
+            let (Some((compare, swap)), true) = (desc.cas, desc.total_len() >= 8) else {
+                desc.status = DescStatus::FormatError;
+                self.push_completion(
+                    vi_id,
+                    Completion {
+                        vi: vi_id,
+                        op: desc.op,
+                        status: DescStatus::FormatError,
+                        len: 0,
+                        imm: desc.imm,
+                    },
+                )?;
+                return Ok(None);
+            };
+            let r = rdma_seg.ok_or(ViaError::BadState("cas without address segment"))?;
+            self.nic.stats.atomic_cas += 1;
+            let mut payload = self.pool.take(16, &mut self.nic.stats);
+            payload[..8].copy_from_slice(&compare.to_le_bytes());
+            payload[8..].copy_from_slice(&swap.to_le_bytes());
+            let pkt = Packet {
+                src_node: node_index,
+                dst_node,
+                dst_vi,
+                kind: PacketKind::AtomicCasReq {
+                    remote_mem: r.remote_mem,
+                    remote_addr: r.remote_addr,
+                    reply_vi: vi_id,
+                },
+                payload,
+                imm: desc.imm,
+            };
+            self.nic.vi_mut(vi_id)?.pending_reads.push_back(desc);
+            return Ok(Some(pkt));
+        }
         if desc.op == DescOp::RdmaRead {
             // No local gather yet: emit the request, park the descriptor
             // until the response arrives.
@@ -806,7 +865,7 @@ impl Node {
                         }
                     }
                     DescOp::Recv => return Err(ViaError::BadState("recv on send queue")),
-                    DescOp::RdmaRead => unreachable!("handled above"),
+                    DescOp::RdmaRead | DescOp::AtomicCas => unreachable!("handled above"),
                 };
                 self.nic.stats.bytes_tx += payload.len() as u64;
                 let pkt = Packet {
@@ -963,6 +1022,100 @@ impl Node {
                     }
                 }
             }
+            PacketKind::AtomicCasReq {
+                remote_mem,
+                remote_addr,
+                reply_vi,
+            } => {
+                if packet.payload.len() != 16 {
+                    self.pool.put(packet.payload);
+                    return Err(ViaError::BadState("malformed CAS request"));
+                }
+                let compare = u64::from_le_bytes(packet.payload[..8].try_into().expect("8 bytes"));
+                let swap = u64::from_le_bytes(packet.payload[8..].try_into().expect("8 bytes"));
+                let r = self.rdma_cas(vi_id, remote_mem, remote_addr, compare, swap);
+                self.pool.put(packet.payload);
+                match r {
+                    Ok(old) => {
+                        let mut payload = self.pool.take(8, &mut self.nic.stats);
+                        payload.copy_from_slice(&old.to_le_bytes());
+                        self.nic.stats.bytes_tx += 8;
+                        Ok(vec![Packet {
+                            src_node: packet.dst_node,
+                            dst_node: packet.src_node,
+                            dst_vi: reply_vi,
+                            kind: PacketKind::AtomicCasResp { ok: true },
+                            payload,
+                            imm: packet.imm,
+                        }])
+                    }
+                    Err(_) => {
+                        // Protection refusal: answer with a NACK instead of
+                        // silently abandoning the requester's parked
+                        // descriptor — a waiter must always get a typed
+                        // completion.
+                        self.nic.stats.protection_errors += 1;
+                        Ok(vec![Packet {
+                            src_node: packet.dst_node,
+                            dst_node: packet.src_node,
+                            dst_vi: reply_vi,
+                            kind: PacketKind::AtomicCasResp { ok: false },
+                            payload: Vec::new(),
+                            imm: packet.imm,
+                        }])
+                    }
+                }
+            }
+            PacketKind::AtomicCasResp { ok } => {
+                // Requester side: complete the parked CAS descriptor.
+                let Some(mut desc) = self.nic.vi_mut(vi_id)?.pending_reads.pop_front() else {
+                    self.pool.put(packet.payload);
+                    return Err(ViaError::BadState("CAS response without pending CAS"));
+                };
+                if desc.op != DescOp::AtomicCas {
+                    self.pool.put(packet.payload);
+                    return Err(ViaError::BadState("CAS response for non-CAS descriptor"));
+                }
+                if !ok {
+                    desc.status = DescStatus::ProtectionError;
+                    let imm = packet.imm;
+                    self.pool.put(packet.payload);
+                    self.push_completion(
+                        vi_id,
+                        Completion {
+                            vi: vi_id,
+                            op: DescOp::AtomicCas,
+                            status: DescStatus::ProtectionError,
+                            len: 0,
+                            imm,
+                        },
+                    )?;
+                    return Ok(Vec::new());
+                }
+                let written = match self.scatter(vi_id, &desc, &packet.payload) {
+                    Ok(w) => w,
+                    Err(e) => {
+                        self.pool.put(packet.payload);
+                        return Err(e);
+                    }
+                };
+                desc.status = DescStatus::Done;
+                desc.done_len = written;
+                self.nic.stats.bytes_rx += written as u64;
+                let imm = packet.imm;
+                self.pool.put(packet.payload);
+                self.push_completion(
+                    vi_id,
+                    Completion {
+                        vi: vi_id,
+                        op: DescOp::AtomicCas,
+                        status: DescStatus::Done,
+                        len: written,
+                        imm,
+                    },
+                )?;
+                Ok(Vec::new())
+            }
             PacketKind::RdmaReadResp => {
                 // Requester side: scatter into the parked read descriptor.
                 let Some(mut desc) = self.nic.vi_mut(vi_id)?.pending_reads.pop_front() else {
@@ -1087,6 +1240,64 @@ impl Node {
             return Err(format!("TPT occupancy {used} > capacity {cap}"));
         }
         Ok(())
+    }
+
+    /// Target-side atomic compare-and-swap on an aligned u64 of a named
+    /// region. Both RDMA enables are required — the op reads the word and
+    /// may write it — and the VI's protection tag is checked by the same
+    /// translations every other access uses. The read-compare-write is
+    /// indivisible because the owning node's thread is the only executor
+    /// of its memory's deliveries.
+    fn rdma_cas(
+        &mut self,
+        vi_id: ViId,
+        remote_mem: MemId,
+        remote_addr: VirtAddr,
+        compare: u64,
+        swap: u64,
+    ) -> ViaResult<u64> {
+        if !remote_addr.is_multiple_of(8) {
+            return Err(ViaError::OutOfBounds);
+        }
+        let mut runs = std::mem::take(&mut self.run_scratch);
+        let r = (|| {
+            // Check the read enable first, then translate again under the
+            // write enable; the second translation's run is the one used,
+            // so a region registered read-only is refused before any DMA.
+            runs.clear();
+            self.nic.translate_range(
+                vi_id,
+                remote_mem,
+                remote_addr,
+                8,
+                Access::RdmaRead,
+                &mut runs,
+            )?;
+            runs.clear();
+            self.nic.translate_range(
+                vi_id,
+                remote_mem,
+                remote_addr,
+                8,
+                Access::RdmaWrite,
+                &mut runs,
+            )?;
+            let run = runs[0];
+            debug_assert_eq!(run.len, 8, "aligned u64 never spans frames");
+            let mut old = [0u8; 8];
+            self.kernel.dma_read_run(run.frame, run.offset, &mut old)?;
+            self.nic.stats.dma_ops += 1;
+            let old = u64::from_le_bytes(old);
+            if old == compare {
+                self.kernel
+                    .dma_write_run(run.frame, run.offset, &swap.to_le_bytes())?;
+                self.nic.stats.dma_ops += 1;
+                self.nic.stats.cas_applied += 1;
+            }
+            Ok(old)
+        })();
+        self.run_scratch = runs;
+        r
     }
 
     /// Gather `len` bytes from a named region for an RDMA-read request

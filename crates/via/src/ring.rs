@@ -41,23 +41,35 @@ pub mod wire {
     pub const OP_RECV: u8 = 2;
     pub const OP_RDMA_WRITE: u8 = 3;
     pub const OP_RDMA_READ: u8 = 4;
+    pub const OP_ATOMIC_CAS: u8 = 5;
+
+    /// Atomic operand segment (CAS): compare(8) swap(8).
+    pub const ATOMIC_SIZE: usize = 16;
 
     /// Bytes needed to encode a descriptor with `nsegs` data segments and
-    /// optionally an address segment.
-    pub fn encoded_len(nsegs: usize, has_addr: bool) -> usize {
-        CTRL_SIZE + if has_addr { ADDR_SIZE } else { 0 } + nsegs * SEG_SIZE
+    /// optionally an address segment and an atomic operand segment.
+    pub fn encoded_len(nsegs: usize, has_addr: bool, has_atomic: bool) -> usize {
+        CTRL_SIZE
+            + if has_addr { ADDR_SIZE } else { 0 }
+            + if has_atomic { ATOMIC_SIZE } else { 0 }
+            + nsegs * SEG_SIZE
     }
 }
 
 /// Encode a descriptor into its wire format.
 pub fn encode(desc: &Descriptor) -> ViaResult<Vec<u8>> {
     let has_addr = desc.rdma.is_some();
-    let mut out = vec![0u8; wire::encoded_len(desc.segs.len(), has_addr)];
+    let has_atomic = desc.op == DescOp::AtomicCas;
+    if has_atomic && desc.cas.is_none() {
+        return Err(ViaError::BadState("CAS descriptor without operands"));
+    }
+    let mut out = vec![0u8; wire::encoded_len(desc.segs.len(), has_addr, has_atomic)];
     out[0] = match desc.op {
         DescOp::Send => wire::OP_SEND,
         DescOp::Recv => wire::OP_RECV,
         DescOp::RdmaWrite => wire::OP_RDMA_WRITE,
         DescOp::RdmaRead => wire::OP_RDMA_READ,
+        DescOp::AtomicCas => wire::OP_ATOMIC_CAS,
     };
     let nsegs =
         u16::try_from(desc.segs.len()).map_err(|_| ViaError::BadState("too many segments"))?;
@@ -71,6 +83,12 @@ pub fn encode(desc: &Descriptor) -> ViaResult<Vec<u8>> {
         out[off..off + 4].copy_from_slice(&r.remote_mem.0.to_le_bytes());
         out[off + 8..off + 16].copy_from_slice(&r.remote_addr.to_le_bytes());
         off += wire::ADDR_SIZE;
+    }
+    if has_atomic {
+        let (compare, swap) = desc.cas.expect("checked above");
+        out[off..off + 8].copy_from_slice(&compare.to_le_bytes());
+        out[off + 8..off + 16].copy_from_slice(&swap.to_le_bytes());
+        off += wire::ATOMIC_SIZE;
     }
     for s in &desc.segs {
         out[off..off + 4].copy_from_slice(&s.mem.0.to_le_bytes());
@@ -91,6 +109,7 @@ pub fn decode(bytes: &[u8]) -> ViaResult<Descriptor> {
         wire::OP_RECV => DescOp::Recv,
         wire::OP_RDMA_WRITE => DescOp::RdmaWrite,
         wire::OP_RDMA_READ => DescOp::RdmaRead,
+        wire::OP_ATOMIC_CAS => DescOp::AtomicCas,
         _ => return Err(ViaError::BadState("bad opcode in descriptor")),
     };
     let nsegs = u16::from_le_bytes(bytes[2..4].try_into().expect("2 bytes")) as usize;
@@ -101,8 +120,9 @@ pub fn decode(bytes: &[u8]) -> ViaResult<Descriptor> {
     } else {
         None
     };
-    let has_addr = matches!(op, DescOp::RdmaWrite | DescOp::RdmaRead);
-    if bytes.len() < wire::encoded_len(nsegs, has_addr) {
+    let has_addr = matches!(op, DescOp::RdmaWrite | DescOp::RdmaRead | DescOp::AtomicCas);
+    let has_atomic = op == DescOp::AtomicCas;
+    if bytes.len() < wire::encoded_len(nsegs, has_addr, has_atomic) {
         return Err(ViaError::BadState("truncated descriptor"));
     }
     let mut off = wire::CTRL_SIZE;
@@ -114,6 +134,14 @@ pub fn decode(bytes: &[u8]) -> ViaResult<Descriptor> {
             remote_mem: MemId(mem),
             remote_addr: addr,
         })
+    } else {
+        None
+    };
+    let cas = if has_atomic {
+        let compare = u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"));
+        let swap = u64::from_le_bytes(bytes[off + 8..off + 16].try_into().expect("8 bytes"));
+        off += wire::ATOMIC_SIZE;
+        Some((compare, swap))
     } else {
         None
     };
@@ -134,6 +162,7 @@ pub fn decode(bytes: &[u8]) -> ViaResult<Descriptor> {
         segs,
         rdma,
         imm,
+        cas,
         status: DescStatus::Pending,
         done_len: 0,
     })

@@ -214,6 +214,12 @@ enum Command {
     },
     PollCq(ViId),
     WaitCq(ViId),
+    /// [`Command::WaitCq`] with an explicit per-call deadline instead of
+    /// the cluster-wide wait budget.
+    WaitCqDeadline {
+        vi: ViId,
+        timeout: Duration,
+    },
     Pump,
     SciWriteBytes {
         data: Vec<u8>,
@@ -232,6 +238,11 @@ enum Command {
     CheckNode,
     WithNode(NodeFn),
     Shutdown,
+    /// Simulated crash: the service thread exits *immediately* — no
+    /// reply, no flush of staged wire traffic, no retirement handshake.
+    /// The reply channel and wire rings close as the thread unwinds, so
+    /// the controller and every peer observe [`ViaError::PeerGone`].
+    Die,
 }
 
 /// Service-thread answers, one per [`Command`].
@@ -708,7 +719,14 @@ impl NodeCtx {
     /// final emptiness re-check, so a publish that lands between the
     /// check and the park still wakes us immediately.
     pub fn wait_completion(&mut self, vi: ViId) -> ViaResult<Completion> {
-        let deadline = Instant::now() + self.wait_timeout;
+        self.wait_completion_for(vi, self.wait_timeout)
+    }
+
+    /// [`NodeCtx::wait_completion`] with an explicit wait budget — the
+    /// deadline-aware variant DLM clients (and anything else talking to a
+    /// possibly-dead peer) use so they can never hang past their lease.
+    pub fn wait_completion_for(&mut self, vi: ViId, timeout: Duration) -> ViaResult<Completion> {
+        let deadline = Instant::now() + timeout;
         loop {
             self.ship_sends()?;
             if let Some(c) = self.node.nic.vi_mut(vi)?.poll_cq() {
@@ -753,7 +771,7 @@ impl NodeCtx {
                 }
             }
             if Instant::now() > deadline {
-                return Err(ViaError::BadState("wait_completion timed out"));
+                return Err(ViaError::Timeout);
             }
         }
     }
@@ -887,6 +905,9 @@ impl NodeCtx {
             Command::PostRecv { vi, desc } => Reply::Unit(self.post(vi, desc, false)),
             Command::PollCq(vi) => Reply::Maybe(self.node.nic.vi_mut(vi).map(|v| v.poll_cq())),
             Command::WaitCq(vi) => Reply::Completion(self.wait_completion(vi)),
+            Command::WaitCqDeadline { vi, timeout } => {
+                Reply::Completion(self.wait_completion_for(vi, timeout))
+            }
             Command::Pump => {
                 let before = self.stats.delivered;
                 let progressed = self.pump_round();
@@ -919,6 +940,7 @@ impl NodeCtx {
             },
             Command::WithNode(f) => Reply::Any(f(&mut self.node)),
             Command::Shutdown => Reply::Unit(Ok(())),
+            Command::Die => unreachable!("Die is intercepted by the service loop"),
         }
     }
 
@@ -974,6 +996,12 @@ fn service(mut ctx: NodeCtx, reply_tx: Sender<Reply>) -> Node {
         ctx.drain_commands();
         while let Some(cmd) = ctx.backlog.pop_front() {
             ctx.stats.commands += 1;
+            if matches!(cmd, Command::Die) {
+                // Simulated crash: drop everything on the floor. Peers
+                // discover the death through their closed wire rings,
+                // the controller through the closed reply channel.
+                return ctx.node;
+            }
             let shutdown = matches!(cmd, Command::Shutdown);
             if shutdown {
                 // Flush anything still staged so peers draining their
@@ -1224,6 +1252,25 @@ impl ThreadedCluster {
         }
     }
 
+    /// Crash node `n`: its service thread exits immediately without
+    /// replying, flushing staged wire traffic, or retiring, so every
+    /// subsequent command to it — and every peer's send toward it —
+    /// surfaces [`ViaError::PeerGone`] (or, for a blocking wait that was
+    /// counting on its traffic, [`ViaError::Timeout`] once the wait
+    /// ladder expires). Joins the thread so the death is complete, not
+    /// merely requested, when this returns. The node's state dies with
+    /// it; [`ThreadedCluster::into_nodes`] reports it among the dead.
+    pub fn kill_node(&mut self, n: NodeId) -> ViaResult<()> {
+        self.cmd_txs[n]
+            .send(Command::Die)
+            .map_err(|_| ViaError::PeerGone(n))?;
+        self.bells[n].ring();
+        if let Some(handle) = self.handles[n].take() {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+
     /// Shut every node thread down and return the nodes for post-mortem
     /// inspection (registries, stats, VI state).
     pub fn into_nodes(mut self) -> ViaResult<Vec<Node>> {
@@ -1236,12 +1283,27 @@ impl ThreadedCluster {
         }
         drop(cmd_txs);
         drop(replies);
+        // Join every thread before reporting: a panicked node must not
+        // leave the rest detached, and all dead indices are reported, not
+        // just the first.
         let mut nodes = Vec::with_capacity(handles.len());
+        let mut dead: Vec<usize> = Vec::new();
         for (i, slot) in handles.iter_mut().enumerate() {
-            let handle = slot.take().expect("handle taken twice");
-            nodes.push(handle.join().map_err(|_| ViaError::PeerGone(i))?);
+            // A `None` slot is a node killed earlier via `kill_node`.
+            let Some(handle) = slot.take() else {
+                dead.push(i);
+                continue;
+            };
+            match handle.join() {
+                Ok(node) => nodes.push(node),
+                Err(_) => dead.push(i),
+            }
         }
-        Ok(nodes)
+        match dead.len() {
+            0 => Ok(nodes),
+            1 => Err(ViaError::PeerGone(dead[0])),
+            _ => Err(ViaError::NodesGone(dead)),
+        }
     }
 }
 
@@ -1423,6 +1485,18 @@ impl Fabric for ThreadedCluster {
         match self.command(n, Command::WaitCq(vi))? {
             Reply::Completion(r) => r,
             _ => unreachable!("reply type mismatch for WaitCq"),
+        }
+    }
+
+    fn wait_cq_deadline(
+        &mut self,
+        n: NodeId,
+        vi: ViId,
+        timeout: Duration,
+    ) -> ViaResult<Completion> {
+        match self.command(n, Command::WaitCqDeadline { vi, timeout })? {
+            Reply::Completion(r) => r,
+            _ => unreachable!("reply type mismatch for WaitCqDeadline"),
         }
     }
 
@@ -1639,21 +1713,30 @@ where
             }));
         }
         // Join every thread before propagating any error: bailing early
-        // would detach the other scope guards mid-run.
+        // would detach the other scope guards mid-run. Every failed node
+        // is collected — one dead node commonly cascades (peers see closed
+        // rings), and reporting only the first would hide the cascade's
+        // true extent.
         let mut results = Vec::with_capacity(n);
         let mut first_error: Option<ViaError> = None;
+        let mut dead: Vec<usize> = Vec::new();
         for (i, join) in joins.into_iter().enumerate() {
             match join.join() {
                 Ok(Ok(r)) => results.push(Some(r)),
                 Ok(Err(e)) => {
                     results.push(None);
+                    dead.push(i);
                     first_error.get_or_insert(e);
                 }
                 Err(_) => {
                     results.push(None);
+                    dead.push(i);
                     first_error.get_or_insert(ViaError::PeerGone(i));
                 }
             }
+        }
+        if dead.len() > 1 {
+            return Err(ViaError::NodesGone(dead));
         }
         if let Some(e) = first_error {
             return Err(e);
@@ -1980,7 +2063,8 @@ mod tests {
     }
 
     /// A tightened wait budget actually bites: waiting on a CQ nobody
-    /// will ever complete errors out quickly instead of after 5 s.
+    /// will ever complete surfaces the typed [`ViaError::Timeout`]
+    /// quickly instead of after 5 s.
     #[test]
     fn cluster_wait_timeout_is_configurable() {
         let mut fab = ClusterBuilder::new(2, KernelConfig::small(), StrategyKind::KiobufReliable)
@@ -1991,7 +2075,7 @@ mod tests {
         let vi = fab.create_vi(0, p, ProtectionTag(1)).unwrap();
         let start = Instant::now();
         let r = fab.wait_cq(0, vi);
-        assert!(matches!(r, Err(ViaError::BadState(_))), "got {r:?}");
+        assert!(matches!(r, Err(ViaError::Timeout)), "got {r:?}");
         assert!(start.elapsed() < Duration::from_secs(2));
     }
 

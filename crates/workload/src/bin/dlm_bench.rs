@@ -1,0 +1,336 @@
+//! Distributed-lock-manager benchmark (criterion-free, offline).
+//!
+//! Both DLM designs — the server-mediated manager and the one-sided
+//! RDMA-CAS table — run on a 9-node deterministic fabric (one manager /
+//! table-host node plus 8 client nodes, the scale the cluster benches
+//! use), with thousands of logical clients multiplexed over the client
+//! ranks and Zipfian hot-key contention. Mid-run the harness injects two
+//! failures per design:
+//!
+//! * one client rank dies *silently* (crash-stop, no notification) — its
+//!   held locks must be recovered lazily, by lease expiry (server) or by
+//!   lease steal (one-sided);
+//! * one client rank dies *loudly* through the process-exit reclamation
+//!   path ([`dlm::reclaim`]) — its locks are released eagerly and its
+//!   waiters woken.
+//!
+//! Reported per design: acquire/release latency percentiles in logical
+//! ticks, Jain's fairness index over per-client completed acquisitions,
+//! steal/expiry/reclaim counters and the zero-orphans audit. Writes
+//! `BENCH_dlm.json` in the repository root.
+//!
+//! Run with `cargo run --release -p workload --bin dlm_bench`; set
+//! `DLM_BENCH_QUICK=1` (or pass `--quick`) for the CI smoke variant.
+//! `DLM_ASSERT_FAIRNESS=1` gates on Jain fairness >= `DLM_FAIRNESS_MIN`
+//! (default 0.3), mirroring the datapath scaling gate.
+
+use std::fmt::Write as _;
+
+use dlm::sim::{OneSidedSim, OpStats, ServerSim};
+use dlm::{reclaim, ClientId};
+use msg::{Comm, MsgConfig, RankId};
+use simmem::KernelConfig;
+use vialock::StrategyKind;
+
+/// Client nodes (plus one manager/table-host node).
+const CLIENT_NODES: usize = 8;
+/// Locks in the table; theta 0.99 concentrates most traffic on a few.
+const NLOCKS: usize = 64;
+const THETA: f64 = 0.99;
+/// Lease length in logical ticks.
+const LEASE_TICKS: u64 = 80;
+/// Fixed seed: the whole run is deterministic.
+const SEED: u64 = 0xD1A0_10CC;
+
+struct Bench {
+    quick: bool,
+    clients_per_rank: usize,
+    steps: u64,
+    clients_per_tick: usize,
+}
+
+impl Bench {
+    fn from_env() -> Bench {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var("DLM_BENCH_QUICK").is_ok_and(|v| v == "1");
+        if quick {
+            Bench {
+                quick,
+                clients_per_rank: 64,
+                steps: 800,
+                clients_per_tick: 64,
+            }
+        } else {
+            Bench {
+                quick,
+                clients_per_rank: 512,
+                steps: 2400,
+                clients_per_tick: 256,
+            }
+        }
+    }
+
+    fn comm(&self) -> Comm {
+        let n = 1 + CLIENT_NODES;
+        Comm::new(
+            n,
+            n,
+            KernelConfig::large(),
+            StrategyKind::KiobufReliable,
+            MsgConfig::tiny(),
+        )
+        .expect("build communicator")
+    }
+
+    fn client_ranks(&self) -> Vec<RankId> {
+        (1..=CLIENT_NODES).collect()
+    }
+
+    /// The rank a logical client lives on (id layout of the sims: rank
+    /// `client_ranks[id / clients_per_rank]`).
+    fn rank_of(&self, client: ClientId) -> RankId {
+        1 + client as usize / self.clients_per_rank
+    }
+}
+
+/// Per-design results feeding the JSON report.
+struct DesignReport {
+    acquires: usize,
+    acquire_p50: u64,
+    acquire_p99: u64,
+    release_p50: u64,
+    release_p99: u64,
+    fairness: f64,
+    deadline_errors: u64,
+    stale_rejections: u64,
+    /// Lease expiries swept by the manager / lease steals by peers.
+    recovered_lazily: u64,
+    /// Locks released eagerly through process-exit reclamation.
+    reclaimed: u64,
+    orphans: usize,
+}
+
+fn percentiles(stats: &OpStats) -> (u64, u64, u64, u64) {
+    (
+        OpStats::percentile(&stats.acquire_ticks, 0.50),
+        OpStats::percentile(&stats.acquire_ticks, 0.99),
+        OpStats::percentile(&stats.release_ticks, 0.50),
+        OpStats::percentile(&stats.release_ticks, 0.99),
+    )
+}
+
+/// The server-mediated design: silent crash of the last-but-one client
+/// rank (recovered by lease expiry), process-exit crash of the last
+/// (recovered eagerly, waiters woken).
+fn run_server(cfg: &Bench) -> DesignReport {
+    let mut c = cfg.comm();
+    let ranks = cfg.client_ranks();
+    let mut sim = ServerSim::new(
+        &mut c,
+        0,
+        &ranks,
+        cfg.clients_per_rank,
+        NLOCKS,
+        THETA,
+        LEASE_TICKS,
+        SEED,
+    )
+    .expect("server sim");
+
+    let silent = *ranks.iter().rev().nth(1).expect("two client ranks");
+    let loud = *ranks.last().expect("client ranks");
+    for step in 0..cfg.steps {
+        if step == cfg.steps / 2 {
+            // Crash-stop: the clients just stop; nobody tells the manager.
+            sim.kill_rank_clients(silent);
+            // Process exit: memory teardown, then eager lock reclamation.
+            sim.kill_rank_clients(loud);
+            let now = sim.now;
+            reclaim::exit_rank(&mut c, &mut sim.manager, loud, now).expect("exit_rank");
+        }
+        sim.step(&mut c, cfg.clients_per_tick).expect("server step");
+    }
+    // Drain: live clients wind down, silent casualties' leases expire.
+    let live = sim.live_clients();
+    let mut orphans = sim.manager.orphans(|cl| live.contains(&cl)).len();
+    for _ in 0..(4 * LEASE_TICKS) {
+        sim.step(&mut c, cfg.clients_per_tick).expect("drain step");
+        orphans = sim.manager.orphans(|cl| live.contains(&cl)).len();
+        if orphans == 0 {
+            break;
+        }
+    }
+
+    let (a50, a99, r50, r99) = percentiles(&sim.stats);
+    DesignReport {
+        acquires: sim.stats.acquire_ticks.len(),
+        acquire_p50: a50,
+        acquire_p99: a99,
+        release_p50: r50,
+        release_p99: r99,
+        fairness: sim.stats.jain_fairness(),
+        deadline_errors: sim.stats.deadline_errors,
+        stale_rejections: sim.manager.stats.stale_rejections,
+        recovered_lazily: sim.manager.stats.expiries,
+        reclaimed: sim.manager.stats.reclaimed,
+        orphans,
+    }
+}
+
+/// The one-sided design: same failure plan, but the silent casualty is
+/// recovered by peers *stealing* the expired lease with CAS, and the
+/// loud one by a reclamation sweep from a surviving rank.
+fn run_onesided(cfg: &Bench) -> DesignReport {
+    let mut c = cfg.comm();
+    let ranks = cfg.client_ranks();
+    let mut sim = OneSidedSim::new(
+        &mut c,
+        0,
+        &ranks,
+        cfg.clients_per_rank,
+        NLOCKS,
+        THETA,
+        LEASE_TICKS,
+        SEED,
+    )
+    .expect("one-sided sim");
+
+    let silent = *ranks.iter().rev().nth(1).expect("two client ranks");
+    let loud = *ranks.last().expect("client ranks");
+    for step in 0..cfg.steps {
+        if step == cfg.steps / 2 {
+            sim.kill_rank_clients(silent);
+            sim.kill_rank_clients(loud);
+            reclaim::exit_rank_onesided(&mut c, &mut sim.table, loud, 0, |cl| cfg.rank_of(cl))
+                .expect("exit_rank_onesided");
+        }
+        sim.step(&mut c, cfg.clients_per_tick)
+            .expect("one-sided step");
+    }
+    // Hot keys' expired leases get stolen organically; cold keys are
+    // recovered by the (lazy) reclamation sweep once the silent death is
+    // finally detected. Both paths must leave zero orphans.
+    let live = sim.live_clients();
+    sim.table
+        .reclaim(&mut c, 0, |cl| !live.contains(&cl))
+        .expect("lazy reclamation sweep");
+    let orphans = sim
+        .table
+        .orphans(&mut c, 0, |cl| live.contains(&cl))
+        .expect("orphan audit")
+        .len();
+
+    let (a50, a99, r50, r99) = percentiles(&sim.stats);
+    DesignReport {
+        acquires: sim.stats.acquire_ticks.len(),
+        acquire_p50: a50,
+        acquire_p99: a99,
+        release_p50: r50,
+        release_p99: r99,
+        fairness: sim.stats.jain_fairness(),
+        deadline_errors: sim.stats.deadline_errors,
+        stale_rejections: sim.table.stats.stale_rejections,
+        recovered_lazily: sim.table.stats.steals,
+        reclaimed: sim.table.stats.reclaimed,
+        orphans,
+    }
+}
+
+fn emit(json: &mut String, label: &str, lazy_name: &str, r: &DesignReport, last: bool) {
+    eprintln!(
+        "{label:>10}: {} acquires, p50/p99 acquire {}/{} ticks, p50/p99 release {}/{}, \
+         fairness {:.3}, {} {lazy_name}, {} reclaimed, {} stale, {} deadline, {} orphans",
+        r.acquires,
+        r.acquire_p50,
+        r.acquire_p99,
+        r.release_p50,
+        r.release_p99,
+        r.fairness,
+        r.recovered_lazily,
+        r.reclaimed,
+        r.stale_rejections,
+        r.deadline_errors,
+        r.orphans,
+    );
+    writeln!(
+        json,
+        "  \"{label}\": {{\n    \"acquires\": {},\n    \"acquire_p50_ticks\": {},\n    \
+         \"acquire_p99_ticks\": {},\n    \"release_p50_ticks\": {},\n    \
+         \"release_p99_ticks\": {},\n    \"jain_fairness\": {:.4},\n    \
+         \"{lazy_name}\": {},\n    \"reclaimed_on_exit\": {},\n    \
+         \"stale_token_rejections\": {},\n    \"deadline_errors\": {},\n    \
+         \"orphans_after_recovery\": {}\n  }}{}",
+        r.acquires,
+        r.acquire_p50,
+        r.acquire_p99,
+        r.release_p50,
+        r.release_p99,
+        r.fairness,
+        r.recovered_lazily,
+        r.reclaimed,
+        r.stale_rejections,
+        r.deadline_errors,
+        r.orphans,
+        if last { "" } else { "," }
+    )
+    .unwrap();
+}
+
+fn main() {
+    let cfg = Bench::from_env();
+    let clients = CLIENT_NODES * cfg.clients_per_rank;
+    eprintln!(
+        "dlm bench: {} client nodes + 1 host, {clients} logical clients, {} locks \
+         (zipf {THETA}), lease {LEASE_TICKS} ticks, {} steps{}",
+        CLIENT_NODES,
+        NLOCKS,
+        cfg.steps,
+        if cfg.quick { " (quick)" } else { "" },
+    );
+
+    let server = run_server(&cfg);
+    let onesided = run_onesided(&cfg);
+
+    let mut json = String::from("{\n  \"bench\": \"dlm\",\n");
+    writeln!(json, "  \"quick\": {},", cfg.quick).unwrap();
+    writeln!(
+        json,
+        "  \"nodes\": {},\n  \"logical_clients\": {clients},\n  \"locks\": {NLOCKS},\n  \
+         \"zipf_theta\": {THETA},\n  \"lease_ticks\": {LEASE_TICKS},\n  \
+         \"failure_plan\": \"one silent crash-stop rank + one process-exit rank at midpoint\",",
+        1 + CLIENT_NODES
+    )
+    .unwrap();
+    emit(&mut json, "server", "lease_expiries", &server, false);
+    emit(&mut json, "onesided", "lease_steals", &onesided, true);
+    json.push_str("}\n");
+
+    // The robustness contract is unconditional, bench or not.
+    assert_eq!(server.orphans, 0, "server design orphaned locks");
+    assert_eq!(onesided.orphans, 0, "one-sided design orphaned locks");
+    assert!(
+        server.recovered_lazily > 0,
+        "silent crash never recovered by lease expiry"
+    );
+    assert!(
+        onesided.recovered_lazily + onesided.reclaimed > 0,
+        "one-sided crash recovery never exercised"
+    );
+
+    if std::env::var("DLM_ASSERT_FAIRNESS").as_deref() == Ok("1") {
+        let min: f64 = std::env::var("DLM_FAIRNESS_MIN")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.3);
+        for (label, f) in [("server", server.fairness), ("onesided", onesided.fairness)] {
+            assert!(
+                f >= min,
+                "{label} fairness collapsed: Jain index {f:.3} < gate {min}"
+            );
+        }
+    }
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dlm.json");
+    std::fs::write(out, &json).expect("write BENCH_dlm.json");
+    println!("{json}");
+}

@@ -15,6 +15,8 @@
 
 use proptest::prelude::*;
 
+use dlm::sim::ServerSim;
+use msg::{Comm, MsgConfig};
 use simmem::{prot, KernelConfig, PAGE_SIZE};
 use via::system::ViaSystem;
 use via::tpt::{MemId, ProtectionTag};
@@ -163,6 +165,145 @@ fn chaos_smoke_every_site_every_position() {
 fn empty_plan_is_transparent() {
     let outcome = chaos_round(FaultPlan::new(1)).expect("invariants");
     assert_eq!(outcome, Ok(()));
+}
+
+// ---------------------------------------------------------------------
+// The DLM round: faults during acquire/release/holder-exit
+// ---------------------------------------------------------------------
+
+/// A compact distributed-lock-manager round under `plan`: fault-free
+/// warmup, then the plan fires during live acquire/release traffic AND
+/// across a whole rank's exit (`reclaim::exit_rank` racing the storm).
+/// The harness's new invariant is checked after **every** step: no lock
+/// whose holder has exited remains held past its lease bound. After the
+/// storm a calm-phase recovery must leave zero orphaned locks and zero
+/// hung waiters. (The 400-plan acceptance sweeps over both DLM designs
+/// live in `tests/dlm_chaos.rs`; this round is the per-site smoke.)
+fn dlm_round(plan: FaultPlan) -> Result<(Result<(), ViaError>, u64), String> {
+    const LEASE: u64 = 30;
+    const VICTIM: msg::RankId = 2;
+    let mut c = Comm::new(
+        3,
+        3,
+        KernelConfig::small(),
+        StrategyKind::KiobufReliable,
+        MsgConfig::tiny(),
+    )
+    .expect("comm setup");
+    let mut sim = ServerSim::new(&mut c, 0, &[1, 2], 3, 4, 0.9, LEASE, plan.seed())
+        .map_err(|e| format!("sim setup: {e:?}"))?;
+    for _ in 0..20 {
+        sim.step(&mut c, 3)
+            .map_err(|e| format!("fault-free warmup: {e:?}"))?;
+    }
+
+    // Lock traffic in the server design is PIO and consults no fault
+    // site after setup; a small RDMA put rides along so the storm bites
+    // the descriptor path the locks are protecting. Its typed errors
+    // are absorbed — application traffic failing must never corrupt
+    // lock state.
+    let win_buf = c
+        .alloc_buffer(0, 256)
+        .map_err(|e| format!("antagonist window: {e:?}"))?;
+    let win = c
+        .expose_window(0, win_buf, 256)
+        .map_err(|e| format!("antagonist expose: {e:?}"))?;
+    let dma_src = c
+        .alloc_buffer(1, 64)
+        .map_err(|e| format!("antagonist src: {e:?}"))?;
+
+    let storm = fault::handle(plan);
+    c.system_mut().install_fault_plan(&storm);
+    let mut outcome = Ok(());
+    let mut victim_exited = false;
+    for i in 0..80u64 {
+        if i % 2 == 0 {
+            let _ = c.put(1, dma_src, 64, &win, 0);
+        }
+        if i == 30 {
+            sim.kill_rank_clients(VICTIM);
+            match reclaim_exit(&mut c, &mut sim, VICTIM) {
+                Ok(()) => victim_exited = true,
+                Err(e) => {
+                    outcome = Err(e);
+                    break;
+                }
+            }
+        }
+        match sim.step(&mut c, 3) {
+            Ok(()) => {}
+            Err(e) => {
+                outcome = Err(e);
+                break;
+            }
+        }
+        let live = sim.live_clients();
+        sim.manager
+            .check_lease_invariant(sim.now, |cl| live.contains(&cl))
+            .map_err(|e| format!("after step {i}: {e}"))?;
+        c.system_mut()
+            .check_invariants()
+            .map_err(|e| format!("after step {i}: {e}"))?;
+    }
+
+    let fired = storm.lock().unwrap().total_fired();
+
+    // Calm phase: the fault condition cleared; the failure detector
+    // re-drives reclamation (idempotent on the lock table).
+    let calm = fault::handle(FaultPlan::new(0));
+    c.system_mut().install_fault_plan(&calm);
+    sim.kill_rank_clients(VICTIM);
+    if !victim_exited {
+        sim.manager
+            .rank_died(&mut c, VICTIM, sim.now)
+            .map_err(|e| format!("calm-phase rank_died: {e:?}"))?;
+    }
+    let live = sim.live_clients();
+    let fin = sim.now + 2 * LEASE;
+    sim.manager
+        .sweep_leases(&mut c, fin)
+        .map_err(|e| format!("final sweep: {e:?}"))?;
+    sim.manager
+        .check_lease_invariant(fin, |cl| live.contains(&cl))?;
+    let orphans = sim.manager.orphans(|cl| live.contains(&cl));
+    if !orphans.is_empty() {
+        return Err(format!("orphaned locks after recovery: {orphans:?}"));
+    }
+    let hung = sim.manager.hung_waiters(|cl| live.contains(&cl));
+    if !hung.is_empty() {
+        return Err(format!("hung waiters after recovery: {hung:?}"));
+    }
+    Ok((outcome, fired))
+}
+
+/// Split out so the round body stays readable.
+fn reclaim_exit(
+    c: &mut Comm<ViaSystem>,
+    sim: &mut ServerSim,
+    victim: msg::RankId,
+) -> Result<(), ViaError> {
+    dlm::reclaim::exit_rank(c, &mut sim.manager, victim, sim.now).map(|_| ())
+}
+
+/// Every fault site, two hit positions, during DLM traffic with a
+/// mid-round holder exit: 20 fixed-seed plans. Most hits are *absorbed*
+/// by the lock layer (backpressure, retries, lease recovery) rather
+/// than surfaced — the meaningful assertion is that the plans actually
+/// fired while every invariant held, not that errors reached the top.
+#[test]
+fn chaos_dlm_round_every_site() {
+    let mut fired_total = 0u64;
+    for (si, &site) in FaultSite::ALL.iter().enumerate() {
+        for skip in [0u64, 3] {
+            let seed = 0xD1A0_C0DE ^ ((si as u64) << 8) ^ skip;
+            let plan = FaultPlan::new(seed).fail_after(site, skip, 2);
+            match dlm_round(plan) {
+                Ok((_, fired)) => fired_total += fired,
+                Err(violation) => panic!("dlm, site {site} skip {skip}: {violation}"),
+            }
+        }
+    }
+    assert!(fired_total > 0, "no plan fired during the DLM round");
 }
 
 // ---------------------------------------------------------------------

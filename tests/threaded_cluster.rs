@@ -208,6 +208,85 @@ fn mini_is_collectives_on_the_threaded_fabric() {
     assert!(rep.bytes_exchanged > 0);
 }
 
+/// A node dying between collective rounds must surface a *typed* error —
+/// [`ViaError::PeerGone`] (or [`ViaError::Timeout`] from the bounded wait
+/// ladder) — to the survivors, never a deadlock. Today's coverage only
+/// exercised closed-ring semantics at the wire layer; this drives the
+/// full `msg` collective stack over a live cluster through a kill.
+#[test]
+fn mid_collective_node_death_surfaces_typed_errors() {
+    let cluster = ClusterBuilder::new(4, KernelConfig::medium(), StrategyKind::KiobufReliable)
+        .wait_timeout(Duration::from_millis(250))
+        .build();
+    let mut comm = msg::Comm::on_fabric(cluster, 4, msg::MsgConfig::tiny()).expect("comm");
+    let scratch: Vec<_> = (0..4)
+        .map(|r| comm.alloc_buffer(r, 64).expect("scratch"))
+        .collect();
+
+    // Healthy cluster: one barrier and one allreduce complete.
+    msg::coll::barrier(&mut comm, &scratch).expect("barrier on healthy cluster");
+    for (r, buf) in scratch.iter().enumerate() {
+        comm.fill_buffer(r, *buf, &(r as u64 + 1).to_le_bytes())
+            .unwrap();
+    }
+    msg::coll::allreduce_sum_u64(&mut comm, &scratch, 1).expect("allreduce on healthy cluster");
+    let mut sum = [0u8; 8];
+    comm.read_buffer(0, scratch[0], &mut sum).unwrap();
+    assert_eq!(u64::from_le_bytes(sum), 1 + 2 + 3 + 4);
+
+    // Node 2 crashes. The next collective must fail *typed* — the dead
+    // node's rings and command channel are closed, so survivors observe
+    // PeerGone (or a wait-ladder Timeout), and the calls return rather
+    // than hang.
+    comm.system_mut().kill_node(2).expect("kill node 2");
+    for attempt in 0..2 {
+        match msg::coll::barrier(&mut comm, &scratch) {
+            Err(ViaError::PeerGone(n)) => assert_eq!(n, 2, "attempt {attempt}"),
+            Err(ViaError::NodesGone(ns)) => assert!(ns.contains(&2), "attempt {attempt}"),
+            Err(ViaError::Timeout) => {}
+            other => panic!("attempt {attempt}: barrier with a dead node returned {other:?}"),
+        }
+    }
+    match msg::coll::allreduce_sum_u64(&mut comm, &scratch, 1) {
+        Err(ViaError::PeerGone(2)) | Err(ViaError::Timeout) => {}
+        Err(ViaError::NodesGone(ns)) if ns.contains(&2) => {}
+        other => panic!("allreduce with a dead node returned {other:?}"),
+    }
+
+    // Teardown reports the killed node among the dead.
+    match comm.into_system().into_nodes() {
+        Err(ViaError::PeerGone(2)) => {}
+        Err(ViaError::NodesGone(ns)) if ns.contains(&2) => {}
+        Ok(_) => panic!("into_nodes after a kill reported no dead node"),
+        Err(other) => panic!("into_nodes after a kill returned {other:?}"),
+    }
+}
+
+/// Two node threads panicking must be reported *together*: the shutdown
+/// join path used to keep only the first `PeerGone` and silently drop
+/// every other dead node; it now collects them into
+/// [`ViaError::NodesGone`].
+#[test]
+fn multiple_dead_nodes_reported_together() {
+    let mut fab = ThreadedCluster::new(4, KernelConfig::medium(), StrategyKind::KiobufReliable);
+    // Sanity: the cluster serves commands.
+    let pid = fab.spawn_process(0);
+    fab.exit_process(0, pid).expect("exit");
+    // Panic two service threads (a with_node closure runs on the node's
+    // own thread; the command round-trip itself reports the death).
+    for n in [1usize, 3] {
+        let sent = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fab.with_node(n, |_| -> () { panic!("injected node death") })
+        }));
+        assert!(sent.is_err(), "with_node on a panicking node must error");
+    }
+    match fab.into_nodes() {
+        Err(ViaError::NodesGone(dead)) => assert_eq!(dead, vec![1, 3]),
+        Ok(_) => panic!("expected NodesGone([1, 3]), got a clean shutdown"),
+        Err(other) => panic!("expected NodesGone([1, 3]), got {other:?}"),
+    }
+}
+
 /// The NetPIPE measurement on the threaded fabric crosses all three
 /// protocols — shared-memory PIO, one-copy chunking and the zero-copy
 /// rendezvous (RDMA fence included) — through the same generic
