@@ -1,0 +1,31 @@
+//! Project lint gate: `cargo run -p check --bin lint [root]`.
+//!
+//! Scans every `.rs` file under `root` (default: current directory) for the
+//! repo's concurrency rules — see `check::lint` for the rule set — printing
+//! one line per finding and exiting non-zero if any are found.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let findings = match check::lint::scan_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if findings.is_empty() {
+        println!("lint: clean (0 findings)");
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    println!("lint: {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}

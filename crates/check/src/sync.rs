@@ -1,0 +1,82 @@
+//! The synchronization shim the lock-free cores are written against.
+//!
+//! In a normal build this module is a set of zero-cost re-exports of the
+//! `std` primitives — the datapath compiles to exactly the code it would
+//! without the shim. Under `RUSTFLAGS="--cfg viamodel"` every type is
+//! swapped for its model-instrumented twin from [`crate::model`], which
+//! traps each load/store/RMW, mutex operation, condvar wait/notify and
+//! park/unpark into the deterministic scheduler so the checker can explore
+//! interleavings and track happens-before.
+//!
+//! The one deliberate API divergence from `std` is interior mutability:
+//! [`cell::UnsafeCell`] exposes `with`/`with_mut` closures instead of a
+//! bare `get()`, because the model must observe *when* the cell is
+//! accessed, not just that a pointer was created. The passthrough flavor
+//! inlines to a plain pointer call.
+
+#[cfg(viamodel)]
+pub use crate::model::sync_impl::{
+    cell, thread, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Condvar, Mutex, MutexGuard,
+    WaitTimeoutResult,
+};
+
+#[cfg(not(viamodel))]
+pub use passthrough::{
+    cell, thread, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Condvar, Mutex, MutexGuard,
+    WaitTimeoutResult,
+};
+
+pub use std::sync::atomic::Ordering;
+
+#[cfg(not(viamodel))]
+mod passthrough {
+    pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize};
+    pub use std::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+
+    pub mod cell {
+        /// Passthrough flavor of the model's tracked cell: a transparent
+        /// wrapper whose `with`/`with_mut` compile down to a direct pointer
+        /// call.
+        #[derive(Debug, Default)]
+        #[repr(transparent)]
+        pub struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+        // SAFETY: the cell only moves data across threads that its owner
+        // already could; the owner's synchronization discipline (verified
+        // under --cfg viamodel) governs actual access.
+        unsafe impl<T: Send> Send for UnsafeCell<T> {}
+        // SAFETY: shared access happens only through `with`/`with_mut`,
+        // whose callers must order accesses via atomics or locks — the
+        // model build checks exactly that discipline.
+        unsafe impl<T: Send> Sync for UnsafeCell<T> {}
+
+        impl<T> UnsafeCell<T> {
+            #[inline(always)]
+            pub fn new(v: T) -> Self {
+                UnsafeCell(std::cell::UnsafeCell::new(v))
+            }
+
+            #[inline(always)]
+            pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+                f(self.0.get())
+            }
+
+            #[inline(always)]
+            pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+                f(self.0.get())
+            }
+        }
+    }
+
+    pub mod thread {
+        #[inline(always)]
+        pub fn park() {
+            std::thread::park();
+        }
+
+        #[inline(always)]
+        pub fn yield_now() {
+            std::thread::yield_now();
+        }
+    }
+}

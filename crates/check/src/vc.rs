@@ -1,0 +1,103 @@
+//! Vector clocks — the happens-before algebra behind the race detector.
+//!
+//! One clock component per modeled thread. A thread's clock ticks on every
+//! scheduler-visible operation it performs; synchronization edges (release →
+//! acquire pairs, mutex hand-offs, spawn/join) merge clocks with [`VClock::join`].
+//! An access at epoch `e` by thread `t` happens-before the current point of
+//! thread `u` iff `u`'s clock has `clock[t] >= e` — the standard FastTrack-style
+//! membership test, kept in full-vector form because modeled programs have a
+//! handful of threads at most.
+
+/// A vector clock over thread ids `0..n`. Indexing past the stored length
+/// reads as zero, so clocks can be created before every thread exists.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock {
+    ticks: Vec<u32>,
+}
+
+impl VClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The component for `tid` (zero if never ticked).
+    pub fn get(&self, tid: usize) -> u32 {
+        self.ticks.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advance `tid`'s own component — one per scheduler-visible operation.
+    pub fn tick(&mut self, tid: usize) {
+        if self.ticks.len() <= tid {
+            self.ticks.resize(tid + 1, 0);
+        }
+        self.ticks[tid] += 1;
+    }
+
+    /// Pointwise maximum: after `self.join(o)`, everything ordered before
+    /// `o`'s point is ordered before ours.
+    pub fn join(&mut self, other: &VClock) {
+        if self.ticks.len() < other.ticks.len() {
+            self.ticks.resize(other.ticks.len(), 0);
+        }
+        for (mine, theirs) in self.ticks.iter_mut().zip(other.ticks.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Forget all ordering (a `Relaxed` store wipes a location's release
+    /// clock: later acquire loads learn nothing from it).
+    pub fn clear(&mut self) {
+        self.ticks.clear();
+    }
+
+    /// Does the event `(tid, epoch)` happen-before this clock's point?
+    pub fn covers(&self, tid: usize, epoch: u32) -> bool {
+        self.get(tid) >= epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_get() {
+        let mut c = VClock::new();
+        assert_eq!(c.get(3), 0);
+        c.tick(3);
+        c.tick(3);
+        assert_eq!(c.get(3), 2);
+        assert_eq!(c.get(0), 0);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VClock::new();
+        b.tick(1);
+        b.tick(0);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+    }
+
+    #[test]
+    fn covers_is_happens_before_membership() {
+        let mut writer = VClock::new();
+        writer.tick(0); // write at epoch (0, 1)
+        let mut reader = VClock::new();
+        assert!(!reader.covers(0, 1), "unsynchronized: racy");
+        reader.join(&writer); // acquire edge
+        assert!(reader.covers(0, 1), "synchronized: ordered");
+    }
+
+    #[test]
+    fn clear_drops_all_order() {
+        let mut c = VClock::new();
+        c.tick(2);
+        c.clear();
+        assert_eq!(c.get(2), 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Model-checking `vialock::shard::SharedPinTable` (ISSUE 9 tentpole): the
+//! lock-free pin-count protocol must never underflow, never double-release
+//! `PG_locked`, and always leave a balanced table — in every interleaving.
+//! Plus the planted mutation (blind unpin without the CAS loop) that the
+//! checker must flag.
+//!
+//! Run with `RUSTFLAGS="--cfg viamodel" cargo test -p check`.
+#![cfg(viamodel)]
+
+use std::sync::Arc;
+
+use check::model::{Checker, FailureKind};
+use check::sync::{AtomicU32, Ordering};
+use simmem::{FrameId, Kernel, KernelConfig};
+use vialock::error::RegError;
+use vialock::shard::SharedPinTable;
+
+fn tiny_kernel() -> Kernel {
+    Kernel::new(KernelConfig {
+        nframes: 16,
+        reserved_frames: 2,
+        swap_slots: 4,
+        default_rlimit_memlock: None,
+        swap_cache: false,
+    })
+}
+
+/// Pin/unpin pairs on disjoint frames — the table's advertised concurrency
+/// — balance exactly in every interleaving: counts return to zero, the
+/// pinned-frames gauge returns to zero, both `PG_locked` bits are free.
+#[test]
+fn disjoint_frame_pin_unpin_pairs_balance() {
+    let report = Checker::new()
+        .max_schedules(200_000)
+        .check(|| {
+            let kernel = Arc::new(tiny_kernel());
+            let table = Arc::new(SharedPinTable::new(16));
+            let (fa, fb) = (FrameId(5), FrameId(6));
+            let (k2, t2) = (Arc::clone(&kernel), Arc::clone(&table));
+            let t = check::model::spawn(move || {
+                t2.pin(&k2, fa).expect("pin must succeed");
+                t2.unpin(&k2, fa).expect("balanced unpin");
+            });
+            table.pin(&kernel, fb).expect("pin must succeed");
+            table.unpin(&kernel, fb).expect("balanced unpin");
+            t.join();
+            for f in [fa, fb] {
+                assert_eq!(table.count(f), 0, "count must balance");
+                assert!(
+                    kernel.try_lock_page(f),
+                    "PG_locked must be free after the last unpin"
+                );
+                kernel.unlock_page(f);
+            }
+            assert_eq!(table.pinned_frames(), 0, "gauge must balance");
+        })
+        .expect("disjoint pin/unpin pairs must be race-free and balanced");
+    assert!(report.schedules >= 2);
+    eprintln!(
+        "disjoint_frame_pin_unpin_pairs_balance: {} schedules",
+        report.schedules
+    );
+}
+
+/// A schedule the checker *found* (it was not planted): without the range
+/// lock, a first-pin racing an unpin of the same frame can observe the
+/// window between the unpin's `1 → 0` CAS and its `PG_locked` release,
+/// and spuriously fail `WouldBlock` on a frame nobody holds. This is
+/// exactly why `SharedPinTable`'s contract makes the registration path
+/// serialize same-frame pin/unpin under the range lock — the test pins
+/// the counterexample so the contract stays load-bearing.
+#[test]
+fn unserialized_same_frame_pin_unpin_is_out_of_contract() {
+    let failure = Checker::new()
+        .max_schedules(200_000)
+        .check(|| {
+            let kernel = Arc::new(tiny_kernel());
+            let table = Arc::new(SharedPinTable::new(16));
+            let frame = FrameId(5);
+            let (k2, t2) = (Arc::clone(&kernel), Arc::clone(&table));
+            let t = check::model::spawn(move || {
+                // CONTRACT VIOLATION under test: same frame, no range lock.
+                t2.pin(&k2, frame).expect("pin must succeed");
+                t2.unpin(&k2, frame).expect("balanced unpin");
+            });
+            table.pin(&kernel, frame).expect("pin must succeed");
+            table.unpin(&kernel, frame).expect("balanced unpin");
+            t.join();
+        })
+        .expect_err("the CAS-to-unlock window must surface");
+    match &failure.kind {
+        FailureKind::Panic { message, .. } => {
+            assert!(message.contains("pin must succeed"), "{message}");
+        }
+        other => panic!("expected the spurious WouldBlock, got {other:?}"),
+    }
+}
+
+/// Two unpins racing for a single pin: exactly one wins, the other gets
+/// the typed `PinUnderflow` — the count never wraps below zero in any
+/// interleaving.
+#[test]
+fn racing_unpins_never_underflow() {
+    let report = Checker::new()
+        .max_schedules(200_000)
+        .check(|| {
+            let kernel = Arc::new(tiny_kernel());
+            let table = Arc::new(SharedPinTable::new(16));
+            let frame = FrameId(5);
+            table.pin(&kernel, frame).expect("pin must succeed");
+            let (k2, t2) = (Arc::clone(&kernel), Arc::clone(&table));
+            let t = check::model::spawn(move || t2.unpin(&k2, frame));
+            let mine = table.unpin(&kernel, frame);
+            let theirs = t.join();
+            let wins = [&mine, &theirs].iter().filter(|r| r.is_ok()).count();
+            assert_eq!(wins, 1, "exactly one unpin may win: {mine:?} {theirs:?}");
+            for r in [mine, theirs] {
+                if let Err(e) = r {
+                    assert_eq!(e, RegError::PinUnderflow);
+                }
+            }
+            assert_eq!(table.count(frame), 0, "count wrapped");
+        })
+        .expect("racing unpins must stay underflow-free");
+    assert!(report.schedules >= 2);
+    eprintln!(
+        "racing_unpins_never_underflow: {} schedules",
+        report.schedules
+    );
+}
+
+/// The rollback path, inside the table's contract (same-frame pin/unpin is
+/// serialized by the registration range lock; *disjoint* frames race
+/// freely): a pin that hits a foreign `PG_locked` holder rolls its count
+/// bump back and must leave no trace — not a stale count, not a gauge
+/// bump, and above all not a release of the foreign holder's lock — in
+/// every interleaving with a pin/unpin pair on another frame.
+#[test]
+fn rollback_on_foreign_lock_leaves_no_trace() {
+    let report = Checker::new()
+        .max_schedules(200_000)
+        .check(|| {
+            let kernel = Arc::new(tiny_kernel());
+            let table = Arc::new(SharedPinTable::new(16));
+            let blocked = FrameId(5);
+            let free = FrameId(6);
+            // Foreign holder (in-flight kernel I/O) owns PG_locked.
+            assert!(kernel.try_lock_page(blocked));
+            let (k2, t2) = (Arc::clone(&kernel), Arc::clone(&table));
+            let t = check::model::spawn(move || {
+                t2.pin(&k2, free).expect("free frame must pin");
+                t2.unpin(&k2, free).expect("balanced unpin");
+            });
+            let r = table.pin(&kernel, blocked);
+            assert_eq!(r, Err(RegError::WouldBlock));
+            t.join();
+            assert_eq!(table.count(blocked), 0, "rollback left a stale count");
+            assert_eq!(table.count(free), 0, "disjoint frame must balance");
+            assert_eq!(table.pinned_frames(), 0, "gauge corrupted by rollback");
+            assert!(
+                !kernel.try_lock_page(blocked),
+                "rollback released the foreign holder's PG_locked"
+            );
+            kernel.unlock_page(blocked);
+        })
+        .expect("rollback path must be race-free");
+    assert!(report.schedules >= 2);
+    eprintln!(
+        "rollback_on_foreign_lock_leaves_no_trace: {} schedules",
+        report.schedules
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Mutation test (ISSUE 9 satellite 3).
+// ---------------------------------------------------------------------------
+
+/// Replica of `SharedPinTable::unpin` with the CAS loop replaced by a
+/// blind load/store. Two racing unpins of a doubly-pinned frame can then
+/// both observe 2 and both store 1 — the lost decrement leaves the count
+/// unbalanced, and the checker must find that schedule.
+#[test]
+fn mutation_blind_unpin_is_flagged() {
+    struct WeakTable {
+        count: AtomicU32,
+    }
+    impl WeakTable {
+        fn unpin(&self) -> Result<(), RegError> {
+            let cur = self.count.load(Ordering::Acquire);
+            if cur == 0 {
+                return Err(RegError::PinUnderflow);
+            }
+            // PLANTED BUG: the real unpin CASes `cur -> cur - 1` in a
+            // loop; a blind store loses racing decrements.
+            self.count.store(cur - 1, Ordering::Release);
+            Ok(())
+        }
+    }
+    let failure = Checker::new()
+        .max_schedules(200_000)
+        .check(|| {
+            let table = Arc::new(WeakTable {
+                count: AtomicU32::new(2),
+            });
+            let t2 = Arc::clone(&table);
+            let t = check::model::spawn(move || t2.unpin());
+            let mine = table.unpin();
+            let theirs = t.join();
+            assert!(mine.is_ok() && theirs.is_ok());
+            assert_eq!(
+                table.count.load(Ordering::Acquire),
+                0,
+                "a decrement was lost"
+            );
+        })
+        .expect_err("blind unpin must lose a decrement in some schedule");
+    match &failure.kind {
+        FailureKind::Panic { message, .. } => {
+            assert!(message.contains("a decrement was lost"), "{message}");
+        }
+        other => panic!("expected Panic, got {other:?}"),
+    }
+}

@@ -1,0 +1,215 @@
+//! Model-checking the real SPSC ring and doorbell from `via::spsc`
+//! (ISSUE 9 tentpole): exhaustive 2-thread exploration of push/pop/close
+//! and publish batching, the lost-wakeup check on the doorbell protocol,
+//! and the planted-race mutations that the checker must flag.
+//!
+//! Run with `RUSTFLAGS="--cfg viamodel" cargo test -p check`.
+#![cfg(viamodel)]
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use check::model::{Checker, FailureKind};
+use check::sync::cell::UnsafeCell;
+use check::sync::{AtomicU32, AtomicU64, Condvar, Mutex, Ordering};
+use via::spsc::{ring, Doorbell, PopError};
+
+fn checker() -> Checker {
+    Checker::new().max_schedules(200_000)
+}
+
+/// The full producer/consumer protocol, end to end: every value pushed is
+/// popped exactly once, in order, with no torn or duplicated slots, in
+/// every interleaving — and the doorbell never loses the close wakeup.
+#[test]
+fn spsc_transfers_all_values_exactly_once() {
+    // The end-to-end protocol has ~20 schedule points per thread; bounded
+    // exhaustion (preemption bound 2, the classic CHESS result: most
+    // concurrency bugs need ≤2 preemptions) keeps it exact and tractable.
+    let report = checker()
+        .preemption_bound(Some(2))
+        .check(|| {
+            let (mut tx, mut rx) = ring::<u64>(4);
+            let bell = Arc::new(Doorbell::default());
+            let bell2 = Arc::clone(&bell);
+            let t = check::model::spawn(move || {
+                for v in 1..=3u64 {
+                    tx.push(v).map_err(|_| ()).expect("capacity 4 never fills");
+                    bell2.ring();
+                }
+                tx.close();
+                bell2.ring();
+            });
+            let mut got = Vec::new();
+            loop {
+                match rx.pop() {
+                    Ok(v) => got.push(v),
+                    Err(PopError::Closed) => break,
+                    Err(PopError::Empty) => {
+                        let observed = bell.events();
+                        // Snapshot-recheck: only park if still nothing.
+                        if rx.is_empty() && !rx.is_closed() {
+                            bell.wait(observed, Duration::from_secs(1));
+                        }
+                    }
+                }
+            }
+            t.join();
+            assert_eq!(got, vec![1, 2, 3], "torn, duplicated or lost slot");
+        })
+        .expect("spsc mainline must be race- and deadlock-free");
+    assert!(!report.truncated, "exploration must be exhaustive");
+    assert!(report.schedules >= 2, "explored {}", report.schedules);
+    eprintln!(
+        "spsc_transfers_all_values_exactly_once: {} schedules",
+        report.schedules
+    );
+}
+
+/// Deferred pushes become visible atomically at `publish`: a consumer that
+/// sees the first value of a batch can always pop the rest of the batch.
+#[test]
+fn publish_makes_batches_visible_atomically() {
+    let report = checker()
+        .check(|| {
+            let (mut tx, mut rx) = ring::<u64>(4);
+            let t = check::model::spawn(move || {
+                tx.push_deferred(10).map_err(|_| ()).expect("slot free");
+                tx.push_deferred(20).map_err(|_| ()).expect("slot free");
+                tx.publish();
+            });
+            match rx.pop() {
+                Ok(v) => {
+                    assert_eq!(v, 10, "batch must appear in order");
+                    assert_eq!(rx.pop(), Ok(20), "half-published batch");
+                }
+                Err(PopError::Empty) => {}
+                Err(PopError::Closed) => panic!("producer never closed"),
+            }
+            t.join();
+        })
+        .expect("publish batching must be atomic and race-free");
+    assert!(report.schedules >= 2);
+    eprintln!(
+        "publish_makes_batches_visible_atomically: {} schedules",
+        report.schedules
+    );
+}
+
+/// The real doorbell protocol: whatever the interleaving of ring() and
+/// wait(), the waiter always wakes — no lost doorbell wakeups.
+#[test]
+fn doorbell_never_loses_a_wakeup() {
+    let report = checker()
+        .check(|| {
+            let bell = Arc::new(Doorbell::default());
+            let observed = bell.events();
+            let bell2 = Arc::clone(&bell);
+            let t = check::model::spawn(move || {
+                bell2.ring();
+            });
+            // If this wakeup can be lost, the modeled (untimed) wait blocks
+            // forever and the checker reports a deadlock.
+            let after = bell.wait(observed, Duration::from_secs(1));
+            assert!(after > observed, "woke without an event");
+            t.join();
+        })
+        .expect("doorbell wait/ring must never lose the wakeup");
+    assert!(report.schedules >= 2);
+    eprintln!(
+        "doorbell_never_loses_a_wakeup: {} schedules",
+        report.schedules
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Mutation tests (ISSUE 9 satellite 3): in-test replicas of the spsc
+// protocols with one line weakened. The checker must flag each planted
+// bug — if it ever stops doing so, the gate itself has rotted.
+// ---------------------------------------------------------------------------
+
+/// Replica of the ring's slot-publish protocol with the publish store
+/// weakened from Release to Relaxed. The slot write is no longer ordered
+/// before the cursor bump, and the checker must report the data race.
+#[test]
+fn mutation_relaxed_publish_is_flagged() {
+    let failure = checker()
+        .check(|| {
+            let slot = Arc::new(UnsafeCell::new(0u64));
+            let head = Arc::new(AtomicU64::new(0));
+            let (s2, h2) = (Arc::clone(&slot), Arc::clone(&head));
+            let t = check::model::spawn(move || {
+                s2.with_mut(|p| {
+                    // SAFETY: model-exclusive step; the detector reports the
+                    // missing publish edge, the host access never overlaps.
+                    unsafe { *p = 42 }
+                });
+                // PLANTED BUG: `publish` must be a Release store (see
+                // Producer::publish) — Relaxed creates no HB edge.
+                h2.store(1, Ordering::Relaxed);
+            });
+            if head.load(Ordering::Acquire) == 1 {
+                slot.with(|p| {
+                    // SAFETY: model-exclusive step, as above.
+                    unsafe { *p }
+                });
+            }
+            t.join();
+        })
+        .expect_err("weakened publish must be flagged");
+    assert!(
+        matches!(failure.kind, FailureKind::DataRace { .. }),
+        "got {failure}"
+    );
+}
+
+/// Replica of `Doorbell::wait` with the snapshot re-check under the gate
+/// dropped. A ring() that fires before the waiter registers is lost and
+/// the waiter blocks forever — the checker must find that schedule.
+#[test]
+fn mutation_doorbell_without_recheck_loses_wakeups() {
+    struct WeakBell {
+        events: AtomicU64,
+        sleepers: AtomicU32,
+        gate: Mutex<()>,
+        cv: Condvar,
+    }
+    impl WeakBell {
+        fn ring(&self) {
+            self.events.fetch_add(1, Ordering::SeqCst);
+            if self.sleepers.load(Ordering::SeqCst) != 0 {
+                drop(self.gate.lock().unwrap_or_else(|e| e.into_inner()));
+                self.cv.notify_all();
+            }
+        }
+        fn wait(&self, _observed: u64) {
+            self.sleepers.fetch_add(1, Ordering::SeqCst);
+            let g = self.gate.lock().unwrap_or_else(|e| e.into_inner());
+            // PLANTED BUG: the real Doorbell::wait re-checks
+            // `events == observed` here before parking.
+            let _g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    let failure = checker()
+        .check(|| {
+            let bell = Arc::new(WeakBell {
+                events: AtomicU64::new(0),
+                sleepers: AtomicU32::new(0),
+                gate: Mutex::new(()),
+                cv: Condvar::new(),
+            });
+            let observed = bell.events.load(Ordering::SeqCst);
+            let bell2 = Arc::clone(&bell);
+            let t = check::model::spawn(move || {
+                bell2.ring();
+            });
+            bell.wait(observed);
+            t.join();
+        })
+        .expect_err("dropped re-check must lose a wakeup in some schedule");
+    assert!(
+        matches!(failure.kind, FailureKind::Deadlock { .. }),
+        "got {failure}"
+    );
+}

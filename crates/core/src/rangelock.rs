@@ -19,8 +19,12 @@
 //! space arbitrates independently.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
+
+// The sync shim: std re-exports in normal builds; under `--cfg viamodel`
+// the model checker explores the overlap-arbitration protocol below
+// (DESIGN.md §15).
+use check::sync::{AtomicU64, Condvar, Mutex, Ordering};
 
 use simmem::Pid;
 
@@ -73,11 +77,15 @@ impl RangeLock {
             waited = true;
             held = self.released.wait(held).expect("range lock poisoned");
         }
+        // relaxed: a pure id allocator — only uniqueness matters, and
+        // fetch_add is atomic at any ordering.
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         held.push(HeldRange { start, end, id });
         drop(held);
+        // relaxed: monotonic stats counter, read only by diagnostics.
         self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
         if waited {
+            // relaxed: monotonic stats counter, read only by diagnostics.
             self.stats.contended.fetch_add(1, Ordering::Relaxed);
         }
         RangeGuard { lock: self, id }
@@ -89,9 +97,11 @@ impl RangeLock {
         if held.iter().any(|h| overlaps(start, end, h)) {
             return None;
         }
+        // relaxed: a pure id allocator — only uniqueness matters.
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         held.push(HeldRange { start, end, id });
         drop(held);
+        // relaxed: monotonic stats counter, read only by diagnostics.
         self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
         Some(RangeGuard { lock: self, id })
     }
@@ -162,6 +172,7 @@ impl RangeLockTable {
             .lock()
             .expect("range lock table poisoned")
             .values()
+            // relaxed: stats snapshot; staleness is fine in a report.
             .map(|l| l.stats.contended.load(Ordering::Relaxed))
             .sum()
     }

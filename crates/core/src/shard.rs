@@ -30,8 +30,12 @@
 //! lock, so the order cannot invert.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
-use std::sync::{Mutex, RwLock, RwLockWriteGuard};
+use std::sync::{Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+// The sync shim: std re-exports in normal builds; under `--cfg viamodel`
+// the model checker explores `SharedPinTable`'s count/rollback protocol
+// (DESIGN.md §15).
+use check::sync::{AtomicU32, AtomicUsize, Ordering};
 
 use simmem::{page::PageFlags, FrameId, Kernel, Pid, VirtAddr, PAGE_SHIFT, PAGE_SIZE};
 
@@ -300,7 +304,13 @@ impl ShardedRegistry {
 
     #[inline]
     fn shard(&self, idx: usize) -> std::sync::MutexGuard<'_, Shard> {
-        self.shards[idx].lock().expect("registry shard poisoned")
+        // A poisoned shard only means a panicking thread died mid-update of
+        // *stats*; the region table itself is updated in single statements,
+        // so continuing with the inner value is safe (and the datapath must
+        // not propagate panics).
+        self.shards[idx]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     // -- capacity ---------------------------------------------------------
@@ -359,13 +369,21 @@ impl ShardedRegistry {
             kernel.get_page_shared(f);
             if let Err(e) = self.pin_table.pin(kernel, f) {
                 // Rollback. The PTEs hold a reference on each frame, so the
-                // shared put can never free one here.
-                let zero = kernel.put_page_shared(f).expect("fresh ref");
-                debug_assert!(!zero, "mapped page freed during rollback");
+                // shared put can never free one here; rollback is
+                // best-effort (the primary error is what the caller needs).
+                let fresh = kernel.put_page_shared(f);
+                debug_assert!(
+                    matches!(fresh, Ok(false)),
+                    "mapped page freed during rollback"
+                );
                 for &g in &frames[..i] {
-                    self.pin_table.unpin(kernel, g).expect("rollback fresh pin");
-                    let zero = kernel.put_page_shared(g).expect("fresh ref");
-                    debug_assert!(!zero, "mapped page freed during rollback");
+                    let undone = self.pin_table.unpin(kernel, g);
+                    debug_assert!(undone.is_ok(), "rollback of fresh pin");
+                    let fresh = kernel.put_page_shared(g);
+                    debug_assert!(
+                        matches!(fresh, Ok(false)),
+                        "mapped page freed during rollback"
+                    );
                 }
                 return Err(e);
             }
@@ -385,7 +403,8 @@ impl ShardedRegistry {
     ) -> RegResult<Vec<FrameId>> {
         let rollback = |kernel: &mut Kernel, frames: &[FrameId], table: &SharedPinTable| {
             for &g in frames {
-                table.unpin(kernel, g).expect("rollback of fresh pin");
+                let undone = table.unpin(kernel, g);
+                debug_assert!(undone.is_ok(), "rollback of fresh pin");
                 kernel.put_user_page(g);
             }
         };
@@ -426,19 +445,19 @@ impl ShardedRegistry {
         let end = simmem::page_align_up(addr + len as u64);
         if strategy == StrategyKind::KiobufReliable {
             {
-                let k = kernel.read().expect("kernel lock poisoned");
+                let k = read_kernel(kernel);
                 if let Some(frames) = self.try_pin_resident(&k, pid, start, end)? {
                     return Ok((frames.clone(), PinToken::Kiobuf { frames }));
                 }
             }
-            let mut k = kernel.write().expect("kernel lock poisoned");
+            let mut k = write_kernel(kernel);
             let frames = self.pin_user_range_excl(&mut k, pid, start, end)?;
             return Ok((frames.clone(), PinToken::Kiobuf { frames }));
         }
         // The three survey strategies mutate page tables / VMAs — exclusive
         // path, reusing the seed strategy code. The scratch PinTable is
         // untouched by the non-kiobuf arms.
-        let mut k = kernel.write().expect("kernel lock poisoned");
+        let mut k = write_kernel(kernel);
         let mut scratch = PinTable::new();
         let out = pin_region(&mut k, &mut scratch, strategy, pid, addr, len);
         debug_assert_eq!(scratch.pinned_frames(), 0, "scratch table must stay empty");
@@ -595,7 +614,11 @@ impl ShardedRegistry {
             (region, zero_runs)
         };
         let mut region = region;
-        let token = region.token.take().expect("token taken only here");
+        let Some(token) = region.token.take() else {
+            // Region records carry their token until exactly this point; a
+            // missing one means the record was already torn down.
+            return Err(RegError::NoSuchHandle);
+        };
         let np = region.frames.len();
 
         match token {
@@ -606,7 +629,7 @@ impl ShardedRegistry {
                 // the write lock.
                 let mut reap = Vec::new();
                 {
-                    let k = kernel.read().expect("kernel lock poisoned");
+                    let k = read_kernel(kernel);
                     for &f in &frames {
                         self.pin_table.unpin(&k, f)?;
                         if k.put_page_shared(f)? {
@@ -615,7 +638,7 @@ impl ShardedRegistry {
                     }
                 }
                 if !reap.is_empty() {
-                    let mut k = kernel.write().expect("kernel lock poisoned");
+                    let mut k = write_kernel(kernel);
                     for f in reap {
                         k.reap_frame(f);
                     }
@@ -623,9 +646,10 @@ impl ShardedRegistry {
             }
             PinToken::Mlock { .. } => {
                 // Interval bookkeeping already updated above; munlock only
-                // the zero runs. Exclusive kernel: VMA mutation.
-                let mut k = kernel.write().expect("kernel lock poisoned");
-                for (s, e) in zero_runs.expect("mlock token computed runs") {
+                // the zero runs (`Some` exactly when the token is Mlock —
+                // an empty default means nothing reached zero).
+                let mut k = write_kernel(kernel);
+                for (s, e) in zero_runs.unwrap_or_default() {
                     let had_cap = k.capabilities(pid)?.ipc_lock;
                     if !had_cap {
                         k.cap_raise_ipc_lock(pid)?;
@@ -639,7 +663,7 @@ impl ShardedRegistry {
                 }
             }
             other => {
-                let mut k = kernel.write().expect("kernel lock poisoned");
+                let mut k = write_kernel(kernel);
                 let mut scratch = PinTable::new();
                 unpin_region(&mut k, &mut scratch, other, true)?;
             }
@@ -683,7 +707,7 @@ impl ShardedRegistry {
     pub fn verify_consistency(&self, kernel: &SharedKernel, handle: MemHandle) -> RegResult<bool> {
         let (pid, base, frames) =
             self.with_region(handle, |r| (r.pid, r.page_base, r.frames.clone()))?;
-        let k = kernel.read().expect("kernel lock poisoned");
+        let k = read_kernel(kernel);
         let current = k.frames_of_range(pid, base, frames.len() * PAGE_SIZE)?;
         Ok(frames
             .iter()
@@ -799,8 +823,15 @@ impl ShardedRegistry {
 
 /// Borrow the kernel write guard's target — helper for callers that need a
 /// few exclusive operations (setup, teardown) around the concurrent phase.
+/// A poisoned lock yields the inner kernel: the simulated kernel's state is
+/// updated transactionally per call, so a panicking holder leaves it valid.
 pub fn write_kernel(kernel: &SharedKernel) -> RwLockWriteGuard<'_, Kernel> {
-    kernel.write().expect("kernel lock poisoned")
+    kernel.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Shared counterpart of [`write_kernel`] (same poison policy).
+pub fn read_kernel(kernel: &SharedKernel) -> RwLockReadGuard<'_, Kernel> {
+    kernel.read().unwrap_or_else(PoisonError::into_inner)
 }
 
 #[cfg(test)]

@@ -36,6 +36,7 @@ pub mod onesided;
 pub mod reclaim;
 pub mod server;
 pub mod sim;
+pub mod wordproto;
 
 use std::fmt;
 

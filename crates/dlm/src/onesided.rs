@@ -18,6 +18,9 @@ use msg::{Comm, RankId, Window};
 use simmem::VirtAddr;
 use via::{Fabric, ViaResult};
 
+use crate::wordproto::{
+    classify_release, lost_race_busy, plan_acquire, release_words, AcquirePlan, ReleaseOutcome,
+};
 use crate::{decode_word, encode_word, ClientId, DlmError, DlmResult, Grant, LockKey};
 
 /// Bytes per lock slot: the CAS word plus the lease-expiry word.
@@ -138,36 +141,24 @@ impl OneSidedTable {
         lease_ticks: u64,
     ) -> DlmResult<TryAcquire> {
         let (word, expiry) = self.read_slot(c, origin, key)?;
-        let (owner, token) = decode_word(word);
-        let stealing = match owner {
-            None => false,
-            // Valid lease: no CAS, report the holder.
-            Some(h) if expiry > now => {
-                return Ok(TryAcquire::Busy {
-                    holder: h,
-                    expires: expiry,
-                })
+        // The decision logic is shared with the model-checked replica in
+        // crates/check — see crate::wordproto.
+        let (expect, propose, token, stealing) = match plan_acquire(word, expiry, client, now) {
+            AcquirePlan::Busy { holder, expires } => {
+                return Ok(TryAcquire::Busy { holder, expires })
             }
-            Some(_) => true,
+            AcquirePlan::Cas {
+                expect,
+                propose,
+                token,
+                steal,
+            } => (expect, propose, token, steal),
         };
-        let next = encode_word(Some(client), token + 1);
         self.stats.cas_attempts += 1;
-        let old = c.cas(origin, &self.win, self.word_off(key), word, next)?;
-        if old != word {
-            // Lost the race; decode the winner for the busy report.
-            let (o, _) = decode_word(old);
-            return Ok(match o {
-                Some(h) => TryAcquire::Busy {
-                    holder: h,
-                    // The winner stamps its lease after the CAS; until the
-                    // stamp lands the slot still shows the old expiry.
-                    expires: expiry.max(now),
-                },
-                None => TryAcquire::Busy {
-                    holder: client,
-                    expires: now,
-                },
-            });
+        let old = c.cas(origin, &self.win, self.word_off(key), expect, propose)?;
+        if old != expect {
+            let (holder, expires) = lost_race_busy(old, client, now, expiry);
+            return Ok(TryAcquire::Busy { holder, expires });
         }
         let expires = now + lease_ticks;
         self.write_lease(c, origin, key, expires)?;
@@ -178,7 +169,7 @@ impl OneSidedTable {
         }
         Ok(TryAcquire::Acquired(Grant {
             key,
-            token: token + 1,
+            token,
             expires,
         }))
     }
@@ -225,29 +216,29 @@ impl OneSidedTable {
         key: LockKey,
         token: u64,
     ) -> DlmResult<()> {
-        let held = encode_word(Some(client), token);
         // Freeing keeps the token: the monotonic sequence continues at
-        // the next acquisition.
-        let freed = encode_word(None, token);
+        // the next acquisition. Decision logic shared with the model —
+        // see crate::wordproto.
+        let (held, freed) = release_words(client, token);
         self.stats.cas_attempts += 1;
         let old = c.cas(origin, &self.win, self.word_off(key), held, freed)?;
-        if old == held {
-            self.stats.releases += 1;
-            return Ok(());
+        match classify_release(old, client, token) {
+            ReleaseOutcome::Released => {
+                self.stats.releases += 1;
+                Ok(())
+            }
+            ReleaseOutcome::NotHeld => {
+                self.stats.stale_rejections += 1;
+                Err(DlmError::NotHeld)
+            }
+            ReleaseOutcome::Stale { current } => {
+                self.stats.stale_rejections += 1;
+                Err(DlmError::StaleToken {
+                    presented: token,
+                    current,
+                })
+            }
         }
-        let (owner, current) = decode_word(old);
-        if owner == Some(client) && current == token {
-            unreachable!("CAS reported failure on an equal word");
-        }
-        self.stats.stale_rejections += 1;
-        if owner.is_none() && current == token {
-            // Already free at our token: double release.
-            return Err(DlmError::NotHeld);
-        }
-        Err(DlmError::StaleToken {
-            presented: token,
-            current,
-        })
     }
 
     /// Crash reclamation sweep: free every lock whose owner `is_dead`,

@@ -1,0 +1,178 @@
+//! The one-sided lock-word protocol as pure decision functions.
+//!
+//! [`crate::onesided`] drives these over the RDMA transport; the model
+//! checker (`crates/check/tests/model_dlm.rs`) drives the *same* functions
+//! over a modeled atomic lock word to exhaustively explore
+//! acquire/steal/release races. Keeping the decisions transport-free is
+//! what makes the model faithful: both executors can only differ in how
+//! they perform the CAS, never in what they decide to CAS.
+//!
+//! Protocol recap: the word packs `(owner, fencing token)` via
+//! [`crate::encode_word`]. Acquisition CASes free-or-expired words to
+//! `(self, token + 1)`; release CASes the exact held word to
+//! `(free, token)` — keeping the token so the per-lock sequence stays
+//! strictly monotonic across steals, which is exactly the property that
+//! makes a stale holder's writes fenceable.
+
+use crate::{decode_word, encode_word, ClientId};
+
+/// What one acquire attempt should do, given an observed `(word, expiry)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcquirePlan {
+    /// Validly held — do not CAS; report the holder.
+    Busy { holder: ClientId, expires: u64 },
+    /// CAS `expect → propose`. On success the caller owns the lock at
+    /// `token` (`steal` tells it which stat to bump).
+    Cas {
+        expect: u64,
+        propose: u64,
+        token: u64,
+        steal: bool,
+    },
+}
+
+/// Decide an acquire attempt from an observed slot. Free words and
+/// expired leases (`expiry <= now`) are CAS targets; valid leases are
+/// [`AcquirePlan::Busy`].
+pub fn plan_acquire(word: u64, expiry: u64, client: ClientId, now: u64) -> AcquirePlan {
+    let (owner, token) = decode_word(word);
+    let steal = match owner {
+        None => false,
+        Some(h) if expiry > now => {
+            return AcquirePlan::Busy {
+                holder: h,
+                expires: expiry,
+            }
+        }
+        Some(_) => true,
+    };
+    AcquirePlan::Cas {
+        expect: word,
+        propose: encode_word(Some(client), token + 1),
+        token: token + 1,
+        steal,
+    }
+}
+
+/// The holder/expiry to report after an acquire CAS lost its race and
+/// observed `old` instead. A transiently free word (the winner released
+/// already, or its lease stamp hasn't landed) reports the caller itself
+/// at `now` — "retry immediately".
+pub fn lost_race_busy(
+    old: u64,
+    myself: ClientId,
+    now: u64,
+    observed_expiry: u64,
+) -> (ClientId, u64) {
+    match decode_word(old).0 {
+        // The winner stamps its lease after the CAS; until the stamp
+        // lands the slot still shows the old expiry.
+        Some(h) => (h, observed_expiry.max(now)),
+        None => (myself, now),
+    }
+}
+
+/// The `(held, freed)` word pair for a release CAS: demand the exact
+/// `(client, token)` word, free it keeping the token.
+pub fn release_words(client: ClientId, token: u64) -> (u64, u64) {
+    (encode_word(Some(client), token), encode_word(None, token))
+}
+
+/// Classification of a release CAS's observed previous word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleaseOutcome {
+    /// The CAS matched: the lock is free, token preserved.
+    Released,
+    /// Already free at our token — a double release.
+    NotHeld,
+    /// The word moved past our token (steal or re-acquisition); the
+    /// current holder is untouched and the caller must treat itself as
+    /// fenced off.
+    Stale { current: u64 },
+}
+
+/// Classify the previous word `old` returned by a release CAS issued by
+/// `client` with fencing `token`.
+pub fn classify_release(old: u64, client: ClientId, token: u64) -> ReleaseOutcome {
+    if old == encode_word(Some(client), token) {
+        return ReleaseOutcome::Released;
+    }
+    let (owner, current) = decode_word(old);
+    if owner.is_none() && current == token {
+        return ReleaseOutcome::NotHeld;
+    }
+    ReleaseOutcome::Stale { current }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_word_plans_a_fresh_cas() {
+        let word = encode_word(None, 5);
+        match plan_acquire(word, 0, 7, 100) {
+            AcquirePlan::Cas {
+                expect,
+                propose,
+                token,
+                steal,
+            } => {
+                assert_eq!(expect, word);
+                assert_eq!(propose, encode_word(Some(7), 6));
+                assert_eq!(token, 6);
+                assert!(!steal);
+            }
+            other => panic!("expected Cas, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn valid_lease_is_busy_no_cas() {
+        let word = encode_word(Some(3), 9);
+        assert_eq!(
+            plan_acquire(word, 50, 7, 49),
+            AcquirePlan::Busy {
+                holder: 3,
+                expires: 50
+            }
+        );
+    }
+
+    #[test]
+    fn expired_lease_plans_a_steal() {
+        let word = encode_word(Some(3), 9);
+        match plan_acquire(word, 50, 7, 50) {
+            AcquirePlan::Cas { token, steal, .. } => {
+                assert_eq!(token, 10, "steal bumps the fencing token");
+                assert!(steal);
+            }
+            other => panic!("expected steal Cas, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn release_classification_covers_all_outcomes() {
+        let (held, freed) = release_words(4, 7);
+        assert_eq!(classify_release(held, 4, 7), ReleaseOutcome::Released);
+        assert_eq!(classify_release(freed, 4, 7), ReleaseOutcome::NotHeld);
+        // Stolen: word moved to (9, 8).
+        let stolen = encode_word(Some(9), 8);
+        assert_eq!(
+            classify_release(stolen, 4, 7),
+            ReleaseOutcome::Stale { current: 8 }
+        );
+        // Freed at a later token: also stale, not NotHeld.
+        assert_eq!(
+            classify_release(encode_word(None, 8), 4, 7),
+            ReleaseOutcome::Stale { current: 8 }
+        );
+    }
+
+    #[test]
+    fn lost_race_reports_winner_or_retry() {
+        assert_eq!(lost_race_busy(encode_word(Some(2), 3), 7, 10, 20), (2, 20));
+        assert_eq!(lost_race_busy(encode_word(Some(2), 3), 7, 30, 20), (2, 30));
+        assert_eq!(lost_race_busy(encode_word(None, 3), 7, 10, 20), (7, 10));
+    }
+}

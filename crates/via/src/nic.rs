@@ -865,7 +865,12 @@ impl Node {
                         }
                     }
                     DescOp::Recv => return Err(ViaError::BadState("recv on send queue")),
-                    DescOp::RdmaRead | DescOp::AtomicCas => unreachable!("handled above"),
+                    // Both ops returned earlier in this function; reaching
+                    // here means the dispatch above changed — fail typed,
+                    // never panic on the datapath.
+                    DescOp::RdmaRead | DescOp::AtomicCas => {
+                        return Err(ViaError::BadState("one-sided op reached the gather path"))
+                    }
                 };
                 self.nic.stats.bytes_tx += payload.len() as u64;
                 let pkt = Packet {
@@ -1031,8 +1036,8 @@ impl Node {
                     self.pool.put(packet.payload);
                     return Err(ViaError::BadState("malformed CAS request"));
                 }
-                let compare = u64::from_le_bytes(packet.payload[..8].try_into().expect("8 bytes"));
-                let swap = u64::from_le_bytes(packet.payload[8..].try_into().expect("8 bytes"));
+                let compare = crate::ring::le_u64(&packet.payload, 0);
+                let swap = crate::ring::le_u64(&packet.payload, 8);
                 let r = self.rdma_cas(vi_id, remote_mem, remote_addr, compare, swap);
                 self.pool.put(packet.payload);
                 match r {

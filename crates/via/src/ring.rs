@@ -56,13 +56,41 @@ pub mod wire {
     }
 }
 
+/// Copy a little-endian `u16` out of `bytes` at `off`. Callers bounds-check
+/// the slice first; the fixed-size destination makes the conversion itself
+/// infallible (datapath modules must stay panic-free — lint rule R3).
+#[inline]
+pub(crate) fn le_u16(bytes: &[u8], off: usize) -> u16 {
+    let mut b = [0u8; 2];
+    b.copy_from_slice(&bytes[off..off + 2]);
+    u16::from_le_bytes(b)
+}
+
+/// Little-endian `u32` at `off`; see [`le_u16`].
+#[inline]
+pub(crate) fn le_u32(bytes: &[u8], off: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&bytes[off..off + 4]);
+    u32::from_le_bytes(b)
+}
+
+/// Little-endian `u64` at `off`; see [`le_u16`].
+#[inline]
+pub(crate) fn le_u64(bytes: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
 /// Encode a descriptor into its wire format.
 pub fn encode(desc: &Descriptor) -> ViaResult<Vec<u8>> {
     let has_addr = desc.rdma.is_some();
     let has_atomic = desc.op == DescOp::AtomicCas;
-    if has_atomic && desc.cas.is_none() {
-        return Err(ViaError::BadState("CAS descriptor without operands"));
-    }
+    let cas_ops = match (has_atomic, desc.cas) {
+        (true, None) => return Err(ViaError::BadState("CAS descriptor without operands")),
+        (true, Some(ops)) => Some(ops),
+        (false, _) => None,
+    };
     let mut out = vec![0u8; wire::encoded_len(desc.segs.len(), has_addr, has_atomic)];
     out[0] = match desc.op {
         DescOp::Send => wire::OP_SEND,
@@ -84,8 +112,7 @@ pub fn encode(desc: &Descriptor) -> ViaResult<Vec<u8>> {
         out[off + 8..off + 16].copy_from_slice(&r.remote_addr.to_le_bytes());
         off += wire::ADDR_SIZE;
     }
-    if has_atomic {
-        let (compare, swap) = desc.cas.expect("checked above");
+    if let Some((compare, swap)) = cas_ops {
         out[off..off + 8].copy_from_slice(&compare.to_le_bytes());
         out[off + 8..off + 16].copy_from_slice(&swap.to_le_bytes());
         off += wire::ATOMIC_SIZE;
@@ -112,11 +139,9 @@ pub fn decode(bytes: &[u8]) -> ViaResult<Descriptor> {
         wire::OP_ATOMIC_CAS => DescOp::AtomicCas,
         _ => return Err(ViaError::BadState("bad opcode in descriptor")),
     };
-    let nsegs = u16::from_le_bytes(bytes[2..4].try_into().expect("2 bytes")) as usize;
+    let nsegs = le_u16(bytes, 2) as usize;
     let imm = if bytes[4] == 1 {
-        Some(u32::from_le_bytes(
-            bytes[8..12].try_into().expect("4 bytes"),
-        ))
+        Some(le_u32(bytes, 8))
     } else {
         None
     };
@@ -127,8 +152,8 @@ pub fn decode(bytes: &[u8]) -> ViaResult<Descriptor> {
     }
     let mut off = wire::CTRL_SIZE;
     let rdma = if has_addr {
-        let mem = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes"));
-        let addr = u64::from_le_bytes(bytes[off + 8..off + 16].try_into().expect("8 bytes"));
+        let mem = le_u32(bytes, off);
+        let addr = le_u64(bytes, off + 8);
         off += wire::ADDR_SIZE;
         Some(RdmaSeg {
             remote_mem: MemId(mem),
@@ -138,8 +163,8 @@ pub fn decode(bytes: &[u8]) -> ViaResult<Descriptor> {
         None
     };
     let cas = if has_atomic {
-        let compare = u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"));
-        let swap = u64::from_le_bytes(bytes[off + 8..off + 16].try_into().expect("8 bytes"));
+        let compare = le_u64(bytes, off);
+        let swap = le_u64(bytes, off + 8);
         off += wire::ATOMIC_SIZE;
         Some((compare, swap))
     } else {
@@ -147,9 +172,9 @@ pub fn decode(bytes: &[u8]) -> ViaResult<Descriptor> {
     };
     let mut segs = Vec::with_capacity(nsegs);
     for _ in 0..nsegs {
-        let mem = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes"));
-        let len = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("4 bytes")) as usize;
-        let addr = u64::from_le_bytes(bytes[off + 8..off + 16].try_into().expect("8 bytes"));
+        let mem = le_u32(bytes, off);
+        let len = le_u32(bytes, off + 4) as usize;
+        let addr = le_u64(bytes, off + 8);
         segs.push(DataSeg {
             mem: MemId(mem),
             addr,

@@ -34,11 +34,15 @@
 //! replace the channel-disconnect semantics the old transport relied on
 //! for `PeerGone` detection.
 
-use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
+
+// The sync shim: std re-exports in normal builds; under `--cfg viamodel`
+// the model checker's instrumented primitives, so `cargo test -p check`
+// can exhaustively explore this module's interleavings (DESIGN.md §15).
+use check::sync::cell::UnsafeCell;
+use check::sync::{AtomicBool, AtomicU32, AtomicU64, Condvar, Mutex, Ordering};
 
 /// Pads and aligns a value to 128 bytes — two x86 cache lines, covering
 /// the adjacent-line prefetcher — so the producer's and consumer's hot
@@ -96,19 +100,26 @@ struct Ring<T> {
 // pairs on `head` and `tail` order those accesses. Only one producer and
 // one consumer exist (the handles are neither Clone nor Sync).
 unsafe impl<T: Send> Sync for Ring<T> {}
+// SAFETY: the ring owns its slots; moving the whole ring moves T values,
+// which is safe exactly when T: Send.
 unsafe impl<T: Send> Send for Ring<T> {}
 
 impl<T> Drop for Ring<T> {
     fn drop(&mut self) {
         // Both handles are gone (Arc refcount hit zero), so the atomics
         // are exact: drain every published-but-unconsumed slot.
+        // relaxed: `&mut self` proves exclusive access — the Arc refcount
+        // decrement that dropped the last handle is the synchronization.
         let head = self.head.0.load(Ordering::Relaxed);
+        // relaxed: same argument as `head` above.
         let mut tail = self.tail.0.load(Ordering::Relaxed);
         while tail != head {
             let idx = (tail & self.mask) as usize;
-            // SAFETY: slot was published and never consumed; we have
-            // exclusive access in Drop.
-            unsafe { (*self.slots[idx].get()).assume_init_drop() };
+            self.slots[idx].with_mut(|p| {
+                // SAFETY: slot was published and never consumed; we have
+                // exclusive access in Drop.
+                unsafe { (*p).assume_init_drop() }
+            });
             tail += 1;
         }
     }
@@ -199,9 +210,12 @@ impl<T> Producer<T> {
             }
         }
         let idx = (self.next & self.ring.mask) as usize;
-        // SAFETY: `next < cached_tail + capacity`, so this slot's previous
-        // occupant (if any) was consumed; only this producer writes slots.
-        unsafe { (*self.ring.slots[idx].get()).write(v) };
+        self.ring.slots[idx].with_mut(|p| {
+            // SAFETY: `next < cached_tail + capacity`, so this slot's
+            // previous occupant (if any) was consumed; only this producer
+            // writes slots.
+            unsafe { (*p).write(v) };
+        });
         self.next += 1;
         Ok(())
     }
@@ -275,9 +289,12 @@ impl<T> Consumer<T> {
             }
         }
         let idx = (self.next & self.ring.mask) as usize;
-        // SAFETY: `next < cached_head <= head`, so the slot is published
-        // and not yet consumed; only this consumer reads slots.
-        let v = unsafe { (*self.ring.slots[idx].get()).assume_init_read() };
+        let v = self.ring.slots[idx].with(|p| {
+            // SAFETY: `next < cached_head <= head`, so the slot is
+            // published and not yet consumed; only this consumer reads
+            // slots.
+            unsafe { (*p).assume_init_read() }
+        });
         self.next += 1;
         // The release-store hands the slot back to the producer: it
         // happens-after the read above.
