@@ -3,7 +3,7 @@
 //!
 //! The design follows the layering of the repo: `simmem` cannot depend on
 //! this crate, so the kernel exposes a *generic* `u32`-coded injector hook
-//! ([`simmem::Kernel::set_injector`]) and fires its own four sites
+//! ([`simmem::Kernel::set_injector`]) and fires its own five sites
 //! (`simmem::inject::*`). This module owns the full catalog — kernel sites
 //! plus the VIA-layer and wire sites, which reuse codes from
 //! `simmem::inject::UPPER_BASE` upward — and the seeded plan deciding when
@@ -22,7 +22,7 @@ use std::sync::{Arc, Mutex};
 
 use simmem::inject;
 
-/// Named injection sites across the stack. The first four are fired by the
+/// Named injection sites across the stack. The first five are fired by the
 /// simulated kernel itself; the rest by the VIA layer and the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FaultSite {
@@ -34,6 +34,9 @@ pub enum FaultSite {
     SwapIo,
     /// `PG_locked` held by foreign I/O — batch pinning sees `WouldBlock`.
     PageLock,
+    /// The page stealer fails to dissolve a cold on-demand pin (the frame
+    /// stays pinned in place for this reclaim pass).
+    PressureUnpin,
     /// The translation-and-protection table has no room for the region.
     TptFull,
     /// The descriptor-ring doorbell is over capacity.
@@ -46,21 +49,26 @@ pub enum FaultSite {
     WireDuplicate,
     /// The wire delays a packet past later traffic.
     WireDelay,
+    /// The fault-and-repin path: an on-demand registration's lazy pin
+    /// fails on NIC access (typed `WouldBlock` degradation).
+    LazyPin,
 }
 
 impl FaultSite {
     /// Every site, in catalog order — the chaos harness sweeps this.
-    pub const ALL: [FaultSite; 10] = [
+    pub const ALL: [FaultSite; 12] = [
         FaultSite::FrameAlloc,
         FaultSite::SwapFull,
         FaultSite::SwapIo,
         FaultSite::PageLock,
+        FaultSite::PressureUnpin,
         FaultSite::TptFull,
         FaultSite::DoorbellOverflow,
         FaultSite::CqOverrun,
         FaultSite::WireDrop,
         FaultSite::WireDuplicate,
         FaultSite::WireDelay,
+        FaultSite::LazyPin,
     ];
 
     /// The wire code for this site, shared with `simmem::inject`.
@@ -70,12 +78,14 @@ impl FaultSite {
             FaultSite::SwapFull => inject::SWAP_FULL,
             FaultSite::SwapIo => inject::SWAP_IO,
             FaultSite::PageLock => inject::PAGE_LOCK,
+            FaultSite::PressureUnpin => inject::PRESSURE_UNPIN,
             FaultSite::TptFull => inject::UPPER_BASE,
             FaultSite::DoorbellOverflow => inject::UPPER_BASE + 1,
             FaultSite::CqOverrun => inject::UPPER_BASE + 2,
             FaultSite::WireDrop => inject::UPPER_BASE + 3,
             FaultSite::WireDuplicate => inject::UPPER_BASE + 4,
             FaultSite::WireDelay => inject::UPPER_BASE + 5,
+            FaultSite::LazyPin => inject::UPPER_BASE + 6,
         }
     }
 
@@ -91,12 +101,14 @@ impl FaultSite {
             FaultSite::SwapFull => "swap-full",
             FaultSite::SwapIo => "swap-io",
             FaultSite::PageLock => "page-lock",
+            FaultSite::PressureUnpin => "pressure-unpin",
             FaultSite::TptFull => "tpt-full",
             FaultSite::DoorbellOverflow => "doorbell-overflow",
             FaultSite::CqOverrun => "cq-overrun",
             FaultSite::WireDrop => "wire-drop",
             FaultSite::WireDuplicate => "wire-duplicate",
             FaultSite::WireDelay => "wire-delay",
+            FaultSite::LazyPin => "lazy-pin",
         }
     }
 
@@ -106,12 +118,14 @@ impl FaultSite {
             FaultSite::SwapFull => 1,
             FaultSite::SwapIo => 2,
             FaultSite::PageLock => 3,
-            FaultSite::TptFull => 4,
-            FaultSite::DoorbellOverflow => 5,
-            FaultSite::CqOverrun => 6,
-            FaultSite::WireDrop => 7,
-            FaultSite::WireDuplicate => 8,
-            FaultSite::WireDelay => 9,
+            FaultSite::PressureUnpin => 4,
+            FaultSite::TptFull => 5,
+            FaultSite::DoorbellOverflow => 6,
+            FaultSite::CqOverrun => 7,
+            FaultSite::WireDrop => 8,
+            FaultSite::WireDuplicate => 9,
+            FaultSite::WireDelay => 10,
+            FaultSite::LazyPin => 11,
         }
     }
 }

@@ -28,8 +28,13 @@ pub struct Region {
     pub len: usize,
     /// Page-aligned base of the pinned range.
     pub page_base: VirtAddr,
+    /// Pages spanned by the registration. For eager strategies this equals
+    /// `frames.len()`; for on-demand regions the span is reserved up front
+    /// while `frames` stays empty (residency lives in the lazy ledger).
+    pub npages: usize,
     /// Physical frames backing the range, one per page, captured at
-    /// registration time — what goes into the TPT.
+    /// registration time — what goes into the TPT. Empty for on-demand
+    /// regions, whose TPT entries start non-resident.
     pub frames: Vec<FrameId>,
     pub strategy: StrategyKind,
     /// Strategy-private undo state; taken on deregistration.
@@ -47,12 +52,19 @@ impl Region {
         let abs = self.user_addr + offset as u64;
         let page_index = ((abs - self.page_base) / PAGE_SIZE as u64) as usize;
         let in_page = (abs & (PAGE_SIZE as u64 - 1)) as usize;
-        Ok((self.frames[page_index], in_page))
+        // Pages the registration did not capture (on-demand spans) report
+        // WouldBlock: the caller resolves residency via the lazy ledger.
+        let frame = self
+            .frames
+            .get(page_index)
+            .copied()
+            .ok_or(RegError::WouldBlock)?;
+        Ok((frame, in_page))
     }
 
-    /// Number of pinned pages.
+    /// Number of pages spanned by the registration (pinned or reserved).
     pub fn npages(&self) -> usize {
-        self.frames.len()
+        self.npages
     }
 }
 
@@ -85,9 +97,12 @@ impl RegionTable {
         self.next += 1;
         let handle = MemHandle(self.next);
         let page_base = simmem::page_base(user_addr);
-        let page_end = page_base + (frames.len() * PAGE_SIZE) as u64;
+        // Eager strategies record one frame per page; on-demand regions
+        // record none and reserve the whole span.
+        let npages = crate::strategy::npages(user_addr, len).max(frames.len());
+        let page_end = page_base + (npages * PAGE_SIZE) as u64;
         self.index.insert(pid, page_base, page_end, handle);
-        self.total_pages += frames.len();
+        self.total_pages += npages;
         self.regions.insert(
             handle,
             Region {
@@ -96,6 +111,7 @@ impl RegionTable {
                 user_addr,
                 len,
                 page_base,
+                npages,
                 frames,
                 strategy,
                 token: Some(token),
@@ -111,7 +127,7 @@ impl RegionTable {
     pub fn remove(&mut self, handle: MemHandle) -> RegResult<Region> {
         let region = self.regions.remove(&handle).ok_or(RegError::NoSuchHandle)?;
         self.index.remove(region.pid, region.page_base, handle);
-        self.total_pages -= region.frames.len();
+        self.total_pages -= region.npages;
         Ok(region)
     }
 
@@ -170,6 +186,7 @@ mod tests {
             user_addr: 0x1000 + 100,
             len: 2 * PAGE_SIZE,
             page_base: 0x1000,
+            npages: 3,
             frames: vec![FrameId(10), FrameId(11), FrameId(12)],
             strategy: StrategyKind::KiobufReliable,
             token: None,

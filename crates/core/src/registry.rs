@@ -38,6 +38,21 @@ pub struct RegistryStats {
     pub backoff_ticks: u64,
     /// Registrations rescued by the kiobuf → mlock degradation chain.
     pub fallbacks: u64,
+    /// Minor faults observed by the backing kernel. Zero in a plain
+    /// [`MemoryRegistry::snapshot`]; filled by `snapshot_with`, which joins
+    /// the kernel's `MmStats` into the block so per-strategy fault behaviour
+    /// lands in bench JSON without a second counter plumbing path.
+    pub minor_faults: u64,
+    /// Major (swap-in) faults observed by the backing kernel.
+    pub major_faults: u64,
+    /// Protection-trap pins taken on the lazy (on-demand) path.
+    pub protection_faults: u64,
+    /// Lazy pins re-taken after an unpin (pressure steal or COW break).
+    pub repins: u64,
+    /// Cold on-demand frames dissolved by the page stealer.
+    pub pressure_unpins: u64,
+    /// Lazy pins dissolved because a COW break moved the mapping.
+    pub cow_invalidations: u64,
 }
 
 impl RegistryStats {
@@ -51,6 +66,12 @@ impl RegistryStats {
         self.pin_retries += other.pin_retries;
         self.backoff_ticks += other.backoff_ticks;
         self.fallbacks += other.fallbacks;
+        self.minor_faults += other.minor_faults;
+        self.major_faults += other.major_faults;
+        self.protection_faults += other.protection_faults;
+        self.repins += other.repins;
+        self.pressure_unpins += other.pressure_unpins;
+        self.cow_invalidations += other.cow_invalidations;
     }
 }
 
@@ -70,6 +91,12 @@ pub struct MemoryRegistry {
     /// Degrade kiobuf registrations to the mlock strategy when the page
     /// lock stays contended through every retry.
     fallback: bool,
+    /// Lazy-pin ledger for on-demand regions: one slot per page of the
+    /// span, `Some(frame)` iff this registry holds a kernel lazy pin for
+    /// that page. Eager regions never appear here. This is what keeps
+    /// [`RegistryStats`] and [`MemoryRegistry::check_invariants`] exact
+    /// when pages pin and unpin after registration.
+    ledger: HashMap<MemHandle, Vec<Option<FrameId>>>,
     stats: RegistryStats,
 }
 
@@ -85,6 +112,7 @@ impl MemoryRegistry {
             max_pages: None,
             retry_limit: 0,
             fallback: false,
+            ledger: HashMap::new(),
             stats: RegistryStats::default(),
         }
     }
@@ -120,6 +148,21 @@ impl MemoryRegistry {
     /// [`RegistryStats`].
     pub fn snapshot(&self) -> RegistryStats {
         self.stats
+    }
+
+    /// [`MemoryRegistry::snapshot`] joined with the kernel's fault and
+    /// repin counters, so one block reports both what the registry did and
+    /// what it cost the VM (per-strategy fault behaviour in bench JSON).
+    pub fn snapshot_with(&self, kernel: &Kernel) -> RegistryStats {
+        let mm = kernel.mm_stats();
+        let mut s = self.stats;
+        s.minor_faults = mm.minor_faults;
+        s.major_faults = mm.major_faults;
+        s.protection_faults = mm.protection_faults;
+        s.repins = mm.repins;
+        s.pressure_unpins = mm.pressure_unpins;
+        s.cow_invalidations = mm.cow_invalidations;
+        s
     }
 
     /// One strategy attempt with the bounded retry loop around the pin.
@@ -191,7 +234,115 @@ impl MemoryRegistry {
         }
         self.stats.registrations += 1;
         self.stats.pages_pinned += frames.len() as u64;
-        Ok(self.regions.insert(pid, addr, len, frames, used, token))
+        let handle = self.regions.insert(pid, addr, len, frames, used, token);
+        if used == StrategyKind::OnDemand {
+            // Lazy span: nothing resident yet; pages pin on first access.
+            self.ledger.insert(handle, vec![None; npages]);
+        }
+        Ok(handle)
+    }
+
+    /// Protection-trap entry point for on-demand regions: ensure page
+    /// `page_idx` of `handle`'s span is resident and lazily pinned, and
+    /// return its frame. Idempotent per page — a resident page is a ledger
+    /// hit and touches no kernel state.
+    pub fn pin_on_access(
+        &mut self,
+        kernel: &mut Kernel,
+        handle: MemHandle,
+        page_idx: usize,
+    ) -> RegResult<FrameId> {
+        let (pid, page_base, npages) = {
+            let r = self.regions.get(handle)?;
+            (r.pid, r.page_base, r.npages())
+        };
+        let slot = self
+            .ledger
+            .get(&handle)
+            .ok_or(RegError::InvalidArgument("not an on-demand region"))?
+            .get(page_idx)
+            .copied()
+            .ok_or(RegError::InvalidArgument("page beyond region"))?;
+        if let Some(frame) = slot {
+            return Ok(frame);
+        }
+        debug_assert!(page_idx < npages);
+        if kernel.inject(crate::fault::FaultSite::LazyPin.code()) {
+            self.stats.blocked += 1;
+            return Err(RegError::WouldBlock);
+        }
+        let addr = page_base + (page_idx * PAGE_SIZE) as u64;
+        let frame = match kernel.lazy_pin_page(pid, addr) {
+            Ok(f) => f,
+            Err(e) => {
+                let e = RegError::from(e);
+                if e == RegError::WouldBlock {
+                    self.stats.blocked += 1;
+                }
+                return Err(e);
+            }
+        };
+        self.ledger.get_mut(&handle).expect("checked above")[page_idx] = Some(frame);
+        self.stats.pages_pinned += 1;
+        Ok(frame)
+    }
+
+    /// Drain the kernel's lazy-invalidation queue and null every ledger
+    /// slot that pointed at a dissolved frame. Returns the drained frames
+    /// so the caller can invalidate its TPT entries (and bump generations)
+    /// for exactly those frames. Must run before translating or pinning —
+    /// the kernel cannot call upward into the NIC, so this pull is the
+    /// unpin → TPT coherence edge.
+    pub fn drain_lazy_invalidations(&mut self, kernel: &mut Kernel) -> Vec<FrameId> {
+        let frames = kernel.take_lazy_invalidations();
+        if frames.is_empty() {
+            return frames;
+        }
+        // Frame reuse (ABA): between the dissolve that queued a frame and
+        // this drain, the freed frame may have been reallocated and lazily
+        // re-pinned — possibly for a different page of the same region.
+        // Nulling that fresh slot would leak its kernel pin (the next
+        // pin_on_access would double-pin). A slot is stale only if the
+        // kernel no longer backs it: the pin was dissolved or the mapping
+        // moved off the frame.
+        let handles: Vec<MemHandle> = self.ledger.keys().copied().collect();
+        for handle in handles {
+            let Ok((pid, page_base)) = self.regions.get(handle).map(|r| (r.pid, r.page_base))
+            else {
+                continue;
+            };
+            let entry = self.ledger.get_mut(&handle).expect("ledger key");
+            for (page, slot) in entry.iter_mut().enumerate() {
+                let Some(f) = *slot else { continue };
+                if !frames.contains(&f) {
+                    continue;
+                }
+                let addr = page_base + (page * PAGE_SIZE) as u64;
+                let live = kernel.lazy_pin_count(f) > 0
+                    && kernel.frame_of(pid, addr).ok().flatten() == Some(f);
+                if !live {
+                    *slot = None;
+                    self.stats.pages_unpinned += 1;
+                }
+            }
+        }
+        frames
+    }
+
+    /// Per-page residency of a region as a TPT would hold it: eager
+    /// regions are fully resident; on-demand regions report their ledger,
+    /// with `None` for pages that must fault-and-repin on access.
+    pub fn tpt_frames(&self, handle: MemHandle) -> RegResult<Vec<Option<FrameId>>> {
+        if let Some(entry) = self.ledger.get(&handle) {
+            return Ok(entry.clone());
+        }
+        Ok(self
+            .regions
+            .get(handle)?
+            .frames
+            .iter()
+            .map(|&f| Some(f))
+            .collect())
     }
 
     /// Deregister a handle; the pages are unpinned when the last
@@ -200,6 +351,20 @@ impl MemoryRegistry {
         let mut region = self.regions.remove(handle)?;
         let token = region.token.take().expect("token taken only here");
         let npages = region.frames.len();
+
+        // On-demand teardown: release whatever the ledger still holds. A
+        // slot may be stale if the kernel dissolved the pin (pressure or
+        // COW) and the invalidation has not been drained yet — those show
+        // a zero lazy count and are skipped; the queued invalidation still
+        // reconciles any TPT copy.
+        if let Some(entry) = self.ledger.remove(&handle) {
+            for frame in entry.into_iter().flatten() {
+                if kernel.lazy_pin_count(frame) > 0 {
+                    kernel.lazy_unpin_frame(frame)?;
+                }
+                self.stats.pages_unpinned += 1;
+            }
+        }
 
         // Teardown is driven by the *token*, not the registry's configured
         // strategy: the degradation chain can leave mlock-pinned regions in
@@ -250,7 +415,9 @@ impl MemoryRegistry {
         Ok(())
     }
 
-    /// The frames recorded at registration time (what a TPT holds).
+    /// The frames recorded at registration time (what a TPT holds). Empty
+    /// for on-demand regions — use [`MemoryRegistry::tpt_frames`] for the
+    /// residency-aware view.
     pub fn frames(&self, handle: MemHandle) -> RegResult<&[FrameId]> {
         Ok(&self.regions.get(handle)?.frames)
     }
@@ -263,7 +430,21 @@ impl MemoryRegistry {
     /// TPT-style translation: byte offset within the registration →
     /// (frame, in-page offset).
     pub fn translate(&self, handle: MemHandle, offset: usize) -> RegResult<(FrameId, usize)> {
-        self.regions.get(handle)?.translate(offset)
+        let r = self.regions.get(handle)?;
+        if let Some(entry) = self.ledger.get(&handle) {
+            // On-demand: answer from the ledger; a non-resident page is a
+            // WouldBlock the caller resolves via `pin_on_access`.
+            if offset >= r.len {
+                return Err(RegError::InvalidArgument("offset beyond region"));
+            }
+            let abs = r.user_addr + offset as u64;
+            let page_index = ((abs - r.page_base) / PAGE_SIZE as u64) as usize;
+            let in_page = (abs & (PAGE_SIZE as u64 - 1)) as usize;
+            return entry[page_index]
+                .map(|f| (f, in_page))
+                .ok_or(RegError::WouldBlock);
+        }
+        r.translate(offset)
     }
 
     /// Locktest step 6: are the frames recorded at registration time still
@@ -271,7 +452,15 @@ impl MemoryRegistry {
     /// stale frames.
     pub fn verify_consistency(&self, kernel: &Kernel, handle: MemHandle) -> RegResult<bool> {
         let r = self.regions.get(handle)?;
-        let current = kernel.frames_of_range(r.pid, r.page_base, r.frames.len() * PAGE_SIZE)?;
+        let current = kernel.frames_of_range(r.pid, r.page_base, r.npages() * PAGE_SIZE)?;
+        if let Some(entry) = self.ledger.get(&handle) {
+            // On-demand: only resident (ledger-held) pages promise
+            // stability; non-resident pages re-pin on access by design.
+            return Ok(entry
+                .iter()
+                .zip(current.iter())
+                .all(|(reg, cur)| reg.is_none() || *reg == *cur));
+        }
         Ok(r.frames
             .iter()
             .zip(current.iter())
@@ -350,6 +539,37 @@ impl MemoryRegistry {
         if expect.len() != self.pin_table.pinned_frames() {
             return Err("pin table tracks frames not owned by any region".into());
         }
+        // Lazy-ledger census: every Some slot is one kernel lazy pin, and
+        // every kernel lazy pin is some region's Some slot. Frames whose
+        // dissolution is still queued (undrained invalidations) are exempt
+        // on both sides — the ledger learns about them at the next drain.
+        let mut lazy_expect: HashMap<FrameId, u32> = HashMap::new();
+        for (h, entry) in &self.ledger {
+            if self.regions.get(*h).is_err() {
+                return Err(format!("ledger entry for dead handle {}", h.0));
+            }
+            for f in entry.iter().flatten() {
+                *lazy_expect.entry(*f).or_insert(0) += 1;
+            }
+        }
+        let pending = kernel.pending_lazy_invalidations();
+        for (&f, &c) in &lazy_expect {
+            let k = kernel.lazy_pin_count(f);
+            if k != c && !pending.contains(&f) {
+                return Err(format!(
+                    "frame {} has {} ledger pins but kernel holds {}",
+                    f.0, c, k
+                ));
+            }
+        }
+        for (f, n) in kernel.lazy_pinned_frames() {
+            if lazy_expect.get(&f).copied().unwrap_or(0) != n && !pending.contains(&f) {
+                return Err(format!(
+                    "kernel lazily pins frame {} ({}×) beyond the ledger",
+                    f.0, n
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -381,7 +601,13 @@ mod tests {
             let (mut k, pid, a) = setup();
             let mut reg = MemoryRegistry::new(strategy);
             let h = reg.register(&mut k, pid, a, 4 * PAGE_SIZE).unwrap();
-            assert_eq!(reg.frames(h).unwrap().len(), 4);
+            if strategy.pins_eagerly() {
+                assert_eq!(reg.frames(h).unwrap().len(), 4);
+            } else {
+                assert!(reg.frames(h).unwrap().is_empty(), "nothing pinned yet");
+                assert_eq!(reg.tpt_frames(h).unwrap(), vec![None; 4]);
+            }
+            assert_eq!(reg.region(h).unwrap().npages(), 4);
             assert!(reg.verify_consistency(&k, h).unwrap());
             reg.deregister(&mut k, h).unwrap();
             assert_eq!(reg.live_regions(), 0);
@@ -556,6 +782,71 @@ mod tests {
         reg.deregister(&mut k, h1).unwrap();
         assert_eq!(reg.pinned_frames(), 0);
         assert_eq!(k.locked_bytes(pid).unwrap(), 0);
+        reg.check_invariants(&k).unwrap();
+    }
+
+    #[test]
+    fn ondemand_pins_on_access_and_survives_pressure_unpin() {
+        let (mut k, pid, a) = setup();
+        let mut reg = MemoryRegistry::new(StrategyKind::OnDemand);
+        let h = reg.register(&mut k, pid, a, 4 * PAGE_SIZE).unwrap();
+        assert_eq!(reg.snapshot().pages_pinned, 0);
+        // Non-resident page: translate degrades, pin_on_access resolves.
+        assert_eq!(reg.translate(h, 0), Err(RegError::WouldBlock));
+        let f0 = reg.pin_on_access(&mut k, h, 0).unwrap();
+        assert_eq!(reg.pin_on_access(&mut k, h, 0).unwrap(), f0, "ledger hit");
+        assert_eq!(reg.translate(h, 100).unwrap(), (f0, 100));
+        assert_eq!(reg.snapshot().pages_pinned, 1);
+        assert_eq!(k.lazy_pin_count(f0), 1);
+        reg.check_invariants(&k).unwrap();
+        // Kernel-side dissolution (as the page stealer would do) reaches
+        // the ledger through the drain.
+        k.test_dissolve_lazy_pins(f0);
+        let drained = reg.drain_lazy_invalidations(&mut k);
+        assert_eq!(drained, vec![f0]);
+        assert_eq!(reg.translate(h, 0), Err(RegError::WouldBlock));
+        assert_eq!(reg.snapshot().pages_unpinned, 1);
+        reg.check_invariants(&k).unwrap();
+        // Re-pin, then teardown drains the ledger.
+        let f1 = reg.pin_on_access(&mut k, h, 0).unwrap();
+        reg.deregister(&mut k, h).unwrap();
+        assert_eq!(k.lazy_pin_count(f1), 0);
+        assert_eq!(reg.snapshot().pages_unpinned, 2);
+        reg.check_invariants(&k).unwrap();
+    }
+
+    #[test]
+    fn ondemand_write_traps_revalidate() {
+        // Registration write-protects the span; a user write after a lazy
+        // pin must not move the frame (sole owner revalidates in place).
+        let (mut k, pid, a) = setup();
+        let mut reg = MemoryRegistry::new(StrategyKind::OnDemand);
+        let h = reg.register(&mut k, pid, a, 2 * PAGE_SIZE).unwrap();
+        let f = reg.pin_on_access(&mut k, h, 0).unwrap();
+        k.write_user(pid, a, b"still here").unwrap();
+        assert_eq!(k.frame_of(pid, a).unwrap(), Some(f));
+        assert!(reg.verify_consistency(&k, h).unwrap());
+        reg.deregister(&mut k, h).unwrap();
+    }
+
+    #[test]
+    fn ondemand_lazy_pin_fault_injection_degrades_typed() {
+        use crate::fault::{handle, kernel_hook, FaultPlan, FaultSite};
+        let (mut k, pid, a) = setup();
+        let mut reg = MemoryRegistry::new(StrategyKind::OnDemand);
+        let h = reg.register(&mut k, pid, a, PAGE_SIZE).unwrap();
+        let fh = handle(FaultPlan::new(7).fail(FaultSite::LazyPin, 1));
+        k.set_injector(Some(kernel_hook(&fh)));
+        assert_eq!(
+            reg.pin_on_access(&mut k, h, 0),
+            Err(RegError::WouldBlock),
+            "armed lazy-pin site degrades typed"
+        );
+        assert_eq!(reg.snapshot().blocked, 1);
+        // Retry after the armed shot: succeeds, no pins leaked.
+        reg.pin_on_access(&mut k, h, 0).unwrap();
+        reg.check_invariants(&k).unwrap();
+        reg.deregister(&mut k, h).unwrap();
         reg.check_invariants(&k).unwrap();
     }
 

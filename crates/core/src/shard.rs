@@ -213,6 +213,9 @@ struct Shard {
     /// Per-pid VPN-run lock counts for the mlock strategy (all regions of a
     /// pid live in this shard, so its counter does too).
     mlock_counts: HashMap<Pid, IntervalCounter>,
+    /// Lazy-pin ledger for on-demand regions (local handles): one slot per
+    /// page, `Some(frame)` iff this shard holds a kernel lazy pin for it.
+    ledger: HashMap<MemHandle, Vec<Option<FrameId>>>,
     stats: RegistryStats,
 }
 
@@ -567,7 +570,145 @@ impl ShardedRegistry {
         shard.stats.registrations += 1;
         shard.stats.pages_pinned += frames.len() as u64;
         let local = shard.regions.insert(pid, addr, len, frames, used, token);
+        if used == StrategyKind::OnDemand {
+            shard.ledger.insert(local, vec![None; np]);
+        }
         Ok(encode(si, local))
+    }
+
+    /// Protection-trap entry point for on-demand regions: ensure page
+    /// `page_idx` of `handle`'s span is resident and lazily pinned, and
+    /// return its frame. Lock order is respected by never holding the shard
+    /// mutex across the kernel lock: peek, pin exclusively, publish.
+    pub fn pin_on_access(
+        &self,
+        kernel: &SharedKernel,
+        handle: MemHandle,
+        page_idx: usize,
+    ) -> RegResult<FrameId> {
+        let (si, local) = decode(handle);
+        if si >= self.shards.len() {
+            return Err(RegError::NoSuchHandle);
+        }
+        let (pid, page_base) = {
+            let shard = self.shard(si);
+            let slot = shard
+                .ledger
+                .get(&local)
+                .ok_or(RegError::InvalidArgument("not an on-demand region"))?
+                .get(page_idx)
+                .copied()
+                .ok_or(RegError::InvalidArgument("page beyond region"))?;
+            if let Some(frame) = slot {
+                return Ok(frame);
+            }
+            let r = shard.regions.get(local)?;
+            (r.pid, r.page_base)
+        };
+        let frame = {
+            let mut k = write_kernel(kernel);
+            if k.inject(crate::fault::FaultSite::LazyPin.code()) {
+                drop(k);
+                self.shard(si).stats.blocked += 1;
+                return Err(RegError::WouldBlock);
+            }
+            match k.lazy_pin_page(pid, page_base + (page_idx * PAGE_SIZE) as u64) {
+                Ok(f) => f,
+                Err(e) => {
+                    drop(k);
+                    let e = RegError::from(e);
+                    if e == RegError::WouldBlock {
+                        self.shard(si).stats.blocked += 1;
+                    }
+                    return Err(e);
+                }
+            }
+        };
+        // Publish; a racing pin of the same page may have won while the
+        // kernel lock was free — keep the published pin, undo ours. A
+        // vanished ledger entry means the region was torn down meanwhile.
+        let mut shard = self.shard(si);
+        let published = match shard.ledger.get_mut(&local) {
+            Some(entry) => match entry[page_idx] {
+                None => {
+                    entry[page_idx] = Some(frame);
+                    Some(None)
+                }
+                Some(winner) => Some(Some(winner)),
+            },
+            None => None,
+        };
+        match published {
+            Some(None) => {
+                shard.stats.pages_pinned += 1;
+                Ok(frame)
+            }
+            Some(Some(winner)) => {
+                drop(shard);
+                write_kernel(kernel).lazy_unpin_frame(frame)?;
+                Ok(winner)
+            }
+            None => {
+                drop(shard);
+                write_kernel(kernel).lazy_unpin_frame(frame)?;
+                Err(RegError::NoSuchHandle)
+            }
+        }
+    }
+
+    /// Drain the kernel's lazy-invalidation queue and null every ledger
+    /// slot holding a dissolved frame; returns the drained frames for TPT
+    /// invalidation. See `MemoryRegistry::drain_lazy_invalidations`.
+    pub fn drain_lazy_invalidations(&self, kernel: &SharedKernel) -> Vec<FrameId> {
+        let frames = write_kernel(kernel).take_lazy_invalidations();
+        if frames.is_empty() {
+            return frames;
+        }
+        // Frame reuse (ABA): a drained frame may since have been
+        // reallocated and lazily re-pinned for another page; nulling that
+        // fresh slot would leak its kernel pin. Judge staleness against
+        // the kernel — but the lock order forbids holding a shard mutex
+        // while taking the kernel lock, so: collect candidates per shard,
+        // judge under the kernel read lock alone, then null the stale
+        // ones re-checking each slot still holds the same frame.
+        let mut candidates: Vec<(usize, MemHandle, usize, FrameId, Pid, VirtAddr)> = Vec::new();
+        for i in 0..self.shards.len() {
+            let shard = self.shard(i);
+            for (&local, entry) in shard.ledger.iter() {
+                let Ok((pid, page_base)) = shard.regions.get(local).map(|r| (r.pid, r.page_base))
+                else {
+                    continue;
+                };
+                for (page, slot) in entry.iter().enumerate() {
+                    let Some(f) = *slot else { continue };
+                    if frames.contains(&f) {
+                        let addr = page_base + (page * PAGE_SIZE) as u64;
+                        candidates.push((i, local, page, f, pid, addr));
+                    }
+                }
+            }
+        }
+        let stale: Vec<(usize, MemHandle, usize, FrameId)> = {
+            let k = read_kernel(kernel);
+            candidates
+                .into_iter()
+                .filter(|&(_, _, _, f, pid, addr)| {
+                    !(k.lazy_pin_count(f) > 0 && k.frame_of(pid, addr).ok().flatten() == Some(f))
+                })
+                .map(|(i, local, page, f, _, _)| (i, local, page, f))
+                .collect()
+        };
+        for (i, local, page, f) in stale {
+            let mut shard = self.shard(i);
+            let Some(entry) = shard.ledger.get_mut(&local) else {
+                continue;
+            };
+            if entry.get(page).copied().flatten() == Some(f) {
+                entry[page] = None;
+                shard.stats.pages_unpinned += 1;
+            }
+        }
+        frames
     }
 
     /// Deregister a handle; pages are unpinned when the last registration
@@ -591,9 +732,10 @@ impl ShardedRegistry {
         // Re-fetch under the shard lock: a racing deregister of the same
         // handle between peek and range-lock loses here with NoSuchHandle,
         // exactly like a seed double-deregistration.
-        let (region, zero_runs) = {
+        let (region, zero_runs, lazy_entry) = {
             let mut shard = self.shard(si);
             let region = shard.regions.remove(local)?;
+            let lazy_entry = shard.ledger.remove(&local);
             let zero_runs = match &region.token {
                 Some(PinToken::Mlock { pid, .. }) => {
                     let pid = *pid;
@@ -611,7 +753,7 @@ impl ShardedRegistry {
                 }
                 _ => None,
             };
-            (region, zero_runs)
+            (region, zero_runs, lazy_entry)
         };
         let mut region = region;
         let Some(token) = region.token.take() else {
@@ -619,7 +761,22 @@ impl ShardedRegistry {
             // missing one means the record was already torn down.
             return Err(RegError::NoSuchHandle);
         };
-        let np = region.frames.len();
+        let np = region.npages();
+        // Eager regions unpin one page per captured frame; on-demand
+        // regions unpin whatever the ledger still holds (drained below).
+        let mut unpinned = region.frames.len() as u64;
+        if let Some(entry) = lazy_entry {
+            let mut k = write_kernel(kernel);
+            for frame in entry.into_iter().flatten() {
+                // A stale slot (dissolution queued but not yet drained)
+                // shows a zero lazy count and is skipped; the queued
+                // invalidation still reconciles any TPT copy.
+                if k.lazy_pin_count(frame) > 0 {
+                    k.lazy_unpin_frame(frame)?;
+                }
+                unpinned += 1;
+            }
+        }
 
         match token {
             PinToken::Kiobuf { frames } => {
@@ -671,7 +828,7 @@ impl ShardedRegistry {
 
         let mut shard = self.shard(si);
         shard.stats.deregistrations += 1;
-        shard.stats.pages_unpinned += np as u64;
+        shard.stats.pages_unpinned += unpinned;
         drop(shard);
         self.unreserve_pages(np);
         Ok(())
@@ -697,22 +854,53 @@ impl ShardedRegistry {
     }
 
     /// TPT-style translation: byte offset within the registration →
-    /// (frame, in-page offset).
+    /// (frame, in-page offset). On-demand regions answer from the ledger;
+    /// a non-resident page reports `WouldBlock` — resolve it with
+    /// [`ShardedRegistry::pin_on_access`].
     pub fn translate(&self, handle: MemHandle, offset: usize) -> RegResult<(FrameId, usize)> {
-        self.with_region(handle, |r| r.translate(offset))?
+        let (si, local) = decode(handle);
+        if si >= self.shards.len() {
+            return Err(RegError::NoSuchHandle);
+        }
+        let shard = self.shard(si);
+        let r = shard.regions.get(local)?;
+        if let Some(entry) = shard.ledger.get(&local) {
+            if offset >= r.len {
+                return Err(RegError::InvalidArgument("offset beyond region"));
+            }
+            let abs = r.user_addr + offset as u64;
+            let page_index = ((abs - r.page_base) / PAGE_SIZE as u64) as usize;
+            let in_page = (abs & (PAGE_SIZE as u64 - 1)) as usize;
+            return entry[page_index]
+                .map(|f| (f, in_page))
+                .ok_or(RegError::WouldBlock);
+        }
+        r.translate(offset)
     }
 
     /// Locktest step 6: do the page tables still map the frames recorded at
     /// registration time?
     pub fn verify_consistency(&self, kernel: &SharedKernel, handle: MemHandle) -> RegResult<bool> {
-        let (pid, base, frames) =
-            self.with_region(handle, |r| (r.pid, r.page_base, r.frames.clone()))?;
+        let (si, local) = decode(handle);
+        if si >= self.shards.len() {
+            return Err(RegError::NoSuchHandle);
+        }
+        let (pid, base, npages, view) = {
+            let shard = self.shard(si);
+            let r = shard.regions.get(local)?;
+            let view = match shard.ledger.get(&local) {
+                // On-demand: only resident pages promise stability.
+                Some(entry) => entry.clone(),
+                None => r.frames.iter().map(|&f| Some(f)).collect(),
+            };
+            (r.pid, r.page_base, r.npages(), view)
+        };
         let k = read_kernel(kernel);
-        let current = k.frames_of_range(pid, base, frames.len() * PAGE_SIZE)?;
-        Ok(frames
+        let current = k.frames_of_range(pid, base, npages * PAGE_SIZE)?;
+        Ok(view
             .iter()
             .zip(current.iter())
-            .all(|(reg, cur)| Some(*reg) == *cur))
+            .all(|(reg, cur)| reg.is_none() || *reg == *cur))
     }
 
     /// A live registration of `pid` covering `[addr, addr+len)` — one-shard
@@ -797,6 +985,35 @@ impl ShardedRegistry {
         if expect.len() != self.pin_table.pinned_frames() {
             return Err("pin table tracks frames not owned by any region".into());
         }
+        // Lazy-ledger census across shards, tolerating dissolutions whose
+        // invalidation has not been drained yet (see the seed registry).
+        let mut lazy_expect: HashMap<FrameId, u32> = HashMap::new();
+        for i in 0..self.shards.len() {
+            let shard = self.shard(i);
+            for entry in shard.ledger.values() {
+                for f in entry.iter().flatten() {
+                    *lazy_expect.entry(*f).or_insert(0) += 1;
+                }
+            }
+        }
+        let pending = kernel.pending_lazy_invalidations();
+        for (&f, &c) in &lazy_expect {
+            let k = kernel.lazy_pin_count(f);
+            if k != c && !pending.contains(&f) {
+                return Err(format!(
+                    "frame {} has {} ledger pins but kernel holds {}",
+                    f.0, c, k
+                ));
+            }
+        }
+        for (f, n) in kernel.lazy_pinned_frames() {
+            if lazy_expect.get(&f).copied().unwrap_or(0) != n && !pending.contains(&f) {
+                return Err(format!(
+                    "kernel lazily pins frame {} ({}×) beyond the ledger",
+                    f.0, n
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -859,7 +1076,11 @@ mod tests {
         for strategy in StrategyKind::ALL {
             let (kernel, reg, pid, a) = setup(strategy);
             let h = reg.register(&kernel, pid, a, 4 * PAGE_SIZE).unwrap();
-            assert_eq!(reg.frames(h).unwrap().len(), 4, "{strategy:?}");
+            if strategy.pins_eagerly() {
+                assert_eq!(reg.frames(h).unwrap().len(), 4, "{strategy:?}");
+            } else {
+                assert!(reg.frames(h).unwrap().is_empty(), "nothing pinned yet");
+            }
             assert!(reg.verify_consistency(&kernel, h).unwrap());
             reg.deregister(&kernel, h).unwrap();
             assert_eq!(reg.live_regions(), 0);
@@ -947,6 +1168,27 @@ mod tests {
         assert_eq!(reg.find_covering(pid, a, PAGE_SIZE), Some(h));
         reg.deregister(&kernel, h).unwrap();
         assert_eq!(reg.find_covering(pid, a, PAGE_SIZE), None);
+    }
+
+    #[test]
+    fn ondemand_sharded_pin_on_access_and_drain() {
+        let (kernel, reg, pid, a) = setup(StrategyKind::OnDemand);
+        let h = reg.register(&kernel, pid, a, 4 * PAGE_SIZE).unwrap();
+        assert_eq!(reg.translate(h, 0), Err(RegError::WouldBlock));
+        let f = reg.pin_on_access(&kernel, h, 0).unwrap();
+        assert_eq!(reg.pin_on_access(&kernel, h, 0).unwrap(), f, "ledger hit");
+        assert_eq!(reg.translate(h, 5).unwrap(), (f, 5));
+        reg.check_invariants(&kernel.read().unwrap()).unwrap();
+        // Kernel-side dissolution reaches the ledger through the drain.
+        write_kernel(&kernel).test_dissolve_lazy_pins(f);
+        assert_eq!(reg.drain_lazy_invalidations(&kernel), vec![f]);
+        assert_eq!(reg.translate(h, 0), Err(RegError::WouldBlock));
+        reg.check_invariants(&kernel.read().unwrap()).unwrap();
+        let f2 = reg.pin_on_access(&kernel, h, 0).unwrap();
+        reg.deregister(&kernel, h).unwrap();
+        assert_eq!(kernel.read().unwrap().lazy_pin_count(f2), 0);
+        assert_eq!(reg.live_regions(), 0);
+        reg.check_invariants(&kernel.read().unwrap()).unwrap();
     }
 
     #[test]

@@ -26,15 +26,24 @@ pub enum StrategyKind {
     /// **The paper's proposal**: kiobuf mapping + pin-table-managed page
     /// locks. Reliable, nestable, page-table-free.
     KiobufReliable,
+    /// The inversion from *Using Memory-Protection to Simplify Zero-copy
+    /// Operations*: register the span **without pinning anything**. Present
+    /// pages are write-protected (protection-trap state), the NIC pins
+    /// lazily on first access through the fault handler, and the page
+    /// stealer may dissolve cold pins under pressure, invalidating the TPT
+    /// through the generation mechanism.
+    OnDemand,
 }
 
 impl StrategyKind {
-    /// All strategies, in the order the paper discusses them.
-    pub const ALL: [StrategyKind; 4] = [
+    /// All strategies, in the order the paper discusses them (the lazy
+    /// inversion, which postdates the paper, comes last).
+    pub const ALL: [StrategyKind; 5] = [
         StrategyKind::RefcountOnly,
         StrategyKind::RawFlags,
         StrategyKind::VmaMlock,
         StrategyKind::KiobufReliable,
+        StrategyKind::OnDemand,
     ];
 
     /// Short label for experiment tables.
@@ -44,7 +53,14 @@ impl StrategyKind {
             StrategyKind::RawFlags => "raw-flags",
             StrategyKind::VmaMlock => "vma-mlock",
             StrategyKind::KiobufReliable => "kiobuf",
+            StrategyKind::OnDemand => "on-demand",
         }
+    }
+
+    /// Does this strategy pin eagerly at registration time? `false` only
+    /// for [`StrategyKind::OnDemand`], whose frames materialise lazily.
+    pub fn pins_eagerly(self) -> bool {
+        !matches!(self, StrategyKind::OnDemand)
     }
 }
 
@@ -67,6 +83,10 @@ pub enum PinToken {
     /// kiobuf: page references plus pin-table locks (released through the
     /// shared [`PinTable`]).
     Kiobuf { frames: Vec<FrameId> },
+    /// On-demand: nothing was pinned at registration. The frames pinned so
+    /// far live in the registry's lazy-pin ledger; deregistration drains
+    /// that ledger through `Kernel::lazy_unpin_frame`.
+    OnDemand,
 }
 
 /// Register a range with the given strategy; returns the pinned frames and
@@ -155,6 +175,20 @@ pub fn pin_region(
             let frames = pin_table.pin_user_range(kernel, pid, start, (end - start) as usize)?;
             Ok((frames.clone(), PinToken::Kiobuf { frames }))
         }
+        StrategyKind::OnDemand => {
+            // Register without pinning: validate the span's VMA coverage
+            // (a registration of unmapped memory must fail now, not at
+            // first NIC access), write-protect whatever is already present
+            // so CPU writes trap through `do_wp_page`, and return **no**
+            // frames — the TPT starts non-resident and fills on fault.
+            let mut a = start;
+            while a < end {
+                kernel.vma_writable(pid, a)?;
+                a += PAGE_SIZE as u64;
+            }
+            kernel.write_protect_range(pid, start, (end - start) as usize)?;
+            Ok((Vec::new(), PinToken::OnDemand))
+        }
     }
 }
 
@@ -198,6 +232,10 @@ pub fn unpin_region(
             Ok(())
         }
         PinToken::Kiobuf { frames } => pin_table.unpin_user_range(kernel, &frames),
+        // Lazy pins are not the token's to release: the registry drains its
+        // ledger through `Kernel::lazy_unpin_frame` before consuming the
+        // token (see `registry::deregister`).
+        PinToken::OnDemand => Ok(()),
     }
 }
 
@@ -230,7 +268,11 @@ mod tests {
             let free0 = k.free_frames();
             let (frames, token) =
                 pin_region(&mut k, &mut pt, strategy, pid, a, 4 * PAGE_SIZE).unwrap();
-            assert_eq!(frames.len(), 4, "{strategy:?}");
+            if strategy.pins_eagerly() {
+                assert_eq!(frames.len(), 4, "{strategy:?}");
+            } else {
+                assert!(frames.is_empty(), "{strategy:?} must not pin eagerly");
+            }
             unpin_region(&mut k, &mut pt, token, true).unwrap();
             // After unpin + munmap everything must be released (the pin
             // faulted 4 pages in; munmap returns them).

@@ -68,6 +68,16 @@ impl RegistrationCost {
         }
     }
 
+    /// On-demand: registration only write-protects the span — no fault-in,
+    /// no per-page pin. The pinning cost moves to the first NIC access of
+    /// each page (charged as protection faults at run time, not here).
+    pub fn on_demand() -> Self {
+        RegistrationCost {
+            trap_ns: 2_500,
+            per_page_ns: 60,
+        }
+    }
+
     /// Cost of registering `pages` pages.
     pub fn register_ns(&self, pages: usize) -> Nanos {
         self.trap_ns + self.per_page_ns * pages as u64

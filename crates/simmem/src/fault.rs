@@ -61,10 +61,23 @@ impl Kernel {
             // ----------------------------------------------------------
             Some(Pte::Present { frame, .. }) => {
                 debug_assert!(write);
-                let shared = self.pagemap.get(frame).count() > 1 || frame == self.zero_frame;
+                // Lazy (on-demand) pins hold page references of their own;
+                // they do not make the frame "shared" for COW purposes.
+                let lazy = self.lazy_pin_count(frame);
+                let shared = self.pagemap.get(frame).count() > 1 + lazy || frame == self.zero_frame;
                 if shared {
                     let new = self.get_free_frame()?;
                     self.phys.copy_frame(frame, new);
+                    // A genuine COW break moves this mapping off the old
+                    // frame. Any on-demand pins there belong to a
+                    // registration whose owner just wrote: dissolve them
+                    // and queue a TPT invalidation so the device re-pins
+                    // the live frame instead of DMAing into the stale one
+                    // (the write-after-fork hazard, made safe).
+                    if self.dissolve_lazy_pins(frame) > 0 {
+                        self.repin_pending.insert((pid, vpn));
+                        self.stats.cow_invalidations.bump();
+                    }
                     self.put_frame(frame);
                     self.pagemap.get_mut(new).rmap = Some(RMap { pid, vpn });
                     self.process_mut(pid)?
@@ -74,7 +87,9 @@ impl Kernel {
                     self.stats.minor_faults.bump();
                     Ok(new)
                 } else {
-                    // Sole owner: just make it writable.
+                    // Sole owner (extra references, if any, are on-demand
+                    // pins on this very mapping): keep the frame — and the
+                    // pin — and just make the PTE writable.
                     self.process_mut(pid)?
                         .mm
                         .set_pte(vpn, Pte::present(frame, true));
@@ -200,6 +215,48 @@ mod tests {
         // Touching again is the fast path: no new faults.
         k.touch_pages(pid, a, 2 * PAGE_SIZE, true).unwrap();
         assert_eq!(k.mm_stats().minor_faults, 2);
+    }
+
+    #[test]
+    fn cow_break_dissolves_lazy_pin() {
+        let mut k = Kernel::new(KernelConfig::small());
+        let parent = k.spawn_process(Capabilities::default());
+        let a = k
+            .mmap_anon(parent, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        k.write_user(parent, a, b"before").unwrap();
+        let f_old = k.lazy_pin_page(parent, a).unwrap();
+        let _child = k.fork(parent).unwrap();
+        // Parent writes: genuine sharing forces a copy; the lazy pin on the
+        // old frame dissolves and queues an invalidation.
+        k.write_user(parent, a, b"after!").unwrap();
+        let f_new = k.frame_of(parent, a).unwrap().unwrap();
+        assert_ne!(f_old, f_new);
+        assert_eq!(k.lazy_pin_count(f_old), 0);
+        assert_eq!(k.take_lazy_invalidations(), vec![f_old]);
+        assert_eq!(k.mm_stats().cow_invalidations, 1);
+        // The re-pin lands on the live frame and counts as a repin.
+        assert_eq!(k.lazy_pin_page(parent, a).unwrap(), f_new);
+        assert_eq!(k.mm_stats().repins, 1);
+    }
+
+    #[test]
+    fn write_to_lazily_pinned_page_revalidates_in_place() {
+        // The ReadOnlyPinned → writable transition: a sole-owner write to a
+        // write-protected, lazily pinned page keeps frame and pin.
+        let mut k = Kernel::new(KernelConfig::small());
+        let pid = k.spawn_process(Capabilities::default());
+        let a = k
+            .mmap_anon(pid, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        k.write_user(pid, a, b"x").unwrap();
+        let f = k.lazy_pin_page(pid, a).unwrap();
+        k.write_protect_range(pid, a, PAGE_SIZE).unwrap();
+        k.write_user(pid, a, b"y").unwrap();
+        assert_eq!(k.frame_of(pid, a).unwrap(), Some(f), "no copy");
+        assert_eq!(k.lazy_pin_count(f), 1, "pin survives the write");
+        assert_eq!(k.mm_stats().cow_copies, 0);
+        assert!(k.take_lazy_invalidations().is_empty());
     }
 
     #[test]

@@ -137,6 +137,18 @@ pub struct Kernel {
     /// every site a single branch on a cold `Option`. The mutex lets the
     /// concurrent registration path consult it through `&Kernel`.
     pub(crate) injector: Option<Mutex<Injector>>,
+    /// On-demand lazy-pin ledger: frame → number of lazy pins currently
+    /// held (see [`Kernel::lazy_pin_page`]). Frames in this map carry
+    /// `PG_locked` + `PG_ondemand`.
+    pub(crate) lazy_pins: std::collections::HashMap<FrameId, u32>,
+    /// Frames whose lazy pins the kernel dissolved (pressure, COW break,
+    /// munmap, process exit). The device layer drains this queue with
+    /// [`Kernel::take_lazy_invalidations`] and marks the matching TPT
+    /// entries non-resident; the kernel cannot call upward into the NIC.
+    pub(crate) lazy_invalidations: Vec<FrameId>,
+    /// (pid, vpn) pairs whose lazy pin was dissolved; the next
+    /// [`Kernel::lazy_pin_page`] of such a page counts as a *re*-pin.
+    pub(crate) repin_pending: std::collections::HashSet<(Pid, crate::Vpn)>,
     pub stats: MmCounters,
     pub config: KernelConfig,
 }
@@ -181,6 +193,9 @@ impl Kernel {
             swap_cache: std::collections::HashMap::new(),
             bigphys: None,
             injector: None,
+            lazy_pins: std::collections::HashMap::new(),
+            lazy_invalidations: Vec::new(),
+            repin_pending: std::collections::HashSet::new(),
             stats: MmCounters::default(),
             config,
         }
@@ -206,16 +221,23 @@ impl Kernel {
         pid
     }
 
-    /// Tear a process down, releasing frames and swap slots.
+    /// Tear a process down, releasing frames and swap slots. Lazy
+    /// (on-demand) pins on the dying process' frames are dissolved and
+    /// queued for device invalidation — a crashed process must not leave
+    /// pinned orphans behind.
     pub fn exit_process(&mut self, pid: Pid) -> MmResult<()> {
         let proc = self.procs.remove(&pid).ok_or(MmError::NoSuchProcess(pid))?;
         let ptes: Vec<(u64, Pte)> = proc.mm.ptes_in(0, u64::MAX).map(|(v, p)| (v, *p)).collect();
         for (_, pte) in ptes {
             match pte {
-                Pte::Present { frame, .. } => self.put_frame(frame),
+                Pte::Present { frame, .. } => {
+                    self.dissolve_lazy_pins(frame);
+                    self.put_frame(frame)
+                }
                 Pte::Swapped { slot } => self.drop_swap_slot(slot)?,
             }
         }
+        self.repin_pending.retain(|&(p, _)| p != pid);
         Ok(())
     }
 
@@ -293,7 +315,10 @@ impl Kernel {
             for vpn in vpns {
                 let pte = self.process_mut(pid)?.mm.clear_pte(vpn);
                 match pte {
-                    Some(Pte::Present { frame, .. }) => self.put_frame(frame),
+                    Some(Pte::Present { frame, .. }) => {
+                        self.dissolve_lazy_pins(frame);
+                        self.put_frame(frame)
+                    }
                     Some(Pte::Swapped { slot }) => self.drop_swap_slot(slot)?,
                     None => {}
                 }
@@ -614,6 +639,24 @@ impl Kernel {
         Ok(start)
     }
 
+    /// Write-protect the present PTEs of `[addr, addr+len)` — the
+    /// protection-trap arm of on-demand registration. Registered spans go
+    /// read-only so the next CPU write traps through `do_wp_page`, which
+    /// either re-validates in place (sole owner keeps frame and pin) or
+    /// COW-copies and dissolves the stale pin. Non-present pages need no
+    /// marking: they already trap as not-present.
+    pub fn write_protect_range(&mut self, pid: Pid, addr: VirtAddr, len: usize) -> MmResult<()> {
+        let start = AddressSpace::vpn(crate::page_base(addr));
+        let end = AddressSpace::vpn(crate::page_align_up(addr + len as u64));
+        let proc = self.process_mut(pid)?;
+        for vpn in start..end {
+            if let Some(Pte::Present { writable, .. }) = proc.mm.pte_mut(vpn) {
+                *writable = false;
+            }
+        }
+        Ok(())
+    }
+
     /// Is the VMA covering `addr` writable? (`SegFault` if unmapped.)
     pub fn vma_writable(&self, pid: Pid, addr: VirtAddr) -> MmResult<bool> {
         let proc = self.process(pid)?;
@@ -779,6 +822,119 @@ impl Kernel {
     /// Release `PG_locked` taken by [`Kernel::try_lock_page`].
     pub fn unlock_page(&self, frame: FrameId) {
         self.pagemap.get(frame).clear_flag(PageFlags::LOCKED);
+    }
+
+    // ------------------------------------------------------------------
+    // On-demand ("lazy") pinning — the protection-trap registration mode
+    //
+    // The inversion of the paper's eager contract: a registered span stays
+    // unpinned until the device actually touches it. The fault-handler
+    // hook below pins on first access; the page stealer may dissolve cold
+    // pins under pressure (see `reclaim`), and a COW break dissolves the
+    // pin on the old frame (see `fault`). Every dissolution queues the
+    // frame on an invalidation list the device layer drains before
+    // translating — the kernel never calls upward.
+    // ------------------------------------------------------------------
+
+    /// The protection-trap fault handler: lazily pin the page containing
+    /// `addr`. Faults the page in (write intent iff the VMA is writable,
+    /// breaking COW so the device never shares a frame with a fork child),
+    /// takes one page reference per pin, and on the first pin takes
+    /// `PG_locked` + `PG_ondemand` so the stealer treats the frame like a
+    /// reliable pin until it decides to dissolve it. Fails `PageBusy` when
+    /// a foreign I/O already holds the page lock.
+    pub fn lazy_pin_page(&mut self, pid: Pid, addr: VirtAddr) -> MmResult<FrameId> {
+        let writable = self.vma_writable(pid, addr)?;
+        let frame = self.fault_in(pid, addr, writable)?;
+        let n = self.lazy_pins.get(&frame).copied().unwrap_or(0);
+        if n == 0 {
+            if self.inject(crate::inject::PAGE_LOCK) || !self.pagemap.get(frame).try_lock() {
+                return Err(MmError::PageBusy(frame));
+            }
+            self.pagemap.get(frame).set_flag(PageFlags::ONDEMAND);
+        }
+        self.pagemap.get_page(frame);
+        self.lazy_pins.insert(frame, n + 1);
+        self.stats.protection_faults.bump();
+        if self.repin_pending.remove(&(pid, AddressSpace::vpn(addr))) {
+            self.stats.repins.bump();
+        }
+        Ok(frame)
+    }
+
+    /// Drop one lazy pin taken by [`Kernel::lazy_pin_page`]. The last pin
+    /// clears `PG_locked`/`PG_ondemand`; each drop releases one page
+    /// reference.
+    pub fn lazy_unpin_frame(&mut self, frame: FrameId) -> MmResult<()> {
+        let n = self.lazy_pins.get(&frame).copied().unwrap_or(0);
+        if n == 0 {
+            return Err(MmError::InvalidArgument("lazy_unpin of unpinned frame"));
+        }
+        if n == 1 {
+            self.lazy_pins.remove(&frame);
+            let d = self.pagemap.get(frame);
+            d.clear_flag(PageFlags::ONDEMAND);
+            d.clear_flag(PageFlags::LOCKED);
+        } else {
+            self.lazy_pins.insert(frame, n - 1);
+        }
+        self.put_frame(frame);
+        Ok(())
+    }
+
+    /// Number of lazy pins currently held on `frame`.
+    pub fn lazy_pin_count(&self, frame: FrameId) -> u32 {
+        self.lazy_pins.get(&frame).copied().unwrap_or(0)
+    }
+
+    /// Every frame with at least one lazy pin, with its pin count, in
+    /// frame order — the registry's invariant audit compares this against
+    /// its ledger.
+    pub fn lazy_pinned_frames(&self) -> Vec<(FrameId, u32)> {
+        let mut v: Vec<(FrameId, u32)> = self.lazy_pins.iter().map(|(&f, &n)| (f, n)).collect();
+        v.sort_by_key(|&(f, _)| f.0);
+        v
+    }
+
+    /// Drain the queue of frames whose lazy pins the kernel dissolved.
+    /// The device layer calls this before translating and marks matching
+    /// TPT entries non-resident (bumping its generation counter).
+    pub fn take_lazy_invalidations(&mut self) -> Vec<FrameId> {
+        std::mem::take(&mut self.lazy_invalidations)
+    }
+
+    /// Peek at the not-yet-drained invalidation queue (invariant checks
+    /// run through `&self` and must tolerate in-flight dissolutions).
+    pub fn pending_lazy_invalidations(&self) -> &[FrameId] {
+        &self.lazy_invalidations
+    }
+
+    /// Test-only handle on [`Kernel::dissolve_lazy_pins`] — lets upper
+    /// layers exercise the kernel-initiated unpin path without arranging
+    /// real memory pressure.
+    #[doc(hidden)]
+    pub fn test_dissolve_lazy_pins(&mut self, frame: FrameId) -> u32 {
+        self.dissolve_lazy_pins(frame)
+    }
+
+    /// Dissolve every lazy pin on `frame`: drop the lazy references,
+    /// clear `PG_locked`/`PG_ondemand` and queue a device-visible
+    /// invalidation. Returns the number of pins dissolved (0 = the frame
+    /// was not lazily pinned). Callers record `(pid, vpn)` in
+    /// `repin_pending` themselves when the page remains reachable.
+    pub(crate) fn dissolve_lazy_pins(&mut self, frame: FrameId) -> u32 {
+        let n = match self.lazy_pins.remove(&frame) {
+            Some(n) => n,
+            None => return 0,
+        };
+        let d = self.pagemap.get(frame);
+        d.clear_flag(PageFlags::ONDEMAND);
+        d.clear_flag(PageFlags::LOCKED);
+        for _ in 0..n {
+            self.put_frame(frame);
+        }
+        self.lazy_invalidations.push(frame);
+        n
     }
 
     /// Free a swap slot backing a torn-down PTE, purging any swap-cache
@@ -987,6 +1143,65 @@ mod tests {
         // reserved frames.
         k.munmap(pid, va, 2 * PAGE_SIZE).unwrap();
         assert!(k.page_descriptor(blk.base).count() >= 1);
+    }
+
+    #[test]
+    fn lazy_pin_lifecycle() {
+        let mut k = Kernel::new(KernelConfig::small());
+        let pid = k.spawn_process(Capabilities::default());
+        let a = k
+            .mmap_anon(pid, 2 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        let f = k.lazy_pin_page(pid, a).unwrap();
+        assert_eq!(k.lazy_pin_count(f), 1);
+        let d = k.page_descriptor(f);
+        assert!(d.flags().contains(PageFlags::LOCKED));
+        assert!(d.flags().contains(PageFlags::ONDEMAND));
+        assert_eq!(d.count(), 2, "mapping + one lazy pin");
+        // A second pin on the same page nests.
+        assert_eq!(k.lazy_pin_page(pid, a).unwrap(), f);
+        assert_eq!(k.lazy_pin_count(f), 2);
+        k.lazy_unpin_frame(f).unwrap();
+        assert!(k.page_descriptor(f).flags().contains(PageFlags::LOCKED));
+        k.lazy_unpin_frame(f).unwrap();
+        let d = k.page_descriptor(f);
+        assert!(!d.flags().contains(PageFlags::LOCKED));
+        assert!(!d.flags().contains(PageFlags::ONDEMAND));
+        assert_eq!(d.count(), 1, "only the mapping reference remains");
+        assert!(k.lazy_unpin_frame(f).is_err(), "unpin underflow is typed");
+        assert_eq!(k.mm_stats().protection_faults, 2);
+        assert_eq!(k.mm_stats().repins, 0);
+    }
+
+    #[test]
+    fn lazy_pin_refuses_foreign_page_lock() {
+        let mut k = Kernel::new(KernelConfig::small());
+        let pid = k.spawn_process(Capabilities::default());
+        let a = k
+            .mmap_anon(pid, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        k.write_user(pid, a, b"x").unwrap();
+        let f = k.frame_of(pid, a).unwrap().unwrap();
+        k.begin_page_io(f);
+        assert!(matches!(k.lazy_pin_page(pid, a), Err(MmError::PageBusy(_))));
+        k.end_page_io(f);
+        assert!(k.lazy_pin_page(pid, a).is_ok());
+    }
+
+    #[test]
+    fn exit_dissolves_lazy_pins() {
+        let mut k = Kernel::new(KernelConfig::small());
+        let pid = k.spawn_process(Capabilities::default());
+        let free0 = k.free_frames();
+        let a = k
+            .mmap_anon(pid, 2 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        let f = k.lazy_pin_page(pid, a).unwrap();
+        k.exit_process(pid).unwrap();
+        assert_eq!(k.free_frames(), free0, "no leaked frames");
+        assert_eq!(k.lazy_pin_count(f), 0);
+        assert_eq!(k.take_lazy_invalidations(), vec![f]);
+        assert_eq!(k.count_orphaned_frames(), 0);
     }
 
     #[test]

@@ -111,6 +111,10 @@ pub mod inject {
     /// A page's `PG_locked` bit is held by a foreign I/O — pinning a batch
     /// observes `WouldBlock` mid-way and must roll back.
     pub const PAGE_LOCK: u32 = 3;
+    /// The page stealer is about to dissolve a cold on-demand pin; firing
+    /// this site suppresses the unpin (the frame stays pinned in place),
+    /// modeling a pin the reclaim pass could not break.
+    pub const PRESSURE_UNPIN: u32 = 4;
     /// First code available to layers above the kernel.
     pub const UPPER_BASE: u32 = 16;
 }

@@ -33,6 +33,12 @@ impl PageFlags {
     pub const ACCESSED: u8 = 1 << 2;
     /// Dirty: the page was written since it was last cleaned.
     pub const DIRTY: u8 = 1 << 3;
+    /// The frame is pinned *lazily* by the on-demand registration path: it
+    /// holds `PG_locked` like a reliable pin, but the page stealer is
+    /// allowed to dissolve the pin (drop the lazy references, clear the
+    /// bit, queue a TPT invalidation) when the page goes cold — see
+    /// `Kernel::lazy_pin_page` and the pressure path in `reclaim`.
+    pub const ONDEMAND: u8 = 1 << 4;
 
     #[inline]
     pub fn contains(self, bit: u8) -> bool {

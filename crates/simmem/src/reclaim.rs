@@ -11,6 +11,7 @@
 //!   any NIC that captured its physical address now DMAs into a stale frame.
 
 use crate::mm::AddressSpace;
+use crate::page::PageFlags;
 use crate::stats::CounterCell;
 use crate::{Kernel, Pid, Pte};
 
@@ -136,6 +137,28 @@ impl Kernel {
                     cleared_any = true;
                 }
                 continue;
+            }
+            // A cold on-demand pin is the stealer's to break: dissolve the
+            // lazy references (clearing PG_locked/PG_ondemand and queueing
+            // a TPT invalidation for the device layer), remember the page
+            // so its next lazy pin counts as a repin, and evict it like
+            // any other cold page. The injector can veto the unpin,
+            // modeling a pin this reclaim pass could not break.
+            if self
+                .pagemap
+                .get(frame)
+                .flags()
+                .contains(PageFlags::ONDEMAND)
+                && self.lazy_pin_count(frame) > 0
+            {
+                if self.inject(crate::inject::PRESSURE_UNPIN) {
+                    self.stats.skipped_pg_locked.bump();
+                    continue;
+                }
+                self.dissolve_lazy_pins(frame);
+                self.repin_pending.insert((pid, vpn));
+                self.stats.pressure_unpins.bump();
+                return self.try_to_swap_out(pid, vpn, frame);
             }
             // PG_locked / PG_reserved pages are untouchable.
             if self.pagemap.get(frame).steal_protected() {
@@ -339,6 +362,45 @@ mod tests {
         // The orphan still holds the old data and the pin reference.
         assert_eq!(k.page_descriptor(f0).count(), 1);
         assert_eq!(k.count_orphaned_frames(), 1);
+    }
+
+    #[test]
+    fn pressure_dissolves_cold_ondemand_pins() {
+        let mut k = tight();
+        let victim = k.spawn_process(Capabilities::default());
+        let vbuf = k
+            .mmap_anon(victim, 4 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        for i in 0..4u64 {
+            k.lazy_pin_page(victim, vbuf + i * PAGE_SIZE as u64)
+                .unwrap();
+        }
+
+        let hog = k.spawn_process(Capabilities::default());
+        let total = 70 * PAGE_SIZE;
+        let hbuf = k.mmap_anon(hog, total, prot::READ | prot::WRITE).unwrap();
+        k.write_user(hog, hbuf, &vec![1u8; total]).unwrap();
+
+        assert!(
+            k.mm_stats().pressure_unpins > 0,
+            "stealer must dissolve cold lazy pins"
+        );
+        assert_eq!(
+            k.count_orphaned_frames(),
+            0,
+            "dissolved pins leave no orphans"
+        );
+        let inv = k.take_lazy_invalidations();
+        assert!(!inv.is_empty(), "dissolutions queue TPT invalidations");
+        // Touching the pages back in as lazy pins counts as repins.
+        for i in 0..4u64 {
+            k.lazy_pin_page(victim, vbuf + i * PAGE_SIZE as u64)
+                .unwrap();
+        }
+        assert!(
+            k.mm_stats().repins >= 1,
+            "post-pressure pins count as repins"
+        );
     }
 
     #[test]

@@ -68,6 +68,19 @@ pub struct MmStats {
     /// Abstract time callers spent in retry backoff after transient
     /// failures (each retry doubles the wait; nothing actually sleeps).
     pub backoff_ticks: u64,
+    /// Protection-trap pins: lazy pins taken by `lazy_pin_page` when an
+    /// on-demand registration's page was faulted in on first NIC access.
+    pub protection_faults: u64,
+    /// Lazy pins that *re*-pinned a page previously dissolved by the page
+    /// stealer or a COW break (subset of `protection_faults`).
+    pub repins: u64,
+    /// On-demand pins the page stealer dissolved under memory pressure
+    /// (cold `PG_ondemand` frames unpinned and queued for TPT
+    /// invalidation).
+    pub pressure_unpins: u64,
+    /// On-demand pins dissolved because a COW break moved the mapping to a
+    /// fresh frame (write-after-fork hazard made visible).
+    pub cow_invalidations: u64,
 }
 
 impl_since!(MmStats {
@@ -86,6 +99,10 @@ impl_since!(MmStats {
     swap_cache_hits,
     faults_injected,
     backoff_ticks,
+    protection_faults,
+    repins,
+    pressure_unpins,
+    cow_invalidations,
 });
 
 /// Convenience ops for atomic counters — keeps the 50-odd bump sites as
@@ -152,6 +169,10 @@ mm_counters!(
     swap_cache_hits,
     faults_injected,
     backoff_ticks,
+    protection_faults,
+    repins,
+    pressure_unpins,
+    cow_invalidations,
 );
 
 #[cfg(test)]

@@ -43,6 +43,12 @@ pub enum DescStatus {
     /// completes the affected descriptor with this status and breaks the
     /// connection.
     TransportError,
+    /// An on-demand page could not be repinned (memory pressure, swap
+    /// exhaustion) while the NIC was resolving the descriptor's buffers.
+    /// No data transferred; the connection stays intact — the degradation
+    /// is per-descriptor, mirroring how the eager path degrades at
+    /// registration time instead.
+    RepinFailed,
 }
 
 impl DescStatus {

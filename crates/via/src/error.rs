@@ -46,6 +46,26 @@ pub enum ViaError {
     /// The operation did not complete before its deadline — a blocking
     /// wait gave up rather than hang on a dead or silent peer.
     Timeout,
+    /// NIC-side translation hit a non-resident TPT entry: an on-demand
+    /// region whose page is not currently pinned. Carries the
+    /// region-relative page index; the node's kernel agent resolves this by
+    /// lazy-pinning the page, installing the frame, and retrying — it only
+    /// escapes to callers that bypass the repin loop (raw TPT users).
+    NotResident { page: usize },
+    /// An on-demand repin attempt failed (pin refused under memory pressure
+    /// or swap exhaustion): the typed degradation of the lazy-pin fault
+    /// path. The descriptor completes with
+    /// [`crate::descriptor::DescStatus::RepinFailed`].
+    Repin(RegError),
+    /// A failed batch registration could not be fully rolled back: one of
+    /// the already-registered ids failed to deregister with something other
+    /// than the tolerated already-gone race (a concurrent process exit
+    /// tearing the region down first). Carries the id and the underlying
+    /// failure so the caller can audit instead of assuming a clean state.
+    BatchRollbackFailed {
+        mem: crate::tpt::MemId,
+        cause: Box<ViaError>,
+    },
 }
 
 impl fmt::Display for ViaError {
@@ -68,6 +88,13 @@ impl fmt::Display for ViaError {
             ViaError::PeerGone(node) => write!(f, "node {node} thread is gone"),
             ViaError::NodesGone(nodes) => write!(f, "node threads gone: {nodes:?}"),
             ViaError::Timeout => write!(f, "operation timed out"),
+            ViaError::NotResident { page } => {
+                write!(f, "TPT entry for region page {page} is not resident")
+            }
+            ViaError::Repin(e) => write!(f, "on-demand repin failed: {e}"),
+            ViaError::BatchRollbackFailed { mem, cause } => {
+                write!(f, "batch rollback failed at mem id {}: {cause}", mem.0)
+            }
         }
     }
 }

@@ -60,6 +60,16 @@ pub struct NicStats {
     pub atomic_cas: u64,
     /// Target-side CAS executions whose compare matched (swap applied).
     pub cas_applied: u64,
+    /// On-demand pages the kernel agent repinned after the NIC faulted on
+    /// a non-resident TPT entry.
+    pub repins: u64,
+    /// Repin attempts that failed (pin refused under pressure or swap
+    /// exhaustion); the affected descriptor degraded with
+    /// [`DescStatus::RepinFailed`].
+    pub repin_failures: u64,
+    /// TPT entries marked non-resident by draining the kernel's lazy-unpin
+    /// queue (the pressure path's NIC-side echo).
+    pub tpt_invalidations: u64,
 }
 
 impl_since!(NicStats {
@@ -83,6 +93,9 @@ impl_since!(NicStats {
     desc_errors,
     atomic_cas,
     cas_applied,
+    repins,
+    repin_failures,
+    tpt_invalidations,
 });
 
 /// Recycling free list for packet payload buffers. Buffers keep their
@@ -455,7 +468,9 @@ impl Node {
         rdma_read: bool,
     ) -> ViaResult<MemId> {
         let handle = self.registry.register(&mut self.kernel, pid, addr, len)?;
-        let frames = self.registry.frames(handle)?.to_vec();
+        // Residency view: eager strategies yield one `Some` per page; an
+        // on-demand region yields all-`None` slots that fault on first DMA.
+        let frames = self.registry.tpt_frames(handle)?;
         if self.inject(FaultSite::TptFull) {
             // Injected TPT exhaustion: identical to the organic full-table
             // path below, pin rolled back.
@@ -484,6 +499,95 @@ impl Node {
         Ok(())
     }
 
+    /// Pull the kernel's pending lazy-unpin invalidations into the TPT:
+    /// every entry backed by a stolen frame goes non-resident and the
+    /// generation bump flushes TLB-cached descriptors. The kernel cannot
+    /// call upward into the NIC, so this pull — run before every
+    /// translation — is the unpin → TPT coherence edge. Returns the number
+    /// of entries invalidated.
+    pub fn sync_lazy_invalidations(&mut self) -> usize {
+        let mut n = 0usize;
+        for frame in self.registry.drain_lazy_invalidations(&mut self.kernel) {
+            n += self.nic.tpt.invalidate_frame(frame);
+        }
+        self.nic.stats.tpt_invalidations += n as u64;
+        n
+    }
+
+    /// Answer one NIC residency fault: lazy-pin the page through the
+    /// registry and install the frame in the TPT. A refused pin (pressure,
+    /// swap exhaustion, fault injection) degrades typed as
+    /// [`ViaError::Repin`].
+    fn repin_page(&mut self, mem: MemId, page: usize) -> ViaResult<()> {
+        let handle = self.nic.tpt.region(mem)?.reg_handle;
+        match self.registry.pin_on_access(&mut self.kernel, handle, page) {
+            Ok(frame) => {
+                self.nic.tpt.set_frame(mem, page, frame)?;
+                self.nic.stats.repins += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.nic.stats.repin_failures += 1;
+                Err(ViaError::Repin(e))
+            }
+        }
+    }
+
+    /// [`Nic::translate_range`] with the on-demand fault loop: a
+    /// [`ViaError::NotResident`] translation traps to the kernel agent,
+    /// which pins the page, installs the frame and retries. Each retry
+    /// makes one page resident, so the loop is bounded by the span's page
+    /// count (doubled: a pin may itself trigger reclaim that steals an
+    /// earlier page of the span); exhaustion degrades typed rather than
+    /// spinning.
+    fn translate_range_faulting(
+        &mut self,
+        vi_id: ViId,
+        mem: MemId,
+        addr: VirtAddr,
+        len: usize,
+        access: Access,
+        out: &mut Vec<DmaRun>,
+    ) -> ViaResult<()> {
+        let budget = 2 * (len / PAGE_SIZE + 2);
+        for _ in 0..budget {
+            self.sync_lazy_invalidations();
+            out.clear();
+            match self.nic.translate_range(vi_id, mem, addr, len, access, out) {
+                Err(ViaError::NotResident { page }) => self.repin_page(mem, page)?,
+                r => return r,
+            }
+        }
+        Err(ViaError::Repin(vialock::RegError::WouldBlock))
+    }
+
+    /// Raw-TPT counterpart of [`Node::translate_range_faulting`] for paths
+    /// without a VI (SCI PIO uses the region's own tag).
+    fn tpt_translate_range_faulting(
+        &mut self,
+        mem: MemId,
+        addr: VirtAddr,
+        len: usize,
+        tag: ProtectionTag,
+        access: Access,
+        out: &mut Vec<DmaRun>,
+    ) -> ViaResult<()> {
+        let budget = 2 * (len / PAGE_SIZE + 2);
+        for _ in 0..budget {
+            self.sync_lazy_invalidations();
+            out.clear();
+            match self
+                .nic
+                .tpt
+                .translate_range(mem, addr, len, tag, access, out)
+            {
+                Err(ViaError::NotResident { page }) => self.repin_page(mem, page)?,
+                r => return r,
+            }
+        }
+        Err(ViaError::Repin(vialock::RegError::WouldBlock))
+    }
+
     /// Gather the bytes of a send/RDMA descriptor out of physical memory
     /// through the TPT (the NIC-side DMA read): one burst DMA per
     /// physically contiguous frame run, into a pooled payload buffer.
@@ -498,8 +602,7 @@ impl Node {
         let mut runs = std::mem::take(&mut self.run_scratch);
         let r = (|| {
             for seg in &desc.segs {
-                runs.clear();
-                self.nic.translate_range(
+                self.translate_range_faulting(
                     vi_id,
                     seg.mem,
                     seg.addr,
@@ -574,8 +677,7 @@ impl Node {
                     break;
                 }
                 let take = seg.len.min(data.len() - written);
-                runs.clear();
-                self.nic.translate_range(
+                self.translate_range_faulting(
                     vi_id,
                     seg.mem,
                     seg.addr,
@@ -658,8 +760,7 @@ impl Node {
         let mut written = 0usize;
         let mut runs = std::mem::take(&mut self.run_scratch);
         let r = (|| {
-            runs.clear();
-            self.nic.translate_range(
+            self.translate_range_faulting(
                 vi_id,
                 remote_mem,
                 remote_addr,
@@ -898,13 +999,21 @@ impl Node {
                 Ok(Some(pkt))
             }
             Err(e) => {
-                self.nic.stats.protection_errors += 1;
+                // Residency degradation completes typed; everything else is
+                // a protection refusal (repin_failures was already charged
+                // where the pin was refused).
+                let status = if matches!(e, ViaError::Repin(_)) {
+                    DescStatus::RepinFailed
+                } else {
+                    self.nic.stats.protection_errors += 1;
+                    DescStatus::ProtectionError
+                };
                 self.push_completion(
                     vi_id,
                     Completion {
                         vi: vi_id,
                         op: desc.op,
-                        status: DescStatus::ProtectionError,
+                        status,
                         len: 0,
                         imm: desc.imm,
                     },
@@ -1167,8 +1276,7 @@ impl Node {
         let addr = region.user_addr + doff as u64;
         let mut runs = std::mem::take(&mut self.run_scratch);
         let r = (|| {
-            runs.clear();
-            self.nic.tpt.translate_range(
+            self.tpt_translate_range_faulting(
                 dmem,
                 addr,
                 data.len(),
@@ -1201,8 +1309,7 @@ impl Node {
         let addr = region.user_addr + soff as u64;
         let mut runs = std::mem::take(&mut self.run_scratch);
         let r = (|| {
-            runs.clear();
-            self.nic.tpt.translate_range(
+            self.tpt_translate_range_faulting(
                 smem,
                 addr,
                 out.len(),
@@ -1269,8 +1376,7 @@ impl Node {
             // Check the read enable first, then translate again under the
             // write enable; the second translation's run is the one used,
             // so a region registered read-only is refused before any DMA.
-            runs.clear();
-            self.nic.translate_range(
+            self.translate_range_faulting(
                 vi_id,
                 remote_mem,
                 remote_addr,
@@ -1278,8 +1384,7 @@ impl Node {
                 Access::RdmaRead,
                 &mut runs,
             )?;
-            runs.clear();
-            self.nic.translate_range(
+            self.translate_range_faulting(
                 vi_id,
                 remote_mem,
                 remote_addr,
@@ -1336,8 +1441,7 @@ impl Node {
         let mut base = 0usize;
         let mut runs = std::mem::take(&mut self.run_scratch);
         let r = (|| {
-            runs.clear();
-            self.nic.translate_range(
+            self.translate_range_faulting(
                 vi_id,
                 remote_mem,
                 remote_addr,

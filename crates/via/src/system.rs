@@ -337,14 +337,34 @@ impl ViaSystem {
             match self.nodes[n].register_mem(pid, addr, len, tag) {
                 Ok(id) => out.push(id),
                 Err(e) => {
-                    for id in out.into_iter().rev() {
-                        self.nodes[n].deregister_mem(id)?;
-                    }
+                    self.rollback_batch(n, out)?;
                     return Err(e);
                 }
             }
         }
         Ok(out)
+    }
+
+    /// Undo a partially registered batch. An id that is already gone is
+    /// tolerated: a concurrent `exit_process` (threaded fabric) may have
+    /// torn the region down between the partial failure and this rollback,
+    /// which leaks nothing. Any *other* deregistration failure surfaces as
+    /// the typed [`ViaError::BatchRollbackFailed`] — never a silent partial
+    /// success; `check_invariants` then audits the pin ledger.
+    #[doc(hidden)]
+    pub fn rollback_batch(&mut self, n: NodeId, ids: Vec<MemId>) -> ViaResult<()> {
+        for id in ids.into_iter().rev() {
+            match self.nodes[n].deregister_mem(id) {
+                Ok(()) | Err(ViaError::BadId(_)) => {}
+                Err(cause) => {
+                    return Err(ViaError::BatchRollbackFailed {
+                        mem: id,
+                        cause: Box::new(cause),
+                    })
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Deregister memory on node `n`.
@@ -353,9 +373,12 @@ impl ViaSystem {
     }
 
     /// Coherent registration-stats snapshot for node `n` (the only
-    /// supported way to read its registry counters).
+    /// supported way to read its registry counters), with the kernel's
+    /// fault counters (minor/major/protection faults, repins,
+    /// pressure unpins, COW invalidations) folded in.
     pub fn registry_stats(&self, n: NodeId) -> vialock::RegistryStats {
-        self.nodes[n].registry.snapshot()
+        let node = &self.nodes[n];
+        node.registry.snapshot_with(&node.kernel)
     }
 
     /// Post a one-segment send descriptor and ring the doorbell.
@@ -660,6 +683,112 @@ mod tests {
             "failed batch fully rolled back"
         );
         assert_eq!(sys.node(0).registry.live_regions(), 0);
+        sys.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn batch_rollback_tolerates_exit_race() {
+        let (mut sys, pa, _pb, _va, _vb, tag) = two_node_setup(StrategyKind::KiobufReliable);
+        let buf = sys
+            .mmap(0, pa, 4 * PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        let ids = sys
+            .register_mem_batch(
+                0,
+                pa,
+                &[(buf, PAGE_SIZE), (buf + 2 * PAGE_SIZE as u64, PAGE_SIZE)],
+                tag,
+            )
+            .unwrap();
+        // A process exit tears the regions down before the rollback runs —
+        // the race a failing batch can lose. Already-gone ids must be
+        // tolerated (nothing leaked), not surfaced as rollback failure.
+        sys.exit_process(0, pa).unwrap();
+        sys.rollback_batch(0, ids).unwrap();
+        assert_eq!(sys.node(0).registry.live_regions(), 0);
+        sys.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn ondemand_send_receive_repins_on_access() {
+        let (mut sys, pa, pb, va, vb, tag) = two_node_setup(StrategyKind::OnDemand);
+        let sbuf = sys
+            .mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        let rbuf = sys
+            .mmap(1, pb, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        sys.write_user(0, pa, sbuf, b"lazy payload").unwrap();
+        let sh = sys.register_mem(0, pa, sbuf, PAGE_SIZE, tag).unwrap();
+        let rh = sys.register_mem(1, pb, rbuf, PAGE_SIZE, tag).unwrap();
+        // Registration pinned nothing: the span is reserved, not resident.
+        assert_eq!(sys.registry_stats(0).pages_pinned, 0);
+        sys.post_recv(1, vb, rh, rbuf, PAGE_SIZE).unwrap();
+        sys.post_send(0, va, sh, sbuf, 12).unwrap();
+        assert_eq!(sys.pump().unwrap(), 1);
+        let mut out = [0u8; 12];
+        sys.read_user(1, pb, rbuf, &mut out).unwrap();
+        assert_eq!(&out, b"lazy payload");
+        // Both sides faulted their page resident on first DMA.
+        assert_eq!(sys.node(0).nic.stats.repins, 1);
+        assert_eq!(sys.node(1).nic.stats.repins, 1);
+        assert_eq!(sys.registry_stats(0).pages_pinned, 1);
+        assert!(sys.registry_stats(0).protection_faults >= 1);
+        sys.check_invariants().unwrap();
+
+        // Pressure: dissolve the sender's lazy pin as the page stealer
+        // would; the next send drains the invalidation, faults, repins.
+        let frames = sys.kernel_mut(0).lazy_pinned_frames();
+        assert_eq!(frames.len(), 1);
+        sys.kernel_mut(0).test_dissolve_lazy_pins(frames[0].0);
+        sys.post_recv(1, vb, rh, rbuf, PAGE_SIZE).unwrap();
+        sys.post_send(0, va, sh, sbuf, 12).unwrap();
+        assert_eq!(sys.pump().unwrap(), 1);
+        assert_eq!(sys.node(0).nic.stats.repins, 2);
+        assert!(sys.node(0).nic.stats.tpt_invalidations >= 1);
+        sys.check_invariants().unwrap();
+
+        // Deregistration drains the surviving lazy pins.
+        sys.deregister_mem(0, sh).unwrap();
+        sys.deregister_mem(1, rh).unwrap();
+        sys.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn ondemand_repin_failure_completes_repin_failed() {
+        let (mut sys, pa, pb, va, vb, tag) = two_node_setup(StrategyKind::OnDemand);
+        let sbuf = sys
+            .mmap(0, pa, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        let rbuf = sys
+            .mmap(1, pb, PAGE_SIZE, prot::READ | prot::WRITE)
+            .unwrap();
+        sys.write_user(0, pa, sbuf, b"blocked").unwrap();
+        let sh = sys.register_mem(0, pa, sbuf, PAGE_SIZE, tag).unwrap();
+        let rh = sys.register_mem(1, pb, rbuf, PAGE_SIZE, tag).unwrap();
+        sys.post_recv(1, vb, rh, rbuf, PAGE_SIZE).unwrap();
+        sys.post_send(0, va, sh, sbuf, 7).unwrap();
+        // The sender's first (and only) lazy-pin attempt is refused.
+        sys.install_fault_plan(&vialock::fault::handle(
+            vialock::FaultPlan::new(21).fail(FaultSite::LazyPin, 1),
+        ));
+        assert_eq!(sys.pump().unwrap(), 0, "nothing crossed the wire");
+        let c = sys.poll_cq(0, va).unwrap().unwrap();
+        assert_eq!(c.status, crate::descriptor::DescStatus::RepinFailed);
+        assert_eq!(sys.node(0).nic.stats.repin_failures, 1);
+        assert_eq!(sys.node(0).nic.stats.protection_errors, 0);
+        assert_eq!(
+            sys.node(0).nic.vi(va).unwrap().state,
+            ViState::Connected,
+            "degradation is per-descriptor; the connection survives"
+        );
+        sys.check_invariants().unwrap();
+        // The transient gone, the same exchange succeeds.
+        sys.post_send(0, va, sh, sbuf, 7).unwrap();
+        assert_eq!(sys.pump().unwrap(), 1);
+        let mut out = [0u8; 7];
+        sys.read_user(1, pb, rbuf, &mut out).unwrap();
+        assert_eq!(&out, b"blocked");
         sys.check_invariants().unwrap();
     }
 

@@ -35,7 +35,12 @@ pub enum Access {
 /// One TPT page entry.
 #[derive(Debug, Clone, Copy)]
 pub struct TptEntry {
-    pub frame: FrameId,
+    /// Backing physical frame. `None` marks a **non-resident** entry: an
+    /// on-demand region page whose frame is not currently pinned. A DMA
+    /// translation through such an entry raises
+    /// [`ViaError::NotResident`] — the fault the kernel agent answers by
+    /// lazy-pinning and installing the frame ([`Tpt::set_frame`]).
+    pub frame: Option<FrameId>,
     pub tag: ProtectionTag,
     pub pid: Pid,
     /// RDMA-write enable attribute of the region.
@@ -151,9 +156,11 @@ impl Tpt {
         self.free.len()
     }
 
-    /// Fill slots for a freshly pinned region. Slots need not be physically
-    /// contiguous in a real TPT; for simplicity (and O(1) lookup) we demand
-    /// a contiguous run here and compact lazily via the free stack.
+    /// Fill slots for a freshly registered region. Slots need not be
+    /// physically contiguous in a real TPT; for simplicity (and O(1)
+    /// lookup) we demand a contiguous run here and compact lazily via the
+    /// free stack. Eager strategies pass every frame as `Some`; on-demand
+    /// regions pass `None` for pages that start non-resident.
     #[allow(clippy::too_many_arguments)]
     pub fn insert_region(
         &mut self,
@@ -161,7 +168,7 @@ impl Tpt {
         pid: Pid,
         user_addr: VirtAddr,
         len: usize,
-        frames: &[FrameId],
+        frames: &[Option<FrameId>],
         tag: ProtectionTag,
         rdma_write: bool,
         rdma_read: bool,
@@ -292,7 +299,10 @@ impl Tpt {
             Access::RdmaRead if !entry.rdma_read => return Err(ViaError::RdmaDisabled),
             _ => {}
         }
-        Ok((entry.frame, (addr & (PAGE_SIZE as u64 - 1)) as usize))
+        let frame = entry
+            .frame
+            .ok_or(ViaError::NotResident { page: page_index })?;
+        Ok((frame, (addr & (PAGE_SIZE as u64 - 1)) as usize))
     }
 
     /// Resolve `[addr, addr+len)` of a region into maximal physically
@@ -430,7 +440,9 @@ impl Tpt {
             Access::RdmaRead if !first_entry.rdma_read => return Err(ViaError::RdmaDisabled),
             _ => {}
         }
-        let mut run_frame = first_entry.frame;
+        let mut run_frame = first_entry
+            .frame
+            .ok_or(ViaError::NotResident { page: first_page })?;
         let mut run_offset = (addr & (PAGE_SIZE as u64 - 1)) as usize;
         // Bytes of the span covered by each page: the first and last pages
         // may be partial.
@@ -446,7 +458,8 @@ impl Tpt {
             let frame = self.slots[first_slot + page]
                 .as_ref()
                 .expect("region slots are filled")
-                .frame;
+                .frame
+                .ok_or(ViaError::NotResident { page })?;
             if page > first_page && frame.0 != prev_frame.0 + 1 {
                 // Physical discontinuity: close the current run.
                 out.push(DmaRun {
@@ -481,8 +494,49 @@ impl Tpt {
         self.slots[region.first_slot + page]
             .as_mut()
             .expect("filled")
-            .frame = frame;
+            .frame = Some(frame);
         Ok(())
+    }
+
+    /// Install the frame for one page of a region after an on-demand repin.
+    /// Bumps the generation so per-VI TLB descriptors cached before the
+    /// residency change are refetched — the repin side of the TPT
+    /// generation protocol.
+    pub fn set_frame(&mut self, mem_id: MemId, page: usize, frame: FrameId) -> ViaResult<()> {
+        let (first_slot, npages) = {
+            let r = self.region(mem_id)?;
+            (r.first_slot, r.npages)
+        };
+        if page >= npages {
+            return Err(ViaError::OutOfBounds);
+        }
+        match self.slots[first_slot + page].as_mut() {
+            Some(e) => e.frame = Some(frame),
+            None => return Err(ViaError::BadId("memory")),
+        }
+        self.generation += 1;
+        Ok(())
+    }
+
+    /// Mark every TPT entry backed by `frame` non-resident — the pull-based
+    /// unpin → TPT coherence edge: the page stealer dissolved a lazy pin
+    /// and the kernel queued the frame for invalidation; the kernel agent
+    /// drains that queue into this call before the NIC translates again.
+    /// Bumps the generation (when anything changed) so TLB-cached
+    /// descriptors are refetched. Returns the number of entries
+    /// invalidated.
+    pub fn invalidate_frame(&mut self, frame: FrameId) -> usize {
+        let mut n = 0usize;
+        for slot in self.slots.iter_mut().flatten() {
+            if slot.frame == Some(frame) {
+                slot.frame = None;
+                n += 1;
+            }
+        }
+        if n > 0 {
+            self.generation += 1;
+        }
+        n
     }
 }
 
@@ -498,7 +552,7 @@ mod tests {
                 Pid(1),
                 0x1000 + 50,
                 2 * PAGE_SIZE,
-                &[FrameId(100), FrameId(101), FrameId(102)],
+                &[FrameId(100), FrameId(101), FrameId(102)].map(Some),
                 ProtectionTag(7),
                 true,
                 false,
@@ -554,7 +608,7 @@ mod tests {
                 Pid(1),
                 0x4000,
                 PAGE_SIZE,
-                &[FrameId(5)],
+                &[Some(FrameId(5))],
                 ProtectionTag(1),
                 false,
                 false,
@@ -583,7 +637,7 @@ mod tests {
                 Pid(1),
                 0x1000,
                 3 * PAGE_SIZE,
-                &frames,
+                &frames.map(Some),
                 ProtectionTag(1),
                 false,
                 false,
@@ -596,7 +650,7 @@ mod tests {
                 Pid(1),
                 0x9000,
                 2 * PAGE_SIZE,
-                &[FrameId(4), FrameId(5)],
+                &[FrameId(4), FrameId(5)].map(Some),
                 ProtectionTag(1),
                 false,
                 false,
@@ -610,7 +664,7 @@ mod tests {
                 Pid(1),
                 0x9000,
                 4 * PAGE_SIZE,
-                &[FrameId(4), FrameId(5), FrameId(6), FrameId(7)],
+                &[FrameId(4), FrameId(5), FrameId(6), FrameId(7)].map(Some),
                 ProtectionTag(1),
                 false,
                 false,
@@ -634,7 +688,7 @@ mod tests {
                 Pid(1),
                 0x1000,
                 4 * PAGE_SIZE,
-                &[FrameId(100), FrameId(101), FrameId(102), FrameId(200)],
+                &[FrameId(100), FrameId(101), FrameId(102), FrameId(200)].map(Some),
                 ProtectionTag(7),
                 true,
                 false,
@@ -722,7 +776,7 @@ mod tests {
                 Pid(1),
                 0x1000,
                 2 * PAGE_SIZE,
-                &[FrameId(5), FrameId(6)],
+                &[FrameId(5), FrameId(6)].map(Some),
                 ProtectionTag(1),
                 true,
                 false,
@@ -776,7 +830,7 @@ mod tests {
                 Pid(1),
                 0x9000,
                 PAGE_SIZE,
-                &[FrameId(9)],
+                &[Some(FrameId(9))],
                 ProtectionTag(1),
                 true,
                 false,
@@ -838,5 +892,83 @@ mod tests {
             .unwrap();
         assert!(hit);
         assert_eq!(runs[0].frame, FrameId(12), "poked frame visible via TLB");
+    }
+
+    #[test]
+    fn non_resident_entries_fault_typed_and_repin_bumps_generation() {
+        let mut t = Tpt::new(16);
+        // An on-demand region: page 1 of 3 starts non-resident.
+        let id = t
+            .insert_region(
+                vialock::MemHandle(1),
+                Pid(1),
+                0x1000,
+                3 * PAGE_SIZE,
+                &[Some(FrameId(50)), None, Some(FrameId(52))],
+                ProtectionTag(1),
+                true,
+                false,
+            )
+            .unwrap();
+        // Resident pages translate; the hole faults with its page index.
+        assert!(t
+            .translate(id, 0x1000, ProtectionTag(1), Access::Local)
+            .is_ok());
+        assert_eq!(
+            t.translate(
+                id,
+                0x1000 + PAGE_SIZE as u64,
+                ProtectionTag(1),
+                Access::Local
+            ),
+            Err(ViaError::NotResident { page: 1 })
+        );
+        let mut runs = Vec::new();
+        assert_eq!(
+            t.translate_range(
+                id,
+                0x1000,
+                3 * PAGE_SIZE,
+                ProtectionTag(1),
+                Access::Local,
+                &mut runs
+            ),
+            Err(ViaError::NotResident { page: 1 })
+        );
+        // Repin installs the frame and bumps the generation (TLB flush).
+        let g = t.generation();
+        t.set_frame(id, 1, FrameId(51)).unwrap();
+        assert!(t.generation() > g);
+        runs.clear();
+        t.translate_range(
+            id,
+            0x1000,
+            3 * PAGE_SIZE,
+            ProtectionTag(1),
+            Access::Local,
+            &mut runs,
+        )
+        .unwrap();
+        assert_eq!(runs.len(), 1, "50,51,52 coalesce once resident");
+        // Pressure unpin: the frame's entries go non-resident again.
+        let g = t.generation();
+        assert_eq!(t.invalidate_frame(FrameId(51)), 1);
+        assert!(t.generation() > g);
+        assert_eq!(
+            t.invalidate_frame(FrameId(51)),
+            0,
+            "second drain is a no-op"
+        );
+        assert_eq!(
+            t.translate(
+                id,
+                0x1000 + PAGE_SIZE as u64,
+                ProtectionTag(1),
+                Access::Local
+            ),
+            Err(ViaError::NotResident { page: 1 })
+        );
+        // Out-of-span repin refused.
+        assert_eq!(t.set_frame(id, 3, FrameId(9)), Err(ViaError::OutOfBounds));
     }
 }

@@ -102,10 +102,24 @@ pub fn locktest_steps(node: &mut Node, npages: usize) -> LocktestOutcome {
     }
 
     // Step 2: register — pin with the strategy under test and capture the
-    // physical addresses into the NIC's TPT.
+    // physical addresses into the NIC's TPT. On-demand registration
+    // obtains no addresses at all; its equivalent is the first NIC access
+    // of each page (the protection trap that takes the lazy pin), so
+    // fault the span resident the way the NIC would and run the same
+    // stale-address protocol against those frames.
     let mem = node.register_mem(pid, buf, len, tag).expect("registration");
     let reg_handle = node.nic.tpt.region(mem).expect("region").reg_handle;
-    let frames_at_reg: Vec<_> = node.registry.frames(reg_handle).expect("frames").to_vec();
+    let frames_at_reg: Vec<_> = if strategy.pins_eagerly() {
+        node.registry.frames(reg_handle).expect("frames").to_vec()
+    } else {
+        (0..npages)
+            .map(|i| {
+                node.registry
+                    .pin_on_access(&mut node.kernel, reg_handle, i)
+                    .expect("lazy pin")
+            })
+            .collect()
+    };
 
     // Step 3: the allocator antagonist grabs as much memory as possible.
     let swap_outs_before = node.kernel.mm_stats().swap_outs;
@@ -351,8 +365,11 @@ mod tests {
     #[test]
     fn matrix_verdicts() {
         let m = run_locktest_matrix(8);
-        assert_eq!(m.len(), 4);
+        assert_eq!(m.len(), 5);
         let verdict: Vec<(&str, bool)> = m.iter().map(|o| (o.strategy, o.reliable)).collect();
+        // On-demand fails the *stale-address* protocol by design (its
+        // reliability lives in the NIC fault-and-repin loop) — but
+        // cleanly, leaving no orphaned frames.
         assert_eq!(
             verdict,
             vec![
@@ -360,7 +377,9 @@ mod tests {
                 ("raw-flags", true),
                 ("vma-mlock", true),
                 ("kiobuf", true),
+                ("on-demand", false),
             ]
         );
+        assert_eq!(m[4].orphaned_frames, 0, "on-demand fails without orphans");
     }
 }

@@ -37,6 +37,7 @@ pub fn reg_cost_for(strategy: vialock::StrategyKind) -> RegistrationCost {
         vialock::StrategyKind::RawFlags => RegistrationCost::raw_flags(),
         vialock::StrategyKind::VmaMlock => RegistrationCost::vma_mlock(),
         vialock::StrategyKind::KiobufReliable => RegistrationCost::kiobuf(),
+        vialock::StrategyKind::OnDemand => RegistrationCost::on_demand(),
     }
 }
 

@@ -57,14 +57,21 @@ fn chaos_round_on<F: Fabric>(mut sys: F, plan: FaultPlan) -> Result<Result<(), V
     sys.check_invariants()
         .map_err(|e| format!("after process exit: {e}"))?;
     for n in 0..sys.node_count() {
-        let (pinned, regions) = sys.with_node(n, |node| {
-            (node.registry.pinned_frames(), node.nic.tpt.region_count())
+        let (pinned, regions, lazy) = sys.with_node(n, |node| {
+            (
+                node.registry.pinned_frames(),
+                node.nic.tpt.region_count(),
+                node.kernel.lazy_pinned_frames().len(),
+            )
         });
         if pinned != 0 {
             return Err(format!("node {n}: {pinned} pins leaked after exit"));
         }
         if regions != 0 {
             return Err(format!("node {n}: TPT regions leaked after exit"));
+        }
+        if lazy != 0 {
+            return Err(format!("node {n}: {lazy} lazy pins leaked after exit"));
         }
     }
     Ok(outcome)
@@ -132,7 +139,7 @@ fn workload<F: Fabric>(
 // ---------------------------------------------------------------------
 
 /// Every site, hit positions 0..4, one and three failures per activation:
-/// 80 fixed-seed rounds. Each must end with success or a typed error and
+/// 96 fixed-seed rounds. Each must end with success or a typed error and
 /// all four invariants intact.
 #[test]
 fn chaos_smoke_every_site_every_position() {
@@ -154,9 +161,35 @@ fn chaos_smoke_every_site_every_position() {
             }
         }
     }
-    assert_eq!(rounds, 80);
+    assert_eq!(rounds, 8 * FaultSite::ALL.len() as u32);
     // The sweep is only meaningful if faults actually bite somewhere.
     assert!(errored > 0, "no plan produced a typed error — sites dead?");
+}
+
+/// The same sweep with the on-demand strategy: registration reserves but
+/// never pins, so every DMA runs the fault-handler/repin path — and the
+/// new lazy-pin and pressure-unpin sites fire inside it. Faults must
+/// degrade as typed errors or error completions (`RepinFailed`), leave
+/// every invariant intact, and leak zero pins — eager or lazy — at exit.
+#[test]
+fn chaos_smoke_ondemand_repin_path() {
+    let mut rounds = 0u32;
+    for site in FaultSite::ALL {
+        for skip in 0..4u64 {
+            let seed = 0x0DDE ^ (skip << 8) ^ (site.code() as u64);
+            let plan = FaultPlan::new(seed).fail_after(site, skip, 1);
+            match chaos_round_on(
+                ViaSystem::new(2, KernelConfig::small(), StrategyKind::OnDemand),
+                plan,
+            ) {
+                // Typed ViaError or absorbed error completion: both clean.
+                Ok(_) => {}
+                Err(violation) => panic!("ondemand, site {site} skip {skip}: {violation}"),
+            }
+            rounds += 1;
+        }
+    }
+    assert_eq!(rounds, 4 * FaultSite::ALL.len() as u32);
 }
 
 /// A plan with every site disabled must behave exactly like no plan:
@@ -340,7 +373,11 @@ proptest! {
     /// residual probability on a third. Same guarantee.
     #[test]
     fn compound_fault_plans_degrade_cleanly(
-        sites in (0usize..10, 0usize..10, 0usize..10),
+        sites in (
+            0usize..FaultSite::ALL.len(),
+            0usize..FaultSite::ALL.len(),
+            0usize..FaultSite::ALL.len(),
+        ),
         knobs in (0u64..4, 1u32..2048),
         seed in any::<u64>(),
     ) {

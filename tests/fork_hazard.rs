@@ -95,6 +95,114 @@ fn madvise_dontfork_prevents_the_hazard() {
     reg.deregister(&mut k, h).unwrap();
 }
 
+fn ondemand_setup() -> (Kernel, simmem::Pid, u64, MemoryRegistry) {
+    let mut k = Kernel::new(KernelConfig::small());
+    let pid = k.spawn_process(Capabilities::default());
+    let a = k
+        .mmap_anon(pid, 2 * PAGE_SIZE, prot::READ | prot::WRITE)
+        .unwrap();
+    k.write_user(pid, a, b"registered").unwrap();
+    (k, pid, a, MemoryRegistry::new(StrategyKind::OnDemand))
+}
+
+#[test]
+fn ondemand_write_after_fork_triggers_repin_never_aliases_dma_frame() {
+    // The same hazard as above, under on-demand registration — but here
+    // the COW break DISSOLVES the lazy pin and queues a TPT invalidation,
+    // so the NIC faults, re-pins the parent's live frame, and never DMAs
+    // into the frame the child inherited.
+    let (mut k, parent, a, mut reg) = ondemand_setup();
+    let h = reg.register(&mut k, parent, a, 2 * PAGE_SIZE).unwrap();
+    // The NIC touches page 0: protection trap pins it — this frame is now
+    // an in-flight DMA target.
+    let f = reg.pin_on_access(&mut k, h, 0).unwrap();
+    assert_eq!(k.lazy_pin_count(f), 1);
+
+    let child = k.fork(parent).unwrap();
+    // Parent write → genuine COW: the parent moves to a private frame and
+    // the lazy pin on the old (now child-only) frame dissolves.
+    k.write_user(parent, a, b"updated!!!").unwrap();
+    assert_eq!(k.lazy_pin_count(f), 0, "COW break dissolved the pin");
+    assert_eq!(k.mm_stats().cow_invalidations, 1);
+
+    // The coherence pull the NIC runs before every translation: the
+    // drained frame nulls the ledger slot, so the TPT entry goes
+    // non-resident instead of pointing at the child's frame.
+    assert_eq!(reg.drain_lazy_invalidations(&mut k), vec![f]);
+    assert_eq!(reg.tpt_frames(h).unwrap()[0], None, "entry non-resident");
+
+    // The fault-and-repin lands on the parent's post-COW frame...
+    let f2 = reg.pin_on_access(&mut k, h, 0).unwrap();
+    assert_ne!(f2, f, "repin captures the parent's private frame");
+    assert_eq!(k.mm_stats().repins, 1);
+    // ...so DMA reaches the parent and never the child's stale frame.
+    k.dma_write(f2, 0, b"NIC").unwrap();
+    let mut out = [0u8; 3];
+    k.read_user(parent, a, &mut out).unwrap();
+    assert_eq!(&out, b"NIC", "parent sees post-repin DMA");
+    let mut out = [0u8; 3];
+    k.read_user(child, a, &mut out).unwrap();
+    assert_eq!(&out, b"reg", "child's inherited frame was never aliased");
+
+    reg.check_invariants(&k).unwrap();
+    reg.deregister(&mut k, h).unwrap();
+    reg.check_invariants(&k).unwrap();
+    assert!(k.lazy_pinned_frames().is_empty(), "no leaked lazy pins");
+}
+
+#[test]
+fn ondemand_child_write_dissolves_conservatively_and_repins_same_frame() {
+    // The CHILD writing also dissolves the pin (the fault handler cannot
+    // tell whose registration it is), but the parent never moved — the
+    // repin lands back on the same frame and DMA stays parent-only.
+    let (mut k, parent, a, mut reg) = ondemand_setup();
+    let h = reg.register(&mut k, parent, a, 2 * PAGE_SIZE).unwrap();
+    let f = reg.pin_on_access(&mut k, h, 0).unwrap();
+    let child = k.fork(parent).unwrap();
+
+    k.write_user(child, a, b"child-own!").unwrap();
+    assert_eq!(k.lazy_pin_count(f), 0, "conservative dissolve");
+    assert_eq!(reg.drain_lazy_invalidations(&mut k), vec![f]);
+
+    // Parent never COWed: the repin recovers the very same frame.
+    assert_eq!(reg.pin_on_access(&mut k, h, 0).unwrap(), f);
+    k.dma_write(f, 0, b"NIC").unwrap();
+    let mut out = [0u8; 3];
+    k.read_user(parent, a, &mut out).unwrap();
+    assert_eq!(&out, b"NIC");
+    let mut out = [0u8; 3];
+    k.read_user(child, a, &mut out).unwrap();
+    assert_eq!(&out, b"chi", "child's private copy is untouched");
+
+    reg.check_invariants(&k).unwrap();
+    reg.deregister(&mut k, h).unwrap();
+}
+
+#[test]
+fn ondemand_sole_owner_write_revalidates_in_place() {
+    // Without a fork there is no sharing: the owner's write to the
+    // write-protected, lazily pinned page keeps the frame AND the pin —
+    // no invalidation, the TPT entry stays valid.
+    let (mut k, parent, a, mut reg) = ondemand_setup();
+    let h = reg.register(&mut k, parent, a, 2 * PAGE_SIZE).unwrap();
+    let f = reg.pin_on_access(&mut k, h, 0).unwrap();
+
+    k.write_user(parent, a, b"rewritten!").unwrap();
+    assert_eq!(k.frame_of(parent, a).unwrap(), Some(f), "no copy");
+    assert_eq!(k.lazy_pin_count(f), 1, "pin survives the write");
+    assert!(reg.drain_lazy_invalidations(&mut k).is_empty());
+    assert_eq!(reg.tpt_frames(h).unwrap()[0], Some(f), "still resident");
+
+    // DMA through the unchanged entry lands where the owner reads.
+    k.dma_write(f, 0, b"NIC").unwrap();
+    let mut out = [0u8; 3];
+    k.read_user(parent, a, &mut out).unwrap();
+    assert_eq!(&out, b"NIC");
+
+    reg.check_invariants(&k).unwrap();
+    reg.deregister(&mut k, h).unwrap();
+}
+
 #[test]
 fn registration_after_fork_breaks_cow_eagerly() {
     // Registering AFTER the fork is safe: the pin loop write-faults,

@@ -12,6 +12,16 @@ fn verdicts_match_the_paper() {
         assert!(o.swap_outs > 0, "{}: pressure must swap", o.strategy);
         match o.strategy {
             "refcount-only" => assert!(!o.reliable, "refcount pinning must fail"),
+            // On-demand registration never promises stable physical
+            // addresses — stale-address DMA is exactly what its NIC
+            // fault-and-repin protocol exists to replace (E18). The raw
+            // locktest must find it unreliable, but *cleanly* so: the
+            // stealer dissolves the lazy pins and frees the frames, so no
+            // memory is orphaned (unlike refcount-only).
+            "on-demand" => {
+                assert!(!o.reliable, "stale-address DMA is outside the on-demand contract");
+                assert_eq!(o.orphaned_frames, 0, "on-demand must fail without orphans");
+            }
             other => assert!(o.reliable, "{other} must survive the locktest"),
         }
     }
